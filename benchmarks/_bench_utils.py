@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one of the paper's figures: it runs the
+experiment driver under pytest-benchmark, prints the same series the paper
+plots, and records the figure's headline metrics in ``extra_info`` so they
+land in the benchmark JSON.
+
+Run with: ``pytest benchmarks/ --benchmark-only``.
+"""
+
+import pytest
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Benchmark an experiment driver with a single round.
+
+    The drivers are full parameter sweeps (seconds to minutes), so the
+    default calibrating runner would multiply their cost; one warm round
+    is both faithful to the paper's "average of 3 runs" scale and cheap.
+    """
+    return benchmark.pedantic(
+        func, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )

@@ -1,0 +1,91 @@
+"""Ablation: cost-model fidelity and its effect on plan quality.
+
+Compares the paper's exact 7-feature model, our extended feature set, and
+the simulator oracle: (i) fit quality on a held-out data-resource grid,
+(ii) end-to-end executed time of the plan each model leads the RAQO
+planner to pick (the metric that actually matters).
+"""
+
+from _bench_utils import run_once
+
+from repro.catalog import tpch
+from repro.catalog.statistics import StatisticsEstimator
+from repro.core.cost_model import (
+    CostModelSuite,
+    EXTENDED_FEATURES,
+    PAPER_FEATURES,
+    SimulatorCostModel,
+)
+from repro.core.raqo import DEFAULT_QO_RESOURCES, RaqoPlanner
+from repro.engine.executor import execute_plan
+from repro.engine.joins import JoinAlgorithm
+from repro.engine.profiler import default_training_grid, profile_grid
+from repro.engine.profiles import HIVE_PROFILE
+from repro.experiments.report import format_table
+
+
+def _fit_and_plan():
+    training = default_training_grid(HIVE_PROFILE)
+    holdout = profile_grid(
+        HIVE_PROFILE,
+        small_sizes_gb=(0.4, 1.5, 2.5, 3.5, 5.5, 7.0),
+        large_gb=77.0,
+        container_counts=(8, 25, 45),
+        container_sizes_gb=(2.5, 6.0, 8.5),
+    )
+    catalog = tpch.tpch_catalog(100)
+    estimator = StatisticsEstimator(catalog)
+
+    models = {
+        "paper7": CostModelSuite.train(
+            training,
+            HIVE_PROFILE.hash_memory_fraction,
+            PAPER_FEATURES,
+        ),
+        "extended": CostModelSuite.train(
+            training,
+            HIVE_PROFILE.hash_memory_fraction,
+            EXTENDED_FEATURES,
+        ),
+        "oracle": SimulatorCostModel(HIVE_PROFILE),
+    }
+    rows = []
+    for name, model in models.items():
+        if isinstance(model, CostModelSuite):
+            r2 = model.models[JoinAlgorithm.SORT_MERGE].r_squared(
+                holdout
+            )
+        else:
+            r2 = 1.0
+        planner = RaqoPlanner(catalog, cost_model=model)
+        plan = planner.optimize(tpch.QUERY_Q3).plan
+        executed = execute_plan(
+            plan,
+            estimator,
+            HIVE_PROFILE,
+            default_resources=DEFAULT_QO_RESOURCES,
+        )
+        rows.append((name, r2, executed.time_s, executed.tb_seconds))
+    return rows
+
+
+def test_ablation_cost_model(benchmark):
+    rows = run_once(benchmark, _fit_and_plan)
+    print()
+    print(
+        format_table(
+            [
+                "cost model",
+                "holdout R^2 (SMJ)",
+                "executed Q3 time (s)",
+                "TB*s",
+            ],
+            rows,
+            title="Ablation: cost-model feature sets",
+        )
+    )
+    times = {row[0]: row[2] for row in rows}
+    # The oracle-guided plan is the reference; learned models should be
+    # within a reasonable factor of it end to end.
+    assert times["extended"] <= times["oracle"] * 3.0
+    assert times["paper7"] <= times["oracle"] * 5.0

@@ -1,0 +1,73 @@
+"""Ablation: the three join-order search algorithms under RAQO.
+
+Left-deep Selinger DP (the paper's System R prototype), exhaustive bushy
+DP (the quality upper bound on small queries), and the FastRandomized
+multi-objective planner -- same cost model, same resource planning,
+compared on plan quality, wall time, and resource configurations
+explored for the TPC-H evaluation queries.
+"""
+
+from _bench_utils import run_once
+
+from repro.catalog import tpch
+from repro.core.raqo import RaqoCoster, RaqoPlanner, default_cost_model
+from repro.experiments.report import format_table
+from repro.planner.bushy import BushyPlanner
+from repro.planner.randomized import FastRandomizedPlanner
+from repro.planner.selinger import SelingerPlanner
+
+
+def _compare():
+    catalog = tpch.tpch_catalog(100)
+    facade = RaqoPlanner.default(catalog)
+    rows = []
+    for query in tpch.EVALUATION_QUERIES:
+        for name, planner in (
+            ("selinger", SelingerPlanner(RaqoCoster(model=default_cost_model()))),
+            ("bushy_dp", BushyPlanner(RaqoCoster(model=default_cost_model()))),
+            (
+                "fast_randomized",
+                FastRandomizedPlanner(
+                    RaqoCoster(model=default_cost_model()),
+                    iterations=10,
+                ),
+            ),
+        ):
+            context = facade.make_context()
+            result = planner.plan(query, context)
+            rows.append(
+                (
+                    query.name,
+                    name,
+                    result.cost.time_s,
+                    result.wall_time_s * 1000.0,
+                    result.counters.resource_iterations,
+                )
+            )
+    return rows
+
+
+def test_ablation_planners(benchmark):
+    rows = run_once(benchmark, _compare)
+    print()
+    print(
+        format_table(
+            [
+                "query",
+                "planner",
+                "plan cost (s)",
+                "wall (ms)",
+                "#resource iters",
+            ],
+            rows,
+            title="Ablation: join-order search algorithms under RAQO",
+        )
+    )
+    by_key = {(r[0], r[1]): r[2] for r in rows}
+    for query in tpch.EVALUATION_QUERIES:
+        bushy = by_key[(query.name, "bushy_dp")]
+        selinger = by_key[(query.name, "selinger")]
+        randomized = by_key[(query.name, "fast_randomized")]
+        # Bushy subsumes left-deep; randomized should stay close.
+        assert bushy <= selinger + 1e-6
+        assert randomized <= selinger * 1.25

@@ -1,0 +1,115 @@
+"""Ablation: resource-planning design choices.
+
+Two of the design decisions DESIGN.md calls out:
+
+1. the hill-climb *start point* (Algorithm 1 starts from the minimum
+   configuration "given that the users want to minimize the resources
+   used") -- compared against starting from the middle and the maximum
+   of the envelope;
+2. the cache *lookup mode* (exact vs nearest-neighbour vs weighted
+   average at the same threshold) on TPC-H All planning.
+"""
+
+from _bench_utils import run_once
+
+from repro.catalog import tpch
+from repro.catalog.statistics import StatisticsEstimator
+from repro.cluster.cluster import ClusterConditions
+from repro.cluster.containers import ResourceConfiguration
+from repro.core.plan_cache import LookupMode
+from repro.core.raqo import RaqoPlanner, default_cost_model
+from repro.core.resource_planner import hill_climb_resource_plan
+from repro.engine.joins import JoinAlgorithm
+from repro.experiments.report import format_table
+
+CLUSTER = ClusterConditions(max_containers=100, max_container_gb=10.0)
+
+
+def _climb_from_everywhere():
+    model = default_cost_model()
+
+    def objective(config):
+        return model.predict_time(
+            JoinAlgorithm.SORT_MERGE, 3.0, 77.0, config
+        )
+
+    starts = {
+        "minimum": CLUSTER.minimum_configuration,
+        "middle": ResourceConfiguration(50, 5.0),
+        "maximum": CLUSTER.maximum_configuration,
+    }
+    rows = []
+    for label, start in starts.items():
+        outcome = hill_climb_resource_plan(
+            objective, CLUSTER, start=start
+        )
+        rows.append(
+            (label, str(outcome.config), outcome.cost, outcome.iterations)
+        )
+    return rows
+
+
+def test_ablation_hill_climb_start(benchmark):
+    rows = run_once(benchmark, _climb_from_everywhere)
+    print()
+    print(
+        format_table(
+            ["start", "final config", "predicted cost (s)", "iterations"],
+            rows,
+            title="Ablation: hill-climb start point (SMJ, ss=3 GB)",
+        )
+    )
+    costs = [row[2] for row in rows]
+    # All starts converge to comparable costs on this objective.
+    assert max(costs) <= min(costs) * 1.5
+
+
+def _plan_with_cache_modes():
+    catalog = tpch.tpch_catalog(100)
+    rows = []
+    for mode in (
+        None,
+        LookupMode.EXACT,
+        LookupMode.NEAREST,
+        LookupMode.WEIGHTED_AVERAGE,
+    ):
+        planner = RaqoPlanner(
+            catalog,
+            cache_mode=mode,
+            cache_threshold_gb=0.01,
+        )
+        result = planner.optimize(tpch.QUERY_ALL)
+        rows.append(
+            (
+                "no cache" if mode is None else str(mode),
+                result.resource_iterations,
+                result.wall_time_s * 1000.0,
+                result.counters.cache_hits,
+                result.cost.time_s,
+            )
+        )
+    return rows
+
+
+def test_ablation_cache_mode(benchmark):
+    rows = run_once(benchmark, _plan_with_cache_modes)
+    print()
+    print(
+        format_table(
+            [
+                "lookup mode",
+                "#resource iters",
+                "runtime (ms)",
+                "hits",
+                "plan cost (s)",
+            ],
+            rows,
+            title="Ablation: cache lookup mode (TPC-H All, 0.01 GB)",
+        )
+    )
+    iterations = {row[0]: row[1] for row in rows}
+    # Any cache beats no cache; interpolating modes beat exact.
+    assert iterations["no cache"] > iterations["exact"]
+    assert (
+        iterations["nearest_neighbor"] <= iterations["exact"]
+    )

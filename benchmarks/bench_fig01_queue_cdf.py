@@ -1,0 +1,34 @@
+"""Fig 1 benchmark: queue-time/runtime CDF on the shared cluster.
+
+Paper series: the cumulative distribution of queue-time over execution
+time; >80% of jobs at ratio >= 1, >20% at ratio >= 4.
+"""
+
+from _bench_utils import run_once
+
+from repro.experiments import fig01_queue_cdf
+from repro.experiments.report import format_table
+
+
+def test_fig01_queue_cdf(benchmark):
+    result = run_once(benchmark, fig01_queue_cdf.run)
+    print()
+    print(
+        format_table(
+            ["fraction of jobs", "queue/runtime ratio"],
+            [(f"{frac:.2f}", ratio) for frac, ratio in result.cdf],
+            title="Fig 1: queue/runtime ratio CDF",
+        )
+    )
+    print(
+        f"P(ratio>=1)={result.fraction_ratio_ge_1:.2f} (paper >0.80) | "
+        f"P(ratio>=4)={result.fraction_ratio_ge_4:.2f} (paper >0.20)"
+    )
+    benchmark.extra_info["fraction_ratio_ge_1"] = (
+        result.fraction_ratio_ge_1
+    )
+    benchmark.extra_info["fraction_ratio_ge_4"] = (
+        result.fraction_ratio_ge_4
+    )
+    assert result.fraction_ratio_ge_1 >= 0.80
+    assert result.fraction_ratio_ge_4 >= 0.20

@@ -1,0 +1,54 @@
+"""Fig 2 benchmark: potential gains of joint query+resource optimization.
+
+Paper series: execution time and resources used (TB*s) per resource
+configuration for the default optimizer's plan vs the best plan; the
+default is up to 2x slower and up to 2x more resource-demanding.
+"""
+
+from _bench_utils import run_once
+
+from repro.engine.profiles import HIVE_PROFILE, SPARK_PROFILE
+from repro.experiments import fig02_potential_gains
+from repro.experiments.report import format_table
+
+
+def _report(benchmark, result):
+    print()
+    print(
+        format_table(
+            ["config", "default (s)", "best (s)", "default TB*s", "best TB*s"],
+            [
+                (
+                    str(p.config),
+                    p.default_time_s,
+                    p.best_time_s,
+                    p.default_tb_s,
+                    p.best_tb_s,
+                )
+                for p in result.points
+            ],
+            title=f"Fig 2 ({result.engine})",
+        )
+    )
+    print(
+        f"{result.engine}: default up to {result.max_time_ratio:.2f}x "
+        f"slower / {result.max_resource_ratio:.2f}x more resources "
+        "(paper: up to 2x)"
+    )
+    benchmark.extra_info[f"{result.engine}_max_time_ratio"] = (
+        result.max_time_ratio
+    )
+
+
+def test_fig02_hive(benchmark):
+    result = run_once(benchmark, fig02_potential_gains.run, HIVE_PROFILE)
+    _report(benchmark, result)
+    assert result.max_time_ratio >= 1.3
+
+
+def test_fig02_spark(benchmark):
+    result = run_once(
+        benchmark, fig02_potential_gains.run, SPARK_PROFILE
+    )
+    _report(benchmark, result)
+    assert result.max_time_ratio >= 1.2

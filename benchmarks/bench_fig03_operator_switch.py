@@ -1,0 +1,50 @@
+"""Fig 3 benchmark: BHJ vs SMJ over varying resources in Hive.
+
+Paper series: execution times over container size (switch at 7 GB, OOM
+below 5 GB) and over container count (switch at 20; SMJ ~2x faster at 40).
+"""
+
+from _bench_utils import run_once
+
+from repro.experiments import fig03_operator_switch
+from repro.experiments.report import format_table
+
+
+def test_fig03_operator_switch(benchmark):
+    result = run_once(benchmark, fig03_operator_switch.run)
+    print()
+    print(
+        format_table(
+            ["container GB", "SMJ (s)", "BHJ (s)", "winner"],
+            [
+                (p.config.container_gb, p.smj_time_s, p.bhj_time_s, p.winner)
+                for p in result.container_size_sweep
+            ],
+            title="Fig 3(a): varying container size (5.1 GB orders, nc=10)",
+        )
+    )
+    print(
+        format_table(
+            ["#containers", "SMJ (s)", "BHJ (s)", "winner"],
+            [
+                (
+                    p.config.num_containers,
+                    p.smj_time_s,
+                    p.bhj_time_s,
+                    p.winner,
+                )
+                for p in result.container_count_sweep
+            ],
+            title="Fig 3(b): varying #containers (3.4 GB orders, cs=3 GB)",
+        )
+    )
+    switch_gb = result.switch_container_gb()
+    switch_nc = result.switch_container_count()
+    print(
+        f"switch at {switch_gb} GB containers (paper: 7) and "
+        f"{switch_nc} containers (paper: 20)"
+    )
+    benchmark.extra_info["switch_container_gb"] = switch_gb
+    benchmark.extra_info["switch_container_count"] = switch_nc
+    assert switch_gb == 7.0
+    assert switch_nc == 20

@@ -1,0 +1,40 @@
+"""Fig 4 benchmark: BHJ/SMJ switch points over varying data size.
+
+Paper series: execution times over the smaller relation's size for two
+container sizes (switch at 3.4 GB = OOM wall for 3 GB containers, ~6.4 GB
+for 9 GB containers) and two container counts.
+"""
+
+from _bench_utils import run_once
+
+from repro.experiments import fig04_data_switch
+from repro.experiments.report import format_table
+
+
+def test_fig04_data_switch(benchmark):
+    result = run_once(benchmark, fig04_data_switch.run)
+    print()
+    for label, series in result.series.items():
+        print(
+            format_table(
+                ["smaller table (GB)", "SMJ (s)", "BHJ (s)"],
+                [
+                    (
+                        series.data_gb[i],
+                        series.smj_time_s[i],
+                        series.bhj_time_s[i],
+                    )
+                    for i in range(0, len(series.data_gb), 2)
+                ],
+                title=f"Fig 4 series {label}",
+            )
+        )
+        print(
+            f"{label}: switch {series.switch.switch_gb:.2f} GB, "
+            f"wall {series.switch.wall_gb:.2f} GB"
+        )
+        benchmark.extra_info[f"switch_{label}"] = (
+            series.switch.switch_gb
+        )
+    assert abs(result.switch_gb("cs=3GB,nc=10") - 3.45) < 0.2
+    assert 5.0 <= result.switch_gb("cs=9GB,nc=10") <= 7.0

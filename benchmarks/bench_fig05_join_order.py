@@ -1,0 +1,50 @@
+"""Fig 5 benchmark: join order decisions over varying resources.
+
+Paper series: two physical plans for a two-join query over container
+sizes (plan 1 wins, with an OOM wall) and container counts (plan 2
+overtakes at ~32 containers).
+"""
+
+from _bench_utils import run_once
+
+from repro.experiments import fig05_join_order
+from repro.experiments.report import format_table
+
+
+def test_fig05_join_order(benchmark):
+    result = run_once(benchmark, fig05_join_order.run)
+    print()
+    print(
+        format_table(
+            ["container GB", "Plan 1 (s)", "Plan 2 (s)", "winner"],
+            [
+                (
+                    p.config.container_gb,
+                    p.plan1_time_s,
+                    p.plan2_time_s,
+                    p.winner,
+                )
+                for p in result.container_size_sweep
+            ],
+            title="Fig 5(a): join orders over container size (nc=10)",
+        )
+    )
+    print(
+        format_table(
+            ["#containers", "Plan 1 (s)", "Plan 2 (s)", "winner"],
+            [
+                (
+                    p.config.num_containers,
+                    p.plan1_time_s,
+                    p.plan2_time_s,
+                    p.winner,
+                )
+                for p in result.container_count_sweep
+            ],
+            title="Fig 5(b): join orders over #containers (cs=3 GB)",
+        )
+    )
+    crossover = result.crossover_containers()
+    print(f"plan 2 overtakes at {crossover} containers (paper: 32)")
+    benchmark.extra_info["crossover_containers"] = crossover
+    assert crossover is not None and 24 <= crossover <= 44

@@ -1,0 +1,56 @@
+"""Fig 6 benchmark: monetary cost of BHJ vs SMJ over varying resources.
+
+Paper series: serverless dollar costs of both implementations over the
+Fig 3 sweeps; either implementation can be the cost-effective one.
+"""
+
+import math
+
+from _bench_utils import run_once
+
+from repro.experiments import fig06_monetary
+from repro.experiments.report import format_table
+
+
+def test_fig06_monetary(benchmark):
+    result = run_once(benchmark, fig06_monetary.run)
+    print()
+    print(
+        format_table(
+            ["container GB", "SMJ ($)", "BHJ ($)", "cheaper"],
+            [
+                (
+                    p.config.container_gb,
+                    p.smj_dollars,
+                    p.bhj_dollars,
+                    str(p.cheaper),
+                )
+                for p in result.container_size_sweep
+            ],
+            title="Fig 6(a): monetary cost over container size",
+        )
+    )
+    print(
+        format_table(
+            ["#containers", "SMJ ($)", "BHJ ($)", "cheaper"],
+            [
+                (
+                    p.config.num_containers,
+                    p.smj_dollars,
+                    p.bhj_dollars,
+                    str(p.cheaper),
+                )
+                for p in result.container_count_sweep
+            ],
+            title="Fig 6(b): monetary cost over #containers",
+        )
+    )
+    winners = {
+        str(p.cheaper)
+        for p in result.container_size_sweep
+        + result.container_count_sweep
+        if math.isfinite(p.bhj_dollars)
+    }
+    print(f"cost-effective implementations seen: {sorted(winners)}")
+    benchmark.extra_info["winners"] = sorted(winners)
+    assert len(winners) == 2

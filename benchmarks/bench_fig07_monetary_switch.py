@@ -1,0 +1,51 @@
+"""Fig 7 benchmark: monetary switch points over varying data size.
+
+Paper series: the data sizes at which the cost-effective implementation
+flips, per resource configuration -- they vary with both resources and
+data.
+"""
+
+from _bench_utils import run_once
+
+from repro.engine.joins import JoinAlgorithm
+from repro.experiments import fig07_monetary_switch
+from repro.experiments.report import format_table
+
+
+def test_fig07_monetary_switch(benchmark):
+    result = run_once(benchmark, fig07_monetary_switch.run)
+    print()
+    rows = []
+    switches = set()
+    for label, series in result.series.items():
+        bhj_cheaper = sum(
+            1
+            for c in series.comparisons
+            if c.cheaper is JoinAlgorithm.BROADCAST_HASH
+        )
+        rows.append(
+            (
+                label,
+                series.switch.switch_gb,
+                series.switch.wall_gb,
+                bhj_cheaper,
+            )
+        )
+        switches.add(series.switch.switch_gb)
+        benchmark.extra_info[f"switch_{label}"] = (
+            series.switch.switch_gb
+        )
+    print(
+        format_table(
+            [
+                "configuration",
+                "monetary switch (GB)",
+                "wall (GB)",
+                "#BHJ-cheaper points",
+            ],
+            rows,
+            title="Fig 7: monetary switch points over data size",
+        )
+    )
+    # The switch points move with the resources (paper's conclusion).
+    assert len(switches) > 1

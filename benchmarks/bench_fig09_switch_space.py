@@ -1,0 +1,58 @@
+"""Fig 9 benchmark: the BHJ/SMJ switch-point space in Hive and Spark.
+
+Paper series: switch-point curves over container size, one per
+<#containers, #reducers> combination; the 10 MB default rule is far below
+every curve.
+"""
+
+from _bench_utils import run_once
+
+from repro.engine.profiles import HIVE_PROFILE, SPARK_PROFILE
+from repro.experiments import fig09_switch_space
+from repro.experiments.report import format_table
+
+
+def _report(benchmark, result):
+    unit = "GB" if result.engine == "hive" else "MB"
+    scale = 1.0 if result.engine == "hive" else 1024.0
+    rows = []
+    for (nc, nr), points in result.curves.items():
+        label = f"<{nc},{nr if nr is not None else 'default'}>"
+        rows.append(
+            tuple(
+                [label]
+                + [round(p.switch_gb * scale, 2) for p in points]
+            )
+        )
+    print()
+    print(
+        format_table(
+            ["<#containers,#reducers>"]
+            + [
+                f"cs={int(cs)}GB"
+                for cs in fig09_switch_space.CONTAINER_SIZES_GB
+            ],
+            rows,
+            title=f"Fig 9 ({result.engine}): switch points ({unit})",
+        )
+    )
+    error = result.default_rule_error() * scale
+    print(
+        f"{result.engine}: default 10 MB rule at least "
+        f"{error:.1f} {unit} below every switch point"
+    )
+    benchmark.extra_info[f"{result.engine}_default_rule_gap"] = error
+
+
+def test_fig09_hive(benchmark):
+    result = run_once(benchmark, fig09_switch_space.run, HIVE_PROFILE)
+    _report(benchmark, result)
+    assert result.default_rule_error() > 1.0
+
+
+def test_fig09_spark(benchmark):
+    result = run_once(benchmark, fig09_switch_space.run, SPARK_PROFILE)
+    _report(benchmark, result)
+    for curve in result.curves.values():
+        for point in curve:
+            assert 0.05 <= point.switch_gb <= 1.5

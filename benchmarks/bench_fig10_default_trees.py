@@ -1,0 +1,21 @@
+"""Fig 10 benchmark: default join-selection decision trees.
+
+Paper figure: the one-split "Data Size <= 10 MB" trees Hive and Spark
+ship; the CART classifier recovers the threshold from labelled samples.
+"""
+
+from _bench_utils import run_once
+
+from repro.experiments import fig10_default_trees
+
+
+def test_fig10_default_trees(benchmark):
+    result = run_once(benchmark, fig10_default_trees.run)
+    print()
+    for engine, text in result.rendered.items():
+        print(f"Fig 10 ({engine}):")
+        print(text)
+        learned_mb = result.learned_thresholds_gb[engine] * 1024
+        print(f"learned threshold: {learned_mb:.1f} MB (rule: 10 MB)\n")
+        benchmark.extra_info[f"{engine}_threshold_mb"] = learned_mb
+        assert abs(learned_mb - 10.0) < 4.0

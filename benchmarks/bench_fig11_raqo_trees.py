@@ -1,0 +1,41 @@
+"""Fig 11 benchmark: the learned RAQO decision trees.
+
+Paper figure: CART trees over the data-resource space, branching on data
+size, container size, and container counts; max path length 6 (Hive) and
+7 (Spark).
+"""
+
+from _bench_utils import run_once
+
+from repro.engine.profiles import HIVE_PROFILE, SPARK_PROFILE
+from repro.experiments import fig11_raqo_trees
+
+
+def _report(benchmark, result):
+    print()
+    print(f"Fig 11 ({result.engine}): RAQO decision tree")
+    print(result.rule.export_text())
+    print(
+        f"samples={result.num_samples} "
+        f"accuracy={result.training_accuracy:.3f} "
+        f"max path={result.max_path_length} leaves={result.num_leaves}"
+    )
+    benchmark.extra_info[f"{result.engine}_accuracy"] = (
+        result.training_accuracy
+    )
+    benchmark.extra_info[f"{result.engine}_max_path"] = (
+        result.max_path_length
+    )
+
+
+def test_fig11_hive_tree(benchmark):
+    result = run_once(benchmark, fig11_raqo_trees.run, HIVE_PROFILE)
+    _report(benchmark, result)
+    assert result.training_accuracy >= 0.95
+    assert result.max_path_length <= 7
+
+def test_fig11_spark_tree(benchmark):
+    result = run_once(benchmark, fig11_raqo_trees.run, SPARK_PROFILE)
+    _report(benchmark, result)
+    assert result.training_accuracy >= 0.95
+    assert result.max_path_length <= 7

@@ -1,0 +1,53 @@
+"""Fig 12 benchmark: RAQO planning on the TPC-H schema.
+
+Paper series: planner runtime and #resource configurations explored for
+Q12/Q3/Q2/All under the FastRandomized and Selinger planners, with and
+without resource planning. The paper reports >0.5M configurations
+explored for the FastRandomized All query.
+"""
+
+from _bench_utils import run_once
+
+from repro.experiments import fig12_tpch_planning
+from repro.experiments.report import format_table
+
+
+def test_fig12_tpch_planning(benchmark):
+    result = run_once(benchmark, fig12_tpch_planning.run)
+    print()
+    print(
+        format_table(
+            [
+                "query",
+                "planner",
+                "QO (ms)",
+                "RAQO (ms)",
+                "overhead",
+                "#resource iters",
+            ],
+            [
+                (
+                    r.query,
+                    r.planner,
+                    r.qo_runtime_ms,
+                    r.raqo_runtime_ms,
+                    f"{r.overhead:.1f}x",
+                    r.resource_iterations,
+                )
+                for r in result.rows
+            ],
+            title="Fig 12: RAQO planning on TPC-H (SF 100)",
+        )
+    )
+    all_fr = result.row("All", "fast_randomized")
+    print(
+        "FastRandomized All explores "
+        f"{all_fr.resource_iterations} resource configurations "
+        "(paper: more than half a million)"
+    )
+    benchmark.extra_info["fr_all_resource_iterations"] = (
+        all_fr.resource_iterations
+    )
+    assert all_fr.resource_iterations > 100_000
+    for row in result.rows:
+        assert row.raqo_runtime_ms >= row.qo_runtime_ms

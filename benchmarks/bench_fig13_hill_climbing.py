@@ -1,0 +1,50 @@
+"""Fig 13 benchmark: hill climbing vs brute force resource planning.
+
+Paper series: per TPC-H query, #resource configurations explored and
+planner runtime for both methods; hill climbing explores ~4x fewer
+configurations with matching runtime gains.
+"""
+
+from _bench_utils import run_once
+
+from repro.experiments import fig13_hill_climbing
+from repro.experiments.report import format_table
+
+
+def test_fig13_hill_climbing(benchmark):
+    result = run_once(benchmark, fig13_hill_climbing.run)
+    print()
+    print(
+        format_table(
+            [
+                "query",
+                "brute force iters",
+                "hill climb iters",
+                "reduction",
+                "brute force (ms)",
+                "hill climb (ms)",
+            ],
+            [
+                (
+                    r.query,
+                    r.brute_force_iterations,
+                    r.hill_climb_iterations,
+                    f"{r.iteration_reduction:.1f}x",
+                    r.brute_force_ms,
+                    r.hill_climb_ms,
+                )
+                for r in result.rows
+            ],
+            title="Fig 13: hill climbing vs brute force",
+        )
+    )
+    print(
+        f"mean reduction {result.mean_iteration_reduction:.1f}x "
+        "(paper: ~4x)"
+    )
+    benchmark.extra_info["mean_reduction"] = (
+        result.mean_iteration_reduction
+    )
+    assert result.mean_iteration_reduction > 2.0
+    for row in result.rows:
+        assert row.runtime_reduction > 1.0

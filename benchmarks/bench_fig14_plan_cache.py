@@ -1,0 +1,50 @@
+"""Fig 14 benchmark: resource-plan-cache effectiveness on TPC-H All.
+
+Paper series: #resource configurations explored and planner runtime for
+the nearest-neighbour and weighted-average cache variants over data-delta
+thresholds 0..0.1 GB. The paper's abstract claims up to 16x resource
+planning overhead reduction; caching delivers up to 10x planner runtime
+reduction at the 0.1 GB threshold.
+"""
+
+from _bench_utils import run_once
+
+from repro.experiments import fig14_plan_cache
+from repro.experiments.report import format_table
+
+
+def test_fig14_plan_cache(benchmark):
+    result = run_once(benchmark, fig14_plan_cache.run)
+    print()
+    print(
+        f"HillClimbing (no cache): {result.baseline_iterations} iters, "
+        f"{result.baseline_runtime_ms:.1f} ms"
+    )
+    print(
+        format_table(
+            [
+                "variant",
+                "threshold (GB)",
+                "#resource iters",
+                "runtime (ms)",
+                "hits",
+                "misses",
+            ],
+            [
+                (
+                    p.variant,
+                    f"{p.threshold_gb:g}",
+                    p.resource_iterations,
+                    p.runtime_ms,
+                    p.cache_hits,
+                    p.cache_misses,
+                )
+                for p in result.points
+            ],
+            title="Fig 14: plan cache effectiveness (TPC-H All)",
+        )
+    )
+    reduction = result.best_iteration_reduction()
+    print(f"best reduction: {reduction:.1f}x (paper abstract: up to 16x)")
+    benchmark.extra_info["best_reduction"] = reduction
+    assert reduction > 4.0

@@ -1,0 +1,91 @@
+"""Fig 15 benchmark: RAQO scalability over schema size and cluster size.
+
+Paper series: (a) planner runtimes over query sizes on the random
+100-table schema for QO, RAQO, and RAQO with plan caching (cached RAQO
+~6x faster than non-cached, ~1.29x over plain QO); (b) planner runtimes
+over cluster conditions from 100 to 100K containers, with across-query
+caching helping ~30% at the largest scales.
+
+The default sweep sizes keep the pure-Python run in benchmark range; the
+drivers accept the paper's full 100-relation sweep via parameters.
+"""
+
+from _bench_utils import run_once
+
+from repro.experiments import fig15_scalability
+from repro.experiments.report import format_table
+
+
+def test_fig15a_schema_scaling(benchmark):
+    result = run_once(benchmark, fig15_scalability.run_schema_scaling)
+    print()
+    print(
+        format_table(
+            [
+                "query size",
+                "QO (ms)",
+                "RAQO (ms)",
+                "RAQO+cache (ms)",
+                "RAQO iters",
+                "cached iters",
+            ],
+            [
+                (
+                    p.query_size,
+                    p.qo_ms,
+                    p.raqo_ms,
+                    p.raqo_cached_ms,
+                    p.raqo_iterations,
+                    p.raqo_cached_iterations,
+                )
+                for p in result.points
+            ],
+            title="Fig 15(a): scalability over schema size",
+        )
+    )
+    print(
+        f"cache speedup {result.mean_cache_speedup:.1f}x (paper ~6x) | "
+        f"overhead vs QO {result.mean_overhead_vs_qo:.2f}x (paper 1.29x)"
+    )
+    benchmark.extra_info["cache_speedup"] = result.mean_cache_speedup
+    benchmark.extra_info["overhead_vs_qo"] = result.mean_overhead_vs_qo
+    assert result.mean_cache_speedup > 2.0
+
+
+def test_fig15b_resource_scaling(benchmark):
+    result = run_once(
+        benchmark, fig15_scalability.run_resource_scaling
+    )
+    print()
+    print(
+        format_table(
+            [
+                "max containers",
+                "max GB",
+                "QO (ms)",
+                "RAQO (ms)",
+                "across-query (ms)",
+                "RAQO iters",
+            ],
+            [
+                (
+                    p.max_containers,
+                    p.max_container_gb,
+                    p.qo_ms,
+                    p.raqo_ms,
+                    p.raqo_across_query_ms,
+                    p.raqo_iterations,
+                )
+                for p in result.points
+            ],
+            title="Fig 15(b): scalability over cluster conditions",
+        )
+    )
+    gain = result.across_query_gain_at_scale()
+    print(
+        f"across-query caching gain at >=10K containers: {gain:.2f}x "
+        "(paper: ~1.3x)"
+    )
+    benchmark.extra_info["across_query_gain"] = gain
+    iterations = [p.raqo_iterations for p in result.points]
+    assert iterations[-1] > iterations[0]

@@ -1,0 +1,73 @@
+"""Workload-level benchmark: RAQO vs the two-step baseline end to end.
+
+Beyond the paper's per-query figures: a mixed TPC-H workload planned by
+each optimizer configuration and executed on the simulated engine,
+reporting total planning cost, total execution time, and total dollars --
+the deployment-level version of the paper's headline claim.
+"""
+
+import numpy as np
+from _bench_utils import run_once
+
+from repro.catalog import tpch
+from repro.core.raqo import RaqoPlanner
+from repro.experiments.report import format_table
+from repro.workloads import (
+    WorkloadSpec,
+    compare_planners,
+    generate_workload,
+)
+
+
+def _run_workload():
+    catalog = tpch.tpch_catalog(100)
+    rng = np.random.default_rng(17)
+    queries = generate_workload(
+        catalog,
+        WorkloadSpec(num_queries=12, repeat_probability=0.4),
+        rng,
+    )
+    return compare_planners(
+        {
+            "two-step QO": RaqoPlanner.two_step_baseline(catalog),
+            "RAQO": RaqoPlanner.default(catalog),
+            "RAQO across-query cache": RaqoPlanner(
+                catalog, clear_cache_between_queries=False
+            ),
+        },
+        queries,
+    )
+
+
+def test_workload_gains(benchmark):
+    reports = run_once(benchmark, _run_workload)
+    print()
+    print(
+        format_table(
+            [
+                "planner",
+                "queries",
+                "planning (ms)",
+                "#resource iters",
+                "executed (s)",
+                "dollars",
+            ],
+            [report.summary_row() for report in reports],
+            title="Workload-level: 12 mixed TPC-H queries",
+        )
+    )
+    by_label = {report.label: report for report in reports}
+    raqo = by_label["RAQO"]
+    baseline = by_label["two-step QO"]
+    warm = by_label["RAQO across-query cache"]
+    speedup = (
+        baseline.total_executed_time_s / raqo.total_executed_time_s
+    )
+    print(f"RAQO end-to-end speedup over the baseline: {speedup:.2f}x")
+    benchmark.extra_info["workload_speedup"] = speedup
+    assert raqo.total_executed_time_s <= (
+        baseline.total_executed_time_s * 1.01
+    )
+    assert warm.total_resource_iterations <= (
+        raqo.total_resource_iterations
+    )

@@ -1,0 +1,63 @@
+"""The four RAQO operating modes of the paper's Sec IV.
+
+1. ``r => p``     : best plan for a fixed resource budget (tenant quota),
+2. ``p => (r, c)``: keep a plan, re-plan its resources for lower cost,
+3. ``(p, r)``     : full joint optimization,
+4. ``c => (p, r)``: best performance under a monetary price cap.
+
+Run with: ``python examples/budget_and_price.py``
+"""
+
+from repro import tpch
+from repro.cluster.containers import ResourceConfiguration
+from repro.core.raqo import RaqoPlanner
+from repro.core.use_cases import (
+    best_joint_plan,
+    best_plan_for_budget,
+    plan_for_price,
+    plan_resources_for_plan,
+)
+from repro.planner.plan import left_deep_plan
+
+
+def main() -> None:
+    catalog = tpch.tpch_catalog(scale_factor=100)
+    planner = RaqoPlanner.default(catalog)
+    query = tpch.QUERY_Q3
+
+    # Use-case 1: a multi-tenant quota of 20 x 4 GB containers.
+    budget = ResourceConfiguration(num_containers=20, container_gb=4.0)
+    result = best_plan_for_budget(planner, query, budget)
+    print(f"[r => p] best plan within {budget}:")
+    print(result.plan.explain())
+    print(f"  predicted time {result.cost.time_s:.1f}s\n")
+
+    # Use-case 2: the user is happy with this fixed plan; minimise cost.
+    fixed_plan = left_deep_plan(("customer", "orders", "lineitem"))
+    annotated, cost = plan_resources_for_plan(planner, fixed_plan)
+    print("[p => (r, c)] resources re-planned for the fixed plan:")
+    print(annotated.explain())
+    print(
+        f"  predicted time {cost.time_s:.1f}s, "
+        f"monetary cost ${cost.money:.3f}\n"
+    )
+
+    # Use-case 3: abundant resources -- full joint optimization.
+    joint = best_joint_plan(planner, query)
+    print("[(p, r)] joint plan:")
+    print(joint.plan.explain())
+    print(f"  predicted time {joint.cost.time_s:.1f}s\n")
+
+    # Use-case 4: a price cap of $0.25.
+    priced = plan_for_price(planner, query, max_dollars=0.25)
+    print("[c => (p, r)] best plan under a $0.25 cap "
+          f"(within budget: {priced.within_budget}):")
+    print(priced.plan.explain())
+    print(
+        f"  predicted time {priced.cost.time_s:.1f}s at "
+        f"${priced.cost.money:.3f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Quickstart: jointly optimize a TPC-H query's plan and resources.
+
+Runs the full RAQO pipeline on TPC-H Q3 (customer |><| orders |><|
+lineitem) at scale factor 100:
+
+1. build the TPC-H catalog (statistics + join graph),
+2. train the per-operator cost models from simulator profile runs,
+3. jointly pick the join order, join implementations, and per-operator
+   resource configurations with the Selinger planner + hill climbing,
+4. compare against the two-step baseline (plan first, resources later),
+   executing both on the simulated Hive engine.
+
+Run with: ``python examples/quickstart.py``
+"""
+
+from repro import tpch
+from repro.catalog.statistics import StatisticsEstimator
+from repro.cluster.containers import ResourceConfiguration
+from repro.core.raqo import DEFAULT_QO_RESOURCES, RaqoPlanner
+from repro.engine.executor import execute_plan
+from repro.engine.profiles import HIVE_PROFILE
+
+
+def main() -> None:
+    catalog = tpch.tpch_catalog(scale_factor=100)
+    estimator = StatisticsEstimator(catalog)
+    query = tpch.QUERY_Q3
+
+    # --- joint resource and query optimization (RAQO) ---
+    raqo = RaqoPlanner.default(catalog)
+    raqo_result = raqo.optimize(query)
+    print("=== RAQO joint plan ===")
+    print(raqo_result.plan.explain())
+    print(
+        f"predicted time: {raqo_result.cost.time_s:.1f}s, "
+        f"predicted cost: ${raqo_result.cost.money:.3f}, "
+        f"planning took {raqo_result.wall_time_s * 1000:.1f} ms, "
+        f"{raqo_result.resource_iterations} resource configurations "
+        "explored"
+    )
+
+    # --- the current practice: plan first, pick resources later ---
+    baseline = RaqoPlanner.two_step_baseline(catalog)
+    baseline_result = baseline.optimize(query)
+    print("\n=== Two-step baseline plan ===")
+    print(baseline_result.plan.explain())
+
+    # --- execute both on the simulated Hive engine ---
+    raqo_run = execute_plan(
+        raqo_result.plan,
+        estimator,
+        HIVE_PROFILE,
+        default_resources=DEFAULT_QO_RESOURCES,
+    )
+    baseline_run = execute_plan(
+        baseline_result.plan,
+        estimator,
+        HIVE_PROFILE,
+        default_resources=DEFAULT_QO_RESOURCES,
+    )
+    print("\n=== Simulated execution (Hive profile) ===")
+    print(
+        f"RAQO:     {raqo_run.time_s:8.1f}s "
+        f"{raqo_run.tb_seconds:8.2f} TB*s  ${raqo_run.dollars:.3f}"
+    )
+    print(
+        f"baseline: {baseline_run.time_s:8.1f}s "
+        f"{baseline_run.tb_seconds:8.2f} TB*s  ${baseline_run.dollars:.3f}"
+    )
+    speedup = baseline_run.time_s / raqo_run.time_s
+    print(f"RAQO speedup over the two-step baseline: {speedup:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

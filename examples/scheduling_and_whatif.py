@@ -1,0 +1,95 @@
+"""Scheduler policies, plan robustness, and what-if analysis (Sec VIII).
+
+Walks three of the paper's research-agenda scenarios end to end:
+
+1. **DAG scheduler interaction** -- a joint plan arrives at a busy
+   cluster; compare the DELAY / FAIL / FALLBACK admission policies, with
+   the FastRandomized Pareto frontier providing fallback alternatives.
+2. **Robust planning** -- pick the plan with minimal worst-case regret
+   across quiet/busy/contended envelopes.
+3. **What-if analysis** -- show how the optimal joint plan morphs as the
+   available envelope shrinks, and the price-performance frontier RAQO
+   exposes.
+
+Run with: ``python examples/scheduling_and_whatif.py``
+"""
+
+from repro import tpch
+from repro.cluster.cluster import ClusterConditions
+from repro.cluster.scheduler import (
+    DagScheduler,
+    SchedulingPolicy,
+    frontier_to_alternatives,
+)
+from repro.core.price_performance import price_performance_curve
+from repro.core.raqo import PlannerKind, RaqoPlanner
+from repro.core.robustness import RobustnessCriterion, robust_plan
+from repro.core.whatif import default_sweep, what_if
+
+
+def main() -> None:
+    catalog = tpch.tpch_catalog(scale_factor=100)
+
+    # --- 1. scheduler policies over a Pareto frontier of plans ---
+    multi = RaqoPlanner(
+        catalog, planner_kind=PlannerKind.FAST_RANDOMIZED
+    )
+    result = multi.optimize(tpch.QUERY_Q3)
+    alternatives = frontier_to_alternatives(result.frontier)
+    scheduler = DagScheduler(
+        capacity_gb=1000.0, free_gb=60.0, drain_rate_gb_s=2.0
+    )
+    print("=== scheduler policies (60 GB free of 1 TB) ===")
+    for policy in SchedulingPolicy:
+        decision = scheduler.schedule(alternatives, policy)
+        print(
+            f"{policy}: admitted={decision.admitted} "
+            f"wait={decision.expected_wait_s:.0f}s "
+            f"fallback={decision.ran_fallback}"
+        )
+
+    # --- 2. robust plan across envelopes ---
+    planner = RaqoPlanner.default(catalog)
+    scenarios = (
+        ClusterConditions(100, 10.0),
+        ClusterConditions(25, 5.0),
+        ClusterConditions(8, 2.0),
+    )
+    choice = robust_plan(
+        planner,
+        tpch.QUERY_Q2,
+        scenarios,
+        RobustnessCriterion.MINMAX_REGRET,
+    )
+    print("\n=== robust plan (min-max regret) ===")
+    print(choice.plan.explain())
+    print(
+        f"max regret {choice.max_regret_s:.1f}s, worst case "
+        f"{choice.worst_case_s:.1f}s across {len(scenarios)} scenarios"
+    )
+
+    # --- 3. what-if sweep + price-performance frontier ---
+    report = what_if(planner, tpch.QUERY_Q2, default_sweep())
+    print("\n=== what-if: shrinking envelope ===")
+    for point in report.points:
+        algorithms = "/".join(a.value for a in point.algorithms)
+        print(
+            f"{point.cluster.max_containers:>3} x "
+            f"{point.cluster.max_container_gb:>4.1f} GB: "
+            f"{point.predicted_time_s:8.1f}s  [{algorithms}]"
+        )
+    print(
+        f"{report.distinct_plans} distinct plans across the sweep; "
+        f"changes at indices {report.plan_changes}"
+    )
+
+    curve = price_performance_curve(
+        planner, tpch.QUERY_Q3, money_weights=(0.0, 10.0, 100.0)
+    )
+    print("\n=== price-performance frontier (Q3) ===")
+    for point in curve.points:
+        print(f"  {point.time_s:8.1f}s  ${point.dollars:.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""RAQO: joint Resource And Query Optimization for big data systems.
+
+This package reproduces *"Query and Resource Optimization: Bridging the
+Gap"* (ICDE 2018; arXiv:1906.06590 preprint "Query and Resource
+Optimizations: A Case for Breaking the Wall in Big Data Systems").
+
+The package is organised bottom-up:
+
+- :mod:`repro.catalog` -- schemas, statistics, join graphs, TPC-H and
+  random schema generators, query definitions.
+- :mod:`repro.cluster` -- the YARN-like cluster substrate: containers,
+  cluster conditions, a queueing resource manager, pricing.
+- :mod:`repro.engine` -- an analytic Hive/Spark-like dataflow execution
+  simulator (stage DAGs, calibrated SMJ/BHJ join time models, profiling).
+- :mod:`repro.planner` -- query planners: Selinger dynamic programming and
+  the FastRandomized multi-objective planner, plus plan representations.
+- :mod:`repro.core` -- the paper's contribution: learned cost models,
+  resource planning (brute force / hill climbing / plan cache), rule-based
+  RAQO decision trees, and the joint RAQO planner.
+- :mod:`repro.experiments` -- one driver per figure in the paper.
+
+Quickstart::
+
+    from repro import tpch
+    from repro.core.raqo import RaqoPlanner
+
+    catalog = tpch.tpch_catalog(scale_factor=100)
+    planner = RaqoPlanner.default(catalog)
+    result = planner.optimize(tpch.QUERY_Q3)
+    print(result.plan.explain())
+"""
+
+from repro.catalog import tpch
+from repro.catalog.queries import Query
+from repro.cluster.cluster import ClusterConditions
+from repro.cluster.containers import ResourceConfiguration
+from repro.core.raqo import RaqoPlanner
+
+__all__ = [
+    "ClusterConditions",
+    "Query",
+    "RaqoPlanner",
+    "ResourceConfiguration",
+    "tpch",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,23 @@
+"""Schemas, statistics, join graphs, and workload definitions.
+
+The catalog is the planner-facing view of data: it never materialises rows,
+only statistics (cardinalities, row widths, join selectivities), which is all
+the paper's planners consume.
+"""
+
+from repro.catalog.join_graph import JoinEdge, JoinGraph
+from repro.catalog.queries import Query
+from repro.catalog.schema import Catalog, Column, Schema, Table
+from repro.catalog.statistics import StatisticsEstimator, TableStats
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "JoinEdge",
+    "JoinGraph",
+    "Query",
+    "Schema",
+    "StatisticsEstimator",
+    "Table",
+    "TableStats",
+]

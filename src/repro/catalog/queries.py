@@ -1,0 +1,106 @@
+"""Query definitions.
+
+Following the paper's evaluation setup, "the queries consist of a set of
+relations that need to be joined": a query is a named, connected set of
+tables from a catalog.
+
+Filters are expressed as per-table *selectivity factors* -- exactly how
+the paper controlled its experiments ("we added a uniform sampling filter
+on o_orderkey, which allowed us to select on demand a specific fraction
+of the table each time"). A filter factor of 0.3 on ``orders`` means the
+query scans 30% of the table's rows; the statistics estimator applies the
+factors before any join arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from repro.catalog.schema import Catalog
+
+
+class QueryError(Exception):
+    """Raised for malformed queries."""
+
+
+@dataclass(frozen=True)
+class Query:
+    """A join query: relations to join, plus optional scan filters."""
+
+    name: str
+    tables: Tuple[str, ...]
+    #: (table, selectivity factor) pairs; factors in (0, 1].
+    filters: Tuple[Tuple[str, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.tables:
+            raise QueryError(f"query {self.name!r} has no tables")
+        if len(set(self.tables)) != len(self.tables):
+            raise QueryError(f"query {self.name!r} lists duplicate tables")
+        object.__setattr__(self, "tables", tuple(self.tables))
+        normalized = tuple(sorted(dict(self.filters).items()))
+        for table, factor in normalized:
+            if table not in self.tables:
+                raise QueryError(
+                    f"query {self.name!r} filters unknown table "
+                    f"{table!r}"
+                )
+            if not 0.0 < factor <= 1.0:
+                raise QueryError(
+                    f"query {self.name!r}: filter factor on {table!r} "
+                    f"must be in (0, 1], got {factor}"
+                )
+        object.__setattr__(self, "filters", normalized)
+
+    @property
+    def num_joins(self) -> int:
+        """Number of binary joins needed (``len(tables) - 1``)."""
+        return len(self.tables) - 1
+
+    @property
+    def filter_factors(self) -> Dict[str, float]:
+        """Per-table scan selectivities as a dict."""
+        return dict(self.filters)
+
+    def with_filter(self, table: str, factor: float) -> "Query":
+        """A copy with one more (or replaced) scan filter."""
+        merged = dict(self.filters)
+        merged[table] = factor
+        return Query(
+            name=self.name,
+            tables=self.tables,
+            filters=tuple(sorted(merged.items())),
+        )
+
+    def validate(self, catalog: Catalog) -> None:
+        """Check all tables exist and the query is a connected join.
+
+        Raises :class:`QueryError` when not.
+        """
+        for table in self.tables:
+            if table not in catalog.schema:
+                raise QueryError(
+                    f"query {self.name!r} references unknown table "
+                    f"{table!r}"
+                )
+        if len(self.tables) > 1 and not catalog.join_graph.is_connected(
+            self.tables
+        ):
+            raise QueryError(
+                f"query {self.name!r} is not a connected join "
+                f"({self.tables})"
+            )
+
+
+def make_query(
+    name: str,
+    tables: Iterable[str],
+    filters: Optional[Mapping[str, float]] = None,
+) -> Query:
+    """Convenience constructor accepting any iterables."""
+    return Query(
+        name=name,
+        tables=tuple(tables),
+        filters=tuple(sorted((filters or {}).items())),
+    )

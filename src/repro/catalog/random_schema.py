@@ -1,0 +1,150 @@
+"""Randomly generated schemas, as in the paper's scalability evaluation.
+
+Sec VII: "we generate a random number of tables, each of which have a
+randomly picked row size between 100 and 200 bytes, and a randomly picked
+number of rows between 100K and 2M. We then randomly generate join edges to
+create the join graph (with similar join selectivities as in the TPC-H
+schema)."
+
+A random spanning tree guarantees the graph is connected (so queries over
+any subset of tables can be made connected), and extra edges are added with
+a configurable probability to create richer join graphs. Selectivities
+mirror TPC-H's PK-FK structure: ``1 / max(|L|, |R|)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.catalog.join_graph import JoinEdge, JoinGraph
+from repro.catalog.queries import Query
+from repro.catalog.schema import Catalog, Schema, Table
+
+#: Paper-specified bounds for the random schema generator.
+MIN_ROW_WIDTH_BYTES = 100
+MAX_ROW_WIDTH_BYTES = 200
+MIN_ROW_COUNT = 100_000
+MAX_ROW_COUNT = 2_000_000
+
+
+@dataclass(frozen=True)
+class RandomSchemaConfig:
+    """Knobs for the random schema generator."""
+
+    num_tables: int
+    extra_edge_probability: float = 0.15
+    min_row_width_bytes: int = MIN_ROW_WIDTH_BYTES
+    max_row_width_bytes: int = MAX_ROW_WIDTH_BYTES
+    min_row_count: int = MIN_ROW_COUNT
+    max_row_count: int = MAX_ROW_COUNT
+
+    def __post_init__(self) -> None:
+        if self.num_tables < 1:
+            raise ValueError(f"num_tables must be >= 1, got {self.num_tables}")
+        if not 0.0 <= self.extra_edge_probability <= 1.0:
+            raise ValueError(
+                "extra_edge_probability must be in [0, 1], got "
+                f"{self.extra_edge_probability}"
+            )
+        if self.min_row_width_bytes > self.max_row_width_bytes:
+            raise ValueError("min_row_width_bytes > max_row_width_bytes")
+        if self.min_row_count > self.max_row_count:
+            raise ValueError("min_row_count > max_row_count")
+
+
+def random_catalog(
+    config: RandomSchemaConfig, rng: np.random.Generator
+) -> Catalog:
+    """Generate a random catalog per the paper's recipe.
+
+    Tables are named ``t000 .. tNNN``. The join graph is a uniform random
+    spanning tree (so it is connected) plus independent extra edges with
+    probability ``config.extra_edge_probability``.
+    """
+    tables = []
+    for index in range(config.num_tables):
+        width = int(
+            rng.integers(
+                config.min_row_width_bytes, config.max_row_width_bytes + 1
+            )
+        )
+        rows = int(
+            rng.integers(config.min_row_count, config.max_row_count + 1)
+        )
+        tables.append(
+            Table(
+                name=f"t{index:03d}",
+                row_count=rows,
+                row_width_bytes=width,
+            )
+        )
+    schema = Schema(name=f"random-{config.num_tables}", tables=tables)
+
+    graph = JoinGraph()
+    names = [table.name for table in tables]
+    # Random spanning tree: attach each new node to a uniformly chosen
+    # already-connected node.
+    for index in range(1, len(names)):
+        other = names[int(rng.integers(index))]
+        _add_pkfk_edge(graph, schema, names[index], other)
+    # Extra edges for denser join graphs.
+    if config.extra_edge_probability > 0:
+        for i in range(len(names)):
+            for j in range(i + 1, len(names)):
+                if graph.edge_between(names[i], names[j]) is not None:
+                    continue
+                if rng.random() < config.extra_edge_probability:
+                    _add_pkfk_edge(graph, schema, names[i], names[j])
+    return Catalog(schema=schema, join_graph=graph)
+
+
+def _add_pkfk_edge(
+    graph: JoinGraph, schema: Schema, left: str, right: str
+) -> None:
+    """Add an edge with TPC-H-style PK-FK selectivity between two tables."""
+    pk_rows = max(
+        schema.table(left).row_count, schema.table(right).row_count
+    )
+    graph.add_edge(
+        JoinEdge(left=left, right=right, selectivity=1.0 / pk_rows)
+    )
+
+
+def random_query(
+    catalog: Catalog,
+    num_tables: int,
+    rng: np.random.Generator,
+    name: Optional[str] = None,
+) -> Query:
+    """Generate a random connected query joining ``num_tables`` tables.
+
+    Mirrors the paper's "queries having increasing number of joins, up to
+    as many as the number of tables".
+    """
+    names = catalog.table_names
+    if num_tables > len(names):
+        raise ValueError(
+            f"query size {num_tables} exceeds schema size {len(names)}"
+        )
+    seed = names[int(rng.integers(len(names)))]
+    tables = catalog.join_graph.connected_subset(seed, num_tables, rng)
+    query = Query(
+        name=name or f"rand-{num_tables}", tables=tuple(tables)
+    )
+    query.validate(catalog)
+    return query
+
+
+def query_size_sweep(
+    catalog: Catalog,
+    sizes: Sequence[int],
+    rng: np.random.Generator,
+) -> List[Query]:
+    """One random query per requested size, for the Fig 15(a) sweep."""
+    return [
+        random_query(catalog, size, rng, name=f"rand-{size}")
+        for size in sizes
+    ]

@@ -1,0 +1,242 @@
+"""Command-line interface for the RAQO reproduction.
+
+Subcommands:
+
+- ``plan``    -- jointly optimize a TPC-H query and print the joint plan,
+  the predicted cost, and the planning metrics.
+- ``execute`` -- optimize and run a query on the simulated engine,
+  comparing RAQO against the two-step baseline.
+- ``figure``  -- regenerate one of the paper's figures (fig01..fig15).
+- ``trees``   -- print the default (Fig 10) and learned RAQO (Fig 11)
+  decision trees for an engine.
+
+Examples::
+
+    python -m repro plan --query Q3 --scale-factor 100
+    python -m repro plan --query All --planner fast_randomized
+    python -m repro execute --query Q2 --containers 40 --container-gb 6
+    python -m repro figure fig03
+    python -m repro trees --engine spark
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from typing import List, Optional
+
+from repro.catalog import tpch
+from repro.cluster.cluster import ClusterConditions
+from repro.core.raqo import (
+    DEFAULT_QO_RESOURCES,
+    PlannerKind,
+    RaqoPlanner,
+    ResourcePlanningMethod,
+)
+from repro.engine.executor import execute_plan
+from repro.engine.profiles import HIVE_PROFILE, SPARK_PROFILE
+
+#: Figure-name -> experiments module (each exposes ``main()``).
+FIGURE_MODULES = {
+    "fig01": "repro.experiments.fig01_queue_cdf",
+    "fig02": "repro.experiments.fig02_potential_gains",
+    "fig03": "repro.experiments.fig03_operator_switch",
+    "fig04": "repro.experiments.fig04_data_switch",
+    "fig05": "repro.experiments.fig05_join_order",
+    "fig06": "repro.experiments.fig06_monetary",
+    "fig07": "repro.experiments.fig07_monetary_switch",
+    "fig08": "repro.experiments.fig08_architecture",
+    "fig09": "repro.experiments.fig09_switch_space",
+    "fig10": "repro.experiments.fig10_default_trees",
+    "fig11": "repro.experiments.fig11_raqo_trees",
+    "fig12": "repro.experiments.fig12_tpch_planning",
+    "fig13": "repro.experiments.fig13_hill_climbing",
+    "fig14": "repro.experiments.fig14_plan_cache",
+    "fig15": "repro.experiments.fig15_scalability",
+}
+
+_QUERIES = {q.name: q for q in tpch.EVALUATION_QUERIES}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RAQO: joint resource and query optimization",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    plan = sub.add_parser("plan", help="optimize a TPC-H query")
+    _add_common(plan)
+
+    execute = sub.add_parser(
+        "execute", help="optimize and simulate execution"
+    )
+    _add_common(execute)
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument(
+        "name",
+        choices=sorted(FIGURE_MODULES),
+        help="figure to regenerate",
+    )
+
+    trees = sub.add_parser(
+        "trees", help="print the Fig 10/11 decision trees"
+    )
+    trees.add_argument(
+        "--engine",
+        choices=("hive", "spark"),
+        default="hive",
+        help="engine profile to train against",
+    )
+    return parser
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--query",
+        choices=sorted(_QUERIES),
+        default="Q3",
+        help="TPC-H evaluation query",
+    )
+    parser.add_argument(
+        "--scale-factor",
+        type=float,
+        default=100.0,
+        help="TPC-H scale factor",
+    )
+    parser.add_argument(
+        "--planner",
+        choices=[kind.value for kind in PlannerKind],
+        default=PlannerKind.SELINGER.value,
+        help="join-order search algorithm",
+    )
+    parser.add_argument(
+        "--resource-method",
+        choices=[m.value for m in ResourcePlanningMethod],
+        default=ResourcePlanningMethod.HILL_CLIMB.value,
+        help="resource-planning search",
+    )
+    parser.add_argument(
+        "--containers",
+        type=int,
+        default=100,
+        help="cluster capacity: maximum concurrent containers",
+    )
+    parser.add_argument(
+        "--container-gb",
+        type=float,
+        default=10.0,
+        help="cluster capacity: maximum container memory (GB)",
+    )
+    parser.add_argument(
+        "--baseline",
+        action="store_true",
+        help="use the two-step baseline instead of RAQO",
+    )
+
+
+def _make_planner(args: argparse.Namespace) -> RaqoPlanner:
+    catalog = tpch.tpch_catalog(args.scale_factor)
+    cluster = ClusterConditions(
+        max_containers=args.containers,
+        max_container_gb=args.container_gb,
+    )
+    return RaqoPlanner(
+        catalog,
+        cluster=cluster,
+        planner_kind=PlannerKind(args.planner),
+        resource_method=ResourcePlanningMethod(args.resource_method),
+        resource_aware=not args.baseline,
+    )
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    planner = _make_planner(args)
+    result = planner.optimize(_QUERIES[args.query])
+    print(result.plan.explain())
+    print(
+        f"predicted time: {result.cost.time_s:.1f} s | "
+        f"monetary: ${result.cost.money:.3f} | "
+        f"planning: {result.wall_time_s * 1000:.1f} ms | "
+        f"resource configurations explored: "
+        f"{result.resource_iterations}"
+    )
+    return 0
+
+
+def _cmd_execute(args: argparse.Namespace) -> int:
+    planner = _make_planner(args)
+    query = _QUERIES[args.query]
+    result = planner.optimize(query)
+    run = execute_plan(
+        result.plan,
+        planner.estimator,
+        HIVE_PROFILE,
+        default_resources=DEFAULT_QO_RESOURCES,
+    )
+    print(result.plan.explain())
+    print(
+        f"simulated execution: {run.time_s:.1f} s | "
+        f"{run.tb_seconds:.2f} TB*s | ${run.dollars:.3f}"
+    )
+    if not args.baseline:
+        baseline = RaqoPlanner.two_step_baseline(
+            planner.catalog, cluster=planner.cluster
+        )
+        baseline_run = execute_plan(
+            baseline.optimize(query).plan,
+            planner.estimator,
+            HIVE_PROFILE,
+            default_resources=DEFAULT_QO_RESOURCES,
+        )
+        speedup = baseline_run.time_s / run.time_s
+        print(
+            f"two-step baseline: {baseline_run.time_s:.1f} s "
+            f"(RAQO speedup {speedup:.2f}x)"
+        )
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    module = importlib.import_module(FIGURE_MODULES[args.name])
+    module.main()
+    return 0
+
+
+def _cmd_trees(args: argparse.Namespace) -> int:
+    from repro.core.rules import DefaultThresholdRule
+    from repro.experiments import fig11_raqo_trees
+
+    profile = HIVE_PROFILE if args.engine == "hive" else SPARK_PROFILE
+    print(f"=== default tree ({args.engine}) ===")
+    print(
+        DefaultThresholdRule(
+            profile.default_broadcast_threshold_gb
+        ).export_text()
+    )
+    print(f"\n=== RAQO tree ({args.engine}) ===")
+    result = fig11_raqo_trees.run(profile)
+    print(result.rule.export_text())
+    print(
+        f"max path length: {result.max_path_length}, "
+        f"accuracy: {result.training_accuracy:.3f}"
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "plan": _cmd_plan,
+        "execute": _cmd_execute,
+        "figure": _cmd_figure,
+        "trees": _cmd_trees,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

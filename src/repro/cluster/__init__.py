@@ -1,0 +1,29 @@
+"""The cluster substrate: containers, cluster conditions, RM, pricing.
+
+Models the YARN-style resource layer the paper's systems run on: resources
+are exposed as *containers* (a fixed amount of memory), a job requests a
+number of containers of a given size, and a shared cluster may queue the
+request when capacity is unavailable (the phenomenon behind the paper's
+Fig 1).
+"""
+
+from repro.cluster.cluster import ClusterConditions, ResourceDimension
+from repro.cluster.containers import ContainerRequest, ResourceConfiguration
+from repro.cluster.pricing import PriceModel
+from repro.cluster.resource_manager import ResourceManager
+from repro.cluster.rm_api import ClusterSnapshot, ExposureLevel, RmClient
+from repro.cluster.scheduler import DagScheduler, SchedulingPolicy
+
+__all__ = [
+    "ClusterConditions",
+    "ClusterSnapshot",
+    "ContainerRequest",
+    "DagScheduler",
+    "ExposureLevel",
+    "PriceModel",
+    "ResourceConfiguration",
+    "ResourceDimension",
+    "ResourceManager",
+    "RmClient",
+    "SchedulingPolicy",
+]

@@ -1,0 +1,188 @@
+"""Cluster conditions: the currently available resource envelope.
+
+The RAQO optimizer "takes as input the declarative query and the current
+cluster condition (through the RM)" (Sec IV). :class:`ClusterConditions`
+captures what the resource planner needs: per-dimension minimum, maximum and
+discrete step (Sec VII uses "a cluster of 100 containers each having a
+maximum size of 10GB; minimum allocation is 1 container of size 1GB and
+resources could be increased in discrete intervals of 1 on either axis").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from repro.cluster.containers import ResourceConfiguration, ResourceError
+
+
+@dataclass(frozen=True)
+class ResourceDimension:
+    """One hill-climbable resource axis with bounds and a discrete step."""
+
+    name: str
+    minimum: float
+    maximum: float
+    step: float
+
+    def __post_init__(self) -> None:
+        if self.step <= 0:
+            raise ResourceError(
+                f"dimension {self.name!r} step must be > 0, got {self.step}"
+            )
+        if self.minimum > self.maximum:
+            raise ResourceError(
+                f"dimension {self.name!r} has min {self.minimum} > max "
+                f"{self.maximum}"
+            )
+
+    @property
+    def num_values(self) -> int:
+        """How many discrete values the dimension can take."""
+        return int(np.floor((self.maximum - self.minimum) / self.step)) + 1
+
+    def values(self) -> List[float]:
+        """All discrete values from minimum to maximum inclusive."""
+        return [
+            self.minimum + i * self.step for i in range(self.num_values)
+        ]
+
+    def clamp(self, value: float) -> float:
+        """Clip ``value`` into the dimension's bounds."""
+        return min(max(value, self.minimum), self.maximum)
+
+    def contains(self, value: float) -> bool:
+        """True when ``value`` lies within the bounds (inclusive)."""
+        return self.minimum <= value <= self.maximum
+
+
+@dataclass(frozen=True)
+class ClusterConditions:
+    """The resource envelope the cluster currently offers a query.
+
+    This is what the RM reports to RAQO: how many containers may be
+    requested, how big each may be, and the granularity of both axes.
+    """
+
+    max_containers: int
+    max_container_gb: float
+    min_containers: int = 1
+    min_container_gb: float = 1.0
+    container_step: int = 1
+    container_gb_step: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.min_containers < 1:
+            raise ResourceError(
+                f"min_containers must be >= 1, got {self.min_containers}"
+            )
+        if self.max_containers < self.min_containers:
+            raise ResourceError(
+                "max_containers must be >= min_containers "
+                f"({self.max_containers} < {self.min_containers})"
+            )
+        if self.min_container_gb <= 0:
+            raise ResourceError(
+                "min_container_gb must be > 0, got "
+                f"{self.min_container_gb}"
+            )
+        if self.max_container_gb < self.min_container_gb:
+            raise ResourceError(
+                "max_container_gb must be >= min_container_gb "
+                f"({self.max_container_gb} < {self.min_container_gb})"
+            )
+        if self.container_step < 1:
+            raise ResourceError(
+                f"container_step must be >= 1, got {self.container_step}"
+            )
+        if self.container_gb_step <= 0:
+            raise ResourceError(
+                "container_gb_step must be > 0, got "
+                f"{self.container_gb_step}"
+            )
+
+    @property
+    def dimensions(self) -> Tuple[ResourceDimension, ResourceDimension]:
+        """The two resource axes in Algorithm 1 order."""
+        return (
+            ResourceDimension(
+                name="num_containers",
+                minimum=float(self.min_containers),
+                maximum=float(self.max_containers),
+                step=float(self.container_step),
+            ),
+            ResourceDimension(
+                name="container_gb",
+                minimum=self.min_container_gb,
+                maximum=self.max_container_gb,
+                step=self.container_gb_step,
+            ),
+        )
+
+    @property
+    def step_sizes(self) -> Tuple[float, float]:
+        """``GetDiscreteSteps(clusterCond)`` from Algorithm 1."""
+        return (float(self.container_step), self.container_gb_step)
+
+    @property
+    def minimum_configuration(self) -> ResourceConfiguration:
+        """Smallest allocatable configuration; hill climbing starts here."""
+        return ResourceConfiguration(
+            num_containers=self.min_containers,
+            container_gb=self.min_container_gb,
+        )
+
+    @property
+    def maximum_configuration(self) -> ResourceConfiguration:
+        """Largest allocatable configuration."""
+        return ResourceConfiguration(
+            num_containers=self.max_containers,
+            container_gb=self.max_container_gb,
+        )
+
+    @property
+    def grid_size(self) -> int:
+        """Total number of discrete resource configurations."""
+        dims = self.dimensions
+        return dims[0].num_values * dims[1].num_values
+
+    def contains(self, config: ResourceConfiguration) -> bool:
+        """True when ``config`` lies within the envelope."""
+        dims = self.dimensions
+        return dims[0].contains(float(config.num_containers)) and dims[
+            1
+        ].contains(config.container_gb)
+
+    def clamp(self, config: ResourceConfiguration) -> ResourceConfiguration:
+        """Clip a configuration into the envelope."""
+        dims = self.dimensions
+        return ResourceConfiguration(
+            num_containers=int(dims[0].clamp(float(config.num_containers))),
+            container_gb=dims[1].clamp(config.container_gb),
+        )
+
+    def iter_configurations(self) -> Iterator[ResourceConfiguration]:
+        """Enumerate the full discrete grid (brute-force search space)."""
+        dims = self.dimensions
+        for count, size in itertools.product(
+            dims[0].values(), dims[1].values()
+        ):
+            yield ResourceConfiguration(
+                num_containers=int(count), container_gb=size
+            )
+
+    def scaled(
+        self, max_containers: int, max_container_gb: float
+    ) -> "ClusterConditions":
+        """A copy with different maxima (for the Fig 15(b) scaling sweep)."""
+        return ClusterConditions(
+            max_containers=max_containers,
+            max_container_gb=max_container_gb,
+            min_containers=self.min_containers,
+            min_container_gb=self.min_container_gb,
+            container_step=self.container_step,
+            container_gb_step=self.container_gb_step,
+        )

@@ -1,0 +1,168 @@
+"""The optimizer <-> resource manager interface (paper Sec VIII).
+
+"It is crucial to define the right interface for the optimizer to talk to
+the RM: a restricted API gives less opportunities for optimizations,
+while, at the other extreme, exposing all the RM details to the optimizer
+raises security concerns, especially in a public cloud environment."
+
+This module models that spectrum as *exposure levels*. The RM holds the
+ground-truth cluster state; an :class:`RmClient` at a given exposure level
+answers the optimizer's "what can I plan against?" question with more or
+less fidelity:
+
+- ``NONE``       -- static configured defaults only (today's practice);
+- ``QUOTA``      -- the tenant's quota envelope, no live utilisation;
+- ``AGGREGATE``  -- quota clipped by live aggregate free capacity;
+- ``FULL``       -- the exact free envelope, as a co-designed RM would
+  expose to a trusted optimizer.
+
+The returned :class:`ClusterSnapshot` carries a staleness stamp so
+adaptive RAQO can decide whether to re-consult the RM before execution.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cluster.cluster import ClusterConditions
+from repro.cluster.containers import ResourceError
+
+
+class ExposureLevel(enum.Enum):
+    """How much cluster state the RM reveals to the optimizer."""
+
+    NONE = "none"
+    QUOTA = "quota"
+    AGGREGATE = "aggregate"
+    FULL = "full"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class ClusterSnapshot:
+    """What the optimizer learned from the RM, and when."""
+
+    conditions: ClusterConditions
+    exposure: ExposureLevel
+    taken_at_s: float
+
+    def age_s(self, now_s: float) -> float:
+        """Snapshot staleness at time ``now_s``."""
+        if now_s < self.taken_at_s:
+            raise ResourceError(
+                f"now_s {now_s} precedes snapshot time {self.taken_at_s}"
+            )
+        return now_s - self.taken_at_s
+
+
+@dataclass
+class RmState:
+    """Ground-truth cluster state held by the resource manager."""
+
+    total: ClusterConditions
+    #: Fraction of container slots currently free (0..1).
+    free_fraction: float = 1.0
+    #: Largest currently free container size in GB.
+    free_container_gb: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.free_fraction <= 1.0:
+            raise ResourceError(
+                f"free_fraction must be in [0, 1], got "
+                f"{self.free_fraction}"
+            )
+        if self.free_container_gb is None:
+            self.free_container_gb = self.total.max_container_gb
+        if not (
+            self.total.min_container_gb
+            <= self.free_container_gb
+            <= self.total.max_container_gb
+        ):
+            raise ResourceError(
+                "free_container_gb outside the cluster's size range"
+            )
+
+
+class RmClient:
+    """The optimizer's handle on the RM at a fixed exposure level."""
+
+    def __init__(
+        self,
+        state: RmState,
+        exposure: ExposureLevel,
+        quota: Optional[ClusterConditions] = None,
+        static_default: Optional[ClusterConditions] = None,
+    ) -> None:
+        self._state = state
+        self.exposure = exposure
+        self._quota = quota or state.total
+        self._static_default = static_default or ClusterConditions(
+            max_containers=min(10, state.total.max_containers),
+            max_container_gb=min(4.0, state.total.max_container_gb),
+            min_containers=state.total.min_containers,
+            min_container_gb=state.total.min_container_gb,
+            container_step=state.total.container_step,
+            container_gb_step=state.total.container_gb_step,
+        )
+
+    def snapshot(self, now_s: float = 0.0) -> ClusterSnapshot:
+        """The conditions the optimizer may plan against, right now."""
+        if self.exposure is ExposureLevel.NONE:
+            conditions = self._static_default
+        elif self.exposure is ExposureLevel.QUOTA:
+            conditions = self._quota
+        else:
+            free_containers = max(
+                self._state.total.min_containers,
+                int(
+                    self._state.total.max_containers
+                    * self._state.free_fraction
+                ),
+            )
+            max_containers = min(
+                free_containers, self._quota.max_containers
+            )
+            if self.exposure is ExposureLevel.FULL:
+                max_gb = min(
+                    self._state.free_container_gb,
+                    self._quota.max_container_gb,
+                )
+            else:  # AGGREGATE: live counts, but not per-node detail.
+                max_gb = self._quota.max_container_gb
+            conditions = ClusterConditions(
+                max_containers=max(
+                    max_containers, self._state.total.min_containers
+                ),
+                max_container_gb=max(
+                    max_gb, self._state.total.min_container_gb
+                ),
+                min_containers=self._state.total.min_containers,
+                min_container_gb=self._state.total.min_container_gb,
+                container_step=self._state.total.container_step,
+                container_gb_step=self._state.total.container_gb_step,
+            )
+        return ClusterSnapshot(
+            conditions=conditions,
+            exposure=self.exposure,
+            taken_at_s=now_s,
+        )
+
+    def update(
+        self,
+        free_fraction: Optional[float] = None,
+        free_container_gb: Optional[float] = None,
+    ) -> None:
+        """The RM's state changed (load spike, nodes added/removed)."""
+        if free_fraction is not None:
+            if not 0.0 <= free_fraction <= 1.0:
+                raise ResourceError(
+                    "free_fraction must be in [0, 1], got "
+                    f"{free_fraction}"
+                )
+            self._state.free_fraction = free_fraction
+        if free_container_gb is not None:
+            self._state.free_container_gb = free_container_gb

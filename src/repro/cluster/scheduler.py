@@ -1,0 +1,230 @@
+"""DAG scheduler interaction with joint query/resource plans (Sec VIII).
+
+"With RAQO, the submitted jobs now have precise resource requests. This
+raises new questions for the scheduler in case the exact resources are
+not available: should it delay the job, should it fail it, or should it
+consider multiple query/resource plan alternatives and pick the most
+appropriate at runtime?"
+
+This module implements those three policies over the queueing resource
+manager substrate:
+
+- ``DELAY``    -- wait until the requested envelope frees up;
+- ``FAIL``     -- reject the job if its plan does not fit right now;
+- ``FALLBACK`` -- walk a list of (plan, resources) alternatives (e.g. a
+  Pareto frontier from the FastRandomized planner) and run the best
+  alternative that fits the currently free capacity.
+
+The scheduler operates on a job's *peak* per-operator resource demand:
+operators execute sequentially at shuffle boundaries, so a joint plan's
+reservation is the maximum over its operators.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.cluster.containers import ResourceConfiguration
+from repro.planner.cost_interface import Cost
+from repro.planner.plan import PlanNode
+
+
+class SchedulingPolicy(enum.Enum):
+    """What to do when a joint plan's resources are unavailable."""
+
+    DELAY = "delay"
+    FAIL = "fail"
+    FALLBACK = "fallback"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class SchedulingError(Exception):
+    """Raised for malformed scheduling requests."""
+
+
+@dataclass(frozen=True)
+class JointPlanRequest:
+    """A joint query/resource plan submitted for execution."""
+
+    plan: PlanNode
+    cost: Cost
+
+    def peak_demand(self) -> ResourceConfiguration:
+        """The largest per-operator reservation in the plan.
+
+        Raises :class:`SchedulingError` when any operator lacks a
+        resource annotation (a two-step plan cannot be gang-scheduled
+        precisely -- that is the paper's point).
+        """
+        peak: Optional[ResourceConfiguration] = None
+        for join in self.plan.joins_postorder():
+            if join.resources is None:
+                raise SchedulingError(
+                    "joint plan has an operator without resources "
+                    f"(over {sorted(join.tables)})"
+                )
+            if (
+                peak is None
+                or join.resources.total_memory_gb > peak.total_memory_gb
+            ):
+                peak = join.resources
+        if peak is None:
+            raise SchedulingError("plan has no join operators")
+        return peak
+
+
+@dataclass(frozen=True)
+class SchedulingDecision:
+    """The scheduler's verdict for one submission."""
+
+    policy: SchedulingPolicy
+    admitted: bool
+    chosen: Optional[JointPlanRequest]
+    #: Estimated wait before the chosen plan can start (0 on admit-now).
+    expected_wait_s: float
+    #: Index of the chosen alternative (0 = the preferred plan).
+    alternative_index: Optional[int] = None
+
+    @property
+    def ran_fallback(self) -> bool:
+        """True when a non-preferred alternative was chosen."""
+        return (
+            self.alternative_index is not None
+            and self.alternative_index > 0
+        )
+
+
+class DagScheduler:
+    """Admission control for joint plans against current free capacity.
+
+    ``free_gb`` is the capacity the RM reports available right now;
+    ``drain_rate_gb_s`` (capacity freed per second, from recent history)
+    turns a deficit into an expected wait for the DELAY policy.
+    """
+
+    def __init__(
+        self,
+        capacity_gb: float,
+        free_gb: Optional[float] = None,
+        drain_rate_gb_s: float = 1.0,
+    ) -> None:
+        if capacity_gb <= 0:
+            raise SchedulingError(
+                f"capacity_gb must be > 0, got {capacity_gb}"
+            )
+        if free_gb is None:
+            free_gb = capacity_gb
+        if not 0 <= free_gb <= capacity_gb:
+            raise SchedulingError(
+                f"free_gb must be within [0, {capacity_gb}], got {free_gb}"
+            )
+        if drain_rate_gb_s <= 0:
+            raise SchedulingError(
+                f"drain_rate_gb_s must be > 0, got {drain_rate_gb_s}"
+            )
+        self.capacity_gb = capacity_gb
+        self.free_gb = free_gb
+        self.drain_rate_gb_s = drain_rate_gb_s
+
+    def fits_now(self, request: JointPlanRequest) -> bool:
+        """True when the plan's peak demand fits the free capacity."""
+        return request.peak_demand().total_memory_gb <= self.free_gb
+
+    def expected_wait_s(self, request: JointPlanRequest) -> float:
+        """Estimated queueing delay until the plan's demand frees up."""
+        deficit = (
+            request.peak_demand().total_memory_gb - self.free_gb
+        )
+        if deficit <= 0:
+            return 0.0
+        if (
+            request.peak_demand().total_memory_gb
+            > self.capacity_gb
+        ):
+            return math.inf
+        return deficit / self.drain_rate_gb_s
+
+    def schedule(
+        self,
+        alternatives: Sequence[JointPlanRequest],
+        policy: SchedulingPolicy = SchedulingPolicy.FALLBACK,
+    ) -> SchedulingDecision:
+        """Decide what to run, per the requested policy.
+
+        ``alternatives`` are ordered by preference (best plan first);
+        DELAY and FAIL consider only the first.
+        """
+        if not alternatives:
+            raise SchedulingError("no plan alternatives submitted")
+        preferred = alternatives[0]
+
+        if policy is SchedulingPolicy.FAIL:
+            admitted = self.fits_now(preferred)
+            return SchedulingDecision(
+                policy=policy,
+                admitted=admitted,
+                chosen=preferred if admitted else None,
+                expected_wait_s=0.0,
+                alternative_index=0 if admitted else None,
+            )
+
+        if policy is SchedulingPolicy.DELAY:
+            wait = self.expected_wait_s(preferred)
+            return SchedulingDecision(
+                policy=policy,
+                admitted=math.isfinite(wait),
+                chosen=preferred if math.isfinite(wait) else None,
+                expected_wait_s=wait,
+                alternative_index=0 if math.isfinite(wait) else None,
+            )
+
+        # FALLBACK: the best alternative that fits now; if none fits,
+        # delay on whichever alternative frees up fastest.
+        for index, candidate in enumerate(alternatives):
+            if self.fits_now(candidate):
+                return SchedulingDecision(
+                    policy=policy,
+                    admitted=True,
+                    chosen=candidate,
+                    expected_wait_s=0.0,
+                    alternative_index=index,
+                )
+        waits = [
+            (self.expected_wait_s(candidate), index)
+            for index, candidate in enumerate(alternatives)
+        ]
+        best_wait, best_index = min(waits)
+        if not math.isfinite(best_wait):
+            return SchedulingDecision(
+                policy=policy,
+                admitted=False,
+                chosen=None,
+                expected_wait_s=math.inf,
+                alternative_index=None,
+            )
+        return SchedulingDecision(
+            policy=policy,
+            admitted=True,
+            chosen=alternatives[best_index],
+            expected_wait_s=best_wait,
+            alternative_index=best_index,
+        )
+
+
+def frontier_to_alternatives(
+    frontier: Sequence[Tuple[PlanNode, Cost]],
+) -> List[JointPlanRequest]:
+    """Turn a Pareto frontier into a preference-ordered alternative list.
+
+    Ordered by execution time (the frontier's natural order), so the
+    scheduler falls back from fastest to cheapest.
+    """
+    return [
+        JointPlanRequest(plan=plan, cost=cost)
+        for plan, cost in frontier
+    ]

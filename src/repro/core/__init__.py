@@ -1,0 +1,57 @@
+"""RAQO: the paper's contribution -- joint resource and query optimization.
+
+- :mod:`repro.core.cost_model` -- learned per-operator cost models
+  ``f(data, resources) -> cost`` (Sec VI-A), plus a simulator-backed
+  oracle model.
+- :mod:`repro.core.paper_models` -- the exact regression coefficient
+  vectors published in the paper.
+- :mod:`repro.core.resource_planner` -- brute-force and hill-climbing
+  resource planning (Sec VI-B, Algorithm 1).
+- :mod:`repro.core.plan_cache` -- the resource plan cache with exact,
+  nearest-neighbour, and weighted-average lookup (Sec VI-B3).
+- :mod:`repro.core.raqo` -- the joint planner: plugs resource planning
+  into the ``getPlanCost`` seam of the Selinger and FastRandomized
+  planners (Sec VI-C), plus the plain two-step baseline.
+- :mod:`repro.core.decision_tree` -- a from-scratch CART (gini)
+  classifier (the paper used scikit-learn's).
+- :mod:`repro.core.switch_points` / :mod:`repro.core.rules` -- rule-based
+  RAQO: switch-point extraction and resource-aware decision trees
+  (Sec V).
+- :mod:`repro.core.monetary` -- monetary switch-point analysis (Sec
+  III-C).
+- :mod:`repro.core.use_cases` -- the four RAQO operating modes of Sec IV.
+"""
+
+from repro.core.cost_model import (
+    CostModelSuite,
+    OperatorCostModel,
+    SimulatorCostModel,
+)
+from repro.core.explain import explain
+from repro.core.plan_cache import LookupMode, ResourcePlanCache
+from repro.core.price_performance import price_performance_curve
+from repro.core.raqo import QueryOptimizerCoster, RaqoCoster, RaqoPlanner
+from repro.core.resource_planner import (
+    brute_force_resource_plan,
+    hill_climb_resource_plan,
+)
+from repro.core.robustness import RobustnessCriterion, robust_plan
+from repro.core.whatif import what_if
+
+__all__ = [
+    "CostModelSuite",
+    "LookupMode",
+    "OperatorCostModel",
+    "QueryOptimizerCoster",
+    "RaqoCoster",
+    "RaqoPlanner",
+    "ResourcePlanCache",
+    "RobustnessCriterion",
+    "SimulatorCostModel",
+    "brute_force_resource_plan",
+    "explain",
+    "hill_climb_resource_plan",
+    "price_performance_curve",
+    "robust_plan",
+    "what_if",
+]

@@ -1,0 +1,349 @@
+"""Learned operator cost models: ``f(data, resources) -> cost``.
+
+Sec VI-A: "we perform a regression analysis to learn the query costs as a
+function of the input data and resources ... we trained linear regression
+models for SMJ and BHJ using smaller input size (ss), container size (cs),
+and the number of containers (nc) as features. We further augmented the
+feature set with the following non-linear functions: ss^2, cs^2, nc^2, and
+(cs*nc)."
+
+Two feature maps are provided:
+
+- ``PAPER_FEATURES`` -- exactly the paper's seven-feature vector
+  ``[ss, ss^2, cs, cs^2, nc, nc^2, cs*nc]``. Faithful, but blind to the
+  larger input's size (the paper profiled a single query where the large
+  side was fixed).
+- ``EXTENDED_FEATURES`` -- adds the larger input size and the dominant
+  reciprocal-parallelism interactions (``ls, ls/nc, ss/nc, ss*nc``),
+  which a planner costing *different* joins of a query needs. This is
+  the default for the planning experiments and is documented as a
+  necessary generalisation in EXPERIMENTS.md.
+
+Models are ordinary least squares (the paper used sklearn's
+``LinearRegression``; numpy's ``lstsq`` is the same estimator).
+:class:`SimulatorCostModel` provides an oracle with the same interface,
+backed directly by the engine simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.containers import ResourceConfiguration
+from repro.engine.joins import JoinAlgorithm, join_execution
+from repro.engine.profiler import ProfileSample
+from repro.engine.profiles import EngineProfile
+
+#: Predictions are clipped below this floor: a linear model extrapolating
+#: far from its training grid can go negative, which would break planners.
+MIN_PREDICTED_TIME_S = 1e-3
+
+
+@dataclass(frozen=True)
+class FeatureMap:
+    """A named feature transform over (ss, ls, cs, nc)."""
+
+    name: str
+    feature_names: Tuple[str, ...]
+    transform: Callable[[float, float, float, float], Tuple[float, ...]]
+
+    def __call__(
+        self, small_gb: float, large_gb: float, config: ResourceConfiguration
+    ) -> np.ndarray:
+        values = self.transform(
+            small_gb,
+            large_gb,
+            config.container_gb,
+            float(config.num_containers),
+        )
+        return np.asarray(values, dtype=float)
+
+    def __len__(self) -> int:
+        return len(self.feature_names)
+
+
+def _paper_transform(
+    ss: float, ls: float, cs: float, nc: float
+) -> Tuple[float, ...]:
+    return (ss, ss * ss, cs, cs * cs, nc, nc * nc, cs * nc)
+
+
+def _extended_transform(
+    ss: float, ls: float, cs: float, nc: float
+) -> Tuple[float, ...]:
+    return (
+        ss,
+        ss * ss,
+        cs,
+        cs * cs,
+        nc,
+        nc * nc,
+        cs * nc,
+        ls,
+        ls / nc,
+        ss / nc,
+        ss * nc,
+    )
+
+
+#: The paper's exact feature vector (Sec VI-A).
+PAPER_FEATURES = FeatureMap(
+    name="paper7",
+    feature_names=("ss", "ss^2", "cs", "cs^2", "nc", "nc^2", "cs*nc"),
+    transform=_paper_transform,
+)
+
+#: Generalised features for planning arbitrary joins (see module doc).
+EXTENDED_FEATURES = FeatureMap(
+    name="extended",
+    feature_names=(
+        "ss",
+        "ss^2",
+        "cs",
+        "cs^2",
+        "nc",
+        "nc^2",
+        "cs*nc",
+        "ls",
+        "ls/nc",
+        "ss/nc",
+        "ss*nc",
+    ),
+    transform=_extended_transform,
+)
+
+
+@dataclass(frozen=True)
+class OperatorCostModel:
+    """A fitted linear model predicting one operator's execution time."""
+
+    algorithm: JoinAlgorithm
+    feature_map: FeatureMap
+    coefficients: Tuple[float, ...]
+    intercept: float
+
+    def __post_init__(self) -> None:
+        if len(self.coefficients) != len(self.feature_map):
+            raise ValueError(
+                f"{self.algorithm} model: expected "
+                f"{len(self.feature_map)} coefficients, got "
+                f"{len(self.coefficients)}"
+            )
+
+    def predict(
+        self,
+        small_gb: float,
+        large_gb: float,
+        config: ResourceConfiguration,
+    ) -> float:
+        """Predicted execution time in seconds (clipped positive).
+
+        Non-finite predictions (overflowing extrapolations, corrupted
+        coefficients) surface as infinity, which planners already treat
+        as "infeasible" -- they must never be silently compared as NaN.
+        """
+        features = self.feature_map(small_gb, large_gb, config)
+        raw = self.intercept + float(
+            np.dot(features, np.asarray(self.coefficients))
+        )
+        if math.isnan(raw):
+            return math.inf
+        return max(raw, MIN_PREDICTED_TIME_S)
+
+    @classmethod
+    def fit(
+        cls,
+        algorithm: JoinAlgorithm,
+        samples: Sequence[ProfileSample],
+        feature_map: FeatureMap = EXTENDED_FEATURES,
+    ) -> "OperatorCostModel":
+        """Ordinary least squares over feasible profile runs."""
+        usable = [
+            s for s in samples if s.algorithm is algorithm and s.feasible
+        ]
+        if len(usable) < len(feature_map) + 1:
+            raise ValueError(
+                f"need at least {len(feature_map) + 1} samples to fit "
+                f"the {algorithm} model, got {len(usable)}"
+            )
+        rows = []
+        targets = []
+        for sample in usable:
+            config = ResourceConfiguration(
+                num_containers=sample.num_containers,
+                container_gb=sample.container_gb,
+            )
+            features = feature_map(sample.small_gb, sample.large_gb, config)
+            rows.append(np.concatenate(([1.0], features)))
+            targets.append(sample.time_s)
+        design = np.vstack(rows)
+        y = np.asarray(targets)
+        solution, *_ = np.linalg.lstsq(design, y, rcond=None)
+        return cls(
+            algorithm=algorithm,
+            feature_map=feature_map,
+            coefficients=tuple(float(c) for c in solution[1:]),
+            intercept=float(solution[0]),
+        )
+
+    def r_squared(self, samples: Sequence[ProfileSample]) -> float:
+        """Coefficient of determination on a sample set."""
+        usable = [
+            s
+            for s in samples
+            if s.algorithm is self.algorithm and s.feasible
+        ]
+        if not usable:
+            raise ValueError("no usable samples")
+        predictions = []
+        actuals = []
+        for sample in usable:
+            config = ResourceConfiguration(
+                num_containers=sample.num_containers,
+                container_gb=sample.container_gb,
+            )
+            predictions.append(
+                self.predict(sample.small_gb, sample.large_gb, config)
+            )
+            actuals.append(sample.time_s)
+        predicted = np.asarray(predictions)
+        actual = np.asarray(actuals)
+        residual = float(np.sum((actual - predicted) ** 2))
+        total = float(np.sum((actual - actual.mean()) ** 2))
+        if total == 0:
+            return 1.0 if residual == 0 else 0.0
+        return 1.0 - residual / total
+
+
+class JoinCostEstimator:
+    """Interface shared by learned suites and the simulator oracle."""
+
+    #: BHJ is infeasible when ss exceeds this fraction of the container.
+    hash_memory_fraction: float
+
+    def predict_time(
+        self,
+        algorithm: JoinAlgorithm,
+        small_gb: float,
+        large_gb: float,
+        config: ResourceConfiguration,
+    ) -> float:
+        """Predicted execution time; ``inf`` when infeasible."""
+        raise NotImplementedError
+
+    def bhj_feasible(
+        self, small_gb: float, config: ResourceConfiguration
+    ) -> bool:
+        """The broadcast-fits-in-memory wall (Sec VIII: "a broadcast join
+        requires one relation to fit in memory")."""
+        return small_gb <= self.hash_memory_fraction * config.container_gb
+
+    def model_key(self, algorithm: JoinAlgorithm) -> str:
+        """Stable identifier for resource-plan-cache partitioning."""
+        return f"{type(self).__name__}:{algorithm.value}"
+
+
+class CostModelSuite(JoinCostEstimator):
+    """One learned :class:`OperatorCostModel` per join implementation."""
+
+    def __init__(
+        self,
+        models: Dict[JoinAlgorithm, OperatorCostModel],
+        hash_memory_fraction: float,
+    ) -> None:
+        missing = [a for a in JoinAlgorithm if a not in models]
+        if missing:
+            raise ValueError(f"missing models for {missing}")
+        if hash_memory_fraction <= 0:
+            raise ValueError(
+                "hash_memory_fraction must be > 0, got "
+                f"{hash_memory_fraction}"
+            )
+        self.models = dict(models)
+        self.hash_memory_fraction = hash_memory_fraction
+
+    def predict_time(
+        self,
+        algorithm: JoinAlgorithm,
+        small_gb: float,
+        large_gb: float,
+        config: ResourceConfiguration,
+    ) -> float:
+        if algorithm is JoinAlgorithm.BROADCAST_HASH and not (
+            self.bhj_feasible(small_gb, config)
+        ):
+            return math.inf
+        return self.models[algorithm].predict(small_gb, large_gb, config)
+
+    @classmethod
+    def train(
+        cls,
+        samples: Iterable[ProfileSample],
+        hash_memory_fraction: float,
+        feature_map: FeatureMap = EXTENDED_FEATURES,
+    ) -> "CostModelSuite":
+        """Fit one model per implementation from profile runs."""
+        sample_list = list(samples)
+        models = {
+            algorithm: OperatorCostModel.fit(
+                algorithm, sample_list, feature_map
+            )
+            for algorithm in JoinAlgorithm
+        }
+        return cls(models, hash_memory_fraction)
+
+    @classmethod
+    def train_from_profile(
+        cls,
+        profile: EngineProfile,
+        feature_map: FeatureMap = EXTENDED_FEATURES,
+        large_gb: float = 77.0,
+    ) -> "CostModelSuite":
+        """Profile the engine simulator and fit (the paper's workflow)."""
+        from repro.engine.profiler import default_training_grid
+
+        samples = default_training_grid(profile, large_gb=large_gb)
+        return cls.train(
+            samples, profile.hash_memory_fraction, feature_map
+        )
+
+
+class SimulatorCostModel(JoinCostEstimator):
+    """An oracle estimator backed directly by the engine simulator.
+
+    Useful to separate planner-quality questions from cost-model-quality
+    questions (the paper's Sec VI-A notes model tuning is orthogonal).
+    """
+
+    def __init__(
+        self,
+        profile: EngineProfile,
+        num_reducers: Optional[int] = None,
+    ) -> None:
+        self.profile = profile
+        self.num_reducers = num_reducers
+        self.hash_memory_fraction = profile.hash_memory_fraction
+
+    def predict_time(
+        self,
+        algorithm: JoinAlgorithm,
+        small_gb: float,
+        large_gb: float,
+        config: ResourceConfiguration,
+    ) -> float:
+        execution = join_execution(
+            algorithm,
+            small_gb,
+            large_gb,
+            config,
+            self.profile,
+            num_reducers=self.num_reducers,
+        )
+        return execution.time_s
+
+    def model_key(self, algorithm: JoinAlgorithm) -> str:
+        return f"simulator:{self.profile.name}:{algorithm.value}"

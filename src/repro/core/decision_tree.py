@@ -1,0 +1,274 @@
+"""A from-scratch CART decision-tree classifier (gini impurity).
+
+The paper builds its rule-based RAQO trees with "the decision tree
+classifier from scikit-learn in python over the switch point results"
+(Sec V-B). scikit-learn is not available in this environment, so this is a
+minimal, deterministic CART implementation with the same semantics:
+binary splits on ``feature <= threshold``, chosen to minimise the
+gini-weighted impurity of the children, with thresholds at midpoints of
+consecutive distinct feature values.
+
+:meth:`DecisionTreeClassifier.export_text` renders trees in the style of
+the paper's Figs 10 and 11 (gini, samples, value, class per node).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class DecisionTreeError(Exception):
+    """Raised for invalid training data or an unfitted tree."""
+
+
+@dataclass
+class TreeNode:
+    """One node of a fitted tree (leaf when ``feature`` is None)."""
+
+    gini: float
+    samples: int
+    value: Tuple[int, ...]
+    prediction: int
+    feature: Optional[int] = None
+    threshold: Optional[float] = None
+    left: Optional["TreeNode"] = None
+    right: Optional["TreeNode"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when the node does not split further."""
+        return self.feature is None
+
+    def depth(self) -> int:
+        """Longest root-to-leaf path length below this node."""
+        if self.is_leaf:
+            return 0
+        assert self.left is not None and self.right is not None
+        return 1 + max(self.left.depth(), self.right.depth())
+
+    def num_leaves(self) -> int:
+        """Number of leaves below (and including) this node."""
+        if self.is_leaf:
+            return 1
+        assert self.left is not None and self.right is not None
+        return self.left.num_leaves() + self.right.num_leaves()
+
+
+def gini_impurity(counts: np.ndarray) -> float:
+    """Gini impurity of a class-count vector."""
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    proportions = counts / total
+    return float(1.0 - np.sum(proportions**2))
+
+
+class DecisionTreeClassifier:
+    """CART with gini splits, compatible with the paper's usage."""
+
+    def __init__(
+        self,
+        max_depth: Optional[int] = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+    ) -> None:
+        if max_depth is not None and max_depth < 0:
+            raise DecisionTreeError(
+                f"max_depth must be >= 0, got {max_depth}"
+            )
+        if min_samples_split < 2:
+            raise DecisionTreeError(
+                f"min_samples_split must be >= 2, got {min_samples_split}"
+            )
+        if min_samples_leaf < 1:
+            raise DecisionTreeError(
+                f"min_samples_leaf must be >= 1, got {min_samples_leaf}"
+            )
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.root: Optional[TreeNode] = None
+        self.classes_: Tuple = ()
+        self.n_features_: int = 0
+
+    def fit(
+        self, features: Sequence[Sequence[float]], labels: Sequence
+    ) -> "DecisionTreeClassifier":
+        """Fit the tree; labels may be any hashable values."""
+        X = np.asarray(features, dtype=float)
+        if X.ndim != 2 or X.shape[0] == 0:
+            raise DecisionTreeError(
+                "features must be a non-empty 2-D array"
+            )
+        if len(labels) != X.shape[0]:
+            raise DecisionTreeError(
+                f"got {X.shape[0]} feature rows but {len(labels)} labels"
+            )
+        self.classes_ = tuple(sorted(set(labels), key=str))
+        class_index = {label: i for i, label in enumerate(self.classes_)}
+        y = np.asarray([class_index[label] for label in labels])
+        self.n_features_ = X.shape[1]
+        self.root = self._build(X, y, depth=0)
+        return self
+
+    def _class_counts(self, y: np.ndarray) -> np.ndarray:
+        return np.bincount(y, minlength=len(self.classes_))
+
+    def _build(self, X: np.ndarray, y: np.ndarray, depth: int) -> TreeNode:
+        counts = self._class_counts(y)
+        node = TreeNode(
+            gini=gini_impurity(counts),
+            samples=len(y),
+            value=tuple(int(c) for c in counts),
+            prediction=int(np.argmax(counts)),
+        )
+        if (
+            node.gini == 0.0
+            or len(y) < self.min_samples_split
+            or (self.max_depth is not None and depth >= self.max_depth)
+        ):
+            return node
+        split = self._best_split(X, y)
+        if split is None:
+            return node
+        feature, threshold = split
+        mask = X[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(X[mask], y[mask], depth + 1)
+        node.right = self._build(X[~mask], y[~mask], depth + 1)
+        return node
+
+    def _best_split(
+        self, X: np.ndarray, y: np.ndarray
+    ) -> Optional[Tuple[int, float]]:
+        """The (feature, threshold) minimising weighted child gini.
+
+        Zero-gain splits are admitted (as in sklearn's CART): they are
+        what makes patterns like XOR learnable, and recursion still
+        terminates because every split strictly shrinks both children.
+        """
+        best: Optional[Tuple[int, float]] = None
+        best_score = gini_impurity(self._class_counts(y)) + 1e-12
+        total = len(y)
+        for feature in range(X.shape[1]):
+            order = np.argsort(X[:, feature], kind="stable")
+            values = X[order, feature]
+            sorted_y = y[order]
+            left_counts = np.zeros(len(self.classes_))
+            right_counts = self._class_counts(y).astype(float)
+            for i in range(total - 1):
+                label = sorted_y[i]
+                left_counts[label] += 1
+                right_counts[label] -= 1
+                if values[i] == values[i + 1]:
+                    continue
+                left_n, right_n = i + 1, total - i - 1
+                if (
+                    left_n < self.min_samples_leaf
+                    or right_n < self.min_samples_leaf
+                ):
+                    continue
+                score = (
+                    left_n * gini_impurity(left_counts)
+                    + right_n * gini_impurity(right_counts)
+                ) / total
+                if score < best_score:
+                    best_score = score
+                    threshold = (values[i] + values[i + 1]) / 2.0
+                    best = (feature, threshold)
+        return best
+
+    def _require_fitted(self) -> TreeNode:
+        if self.root is None:
+            raise DecisionTreeError("tree is not fitted")
+        return self.root
+
+    def predict_one(self, features: Sequence[float]):
+        """Predict the class label of one sample."""
+        node = self._require_fitted()
+        row = np.asarray(features, dtype=float)
+        if row.shape != (self.n_features_,):
+            raise DecisionTreeError(
+                f"expected {self.n_features_} features, got {row.shape}"
+            )
+        while not node.is_leaf:
+            assert node.feature is not None
+            assert node.left is not None and node.right is not None
+            node = (
+                node.left
+                if row[node.feature] <= node.threshold
+                else node.right
+            )
+        return self.classes_[node.prediction]
+
+    def predict(self, features: Sequence[Sequence[float]]) -> List:
+        """Predict class labels for many samples."""
+        return [self.predict_one(row) for row in features]
+
+    def accuracy(
+        self, features: Sequence[Sequence[float]], labels: Sequence
+    ) -> float:
+        """Fraction of samples classified correctly."""
+        predictions = self.predict(features)
+        matches = sum(
+            1 for p, t in zip(predictions, labels) if p == t
+        )
+        return matches / len(labels)
+
+    @property
+    def depth(self) -> int:
+        """Depth of the fitted tree."""
+        return self._require_fitted().depth()
+
+    @property
+    def num_leaves(self) -> int:
+        """Leaf count of the fitted tree."""
+        return self._require_fitted().num_leaves()
+
+    def max_path_length(self) -> int:
+        """Longest decision path (the paper reports 6 for Hive, 7 for
+        Spark RAQO trees)."""
+        return self.depth
+
+    def export_text(
+        self,
+        feature_names: Optional[Sequence[str]] = None,
+        class_names: Optional[Sequence[str]] = None,
+    ) -> str:
+        """Render the tree in the style of the paper's Figs 10/11."""
+        root = self._require_fitted()
+        if feature_names is None:
+            feature_names = [
+                f"feature[{i}]" for i in range(self.n_features_)
+            ]
+        if class_names is None:
+            class_names = [str(c) for c in self.classes_]
+        lines: List[str] = []
+
+        def render(node: TreeNode, indent: int, prefix: str) -> None:
+            pad = "  " * indent
+            header = (
+                f"{pad}{prefix}gini={node.gini:.4f} "
+                f"samples={node.samples} value={list(node.value)} "
+                f"class={class_names[node.prediction]}"
+            )
+            if node.is_leaf:
+                lines.append(header)
+                return
+            assert node.feature is not None
+            lines.append(
+                f"{pad}{prefix}{feature_names[node.feature]} <= "
+                f"{node.threshold:.4g} | gini={node.gini:.4f} "
+                f"samples={node.samples} value={list(node.value)} "
+                f"class={class_names[node.prediction]}"
+            )
+            assert node.left is not None and node.right is not None
+            render(node.left, indent + 1, "True: ")
+            render(node.right, indent + 1, "False: ")
+
+        render(root, 0, "")
+        return "\n".join(lines)

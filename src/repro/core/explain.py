@@ -1,0 +1,142 @@
+"""EXPLAIN for joint query/resource plans (paper Sec VIII).
+
+"How will the 'explain' command look in such systems?" -- a RAQO explain
+must justify two decisions per operator: the implementation *and* the
+resources. :func:`explain` renders a joint plan with, per join operator:
+
+- the implementation chosen and the predicted time of the alternative
+  (so the user sees the switch-point margin),
+- the planned resource configuration and its predicted time/dollars,
+- how the configuration compares to running at the cluster minimum and
+  maximum (the resource rationale).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.catalog.queries import Query
+from repro.cluster.containers import ResourceConfiguration
+from repro.core.cost_model import JoinCostEstimator
+from repro.core.raqo import RaqoPlanner
+from repro.engine.joins import JoinAlgorithm
+from repro.planner.cost_interface import PlanningResult
+
+
+@dataclass(frozen=True)
+class OperatorExplanation:
+    """The justification for one join operator's joint decision."""
+
+    tables: Tuple[str, ...]
+    algorithm: JoinAlgorithm
+    resources: Optional[ResourceConfiguration]
+    predicted_time_s: float
+    predicted_dollars: float
+    #: Predicted time of the *other* implementation at the same
+    #: resources (inf when infeasible there).
+    alternative_time_s: float
+    #: Predicted times at the cluster's minimum and maximum envelope.
+    at_minimum_s: float
+    at_maximum_s: float
+
+    @property
+    def alternative_margin(self) -> float:
+        """How much slower the rejected implementation would be."""
+        if not math.isfinite(self.alternative_time_s):
+            return math.inf
+        if self.predicted_time_s == 0:
+            return math.inf
+        return self.alternative_time_s / self.predicted_time_s
+
+
+def explain_plan(
+    result: PlanningResult,
+    model: JoinCostEstimator,
+    planner: RaqoPlanner,
+) -> List[OperatorExplanation]:
+    """Build per-operator explanations for a planning result."""
+    explanations: List[OperatorExplanation] = []
+    cluster = planner.cluster
+    price = planner.price_model
+    for join in result.plan.joins_postorder():
+        small_gb, large_gb = planner.estimator.join_io_gb(
+            join.left.tables, join.right.tables
+        )
+        resources = join.resources or cluster.clamp(
+            ResourceConfiguration(10, 4.0)
+        )
+        time_s = model.predict_time(
+            join.algorithm, small_gb, large_gb, resources
+        )
+        other = (
+            JoinAlgorithm.BROADCAST_HASH
+            if join.algorithm is JoinAlgorithm.SORT_MERGE
+            else JoinAlgorithm.SORT_MERGE
+        )
+        explanations.append(
+            OperatorExplanation(
+                tables=tuple(sorted(join.tables)),
+                algorithm=join.algorithm,
+                resources=join.resources,
+                predicted_time_s=time_s,
+                predicted_dollars=price.cost_of_gb_seconds(
+                    resources.gb_seconds(time_s)
+                )
+                if math.isfinite(time_s)
+                else math.inf,
+                alternative_time_s=model.predict_time(
+                    other, small_gb, large_gb, resources
+                ),
+                at_minimum_s=model.predict_time(
+                    join.algorithm,
+                    small_gb,
+                    large_gb,
+                    cluster.minimum_configuration,
+                ),
+                at_maximum_s=model.predict_time(
+                    join.algorithm,
+                    small_gb,
+                    large_gb,
+                    cluster.maximum_configuration,
+                ),
+            )
+        )
+    return explanations
+
+
+def explain(planner: RaqoPlanner, query: Query) -> str:
+    """Optimize ``query`` and render the full joint-plan explanation."""
+    result = planner.optimize(query)
+    explanations = explain_plan(result, planner.cost_model, planner)
+    lines = [
+        f"EXPLAIN {query.name}: joint query and resource plan",
+        result.plan.explain(),
+        "",
+        f"predicted time {result.cost.time_s:.1f} s, "
+        f"monetary ${result.cost.money:.3f}, "
+        f"planned in {result.wall_time_s * 1000:.1f} ms exploring "
+        f"{result.resource_iterations} resource configurations",
+        "",
+    ]
+    for index, op in enumerate(explanations):
+        margin = (
+            "infeasible"
+            if not math.isfinite(op.alternative_margin)
+            else f"{op.alternative_margin:.2f}x slower"
+        )
+        lines.append(
+            f"operator {index}: {op.algorithm.name} over "
+            f"{', '.join(op.tables)}"
+        )
+        lines.append(
+            f"  resources {op.resources}: {op.predicted_time_s:.1f} s, "
+            f"${op.predicted_dollars:.4f}"
+        )
+        lines.append(f"  alternative implementation: {margin}")
+        lines.append(
+            f"  at cluster min/max: {op.at_minimum_s:.1f} s / "
+            f"{op.at_maximum_s:.1f} s"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,133 @@
+"""Monetary cost analysis of join executions (paper Sec III-C).
+
+Serverless users "only pay for the total container hours consumed": the
+dollar cost of a run is its GB-seconds times the price rate. This module
+evaluates the monetary cost of individual join implementations over the
+resource space, the Fig 6 cost curves and the Fig 7 monetary switch
+points -- which differ from the execution-time switch points, the paper's
+point that "query planning, without planning for resources, could not only
+lead to poorer performance but also higher monetary costs."
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.cluster.containers import ResourceConfiguration
+from repro.cluster.pricing import PriceModel
+from repro.core.switch_points import (
+    SwitchMetric,
+    SwitchPoint,
+    find_switch_point,
+)
+from repro.engine.joins import JoinAlgorithm, join_execution
+from repro.engine.profiles import EngineProfile
+
+
+@dataclass(frozen=True)
+class MonetaryComparison:
+    """Dollar costs of both implementations at one configuration."""
+
+    config: ResourceConfiguration
+    smj_dollars: float
+    bhj_dollars: float
+
+    @property
+    def cheaper(self) -> JoinAlgorithm:
+        """The cost-effective implementation at this point."""
+        if self.bhj_dollars < self.smj_dollars:
+            return JoinAlgorithm.BROADCAST_HASH
+        return JoinAlgorithm.SORT_MERGE
+
+
+def join_dollars(
+    algorithm: JoinAlgorithm,
+    small_gb: float,
+    large_gb: float,
+    config: ResourceConfiguration,
+    profile: EngineProfile,
+    price_model: Optional[PriceModel] = None,
+    num_reducers: Optional[int] = None,
+) -> float:
+    """Dollar cost of one simulated join run (inf when infeasible)."""
+    price_model = price_model or PriceModel()
+    execution = join_execution(
+        algorithm, small_gb, large_gb, config, profile, num_reducers
+    )
+    if not execution.feasible:
+        return math.inf
+    return price_model.cost_of_gb_seconds(
+        config.gb_seconds(execution.time_s)
+    )
+
+
+def compare_monetary(
+    small_gb: float,
+    large_gb: float,
+    config: ResourceConfiguration,
+    profile: EngineProfile,
+    price_model: Optional[PriceModel] = None,
+    num_reducers: Optional[int] = None,
+) -> MonetaryComparison:
+    """Fig 6: both implementations' dollar costs at one point."""
+    return MonetaryComparison(
+        config=config,
+        smj_dollars=join_dollars(
+            JoinAlgorithm.SORT_MERGE,
+            small_gb,
+            large_gb,
+            config,
+            profile,
+            price_model,
+            num_reducers,
+        ),
+        bhj_dollars=join_dollars(
+            JoinAlgorithm.BROADCAST_HASH,
+            small_gb,
+            large_gb,
+            config,
+            profile,
+            price_model,
+            num_reducers,
+        ),
+    )
+
+
+def monetary_cost_curve(
+    small_gb: float,
+    large_gb: float,
+    configs: Sequence[ResourceConfiguration],
+    profile: EngineProfile,
+    price_model: Optional[PriceModel] = None,
+) -> List[MonetaryComparison]:
+    """Fig 6 series: sweep a list of resource configurations."""
+    return [
+        compare_monetary(
+            small_gb, large_gb, config, profile, price_model
+        )
+        for config in configs
+    ]
+
+
+def monetary_switch_point(
+    profile: EngineProfile,
+    large_gb: float,
+    config: ResourceConfiguration,
+    num_reducers: Optional[int] = None,
+    resolution_gb: float = 0.05,
+) -> SwitchPoint:
+    """Fig 7: the data switch point under the monetary metric.
+
+    GB-seconds is proportional to dollars under the linear serverless
+    price model, so the switch location is price-rate independent.
+    """
+    return find_switch_point(
+        profile,
+        large_gb,
+        config,
+        num_reducers=num_reducers,
+        metric=SwitchMetric.MONEY,
+        resolution_gb=resolution_gb,
+    )

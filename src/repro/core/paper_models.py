@@ -1,0 +1,89 @@
+"""The exact regression coefficients published in the paper (Sec VI-A).
+
+"Our regression analysis over the SMJ and BHJ profile runs on Hive yielded
+the following coefficients" -- reproduced verbatim below over the feature
+vector ``[ss, ss^2, cs, cs^2, nc, nc^2, cs*nc]``. The paper prints no
+intercept, so the models are interpreted as intercept-free.
+
+The coefficient *signs* carry the paper's headline observation: "SMJ has
+positive coefficients for container size and negative for the number of
+containers, while it is opposite for BHJ ... SMJ improves more with larger
+parallelism while BHJ improves more with larger container sizes."
+:func:`coefficient_signs_consistent` checks exactly that property and is
+exercised by the test suite, both on these constants and on freshly
+trained models.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.cost_model import (
+    OperatorCostModel,
+    PAPER_FEATURES,
+)
+from repro.engine.joins import JoinAlgorithm
+
+#: Published SMJ coefficients over [ss, ss^2, cs, cs^2, nc, nc^2, cs*nc].
+PAPER_SMJ_COEFFICIENTS: Tuple[float, ...] = (
+    1.62643613e01,
+    9.68774888e-01,
+    1.33866542e-02,
+    1.60639851e-01,
+    -7.82618920e-03,
+    -3.91309460e-01,
+    1.10387975e-01,
+)
+
+#: Published BHJ coefficients over the same feature vector.
+PAPER_BHJ_COEFFICIENTS: Tuple[float, ...] = (
+    1.00739509e04,
+    -6.72184592e02,
+    -1.37392901e01,
+    -1.64871481e02,
+    2.44721676e-02,
+    1.22360838e00,
+    -1.37319484e02,
+)
+
+#: The paper's published SMJ model as a ready-to-use cost model.
+PAPER_SMJ_MODEL = OperatorCostModel(
+    algorithm=JoinAlgorithm.SORT_MERGE,
+    feature_map=PAPER_FEATURES,
+    coefficients=PAPER_SMJ_COEFFICIENTS,
+    intercept=0.0,
+)
+
+#: The paper's published BHJ model as a ready-to-use cost model.
+PAPER_BHJ_MODEL = OperatorCostModel(
+    algorithm=JoinAlgorithm.BROADCAST_HASH,
+    feature_map=PAPER_FEATURES,
+    coefficients=PAPER_BHJ_COEFFICIENTS,
+    intercept=0.0,
+)
+
+
+def coefficient_signs_consistent(
+    smj_coefficients: Tuple[float, ...],
+    bhj_coefficients: Tuple[float, ...],
+) -> bool:
+    """Check the paper's Sec VI-A sign observation on two paper-feature
+    coefficient vectors.
+
+    SMJ must have a non-positive quadratic number-of-containers term
+    (cost falls with parallelism) and a non-negative quadratic container
+    -size term; BHJ must show the opposite signs on the same terms. The
+    quadratic terms dominate the linear ones over the profiled ranges,
+    which is why the paper reads the signs off them.
+    """
+    cs2_index = PAPER_FEATURES.feature_names.index("cs^2")
+    nc2_index = PAPER_FEATURES.feature_names.index("nc^2")
+    smj_ok = (
+        smj_coefficients[cs2_index] >= 0
+        and smj_coefficients[nc2_index] <= 0
+    )
+    bhj_ok = (
+        bhj_coefficients[cs2_index] <= 0
+        and bhj_coefficients[nc2_index] >= 0
+    )
+    return smj_ok and bhj_ok

@@ -1,0 +1,228 @@
+"""The resource plan cache (paper Sec VI-B3).
+
+"For each cost model (e.g., SMJ, BHJ) and sub-plan (e.g., join operator,
+scan operator), we maintain an in-memory index of data characteristic
+keys, each of which point to the best resource configuration for those
+data characteristics ... Our current prototype keeps a sorted array of
+keys, with automatic resizing whenever the array gets full, and we perform
+a binary search for lookup."
+
+Data characteristics are keyed by the operator's smaller input size (the
+same quantity the paper's Fig 14 thresholds range over). Three lookup
+modes are provided, as in the paper:
+
+- ``EXACT`` -- hit only on an exact key match;
+- ``NEAREST`` -- the nearest neighbour within a data-delta threshold;
+- ``WEIGHTED_AVERAGE`` -- the distance-weighted average of all neighbours
+  within the threshold, snapped back onto the cluster's discrete grid.
+"""
+
+from __future__ import annotations
+
+import bisect
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.cluster import ClusterConditions
+from repro.cluster.containers import ResourceConfiguration
+
+
+class LookupMode(enum.Enum):
+    """Cache lookup behaviours (Sec VI-B3)."""
+
+    EXACT = "exact"
+    NEAREST = "nearest_neighbor"
+    WEIGHTED_AVERAGE = "weighted_average"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    inserts: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups served."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups that hit (0 when never used)."""
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+
+class _SortedIndex:
+    """A sorted array of (data_gb, config) with binary-search lookup."""
+
+    def __init__(self) -> None:
+        self._keys: List[float] = []
+        self._configs: List[ResourceConfiguration] = []
+
+    def insert(self, key: float, config: ResourceConfiguration) -> None:
+        position = bisect.bisect_left(self._keys, key)
+        if (
+            position < len(self._keys)
+            and self._keys[position] == key
+        ):
+            self._configs[position] = config
+            return
+        self._keys.insert(position, key)
+        self._configs.insert(position, config)
+
+    def exact(self, key: float) -> Optional[ResourceConfiguration]:
+        position = bisect.bisect_left(self._keys, key)
+        if position < len(self._keys) and self._keys[position] == key:
+            return self._configs[position]
+        return None
+
+    def neighbors_within(
+        self, key: float, threshold: float
+    ) -> List[Tuple[float, ResourceConfiguration]]:
+        """All entries with |entry_key - key| <= threshold, nearest first."""
+        low = bisect.bisect_left(self._keys, key - threshold)
+        high = bisect.bisect_right(self._keys, key + threshold)
+        entries = [
+            (self._keys[i], self._configs[i]) for i in range(low, high)
+        ]
+        entries.sort(key=lambda entry: abs(entry[0] - key))
+        return entries
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+
+class ResourcePlanCache:
+    """Per-(cost model, operator) cached resource configurations."""
+
+    def __init__(
+        self,
+        mode: LookupMode = LookupMode.NEAREST,
+        threshold_gb: float = 0.0,
+    ) -> None:
+        if threshold_gb < 0:
+            raise ValueError(
+                f"threshold_gb must be >= 0, got {threshold_gb}"
+            )
+        self.mode = mode
+        self.threshold_gb = threshold_gb
+        self._indexes: Dict[str, _SortedIndex] = {}
+        self.stats = CacheStats()
+
+    def _index(self, model_key: str) -> _SortedIndex:
+        index = self._indexes.get(model_key)
+        if index is None:
+            index = _SortedIndex()
+            self._indexes[model_key] = index
+        return index
+
+    def lookup(
+        self,
+        model_key: str,
+        data_gb: float,
+        cluster: Optional[ClusterConditions] = None,
+    ) -> Optional[ResourceConfiguration]:
+        """Return a cached configuration for these data characteristics.
+
+        All modes try an exact match first (the paper: "both variants
+        first look for exact match before trying the interpolation").
+        ``cluster`` is used by the weighted-average mode to snap the
+        interpolated configuration back onto the discrete grid, and by
+        all modes to reject cached entries that no longer fit the current
+        cluster conditions.
+        """
+        index = self._index(model_key)
+        result = index.exact(data_gb)
+        if result is None and self.mode is not LookupMode.EXACT:
+            neighbors = index.neighbors_within(
+                data_gb, self.threshold_gb
+            )
+            if neighbors:
+                if self.mode is LookupMode.NEAREST:
+                    result = neighbors[0][1]
+                else:
+                    result = _weighted_average(
+                        data_gb, neighbors, cluster
+                    )
+        if result is not None and cluster is not None:
+            if not cluster.contains(result):
+                result = None
+        if result is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return result
+
+    def insert(
+        self,
+        model_key: str,
+        data_gb: float,
+        config: ResourceConfiguration,
+    ) -> None:
+        """Record the best configuration found for these characteristics."""
+        self._index(model_key).insert(data_gb, config)
+        self.stats.inserts += 1
+
+    def clear(self) -> None:
+        """Drop all cached entries (the paper clears between queries
+        unless testing across-query caching)."""
+        self._indexes.clear()
+
+    def size(self, model_key: Optional[str] = None) -> int:
+        """Number of cached entries (for one model or in total)."""
+        if model_key is not None:
+            return len(self._index(model_key))
+        return sum(len(index) for index in self._indexes.values())
+
+
+def _weighted_average(
+    data_gb: float,
+    neighbors: List[Tuple[float, ResourceConfiguration]],
+    cluster: Optional[ClusterConditions],
+) -> ResourceConfiguration:
+    """Distance-weighted average of neighbouring configurations.
+
+    Weights are inverse distances (an exact-distance neighbour would have
+    been returned by the exact path). The averaged point is rounded to
+    the nearest discrete step and clamped into the cluster envelope.
+    """
+    epsilon = 1e-9
+    total_weight = 0.0
+    containers = 0.0
+    size_gb = 0.0
+    for key, config in neighbors:
+        weight = 1.0 / (abs(key - data_gb) + epsilon)
+        total_weight += weight
+        containers += weight * config.num_containers
+        size_gb += weight * config.container_gb
+    averaged = ResourceConfiguration(
+        num_containers=max(1, int(round(containers / total_weight))),
+        container_gb=max(size_gb / total_weight, 1e-9),
+    )
+    if cluster is None:
+        return averaged
+    # Snap onto the discrete grid.
+    dims = cluster.dimensions
+    count_steps = round(
+        (averaged.num_containers - dims[0].minimum) / dims[0].step
+    )
+    size_steps = round(
+        (averaged.container_gb - dims[1].minimum) / dims[1].step
+    )
+    snapped = ResourceConfiguration(
+        num_containers=max(
+            1, int(dims[0].minimum + count_steps * dims[0].step)
+        ),
+        container_gb=max(
+            dims[1].minimum + size_steps * dims[1].step, 1e-9
+        ),
+    )
+    return cluster.clamp(snapped)

@@ -1,0 +1,143 @@
+"""Price-performance analysis (paper Sec VIII, "RAQO and pricing").
+
+"It would be interesting to see if our findings from RAQO can be used to
+suggest new pricing models for cloud environments." This module derives
+the query-level price-performance frontier RAQO makes computable: for a
+query, the set of (dollars, seconds) operating points reachable by
+varying the joint plan, and the marginal price of speed between adjacent
+points -- the quantity a price-aware user (or a provider designing
+tiers) actually needs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.catalog.queries import Query
+from repro.core.raqo import PlannerKind, RaqoPlanner
+from repro.planner.plan import PlanNode
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One reachable (dollars, seconds) point with its plan."""
+
+    time_s: float
+    dollars: float
+    plan: PlanNode
+
+
+@dataclass(frozen=True)
+class PricePerformanceCurve:
+    """The Pareto frontier of operating points, fastest first."""
+
+    query_name: str
+    points: Tuple[OperatingPoint, ...]
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise ValueError("curve needs at least one point")
+
+    @property
+    def fastest(self) -> OperatingPoint:
+        """The minimum-time operating point."""
+        return self.points[0]
+
+    @property
+    def cheapest(self) -> OperatingPoint:
+        """The minimum-dollar operating point."""
+        return min(self.points, key=lambda p: p.dollars)
+
+    def cheapest_within(self, max_seconds: float) -> Optional[OperatingPoint]:
+        """The cheapest point meeting a latency SLA, or None."""
+        eligible = [p for p in self.points if p.time_s <= max_seconds]
+        if not eligible:
+            return None
+        return min(eligible, key=lambda p: p.dollars)
+
+    def fastest_within(self, max_dollars: float) -> Optional[OperatingPoint]:
+        """The fastest point meeting a price cap, or None."""
+        eligible = [p for p in self.points if p.dollars <= max_dollars]
+        if not eligible:
+            return None
+        return min(eligible, key=lambda p: p.time_s)
+
+    def marginal_prices(self) -> List[Tuple[float, float]]:
+        """(seconds saved, extra dollars) between adjacent points.
+
+        Walking from the cheapest point toward the fastest, each entry
+        is the cost of the next speed-up step -- the "price of speed".
+        """
+        ordered = sorted(self.points, key=lambda p: p.dollars)
+        steps = []
+        for slow, fast in zip(ordered, ordered[1:]):
+            seconds_saved = slow.time_s - fast.time_s
+            extra_dollars = fast.dollars - slow.dollars
+            steps.append((seconds_saved, extra_dollars))
+        return steps
+
+
+def price_performance_curve(
+    planner: RaqoPlanner,
+    query: Query,
+    money_weights: Sequence[float] = (0.0, 0.5, 2.0, 8.0, 32.0, 128.0),
+    iterations: int = 5,
+) -> PricePerformanceCurve:
+    """Trace the query's reachable (dollars, seconds) frontier.
+
+    Runs the multi-objective FastRandomized planner once per money
+    weight (each weight biases the resource planning toward a different
+    part of the trade-off), merges all frontiers, and keeps the Pareto
+    subset.
+    """
+    candidates: List[OperatingPoint] = []
+    for weight_index, weight in enumerate(money_weights):
+        sub_planner = RaqoPlanner(
+            planner.catalog,
+            cluster=planner.cluster,
+            cost_model=planner.cost_model,
+            planner_kind=PlannerKind.FAST_RANDOMIZED,
+            price_model=planner.price_model,
+            money_weight=weight,
+            randomized_iterations=iterations,
+            seed=weight_index,
+        )
+        result = sub_planner.optimize(query)
+        frontier = getattr(
+            result, "frontier", ((result.plan, result.cost),)
+        )
+        for plan, cost in frontier:
+            if cost.is_finite:
+                candidates.append(
+                    OperatingPoint(
+                        time_s=cost.time_s,
+                        dollars=cost.money,
+                        plan=plan,
+                    )
+                )
+    pareto = _pareto_subset(candidates)
+    return PricePerformanceCurve(
+        query_name=query.name, points=tuple(pareto)
+    )
+
+
+def _pareto_subset(
+    candidates: Sequence[OperatingPoint],
+) -> List[OperatingPoint]:
+    """Non-dominated points, sorted fastest first.
+
+    Scanning in (time, dollars) order, every earlier kept point is at
+    least as fast, so a candidate survives exactly when it is strictly
+    cheaper than everything kept so far.
+    """
+    pareto: List[OperatingPoint] = []
+    cheapest_so_far = math.inf
+    for candidate in sorted(
+        candidates, key=lambda p: (p.time_s, p.dollars)
+    ):
+        if candidate.dollars < cheapest_so_far:
+            pareto.append(candidate)
+            cheapest_so_far = candidate.dollars
+    return pareto

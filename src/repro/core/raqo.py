@@ -1,0 +1,386 @@
+"""Cost-based RAQO: resource planning inside the query planner (Sec VI-C).
+
+Two :class:`~repro.planner.cost_interface.PlanCoster` implementations:
+
+- :class:`QueryOptimizerCoster` ("QO") -- the current practice: the query
+  planner costs sub-plans against one fixed resource configuration chosen
+  up front, resources are not part of the search.
+- :class:`RaqoCoster` ("RAQO") -- the paper's approach: every time the
+  query planner asks for a sub-plan cost, the coster first *plans the
+  resources* for that operator (brute force or Algorithm 1 hill climbing,
+  with an optional resource plan cache) and returns the cost at the chosen
+  configuration, annotating the join with it.
+
+:class:`RaqoPlanner` is the user-facing facade wiring a catalog, cluster
+conditions, a cost model, a query planner (Selinger or FastRandomized) and
+a coster together, including the adaptive re-planning flow of Sec IV
+("if the cluster conditions change ... the runtime can further adjust the
+query/resource plan by consulting the optimizer").
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Tuple, Union
+
+from repro.catalog.queries import Query
+from repro.catalog.schema import Catalog
+from repro.catalog.statistics import StatisticsEstimator
+from repro.cluster.cluster import ClusterConditions
+from repro.cluster.containers import ResourceConfiguration
+from repro.cluster.pricing import PriceModel
+from repro.core.cost_model import (
+    CostModelSuite,
+    EXTENDED_FEATURES,
+    JoinCostEstimator,
+    SimulatorCostModel,
+)
+from repro.core.plan_cache import LookupMode, ResourcePlanCache
+from repro.core.resource_planner import (
+    ResourcePlanOutcome,
+    brute_force_resource_plan,
+    feasible_bhj_start,
+    hill_climb_resource_plan,
+)
+from repro.engine.profiles import EngineProfile, HIVE_PROFILE
+from repro.engine.joins import JoinAlgorithm
+from repro.planner.cost_interface import (
+    Cost,
+    INFEASIBLE_COST,
+    PlanningContext,
+    PlanningResult,
+)
+from repro.planner.randomized import FastRandomizedPlanner
+from repro.planner.selinger import SelingerPlanner
+
+#: The fixed configuration the two-step baseline costs plans against
+#: (a typical static Hive deployment default: 10 x 4 GB containers).
+DEFAULT_QO_RESOURCES = ResourceConfiguration(
+    num_containers=10, container_gb=4.0
+)
+
+#: The paper's Sec VII evaluation cluster: 100 containers of up to 10 GB,
+#: discrete steps of 1 on both axes.
+DEFAULT_CLUSTER = ClusterConditions(
+    max_containers=100, max_container_gb=10.0
+)
+
+
+class ResourcePlanningMethod(enum.Enum):
+    """How the RAQO coster searches the resource space."""
+
+    HILL_CLIMB = "hill_climb"
+    BRUTE_FORCE = "brute_force"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class PlannerKind(enum.Enum):
+    """Which query planner drives the join-order search."""
+
+    SELINGER = "selinger"
+    FAST_RANDOMIZED = "fast_randomized"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass
+class QueryOptimizerCoster:
+    """The two-step baseline: cost plans at one fixed configuration."""
+
+    model: JoinCostEstimator
+    default_resources: ResourceConfiguration = DEFAULT_QO_RESOURCES
+    price_model: PriceModel = field(default_factory=PriceModel)
+
+    def join_cost(
+        self,
+        left_tables: FrozenSet[str],
+        right_tables: FrozenSet[str],
+        algorithm: JoinAlgorithm,
+        context: PlanningContext,
+    ) -> Tuple[Cost, Optional[ResourceConfiguration]]:
+        """Cost one join at the fixed default resources."""
+        small_gb, large_gb = context.join_io_gb(left_tables, right_tables)
+        config = context.cluster.clamp(self.default_resources)
+        time_s = self.model.predict_time(
+            algorithm, small_gb, large_gb, config
+        )
+        if not math.isfinite(time_s):
+            return INFEASIBLE_COST, None
+        money = self.price_model.cost_of_gb_seconds(
+            config.gb_seconds(time_s)
+        )
+        # The two-step baseline does not emit per-operator resources;
+        # they are chosen later, outside the optimizer.
+        return Cost(time_s=time_s, money=money), None
+
+
+@dataclass
+class RaqoCoster:
+    """The RAQO coster: ``getPlanCost`` extended with resource planning.
+
+    ``money_weight`` folds monetary cost into the resource-planning
+    objective (multi-objective resource planning); the default optimizes
+    execution time as in the paper's main experiments.
+    """
+
+    model: JoinCostEstimator
+    method: ResourcePlanningMethod = ResourcePlanningMethod.HILL_CLIMB
+    cache: Optional[ResourcePlanCache] = None
+    price_model: PriceModel = field(default_factory=PriceModel)
+    money_weight: float = 0.0
+
+    def join_cost(
+        self,
+        left_tables: FrozenSet[str],
+        right_tables: FrozenSet[str],
+        algorithm: JoinAlgorithm,
+        context: PlanningContext,
+    ) -> Tuple[Cost, Optional[ResourceConfiguration]]:
+        """Plan resources for this operator, then cost it there."""
+        small_gb, large_gb = context.join_io_gb(left_tables, right_tables)
+        config = self._cached_config(
+            algorithm, small_gb, large_gb, context
+        )
+        if config is None:
+            outcome = self._plan_resources(
+                algorithm, small_gb, large_gb, context
+            )
+            if outcome is None or not math.isfinite(outcome.cost):
+                return INFEASIBLE_COST, None
+            config = outcome.config
+            if self.cache is not None:
+                self.cache.insert(
+                    self.model.model_key(algorithm), small_gb, config
+                )
+        time_s = self.model.predict_time(
+            algorithm, small_gb, large_gb, config
+        )
+        if not math.isfinite(time_s):
+            return INFEASIBLE_COST, None
+        money = self.price_model.cost_of_gb_seconds(
+            config.gb_seconds(time_s)
+        )
+        return Cost(time_s=time_s, money=money), config
+
+    def _cached_config(
+        self,
+        algorithm: JoinAlgorithm,
+        small_gb: float,
+        large_gb: float,
+        context: PlanningContext,
+    ) -> Optional[ResourceConfiguration]:
+        """Try the resource plan cache; validates feasibility on hits."""
+        if self.cache is None:
+            return None
+        config = self.cache.lookup(
+            self.model.model_key(algorithm), small_gb, context.cluster
+        )
+        if config is not None and not math.isfinite(
+            self.model.predict_time(algorithm, small_gb, large_gb, config)
+        ):
+            # A neighbour's configuration may violate this operator's
+            # memory wall; fall back to planning.
+            config = None
+        if config is None:
+            context.counters.cache_misses += 1
+        else:
+            context.counters.cache_hits += 1
+        return config
+
+    def _plan_resources(
+        self,
+        algorithm: JoinAlgorithm,
+        small_gb: float,
+        large_gb: float,
+        context: PlanningContext,
+    ) -> Optional[ResourcePlanOutcome]:
+        """Run brute force or Algorithm 1 for one operator."""
+        cluster = context.cluster
+        counters = context.counters
+
+        def objective(config: ResourceConfiguration) -> float:
+            counters.resource_iterations += 1
+            time_s = self.model.predict_time(
+                algorithm, small_gb, large_gb, config
+            )
+            if not math.isfinite(time_s):
+                return math.inf
+            if self.money_weight:
+                money = self.price_model.cost_of_gb_seconds(
+                    config.gb_seconds(time_s)
+                )
+                return time_s + self.money_weight * money
+            return time_s
+
+        start: Optional[ResourceConfiguration] = None
+        if algorithm is JoinAlgorithm.BROADCAST_HASH:
+            start = feasible_bhj_start(
+                small_gb, self.model.hash_memory_fraction, cluster
+            )
+            if start is None:
+                return None
+        if self.method is ResourcePlanningMethod.BRUTE_FORCE:
+            return brute_force_resource_plan(objective, cluster)
+        return hill_climb_resource_plan(objective, cluster, start=start)
+
+
+# Trained default models are expensive to fit; share them per profile.
+_DEFAULT_MODEL_CACHE: Dict[Tuple[str, str], CostModelSuite] = {}
+
+
+def default_cost_model(
+    profile: EngineProfile = HIVE_PROFILE,
+    feature_map=EXTENDED_FEATURES,
+) -> CostModelSuite:
+    """The default learned cost model for an engine profile (memoised)."""
+    key = (profile.name, feature_map.name)
+    suite = _DEFAULT_MODEL_CACHE.get(key)
+    if suite is None:
+        suite = CostModelSuite.train_from_profile(
+            profile, feature_map=feature_map
+        )
+        _DEFAULT_MODEL_CACHE[key] = suite
+    return suite
+
+
+class RaqoPlanner:
+    """The joint Resource-And-Query-Optimization planner facade.
+
+    Wires together a catalog, the current cluster conditions, a cost
+    model, a coster (RAQO or the two-step baseline), and a query planner.
+    ``optimize`` returns a
+    :class:`~repro.planner.cost_interface.PlanningResult` whose plan
+    carries per-operator resource configurations (for RAQO).
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        cluster: ClusterConditions = DEFAULT_CLUSTER,
+        cost_model: Optional[JoinCostEstimator] = None,
+        planner_kind: PlannerKind = PlannerKind.SELINGER,
+        resource_method: ResourcePlanningMethod = (
+            ResourcePlanningMethod.HILL_CLIMB
+        ),
+        cache_mode: Optional[LookupMode] = LookupMode.NEAREST,
+        cache_threshold_gb: float = 0.0,
+        clear_cache_between_queries: bool = True,
+        resource_aware: bool = True,
+        default_resources: ResourceConfiguration = DEFAULT_QO_RESOURCES,
+        price_model: Optional[PriceModel] = None,
+        money_weight: float = 0.0,
+        randomized_iterations: int = 10,
+        seed: int = 0,
+    ) -> None:
+        self.catalog = catalog
+        self.cluster = cluster
+        self.estimator = StatisticsEstimator(catalog)
+        self.cost_model = cost_model or default_cost_model()
+        self.price_model = price_model or PriceModel()
+        self.clear_cache_between_queries = clear_cache_between_queries
+        self.resource_aware = resource_aware
+
+        self.cache: Optional[ResourcePlanCache] = None
+        if resource_aware and cache_mode is not None:
+            self.cache = ResourcePlanCache(
+                mode=cache_mode, threshold_gb=cache_threshold_gb
+            )
+
+        if resource_aware:
+            self.coster: Union[RaqoCoster, QueryOptimizerCoster] = (
+                RaqoCoster(
+                    model=self.cost_model,
+                    method=resource_method,
+                    cache=self.cache,
+                    price_model=self.price_model,
+                    money_weight=money_weight,
+                )
+            )
+        else:
+            self.coster = QueryOptimizerCoster(
+                model=self.cost_model,
+                default_resources=default_resources,
+                price_model=self.price_model,
+            )
+
+        if planner_kind is PlannerKind.SELINGER:
+            self.query_planner = SelingerPlanner(
+                self.coster, money_weight=money_weight
+            )
+        else:
+            self.query_planner = FastRandomizedPlanner(
+                self.coster,
+                iterations=randomized_iterations,
+                money_weight=money_weight,
+                seed=seed,
+            )
+
+    @classmethod
+    def default(cls, catalog: Catalog, **kwargs) -> "RaqoPlanner":
+        """A RAQO planner with the paper's defaults (Selinger + hill
+        climbing + nearest-neighbour cache on the 100 x 10 GB cluster)."""
+        return cls(catalog, **kwargs)
+
+    @classmethod
+    def two_step_baseline(cls, catalog: Catalog, **kwargs) -> "RaqoPlanner":
+        """The current-practice baseline ("QO"): plan first, resources
+        later, at a fixed default configuration."""
+        kwargs.setdefault("resource_aware", False)
+        return cls(catalog, **kwargs)
+
+    def make_context(
+        self,
+        cluster: Optional[ClusterConditions] = None,
+        query: Optional[Query] = None,
+    ) -> PlanningContext:
+        """A fresh planning context against given cluster conditions.
+
+        When ``query`` carries scan filters (the paper's sampling
+        filters), the context's estimator applies them to the base
+        statistics before any join arithmetic.
+        """
+        estimator = self.estimator
+        if query is not None and query.filters:
+            estimator = estimator.with_filters(query.filter_factors)
+        return PlanningContext(
+            estimator=estimator, cluster=cluster or self.cluster
+        )
+
+    def optimize(
+        self,
+        query: Query,
+        context: Optional[PlanningContext] = None,
+    ) -> PlanningResult:
+        """Produce a joint query and resource plan for ``query``."""
+        if (
+            self.cache is not None
+            and self.clear_cache_between_queries
+            and context is None
+        ):
+            self.cache.clear()
+        if context is None:
+            context = self.make_context(query=query)
+        return self.query_planner.plan(query, context)
+
+    def replan(
+        self, query: Query, cluster: ClusterConditions
+    ) -> PlanningResult:
+        """Adaptive RAQO: re-optimize under changed cluster conditions.
+
+        With ``clear_cache_between_queries`` (the default) the resource
+        plan cache is dropped first: configurations planned for a
+        different envelope remain *valid* in a larger one but are no
+        longer optimal there. Planners configured for across-query
+        caching keep the warm cache and accept that trade-off (the
+        paper's Fig 15(b) study).
+        """
+        self.cluster = cluster
+        if self.cache is not None and self.clear_cache_between_queries:
+            self.cache.clear()
+        context = self.make_context(cluster, query=query)
+        return self.query_planner.plan(query, context)

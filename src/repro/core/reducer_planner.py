@@ -1,0 +1,132 @@
+"""Planning the third resource dimension: tasks per DAG vertex.
+
+The paper's resource optimization problem has three knobs (Sec II-B):
+container size, maximum concurrent containers, and "the total number of
+containers per DAG vertex, i.e., the total tasks per vertex" -- the
+reducer count for a shuffle join. The main cost-based pipeline plans the
+first two (the hill-climb dimensions of Algorithm 1); this module plans
+the third, given a chosen configuration: sweep candidate reducer counts
+through the engine simulator and keep the cheapest.
+
+Hive's own heuristic ("automatically determine the number of reducers")
+is the baseline; the planner improves on it exactly where Fig 9's
+<#containers, #reducers> curves diverge.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.cluster.containers import ResourceConfiguration
+from repro.engine.joins import (
+    JoinAlgorithm,
+    default_num_reducers,
+    smj_execution,
+)
+from repro.engine.profiles import EngineProfile
+
+
+@dataclass(frozen=True)
+class ReducerPlan:
+    """The chosen reducer count and its predicted benefit."""
+
+    num_reducers: int
+    time_s: float
+    auto_reducers: int
+    auto_time_s: float
+    candidates_evaluated: int
+
+    @property
+    def improvement_over_auto(self) -> float:
+        """Speedup over the engine's automatic reducer heuristic."""
+        if self.time_s <= 0:
+            return math.inf
+        return self.auto_time_s / self.time_s
+
+
+def candidate_reducer_counts(
+    data_gb: float,
+    config: ResourceConfiguration,
+    profile: EngineProfile,
+) -> Tuple[int, ...]:
+    """A small, well-spread candidate set around the useful range.
+
+    Includes the automatic choice, multiples of the container count
+    (whole waves), and the coarse landmarks the paper's Fig 9 sweeps.
+    """
+    auto = default_num_reducers(data_gb, profile)
+    nc = config.num_containers
+    candidates = {
+        1,
+        nc,
+        2 * nc,
+        4 * nc,
+        8 * nc,
+        auto,
+        max(1, auto // 2),
+        min(profile.max_reducers, auto * 2),
+        200,
+        1000,
+    }
+    bounded = {
+        min(max(1, candidate), profile.max_reducers)
+        for candidate in candidates
+    }
+    return tuple(sorted(bounded))
+
+
+def plan_reducers(
+    small_gb: float,
+    large_gb: float,
+    config: ResourceConfiguration,
+    profile: EngineProfile,
+    candidates: Optional[Sequence[int]] = None,
+) -> ReducerPlan:
+    """Pick the reducer count minimising the simulated SMJ time.
+
+    Only SMJ has a reduce phase; BHJ callers should not plan reducers
+    (:func:`plan_reducers_for` dispatches accordingly).
+    """
+    data_gb = small_gb + large_gb
+    if candidates is None:
+        candidates = candidate_reducer_counts(data_gb, config, profile)
+    if not candidates:
+        raise ValueError("need at least one reducer candidate")
+    auto = default_num_reducers(data_gb, profile)
+    auto_time = smj_execution(
+        small_gb, large_gb, config, profile, num_reducers=auto
+    ).time_s
+
+    best_count = auto
+    best_time = auto_time
+    evaluated = 0
+    for count in candidates:
+        evaluated += 1
+        time_s = smj_execution(
+            small_gb, large_gb, config, profile, num_reducers=count
+        ).time_s
+        if time_s < best_time:
+            best_time = time_s
+            best_count = count
+    return ReducerPlan(
+        num_reducers=best_count,
+        time_s=best_time,
+        auto_reducers=auto,
+        auto_time_s=auto_time,
+        candidates_evaluated=evaluated,
+    )
+
+
+def plan_reducers_for(
+    algorithm: JoinAlgorithm,
+    small_gb: float,
+    large_gb: float,
+    config: ResourceConfiguration,
+    profile: EngineProfile,
+) -> Optional[ReducerPlan]:
+    """Reducer plan for an operator, or None when it has no reducers."""
+    if algorithm is not JoinAlgorithm.SORT_MERGE:
+        return None
+    return plan_reducers(small_gb, large_gb, config, profile)

@@ -1,0 +1,171 @@
+"""Resource planning: brute force and hill climbing (paper Algorithm 1).
+
+Given a cost function over resource configurations (the learned cost model
+evaluated for one operator's data characteristics), pick the configuration
+with minimal cost inside the current cluster conditions.
+
+- :func:`brute_force_resource_plan` exhaustively scans the discrete grid
+  (Sec VI-B1) -- the baseline whose explored-configuration count Fig 13
+  compares against.
+- :func:`hill_climb_resource_plan` is a faithful implementation of the
+  paper's Algorithm 1: start from the smallest configuration and greedily
+  step forward/backward along each resource dimension until no candidate
+  step improves the cost.
+
+Both report how many resource configurations they explored (cost-function
+evaluations), which is the paper's "#Resource-Iterations" metric.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Set, Tuple
+
+from repro.cluster.cluster import ClusterConditions
+from repro.cluster.containers import ResourceConfiguration
+
+#: A per-operator cost function over resource configurations.
+CostFunction = Callable[[ResourceConfiguration], float]
+
+#: Candidate steps considered along each dimension (Algorithm 1, line 2).
+CANDIDATE_STEPS: Tuple[float, float] = (-1.0, 1.0)
+
+
+class ResourcePlanningError(Exception):
+    """Raised when resource planning cannot produce a configuration."""
+
+
+@dataclass(frozen=True)
+class ResourcePlanOutcome:
+    """The result of one resource-planning call."""
+
+    config: ResourceConfiguration
+    cost: float
+    #: Number of resource configurations whose cost was evaluated.
+    iterations: int
+
+
+def brute_force_resource_plan(
+    cost_fn: CostFunction, cluster: ClusterConditions
+) -> ResourcePlanOutcome:
+    """Exhaustively search the discrete resource grid for the cheapest
+    configuration.
+
+    Ties break toward fewer containers, then smaller containers, so the
+    result is deterministic and favours the cheaper allocation.
+    """
+    best_config: Optional[ResourceConfiguration] = None
+    best_cost = math.inf
+    iterations = 0
+    for config in cluster.iter_configurations():
+        iterations += 1
+        cost = cost_fn(config)
+        if cost < best_cost:
+            best_cost = cost
+            best_config = config
+    if best_config is None:
+        raise ResourcePlanningError("cluster offers no configurations")
+    return ResourcePlanOutcome(
+        config=best_config, cost=best_cost, iterations=iterations
+    )
+
+
+def hill_climb_resource_plan(
+    cost_fn: CostFunction,
+    cluster: ClusterConditions,
+    start: Optional[ResourceConfiguration] = None,
+) -> ResourcePlanOutcome:
+    """The paper's Algorithm 1: greedy per-dimension hill climbing.
+
+    ``start`` defaults to the cluster's minimum configuration ("given
+    that the users want to minimize the resources used ... start from the
+    smallest resource configuration and then climb", Sec VI-B2). Callers
+    planning a BHJ should pass a start that already satisfies the
+    operator's memory wall, otherwise the climb can be stuck at an
+    infinite-cost plateau.
+
+    A visited-set guard terminates the (rare) oscillation the greedy
+    combined-step update can produce; the algorithm otherwise follows the
+    pseudocode line by line.
+    """
+    if start is not None and not cluster.contains(start):
+        raise ResourcePlanningError(
+            f"start {start} lies outside the cluster conditions"
+        )
+    dims = cluster.dimensions
+    steps = cluster.step_sizes  # Algorithm 1 line 1: GetDiscreteSteps
+    current: List[float] = list(
+        (start or cluster.minimum_configuration).as_vector()
+    )
+    iterations = 0
+    visited: Set[Tuple[float, ...]] = set()
+
+    def evaluate(vector: List[float]) -> float:
+        nonlocal iterations
+        iterations += 1
+        return cost_fn(ResourceConfiguration.from_vector(tuple(vector)))
+
+    while True:
+        visited.add(tuple(current))
+        current_cost = evaluate(current)  # line 5
+        best_cost = current_cost  # line 6
+        for dim_index in range(len(dims)):  # line 7
+            best_candidate = -1  # line 8
+            for candidate_index, direction in enumerate(
+                CANDIDATE_STEPS
+            ):  # line 9
+                delta = steps[dim_index] * direction  # line 10
+                moved = current[dim_index] + delta
+                if (
+                    dims[dim_index].minimum
+                    <= moved
+                    <= dims[dim_index].maximum
+                ):  # line 11
+                    current[dim_index] = moved  # line 12
+                    temp = evaluate(current)  # line 13
+                    current[dim_index] -= delta  # line 14
+                    if temp < best_cost:  # line 15
+                        best_cost = temp  # line 16
+                        best_candidate = candidate_index  # line 17
+            if best_candidate != -1:  # line 18
+                current[dim_index] += (
+                    steps[dim_index] * CANDIDATE_STEPS[best_candidate]
+                )  # line 19
+        if best_cost >= current_cost or tuple(current) in visited:
+            # line 20-21: no better neighbour (or an oscillation guard).
+            return ResourcePlanOutcome(
+                config=ResourceConfiguration.from_vector(tuple(current)),
+                cost=best_cost if best_cost < current_cost else current_cost,
+                iterations=iterations,
+            )
+
+
+def feasible_bhj_start(
+    small_gb: float,
+    hash_memory_fraction: float,
+    cluster: ClusterConditions,
+) -> Optional[ResourceConfiguration]:
+    """The smallest configuration whose containers fit a BHJ hash table.
+
+    Returns None when even the largest container cannot hold the
+    broadcast relation (the operator is infeasible on this cluster).
+    """
+    if small_gb < 0:
+        raise ResourcePlanningError(
+            f"small_gb must be >= 0, got {small_gb}"
+        )
+    needed_gb = small_gb / hash_memory_fraction
+    dim = cluster.dimensions[1]
+    if needed_gb > dim.maximum:
+        return None
+    # Round the needed size up to the next discrete step.
+    if needed_gb <= dim.minimum:
+        container_gb = dim.minimum
+    else:
+        steps_up = math.ceil((needed_gb - dim.minimum) / dim.step - 1e-12)
+        container_gb = min(dim.minimum + steps_up * dim.step, dim.maximum)
+    return ResourceConfiguration(
+        num_containers=cluster.min_containers,
+        container_gb=container_gb,
+    )

@@ -1,0 +1,153 @@
+"""Robust plan selection under cluster-condition uncertainty (Sec VIII).
+
+"Alternatively, RAQO could also pick plans that are more resilient to
+changes of cluster condition."
+
+Given a set of cluster-condition *scenarios* (e.g. quiet / busy /
+contended envelopes the RM has reported recently), this module:
+
+1. finds each scenario's optimal joint plan,
+2. re-costs every candidate plan shape under every scenario (resources
+   re-planned per scenario -- plans keep their join order and operator
+   implementations, resources adapt),
+3. picks the plan minimising either the worst-case cost or the maximum
+   regret against the per-scenario optimum.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.catalog.queries import Query
+from repro.cluster.cluster import ClusterConditions
+from repro.core.raqo import RaqoCoster, RaqoPlanner
+from repro.planner.cost_interface import (
+    PlanningContext,
+    get_plan_cost,
+)
+from repro.planner.plan import PlanNode, plan_signature
+
+
+class RobustnessCriterion(enum.Enum):
+    """How to aggregate a plan's costs across scenarios."""
+
+    WORST_CASE = "worst_case"
+    MINMAX_REGRET = "minmax_regret"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class RobustnessError(Exception):
+    """Raised when no robust plan can be produced."""
+
+
+@dataclass(frozen=True)
+class ScenarioCost:
+    """One (plan, scenario) evaluation."""
+
+    scenario_index: int
+    time_s: float
+    optimal_time_s: float
+
+    @property
+    def regret_s(self) -> float:
+        """How much slower than the scenario's optimum this plan is."""
+        return self.time_s - self.optimal_time_s
+
+
+@dataclass(frozen=True)
+class RobustChoice:
+    """The selected plan with its cross-scenario profile."""
+
+    plan: PlanNode
+    criterion: RobustnessCriterion
+    per_scenario: Tuple[ScenarioCost, ...]
+
+    @property
+    def worst_case_s(self) -> float:
+        """Worst execution time across scenarios."""
+        return max(entry.time_s for entry in self.per_scenario)
+
+    @property
+    def max_regret_s(self) -> float:
+        """Largest regret against any scenario's optimum."""
+        return max(entry.regret_s for entry in self.per_scenario)
+
+
+def robust_plan(
+    planner: RaqoPlanner,
+    query: Query,
+    scenarios: Sequence[ClusterConditions],
+    criterion: RobustnessCriterion = RobustnessCriterion.MINMAX_REGRET,
+) -> RobustChoice:
+    """Pick the plan that degrades least across ``scenarios``.
+
+    The candidate pool is the set of per-scenario optimal plans (deduped
+    by structure); resources are re-planned per scenario when costing a
+    candidate elsewhere, so only the plan *shape* is fixed.
+    """
+    if not scenarios:
+        raise RobustnessError("need at least one scenario")
+
+    # 1. Per-scenario optima (also the candidate pool). Robustness
+    # analysis must not leave the planner pointed at the last scenario.
+    original_cluster = planner.cluster
+    optima: List[Tuple[PlanNode, float]] = []
+    candidates: Dict[Tuple, PlanNode] = {}
+    try:
+        for scenario in scenarios:
+            result = planner.replan(query, scenario)
+            optima.append((result.plan, result.cost.time_s))
+            candidates.setdefault(
+                plan_signature(result.plan), result.plan
+            )
+    finally:
+        planner.cluster = original_cluster
+    if not candidates:
+        raise RobustnessError(f"no feasible plan for {query.name!r}")
+
+    # 2. Cross-evaluate every candidate under every scenario.
+    coster = RaqoCoster(
+        model=planner.cost_model,
+        price_model=planner.price_model,
+    )
+    evaluated: List[RobustChoice] = []
+    for plan in candidates.values():
+        per_scenario = []
+        feasible_everywhere = True
+        for index, scenario in enumerate(scenarios):
+            context = PlanningContext(
+                estimator=planner.estimator, cluster=scenario
+            )
+            _, cost = get_plan_cost(plan, coster, context)
+            if not cost.is_finite:
+                feasible_everywhere = False
+                break
+            per_scenario.append(
+                ScenarioCost(
+                    scenario_index=index,
+                    time_s=cost.time_s,
+                    optimal_time_s=optima[index][1],
+                )
+            )
+        if feasible_everywhere:
+            evaluated.append(
+                RobustChoice(
+                    plan=plan,
+                    criterion=criterion,
+                    per_scenario=tuple(per_scenario),
+                )
+            )
+    if not evaluated:
+        raise RobustnessError(
+            f"no candidate plan is feasible under all scenarios for "
+            f"{query.name!r}"
+        )
+
+    # 3. Select by criterion.
+    if criterion is RobustnessCriterion.WORST_CASE:
+        return min(evaluated, key=lambda choice: choice.worst_case_s)
+    return min(evaluated, key=lambda choice: choice.max_regret_s)

@@ -1,0 +1,259 @@
+"""Switch-point extraction over the data-resource space (paper Sec V-A).
+
+A *switch point* is the smaller-relation size at which the best join
+implementation flips from broadcast hash join to sort-merge join for a
+given resource combination. The paper's Fig 9 plots these surfaces for
+Hive and Spark over (container size, number of containers, number of
+reducers); Figs 4 and 7 track individual switch points over data size for
+execution time and monetary cost respectively.
+
+The metric being compared is pluggable: execution time (default) or
+resources consumed (GB-seconds, proportional to serverless dollars), which
+is how the monetary switch points of Sec III-C are produced.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.containers import ResourceConfiguration
+from repro.engine.joins import (
+    JoinAlgorithm,
+    bhj_execution,
+    smj_execution,
+)
+from repro.engine.profiles import EngineProfile
+
+
+class SwitchMetric(enum.Enum):
+    """What the two implementations are compared on."""
+
+    TIME = "time"
+    MONEY = "money"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+def _metric_value(
+    time_s: float, config: ResourceConfiguration, metric: SwitchMetric
+) -> float:
+    if not math.isfinite(time_s):
+        return math.inf
+    if metric is SwitchMetric.TIME:
+        return time_s
+    return config.gb_seconds(time_s)
+
+
+def compare_joins(
+    small_gb: float,
+    large_gb: float,
+    config: ResourceConfiguration,
+    profile: EngineProfile,
+    num_reducers: Optional[int] = None,
+    metric: SwitchMetric = SwitchMetric.TIME,
+) -> JoinAlgorithm:
+    """The better implementation at one point of the space."""
+    smj = smj_execution(
+        small_gb, large_gb, config, profile, num_reducers
+    )
+    bhj = bhj_execution(small_gb, large_gb, config, profile)
+    smj_value = _metric_value(smj.time_s, config, metric)
+    bhj_value = _metric_value(bhj.time_s, config, metric)
+    return (
+        JoinAlgorithm.BROADCAST_HASH
+        if bhj_value < smj_value
+        else JoinAlgorithm.SORT_MERGE
+    )
+
+
+@dataclass(frozen=True)
+class SwitchPoint:
+    """One point of the Fig 9 surface.
+
+    ``switch_gb`` is the smallest smaller-relation size at which SMJ wins
+    (BHJ is preferred strictly below it); ``wall_gb`` is the BHJ OOM
+    feasibility wall for this container size. When BHJ wins everywhere up
+    to the wall, ``switch_gb == wall_gb``.
+    """
+
+    container_gb: float
+    num_containers: int
+    num_reducers: Optional[int]
+    metric: SwitchMetric
+    switch_gb: float
+    wall_gb: float
+
+    @property
+    def bhj_region_gb(self) -> float:
+        """Width of the region where BHJ is the right choice."""
+        return self.switch_gb
+
+
+def find_switch_point(
+    profile: EngineProfile,
+    large_gb: float,
+    config: ResourceConfiguration,
+    num_reducers: Optional[int] = None,
+    metric: SwitchMetric = SwitchMetric.TIME,
+    resolution_gb: float = 0.05,
+) -> SwitchPoint:
+    """Scan the smaller-relation size axis for the BHJ -> SMJ flip."""
+    if resolution_gb <= 0:
+        raise ValueError(
+            f"resolution_gb must be > 0, got {resolution_gb}"
+        )
+    wall_gb = profile.hash_memory_fraction * config.container_gb
+    switch_gb = wall_gb
+    for small_gb in np.arange(resolution_gb, wall_gb, resolution_gb):
+        ss = float(min(small_gb, large_gb))
+        winner = compare_joins(
+            ss, large_gb, config, profile, num_reducers, metric
+        )
+        if winner is JoinAlgorithm.SORT_MERGE:
+            switch_gb = ss
+            break
+    return SwitchPoint(
+        container_gb=config.container_gb,
+        num_containers=config.num_containers,
+        num_reducers=num_reducers,
+        metric=metric,
+        switch_gb=float(switch_gb),
+        wall_gb=float(wall_gb),
+    )
+
+
+def switch_point_surface(
+    profile: EngineProfile,
+    large_gb: float,
+    container_sizes_gb: Sequence[float],
+    container_counts: Sequence[int],
+    reducer_settings: Sequence[Optional[int]] = (None,),
+    metric: SwitchMetric = SwitchMetric.TIME,
+    resolution_gb: float = 0.05,
+) -> List[SwitchPoint]:
+    """The full Fig 9 surface over the resource grid."""
+    points = []
+    for num_reducers in reducer_settings:
+        for num_containers in container_counts:
+            for container_gb in container_sizes_gb:
+                config = ResourceConfiguration(
+                    num_containers=num_containers,
+                    container_gb=container_gb,
+                )
+                points.append(
+                    find_switch_point(
+                        profile,
+                        large_gb,
+                        config,
+                        num_reducers,
+                        metric,
+                        resolution_gb,
+                    )
+                )
+    return points
+
+
+@dataclass(frozen=True)
+class LabeledSample:
+    """One training sample for the rule-based RAQO decision trees.
+
+    Features follow the paper's Fig 11 trees: data size, container size,
+    concurrent containers, and total containers (tasks per vertex, i.e.
+    the reducer count).
+    """
+
+    data_gb: float
+    container_gb: float
+    concurrent_containers: int
+    total_containers: int
+    label: str  # "BHJ" or "SMJ"
+
+    @property
+    def features(self) -> Tuple[float, float, float, float]:
+        """The numeric feature vector in Fig 11 order."""
+        return (
+            self.data_gb,
+            self.container_gb,
+            float(self.concurrent_containers),
+            float(self.total_containers),
+        )
+
+
+#: Feature names used by the decision trees, in `features` order.
+TREE_FEATURE_NAMES = (
+    "Data Size (GB)",
+    "Container Size",
+    "Concurrent Containers",
+    "Total Containers",
+)
+
+
+def labeled_samples(
+    profile: EngineProfile,
+    large_gb: float,
+    data_sizes_gb: Sequence[float],
+    container_sizes_gb: Sequence[float],
+    container_counts: Sequence[int],
+    reducer_settings: Sequence[Optional[int]] = (None,),
+    metric: SwitchMetric = SwitchMetric.TIME,
+) -> List[LabeledSample]:
+    """Grid-label the space with the faster implementation.
+
+    This is the training set the paper feeds the decision-tree classifier
+    ("we ran the decision tree classifier ... over the switch point
+    results ... with two target classes namely SMJ and BHJ").
+    """
+    samples = []
+    for num_reducers in reducer_settings:
+        for num_containers in container_counts:
+            for container_gb in container_sizes_gb:
+                config = ResourceConfiguration(
+                    num_containers=num_containers,
+                    container_gb=container_gb,
+                )
+                for data_gb in data_sizes_gb:
+                    ss = float(min(data_gb, large_gb))
+                    winner = compare_joins(
+                        ss,
+                        large_gb,
+                        config,
+                        profile,
+                        num_reducers,
+                        metric,
+                    )
+                    total = (
+                        num_reducers
+                        if num_reducers is not None
+                        else _auto_total_containers(
+                            ss + large_gb, profile
+                        )
+                    )
+                    samples.append(
+                        LabeledSample(
+                            data_gb=ss,
+                            container_gb=container_gb,
+                            concurrent_containers=num_containers,
+                            total_containers=total,
+                            label=(
+                                "BHJ"
+                                if winner
+                                is JoinAlgorithm.BROADCAST_HASH
+                                else "SMJ"
+                            ),
+                        )
+                    )
+    return samples
+
+
+def _auto_total_containers(
+    data_gb: float, profile: EngineProfile
+) -> int:
+    from repro.engine.joins import default_num_reducers
+
+    return default_num_reducers(data_gb, profile)

@@ -1,0 +1,134 @@
+"""What-if analysis: plan sensitivity to cluster conditions.
+
+A planning-time companion to the robustness module: instead of committing
+to one robust plan, report *how* the optimal joint plan changes across an
+envelope sweep -- which conditions flip operator implementations, where
+join orders change, and how predicted time scales. This is the
+observability surface the paper's "redefining the user's role" discussion
+(Sec VIII) asks for: the control knobs a user still holds are exactly the
+ones this report makes visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.catalog.queries import Query
+from repro.cluster.cluster import ClusterConditions
+from repro.core.raqo import RaqoPlanner
+from repro.engine.joins import JoinAlgorithm
+from repro.planner.plan import PlanNode, join_order, plan_signature
+
+
+@dataclass(frozen=True)
+class WhatIfPoint:
+    """The optimal joint plan under one envelope."""
+
+    cluster: ClusterConditions
+    plan: PlanNode
+    predicted_time_s: float
+    predicted_dollars: float
+
+    @property
+    def algorithms(self) -> Tuple[JoinAlgorithm, ...]:
+        """Operator implementations, bottom-up."""
+        return tuple(
+            join.algorithm for join in self.plan.joins_postorder()
+        )
+
+    @property
+    def order(self) -> Tuple[str, ...]:
+        """The join order (leaf sequence)."""
+        return tuple(join_order(self.plan))
+
+
+@dataclass(frozen=True)
+class WhatIfReport:
+    """Sensitivity of a query's joint plan across envelopes."""
+
+    query_name: str
+    points: Tuple[WhatIfPoint, ...]
+
+    @property
+    def distinct_plans(self) -> int:
+        """How many structurally different plans the sweep produced."""
+        return len(
+            {plan_signature(point.plan) for point in self.points}
+        )
+
+    @property
+    def plan_changes(self) -> List[int]:
+        """Sweep indices at which the optimal plan changed."""
+        changes = []
+        previous = None
+        for index, point in enumerate(self.points):
+            signature = plan_signature(point.plan)
+            if previous is not None and signature != previous:
+                changes.append(index)
+            previous = signature
+        return changes
+
+    @property
+    def time_range(self) -> Tuple[float, float]:
+        """(best, worst) predicted time across the sweep."""
+        times = [point.predicted_time_s for point in self.points]
+        return (min(times), max(times))
+
+    def algorithm_usage(self) -> Dict[JoinAlgorithm, int]:
+        """How often each implementation appears across the sweep."""
+        usage: Dict[JoinAlgorithm, int] = {
+            algorithm: 0 for algorithm in JoinAlgorithm
+        }
+        for point in self.points:
+            for algorithm in point.algorithms:
+                usage[algorithm] += 1
+        return usage
+
+
+def what_if(
+    planner: RaqoPlanner,
+    query: Query,
+    clusters: Sequence[ClusterConditions],
+) -> WhatIfReport:
+    """Optimize ``query`` under each envelope and summarise."""
+    if not clusters:
+        raise ValueError("need at least one cluster condition")
+    original_cluster = planner.cluster
+    points = []
+    try:
+        for cluster in clusters:
+            result = planner.replan(query, cluster)
+            points.append(
+                WhatIfPoint(
+                    cluster=cluster,
+                    plan=result.plan,
+                    predicted_time_s=result.cost.time_s,
+                    predicted_dollars=result.cost.money,
+                )
+            )
+    finally:
+        # what-if is analysis, not adaptation: leave the planner on the
+        # envelope it was configured with.
+        planner.cluster = original_cluster
+    return WhatIfReport(query_name=query.name, points=tuple(points))
+
+
+def default_sweep(
+    max_containers: int = 100, max_container_gb: float = 10.0
+) -> List[ClusterConditions]:
+    """A standard shrinking-envelope sweep (100% down to 5%)."""
+    fractions = (1.0, 0.6, 0.35, 0.2, 0.1, 0.05)
+    sweep = []
+    for fraction in fractions:
+        sweep.append(
+            ClusterConditions(
+                max_containers=max(
+                    1, int(max_containers * fraction)
+                ),
+                max_container_gb=max(
+                    1.0, max_container_gb * fraction
+                ),
+            )
+        )
+    return sweep

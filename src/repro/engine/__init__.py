@@ -1,0 +1,36 @@
+"""Analytic dataflow execution engine simulator (Hive-like, Spark-like).
+
+Substitutes for the paper's 10-node YARN cluster running Hive-on-Tez and
+SparkSQL: physical join plans execute as stage DAGs on a simulated container
+cluster, with per-stage times derived from calibrated throughput models of
+shuffle sort-merge join (SMJ) and broadcast hash join (BHJ). The profiles in
+:mod:`repro.engine.profiles` are calibrated against the paper's published
+anchor observations (DESIGN.md, "Calibration anchors").
+"""
+
+from repro.engine.joins import (
+    JoinAlgorithm,
+    JoinExecution,
+    bhj_execution,
+    bhj_feasible,
+    join_execution,
+    smj_execution,
+)
+from repro.engine.profiles import EngineProfile, HIVE_PROFILE, SPARK_PROFILE
+
+__all__ = [
+    "EngineProfile",
+    "HIVE_PROFILE",
+    "JoinAlgorithm",
+    "JoinExecution",
+    "SPARK_PROFILE",
+    "bhj_execution",
+    "bhj_feasible",
+    "join_execution",
+    "smj_execution",
+]
+
+# The executor, dataflow, profiler, and adaptive runtime modules are
+# imported explicitly by consumers (they sit above the planner layer in
+# the import graph): repro.engine.executor, repro.engine.dataflow,
+# repro.engine.profiler, repro.engine.runtime.

@@ -1,0 +1,273 @@
+"""Analytic execution-time models for the two join implementations.
+
+The paper studies shuffle sort-merge join (SMJ) and broadcast hash join
+(BHJ) in Hive and SparkSQL (Sec III-A). This module computes the simulated
+wall-clock time of one join stage given the input sizes, the resource
+configuration (number of containers, container memory), and an engine
+profile. The constants in :mod:`repro.engine.profiles` are calibrated so
+that the switch points between the two implementations land where the paper
+measured them.
+
+Model structure (per :class:`~repro.engine.profiles.EngineProfile`):
+
+``SMJ``
+    Both inputs are scanned, shuffled, sorted, and merged. Work is
+    parallel across containers; the reduce phase is additionally limited
+    by the number of reducers and pays a spill penalty when a reduce
+    task's data exceeds its sort buffer. SMJ therefore improves with
+    parallelism and is nearly insensitive to container size -- the
+    behaviour the paper's Fig 3 reports and the negative
+    number-of-containers coefficient of the Sec VI-A regression captures.
+
+``BHJ``
+    The smaller input is broadcast to every container (cost grows with
+    the number of containers), built into a hash table (superlinear in
+    table size, amplified by a memory-pressure penalty as the table
+    approaches the container's hash budget), and the larger input is
+    probed in parallel. BHJ is infeasible (OOM) when the broadcast table
+    exceeds ``hash_memory_fraction * container_gb`` -- the hard walls in
+    the paper's Figs 3(a) and 4(a).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.cluster.containers import ResourceConfiguration
+from repro.engine.profiles import EngineProfile
+
+#: Execution time reported for an infeasible (OOM) join.
+INFEASIBLE_TIME_S = math.inf
+
+
+class JoinAlgorithm(enum.Enum):
+    """The two physical join implementations the paper evaluates."""
+
+    SORT_MERGE = "smj"
+    BROADCAST_HASH = "bhj"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class JoinExecution:
+    """The simulated outcome of one join stage.
+
+    ``time_s`` is infinite when the join is infeasible under the given
+    resources (BHJ OOM); ``breakdown`` itemises the phase times for
+    inspection and tests.
+    """
+
+    algorithm: JoinAlgorithm
+    feasible: bool
+    time_s: float
+    num_tasks: int
+    breakdown: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.feasible and not math.isfinite(self.time_s):
+            raise ValueError("feasible executions must have finite time")
+        if not self.feasible and math.isfinite(self.time_s):
+            raise ValueError("infeasible executions must have infinite time")
+
+
+def _validate_inputs(small_gb: float, large_gb: float) -> None:
+    if small_gb < 0 or large_gb < 0:
+        raise ValueError(
+            f"input sizes must be >= 0, got {small_gb} and {large_gb}"
+        )
+    if small_gb > large_gb:
+        raise ValueError(
+            "small_gb must not exceed large_gb "
+            f"({small_gb} > {large_gb}); pass inputs in sorted order"
+        )
+
+
+def default_num_reducers(data_gb: float, profile: EngineProfile) -> int:
+    """Hive-style automatic reducer count: shuffle data / GB-per-reducer.
+
+    The paper enables "Hive's feature that automatically determines the
+    number of reducers, since those gave us close to optimal performance".
+    """
+    if data_gb < 0:
+        raise ValueError(f"data_gb must be >= 0, got {data_gb}")
+    wanted = math.ceil(data_gb / profile.gb_per_reducer)
+    return max(1, min(wanted, profile.max_reducers))
+
+
+def num_map_tasks(data_gb: float, profile: EngineProfile) -> int:
+    """One map (or probe) task per input split."""
+    if data_gb < 0:
+        raise ValueError(f"data_gb must be >= 0, got {data_gb}")
+    return max(1, math.ceil(data_gb / profile.split_gb))
+
+
+def smj_execution(
+    small_gb: float,
+    large_gb: float,
+    config: ResourceConfiguration,
+    profile: EngineProfile,
+    num_reducers: Optional[int] = None,
+) -> JoinExecution:
+    """Simulate a shuffle sort-merge join.
+
+    ``num_reducers=None`` uses the engine's automatic reducer sizing.
+    """
+    _validate_inputs(small_gb, large_gb)
+    data_gb = small_gb + large_gb
+    nc = config.num_containers
+    cs = config.container_gb
+    if num_reducers is None:
+        num_reducers = default_num_reducers(data_gb, profile)
+    elif num_reducers < 1:
+        raise ValueError(f"num_reducers must be >= 1, got {num_reducers}")
+
+    map_tasks = num_map_tasks(data_gb, profile)
+    map_time = (
+        data_gb * profile.map_cost_s_per_gb / nc
+        + map_tasks * profile.task_overhead_s / nc
+    )
+
+    # Reduce-side parallelism cannot exceed the reducer count.
+    reduce_parallelism = min(num_reducers, nc)
+    per_reducer_gb = data_gb / num_reducers
+    sort_budget_gb = profile.sort_memory_fraction * cs
+    if per_reducer_gb > sort_budget_gb > 0:
+        spill_penalty = 1.0 + profile.sort_spill_coeff * math.log2(
+            per_reducer_gb / sort_budget_gb
+        )
+    else:
+        spill_penalty = 1.0
+    reduce_time = (
+        data_gb * profile.reduce_cost_s_per_gb / reduce_parallelism
+    ) * spill_penalty + num_reducers * profile.task_overhead_s / nc
+
+    time_s = profile.smj_fixed_s + map_time + reduce_time
+    return JoinExecution(
+        algorithm=JoinAlgorithm.SORT_MERGE,
+        feasible=True,
+        time_s=time_s,
+        num_tasks=map_tasks + num_reducers,
+        breakdown={
+            "fixed": profile.smj_fixed_s,
+            "map": map_time,
+            "reduce": reduce_time,
+            "spill_penalty": spill_penalty,
+        },
+    )
+
+
+def bhj_feasible(
+    small_gb: float,
+    config: ResourceConfiguration,
+    profile: EngineProfile,
+) -> bool:
+    """True when the broadcast table fits the per-container hash budget.
+
+    The budget is ``hash_memory_fraction * container_gb``; exceeding it is
+    the OOM wall the paper observes ("below 5 GB containers, BHJ is not an
+    option as it runs out of memory").
+    """
+    if small_gb < 0:
+        raise ValueError(f"small_gb must be >= 0, got {small_gb}")
+    budget = profile.hash_memory_fraction * config.container_gb
+    return small_gb <= budget
+
+
+def bhj_execution(
+    small_gb: float,
+    large_gb: float,
+    config: ResourceConfiguration,
+    profile: EngineProfile,
+) -> JoinExecution:
+    """Simulate a broadcast hash join (map join)."""
+    _validate_inputs(small_gb, large_gb)
+    nc = config.num_containers
+    cs = config.container_gb
+    probe_tasks = num_map_tasks(large_gb, profile)
+
+    if not bhj_feasible(small_gb, config, profile):
+        return JoinExecution(
+            algorithm=JoinAlgorithm.BROADCAST_HASH,
+            feasible=False,
+            time_s=INFEASIBLE_TIME_S,
+            num_tasks=probe_tasks,
+            breakdown={"oom": INFEASIBLE_TIME_S},
+        )
+
+    # Every container downloads a full copy of the small table.
+    broadcast_time = small_gb * nc / profile.broadcast_agg_gb_s
+
+    # Hash build: superlinear in table size, worse under memory pressure.
+    pressure = small_gb / (profile.hash_memory_fraction * cs)
+    pressure_penalty = 1.0 + profile.pressure_coeff * (
+        pressure**profile.pressure_exponent
+    )
+    build_time = (
+        profile.build_cost_s
+        * (small_gb**profile.build_exponent)
+        * pressure_penalty
+    )
+
+    # Probe the large table in parallel; extra memory buys buffer space.
+    probe_cost = profile.probe_cost_s_per_gb * (
+        1.0 + profile.probe_memory_boost / cs
+    )
+    probe_time = (
+        large_gb * probe_cost / nc
+        + probe_tasks * profile.task_overhead_s / nc
+    )
+
+    time_s = profile.bhj_fixed_s + broadcast_time + build_time + probe_time
+    return JoinExecution(
+        algorithm=JoinAlgorithm.BROADCAST_HASH,
+        feasible=True,
+        time_s=time_s,
+        num_tasks=probe_tasks,
+        breakdown={
+            "fixed": profile.bhj_fixed_s,
+            "broadcast": broadcast_time,
+            "build": build_time,
+            "probe": probe_time,
+            "pressure_penalty": pressure_penalty,
+        },
+    )
+
+
+def join_execution(
+    algorithm: JoinAlgorithm,
+    small_gb: float,
+    large_gb: float,
+    config: ResourceConfiguration,
+    profile: EngineProfile,
+    num_reducers: Optional[int] = None,
+) -> JoinExecution:
+    """Simulate a join with the given implementation."""
+    if algorithm is JoinAlgorithm.SORT_MERGE:
+        return smj_execution(
+            small_gb, large_gb, config, profile, num_reducers
+        )
+    if algorithm is JoinAlgorithm.BROADCAST_HASH:
+        return bhj_execution(small_gb, large_gb, config, profile)
+    raise ValueError(f"unknown join algorithm: {algorithm!r}")
+
+
+def best_join(
+    small_gb: float,
+    large_gb: float,
+    config: ResourceConfiguration,
+    profile: EngineProfile,
+    num_reducers: Optional[int] = None,
+) -> JoinExecution:
+    """The faster of the two implementations under the given resources.
+
+    This is the "query & resource aware" oracle choice; the rule-based and
+    cost-based RAQO components approximate it.
+    """
+    smj = smj_execution(small_gb, large_gb, config, profile, num_reducers)
+    bhj = bhj_execution(small_gb, large_gb, config, profile)
+    return bhj if bhj.time_s < smj.time_s else smj

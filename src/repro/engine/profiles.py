@@ -1,0 +1,186 @@
+"""Engine profiles: the calibrated constants of the execution simulator.
+
+Each :class:`EngineProfile` captures one engine's cost structure for the
+two join implementations the paper studies (shuffle sort-merge join and
+broadcast hash join). ``HIVE_PROFILE`` is numerically calibrated so that the
+simulator reproduces the paper's Sec III anchor observations on Hive
+2.0.1/Tez (switch locations, OOM walls, relative magnitudes -- see DESIGN.md
+"Calibration anchors" and EXPERIMENTS.md); ``SPARK_PROFILE`` models
+SparkSQL 1.6.1, whose switch points sit in the hundreds-of-MB range
+(paper Fig 9b) because of the driver-collect broadcast path and smaller
+executor memory fractions.
+
+The model shapes (see :mod:`repro.engine.joins`):
+
+- SMJ time = fixed + D*(map+reduce costs)/parallelism * sort-spill penalty
+  + per-task scheduling overheads; insensitive to container size except
+  when sort buffers spill.
+- BHJ time = fixed + broadcast (grows with #containers) + hash build
+  (superlinear in the broadcast table size, amplified by a memory-pressure
+  penalty as the table approaches the container's hash budget) + parallel
+  probe (mildly improved by extra container memory).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class EngineProfile:
+    """Cost-structure constants for one engine.
+
+    Per-GB costs are seconds of single-container work per GB of input;
+    the simulator divides by the effective parallelism.
+    """
+
+    name: str
+
+    # --- SMJ (shuffle sort-merge join) ---
+    #: Fixed SMJ overhead: stage setup, container launch, final commit.
+    smj_fixed_s: float
+    #: Map-side cost per GB (scan + partition + shuffle write).
+    map_cost_s_per_gb: float
+    #: Reduce-side cost per GB (fetch + sort + merge + write).
+    reduce_cost_s_per_gb: float
+    #: Fraction of a container usable as sort buffer.
+    sort_memory_fraction: float
+    #: Strength of the extra-pass penalty when a reduce task's data
+    #: exceeds its sort buffer (per doubling).
+    sort_spill_coeff: float
+
+    # --- BHJ (broadcast hash join) ---
+    #: Fixed BHJ overhead.
+    bhj_fixed_s: float
+    #: Aggregate cluster bandwidth for broadcasting the small table (GB/s);
+    #: every container downloads a full copy, so broadcast time grows with
+    #: the number of containers.
+    broadcast_agg_gb_s: float
+    #: Hash build cost coefficient (seconds per GB**build_exponent); the
+    #: superlinearity models GC/locality degradation of large hash tables.
+    build_cost_s: float
+    build_exponent: float
+    #: Memory-pressure penalty on the build: 1 + coeff * u**exponent where
+    #: u = small_gb / (hash_memory_fraction * container_gb).
+    pressure_coeff: float
+    pressure_exponent: float
+    #: The broadcast table must satisfy u <= 1 or the join fails (OOM).
+    hash_memory_fraction: float
+    #: Probe cost per GB of the large table.
+    probe_cost_s_per_gb: float
+    #: Probe speedup from extra container memory: cost scales by
+    #: (1 + probe_memory_boost / container_gb).
+    probe_memory_boost: float
+
+    # --- task/scheduling granularity ---
+    #: Input split size: one map/probe task per split.
+    split_gb: float
+    #: Hive-style auto-reducer sizing: GB of shuffle data per reducer.
+    gb_per_reducer: float
+    #: Upper bound on auto-chosen reducers (Hive's default is 1009).
+    max_reducers: int
+    #: Per-task scheduling/launch overhead (seconds), amortised over
+    #: the containers running the stage.
+    task_overhead_s: float
+
+    #: Default broadcast-join threshold of the engine's stock optimizer
+    #: (both Hive and Spark default to 10 MB).
+    default_broadcast_threshold_gb: float
+
+    def __post_init__(self) -> None:
+        positive = {
+            "map_cost_s_per_gb": self.map_cost_s_per_gb,
+            "reduce_cost_s_per_gb": self.reduce_cost_s_per_gb,
+            "sort_memory_fraction": self.sort_memory_fraction,
+            "broadcast_agg_gb_s": self.broadcast_agg_gb_s,
+            "build_cost_s": self.build_cost_s,
+            "build_exponent": self.build_exponent,
+            "hash_memory_fraction": self.hash_memory_fraction,
+            "probe_cost_s_per_gb": self.probe_cost_s_per_gb,
+            "split_gb": self.split_gb,
+            "gb_per_reducer": self.gb_per_reducer,
+        }
+        for field_name, value in positive.items():
+            if value <= 0:
+                raise ValueError(
+                    f"profile {self.name!r}: {field_name} must be > 0, "
+                    f"got {value}"
+                )
+        non_negative = {
+            "smj_fixed_s": self.smj_fixed_s,
+            "bhj_fixed_s": self.bhj_fixed_s,
+            "sort_spill_coeff": self.sort_spill_coeff,
+            "pressure_coeff": self.pressure_coeff,
+            "probe_memory_boost": self.probe_memory_boost,
+            "task_overhead_s": self.task_overhead_s,
+        }
+        for field_name, value in non_negative.items():
+            if value < 0:
+                raise ValueError(
+                    f"profile {self.name!r}: {field_name} must be >= 0, "
+                    f"got {value}"
+                )
+        if self.max_reducers < 1:
+            raise ValueError(
+                f"profile {self.name!r}: max_reducers must be >= 1"
+            )
+
+    def with_overrides(self, **kwargs: float) -> "EngineProfile":
+        """A copy of the profile with some constants replaced."""
+        return replace(self, **kwargs)
+
+
+#: Calibrated Hive-on-Tez profile. Anchors reproduced (DESIGN.md):
+#: BHJ/SMJ switch at ~7 GB containers for a 5.1 GB broadcast side (OOM wall
+#: below 5 GB); switch at ~17-20 containers for a 3.4 GB side in 3 GB
+#: containers with SMJ ~2x faster by 40 containers; data switch point
+#: ~6 GB at 9 GB containers vs the 3.45 GB OOM wall at 3 GB containers.
+HIVE_PROFILE = EngineProfile(
+    name="hive",
+    smj_fixed_s=115.0,
+    map_cost_s_per_gb=55.0,
+    reduce_cost_s_per_gb=50.5,
+    sort_memory_fraction=0.45,
+    sort_spill_coeff=0.30,
+    bhj_fixed_s=14.0,
+    broadcast_agg_gb_s=0.70,
+    build_cost_s=2.73,
+    build_exponent=2.51,
+    pressure_coeff=4.18,
+    pressure_exponent=2.12,
+    hash_memory_fraction=1.15,
+    probe_cost_s_per_gb=51.4,
+    probe_memory_boost=0.28,
+    split_gb=0.25,
+    gb_per_reducer=0.25,
+    max_reducers=1009,
+    task_overhead_s=0.5,
+    default_broadcast_threshold_gb=0.010,
+)
+
+#: SparkSQL 1.6.1 profile: a faster in-memory pipeline, but broadcasts
+#: pass through the driver (steep superlinear build) and executors give
+#: the hash table a much smaller memory fraction, so BHJ pays off only
+#: for small tables -- switch points in the hundreds of MB (paper Fig 9b).
+SPARK_PROFILE = EngineProfile(
+    name="spark",
+    smj_fixed_s=18.0,
+    map_cost_s_per_gb=10.0,
+    reduce_cost_s_per_gb=8.0,
+    sort_memory_fraction=0.30,
+    sort_spill_coeff=0.25,
+    bhj_fixed_s=4.0,
+    broadcast_agg_gb_s=0.35,
+    build_cost_s=55.0,
+    build_exponent=1.55,
+    pressure_coeff=6.0,
+    pressure_exponent=2.4,
+    hash_memory_fraction=0.35,
+    probe_cost_s_per_gb=6.0,
+    probe_memory_boost=0.15,
+    split_gb=0.128,
+    gb_per_reducer=0.128,
+    max_reducers=2000,
+    task_overhead_s=0.08,
+    default_broadcast_threshold_gb=0.010,
+)

@@ -1,0 +1,209 @@
+"""Adaptive runtime: stage-wise execution with mid-query re-planning.
+
+Paper Sec IV/VIII: "If the cluster conditions change until or during the
+execution of the query, the dataflow/runtime can further adjust the
+query/resource plan by consulting the optimizer" and "from the moment a
+query gets optimized until the moment its execution begins, the condition
+of the cluster might change ... we might need to adapt/re-optimize the
+query."
+
+:class:`AdaptiveRuntime` executes a joint plan one join stage at a time.
+Before each stage it takes a fresh :class:`~repro.cluster.rm_api.
+ClusterSnapshot`; if the stage's planned resources no longer fit the
+offered envelope (or the envelope grew enough to be worth exploiting), it
+re-plans that operator's resources through the RAQO coster before
+launching the stage.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.catalog.statistics import StatisticsEstimator
+from repro.cluster.cluster import ClusterConditions
+from repro.cluster.containers import ResourceConfiguration
+from repro.cluster.pricing import PriceModel
+from repro.cluster.rm_api import RmClient
+from repro.core.raqo import RaqoCoster
+from repro.engine.executor import ExecutionError
+from repro.engine.joins import join_execution
+from repro.engine.profiles import EngineProfile
+from repro.planner.cost_interface import PlanningContext
+from repro.planner.plan import JoinNode, PlanNode
+
+
+@dataclass(frozen=True)
+class StageRecord:
+    """One executed join stage."""
+
+    tables: frozenset
+    planned: ResourceConfiguration
+    executed: ResourceConfiguration
+    replanned: bool
+    time_s: float
+    gb_seconds: float
+
+
+@dataclass(frozen=True)
+class AdaptiveRunReport:
+    """The outcome of one adaptive execution."""
+
+    stages: Tuple[StageRecord, ...]
+    time_s: float
+    gb_seconds: float
+    dollars: float
+    replanned_stages: int
+    feasible: bool
+
+
+class AdaptiveRuntime:
+    """Executes joint plans stage by stage against a live RM."""
+
+    def __init__(
+        self,
+        estimator: StatisticsEstimator,
+        profile: EngineProfile,
+        coster: RaqoCoster,
+        rm_client: RmClient,
+        price_model: Optional[PriceModel] = None,
+        #: The envelope the plan was optimized under; defaults to the
+        #: first snapshot the runtime takes.
+        planned_under: Optional[ClusterConditions] = None,
+        #: Re-plan when the live envelope's maxima drift from the
+        #: planning-time envelope by more than this relative slack.
+        improvement_slack: float = 0.25,
+    ) -> None:
+        if improvement_slack < 0:
+            raise ValueError(
+                f"improvement_slack must be >= 0, got {improvement_slack}"
+            )
+        self.estimator = estimator
+        self.profile = profile
+        self.coster = coster
+        self.rm_client = rm_client
+        self.price_model = price_model or PriceModel()
+        self.planned_under = planned_under
+        self.improvement_slack = improvement_slack
+
+    def _should_replan(
+        self,
+        planned: ResourceConfiguration,
+        conditions: ClusterConditions,
+    ) -> bool:
+        """Re-plan when the stage's configuration no longer fits, or
+        when the envelope drifted materially since planning time."""
+        if not conditions.contains(planned):
+            return True
+        baseline = self.planned_under
+        if baseline is None:
+            return False
+        slack = self.improvement_slack
+        count_drift = abs(
+            conditions.max_containers - baseline.max_containers
+        ) / baseline.max_containers
+        size_drift = abs(
+            conditions.max_container_gb - baseline.max_container_gb
+        ) / baseline.max_container_gb
+        return count_drift > slack or size_drift > slack
+
+    def run(
+        self,
+        plan: PlanNode,
+        now_s: float = 0.0,
+        on_stage: Optional[Callable[[StageRecord], None]] = None,
+    ) -> AdaptiveRunReport:
+        """Execute ``plan``, adapting each stage to fresh conditions.
+
+        ``on_stage`` (if given) is invoked after every stage -- the hook
+        a monitoring UI or the paper's "explain" discussion would use.
+        """
+        stages: List[StageRecord] = []
+        clock = now_s
+        total_gb_seconds = 0.0
+        feasible = True
+
+        if self.planned_under is None:
+            self.planned_under = self.rm_client.snapshot(
+                now_s=clock
+            ).conditions
+
+        for join in plan.joins_postorder():
+            planned = join.resources
+            if planned is None:
+                raise ExecutionError(
+                    "adaptive runtime needs a joint plan; operator over "
+                    f"{sorted(join.tables)} has no resources"
+                )
+            snapshot = self.rm_client.snapshot(now_s=clock)
+            executed = planned
+            replanned = False
+            if self._should_replan(planned, snapshot.conditions):
+                executed = self._replan_stage(
+                    join, snapshot.conditions
+                )
+                replanned = True
+            small_gb, large_gb = self.estimator.join_io_gb(
+                join.left.tables, join.right.tables
+            )
+            execution = join_execution(
+                join.algorithm,
+                small_gb,
+                large_gb,
+                executed,
+                self.profile,
+            )
+            gb_seconds = (
+                executed.gb_seconds(execution.time_s)
+                if execution.feasible
+                else math.inf
+            )
+            record = StageRecord(
+                tables=frozenset(join.tables),
+                planned=planned,
+                executed=executed,
+                replanned=replanned,
+                time_s=execution.time_s,
+                gb_seconds=gb_seconds,
+            )
+            stages.append(record)
+            if on_stage is not None:
+                on_stage(record)
+            feasible = feasible and execution.feasible
+            clock += execution.time_s if execution.feasible else 0.0
+            total_gb_seconds += gb_seconds
+
+        total_time = sum(stage.time_s for stage in stages)
+        return AdaptiveRunReport(
+            stages=tuple(stages),
+            time_s=total_time,
+            gb_seconds=total_gb_seconds,
+            dollars=(
+                self.price_model.cost_of_gb_seconds(total_gb_seconds)
+                if feasible
+                else math.inf
+            ),
+            replanned_stages=sum(1 for s in stages if s.replanned),
+            feasible=feasible,
+        )
+
+    def _replan_stage(
+        self, join: JoinNode, conditions: ClusterConditions
+    ) -> ResourceConfiguration:
+        """Consult the optimizer for one stage under new conditions."""
+        context = PlanningContext(
+            estimator=self.estimator, cluster=conditions
+        )
+        cost, resources = self.coster.join_cost(
+            join.left.tables,
+            join.right.tables,
+            join.algorithm,
+            context,
+        )
+        if resources is not None and cost.is_finite:
+            return resources
+        # The operator is infeasible under the new envelope (e.g. a BHJ
+        # whose broadcast no longer fits): fall back to the clamped
+        # original and let the engine surface the failure.
+        return conditions.clamp(join.resources)

@@ -1,0 +1,138 @@
+"""CSV export for experiment results.
+
+The benchmark harness prints human-readable tables; this module writes
+the same series as CSV files so they can be plotted against the paper's
+figures (every driver's result object exposes plain dataclasses, so the
+export is generic over (headers, rows)).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, List, Sequence, Union
+
+PathLike = Union[str, Path]
+
+
+class ExportError(Exception):
+    """Raised for malformed export requests."""
+
+
+def write_csv(
+    path: PathLike,
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+) -> Path:
+    """Write one series as a CSV file; returns the resolved path."""
+    if not headers:
+        raise ExportError("headers must be non-empty")
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        for row in rows:
+            if len(row) != len(headers):
+                raise ExportError(
+                    f"row has {len(row)} cells, expected {len(headers)}"
+                )
+            writer.writerow(row)
+    return target
+
+
+def read_csv(path: PathLike) -> List[List[str]]:
+    """Read a CSV back (header row included) -- mainly for tests."""
+    with Path(path).open(newline="") as handle:
+        return [row for row in csv.reader(handle)]
+
+
+def export_fig03(result, directory: PathLike) -> List[Path]:
+    """Export both Fig 3 sweeps (see fig03_operator_switch.run)."""
+    base = Path(directory)
+    size_path = write_csv(
+        base / "fig03a_container_size.csv",
+        ["container_gb", "smj_s", "bhj_s", "winner"],
+        [
+            (
+                p.config.container_gb,
+                p.smj_time_s,
+                p.bhj_time_s,
+                p.winner,
+            )
+            for p in result.container_size_sweep
+        ],
+    )
+    count_path = write_csv(
+        base / "fig03b_container_count.csv",
+        ["num_containers", "smj_s", "bhj_s", "winner"],
+        [
+            (
+                p.config.num_containers,
+                p.smj_time_s,
+                p.bhj_time_s,
+                p.winner,
+            )
+            for p in result.container_count_sweep
+        ],
+    )
+    return [size_path, count_path]
+
+
+def export_fig12(result, directory: PathLike) -> Path:
+    """Export the Fig 12 planning grid."""
+    return write_csv(
+        Path(directory) / "fig12_tpch_planning.csv",
+        [
+            "query",
+            "planner",
+            "qo_ms",
+            "raqo_ms",
+            "resource_iterations",
+        ],
+        [
+            (
+                r.query,
+                r.planner,
+                r.qo_runtime_ms,
+                r.raqo_runtime_ms,
+                r.resource_iterations,
+            )
+            for r in result.rows
+        ],
+    )
+
+
+def export_fig14(result, directory: PathLike) -> Path:
+    """Export the Fig 14 cache-effectiveness series."""
+    return write_csv(
+        Path(directory) / "fig14_plan_cache.csv",
+        [
+            "variant",
+            "threshold_gb",
+            "resource_iterations",
+            "runtime_ms",
+            "hits",
+            "misses",
+        ],
+        [
+            (
+                p.variant,
+                p.threshold_gb,
+                p.resource_iterations,
+                p.runtime_ms,
+                p.cache_hits,
+                p.cache_misses,
+            )
+            for p in result.points
+        ],
+    )
+
+
+def export_queue_cdf(result, directory: PathLike) -> Path:
+    """Export the Fig 1 CDF points."""
+    return write_csv(
+        Path(directory) / "fig01_queue_cdf.csv",
+        ["fraction_of_jobs", "queue_runtime_ratio"],
+        list(result.cdf),
+    )

@@ -1,0 +1,143 @@
+"""Fig 2: potential gains of joint query and resource optimization.
+
+The paper runs a join on TPC-H with different join implementations and
+resource configurations in Hive and SparkSQL, and compares the plan the
+*default* optimizer picks (the resource-oblivious 10 MB broadcast rule)
+against the best plan for each configuration. "The plans chosen by the
+default optimizer are up to twice slower and twice more resource demanding
+than those chosen by picking the best plan for the given set of
+resources."
+
+For every resource configuration we report execution time and resources
+used (TB*s) of both choices, plus the worst-case ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.cluster.containers import ResourceConfiguration
+from repro.core.rules import DefaultThresholdRule
+from repro.engine.joins import best_join, join_execution
+from repro.engine.profiles import EngineProfile, HIVE_PROFILE, SPARK_PROFILE
+from repro.experiments import workload
+from repro.experiments.report import print_table
+
+
+@dataclass(frozen=True)
+class GainPoint:
+    """Default-choice vs best-choice at one resource configuration."""
+
+    config: ResourceConfiguration
+    default_time_s: float
+    default_tb_s: float
+    best_time_s: float
+    best_tb_s: float
+
+    @property
+    def time_ratio(self) -> float:
+        """How much slower the default optimizer's plan is."""
+        return self.default_time_s / self.best_time_s
+
+    @property
+    def resource_ratio(self) -> float:
+        """How much more resource-hungry the default plan is."""
+        return self.default_tb_s / self.best_tb_s
+
+
+@dataclass(frozen=True)
+class PotentialGainsResult:
+    """The Fig 2 series for one engine."""
+
+    engine: str
+    points: Tuple[GainPoint, ...]
+
+    @property
+    def max_time_ratio(self) -> float:
+        """Worst slowdown from ignoring resources (paper: up to 2x)."""
+        return max(point.time_ratio for point in self.points)
+
+    @property
+    def max_resource_ratio(self) -> float:
+        """Worst resource overhead (paper: up to 2x)."""
+        return max(point.resource_ratio for point in self.points)
+
+
+def _engine_sizes(profile: EngineProfile) -> Tuple[float, float]:
+    """(small, large) input sizes scaled to the engine's switch range."""
+    if profile.name == "spark":
+        # Spark switch points live in the hundreds-of-MB range (Fig 9b).
+        return (0.4, 10.0)
+    return (workload.ORDERS_LARGE_GB, workload.LINEITEM_GB)
+
+
+def run(profile: EngineProfile = HIVE_PROFILE) -> PotentialGainsResult:
+    """Sweep resource configurations, comparing default vs best choice."""
+    small_gb, large_gb = _engine_sizes(profile)
+    rule = DefaultThresholdRule(profile.default_broadcast_threshold_gb)
+    points: List[GainPoint] = []
+    configs = [
+        ResourceConfiguration(num_containers=count, container_gb=size)
+        for count in (5, 10, 20, 40)
+        for size in (2.0, 3.0, 5.0, 7.0, 9.0, 10.0)
+    ]
+    for config in configs:
+        default_algorithm = rule.choose(small_gb, large_gb, config)
+        default_run = join_execution(
+            default_algorithm, small_gb, large_gb, config, profile
+        )
+        best_run = best_join(small_gb, large_gb, config, profile)
+        if not default_run.feasible or not best_run.feasible:
+            continue
+        points.append(
+            GainPoint(
+                config=config,
+                default_time_s=default_run.time_s,
+                default_tb_s=config.gb_seconds(default_run.time_s)
+                / 1024.0,
+                best_time_s=best_run.time_s,
+                best_tb_s=config.gb_seconds(best_run.time_s) / 1024.0,
+            )
+        )
+    return PotentialGainsResult(engine=profile.name, points=tuple(points))
+
+
+def main() -> Tuple[PotentialGainsResult, PotentialGainsResult]:
+    """Print the Fig 2 series for Hive and SparkSQL."""
+    results = []
+    for profile in (HIVE_PROFILE, SPARK_PROFILE):
+        result = run(profile)
+        results.append(result)
+        print_table(
+            [
+                "config",
+                "default time (s)",
+                "best time (s)",
+                "default TB*s",
+                "best TB*s",
+            ],
+            [
+                (
+                    str(p.config),
+                    p.default_time_s,
+                    p.best_time_s,
+                    p.default_tb_s,
+                    p.best_tb_s,
+                )
+                for p in result.points
+            ],
+            title=f"Fig 2 ({result.engine}): default optimizer vs "
+            "query & resource optimization",
+        )
+        print(
+            f"{result.engine}: default up to "
+            f"{result.max_time_ratio:.2f}x slower, up to "
+            f"{result.max_resource_ratio:.2f}x more resources "
+            "(paper: up to 2x / 2x)\n"
+        )
+    return tuple(results)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,153 @@
+"""Fig 3: BHJ vs SMJ over varying resources in Hive (fixed data).
+
+(a) a 5.1 GB orders table on 10 containers of 2-10 GB: "SMJ outperforms
+BHJ for container sizes up to 7 GB, while BHJ is better for bigger
+container sizes ... below 5 GB containers, BHJ is not an option as it
+runs out of memory."
+
+(b) a 3.4 GB orders table on 3 GB containers, 5-45 of them: "BHJ is
+better than SMJ for less than 20 containers, SMJ benefits more from
+increased parallelism and is twice faster than BHJ for 40 containers."
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.cluster.containers import ResourceConfiguration
+from repro.engine.joins import bhj_execution, smj_execution
+from repro.engine.profiles import EngineProfile, HIVE_PROFILE
+from repro.experiments import workload
+from repro.experiments.report import print_table
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """SMJ and BHJ execution times at one resource configuration."""
+
+    config: ResourceConfiguration
+    smj_time_s: float
+    bhj_time_s: float
+
+    @property
+    def bhj_feasible(self) -> bool:
+        """False where BHJ hits its OOM wall."""
+        return math.isfinite(self.bhj_time_s)
+
+    @property
+    def winner(self) -> str:
+        """Which implementation is faster here."""
+        return "BHJ" if self.bhj_time_s < self.smj_time_s else "SMJ"
+
+
+@dataclass(frozen=True)
+class OperatorSwitchResult:
+    """Both Fig 3 sweeps."""
+
+    container_size_sweep: Tuple[SweepPoint, ...]
+    container_count_sweep: Tuple[SweepPoint, ...]
+
+    def switch_container_gb(self) -> Optional[float]:
+        """The container size where BHJ first beats SMJ (paper: ~7 GB)."""
+        for point in self.container_size_sweep:
+            if point.bhj_feasible and point.winner == "BHJ":
+                return point.config.container_gb
+        return None
+
+    def switch_container_count(self) -> Optional[int]:
+        """The container count where SMJ first beats BHJ (paper: ~20)."""
+        for point in self.container_count_sweep:
+            if point.winner == "SMJ":
+                return point.config.num_containers
+        return None
+
+
+def _sweep_point(
+    small_gb: float,
+    large_gb: float,
+    config: ResourceConfiguration,
+    profile: EngineProfile,
+) -> SweepPoint:
+    return SweepPoint(
+        config=config,
+        smj_time_s=smj_execution(
+            small_gb, large_gb, config, profile
+        ).time_s,
+        bhj_time_s=bhj_execution(
+            small_gb, large_gb, config, profile
+        ).time_s,
+    )
+
+
+def run(profile: EngineProfile = HIVE_PROFILE) -> OperatorSwitchResult:
+    """Run both Fig 3 sweeps against the engine simulator."""
+    size_sweep = tuple(
+        _sweep_point(
+            workload.ORDERS_LARGE_GB,
+            workload.LINEITEM_GB,
+            config,
+            profile,
+        )
+        for config in workload.container_size_configs()
+    )
+    count_sweep = tuple(
+        _sweep_point(
+            workload.ORDERS_SMALL_GB,
+            workload.LINEITEM_GB,
+            config,
+            profile,
+        )
+        for config in workload.container_count_configs()
+    )
+    return OperatorSwitchResult(
+        container_size_sweep=size_sweep,
+        container_count_sweep=count_sweep,
+    )
+
+
+def main() -> OperatorSwitchResult:
+    """Print the Fig 3 series."""
+    result = run()
+    print_table(
+        ["container size (GB)", "SMJ (s)", "BHJ (s)", "winner"],
+        [
+            (p.config.container_gb, p.smj_time_s, p.bhj_time_s, p.winner)
+            for p in result.container_size_sweep
+        ],
+        title=(
+            "Fig 3(a): varying container size "
+            f"(orders={workload.ORDERS_LARGE_GB} GB, "
+            f"nc={workload.CONTAINER_SIZE_SWEEP_NC})"
+        ),
+    )
+    print_table(
+        ["#containers", "SMJ (s)", "BHJ (s)", "winner"],
+        [
+            (
+                p.config.num_containers,
+                p.smj_time_s,
+                p.bhj_time_s,
+                p.winner,
+            )
+            for p in result.container_count_sweep
+        ],
+        title=(
+            "Fig 3(b): varying #containers "
+            f"(orders={workload.ORDERS_SMALL_GB} GB, "
+            f"cs={workload.CONTAINER_COUNT_SWEEP_GB} GB)"
+        ),
+    )
+    print(
+        "switch container size:",
+        result.switch_container_gb(),
+        "GB (paper: 7 GB) | switch #containers:",
+        result.switch_container_count(),
+        "(paper: 20)",
+    )
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,123 @@
+"""Fig 4: BHJ/SMJ switch points over varying data size in Hive.
+
+(a) sweeping the smaller relation with 3 GB vs 9 GB containers at 10
+concurrent containers: "the switch point between BHJ and SMJ with 3 GB
+containers is at 3.4 GB of the orders's size (BHJ runs out of memory after
+that), whereas the switch point shifts to 6.4 GB with 9 GB containers."
+
+(b) sweeping the smaller relation with 10 vs 40 concurrent containers at
+3 GB each. Note: the paper's prose for 4(b) (switch point *rising* with
+more containers) contradicts its own Fig 3(b) and the Sec VI-A regression
+signs (SMJ benefits more from parallelism); our simulator follows the
+latter, so the 40-container switch point is *lower* -- see EXPERIMENTS.md.
+
+"The switch points are not static and the optimizer has to be aware of
+both the data statistics and the available resources."
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.cluster.containers import ResourceConfiguration
+from repro.core.switch_points import SwitchPoint, find_switch_point
+from repro.engine.joins import bhj_execution, smj_execution
+from repro.engine.profiles import EngineProfile, HIVE_PROFILE
+from repro.experiments import workload
+from repro.experiments.report import print_table
+
+
+@dataclass(frozen=True)
+class DataSweepSeries:
+    """SMJ/BHJ time curves over the data axis for one configuration."""
+
+    config: ResourceConfiguration
+    data_gb: Tuple[float, ...]
+    smj_time_s: Tuple[float, ...]
+    bhj_time_s: Tuple[float, ...]
+    switch: SwitchPoint
+
+
+@dataclass(frozen=True)
+class DataSwitchResult:
+    """The four Fig 4 series, keyed by a readable label."""
+
+    series: Dict[str, DataSweepSeries]
+
+    def switch_gb(self, label: str) -> float:
+        """The switch point of one series."""
+        return self.series[label].switch.switch_gb
+
+
+def _sweep(
+    config: ResourceConfiguration, profile: EngineProfile
+) -> DataSweepSeries:
+    smj_times = []
+    bhj_times = []
+    for data_gb in workload.DATA_SWEEP_GB:
+        smj_times.append(
+            smj_execution(
+                data_gb, workload.LINEITEM_GB, config, profile
+            ).time_s
+        )
+        bhj_times.append(
+            bhj_execution(
+                data_gb, workload.LINEITEM_GB, config, profile
+            ).time_s
+        )
+    return DataSweepSeries(
+        config=config,
+        data_gb=workload.DATA_SWEEP_GB,
+        smj_time_s=tuple(smj_times),
+        bhj_time_s=tuple(bhj_times),
+        switch=find_switch_point(
+            profile, workload.LINEITEM_GB, config, resolution_gb=0.1
+        ),
+    )
+
+
+def run(profile: EngineProfile = HIVE_PROFILE) -> DataSwitchResult:
+    """Run all four Fig 4 sweeps."""
+    configs = {
+        "cs=3GB,nc=10": ResourceConfiguration(10, 3.0),
+        "cs=9GB,nc=10": ResourceConfiguration(10, 9.0),
+        "cs=3GB,nc=40": ResourceConfiguration(40, 3.0),
+    }
+    return DataSwitchResult(
+        series={
+            label: _sweep(config, profile)
+            for label, config in configs.items()
+        }
+    )
+
+
+def main() -> DataSwitchResult:
+    """Print the Fig 4 series and switch points."""
+    result = run()
+    for label, series in result.series.items():
+        rows = []
+        for i, data_gb in enumerate(series.data_gb):
+            bhj = series.bhj_time_s[i]
+            rows.append(
+                (
+                    data_gb,
+                    series.smj_time_s[i],
+                    bhj if math.isfinite(bhj) else float("inf"),
+                )
+            )
+        print_table(
+            ["smaller table (GB)", "SMJ (s)", "BHJ (s)"],
+            rows,
+            title=f"Fig 4 series {label}",
+        )
+        print(
+            f"{label}: switch at {series.switch.switch_gb:.2f} GB "
+            f"(OOM wall {series.switch.wall_gb:.2f} GB)\n"
+        )
+    return result
+
+
+if __name__ == "__main__":
+    main()

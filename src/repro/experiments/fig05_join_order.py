@@ -1,0 +1,211 @@
+"""Fig 5: join order decisions over varying resources in Hive.
+
+The paper's two-way join query (a simplified TPC-H Q3):
+``select * from customer, orders, lineitem where c_custkey = o_custkey
+and l_orderkey = o_orderkey``, with ``orders`` subsampled to 850 MB "so
+that we can employ more BHJs, and make the plan choice more interesting".
+
+- **Plan 1** first performs a BHJ between lineitem and orders (broadcasting
+  orders), then a BHJ with customer.
+- **Plan 2** follows a different join order: a BHJ between orders and
+  customer, then an SMJ with lineitem.
+
+Paper findings reproduced: container size barely affects either plan and
+plan 1 wins across the container-size sweep (but has an OOM wall at small
+containers), while growing the number of concurrent containers eventually
+makes plan 2 the winner (the paper's crossover is at 32 containers).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.catalog.join_graph import JoinEdge, JoinGraph
+from repro.catalog.schema import Catalog, Schema, Table
+from repro.catalog.statistics import StatisticsEstimator
+from repro.cluster.containers import ResourceConfiguration
+from repro.engine.executor import execute_plan
+from repro.engine.joins import JoinAlgorithm
+from repro.engine.profiles import EngineProfile, HIVE_PROFILE
+from repro.experiments.report import print_table
+from repro.planner.plan import JoinNode, PlanNode, ScanNode
+
+#: SF-100 cardinalities; orders subsampled to ~850 MB as in the paper.
+FULL_ORDERS_ROWS = 150_000_000
+SAMPLED_ORDERS_ROWS = 7_540_000  # ~850 MB at 121 B/row
+CUSTOMER_ROWS = 15_000_000
+LINEITEM_ROWS = 600_000_000
+
+
+def q3_catalog(
+    sampled_orders_rows: int = SAMPLED_ORDERS_ROWS,
+) -> Catalog:
+    """The paper's Fig 5 catalog: customer, sampled orders, lineitem.
+
+    The lineitem-orders selectivity stays ``1/|full orders|`` -- sampling
+    orders removes matching lineitems rather than densifying the join.
+    """
+    schema = Schema(
+        "fig5",
+        tables=[
+            Table("customer", CUSTOMER_ROWS, row_width_bytes=179),
+            Table("orders", sampled_orders_rows, row_width_bytes=121),
+            Table("lineitem", LINEITEM_ROWS, row_width_bytes=129),
+        ],
+    )
+    graph = JoinGraph(
+        edges=[
+            JoinEdge(
+                "orders",
+                "customer",
+                selectivity=1.0 / CUSTOMER_ROWS,
+                left_column="o_custkey",
+                right_column="c_custkey",
+            ),
+            JoinEdge(
+                "lineitem",
+                "orders",
+                selectivity=1.0 / FULL_ORDERS_ROWS,
+                left_column="l_orderkey",
+                right_column="o_orderkey",
+            ),
+        ]
+    )
+    return Catalog(schema=schema, join_graph=graph)
+
+
+def plan_one() -> PlanNode:
+    """Plan 1: BHJ(lineitem, orders) then BHJ with customer."""
+    return JoinNode(
+        left=JoinNode(
+            left=ScanNode("lineitem"),
+            right=ScanNode("orders"),
+            algorithm=JoinAlgorithm.BROADCAST_HASH,
+        ),
+        right=ScanNode("customer"),
+        algorithm=JoinAlgorithm.BROADCAST_HASH,
+    )
+
+
+def plan_two() -> PlanNode:
+    """Plan 2: BHJ(orders, customer) then SMJ with lineitem."""
+    return JoinNode(
+        left=JoinNode(
+            left=ScanNode("orders"),
+            right=ScanNode("customer"),
+            algorithm=JoinAlgorithm.BROADCAST_HASH,
+        ),
+        right=ScanNode("lineitem"),
+        algorithm=JoinAlgorithm.SORT_MERGE,
+    )
+
+
+@dataclass(frozen=True)
+class JoinOrderPoint:
+    """Both plans' execution times at one configuration."""
+
+    config: ResourceConfiguration
+    plan1_time_s: float
+    plan2_time_s: float
+
+    @property
+    def winner(self) -> str:
+        """The faster plan at this point."""
+        if not math.isfinite(self.plan1_time_s):
+            return "Plan 2"
+        return (
+            "Plan 1"
+            if self.plan1_time_s <= self.plan2_time_s
+            else "Plan 2"
+        )
+
+
+@dataclass(frozen=True)
+class JoinOrderResult:
+    """Both Fig 5 sweeps."""
+
+    container_size_sweep: Tuple[JoinOrderPoint, ...]
+    container_count_sweep: Tuple[JoinOrderPoint, ...]
+
+    def crossover_containers(self) -> Optional[int]:
+        """The container count where plan 2 overtakes (paper: 32)."""
+        for point in self.container_count_sweep:
+            if point.winner == "Plan 2" and math.isfinite(
+                point.plan1_time_s
+            ):
+                return point.config.num_containers
+        return None
+
+
+def run(profile: EngineProfile = HIVE_PROFILE) -> JoinOrderResult:
+    """Execute both plans over both resource sweeps."""
+    estimator = StatisticsEstimator(q3_catalog())
+
+    def point(config: ResourceConfiguration) -> JoinOrderPoint:
+        one = execute_plan(
+            plan_one(), estimator, profile, default_resources=config
+        )
+        two = execute_plan(
+            plan_two(), estimator, profile, default_resources=config
+        )
+        return JoinOrderPoint(
+            config=config,
+            plan1_time_s=one.time_s,
+            plan2_time_s=two.time_s,
+        )
+
+    size_sweep = tuple(
+        point(ResourceConfiguration(10, size))
+        for size in (2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0)
+    )
+    count_sweep = tuple(
+        point(ResourceConfiguration(count, 3.0))
+        for count in (8, 12, 16, 20, 24, 28, 32, 36, 40, 44)
+    )
+    return JoinOrderResult(
+        container_size_sweep=size_sweep,
+        container_count_sweep=count_sweep,
+    )
+
+
+def main() -> JoinOrderResult:
+    """Print the Fig 5 series."""
+    result = run()
+    print_table(
+        ["container size (GB)", "Plan 1 (s)", "Plan 2 (s)", "winner"],
+        [
+            (
+                p.config.container_gb,
+                p.plan1_time_s,
+                p.plan2_time_s,
+                p.winner,
+            )
+            for p in result.container_size_sweep
+        ],
+        title="Fig 5(a): join orders over container size (nc=10)",
+    )
+    print_table(
+        ["#containers", "Plan 1 (s)", "Plan 2 (s)", "winner"],
+        [
+            (
+                p.config.num_containers,
+                p.plan1_time_s,
+                p.plan2_time_s,
+                p.winner,
+            )
+            for p in result.container_count_sweep
+        ],
+        title="Fig 5(b): join orders over #containers (cs=3 GB)",
+    )
+    print(
+        "plan 2 overtakes at",
+        result.crossover_containers(),
+        "containers (paper: 32)",
+    )
+    return result
+
+
+if __name__ == "__main__":
+    main()

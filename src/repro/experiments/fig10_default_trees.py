@@ -1,0 +1,83 @@
+"""Fig 10: the default decision trees for join selection in Hive & Spark.
+
+Both engines ship a resource-oblivious rule -- broadcast when the small
+relation is under 10 MB -- which renders as a single-split decision tree.
+This driver also *learns* that tree with our CART classifier from samples
+labelled by the default rule, verifying the classifier recovers the
+threshold split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.cluster.containers import ResourceConfiguration
+from repro.core.decision_tree import DecisionTreeClassifier
+from repro.core.rules import DefaultThresholdRule
+from repro.engine.joins import JoinAlgorithm
+from repro.engine.profiles import EngineProfile, HIVE_PROFILE, SPARK_PROFILE
+
+
+@dataclass(frozen=True)
+class DefaultTreeResult:
+    """The rendered Fig 10 trees and the learned equivalents."""
+
+    rendered: Dict[str, str]
+    learned_thresholds_gb: Dict[str, float]
+
+
+def learn_default_tree(
+    profile: EngineProfile,
+) -> DecisionTreeClassifier:
+    """Fit CART on samples labelled by the engine's default rule."""
+    rule = DefaultThresholdRule(profile.default_broadcast_threshold_gb)
+    config = ResourceConfiguration(10, 4.0)
+    features = []
+    labels = []
+    for data_mb in (1, 2, 5, 8, 12, 20, 50, 200, 1000, 5000):
+        data_gb = data_mb / 1024.0
+        choice = rule.choose(data_gb, 77.0, config)
+        features.append((data_gb,))
+        labels.append(
+            "BHJ" if choice is JoinAlgorithm.BROADCAST_HASH else "SMJ"
+        )
+    tree = DecisionTreeClassifier()
+    tree.fit(features, labels)
+    return tree
+
+
+def run() -> DefaultTreeResult:
+    """Render and re-learn the Fig 10 trees."""
+    rendered = {}
+    thresholds = {}
+    for profile in (HIVE_PROFILE, SPARK_PROFILE):
+        rule = DefaultThresholdRule(
+            profile.default_broadcast_threshold_gb
+        )
+        rendered[profile.name] = rule.export_text()
+        tree = learn_default_tree(profile)
+        root = tree.root
+        assert root is not None and root.threshold is not None
+        thresholds[profile.name] = float(root.threshold)
+    return DefaultTreeResult(
+        rendered=rendered, learned_thresholds_gb=thresholds
+    )
+
+
+def main() -> DefaultTreeResult:
+    """Print the Fig 10 trees."""
+    result = run()
+    for engine, text in result.rendered.items():
+        print(f"Fig 10 ({engine}): default decision tree")
+        print(text)
+        print(
+            "learned threshold: "
+            f"{result.learned_thresholds_gb[engine] * 1024:.1f} MB "
+            "(engine rule: 10 MB)\n"
+        )
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,133 @@
+"""Fig 12: RAQO planning on the TPC-H schema.
+
+"We tested RAQO using two query planner prototypes: a modern randomized
+algorithm to pick the best join ordering [FastRandomized], and a
+traditional System R style bottom-up join ordering algorithm [Selinger]
+... we could still generate both the resource and the query plans in a
+few milliseconds. However, resource planning does add an overhead to the
+standard query planning."
+
+For each of Q12, Q3, Q2, All and each planner we report the plain QO
+runtime, the RAQO runtime (hill climbing, no caching -- the Fig 12
+configuration), and the number of resource configurations explored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.catalog import tpch
+from repro.catalog.queries import Query
+from repro.core.raqo import PlannerKind, RaqoPlanner
+from repro.experiments.report import print_table
+
+#: TPC-H scale factor used throughout the planning evaluation.
+SCALE_FACTOR = 100.0
+
+
+@dataclass(frozen=True)
+class PlanningRow:
+    """One (query, planner) cell of Fig 12."""
+
+    query: str
+    planner: str
+    qo_runtime_ms: float
+    raqo_runtime_ms: float
+    resource_iterations: int
+    raqo_cost_s: float
+
+    @property
+    def overhead(self) -> float:
+        """RAQO runtime relative to plain QO."""
+        if self.qo_runtime_ms == 0:
+            return float("inf")
+        return self.raqo_runtime_ms / self.qo_runtime_ms
+
+
+@dataclass(frozen=True)
+class TpchPlanningResult:
+    """The full Fig 12 grid."""
+
+    rows: Tuple[PlanningRow, ...]
+
+    def row(self, query: str, planner: str) -> PlanningRow:
+        """Lookup one cell."""
+        for row in self.rows:
+            if row.query == query and row.planner == planner:
+                return row
+        raise KeyError((query, planner))
+
+
+def run(
+    queries: Tuple[Query, ...] = tpch.EVALUATION_QUERIES,
+    repetitions: int = 3,
+) -> TpchPlanningResult:
+    """Run the Fig 12 grid; runtimes averaged over ``repetitions``."""
+    catalog = tpch.tpch_catalog(SCALE_FACTOR)
+    rows = []
+    for planner_kind in (PlannerKind.FAST_RANDOMIZED, PlannerKind.SELINGER):
+        qo = RaqoPlanner.two_step_baseline(
+            catalog, planner_kind=planner_kind
+        )
+        # Fig 12 runs RAQO with hill climbing but without plan caching.
+        raqo = RaqoPlanner(
+            catalog, planner_kind=planner_kind, cache_mode=None
+        )
+        for query in queries:
+            qo_ms = _avg_runtime_ms(qo, query, repetitions)
+            raqo_ms = _avg_runtime_ms(raqo, query, repetitions)
+            result = raqo.optimize(query)
+            rows.append(
+                PlanningRow(
+                    query=query.name,
+                    planner=str(planner_kind),
+                    qo_runtime_ms=qo_ms,
+                    raqo_runtime_ms=raqo_ms,
+                    resource_iterations=result.resource_iterations,
+                    raqo_cost_s=result.cost.time_s,
+                )
+            )
+    return TpchPlanningResult(rows=tuple(rows))
+
+
+def _avg_runtime_ms(
+    planner: RaqoPlanner, query: Query, repetitions: int
+) -> float:
+    total = 0.0
+    for _ in range(repetitions):
+        total += planner.optimize(query).wall_time_s
+    return total / repetitions * 1000.0
+
+
+def main() -> TpchPlanningResult:
+    """Print the Fig 12 grid."""
+    result = run()
+    print_table(
+        [
+            "query",
+            "planner",
+            "QO (ms)",
+            "RAQO (ms)",
+            "overhead",
+            "#resource iters",
+        ],
+        [
+            (
+                r.query,
+                r.planner,
+                r.qo_runtime_ms,
+                r.raqo_runtime_ms,
+                f"{r.overhead:.1f}x",
+                r.resource_iterations,
+            )
+            for r in result.rows
+        ],
+        title="Fig 12: RAQO planning on TPC-H (SF "
+        f"{SCALE_FACTOR:g}, 100 x 10 GB cluster)",
+    )
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,151 @@
+"""Fig 14: effectiveness of the resource plan cache on TPC-H.
+
+"Figures 14(a) and 14(b) show the number of resource configurations
+explored and the planner runtime with and without the resource plan
+cache ... (i) resource plan caching becomes more effective as we increase
+the interpolation [threshold], and (ii) both the number of resources
+configurations and the planner runtime decrease significantly with
+resource plan caching (up to 10x planner time reduction for 0.1GB
+threshold)."
+
+All measurements use the TPC-H ``All`` query, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.catalog import tpch
+from repro.catalog.queries import Query
+from repro.core.plan_cache import LookupMode
+from repro.core.raqo import RaqoPlanner
+from repro.experiments.fig12_tpch_planning import SCALE_FACTOR
+from repro.experiments.report import print_table
+
+#: The paper's x-axis: data-delta thresholds in GB (0 = exact only).
+THRESHOLDS_GB = (0.0, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1)
+
+
+@dataclass(frozen=True)
+class CachePoint:
+    """One (variant, threshold) measurement."""
+
+    variant: str
+    threshold_gb: float
+    resource_iterations: int
+    runtime_ms: float
+    cache_hits: int
+    cache_misses: int
+
+
+@dataclass(frozen=True)
+class PlanCacheResult:
+    """The Fig 14 series."""
+
+    baseline_iterations: int
+    baseline_runtime_ms: float
+    points: Tuple[CachePoint, ...]
+
+    def best_iteration_reduction(self) -> float:
+        """Largest explored-configuration reduction over the baseline."""
+        best = min(
+            point.resource_iterations for point in self.points
+        )
+        if best == 0:
+            return float("inf")
+        return self.baseline_iterations / best
+
+
+def _measure(
+    planner: RaqoPlanner, query: Query, repetitions: int
+) -> Tuple[int, float, int, int]:
+    iterations = hits = misses = 0
+    total_s = 0.0
+    for _ in range(repetitions):
+        result = planner.optimize(query)
+        iterations = result.resource_iterations
+        hits = result.counters.cache_hits
+        misses = result.counters.cache_misses
+        total_s += result.wall_time_s
+    return iterations, total_s / repetitions * 1000.0, hits, misses
+
+
+def run(
+    query: Query = tpch.QUERY_ALL, repetitions: int = 3
+) -> PlanCacheResult:
+    """Measure HC alone vs HC + caching variants over thresholds."""
+    catalog = tpch.tpch_catalog(SCALE_FACTOR)
+    baseline = RaqoPlanner(catalog, cache_mode=None)
+    base_iters, base_ms, _, _ = _measure(baseline, query, repetitions)
+
+    points = []
+    for mode, variant in (
+        (LookupMode.NEAREST, "HC+Caching_NN"),
+        (LookupMode.WEIGHTED_AVERAGE, "HC+Caching_WA"),
+    ):
+        for threshold in THRESHOLDS_GB:
+            planner = RaqoPlanner(
+                catalog,
+                cache_mode=mode,
+                cache_threshold_gb=threshold,
+            )
+            iters, ms, hits, misses = _measure(
+                planner, query, repetitions
+            )
+            points.append(
+                CachePoint(
+                    variant=variant,
+                    threshold_gb=threshold,
+                    resource_iterations=iters,
+                    runtime_ms=ms,
+                    cache_hits=hits,
+                    cache_misses=misses,
+                )
+            )
+    return PlanCacheResult(
+        baseline_iterations=base_iters,
+        baseline_runtime_ms=base_ms,
+        points=tuple(points),
+    )
+
+
+def main() -> PlanCacheResult:
+    """Print the Fig 14 series."""
+    result = run()
+    print(
+        f"HillClimbing (no cache): {result.baseline_iterations} "
+        f"iterations, {result.baseline_runtime_ms:.1f} ms"
+    )
+    print_table(
+        [
+            "variant",
+            "threshold (GB)",
+            "#resource iters",
+            "runtime (ms)",
+            "hits",
+            "misses",
+        ],
+        [
+            (
+                p.variant,
+                f"{p.threshold_gb:g}",
+                p.resource_iterations,
+                p.runtime_ms,
+                p.cache_hits,
+                p.cache_misses,
+            )
+            for p in result.points
+        ],
+        title="Fig 14: resource plan cache effectiveness (TPC-H All)",
+    )
+    print(
+        "best explored-configuration reduction: "
+        f"{result.best_iteration_reduction():.1f}x (paper: up to ~10x "
+        "runtime at 0.1 GB threshold)"
+    )
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Shared workload constants for the Sec III microbenchmark figures.
+
+The paper's single-join query is ``select * from orders, lineitem where
+o_orderkey = l_orderkey`` at TPC-H scale factor 100, where ``lineitem`` is
+~77 GB and ``orders`` is subsampled to control the smaller relation's size
+("we adjusted the smaller table orders size proportionally with the
+resources we had in hand"). The constants below are the sizes the paper's
+figures anchor on.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cluster.containers import ResourceConfiguration
+
+#: The large join side: the full SF-100 lineitem table (GB).
+LINEITEM_GB = 77.0
+
+#: The subsampled orders table used for the Fig 3(a) container-size sweep.
+ORDERS_LARGE_GB = 5.1
+
+#: The subsampled orders table used for the Fig 3(b) container-count sweep.
+ORDERS_SMALL_GB = 3.4
+
+#: Fig 3(a): 10 containers of varying size.
+CONTAINER_SIZE_SWEEP_GB = (2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0)
+CONTAINER_SIZE_SWEEP_NC = 10
+
+#: Fig 3(b): 3 GB containers, varying count.
+CONTAINER_COUNT_SWEEP = (5, 10, 15, 20, 25, 30, 35, 40, 45)
+CONTAINER_COUNT_SWEEP_GB = 3.0
+
+#: Fig 4: data sweep range for the smaller relation (GB).
+DATA_SWEEP_GB = tuple(round(0.5 * i, 1) for i in range(1, 25))
+
+
+def container_size_configs() -> List[ResourceConfiguration]:
+    """The Fig 3(a)/5(a)/6(a) resource configurations."""
+    return [
+        ResourceConfiguration(
+            num_containers=CONTAINER_SIZE_SWEEP_NC, container_gb=size
+        )
+        for size in CONTAINER_SIZE_SWEEP_GB
+    ]
+
+
+def container_count_configs() -> List[ResourceConfiguration]:
+    """The Fig 3(b)/5(b)/6(b) resource configurations."""
+    return [
+        ResourceConfiguration(
+            num_containers=count, container_gb=CONTAINER_COUNT_SWEEP_GB
+        )
+        for count in CONTAINER_COUNT_SWEEP
+    ]

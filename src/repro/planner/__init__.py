@@ -1,0 +1,38 @@
+"""Query planners and plan representations.
+
+Two planners, matching the paper's Sec VII evaluation:
+
+- :mod:`repro.planner.selinger` -- the traditional System R style
+  bottom-up join ordering algorithm (left-deep dynamic programming).
+- :mod:`repro.planner.randomized` -- the FastRandomized multi-objective
+  planner of Trummer & Koch (SIGMOD 2016), re-implemented as in the paper
+  with associativity and exchange mutations.
+
+Both planners cost candidate sub-plans exclusively through the
+:class:`~repro.planner.cost_interface.PlanCoster` seam, which is where
+cost-based RAQO plugs in resource planning (Sec VI-C).
+"""
+
+from repro.planner.bushy import BushyPlanner
+from repro.planner.cost_interface import (
+    Cost,
+    PlanCoster,
+    PlanningContext,
+    PlanningResult,
+)
+from repro.planner.plan import JoinNode, PlanNode, ScanNode
+from repro.planner.randomized import FastRandomizedPlanner
+from repro.planner.selinger import SelingerPlanner
+
+__all__ = [
+    "BushyPlanner",
+    "Cost",
+    "FastRandomizedPlanner",
+    "JoinNode",
+    "PlanCoster",
+    "PlanNode",
+    "PlanningContext",
+    "PlanningResult",
+    "ScanNode",
+    "SelingerPlanner",
+]

@@ -1,0 +1,143 @@
+"""Bushy dynamic-programming join ordering (DPsize).
+
+The paper's Selinger prototype is left-deep ("we implemented the Selinger
+algorithm for left deep trees"), while its FastRandomized planner searches
+bushy trees. This module completes the picture with the classic
+DPsize-style exhaustive bushy optimizer: for every connected relation
+subset, the best plan is the cheapest join of two connected,
+complementary sub-plans. It shares the :class:`~repro.planner.
+cost_interface.PlanCoster` seam, so it runs as a plain query optimizer or
+as cost-based RAQO, and bounds the quality of both other planners on
+small queries (see the planner-agreement tests).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.catalog.queries import Query
+from repro.planner.cost_interface import (
+    Cost,
+    PlanCoster,
+    PlanningContext,
+    PlanningResult,
+    Stopwatch,
+    ZERO_COST,
+)
+from repro.planner.operators import JOIN_IMPLEMENTATIONS
+from repro.planner.plan import JoinNode, PlanNode, ScanNode
+from repro.planner.selinger import PlanningError, _counters_delta
+
+#: Exhaustive bushy enumeration is exponential; refuse silly inputs.
+MAX_BUSHY_RELATIONS = 12
+
+
+class BushyPlanner:
+    """Exhaustive bushy join-order optimizer (DPsize)."""
+
+    name = "bushy_dp"
+
+    def __init__(
+        self,
+        coster: PlanCoster,
+        time_weight: float = 1.0,
+        money_weight: float = 0.0,
+    ) -> None:
+        self._coster = coster
+        self._time_weight = time_weight
+        self._money_weight = money_weight
+
+    def _scalar(self, cost: Cost) -> float:
+        return cost.scalar(self._time_weight, self._money_weight)
+
+    def plan(
+        self, query: Query, context: PlanningContext
+    ) -> PlanningResult:
+        """Optimize ``query`` over the full bushy plan space."""
+        if len(query.tables) > MAX_BUSHY_RELATIONS:
+            raise PlanningError(
+                f"bushy DP is exhaustive; {len(query.tables)} relations "
+                f"exceed the {MAX_BUSHY_RELATIONS}-relation limit -- use "
+                "the FastRandomized planner"
+            )
+        query.validate(context.estimator.catalog)
+        watch = Stopwatch()
+        start = dataclasses.replace(context.counters)
+
+        graph = context.estimator.join_graph
+        best: Dict[FrozenSet[str], Tuple[PlanNode, Cost]] = {}
+        for table in query.tables:
+            best[frozenset((table,))] = (ScanNode(table), ZERO_COST)
+
+        all_tables = frozenset(query.tables)
+        for size in range(2, len(query.tables) + 1):
+            for combo in itertools.combinations(sorted(all_tables), size):
+                subset = frozenset(combo)
+                if not graph.is_connected(subset):
+                    continue
+                entry = self._best_split(subset, best, context)
+                if entry is not None:
+                    best[subset] = entry
+
+        if all_tables not in best:
+            raise PlanningError(
+                f"no connected bushy plan found for {query.name!r}"
+            )
+        plan, cost = best[all_tables]
+        delta = _counters_delta(start, context.counters)
+        return PlanningResult(
+            query=query,
+            plan=plan,
+            cost=cost,
+            wall_time_s=watch.elapsed_s(),
+            counters=delta,
+            planner_name=self.name,
+        )
+
+    def _best_split(
+        self,
+        subset: FrozenSet[str],
+        best: Dict[FrozenSet[str], Tuple[PlanNode, Cost]],
+        context: PlanningContext,
+    ) -> Optional[Tuple[PlanNode, Cost]]:
+        """The cheapest (left, right) partition of ``subset``."""
+        graph = context.estimator.join_graph
+        names = sorted(subset)
+        champion: Optional[Tuple[PlanNode, Cost]] = None
+        # Enumerate proper subsets containing the smallest element, so
+        # each unordered partition is considered exactly once.
+        anchor = names[0]
+        rest = names[1:]
+        for mask_size in range(0, len(rest)):
+            for picked in itertools.combinations(rest, mask_size):
+                left = frozenset((anchor,) + picked)
+                right = subset - left
+                left_entry = best.get(left)
+                right_entry = best.get(right)
+                if left_entry is None or right_entry is None:
+                    continue
+                if not graph.edges_between(left, right):
+                    continue
+                left_plan, left_cost = left_entry
+                right_plan, right_cost = right_entry
+                for algorithm in JOIN_IMPLEMENTATIONS:
+                    context.counters.join_costings += 1
+                    cost, resources = self._coster.join_cost(
+                        left, right, algorithm, context
+                    )
+                    total = left_cost + right_cost + cost
+                    if not total.is_finite:
+                        continue
+                    if champion is None or self._scalar(
+                        total
+                    ) < self._scalar(champion[1]):
+                        node = JoinNode(
+                            left=left_plan,
+                            right=right_plan,
+                            algorithm=algorithm,
+                            resources=resources,
+                        )
+                        champion = (node, total)
+        return champion

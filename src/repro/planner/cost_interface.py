@@ -1,0 +1,174 @@
+"""The costing seam between query planners and (resource-aware) cost models.
+
+The paper integrates resource planning into query planning through a single
+method: "we extended the ``getPlanCost`` method of our cost model to first
+perform the resource planning (or lookup in the cache) and then return the
+sub-plan cost" (Sec VI-C). :class:`PlanCoster` is that seam: both the
+Selinger and the FastRandomized planner only ever talk to a coster, so the
+plain query optimizer (fixed resources) and cost-based RAQO (per-operator
+resource planning) are interchangeable.
+
+:class:`PlanningContext` carries everything a costing call may need --
+catalog statistics, current cluster conditions -- and the counters the
+paper's evaluation reports (#resource configurations explored, planner
+wall-clock time).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Optional, Protocol, Tuple
+
+from repro.catalog.queries import Query
+from repro.catalog.statistics import StatisticsEstimator
+from repro.cluster.cluster import ClusterConditions
+from repro.engine.joins import JoinAlgorithm
+from repro.planner.plan import JoinNode, PlanNode
+
+
+@dataclass(frozen=True)
+class Cost:
+    """A multi-objective plan cost: execution time and monetary cost.
+
+    Planners minimizing a single objective use :meth:`scalar`; the
+    multi-objective FastRandomized planner uses Pareto :meth:`dominates`.
+    """
+
+    time_s: float
+    money: float = 0.0
+
+    def __add__(self, other: "Cost") -> "Cost":
+        return Cost(self.time_s + other.time_s, self.money + other.money)
+
+    def scalar(self, time_weight: float = 1.0, money_weight: float = 0.0) -> float:
+        """Weighted scalarisation of the cost vector."""
+        return time_weight * self.time_s + money_weight * self.money
+
+    def dominates(self, other: "Cost") -> bool:
+        """Pareto dominance: no worse in both objectives, better in one."""
+        return (
+            self.time_s <= other.time_s
+            and self.money <= other.money
+            and (self.time_s < other.time_s or self.money < other.money)
+        )
+
+    @property
+    def is_finite(self) -> bool:
+        """False when the plan is infeasible under the given resources."""
+        return math.isfinite(self.time_s) and math.isfinite(self.money)
+
+
+#: The cost of an infeasible sub-plan (e.g. BHJ past its OOM wall).
+INFEASIBLE_COST = Cost(time_s=math.inf, money=math.inf)
+
+#: Free sub-plans (scan leaves; scans are folded into the join models).
+ZERO_COST = Cost(time_s=0.0, money=0.0)
+
+
+@dataclass
+class PlanningCounters:
+    """The accounting the paper's Figs 12-15 report."""
+
+    #: Cost-model invocations made while exploring resource configurations
+    #: (the paper's "#Resource-Iterations").
+    resource_iterations: int = 0
+    #: Individual join-operator costings requested by the query planner.
+    join_costings: int = 0
+    #: Resource plan cache hits / misses (Fig 14).
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def merge(self, other: "PlanningCounters") -> None:
+        """Accumulate another counter set into this one."""
+        self.resource_iterations += other.resource_iterations
+        self.join_costings += other.join_costings
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+
+
+@dataclass
+class PlanningContext:
+    """Catalog, cluster conditions, and counters for one planning run."""
+
+    estimator: StatisticsEstimator
+    cluster: ClusterConditions
+    counters: PlanningCounters = field(default_factory=PlanningCounters)
+
+    def join_io_gb(
+        self, left_tables: Iterable[str], right_tables: Iterable[str]
+    ) -> Tuple[float, float]:
+        """(smaller, larger) input sizes in GB for a candidate join."""
+        return self.estimator.join_io_gb(left_tables, right_tables)
+
+
+class PlanCoster(Protocol):
+    """What a query planner needs from a cost model.
+
+    Implementations: the plain query-optimizer coster (fixed default
+    resources) and the RAQO coster (per-operator resource planning);
+    see :mod:`repro.core.raqo`.
+    """
+
+    def join_cost(
+        self,
+        left_tables: FrozenSet[str],
+        right_tables: FrozenSet[str],
+        algorithm: JoinAlgorithm,
+        context: PlanningContext,
+    ) -> Tuple[Cost, Optional["ResourceConfiguration"]]:  # noqa: F821
+        """Cost one join operator; optionally return planned resources."""
+        ...
+
+
+def get_plan_cost(
+    plan: PlanNode, coster: PlanCoster, context: PlanningContext
+) -> Tuple[PlanNode, Cost]:
+    """Cost a whole plan; returns the plan annotated with resources.
+
+    The total cost of a plan is the sum of its join operators' costs
+    (Sec VI-A: "the total cost of a query plan is the sum of costs of all
+    join operators in that plan"). Joins are costed bottom-up and each
+    join node is annotated with the resources the coster picked.
+    """
+    total = ZERO_COST
+
+    def cost_one(join: JoinNode) -> JoinNode:
+        nonlocal total
+        cost, resources = coster.join_cost(
+            join.left.tables, join.right.tables, join.algorithm, context
+        )
+        total = total + cost
+        return join.with_resources(resources)
+
+    annotated = plan.map_joins(cost_one)
+    return annotated, total
+
+
+@dataclass(frozen=True)
+class PlanningResult:
+    """The outcome of one optimizer run, with the paper's metrics."""
+
+    query: Query
+    plan: PlanNode
+    cost: Cost
+    wall_time_s: float
+    counters: PlanningCounters
+    planner_name: str
+
+    @property
+    def resource_iterations(self) -> int:
+        """Shorthand for the headline Fig 12/13 metric."""
+        return self.counters.resource_iterations
+
+
+class Stopwatch:
+    """Tiny wall-clock helper so planners report comparable timings."""
+
+    def __init__(self) -> None:
+        self._start = time.perf_counter()
+
+    def elapsed_s(self) -> float:
+        """Seconds since construction."""
+        return time.perf_counter() - self._start

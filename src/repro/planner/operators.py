@@ -1,0 +1,67 @@
+"""Physical operator inventory.
+
+The paper's search space is ``n! * (a * rp * rc)^n`` where ``a`` is the
+number of operator implementations (Sec VI-B). The evaluation considers
+"two join operator implementations (SMJ and BHJ) and one scan
+implementation (full scan)"; this module is that inventory.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Tuple
+
+from repro.engine.joins import JoinAlgorithm
+
+
+class ScanImplementation(enum.Enum):
+    """Scan implementations (the paper evaluates only full scans)."""
+
+    FULL_SCAN = "full_scan"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Join implementations considered by the planners, in preference order.
+JOIN_IMPLEMENTATIONS: Tuple[JoinAlgorithm, ...] = (
+    JoinAlgorithm.SORT_MERGE,
+    JoinAlgorithm.BROADCAST_HASH,
+)
+
+#: Scan implementations considered by the planners.
+SCAN_IMPLEMENTATIONS: Tuple[ScanImplementation, ...] = (
+    ScanImplementation.FULL_SCAN,
+)
+
+#: The paper's ``a``: operator implementation alternatives per join.
+NUM_JOIN_IMPLEMENTATIONS = len(JOIN_IMPLEMENTATIONS)
+
+
+def search_space_size(
+    num_relations: int,
+    num_container_counts: int,
+    num_container_sizes: int,
+    independent_operators: bool = True,
+) -> float:
+    """The paper's Sec VI-B search-space formulas.
+
+    With ``independent_operators=False`` this is the full joint space
+    ``n! * (a * rp * rc)^n``; with the paper's per-operator independence
+    assumption it collapses to ``n! * a * n * rp * rc``.
+    """
+    if num_relations < 1:
+        raise ValueError(
+            f"num_relations must be >= 1, got {num_relations}"
+        )
+    factorial = 1.0
+    for i in range(2, num_relations + 1):
+        factorial *= i
+    per_operator = (
+        NUM_JOIN_IMPLEMENTATIONS
+        * num_container_counts
+        * num_container_sizes
+    )
+    if independent_operators:
+        return factorial * per_operator * num_relations
+    return factorial * per_operator**num_relations

@@ -1,0 +1,201 @@
+"""Physical plan trees: scans and binary joins, with per-operator resources.
+
+A plan is an immutable binary tree. Each join node carries its physical
+implementation (:class:`~repro.engine.joins.JoinAlgorithm`) and, once RAQO
+has planned it, a per-operator
+:class:`~repro.cluster.containers.ResourceConfiguration` -- the paper's
+joint query/resource plan ("the optimizer ... emits a joint query and
+resource plan, which contains both the operator DAG ... and the resources
+to be requested to the RM for each operator in the DAG", Sec IV).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, FrozenSet, Iterator, List, Optional, Sequence, Tuple
+
+from repro.cluster.containers import ResourceConfiguration
+from repro.engine.joins import JoinAlgorithm
+
+
+class PlanError(Exception):
+    """Raised for malformed plan trees."""
+
+
+@dataclass(frozen=True)
+class PlanNode:
+    """Base class for plan tree nodes."""
+
+    @property
+    def tables(self) -> FrozenSet[str]:
+        """All base tables under this node."""
+        raise NotImplementedError
+
+    @property
+    def is_join(self) -> bool:
+        """True for join nodes."""
+        return isinstance(self, JoinNode)
+
+    def joins_postorder(self) -> Iterator["JoinNode"]:
+        """All join nodes below (and including) this one, children first."""
+        if isinstance(self, JoinNode):
+            yield from self.left.joins_postorder()
+            yield from self.right.joins_postorder()
+            yield self
+
+    def scans(self) -> Iterator["ScanNode"]:
+        """All scan leaves, left to right."""
+        if isinstance(self, ScanNode):
+            yield self
+        elif isinstance(self, JoinNode):
+            yield from self.left.scans()
+            yield from self.right.scans()
+
+    @property
+    def num_joins(self) -> int:
+        """Number of join nodes in the subtree."""
+        return sum(1 for _ in self.joins_postorder())
+
+    def map_joins(
+        self, transform: Callable[["JoinNode"], "JoinNode"]
+    ) -> "PlanNode":
+        """Rebuild the tree, applying ``transform`` to each join bottom-up.
+
+        ``transform`` receives a join node whose children have already been
+        transformed, and must return a join node over the same children.
+        """
+        if isinstance(self, ScanNode):
+            return self
+        if isinstance(self, JoinNode):
+            rebuilt = dataclasses.replace(
+                self,
+                left=self.left.map_joins(transform),
+                right=self.right.map_joins(transform),
+            )
+            result = transform(rebuilt)
+            if result.tables != self.tables:
+                raise PlanError(
+                    "map_joins transform changed the table set "
+                    f"({sorted(self.tables)} -> {sorted(result.tables)})"
+                )
+            return result
+        raise PlanError(f"unknown node type {type(self).__name__}")
+
+    def explain(self, indent: int = 0) -> str:
+        """A readable multi-line rendering of the plan."""
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        return self.explain()
+
+
+@dataclass(frozen=True)
+class ScanNode(PlanNode):
+    """A full scan of one base table."""
+
+    table: str
+
+    def __post_init__(self) -> None:
+        if not self.table:
+            raise PlanError("scan table name must be non-empty")
+
+    @property
+    def tables(self) -> FrozenSet[str]:
+        return frozenset((self.table,))
+
+    def explain(self, indent: int = 0) -> str:
+        return " " * indent + f"Scan({self.table})"
+
+
+@dataclass(frozen=True)
+class JoinNode(PlanNode):
+    """A binary join with an implementation and (optionally) resources.
+
+    By convention the *build/broadcast* side of a BHJ is whichever input
+    is smaller -- the simulator and cost models take (smaller, larger)
+    sizes, so left/right order encodes join order, not build side.
+    """
+
+    left: PlanNode
+    right: PlanNode
+    algorithm: JoinAlgorithm = JoinAlgorithm.SORT_MERGE
+    resources: Optional[ResourceConfiguration] = None
+
+    def __post_init__(self) -> None:
+        overlap = self.left.tables & self.right.tables
+        if overlap:
+            raise PlanError(
+                f"join children overlap on tables {sorted(overlap)}"
+            )
+
+    @property
+    def tables(self) -> FrozenSet[str]:
+        return self.left.tables | self.right.tables
+
+    def with_algorithm(self, algorithm: JoinAlgorithm) -> "JoinNode":
+        """A copy using a different join implementation."""
+        return dataclasses.replace(self, algorithm=algorithm)
+
+    def with_resources(
+        self, resources: Optional[ResourceConfiguration]
+    ) -> "JoinNode":
+        """A copy annotated with a per-operator resource configuration."""
+        return dataclasses.replace(self, resources=resources)
+
+    def explain(self, indent: int = 0) -> str:
+        pad = " " * indent
+        resources = f" @ {self.resources}" if self.resources else ""
+        lines = [
+            f"{pad}{self.algorithm.name}{resources}",
+            self.left.explain(indent + 2),
+            self.right.explain(indent + 2),
+        ]
+        return "\n".join(lines)
+
+
+def left_deep_plan(
+    tables: Sequence[str],
+    algorithms: Optional[Sequence[JoinAlgorithm]] = None,
+) -> PlanNode:
+    """Build a left-deep plan joining ``tables`` in the given order.
+
+    ``algorithms[i]`` is the implementation of the i-th join from the
+    bottom; defaults to SMJ everywhere.
+    """
+    if not tables:
+        raise PlanError("cannot build a plan over zero tables")
+    if algorithms is not None and len(algorithms) != len(tables) - 1:
+        raise PlanError(
+            f"need {len(tables) - 1} algorithms, got {len(algorithms)}"
+        )
+    node: PlanNode = ScanNode(tables[0])
+    for index, table in enumerate(tables[1:]):
+        algorithm = (
+            algorithms[index]
+            if algorithms is not None
+            else JoinAlgorithm.SORT_MERGE
+        )
+        node = JoinNode(
+            left=node, right=ScanNode(table), algorithm=algorithm
+        )
+    return node
+
+
+def plan_signature(node: PlanNode) -> Tuple:
+    """A hashable structural signature (for dedup in randomized search)."""
+    if isinstance(node, ScanNode):
+        return ("scan", node.table)
+    if isinstance(node, JoinNode):
+        return (
+            "join",
+            node.algorithm.value,
+            plan_signature(node.left),
+            plan_signature(node.right),
+        )
+    raise PlanError(f"unknown node type {type(node).__name__}")
+
+
+def join_order(node: PlanNode) -> List[str]:
+    """The base-table order of the plan's leaves, left to right."""
+    return [scan.table for scan in node.scans()]

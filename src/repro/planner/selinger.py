@@ -1,0 +1,148 @@
+"""System R (Selinger) style bottom-up join ordering for left-deep trees.
+
+"For System R style optimization, we implemented the Selinger algorithm for
+left deep trees" (Sec VII-A). Dynamic programming over connected relation
+subsets: the best plan for a set is the cheapest extension of a best plan
+for one of its subsets by a single base relation, considering every join
+implementation. All costing goes through the
+:class:`~repro.planner.cost_interface.PlanCoster` seam, so the same planner
+runs as a plain query optimizer or as cost-based RAQO.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.catalog.queries import Query
+from repro.planner.cost_interface import (
+    Cost,
+    PlanCoster,
+    PlanningContext,
+    PlanningCounters,
+    PlanningResult,
+    Stopwatch,
+    ZERO_COST,
+)
+from repro.planner.operators import JOIN_IMPLEMENTATIONS
+from repro.planner.plan import JoinNode, PlanNode, ScanNode
+
+
+class PlanningError(Exception):
+    """Raised when no feasible plan exists for a query."""
+
+
+class SelingerPlanner:
+    """Left-deep bottom-up dynamic programming join-order optimizer."""
+
+    name = "selinger"
+
+    def __init__(
+        self,
+        coster: PlanCoster,
+        time_weight: float = 1.0,
+        money_weight: float = 0.0,
+    ) -> None:
+        self._coster = coster
+        self._time_weight = time_weight
+        self._money_weight = money_weight
+
+    def _scalar(self, cost: Cost) -> float:
+        return cost.scalar(self._time_weight, self._money_weight)
+
+    def plan(
+        self, query: Query, context: PlanningContext
+    ) -> PlanningResult:
+        """Optimize ``query``; returns the paper's planning metrics.
+
+        Counters accumulate into ``context.counters`` (so across-query
+        caching experiments can aggregate); the returned result carries
+        only this run's deltas.
+        """
+        query.validate(context.estimator.catalog)
+        watch = Stopwatch()
+        start = dataclasses.replace(context.counters)
+
+        graph = context.estimator.join_graph
+        best: Dict[FrozenSet[str], Tuple[PlanNode, Cost]] = {}
+        for table in query.tables:
+            best[frozenset((table,))] = (ScanNode(table), ZERO_COST)
+
+        all_tables = frozenset(query.tables)
+        for size in range(2, len(query.tables) + 1):
+            for combo in itertools.combinations(sorted(all_tables), size):
+                subset = frozenset(combo)
+                if size > 1 and not graph.is_connected(subset):
+                    continue
+                entry = self._best_extension(subset, best, context)
+                if entry is not None:
+                    best[subset] = entry
+
+        if all_tables not in best:
+            raise PlanningError(
+                f"no connected left-deep plan found for query "
+                f"{query.name!r}"
+            )
+        plan, cost = best[all_tables]
+        delta = _counters_delta(start, context.counters)
+        return PlanningResult(
+            query=query,
+            plan=plan,
+            cost=cost,
+            wall_time_s=watch.elapsed_s(),
+            counters=delta,
+            planner_name=self.name,
+        )
+
+    def _best_extension(
+        self,
+        subset: FrozenSet[str],
+        best: Dict[FrozenSet[str], Tuple[PlanNode, Cost]],
+        context: PlanningContext,
+    ) -> Optional[Tuple[PlanNode, Cost]]:
+        """The cheapest way to build ``subset`` by adding one relation."""
+        graph = context.estimator.join_graph
+        champion: Optional[Tuple[PlanNode, Cost]] = None
+        for table in sorted(subset):
+            rest = subset - {table}
+            rest_entry = best.get(rest)
+            if rest_entry is None:
+                continue
+            # Left-deep: the new relation is always the right input, and
+            # must actually join (no cross products).
+            if not graph.edges_between(rest, {table}):
+                continue
+            rest_plan, rest_cost = rest_entry
+            for algorithm in JOIN_IMPLEMENTATIONS:
+                context.counters.join_costings += 1
+                cost, resources = self._coster.join_cost(
+                    rest, frozenset((table,)), algorithm, context
+                )
+                total = rest_cost + cost
+                if not total.is_finite:
+                    continue
+                if champion is None or self._scalar(total) < self._scalar(
+                    champion[1]
+                ):
+                    node = JoinNode(
+                        left=rest_plan,
+                        right=ScanNode(table),
+                        algorithm=algorithm,
+                        resources=resources,
+                    )
+                    champion = (node, total)
+        return champion
+
+
+def _counters_delta(
+    start: PlanningCounters, end: PlanningCounters
+) -> PlanningCounters:
+    """Per-run counter deltas (context counters keep accumulating)."""
+    return PlanningCounters(
+        resource_iterations=end.resource_iterations
+        - start.resource_iterations,
+        join_costings=end.join_costings - start.join_costings,
+        cache_hits=end.cache_hits - start.cache_hits,
+        cache_misses=end.cache_misses - start.cache_misses,
+    )

@@ -1,0 +1,190 @@
+"""JSON serialization for plans, cost models, and decision trees.
+
+A deployable RAQO needs its learned artifacts to outlive the process: the
+paper's cost models are "a one-time investment for each system" and its
+decision trees are meant to be "simply plugged into Hive and Spark". This
+module round-trips the three artifact kinds through plain JSON:
+
+- joint query/resource plans (:func:`plan_to_dict` / :func:`plan_from_dict`),
+- learned operator cost models (:func:`cost_model_to_dict` / ...),
+- CART decision trees (:func:`tree_to_dict` / ...).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.cluster.containers import ResourceConfiguration
+from repro.core.cost_model import (
+    EXTENDED_FEATURES,
+    FeatureMap,
+    OperatorCostModel,
+    PAPER_FEATURES,
+)
+from repro.core.decision_tree import DecisionTreeClassifier, TreeNode
+from repro.engine.joins import JoinAlgorithm
+from repro.planner.plan import JoinNode, PlanNode, ScanNode
+
+#: Registry of feature maps by name (feature maps carry code, so they
+#: serialize by reference).
+FEATURE_MAPS: Dict[str, FeatureMap] = {
+    PAPER_FEATURES.name: PAPER_FEATURES,
+    EXTENDED_FEATURES.name: EXTENDED_FEATURES,
+}
+
+
+class SerializationError(Exception):
+    """Raised for malformed serialized artifacts."""
+
+
+# --- plans ---
+
+
+def plan_to_dict(plan: PlanNode) -> Dict[str, Any]:
+    """Serialize a plan tree (including per-operator resources)."""
+    if isinstance(plan, ScanNode):
+        return {"kind": "scan", "table": plan.table}
+    if isinstance(plan, JoinNode):
+        payload: Dict[str, Any] = {
+            "kind": "join",
+            "algorithm": plan.algorithm.value,
+            "left": plan_to_dict(plan.left),
+            "right": plan_to_dict(plan.right),
+        }
+        if plan.resources is not None:
+            payload["resources"] = {
+                "num_containers": plan.resources.num_containers,
+                "container_gb": plan.resources.container_gb,
+            }
+        return payload
+    raise SerializationError(
+        f"unknown plan node type {type(plan).__name__}"
+    )
+
+
+def plan_from_dict(payload: Dict[str, Any]) -> PlanNode:
+    """Rebuild a plan tree from its JSON form."""
+    kind = payload.get("kind")
+    if kind == "scan":
+        return ScanNode(payload["table"])
+    if kind == "join":
+        resources = None
+        if "resources" in payload:
+            resources = ResourceConfiguration(
+                num_containers=payload["resources"]["num_containers"],
+                container_gb=payload["resources"]["container_gb"],
+            )
+        return JoinNode(
+            left=plan_from_dict(payload["left"]),
+            right=plan_from_dict(payload["right"]),
+            algorithm=JoinAlgorithm(payload["algorithm"]),
+            resources=resources,
+        )
+    raise SerializationError(f"unknown plan node kind {kind!r}")
+
+
+# --- cost models ---
+
+
+def cost_model_to_dict(model: OperatorCostModel) -> Dict[str, Any]:
+    """Serialize a fitted operator cost model."""
+    return {
+        "algorithm": model.algorithm.value,
+        "feature_map": model.feature_map.name,
+        "coefficients": list(model.coefficients),
+        "intercept": model.intercept,
+    }
+
+
+def cost_model_from_dict(payload: Dict[str, Any]) -> OperatorCostModel:
+    """Rebuild a cost model; the feature map resolves by name."""
+    feature_map = FEATURE_MAPS.get(payload.get("feature_map"))
+    if feature_map is None:
+        raise SerializationError(
+            f"unknown feature map {payload.get('feature_map')!r}"
+        )
+    return OperatorCostModel(
+        algorithm=JoinAlgorithm(payload["algorithm"]),
+        feature_map=feature_map,
+        coefficients=tuple(payload["coefficients"]),
+        intercept=float(payload["intercept"]),
+    )
+
+
+# --- decision trees ---
+
+
+def _node_to_dict(node: TreeNode) -> Dict[str, Any]:
+    payload: Dict[str, Any] = {
+        "gini": node.gini,
+        "samples": node.samples,
+        "value": list(node.value),
+        "prediction": node.prediction,
+    }
+    if not node.is_leaf:
+        payload.update(
+            feature=node.feature,
+            threshold=node.threshold,
+            left=_node_to_dict(node.left),
+            right=_node_to_dict(node.right),
+        )
+    return payload
+
+
+def _node_from_dict(payload: Dict[str, Any]) -> TreeNode:
+    node = TreeNode(
+        gini=float(payload["gini"]),
+        samples=int(payload["samples"]),
+        value=tuple(int(v) for v in payload["value"]),
+        prediction=int(payload["prediction"]),
+    )
+    if "feature" in payload:
+        node.feature = int(payload["feature"])
+        node.threshold = float(payload["threshold"])
+        node.left = _node_from_dict(payload["left"])
+        node.right = _node_from_dict(payload["right"])
+    return node
+
+
+def tree_to_dict(tree: DecisionTreeClassifier) -> Dict[str, Any]:
+    """Serialize a fitted CART tree."""
+    if tree.root is None:
+        raise SerializationError("cannot serialize an unfitted tree")
+    return {
+        "classes": list(tree.classes_),
+        "n_features": tree.n_features_,
+        "max_depth": tree.max_depth,
+        "min_samples_split": tree.min_samples_split,
+        "min_samples_leaf": tree.min_samples_leaf,
+        "root": _node_to_dict(tree.root),
+    }
+
+
+def tree_from_dict(payload: Dict[str, Any]) -> DecisionTreeClassifier:
+    """Rebuild a fitted CART tree."""
+    tree = DecisionTreeClassifier(
+        max_depth=payload.get("max_depth"),
+        min_samples_split=int(payload.get("min_samples_split", 2)),
+        min_samples_leaf=int(payload.get("min_samples_leaf", 1)),
+    )
+    tree.classes_ = tuple(payload["classes"])
+    tree.n_features_ = int(payload["n_features"])
+    tree.root = _node_from_dict(payload["root"])
+    return tree
+
+
+# --- file helpers ---
+
+
+def save_json(
+    payload: Dict[str, Any], path: Union[str, Path]
+) -> None:
+    """Write an artifact dict as pretty-printed JSON."""
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def load_json(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read an artifact dict back."""
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,23 @@
+"""Multi-query workloads: generation and batch evaluation.
+
+The paper evaluates planning per query but motivates RAQO with workload
+economics (SLAs, monetary budgets, across-query resource-plan caching).
+This package generates mixed workloads over a catalog and runs them
+through any planner configuration, aggregating the planning-side and
+execution-side metrics.
+"""
+
+from repro.workloads.generator import WorkloadSpec, generate_workload
+from repro.workloads.runner import (
+    WorkloadReport,
+    WorkloadRunner,
+    compare_planners,
+)
+
+__all__ = [
+    "WorkloadReport",
+    "WorkloadRunner",
+    "WorkloadSpec",
+    "compare_planners",
+    "generate_workload",
+]

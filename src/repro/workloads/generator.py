@@ -1,0 +1,76 @@
+"""Workload generation: batches of connected join queries.
+
+Mirrors the enterprise setting the paper leans on ("most enterprises that
+run data analytics have traces of past workload executions"): a workload
+is a stream of join queries over one catalog, with query sizes drawn from
+a configurable distribution. Repeated-template probability controls how
+much inter-query similarity exists -- the knob that across-query
+resource-plan caching (Fig 15b) exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.catalog.queries import Query
+from repro.catalog.random_schema import random_query
+from repro.catalog.schema import Catalog
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Shape of a generated workload."""
+
+    num_queries: int
+    #: Candidate query sizes (number of relations) and their weights.
+    sizes: Tuple[int, ...] = (2, 3, 4, 5)
+    size_weights: Tuple[float, ...] = (0.4, 0.3, 0.2, 0.1)
+    #: Probability that a query repeats an earlier template (with the
+    #: same relations), as recurring production jobs do.
+    repeat_probability: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.num_queries < 1:
+            raise ValueError(
+                f"num_queries must be >= 1, got {self.num_queries}"
+            )
+        if len(self.sizes) != len(self.size_weights):
+            raise ValueError("sizes and size_weights lengths differ")
+        if not self.sizes:
+            raise ValueError("need at least one candidate size")
+        if any(weight < 0 for weight in self.size_weights):
+            raise ValueError("size_weights must be non-negative")
+        if sum(self.size_weights) <= 0:
+            raise ValueError("size_weights must not sum to zero")
+        if not 0.0 <= self.repeat_probability <= 1.0:
+            raise ValueError(
+                "repeat_probability must be in [0, 1], got "
+                f"{self.repeat_probability}"
+            )
+
+
+def generate_workload(
+    catalog: Catalog, spec: WorkloadSpec, rng: np.random.Generator
+) -> List[Query]:
+    """Generate ``spec.num_queries`` connected queries over ``catalog``."""
+    weights = np.asarray(spec.size_weights, dtype=float)
+    weights = weights / weights.sum()
+    max_size = len(catalog.table_names)
+    queries: List[Query] = []
+    for index in range(spec.num_queries):
+        if queries and rng.random() < spec.repeat_probability:
+            template = queries[int(rng.integers(len(queries)))]
+            queries.append(
+                Query(name=f"q{index:03d}", tables=template.tables)
+            )
+            continue
+        size = int(rng.choice(spec.sizes, p=weights))
+        size = min(size, max_size)
+        query = random_query(
+            catalog, size, rng, name=f"q{index:03d}"
+        )
+        queries.append(query)
+    return queries

@@ -1,0 +1,129 @@
+"""Workload execution: run a batch of queries through a planner.
+
+Aggregates both sides of the paper's story per workload: the planning
+overheads (wall time, resource configurations explored, cache behaviour)
+and the simulated execution outcomes (time, resources used, dollars) when
+the produced plans run on the engine simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.catalog.queries import Query
+from repro.cluster.containers import ResourceConfiguration
+from repro.core.raqo import DEFAULT_QO_RESOURCES, RaqoPlanner
+from repro.engine.executor import execute_plan
+from repro.engine.profiles import EngineProfile, HIVE_PROFILE
+
+
+@dataclass(frozen=True)
+class QueryOutcome:
+    """Planning + execution result for one workload query."""
+
+    query: Query
+    planning_ms: float
+    resource_iterations: int
+    cache_hits: int
+    predicted_time_s: float
+    executed_time_s: float
+    executed_gb_seconds: float
+    executed_dollars: float
+
+
+@dataclass(frozen=True)
+class WorkloadReport:
+    """Aggregated workload metrics."""
+
+    label: str
+    outcomes: Tuple[QueryOutcome, ...]
+
+    @property
+    def total_planning_ms(self) -> float:
+        """Total optimizer wall time across the workload."""
+        return sum(o.planning_ms for o in self.outcomes)
+
+    @property
+    def total_resource_iterations(self) -> int:
+        """Total resource configurations explored."""
+        return sum(o.resource_iterations for o in self.outcomes)
+
+    @property
+    def total_executed_time_s(self) -> float:
+        """Total simulated execution time."""
+        return sum(o.executed_time_s for o in self.outcomes)
+
+    @property
+    def total_dollars(self) -> float:
+        """Total simulated monetary cost."""
+        return sum(o.executed_dollars for o in self.outcomes)
+
+    @property
+    def cache_hit_total(self) -> int:
+        """Total resource-plan-cache hits."""
+        return sum(o.cache_hits for o in self.outcomes)
+
+    def summary_row(self) -> Tuple:
+        """A printable aggregate row."""
+        return (
+            self.label,
+            len(self.outcomes),
+            self.total_planning_ms,
+            self.total_resource_iterations,
+            self.total_executed_time_s,
+            self.total_dollars,
+        )
+
+
+class WorkloadRunner:
+    """Runs workloads through one planner configuration."""
+
+    def __init__(
+        self,
+        planner: RaqoPlanner,
+        profile: EngineProfile = HIVE_PROFILE,
+        default_resources: ResourceConfiguration = DEFAULT_QO_RESOURCES,
+    ) -> None:
+        self.planner = planner
+        self.profile = profile
+        self.default_resources = default_resources
+
+    def run(
+        self, queries: Sequence[Query], label: str = "workload"
+    ) -> WorkloadReport:
+        """Plan and execute every query; returns the aggregate report."""
+        outcomes: List[QueryOutcome] = []
+        for query in queries:
+            result = self.planner.optimize(query)
+            execution = execute_plan(
+                result.plan,
+                self.planner.estimator,
+                self.profile,
+                default_resources=self.default_resources,
+            )
+            outcomes.append(
+                QueryOutcome(
+                    query=query,
+                    planning_ms=result.wall_time_s * 1000.0,
+                    resource_iterations=result.resource_iterations,
+                    cache_hits=result.counters.cache_hits,
+                    predicted_time_s=result.cost.time_s,
+                    executed_time_s=execution.time_s,
+                    executed_gb_seconds=execution.gb_seconds,
+                    executed_dollars=execution.dollars,
+                )
+            )
+        return WorkloadReport(label=label, outcomes=tuple(outcomes))
+
+
+def compare_planners(
+    planners: Dict[str, RaqoPlanner],
+    queries: Sequence[Query],
+    profile: EngineProfile = HIVE_PROFILE,
+) -> List[WorkloadReport]:
+    """Run the same workload through several planner configurations."""
+    return [
+        WorkloadRunner(planner, profile).run(queries, label=label)
+        for label, planner in planners.items()
+    ]

@@ -1,0 +1,148 @@
+"""Tests for repro.catalog.join_graph."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog.join_graph import JoinEdge, JoinGraph, JoinGraphError
+
+
+def chain_graph(n=4):
+    """t0 - t1 - t2 - ... chain."""
+    return JoinGraph(
+        [
+            JoinEdge(f"t{i}", f"t{i+1}", selectivity=0.5)
+            for i in range(n - 1)
+        ]
+    )
+
+
+class TestJoinEdge:
+    def test_key_is_unordered(self):
+        edge = JoinEdge("a", "b", 0.1)
+        assert edge.key == frozenset(("a", "b"))
+
+    def test_touches(self):
+        edge = JoinEdge("a", "b", 0.1)
+        assert edge.touches("a") and edge.touches("b")
+        assert not edge.touches("c")
+
+    def test_self_join_rejected(self):
+        with pytest.raises(JoinGraphError):
+            JoinEdge("a", "a", 0.1)
+
+    @pytest.mark.parametrize("sel", [0.0, -0.5, 1.5])
+    def test_bad_selectivity_rejected(self, sel):
+        with pytest.raises(JoinGraphError):
+            JoinEdge("a", "b", sel)
+
+    def test_selectivity_one_allowed(self):
+        assert JoinEdge("a", "b", 1.0).selectivity == 1.0
+
+
+class TestJoinGraph:
+    def test_edge_between(self):
+        graph = chain_graph()
+        assert graph.edge_between("t0", "t1") is not None
+        assert graph.edge_between("t1", "t0") is not None
+        assert graph.edge_between("t0", "t2") is None
+
+    def test_duplicate_edge_rejected(self):
+        graph = chain_graph()
+        with pytest.raises(JoinGraphError):
+            graph.add_edge(JoinEdge("t1", "t0", 0.2))
+
+    def test_edges_within(self):
+        graph = chain_graph()
+        edges = graph.edges_within(["t0", "t1", "t2"])
+        assert len(edges) == 2
+
+    def test_edges_between(self):
+        graph = chain_graph()
+        edges = graph.edges_between(["t0", "t1"], ["t2", "t3"])
+        assert len(edges) == 1
+        assert edges[0].key == frozenset(("t1", "t2"))
+
+    def test_edges_between_overlap_rejected(self):
+        graph = chain_graph()
+        with pytest.raises(JoinGraphError):
+            graph.edges_between(["t0", "t1"], ["t1", "t2"])
+
+    def test_neighbors(self):
+        graph = chain_graph()
+        assert graph.neighbors("t1") == {"t0", "t2"}
+        assert graph.neighbors("unknown") == set()
+
+    def test_tables(self):
+        assert chain_graph(3).tables() == {"t0", "t1", "t2"}
+
+    def test_is_connected_singleton(self):
+        assert chain_graph().is_connected(["t0"])
+
+    def test_is_connected_chain(self):
+        graph = chain_graph()
+        assert graph.is_connected(["t0", "t1", "t2"])
+        assert not graph.is_connected(["t0", "t2"])
+
+    def test_is_connected_unknown_table(self):
+        assert not chain_graph().is_connected(["t0", "ghost"])
+
+    def test_is_connected_empty_rejected(self):
+        with pytest.raises(JoinGraphError):
+            chain_graph().is_connected([])
+
+    def test_selectivity_between(self):
+        graph = chain_graph()
+        assert graph.selectivity_between(["t0"], ["t1"]) == 0.5
+        # Cross join: no edge -> selectivity 1.
+        assert graph.selectivity_between(["t0"], ["t2"]) == 1.0
+
+    def test_len_and_iter(self):
+        graph = chain_graph(4)
+        assert len(graph) == 3
+        assert len(list(graph)) == 3
+
+
+class TestConnectedSubset:
+    def test_full_chain(self):
+        graph = chain_graph(5)
+        rng = np.random.default_rng(0)
+        subset = graph.connected_subset("t0", 5, rng)
+        assert sorted(subset) == ["t0", "t1", "t2", "t3", "t4"]
+
+    def test_subset_always_connected(self):
+        graph = chain_graph(6)
+        rng = np.random.default_rng(1)
+        for size in range(1, 7):
+            subset = graph.connected_subset("t2", size, rng)
+            assert len(subset) == size
+            assert graph.is_connected(subset)
+
+    def test_unknown_seed_rejected(self):
+        with pytest.raises(JoinGraphError):
+            chain_graph().connected_subset(
+                "ghost", 2, np.random.default_rng(0)
+            )
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(JoinGraphError):
+            chain_graph().connected_subset(
+                "t0", 0, np.random.default_rng(0)
+            )
+
+    def test_oversized_request_fails(self):
+        with pytest.raises(JoinGraphError):
+            chain_graph(3).connected_subset(
+                "t0", 10, np.random.default_rng(0)
+            )
+
+    @given(st.integers(min_value=2, max_value=10), st.integers(0, 2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_property_connected_for_any_seed(self, n, seed):
+        graph = chain_graph(n)
+        rng = np.random.default_rng(seed)
+        size = int(rng.integers(1, n + 1))
+        subset = graph.connected_subset("t0", size, rng)
+        assert graph.is_connected(subset)
+        assert len(set(subset)) == size

@@ -1,0 +1,47 @@
+"""Tests for repro.catalog.queries."""
+
+import pytest
+
+from repro.catalog.queries import Query, QueryError, make_query
+
+
+class TestQuery:
+    def test_num_joins(self):
+        assert Query("q", ("a", "b", "c")).num_joins == 2
+        assert Query("q", ("a",)).num_joins == 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(QueryError):
+            Query("q", ())
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(QueryError):
+            Query("q", ("a", "b", "a"))
+
+    def test_make_query_from_iterable(self):
+        query = make_query("q", ["x", "y"])
+        assert query.tables == ("x", "y")
+
+    def test_hashable(self):
+        assert hash(Query("q", ("a",))) == hash(Query("q", ("a",)))
+
+
+class TestValidation:
+    def test_unknown_table_rejected(self, tpch_catalog_sf1):
+        query = Query("q", ("orders", "ghost"))
+        with pytest.raises(QueryError):
+            query.validate(tpch_catalog_sf1)
+
+    def test_disconnected_query_rejected(self, tpch_catalog_sf1):
+        # customer and part have no join path inside {customer, part}.
+        query = Query("q", ("customer", "part"))
+        with pytest.raises(QueryError):
+            query.validate(tpch_catalog_sf1)
+
+    def test_single_table_always_valid(self, tpch_catalog_sf1):
+        Query("q", ("orders",)).validate(tpch_catalog_sf1)
+
+    def test_connected_query_valid(self, tpch_catalog_sf1):
+        Query("q", ("customer", "orders", "lineitem")).validate(
+            tpch_catalog_sf1
+        )

@@ -1,0 +1,119 @@
+"""Tests for query scan filters (the paper's sampling filters)."""
+
+import pytest
+
+from repro.catalog import tpch
+from repro.catalog.queries import Query, QueryError, make_query
+from repro.catalog.statistics import StatisticsEstimator
+from repro.core.raqo import RaqoPlanner
+
+
+class TestQueryFilters:
+    def test_filters_normalised_and_sorted(self):
+        query = Query(
+            "q",
+            ("orders", "lineitem"),
+            filters=(("orders", 0.5), ("lineitem", 0.2)),
+        )
+        assert query.filters == (("lineitem", 0.2), ("orders", 0.5))
+        assert query.filter_factors == {
+            "orders": 0.5,
+            "lineitem": 0.2,
+        }
+
+    def test_filter_on_unknown_table_rejected(self):
+        with pytest.raises(QueryError):
+            Query("q", ("orders",), filters=(("ghost", 0.5),))
+
+    @pytest.mark.parametrize("factor", [0.0, -0.5, 1.5])
+    def test_bad_factor_rejected(self, factor):
+        with pytest.raises(QueryError):
+            Query("q", ("orders",), filters=(("orders", factor),))
+
+    def test_factor_one_allowed(self):
+        Query("q", ("orders",), filters=(("orders", 1.0),))
+
+    def test_with_filter(self):
+        query = Query("q", ("orders", "lineitem"))
+        filtered = query.with_filter("orders", 0.3)
+        assert filtered.filter_factors == {"orders": 0.3}
+        assert query.filters == ()  # original untouched
+
+    def test_make_query_with_filters(self):
+        query = make_query(
+            "q", ["orders", "lineitem"], filters={"orders": 0.3}
+        )
+        assert query.filter_factors == {"orders": 0.3}
+
+
+class TestFilteredEstimator:
+    def test_base_stats_scaled(self, tpch_catalog_sf100):
+        plain = StatisticsEstimator(tpch_catalog_sf100)
+        filtered = plain.with_filters({"orders": 0.25})
+        assert filtered.base_stats("orders").row_count == (
+            pytest.approx(plain.base_stats("orders").row_count * 0.25)
+        )
+        # Unfiltered tables unchanged.
+        assert filtered.base_stats("lineitem").row_count == (
+            plain.base_stats("lineitem").row_count
+        )
+
+    def test_join_output_scales_with_fk_filter(self, tpch_catalog_sf100):
+        """Sampling orders removes matching lineitems proportionally."""
+        plain = StatisticsEstimator(tpch_catalog_sf100)
+        filtered = plain.with_filters({"orders": 0.5})
+        full = plain.stats_for(["orders", "lineitem"]).row_count
+        half = filtered.stats_for(["orders", "lineitem"]).row_count
+        assert half == pytest.approx(full * 0.5)
+
+    def test_with_filters_empty_is_identity(self, tpch_catalog_sf100):
+        estimator = StatisticsEstimator(tpch_catalog_sf100)
+        assert estimator.with_filters({}) is estimator
+
+    def test_invalid_filters_rejected(self, tpch_catalog_sf100):
+        with pytest.raises(Exception):
+            StatisticsEstimator(
+                tpch_catalog_sf100, filter_factors={"ghost": 0.5}
+            )
+        with pytest.raises(ValueError):
+            StatisticsEstimator(
+                tpch_catalog_sf100, filter_factors={"orders": 2.0}
+            )
+
+
+class TestFilteredPlanning:
+    def test_sampling_changes_join_choice(self):
+        """Shrinking the broadcast side far enough flips SMJ -> BHJ,
+        the mechanism behind the paper's Fig 4 sweeps."""
+        planner = RaqoPlanner.default(tpch.tpch_catalog(100))
+        full = planner.optimize(tpch.QUERY_Q12)
+        tiny = planner.optimize(
+            make_query(
+                "Q12tiny",
+                ("orders", "lineitem"),
+                filters={"orders": 0.001},  # ~17 MB of orders
+            )
+        )
+        full_algorithms = {
+            j.algorithm for j in full.plan.joins_postorder()
+        }
+        tiny_algorithms = {
+            j.algorithm for j in tiny.plan.joins_postorder()
+        }
+        assert tiny.cost.time_s < full.cost.time_s
+        from repro.engine.joins import JoinAlgorithm
+
+        assert JoinAlgorithm.BROADCAST_HASH in tiny_algorithms
+        assert tiny_algorithms != full_algorithms
+
+    def test_filters_do_not_leak_between_queries(self):
+        planner = RaqoPlanner.default(tpch.tpch_catalog(100))
+        sampled = planner.optimize(
+            make_query(
+                "Q12s",
+                ("orders", "lineitem"),
+                filters={"orders": 0.1},
+            )
+        )
+        full = planner.optimize(tpch.QUERY_Q12)
+        assert full.cost.time_s > sampled.cost.time_s

@@ -1,0 +1,133 @@
+"""Tests for repro.catalog.random_schema."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog.random_schema import (
+    MAX_ROW_COUNT,
+    MAX_ROW_WIDTH_BYTES,
+    MIN_ROW_COUNT,
+    MIN_ROW_WIDTH_BYTES,
+    RandomSchemaConfig,
+    query_size_sweep,
+    random_catalog,
+    random_query,
+)
+
+
+class TestConfigValidation:
+    def test_zero_tables_rejected(self):
+        with pytest.raises(ValueError):
+            RandomSchemaConfig(num_tables=0)
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ValueError):
+            RandomSchemaConfig(num_tables=3, extra_edge_probability=1.5)
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            RandomSchemaConfig(
+                num_tables=3,
+                min_row_width_bytes=300,
+                max_row_width_bytes=200,
+            )
+        with pytest.raises(ValueError):
+            RandomSchemaConfig(
+                num_tables=3, min_row_count=100, max_row_count=10
+            )
+
+
+class TestRandomCatalog:
+    def test_table_count(self, rng):
+        catalog = random_catalog(RandomSchemaConfig(num_tables=20), rng)
+        assert len(catalog.schema) == 20
+
+    def test_paper_bounds_respected(self, rng):
+        catalog = random_catalog(RandomSchemaConfig(num_tables=50), rng)
+        for table in catalog.schema:
+            assert (
+                MIN_ROW_WIDTH_BYTES
+                <= table.row_width_bytes
+                <= MAX_ROW_WIDTH_BYTES
+            )
+            assert MIN_ROW_COUNT <= table.row_count <= MAX_ROW_COUNT
+
+    def test_join_graph_connected(self, rng):
+        catalog = random_catalog(RandomSchemaConfig(num_tables=30), rng)
+        assert catalog.join_graph.is_connected(catalog.table_names)
+
+    def test_spanning_tree_edge_count_without_extras(self, rng):
+        config = RandomSchemaConfig(
+            num_tables=25, extra_edge_probability=0.0
+        )
+        catalog = random_catalog(config, rng)
+        assert len(catalog.join_graph) == 24
+
+    def test_extra_edges_add_density(self):
+        rng1 = np.random.default_rng(5)
+        rng2 = np.random.default_rng(5)
+        sparse = random_catalog(
+            RandomSchemaConfig(num_tables=25, extra_edge_probability=0.0),
+            rng1,
+        )
+        dense = random_catalog(
+            RandomSchemaConfig(num_tables=25, extra_edge_probability=0.5),
+            rng2,
+        )
+        assert len(dense.join_graph) > len(sparse.join_graph)
+
+    def test_pkfk_selectivities(self, rng):
+        catalog = random_catalog(RandomSchemaConfig(num_tables=10), rng)
+        for edge in catalog.join_graph.edges():
+            pk_rows = max(
+                catalog.table(edge.left).row_count,
+                catalog.table(edge.right).row_count,
+            )
+            assert edge.selectivity == pytest.approx(1.0 / pk_rows)
+
+    def test_deterministic_given_seed(self):
+        config = RandomSchemaConfig(num_tables=15)
+        cat1 = random_catalog(config, np.random.default_rng(9))
+        cat2 = random_catalog(config, np.random.default_rng(9))
+        assert cat1.table_names == cat2.table_names
+        assert [t.row_count for t in cat1.schema] == [
+            t.row_count for t in cat2.schema
+        ]
+
+    def test_single_table_schema(self, rng):
+        catalog = random_catalog(RandomSchemaConfig(num_tables=1), rng)
+        assert len(catalog.schema) == 1
+        assert len(catalog.join_graph) == 0
+
+
+class TestRandomQuery:
+    def test_query_is_connected_and_validates(self, rng):
+        catalog = random_catalog(RandomSchemaConfig(num_tables=20), rng)
+        query = random_query(catalog, 8, rng)
+        query.validate(catalog)
+        assert len(query.tables) == 8
+
+    def test_oversized_query_rejected(self, rng):
+        catalog = random_catalog(RandomSchemaConfig(num_tables=5), rng)
+        with pytest.raises(ValueError):
+            random_query(catalog, 10, rng)
+
+    def test_query_size_sweep(self, rng):
+        catalog = random_catalog(RandomSchemaConfig(num_tables=30), rng)
+        queries = query_size_sweep(catalog, [2, 5, 10], rng)
+        assert [len(q.tables) for q in queries] == [2, 5, 10]
+        for query in queries:
+            query.validate(catalog)
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_property_queries_always_connected(self, seed):
+        rng = np.random.default_rng(seed)
+        catalog = random_catalog(RandomSchemaConfig(num_tables=12), rng)
+        size = int(rng.integers(1, 13))
+        query = random_query(catalog, size, rng)
+        assert catalog.join_graph.is_connected(query.tables) or (
+            len(query.tables) == 1
+        )

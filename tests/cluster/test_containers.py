@@ -1,0 +1,85 @@
+"""Tests for repro.cluster.containers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.containers import (
+    ContainerRequest,
+    ResourceConfiguration,
+    ResourceError,
+)
+
+
+class TestResourceConfiguration:
+    def test_total_memory(self):
+        config = ResourceConfiguration(10, 4.0)
+        assert config.total_memory_gb == 40.0
+
+    def test_gb_seconds(self):
+        config = ResourceConfiguration(10, 4.0)
+        assert config.gb_seconds(10.0) == 400.0
+
+    def test_gb_seconds_negative_duration_rejected(self):
+        with pytest.raises(ResourceError):
+            ResourceConfiguration(1, 1.0).gb_seconds(-1.0)
+
+    def test_zero_containers_rejected(self):
+        with pytest.raises(ResourceError):
+            ResourceConfiguration(0, 1.0)
+
+    def test_non_positive_size_rejected(self):
+        with pytest.raises(ResourceError):
+            ResourceConfiguration(1, 0.0)
+        with pytest.raises(ResourceError):
+            ResourceConfiguration(1, -2.0)
+
+    def test_vector_round_trip(self):
+        config = ResourceConfiguration(7, 3.5)
+        assert (
+            ResourceConfiguration.from_vector(config.as_vector())
+            == config
+        )
+
+    def test_from_vector_rounds_count(self):
+        config = ResourceConfiguration.from_vector((6.6, 2.0))
+        assert config.num_containers == 7
+
+    def test_ordering(self):
+        a = ResourceConfiguration(1, 1.0)
+        b = ResourceConfiguration(2, 1.0)
+        assert a < b
+
+    def test_str(self):
+        assert str(ResourceConfiguration(10, 4.0)) == "<10 x 4GB>"
+
+    def test_hashable(self):
+        assert ResourceConfiguration(1, 1.0) in {
+            ResourceConfiguration(1, 1.0)
+        }
+
+    @given(
+        st.integers(min_value=1, max_value=10_000),
+        st.floats(min_value=0.5, max_value=128.0),
+        st.floats(min_value=0.0, max_value=10_000.0),
+    )
+    @settings(max_examples=50)
+    def test_property_gb_seconds_scales(self, count, size, duration):
+        config = ResourceConfiguration(count, size)
+        assert config.gb_seconds(duration) == pytest.approx(
+            count * size * duration
+        )
+
+
+class TestContainerRequest:
+    def test_memory_gb(self):
+        request = ContainerRequest(
+            config=ResourceConfiguration(5, 2.0), duration_s=60.0
+        )
+        assert request.memory_gb == 10.0
+
+    def test_non_positive_duration_rejected(self):
+        with pytest.raises(ResourceError):
+            ContainerRequest(
+                config=ResourceConfiguration(1, 1.0), duration_s=0.0
+            )

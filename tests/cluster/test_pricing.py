@@ -1,0 +1,40 @@
+"""Tests for repro.cluster.pricing."""
+
+import pytest
+
+from repro.cluster.containers import ResourceConfiguration, ResourceError
+from repro.cluster.pricing import PriceModel
+
+
+class TestPriceModel:
+    def test_cost_of_gb_seconds(self):
+        model = PriceModel(dollars_per_gb_hour=3.6)
+        # 1000 GB-seconds at $3.6/GB-hour = 1000/3600*3.6 = $1.
+        assert model.cost_of_gb_seconds(1000.0) == pytest.approx(1.0)
+
+    def test_cost_of_config(self):
+        model = PriceModel(dollars_per_gb_hour=1.0)
+        config = ResourceConfiguration(10, 2.0)  # 20 GB
+        # 20 GB for 3600 s = 20 GB-hours = $20.
+        assert model.cost(config, 3600.0) == pytest.approx(20.0)
+
+    def test_linear_in_duration(self):
+        model = PriceModel()
+        config = ResourceConfiguration(4, 4.0)
+        assert model.cost(config, 200.0) == pytest.approx(
+            2 * model.cost(config, 100.0)
+        )
+
+    def test_zero_gb_seconds_free(self):
+        assert PriceModel().cost_of_gb_seconds(0.0) == 0.0
+
+    def test_negative_gb_seconds_rejected(self):
+        with pytest.raises(ResourceError):
+            PriceModel().cost_of_gb_seconds(-1.0)
+
+    def test_non_positive_rate_rejected(self):
+        with pytest.raises(ResourceError):
+            PriceModel(dollars_per_gb_hour=0.0)
+
+    def test_default_rate_positive(self):
+        assert PriceModel().dollars_per_gb_hour > 0

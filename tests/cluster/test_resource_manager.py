@@ -1,0 +1,181 @@
+"""Tests for repro.cluster.resource_manager."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.containers import (
+    ContainerRequest,
+    ResourceConfiguration,
+    ResourceError,
+)
+from repro.cluster.resource_manager import (
+    JobSubmission,
+    ResourceManager,
+)
+
+
+def job(job_id, arrival, containers, size_gb, duration):
+    return JobSubmission(
+        job_id=job_id,
+        arrival_time_s=arrival,
+        request=ContainerRequest(
+            config=ResourceConfiguration(containers, size_gb),
+            duration_s=duration,
+        ),
+    )
+
+
+class TestBasics:
+    def test_single_job_starts_immediately(self):
+        manager = ResourceManager(capacity_gb=100.0)
+        [record] = manager.run([job(0, 5.0, 10, 2.0, 60.0)])
+        assert record.start_time_s == 5.0
+        assert record.queue_time_s == 0.0
+        assert record.finish_time_s == 65.0
+        assert record.queue_runtime_ratio == 0.0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ResourceError):
+            ResourceManager(capacity_gb=0.0)
+
+    def test_oversized_job_rejected(self):
+        manager = ResourceManager(capacity_gb=10.0)
+        with pytest.raises(ResourceError):
+            manager.run([job(0, 0.0, 10, 2.0, 60.0)])
+
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(ResourceError):
+            job(0, -1.0, 1, 1.0, 1.0)
+
+    def test_empty_submission_list(self):
+        assert ResourceManager(10.0).run([]) == []
+
+
+class TestQueueing:
+    def test_second_job_queues_when_full(self):
+        manager = ResourceManager(capacity_gb=20.0)
+        records = manager.run(
+            [
+                job(0, 0.0, 10, 2.0, 100.0),  # fills the cluster
+                job(1, 10.0, 10, 2.0, 50.0),
+            ]
+        )
+        assert records[0].queue_time_s == 0.0
+        assert records[1].start_time_s == 100.0
+        assert records[1].queue_time_s == 90.0
+
+    def test_parallel_when_capacity_allows(self):
+        manager = ResourceManager(capacity_gb=40.0)
+        records = manager.run(
+            [
+                job(0, 0.0, 10, 2.0, 100.0),
+                job(1, 10.0, 10, 2.0, 50.0),
+            ]
+        )
+        assert records[1].queue_time_s == 0.0
+
+    def test_strict_fifo_head_of_line_blocking(self):
+        # Job 1 (large) blocks job 2 (small) even though 2 would fit.
+        manager = ResourceManager(capacity_gb=20.0)
+        records = manager.run(
+            [
+                job(0, 0.0, 8, 2.0, 100.0),  # 16 GB in use
+                job(1, 1.0, 10, 2.0, 10.0),  # needs 20, blocks
+                job(2, 2.0, 1, 2.0, 10.0),  # would fit, but FIFO
+            ]
+        )
+        assert records[1].start_time_s == 100.0
+        assert records[2].start_time_s >= records[1].start_time_s
+
+    def test_queue_drains_in_order(self):
+        manager = ResourceManager(capacity_gb=10.0)
+        records = manager.run(
+            [job(i, 0.0, 5, 2.0, 10.0) for i in range(4)]
+        )
+        starts = [r.start_time_s for r in records]
+        assert starts == sorted(starts)
+        assert starts == [0.0, 10.0, 20.0, 30.0]
+
+    def test_ratio_metric(self):
+        manager = ResourceManager(capacity_gb=10.0)
+        records = manager.run(
+            [
+                job(0, 0.0, 5, 2.0, 10.0),
+                job(1, 0.0, 5, 2.0, 5.0),
+            ]
+        )
+        assert records[1].queue_runtime_ratio == pytest.approx(2.0)
+
+
+class TestUtilization:
+    def test_utilization_empty(self):
+        assert ResourceManager(10.0).utilization([]) == 0.0
+
+    def test_utilization_single_job(self):
+        manager = ResourceManager(capacity_gb=20.0)
+        records = manager.run([job(0, 0.0, 10, 2.0, 100.0)])
+        # 20 GB busy out of 20 GB for the whole horizon.
+        assert manager.utilization(records) == pytest.approx(1.0)
+
+    def test_utilization_half(self):
+        manager = ResourceManager(capacity_gb=40.0)
+        records = manager.run([job(0, 0.0, 10, 2.0, 100.0)])
+        assert manager.utilization(records) == pytest.approx(0.5)
+
+
+class TestInvariants:
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_property_capacity_never_exceeded(self, seed):
+        rng = np.random.default_rng(seed)
+        capacity = 50.0
+        manager = ResourceManager(capacity_gb=capacity)
+        jobs = []
+        now = 0.0
+        for i in range(30):
+            now += float(rng.exponential(5.0))
+            jobs.append(
+                job(
+                    i,
+                    now,
+                    int(rng.integers(1, 10)),
+                    float(rng.choice([1.0, 2.0, 4.0])),
+                    float(rng.exponential(20.0)) + 1.0,
+                )
+            )
+        records = manager.run(jobs)
+        # Sweep events to check instantaneous memory usage.
+        events = []
+        for record in records:
+            events.append((record.start_time_s, record.memory_gb))
+            events.append((record.finish_time_s, -record.memory_gb))
+        events.sort(key=lambda e: (e[0], -e[1] < 0))
+        in_use = 0.0
+        for _, delta in sorted(events, key=lambda e: e[0]):
+            in_use += delta
+            assert in_use <= capacity + 1e-6
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_property_every_job_runs_exactly_once(self, seed):
+        rng = np.random.default_rng(seed)
+        manager = ResourceManager(capacity_gb=30.0)
+        jobs = [
+            job(
+                i,
+                float(rng.uniform(0, 100)),
+                int(rng.integers(1, 5)),
+                2.0,
+                float(rng.uniform(1, 50)),
+            )
+            for i in range(20)
+        ]
+        records = manager.run(jobs)
+        assert sorted(r.job_id for r in records) == list(range(20))
+        for record in records:
+            assert record.start_time_s >= record.arrival_time_s
+            assert record.finish_time_s == pytest.approx(
+                record.start_time_s + record.runtime_s
+            )

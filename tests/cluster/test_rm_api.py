@@ -1,0 +1,131 @@
+"""Tests for repro.cluster.rm_api."""
+
+import pytest
+
+from repro.cluster.cluster import ClusterConditions
+from repro.cluster.containers import ResourceError
+from repro.cluster.rm_api import (
+    ClusterSnapshot,
+    ExposureLevel,
+    RmClient,
+    RmState,
+)
+
+
+@pytest.fixture()
+def state():
+    return RmState(
+        total=ClusterConditions(max_containers=100, max_container_gb=10.0),
+        free_fraction=0.4,
+        free_container_gb=6.0,
+    )
+
+
+class TestRmState:
+    def test_defaults(self):
+        state = RmState(total=ClusterConditions(10, 4.0))
+        assert state.free_container_gb == 4.0
+
+    def test_bad_fraction(self):
+        with pytest.raises(ResourceError):
+            RmState(
+                total=ClusterConditions(10, 4.0), free_fraction=1.5
+            )
+
+    def test_bad_free_container(self):
+        with pytest.raises(ResourceError):
+            RmState(
+                total=ClusterConditions(10, 4.0),
+                free_container_gb=8.0,
+            )
+
+
+class TestSnapshot:
+    def test_age(self):
+        snapshot = ClusterSnapshot(
+            conditions=ClusterConditions(10, 4.0),
+            exposure=ExposureLevel.FULL,
+            taken_at_s=100.0,
+        )
+        assert snapshot.age_s(130.0) == 30.0
+        with pytest.raises(ResourceError):
+            snapshot.age_s(50.0)
+
+
+class TestExposureLevels:
+    def test_none_returns_static_default(self, state):
+        client = RmClient(state, ExposureLevel.NONE)
+        conditions = client.snapshot().conditions
+        assert conditions.max_containers == 10
+        assert conditions.max_container_gb == 4.0
+
+    def test_quota_ignores_live_state(self, state):
+        quota = ClusterConditions(max_containers=30, max_container_gb=8.0)
+        client = RmClient(state, ExposureLevel.QUOTA, quota=quota)
+        conditions = client.snapshot().conditions
+        assert conditions.max_containers == 30
+        assert conditions.max_container_gb == 8.0
+
+    def test_aggregate_clips_counts_not_sizes(self, state):
+        client = RmClient(state, ExposureLevel.AGGREGATE)
+        conditions = client.snapshot().conditions
+        assert conditions.max_containers == 40  # 100 * 0.4
+        assert conditions.max_container_gb == 10.0  # no per-node detail
+
+    def test_full_clips_both(self, state):
+        client = RmClient(state, ExposureLevel.FULL)
+        conditions = client.snapshot().conditions
+        assert conditions.max_containers == 40
+        assert conditions.max_container_gb == 6.0
+
+    def test_exposure_ordering(self, state):
+        """More exposure never *widens* the envelope beyond reality."""
+        full = RmClient(state, ExposureLevel.FULL).snapshot().conditions
+        aggregate = (
+            RmClient(state, ExposureLevel.AGGREGATE)
+            .snapshot()
+            .conditions
+        )
+        quota = (
+            RmClient(state, ExposureLevel.QUOTA).snapshot().conditions
+        )
+        assert (
+            full.max_containers
+            <= aggregate.max_containers
+            <= quota.max_containers
+        )
+        assert full.max_container_gb <= aggregate.max_container_gb
+
+    def test_quota_caps_live_views(self, state):
+        quota = ClusterConditions(max_containers=20, max_container_gb=5.0)
+        client = RmClient(state, ExposureLevel.FULL, quota=quota)
+        conditions = client.snapshot().conditions
+        assert conditions.max_containers == 20
+        assert conditions.max_container_gb == 5.0
+
+    def test_update_changes_snapshot(self, state):
+        client = RmClient(state, ExposureLevel.FULL)
+        before = client.snapshot().conditions.max_containers
+        client.update(free_fraction=0.1)
+        after = client.snapshot().conditions.max_containers
+        assert after < before
+
+    def test_update_validates(self, state):
+        client = RmClient(state, ExposureLevel.FULL)
+        with pytest.raises(ResourceError):
+            client.update(free_fraction=-0.1)
+
+    def test_snapshot_never_below_minimums(self, state):
+        client = RmClient(state, ExposureLevel.FULL)
+        client.update(free_fraction=0.0, free_container_gb=1.0)
+        conditions = client.snapshot().conditions
+        assert conditions.max_containers >= conditions.min_containers
+        assert (
+            conditions.max_container_gb >= conditions.min_container_gb
+        )
+
+    def test_snapshot_timestamps(self, state):
+        client = RmClient(state, ExposureLevel.FULL)
+        snapshot = client.snapshot(now_s=42.0)
+        assert snapshot.taken_at_s == 42.0
+        assert snapshot.exposure is ExposureLevel.FULL

@@ -1,0 +1,167 @@
+"""Tests for repro.cluster.scheduler."""
+
+import math
+
+import pytest
+
+from repro.cluster.containers import ResourceConfiguration
+from repro.cluster.scheduler import (
+    DagScheduler,
+    JointPlanRequest,
+    SchedulingError,
+    SchedulingPolicy,
+    frontier_to_alternatives,
+)
+from repro.engine.joins import JoinAlgorithm
+from repro.planner.cost_interface import Cost
+from repro.planner.plan import JoinNode, ScanNode
+
+
+def joint_plan(nc, cs, time_s=100.0):
+    """A one-join joint plan with the given per-operator resources."""
+    plan = JoinNode(
+        left=ScanNode("a"),
+        right=ScanNode("b"),
+        algorithm=JoinAlgorithm.SORT_MERGE,
+        resources=ResourceConfiguration(nc, cs),
+    )
+    return JointPlanRequest(plan=plan, cost=Cost(time_s, 1.0))
+
+
+class TestJointPlanRequest:
+    def test_peak_demand_single_join(self):
+        request = joint_plan(10, 4.0)
+        assert request.peak_demand() == ResourceConfiguration(10, 4.0)
+
+    def test_peak_demand_takes_maximum(self):
+        inner = JoinNode(
+            left=ScanNode("a"),
+            right=ScanNode("b"),
+            resources=ResourceConfiguration(50, 8.0),
+        )
+        outer = JoinNode(
+            left=inner,
+            right=ScanNode("c"),
+            resources=ResourceConfiguration(10, 2.0),
+        )
+        request = JointPlanRequest(plan=outer, cost=Cost(1.0, 1.0))
+        assert request.peak_demand() == ResourceConfiguration(50, 8.0)
+
+    def test_two_step_plan_rejected(self):
+        plan = JoinNode(left=ScanNode("a"), right=ScanNode("b"))
+        request = JointPlanRequest(plan=plan, cost=Cost(1.0, 1.0))
+        with pytest.raises(SchedulingError):
+            request.peak_demand()
+
+    def test_scan_only_plan_rejected(self):
+        request = JointPlanRequest(
+            plan=ScanNode("a"), cost=Cost(1.0, 1.0)
+        )
+        with pytest.raises(SchedulingError):
+            request.peak_demand()
+
+
+class TestSchedulerValidation:
+    def test_bad_capacity(self):
+        with pytest.raises(SchedulingError):
+            DagScheduler(capacity_gb=0.0)
+
+    def test_bad_free(self):
+        with pytest.raises(SchedulingError):
+            DagScheduler(capacity_gb=10.0, free_gb=20.0)
+
+    def test_bad_drain_rate(self):
+        with pytest.raises(SchedulingError):
+            DagScheduler(capacity_gb=10.0, drain_rate_gb_s=0.0)
+
+    def test_empty_alternatives(self):
+        with pytest.raises(SchedulingError):
+            DagScheduler(capacity_gb=10.0).schedule([])
+
+
+class TestPolicies:
+    def test_fail_rejects_when_full(self):
+        scheduler = DagScheduler(capacity_gb=100.0, free_gb=10.0)
+        decision = scheduler.schedule(
+            [joint_plan(10, 4.0)], SchedulingPolicy.FAIL
+        )
+        assert not decision.admitted
+        assert decision.chosen is None
+
+    def test_fail_admits_when_fits(self):
+        scheduler = DagScheduler(capacity_gb=100.0, free_gb=50.0)
+        decision = scheduler.schedule(
+            [joint_plan(10, 4.0)], SchedulingPolicy.FAIL
+        )
+        assert decision.admitted
+        assert decision.expected_wait_s == 0.0
+
+    def test_delay_estimates_wait(self):
+        scheduler = DagScheduler(
+            capacity_gb=100.0, free_gb=10.0, drain_rate_gb_s=2.0
+        )
+        decision = scheduler.schedule(
+            [joint_plan(10, 4.0)], SchedulingPolicy.DELAY
+        )
+        assert decision.admitted
+        # Deficit (40 - 10) / 2 GB/s.
+        assert decision.expected_wait_s == pytest.approx(15.0)
+
+    def test_delay_rejects_impossible_demand(self):
+        scheduler = DagScheduler(capacity_gb=30.0, free_gb=10.0)
+        decision = scheduler.schedule(
+            [joint_plan(10, 4.0)], SchedulingPolicy.DELAY
+        )
+        assert not decision.admitted
+        assert decision.expected_wait_s == math.inf
+
+    def test_fallback_prefers_first_fitting(self):
+        scheduler = DagScheduler(capacity_gb=100.0, free_gb=25.0)
+        fast_but_big = joint_plan(20, 4.0, time_s=50.0)  # 80 GB
+        slower_small = joint_plan(10, 2.0, time_s=80.0)  # 20 GB
+        decision = scheduler.schedule(
+            [fast_but_big, slower_small], SchedulingPolicy.FALLBACK
+        )
+        assert decision.admitted
+        assert decision.alternative_index == 1
+        assert decision.ran_fallback
+        assert decision.chosen is slower_small
+
+    def test_fallback_takes_preferred_when_it_fits(self):
+        scheduler = DagScheduler(capacity_gb=100.0, free_gb=90.0)
+        preferred = joint_plan(20, 4.0)
+        decision = scheduler.schedule(
+            [preferred, joint_plan(5, 1.0)], SchedulingPolicy.FALLBACK
+        )
+        assert decision.alternative_index == 0
+        assert not decision.ran_fallback
+
+    def test_fallback_delays_on_best_wait_when_nothing_fits(self):
+        scheduler = DagScheduler(
+            capacity_gb=100.0, free_gb=5.0, drain_rate_gb_s=1.0
+        )
+        decision = scheduler.schedule(
+            [joint_plan(20, 4.0), joint_plan(10, 2.0)],
+            SchedulingPolicy.FALLBACK,
+        )
+        assert decision.admitted
+        assert decision.alternative_index == 1  # smaller deficit
+        assert decision.expected_wait_s == pytest.approx(15.0)
+
+    def test_fallback_rejects_universally_impossible(self):
+        scheduler = DagScheduler(capacity_gb=10.0, free_gb=1.0)
+        decision = scheduler.schedule(
+            [joint_plan(20, 4.0)], SchedulingPolicy.FALLBACK
+        )
+        assert not decision.admitted
+
+
+class TestFrontierConversion:
+    def test_orders_and_wraps(self):
+        frontier = (
+            ("plan_a", Cost(10.0, 5.0)),
+            ("plan_b", Cost(20.0, 1.0)),
+        )
+        alternatives = frontier_to_alternatives(frontier)
+        assert len(alternatives) == 2
+        assert alternatives[0].cost.time_s == 10.0

@@ -1,0 +1,102 @@
+"""Tests for repro.cluster.trace."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.trace import (
+    TraceConfig,
+    fraction_with_ratio_at_least,
+    generate_submissions,
+    queue_runtime_ratios,
+    ratio_cdf,
+    simulate_trace,
+)
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        TraceConfig()
+
+    def test_zero_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            TraceConfig(num_jobs=0)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            TraceConfig(capacity_gb=0.0)
+
+    def test_zero_burst_rejected(self):
+        with pytest.raises(ValueError):
+            TraceConfig(burst_length=0)
+
+
+class TestGeneration:
+    def test_submission_count(self, rng):
+        config = TraceConfig(num_jobs=50)
+        assert len(generate_submissions(config, rng)) == 50
+
+    def test_arrivals_monotone(self, rng):
+        submissions = generate_submissions(TraceConfig(num_jobs=100), rng)
+        arrivals = [s.arrival_time_s for s in submissions]
+        assert arrivals == sorted(arrivals)
+
+    def test_requests_fit_capacity(self, rng):
+        config = TraceConfig(num_jobs=200, capacity_gb=50.0)
+        for submission in generate_submissions(config, rng):
+            assert submission.request.memory_gb <= config.capacity_gb
+
+    def test_runtimes_positive(self, rng):
+        for submission in generate_submissions(
+            TraceConfig(num_jobs=100), rng
+        ):
+            assert submission.request.duration_s >= 1.0
+
+    def test_deterministic_given_seed(self):
+        config = TraceConfig(num_jobs=30)
+        a = generate_submissions(config, np.random.default_rng(1))
+        b = generate_submissions(config, np.random.default_rng(1))
+        assert [s.arrival_time_s for s in a] == [
+            s.arrival_time_s for s in b
+        ]
+
+
+class TestSimulation:
+    def test_paper_headline_statistics(self):
+        """The calibrated default trace reproduces Fig 1's claims."""
+        records = simulate_trace(TraceConfig(), np.random.default_rng(7))
+        assert fraction_with_ratio_at_least(records, 1.0) >= 0.80
+        assert fraction_with_ratio_at_least(records, 4.0) >= 0.20
+
+    def test_ratios_sorted(self):
+        records = simulate_trace(
+            TraceConfig(num_jobs=200), np.random.default_rng(3)
+        )
+        ratios = queue_runtime_ratios(records)
+        assert list(ratios) == sorted(ratios)
+
+    def test_cdf_shape(self):
+        records = simulate_trace(
+            TraceConfig(num_jobs=200), np.random.default_rng(3)
+        )
+        fractions, ratios = ratio_cdf(records)
+        assert len(fractions) == len(ratios) == 200
+        assert fractions[0] == pytest.approx(1 / 200)
+        assert fractions[-1] == pytest.approx(1.0)
+
+    def test_fraction_threshold_edges(self):
+        records = simulate_trace(
+            TraceConfig(num_jobs=100), np.random.default_rng(3)
+        )
+        assert fraction_with_ratio_at_least(records, 0.0) == 1.0
+        assert fraction_with_ratio_at_least(records, 1e12) == 0.0
+        assert fraction_with_ratio_at_least([], 1.0) == 0.0
+
+    def test_light_load_has_no_queueing(self):
+        config = TraceConfig(
+            num_jobs=50,
+            capacity_gb=1_000_000.0,
+            burst_interarrival_s=1000.0,
+            idle_interarrival_s=1000.0,
+        )
+        records = simulate_trace(config, np.random.default_rng(3))
+        assert fraction_with_ratio_at_least(records, 0.01) == 0.0

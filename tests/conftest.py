@@ -1,0 +1,71 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.catalog import tpch
+from repro.catalog.statistics import StatisticsEstimator
+from repro.cluster.cluster import ClusterConditions
+from repro.cluster.containers import ResourceConfiguration
+from repro.core.raqo import default_cost_model
+from repro.engine.profiles import HIVE_PROFILE, SPARK_PROFILE
+
+
+@pytest.fixture(scope="session")
+def tpch_catalog_sf100():
+    """The TPC-H catalog at the paper's evaluation scale factor."""
+    return tpch.tpch_catalog(scale_factor=100)
+
+
+@pytest.fixture(scope="session")
+def tpch_catalog_sf1():
+    """The TPC-H catalog at scale factor 1."""
+    return tpch.tpch_catalog(scale_factor=1)
+
+
+@pytest.fixture()
+def estimator(tpch_catalog_sf100):
+    """A fresh statistics estimator over SF-100 TPC-H."""
+    return StatisticsEstimator(tpch_catalog_sf100)
+
+
+@pytest.fixture(scope="session")
+def hive_profile():
+    """The calibrated Hive engine profile."""
+    return HIVE_PROFILE
+
+
+@pytest.fixture(scope="session")
+def spark_profile():
+    """The SparkSQL engine profile."""
+    return SPARK_PROFILE
+
+
+@pytest.fixture(scope="session")
+def paper_cluster():
+    """The paper's Sec VII cluster: 100 containers x up to 10 GB."""
+    return ClusterConditions(max_containers=100, max_container_gb=10.0)
+
+
+@pytest.fixture(scope="session")
+def small_cluster():
+    """A tiny cluster for fast brute-force comparisons."""
+    return ClusterConditions(max_containers=8, max_container_gb=4.0)
+
+
+@pytest.fixture(scope="session")
+def hive_cost_model():
+    """The default learned Hive cost model (memoised by the library)."""
+    return default_cost_model(HIVE_PROFILE)
+
+
+@pytest.fixture()
+def rc10x4():
+    """A typical mid-size configuration."""
+    return ResourceConfiguration(num_containers=10, container_gb=4.0)
+
+
+@pytest.fixture()
+def rng():
+    """A deterministic random generator."""
+    return np.random.default_rng(42)

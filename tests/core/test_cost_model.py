@@ -1,0 +1,212 @@
+"""Tests for repro.core.cost_model."""
+
+import math
+
+import pytest
+
+from repro.cluster.containers import ResourceConfiguration
+from repro.core.cost_model import (
+    CostModelSuite,
+    EXTENDED_FEATURES,
+    MIN_PREDICTED_TIME_S,
+    OperatorCostModel,
+    PAPER_FEATURES,
+    SimulatorCostModel,
+)
+from repro.engine.joins import JoinAlgorithm, join_execution
+from repro.engine.profiler import default_training_grid
+from repro.engine.profiles import HIVE_PROFILE
+
+
+def rc(nc, cs):
+    return ResourceConfiguration(nc, cs)
+
+
+@pytest.fixture(scope="module")
+def training_samples():
+    return default_training_grid(HIVE_PROFILE)
+
+
+@pytest.fixture(scope="module")
+def trained_suite(training_samples):
+    return CostModelSuite.train(
+        training_samples, HIVE_PROFILE.hash_memory_fraction
+    )
+
+
+class TestFeatureMaps:
+    def test_paper_features_exact(self):
+        features = PAPER_FEATURES(2.0, 77.0, rc(10, 4.0))
+        assert list(features) == [
+            2.0,
+            4.0,
+            4.0,
+            16.0,
+            10.0,
+            100.0,
+            40.0,
+        ]
+
+    def test_paper_features_ignore_large_side(self):
+        a = PAPER_FEATURES(2.0, 77.0, rc(10, 4.0))
+        b = PAPER_FEATURES(2.0, 10.0, rc(10, 4.0))
+        assert list(a) == list(b)
+
+    def test_extended_features_use_large_side(self):
+        a = EXTENDED_FEATURES(2.0, 77.0, rc(10, 4.0))
+        b = EXTENDED_FEATURES(2.0, 10.0, rc(10, 4.0))
+        assert list(a) != list(b)
+
+    def test_feature_name_lengths(self):
+        assert len(PAPER_FEATURES) == 7
+        assert len(EXTENDED_FEATURES) == len(
+            EXTENDED_FEATURES.feature_names
+        )
+
+
+class TestOperatorCostModel:
+    def test_coefficient_count_enforced(self):
+        with pytest.raises(ValueError):
+            OperatorCostModel(
+                algorithm=JoinAlgorithm.SORT_MERGE,
+                feature_map=PAPER_FEATURES,
+                coefficients=(1.0, 2.0),
+                intercept=0.0,
+            )
+
+    def test_fit_requires_enough_samples(self):
+        with pytest.raises(ValueError):
+            OperatorCostModel.fit(JoinAlgorithm.SORT_MERGE, [])
+
+    def test_fit_quality_on_training_data(self, training_samples):
+        model = OperatorCostModel.fit(
+            JoinAlgorithm.SORT_MERGE, training_samples
+        )
+        assert model.r_squared(training_samples) > 0.8
+
+    def test_bhj_fit_quality(self, training_samples):
+        model = OperatorCostModel.fit(
+            JoinAlgorithm.BROADCAST_HASH, training_samples
+        )
+        assert model.r_squared(training_samples) > 0.7
+
+    def test_prediction_positive(self, trained_suite):
+        model = trained_suite.models[JoinAlgorithm.SORT_MERGE]
+        # Even absurd extrapolations never go non-positive.
+        assert (
+            model.predict(0.001, 0.001, rc(1000, 128.0))
+            >= MIN_PREDICTED_TIME_S
+        )
+
+    def test_r_squared_requires_samples(self, trained_suite):
+        model = trained_suite.models[JoinAlgorithm.SORT_MERGE]
+        with pytest.raises(ValueError):
+            model.r_squared([])
+
+
+class TestCostModelSuite:
+    def test_train_covers_both_algorithms(self, trained_suite):
+        assert set(trained_suite.models) == set(JoinAlgorithm)
+
+    def test_bhj_wall_enforced(self, trained_suite):
+        time = trained_suite.predict_time(
+            JoinAlgorithm.BROADCAST_HASH, 9.0, 77.0, rc(10, 3.0)
+        )
+        assert time == math.inf
+
+    def test_predictions_track_simulator_direction(self, trained_suite):
+        """The learned SMJ model must prefer more containers, like the
+        simulator (the Sec VI-A sign observation)."""
+        few = trained_suite.predict_time(
+            JoinAlgorithm.SORT_MERGE, 3.0, 77.0, rc(5, 3.0)
+        )
+        many = trained_suite.predict_time(
+            JoinAlgorithm.SORT_MERGE, 3.0, 77.0, rc(50, 3.0)
+        )
+        assert many < few
+
+    def test_prediction_accuracy_interior_point(self, trained_suite):
+        config = rc(25, 6.0)  # interior of the training grid
+        predicted = trained_suite.predict_time(
+            JoinAlgorithm.SORT_MERGE, 3.0, 77.0, config
+        )
+        actual = join_execution(
+            JoinAlgorithm.SORT_MERGE, 3.0, 77.0, config, HIVE_PROFILE
+        ).time_s
+        assert predicted == pytest.approx(actual, rel=0.5)
+
+    def test_missing_model_rejected(self, trained_suite):
+        with pytest.raises(ValueError):
+            CostModelSuite(
+                {
+                    JoinAlgorithm.SORT_MERGE: trained_suite.models[
+                        JoinAlgorithm.SORT_MERGE
+                    ]
+                },
+                1.0,
+            )
+
+    def test_bad_fraction_rejected(self, trained_suite):
+        with pytest.raises(ValueError):
+            CostModelSuite(dict(trained_suite.models), 0.0)
+
+    def test_train_from_profile(self):
+        suite = CostModelSuite.train_from_profile(HIVE_PROFILE)
+        assert suite.hash_memory_fraction == (
+            HIVE_PROFILE.hash_memory_fraction
+        )
+
+    def test_model_key_distinct_per_algorithm(self, trained_suite):
+        assert trained_suite.model_key(
+            JoinAlgorithm.SORT_MERGE
+        ) != trained_suite.model_key(JoinAlgorithm.BROADCAST_HASH)
+
+
+class TestSimulatorCostModel:
+    def test_oracle_matches_simulator(self):
+        oracle = SimulatorCostModel(HIVE_PROFILE)
+        config = rc(10, 7.0)
+        assert oracle.predict_time(
+            JoinAlgorithm.SORT_MERGE, 5.1, 77.0, config
+        ) == pytest.approx(
+            join_execution(
+                JoinAlgorithm.SORT_MERGE, 5.1, 77.0, config, HIVE_PROFILE
+            ).time_s
+        )
+
+    def test_oracle_infeasible_bhj(self):
+        oracle = SimulatorCostModel(HIVE_PROFILE)
+        assert (
+            oracle.predict_time(
+                JoinAlgorithm.BROADCAST_HASH, 9.0, 77.0, rc(10, 3.0)
+            )
+            == math.inf
+        )
+
+    def test_oracle_model_key_includes_profile(self):
+        oracle = SimulatorCostModel(HIVE_PROFILE)
+        assert "hive" in oracle.model_key(JoinAlgorithm.SORT_MERGE)
+
+    def test_bhj_feasible_helper(self):
+        oracle = SimulatorCostModel(HIVE_PROFILE)
+        assert oracle.bhj_feasible(3.0, rc(10, 3.0))
+        assert not oracle.bhj_feasible(4.0, rc(10, 3.0))
+
+
+class TestNumericalHardening:
+    def test_nan_coefficients_surface_as_infeasible(self):
+        """Corrupted models must never leak NaN into planner
+        comparisons -- NaN breaks min() silently."""
+        model = OperatorCostModel(
+            algorithm=JoinAlgorithm.SORT_MERGE,
+            feature_map=PAPER_FEATURES,
+            coefficients=(float("nan"),) * 7,
+            intercept=0.0,
+        )
+        prediction = model.predict(1.0, 77.0, rc(10, 4.0))
+        assert prediction == math.inf
+
+    def test_huge_inputs_do_not_go_negative(self, trained_suite):
+        model = trained_suite.models[JoinAlgorithm.SORT_MERGE]
+        prediction = model.predict(1e6, 1e9, rc(10_000, 1000.0))
+        assert prediction >= MIN_PREDICTED_TIME_S

@@ -1,0 +1,174 @@
+"""Tests for repro.core.decision_tree (from-scratch CART)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.decision_tree import (
+    DecisionTreeClassifier,
+    DecisionTreeError,
+    gini_impurity,
+)
+
+
+class TestGini:
+    def test_pure_node(self):
+        assert gini_impurity(np.array([10, 0])) == 0.0
+
+    def test_even_split(self):
+        assert gini_impurity(np.array([5, 5])) == pytest.approx(0.5)
+
+    def test_three_classes(self):
+        assert gini_impurity(np.array([1, 1, 1])) == pytest.approx(
+            1 - 3 * (1 / 3) ** 2
+        )
+
+    def test_empty(self):
+        assert gini_impurity(np.array([0, 0])) == 0.0
+
+
+class TestFitValidation:
+    def test_empty_features_rejected(self):
+        with pytest.raises(DecisionTreeError):
+            DecisionTreeClassifier().fit([], [])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(DecisionTreeError):
+            DecisionTreeClassifier().fit([[1.0], [2.0]], ["a"])
+
+    def test_bad_hyperparameters_rejected(self):
+        with pytest.raises(DecisionTreeError):
+            DecisionTreeClassifier(max_depth=-1)
+        with pytest.raises(DecisionTreeError):
+            DecisionTreeClassifier(min_samples_split=1)
+        with pytest.raises(DecisionTreeError):
+            DecisionTreeClassifier(min_samples_leaf=0)
+
+    def test_unfitted_predict_rejected(self):
+        with pytest.raises(DecisionTreeError):
+            DecisionTreeClassifier().predict_one([1.0])
+
+    def test_wrong_feature_count_rejected(self):
+        tree = DecisionTreeClassifier().fit([[1.0], [2.0]], ["a", "b"])
+        with pytest.raises(DecisionTreeError):
+            tree.predict_one([1.0, 2.0])
+
+
+class TestLearning:
+    def test_threshold_split(self):
+        """Recovers a 1-D threshold exactly (the Fig 10 shape)."""
+        X = [[1.0], [2.0], [3.0], [10.0], [11.0], [12.0]]
+        y = ["BHJ", "BHJ", "BHJ", "SMJ", "SMJ", "SMJ"]
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.depth == 1
+        assert tree.num_leaves == 2
+        assert tree.root.threshold == pytest.approx(6.5)
+        assert tree.predict_one([2.5]) == "BHJ"
+        assert tree.predict_one([8.0]) == "SMJ"
+
+    def test_pure_labels_single_leaf(self):
+        tree = DecisionTreeClassifier().fit([[1.0], [2.0]], ["a", "a"])
+        assert tree.depth == 0
+        assert tree.predict_one([99.0]) == "a"
+
+    def test_xor_needs_depth_two(self):
+        X = [[0, 0], [0, 1], [1, 0], [1, 1]]
+        y = ["a", "b", "b", "a"]
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.accuracy(X, y) == 1.0
+        assert tree.depth == 2
+
+    def test_max_depth_limits_tree(self):
+        X = [[float(i)] for i in range(16)]
+        y = ["a" if i % 2 else "b" for i in range(16)]
+        tree = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        assert tree.depth <= 2
+
+    def test_min_samples_leaf(self):
+        X = [[1.0], [2.0], [3.0], [4.0]]
+        y = ["a", "a", "a", "b"]
+        tree = DecisionTreeClassifier(min_samples_leaf=2).fit(X, y)
+        for leaf_count in _leaf_sample_counts(tree.root):
+            assert leaf_count >= 2
+
+    def test_multiclass(self):
+        X = [[1.0], [2.0], [10.0], [11.0], [20.0], [21.0]]
+        y = ["a", "a", "b", "b", "c", "c"]
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.accuracy(X, y) == 1.0
+        assert tree.predict_one([15.0]) in ("b", "c")
+
+    def test_accuracy_method(self):
+        X = [[1.0], [10.0]]
+        y = ["a", "b"]
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.accuracy(X, y) == 1.0
+        assert tree.accuracy(X, ["b", "a"]) == 0.0
+
+    def test_predict_batch(self):
+        tree = DecisionTreeClassifier().fit(
+            [[1.0], [10.0]], ["a", "b"]
+        )
+        assert tree.predict([[0.0], [20.0]]) == ["a", "b"]
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(0, 10, size=(50, 3)).tolist()
+        y = ["a" if row[0] > 5 else "b" for row in X]
+        t1 = DecisionTreeClassifier().fit(X, y)
+        t2 = DecisionTreeClassifier().fit(X, y)
+        assert t1.export_text() == t2.export_text()
+
+
+class TestExportText:
+    def test_renders_paper_style_fields(self):
+        X = [[1.0], [2.0], [10.0], [11.0]]
+        y = ["BHJ", "BHJ", "SMJ", "SMJ"]
+        tree = DecisionTreeClassifier().fit(X, y)
+        text = tree.export_text(
+            feature_names=["Data Size (GB)"],
+            class_names=["BHJ", "SMJ"],
+        )
+        assert "Data Size (GB) <=" in text
+        assert "gini=" in text
+        assert "samples=" in text
+        assert "value=" in text
+        assert "class=BHJ" in text and "class=SMJ" in text
+
+    def test_default_names(self):
+        tree = DecisionTreeClassifier().fit(
+            [[1.0], [10.0]], ["a", "b"]
+        )
+        assert "feature[0]" in tree.export_text()
+
+
+class TestProperties:
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_property_perfect_fit_on_separable_data(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.uniform(0, 100, size=(40, 2))
+        threshold = float(rng.uniform(20, 80))
+        y = ["pos" if row[0] <= threshold else "neg" for row in X]
+        tree = DecisionTreeClassifier().fit(X.tolist(), y)
+        assert tree.accuracy(X.tolist(), y) == 1.0
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_property_predictions_are_known_classes(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.uniform(0, 10, size=(30, 2))
+        y = [str(int(label)) for label in rng.integers(0, 3, size=30)]
+        tree = DecisionTreeClassifier(max_depth=4).fit(X.tolist(), y)
+        queries = rng.uniform(-5, 15, size=(20, 2))
+        for row in queries:
+            assert tree.predict_one(row.tolist()) in set(y)
+
+
+def _leaf_sample_counts(node):
+    if node.is_leaf:
+        yield node.samples
+    else:
+        yield from _leaf_sample_counts(node.left)
+        yield from _leaf_sample_counts(node.right)

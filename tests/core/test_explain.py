@@ -1,0 +1,62 @@
+"""Tests for repro.core.explain."""
+
+import math
+
+import pytest
+
+from repro.catalog import tpch
+from repro.core.explain import explain, explain_plan
+from repro.core.raqo import RaqoPlanner
+
+
+@pytest.fixture(scope="module")
+def planner():
+    return RaqoPlanner.default(tpch.tpch_catalog(100))
+
+
+class TestExplainPlan:
+    def test_one_explanation_per_join(self, planner):
+        result = planner.optimize(tpch.QUERY_Q3)
+        explanations = explain_plan(
+            result, planner.cost_model, planner
+        )
+        assert len(explanations) == 2
+
+    def test_predicted_times_sum_to_plan_cost(self, planner):
+        result = planner.optimize(tpch.QUERY_Q3)
+        explanations = explain_plan(
+            result, planner.cost_model, planner
+        )
+        total = sum(e.predicted_time_s for e in explanations)
+        assert total == pytest.approx(result.cost.time_s, rel=1e-6)
+
+    def test_alternative_margin(self, planner):
+        result = planner.optimize(tpch.QUERY_Q12)
+        [op] = explain_plan(result, planner.cost_model, planner)
+        # The chosen implementation must not be worse than the
+        # alternative at the planned resources.
+        assert op.alternative_margin >= 1.0 or math.isinf(
+            op.alternative_margin
+        )
+
+    def test_minmax_bracket(self, planner):
+        result = planner.optimize(tpch.QUERY_Q12)
+        [op] = explain_plan(result, planner.cost_model, planner)
+        # The planned configuration cannot beat the best of the whole
+        # envelope by definition, nor be worse than the minimum config.
+        assert op.predicted_time_s <= op.at_minimum_s
+        assert op.at_maximum_s <= op.at_minimum_s
+
+
+class TestExplainText:
+    def test_contains_all_sections(self, planner):
+        text = explain(planner, tpch.QUERY_Q3)
+        assert "EXPLAIN Q3" in text
+        assert "operator 0" in text and "operator 1" in text
+        assert "resource configurations" in text
+        assert "alternative implementation" in text
+        assert "at cluster min/max" in text
+
+    def test_mentions_tables(self, planner):
+        text = explain(planner, tpch.QUERY_Q12)
+        assert "orders" in text and "lineitem" in text

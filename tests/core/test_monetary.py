@@ -1,0 +1,116 @@
+"""Tests for repro.core.monetary."""
+
+import math
+
+import pytest
+
+from repro.cluster.containers import ResourceConfiguration
+from repro.cluster.pricing import PriceModel
+from repro.core.monetary import (
+    compare_monetary,
+    join_dollars,
+    monetary_cost_curve,
+    monetary_switch_point,
+)
+from repro.core.switch_points import find_switch_point
+from repro.engine.joins import JoinAlgorithm, join_execution
+from repro.engine.profiles import HIVE_PROFILE
+
+
+def rc(nc, cs):
+    return ResourceConfiguration(nc, cs)
+
+
+class TestJoinDollars:
+    def test_matches_time_times_memory(self):
+        config = rc(10, 4.0)
+        price = PriceModel(dollars_per_gb_hour=1.0)
+        run = join_execution(
+            JoinAlgorithm.SORT_MERGE, 3.0, 77.0, config, HIVE_PROFILE
+        )
+        expected = 40.0 * run.time_s / 3600.0
+        assert join_dollars(
+            JoinAlgorithm.SORT_MERGE, 3.0, 77.0, config, HIVE_PROFILE, price
+        ) == pytest.approx(expected)
+
+    def test_infeasible_is_infinite(self):
+        assert (
+            join_dollars(
+                JoinAlgorithm.BROADCAST_HASH,
+                9.0,
+                77.0,
+                rc(10, 3.0),
+                HIVE_PROFILE,
+            )
+            == math.inf
+        )
+
+    def test_price_rate_scales_linearly(self):
+        config = rc(10, 4.0)
+        cheap = join_dollars(
+            JoinAlgorithm.SORT_MERGE,
+            3.0,
+            77.0,
+            config,
+            HIVE_PROFILE,
+            PriceModel(dollars_per_gb_hour=1.0),
+        )
+        pricey = join_dollars(
+            JoinAlgorithm.SORT_MERGE,
+            3.0,
+            77.0,
+            config,
+            HIVE_PROFILE,
+            PriceModel(dollars_per_gb_hour=2.0),
+        )
+        assert pricey == pytest.approx(2 * cheap)
+
+
+class TestCompareMonetary:
+    def test_cheaper_implementation(self):
+        comparison = compare_monetary(0.2, 77.0, rc(10, 7.0), HIVE_PROFILE)
+        assert comparison.cheaper is JoinAlgorithm.BROADCAST_HASH
+
+    def test_oom_makes_smj_cheaper(self):
+        comparison = compare_monetary(9.0, 77.0, rc(10, 3.0), HIVE_PROFILE)
+        assert comparison.cheaper is JoinAlgorithm.SORT_MERGE
+        assert comparison.bhj_dollars == math.inf
+
+    def test_curve_length(self):
+        configs = [rc(10, cs) for cs in (3.0, 5.0, 7.0)]
+        curve = monetary_cost_curve(3.0, 77.0, configs, HIVE_PROFILE)
+        assert len(curve) == 3
+        assert [c.config for c in curve] == configs
+
+
+class TestMonetarySwitchPoint:
+    def test_matches_time_switch_at_fixed_config(self):
+        """At a fixed configuration money = time x constant, so the
+        monetary switch point equals the time switch point -- the
+        paper's 'the switching points remain the same' (Sec III-C)."""
+        config = rc(10, 9.0)
+        money = monetary_switch_point(
+            HIVE_PROFILE, 77.0, config, resolution_gb=0.1
+        )
+        time = find_switch_point(
+            HIVE_PROFILE, 77.0, config, resolution_gb=0.1
+        )
+        assert money.switch_gb == pytest.approx(time.switch_gb)
+
+    def test_switch_varies_with_resources(self):
+        """Fig 7: monetary switch points move with the resources."""
+        small = monetary_switch_point(
+            HIVE_PROFILE, 77.0, rc(10, 3.0), resolution_gb=0.1
+        )
+        large = monetary_switch_point(
+            HIVE_PROFILE, 77.0, rc(10, 9.0), resolution_gb=0.1
+        )
+        assert small.switch_gb != large.switch_gb
+
+    def test_metric_recorded(self):
+        point = monetary_switch_point(
+            HIVE_PROFILE, 77.0, rc(10, 3.0), resolution_gb=0.2
+        )
+        from repro.core.switch_points import SwitchMetric
+
+        assert point.metric is SwitchMetric.MONEY

@@ -1,0 +1,90 @@
+"""Tests for repro.core.price_performance."""
+
+import pytest
+
+from repro.catalog import tpch
+from repro.core.price_performance import (
+    OperatingPoint,
+    PricePerformanceCurve,
+    _pareto_subset,
+    price_performance_curve,
+)
+from repro.core.raqo import RaqoPlanner
+from repro.planner.plan import ScanNode
+
+
+def point(time_s, dollars):
+    return OperatingPoint(
+        time_s=time_s, dollars=dollars, plan=ScanNode("t")
+    )
+
+
+class TestParetoSubset:
+    def test_removes_dominated(self):
+        pareto = _pareto_subset(
+            [point(10, 1.0), point(5, 2.0), point(7, 3.0)]
+        )
+        assert [(p.time_s, p.dollars) for p in pareto] == [
+            (5, 2.0),
+            (10, 1.0),
+        ]
+
+    def test_duplicates_collapse(self):
+        pareto = _pareto_subset([point(5, 2.0), point(5, 2.0)])
+        assert len(pareto) == 1
+
+    def test_sorted_fastest_first(self):
+        pareto = _pareto_subset(
+            [point(10, 1.0), point(1, 10.0), point(5, 5.0)]
+        )
+        times = [p.time_s for p in pareto]
+        assert times == sorted(times)
+
+    def test_empty(self):
+        assert _pareto_subset([]) == []
+
+
+class TestCurveQueries:
+    def _curve(self):
+        return PricePerformanceCurve(
+            query_name="q",
+            points=(point(5, 10.0), point(8, 4.0), point(20, 1.0)),
+        )
+
+    def test_fastest_and_cheapest(self):
+        curve = self._curve()
+        assert curve.fastest.time_s == 5
+        assert curve.cheapest.dollars == 1.0
+
+    def test_cheapest_within_sla(self):
+        curve = self._curve()
+        assert curve.cheapest_within(10.0).dollars == 4.0
+        assert curve.cheapest_within(3.0) is None
+
+    def test_fastest_within_budget(self):
+        curve = self._curve()
+        assert curve.fastest_within(5.0).time_s == 8
+        assert curve.fastest_within(0.5) is None
+
+    def test_marginal_prices(self):
+        steps = self._curve().marginal_prices()
+        assert steps == [(12.0, 3.0), (3.0, 6.0)]
+
+    def test_empty_curve_rejected(self):
+        with pytest.raises(ValueError):
+            PricePerformanceCurve(query_name="q", points=())
+
+
+class TestEndToEnd:
+    def test_curve_for_tpch_query(self):
+        planner = RaqoPlanner.default(tpch.tpch_catalog(100))
+        curve = price_performance_curve(
+            planner,
+            tpch.QUERY_Q3,
+            money_weights=(0.0, 10.0),
+            iterations=3,
+        )
+        assert curve.query_name == "Q3"
+        assert len(curve.points) >= 1
+        assert curve.fastest.time_s <= curve.cheapest.time_s
+        assert curve.cheapest.dollars <= curve.fastest.dollars

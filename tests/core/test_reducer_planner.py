@@ -1,0 +1,103 @@
+"""Tests for repro.core.reducer_planner."""
+
+import pytest
+
+from repro.cluster.containers import ResourceConfiguration
+from repro.core.reducer_planner import (
+    candidate_reducer_counts,
+    plan_reducers,
+    plan_reducers_for,
+)
+from repro.engine.joins import (
+    JoinAlgorithm,
+    default_num_reducers,
+    smj_execution,
+)
+from repro.engine.profiles import HIVE_PROFILE
+
+
+def rc(nc, cs):
+    return ResourceConfiguration(nc, cs)
+
+
+class TestCandidates:
+    def test_includes_auto_and_landmarks(self):
+        config = rc(10, 4.0)
+        candidates = candidate_reducer_counts(80.0, config, HIVE_PROFILE)
+        auto = default_num_reducers(80.0, HIVE_PROFILE)
+        assert auto in candidates
+        assert 10 in candidates  # nc
+        assert 200 in candidates
+
+    def test_bounded_by_max_reducers(self):
+        candidates = candidate_reducer_counts(
+            1e6, rc(10, 4.0), HIVE_PROFILE
+        )
+        assert max(candidates) <= HIVE_PROFILE.max_reducers
+        assert min(candidates) >= 1
+
+    def test_sorted_unique(self):
+        candidates = candidate_reducer_counts(
+            10.0, rc(10, 4.0), HIVE_PROFILE
+        )
+        assert list(candidates) == sorted(set(candidates))
+
+
+class TestPlanReducers:
+    def test_never_worse_than_auto(self):
+        plan = plan_reducers(3.0, 77.0, rc(10, 4.0), HIVE_PROFILE)
+        assert plan.time_s <= plan.auto_time_s
+        assert plan.improvement_over_auto >= 1.0
+
+    def test_chosen_count_actually_achieves_time(self):
+        config = rc(10, 4.0)
+        plan = plan_reducers(3.0, 77.0, config, HIVE_PROFILE)
+        actual = smj_execution(
+            3.0, 77.0, config, HIVE_PROFILE,
+            num_reducers=plan.num_reducers,
+        ).time_s
+        assert actual == pytest.approx(plan.time_s)
+
+    def test_beats_bad_explicit_candidates(self):
+        config = rc(40, 4.0)
+        # With 40 containers, 2 reducers waste parallelism badly.
+        bad = smj_execution(
+            3.0, 77.0, config, HIVE_PROFILE, num_reducers=2
+        ).time_s
+        plan = plan_reducers(3.0, 77.0, config, HIVE_PROFILE)
+        assert plan.time_s < bad
+
+    def test_explicit_candidates(self):
+        plan = plan_reducers(
+            3.0, 77.0, rc(10, 4.0), HIVE_PROFILE, candidates=(5, 50)
+        )
+        assert plan.candidates_evaluated == 2
+        # But never worse than auto, even if candidates are poor.
+        assert plan.time_s <= plan.auto_time_s
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            plan_reducers(
+                3.0, 77.0, rc(10, 4.0), HIVE_PROFILE, candidates=()
+            )
+
+
+class TestDispatch:
+    def test_bhj_has_no_reducers(self):
+        assert (
+            plan_reducers_for(
+                JoinAlgorithm.BROADCAST_HASH,
+                3.0,
+                77.0,
+                rc(10, 4.0),
+                HIVE_PROFILE,
+            )
+            is None
+        )
+
+    def test_smj_gets_a_plan(self):
+        plan = plan_reducers_for(
+            JoinAlgorithm.SORT_MERGE, 3.0, 77.0, rc(10, 4.0), HIVE_PROFILE
+        )
+        assert plan is not None
+        assert plan.num_reducers >= 1

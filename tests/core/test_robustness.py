@@ -1,0 +1,79 @@
+"""Tests for repro.core.robustness."""
+
+import pytest
+
+from repro.catalog import tpch
+from repro.cluster.cluster import ClusterConditions
+from repro.core.raqo import RaqoPlanner
+from repro.core.robustness import (
+    RobustChoice,
+    RobustnessCriterion,
+    RobustnessError,
+    robust_plan,
+)
+
+SCENARIOS = (
+    ClusterConditions(max_containers=100, max_container_gb=10.0),
+    ClusterConditions(max_containers=25, max_container_gb=5.0),
+    ClusterConditions(max_containers=8, max_container_gb=2.0),
+)
+
+
+@pytest.fixture(scope="module")
+def planner():
+    return RaqoPlanner.default(tpch.tpch_catalog(100))
+
+
+class TestRobustPlan:
+    def test_covers_all_scenarios(self, planner):
+        choice = robust_plan(planner, tpch.QUERY_Q3, SCENARIOS)
+        assert len(choice.per_scenario) == len(SCENARIOS)
+        assert choice.plan.tables == frozenset(tpch.QUERY_Q3.tables)
+
+    def test_regret_non_negative(self, planner):
+        choice = robust_plan(planner, tpch.QUERY_Q3, SCENARIOS)
+        for entry in choice.per_scenario:
+            assert entry.regret_s >= -1e-6
+
+    def test_minmax_regret_bounded_by_worst_case_choice(self, planner):
+        regret_choice = robust_plan(
+            planner,
+            tpch.QUERY_Q2,
+            SCENARIOS,
+            RobustnessCriterion.MINMAX_REGRET,
+        )
+        worst_choice = robust_plan(
+            planner,
+            tpch.QUERY_Q2,
+            SCENARIOS,
+            RobustnessCriterion.WORST_CASE,
+        )
+        # Each criterion is optimal for its own metric.
+        assert (
+            regret_choice.max_regret_s
+            <= worst_choice.max_regret_s + 1e-6
+        )
+        assert (
+            worst_choice.worst_case_s
+            <= regret_choice.worst_case_s + 1e-6
+        )
+
+    def test_single_scenario_is_just_optimal(self, planner):
+        scenario = SCENARIOS[0]
+        choice = robust_plan(planner, tpch.QUERY_Q3, (scenario,))
+        assert choice.max_regret_s == pytest.approx(0.0, abs=1e-6)
+
+    def test_empty_scenarios_rejected(self, planner):
+        with pytest.raises(RobustnessError):
+            robust_plan(planner, tpch.QUERY_Q3, ())
+
+    def test_worst_case_metric_consistent(self, planner):
+        choice = robust_plan(
+            planner,
+            tpch.QUERY_Q3,
+            SCENARIOS,
+            RobustnessCriterion.WORST_CASE,
+        )
+        assert choice.worst_case_s == max(
+            entry.time_s for entry in choice.per_scenario
+        )

@@ -1,0 +1,108 @@
+"""Tests for the rule-based RAQO optimizer facade."""
+
+import pytest
+
+from repro.catalog import tpch
+from repro.catalog.queries import make_query
+from repro.catalog.statistics import StatisticsEstimator
+from repro.cluster.containers import ResourceConfiguration
+from repro.core.raqo import DEFAULT_QO_RESOURCES
+from repro.core.rules import (
+    DefaultThresholdRule,
+    RaqoDecisionTreeRule,
+    RuleBasedOptimizer,
+)
+from repro.engine.executor import execute_plan
+from repro.engine.joins import JoinAlgorithm
+from repro.engine.profiles import HIVE_PROFILE
+
+
+@pytest.fixture(scope="module")
+def estimator():
+    return StatisticsEstimator(tpch.tpch_catalog(100))
+
+
+@pytest.fixture(scope="module")
+def raqo_rule():
+    return RaqoDecisionTreeRule.train(
+        HIVE_PROFILE,
+        large_gb=77.0,
+        data_sizes_gb=[0.25, 0.5, 1, 2, 3, 4, 5, 6, 7, 8],
+        container_sizes_gb=[2, 3, 5, 7, 9, 11],
+        container_counts=[5, 10, 20, 40],
+    )
+
+
+class TestRuleBasedOptimizer:
+    def test_produces_complete_plan(self, estimator, raqo_rule):
+        optimizer = RuleBasedOptimizer(estimator, raqo_rule)
+        plan = optimizer.optimize(
+            tpch.QUERY_Q3, ResourceConfiguration(10, 9.0)
+        )
+        assert plan.tables == frozenset(tpch.QUERY_Q3.tables)
+        assert plan.num_joins == 2
+
+    def test_implementations_follow_resources(
+        self, estimator, raqo_rule
+    ):
+        """The same query gets different implementations under
+        different resources -- the Sec V deployment story."""
+        optimizer = RuleBasedOptimizer(estimator, raqo_rule)
+        query = make_query(
+            "q12s",
+            ("orders", "lineitem"),
+            filters={"orders": 0.3},  # a ~5.1 GB broadcast side
+        )
+        small = optimizer.optimize(
+            query, ResourceConfiguration(10, 5.0)
+        )
+        large = optimizer.optimize(
+            query, ResourceConfiguration(10, 10.0)
+        )
+        small_algorithms = [
+            j.algorithm for j in small.joins_postorder()
+        ]
+        large_algorithms = [
+            j.algorithm for j in large.joins_postorder()
+        ]
+        assert small_algorithms != large_algorithms
+        assert JoinAlgorithm.BROADCAST_HASH in large_algorithms
+
+    def test_beats_default_rule_end_to_end(self, estimator, raqo_rule):
+        """Executed on the simulator, the learned rule's plan is at
+        least as fast as the stock rule's at BHJ-friendly resources."""
+        config = ResourceConfiguration(10, 10.0)
+        query = make_query(
+            "q12s", ("orders", "lineitem"), filters={"orders": 0.3}
+        )
+        filtered = estimator.with_filters(query.filter_factors)
+        runs = {}
+        for name, rule in (
+            ("default", DefaultThresholdRule()),
+            ("raqo", raqo_rule),
+        ):
+            plan = RuleBasedOptimizer(estimator, rule).optimize(
+                query, config
+            )
+            runs[name] = execute_plan(
+                plan, filtered, HIVE_PROFILE, default_resources=config
+            )
+        assert runs["raqo"].time_s <= runs["default"].time_s * 1.001
+
+    def test_respects_query_filters(self, estimator, raqo_rule):
+        optimizer = RuleBasedOptimizer(estimator, raqo_rule)
+        config = ResourceConfiguration(10, 10.0)
+        full = optimizer.optimize(tpch.QUERY_Q12, config)
+        sampled = optimizer.optimize(
+            make_query(
+                "q12s", ("orders", "lineitem"), filters={"orders": 0.02}
+            ),
+            config,
+        )
+        full_algorithms = {j.algorithm for j in full.joins_postorder()}
+        sampled_algorithms = {
+            j.algorithm for j in sampled.joins_postorder()
+        }
+        # ~350 MB of orders broadcasts; 17 GB of orders cannot.
+        assert sampled_algorithms == {JoinAlgorithm.BROADCAST_HASH}
+        assert full_algorithms == {JoinAlgorithm.SORT_MERGE}

@@ -1,0 +1,157 @@
+"""Tests for repro.core.rules."""
+
+import pytest
+
+from repro.catalog.statistics import StatisticsEstimator
+from repro.cluster.containers import ResourceConfiguration
+from repro.core.rules import (
+    DefaultThresholdRule,
+    RaqoDecisionTreeRule,
+    apply_rule_to_plan,
+)
+from repro.core.switch_points import compare_joins
+from repro.engine.joins import JoinAlgorithm
+from repro.engine.profiles import HIVE_PROFILE
+from repro.planner.plan import left_deep_plan
+
+
+def rc(nc, cs):
+    return ResourceConfiguration(nc, cs)
+
+
+@pytest.fixture(scope="module")
+def raqo_rule():
+    return RaqoDecisionTreeRule.train(
+        HIVE_PROFILE,
+        large_gb=77.0,
+        data_sizes_gb=[0.25, 0.5, 1, 2, 3, 4, 5, 6, 7, 8],
+        container_sizes_gb=[2, 3, 5, 7, 9, 11],
+        container_counts=[5, 10, 20, 40],
+    )
+
+
+class TestDefaultThresholdRule:
+    def test_broadcast_below_threshold(self):
+        rule = DefaultThresholdRule(threshold_gb=0.010)
+        assert (
+            rule.choose(0.005, 77.0, rc(10, 4.0))
+            is JoinAlgorithm.BROADCAST_HASH
+        )
+
+    def test_smj_above_threshold(self):
+        rule = DefaultThresholdRule(threshold_gb=0.010)
+        assert (
+            rule.choose(0.5, 77.0, rc(10, 4.0))
+            is JoinAlgorithm.SORT_MERGE
+        )
+
+    def test_resource_oblivious(self):
+        rule = DefaultThresholdRule()
+        for config in (rc(1, 1.0), rc(100, 10.0)):
+            assert rule.choose(
+                5.0, 77.0, config
+            ) is JoinAlgorithm.SORT_MERGE
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            DefaultThresholdRule(threshold_gb=0.0)
+
+    def test_export_text_has_fig10_fields(self):
+        text = DefaultThresholdRule().export_text()
+        assert "Data Size (MB) <= 10.24" in text
+        assert "class=BHJ" in text and "class=SMJ" in text
+
+
+class TestRaqoDecisionTreeRule:
+    def test_tracks_oracle_choices(self, raqo_rule):
+        """The learned rule must agree with the simulator oracle on the
+        bulk of a fresh evaluation grid."""
+        matches = 0
+        total = 0
+        for ss in (0.4, 1.5, 2.5, 3.5, 4.5, 5.5, 6.5, 7.5):
+            for cs in (3.0, 6.0, 10.0):
+                for nc in (5, 15, 35):
+                    config = rc(nc, cs)
+                    oracle = compare_joins(
+                        ss, 77.0, config, HIVE_PROFILE
+                    )
+                    chosen = raqo_rule.choose(ss, 77.0, config)
+                    total += 1
+                    matches += oracle is chosen
+        assert matches / total >= 0.8
+
+    def test_never_suggests_oom_broadcast(self, raqo_rule):
+        # Even if the tree mislabels, the memory wall is enforced.
+        for ss in (4.0, 6.0, 8.0):
+            chosen = raqo_rule.choose(ss, 77.0, rc(10, 3.0))
+            assert chosen is JoinAlgorithm.SORT_MERGE
+
+    def test_resource_awareness(self, raqo_rule):
+        """The same data must yield different choices under different
+        resources -- the whole point of rule-based RAQO."""
+        choices = {
+            raqo_rule.choose(5.1, 77.0, rc(10, 5.0)),
+            raqo_rule.choose(5.1, 77.0, rc(10, 10.0)),
+        }
+        assert choices == {
+            JoinAlgorithm.SORT_MERGE,
+            JoinAlgorithm.BROADCAST_HASH,
+        }
+
+    def test_max_path_length_bounded(self, raqo_rule):
+        # Paper: 6 (Hive) / 7 (Spark); ours should be comparable.
+        assert raqo_rule.max_path_length <= 10
+
+    def test_export_text(self, raqo_rule):
+        text = raqo_rule.export_text()
+        assert "Data Size (GB)" in text
+        assert "gini=" in text
+
+    def test_train_with_max_depth(self):
+        rule = RaqoDecisionTreeRule.train(
+            HIVE_PROFILE,
+            large_gb=77.0,
+            data_sizes_gb=[1, 4, 7],
+            container_sizes_gb=[3, 9],
+            container_counts=[10],
+            max_depth=2,
+        )
+        assert rule.max_path_length <= 2
+
+
+class TestApplyRuleToPlan:
+    def test_assigns_algorithms_per_join(
+        self, tpch_catalog_sf100, raqo_rule
+    ):
+        estimator = StatisticsEstimator(tpch_catalog_sf100)
+        plan = left_deep_plan(("nation", "supplier", "partsupp"))
+        config = rc(10, 10.0)
+        chosen = apply_rule_to_plan(plan, raqo_rule, estimator, config)
+        algorithms = [
+            j.algorithm for j in chosen.joins_postorder()
+        ]
+        assert len(algorithms) == 2
+        # nation (3 KB) joined to supplier is a clear broadcast.
+        assert algorithms[0] is JoinAlgorithm.BROADCAST_HASH
+
+    def test_preserves_join_order(self, tpch_catalog_sf100, raqo_rule):
+        estimator = StatisticsEstimator(tpch_catalog_sf100)
+        plan = left_deep_plan(("customer", "orders", "lineitem"))
+        chosen = apply_rule_to_plan(
+            plan, raqo_rule, estimator, rc(10, 4.0)
+        )
+        from repro.planner.plan import join_order
+
+        assert join_order(chosen) == join_order(plan)
+
+    def test_default_rule_on_plan(self, tpch_catalog_sf100):
+        estimator = StatisticsEstimator(tpch_catalog_sf100)
+        plan = left_deep_plan(("customer", "orders", "lineitem"))
+        chosen = apply_rule_to_plan(
+            plan, DefaultThresholdRule(), estimator, rc(10, 4.0)
+        )
+        # Everything above 10 MB: all SMJ.
+        assert all(
+            j.algorithm is JoinAlgorithm.SORT_MERGE
+            for j in chosen.joins_postorder()
+        )

@@ -1,0 +1,201 @@
+"""Tests for repro.core.switch_points."""
+
+import pytest
+
+from repro.cluster.containers import ResourceConfiguration
+from repro.core.switch_points import (
+    SwitchMetric,
+    TREE_FEATURE_NAMES,
+    compare_joins,
+    find_switch_point,
+    labeled_samples,
+    switch_point_surface,
+)
+from repro.engine.joins import JoinAlgorithm
+from repro.engine.profiles import HIVE_PROFILE, SPARK_PROFILE
+
+
+def rc(nc, cs):
+    return ResourceConfiguration(nc, cs)
+
+
+class TestCompareJoins:
+    def test_tiny_table_prefers_bhj(self, hive_profile):
+        winner = compare_joins(0.1, 77.0, rc(10, 7.0), hive_profile)
+        assert winner is JoinAlgorithm.BROADCAST_HASH
+
+    def test_oom_forces_smj(self, hive_profile):
+        winner = compare_joins(9.0, 77.0, rc(10, 3.0), hive_profile)
+        assert winner is JoinAlgorithm.SORT_MERGE
+
+    def test_money_metric_same_winner_at_fixed_config(
+        self, hive_profile
+    ):
+        """With a fixed configuration dollars = time x constant, so the
+        winner matches -- the paper's 'switching points remain the same'
+        observation for Fig 6."""
+        for ss in (0.5, 2.0, 4.0, 6.0):
+            config = rc(10, 7.0)
+            assert compare_joins(
+                ss, 77.0, config, hive_profile, metric=SwitchMetric.TIME
+            ) is compare_joins(
+                ss, 77.0, config, hive_profile, metric=SwitchMetric.MONEY
+            )
+
+
+class TestFindSwitchPoint:
+    def test_fig3a_switch_location(self, hive_profile):
+        point = find_switch_point(
+            hive_profile, 77.0, rc(10, 9.0), resolution_gb=0.1
+        )
+        # Paper Fig 4(a): ~6.4 GB with 9 GB containers.
+        assert 5.0 <= point.switch_gb <= 7.0
+
+    def test_wall_equals_fraction_times_container(self, hive_profile):
+        point = find_switch_point(hive_profile, 77.0, rc(10, 3.0))
+        assert point.wall_gb == pytest.approx(
+            hive_profile.hash_memory_fraction * 3.0
+        )
+
+    def test_bhj_wins_up_to_wall_for_small_containers(
+        self, hive_profile
+    ):
+        point = find_switch_point(
+            hive_profile, 77.0, rc(10, 3.0), resolution_gb=0.1
+        )
+        assert point.switch_gb == pytest.approx(point.wall_gb)
+
+    def test_switch_below_wall_for_big_containers(self, hive_profile):
+        point = find_switch_point(
+            hive_profile, 77.0, rc(10, 11.0), resolution_gb=0.1
+        )
+        assert point.switch_gb < point.wall_gb
+
+    def test_resolution_validated(self, hive_profile):
+        with pytest.raises(ValueError):
+            find_switch_point(
+                hive_profile, 77.0, rc(10, 3.0), resolution_gb=0.0
+            )
+
+    def test_bhj_region_is_below_switch(self, hive_profile):
+        point = find_switch_point(
+            hive_profile, 77.0, rc(10, 9.0), resolution_gb=0.1
+        )
+        below = compare_joins(
+            point.switch_gb * 0.5, 77.0, rc(10, 9.0), hive_profile
+        )
+        assert below is JoinAlgorithm.BROADCAST_HASH
+
+
+class TestSurface:
+    def test_surface_shape(self, hive_profile):
+        points = switch_point_surface(
+            hive_profile,
+            77.0,
+            container_sizes_gb=(3.0, 9.0),
+            container_counts=(5, 10),
+            resolution_gb=0.2,
+        )
+        assert len(points) == 4
+
+    def test_switch_rises_with_container_size(self, hive_profile):
+        """Paper Fig 9: bigger containers extend the BHJ region."""
+        points = switch_point_surface(
+            hive_profile,
+            77.0,
+            container_sizes_gb=(3.0, 7.0, 11.0),
+            container_counts=(10,),
+            resolution_gb=0.2,
+        )
+        switches = [p.switch_gb for p in points]
+        assert switches == sorted(switches)
+
+    def test_spark_switch_points_in_mb_range(self, spark_profile):
+        """Paper Fig 9(b): Spark switches at hundreds of MB."""
+        points = switch_point_surface(
+            spark_profile,
+            10.0,
+            container_sizes_gb=(5.0, 9.0),
+            container_counts=(10,),
+            resolution_gb=0.02,
+        )
+        for point in points:
+            assert 0.1 <= point.switch_gb <= 1.5
+
+    def test_container_size_helps_bhj_only_up_to_a_point(
+        self, spark_profile
+    ):
+        """Paper Sec V-A observation (ii): switch-point growth
+        saturates with container size."""
+        sizes = (3.0, 5.0, 7.0, 9.0, 11.0)
+        points = switch_point_surface(
+            spark_profile,
+            10.0,
+            container_sizes_gb=sizes,
+            container_counts=(10,),
+            resolution_gb=0.02,
+        )
+        switches = [p.switch_gb for p in points]
+        first_gain = switches[1] - switches[0]
+        last_gain = switches[-1] - switches[-2]
+        assert last_gain <= first_gain + 1e-9
+
+
+class TestLabeledSamples:
+    def test_grid_size_and_labels(self, hive_profile):
+        samples = labeled_samples(
+            hive_profile,
+            77.0,
+            data_sizes_gb=(1.0, 5.0),
+            container_sizes_gb=(3.0, 9.0),
+            container_counts=(10,),
+        )
+        assert len(samples) == 4
+        assert {s.label for s in samples} <= {"BHJ", "SMJ"}
+
+    def test_features_in_tree_order(self, hive_profile):
+        samples = labeled_samples(
+            hive_profile,
+            77.0,
+            data_sizes_gb=(1.0,),
+            container_sizes_gb=(3.0,),
+            container_counts=(10,),
+            reducer_settings=(200,),
+        )
+        [sample] = samples
+        assert sample.features == (1.0, 3.0, 10.0, 200.0)
+        assert len(TREE_FEATURE_NAMES) == len(sample.features)
+
+    def test_auto_reducers_recorded(self, hive_profile):
+        samples = labeled_samples(
+            hive_profile,
+            77.0,
+            data_sizes_gb=(1.0,),
+            container_sizes_gb=(3.0,),
+            container_counts=(10,),
+            reducer_settings=(None,),
+        )
+        [sample] = samples
+        assert sample.total_containers == 312  # ceil(78/0.25)
+
+    def test_labels_match_compare_joins(self, hive_profile):
+        samples = labeled_samples(
+            hive_profile,
+            77.0,
+            data_sizes_gb=(0.5, 6.0),
+            container_sizes_gb=(9.0,),
+            container_counts=(10,),
+        )
+        for sample in samples:
+            winner = compare_joins(
+                sample.data_gb,
+                77.0,
+                rc(sample.concurrent_containers, sample.container_gb),
+                hive_profile,
+            )
+            expected = (
+                "BHJ"
+                if winner is JoinAlgorithm.BROADCAST_HASH
+                else "SMJ"
+            )
+            assert sample.label == expected

@@ -1,0 +1,77 @@
+"""Tests for repro.core.use_cases (the four Sec IV operating modes)."""
+
+import pytest
+
+from repro.catalog import tpch
+from repro.cluster.containers import ResourceConfiguration
+from repro.core.raqo import RaqoPlanner
+from repro.core.use_cases import (
+    UseCaseError,
+    best_joint_plan,
+    best_plan_for_budget,
+    plan_for_price,
+    plan_resources_for_plan,
+)
+from repro.planner.plan import left_deep_plan
+
+
+@pytest.fixture(scope="module")
+def planner():
+    return RaqoPlanner.default(tpch.tpch_catalog(100))
+
+
+class TestBudgetMode:
+    def test_plan_within_budget(self, planner):
+        budget = ResourceConfiguration(20, 4.0)
+        result = best_plan_for_budget(planner, tpch.QUERY_Q3, budget)
+        assert result.cost.is_finite
+        assert result.plan.tables == frozenset(tpch.QUERY_Q3.tables)
+
+    def test_tighter_budget_never_faster(self, planner):
+        roomy = best_plan_for_budget(
+            planner, tpch.QUERY_Q3, ResourceConfiguration(50, 8.0)
+        )
+        tight = best_plan_for_budget(
+            planner, tpch.QUERY_Q3, ResourceConfiguration(5, 2.0)
+        )
+        assert tight.cost.time_s >= roomy.cost.time_s * 0.99
+
+
+class TestFixedPlanMode:
+    def test_resources_annotated(self, planner):
+        plan = left_deep_plan(("customer", "orders", "lineitem"))
+        annotated, cost = plan_resources_for_plan(planner, plan)
+        assert cost.is_finite
+        for join in annotated.joins_postorder():
+            assert join.resources is not None
+
+    def test_join_order_unchanged(self, planner):
+        from repro.planner.plan import join_order
+
+        plan = left_deep_plan(("customer", "orders", "lineitem"))
+        annotated, _ = plan_resources_for_plan(planner, plan)
+        assert join_order(annotated) == join_order(plan)
+
+
+class TestJointMode:
+    def test_matches_planner_optimize(self, planner):
+        direct = planner.optimize(tpch.QUERY_Q2)
+        via_use_case = best_joint_plan(planner, tpch.QUERY_Q2)
+        assert via_use_case.cost == direct.cost
+
+
+class TestPriceMode:
+    def test_generous_cap_within_budget(self, planner):
+        priced = plan_for_price(planner, tpch.QUERY_Q3, max_dollars=100.0)
+        assert priced.within_budget
+        assert priced.cost.money <= 100.0
+
+    def test_impossible_cap_flagged(self, planner):
+        priced = plan_for_price(
+            planner, tpch.QUERY_Q3, max_dollars=1e-9
+        )
+        assert not priced.within_budget
+
+    def test_invalid_cap_rejected(self, planner):
+        with pytest.raises(UseCaseError):
+            plan_for_price(planner, tpch.QUERY_Q3, max_dollars=0.0)

@@ -1,0 +1,69 @@
+"""Tests for repro.core.whatif."""
+
+import pytest
+
+from repro.catalog import tpch
+from repro.cluster.cluster import ClusterConditions
+from repro.core.raqo import RaqoPlanner
+from repro.core.whatif import default_sweep, what_if
+from repro.engine.joins import JoinAlgorithm
+
+
+@pytest.fixture(scope="module")
+def planner():
+    return RaqoPlanner.default(tpch.tpch_catalog(100))
+
+
+class TestDefaultSweep:
+    def test_shrinking(self):
+        sweep = default_sweep()
+        containers = [c.max_containers for c in sweep]
+        assert containers == sorted(containers, reverse=True)
+        assert containers[0] == 100
+
+    def test_never_degenerate(self):
+        sweep = default_sweep(max_containers=10, max_container_gb=2.0)
+        for cluster in sweep:
+            assert cluster.max_containers >= 1
+            assert cluster.max_container_gb >= 1.0
+
+
+class TestWhatIf:
+    def test_report_shape(self, planner):
+        sweep = default_sweep()
+        report = what_if(planner, tpch.QUERY_Q2, sweep)
+        assert len(report.points) == len(sweep)
+        assert report.query_name == "Q2"
+
+    def test_times_grow_as_cluster_shrinks(self, planner):
+        report = what_if(planner, tpch.QUERY_Q2, default_sweep())
+        times = [p.predicted_time_s for p in report.points]
+        assert times == sorted(times)
+
+    def test_plan_changes_detected(self, planner):
+        report = what_if(planner, tpch.QUERY_Q2, default_sweep())
+        assert report.distinct_plans >= 1
+        assert len(report.plan_changes) == report.distinct_plans - 1 or (
+            len(report.plan_changes) >= report.distinct_plans - 1
+        )
+
+    def test_algorithm_usage_totals(self, planner):
+        report = what_if(planner, tpch.QUERY_Q2, default_sweep())
+        usage = report.algorithm_usage()
+        total = sum(usage.values())
+        assert total == len(report.points) * tpch.QUERY_Q2.num_joins
+
+    def test_planner_cluster_restored(self, planner):
+        before = planner.cluster
+        what_if(planner, tpch.QUERY_Q3, default_sweep())
+        assert planner.cluster is before
+
+    def test_empty_sweep_rejected(self, planner):
+        with pytest.raises(ValueError):
+            what_if(planner, tpch.QUERY_Q3, ())
+
+    def test_time_range(self, planner):
+        report = what_if(planner, tpch.QUERY_Q3, default_sweep())
+        best, worst = report.time_range
+        assert best <= worst
+        assert best == min(p.predicted_time_s for p in report.points)

@@ -1,0 +1,138 @@
+"""Tests for repro.engine.dataflow."""
+
+import pytest
+
+from repro.catalog.statistics import StatisticsEstimator
+from repro.engine.dataflow import (
+    DataflowDAG,
+    Stage,
+    StageKind,
+    plan_to_dag,
+)
+from repro.engine.joins import JoinAlgorithm
+from repro.engine.profiles import HIVE_PROFILE
+from repro.planner.plan import JoinNode, ScanNode
+
+
+class TestStage:
+    def test_valid_stage(self):
+        stage = Stage("s", StageKind.MAP, 4, 1.0, 1.0)
+        assert stage.num_tasks == 4
+
+    def test_zero_tasks_rejected(self):
+        with pytest.raises(ValueError):
+            Stage("s", StageKind.MAP, 0, 1.0, 1.0)
+
+    def test_negative_volume_rejected(self):
+        with pytest.raises(ValueError):
+            Stage("s", StageKind.MAP, 1, -1.0, 1.0)
+
+
+class TestDataflowDAG:
+    def _dag(self):
+        dag = DataflowDAG()
+        dag.add_stage(Stage("a", StageKind.MAP, 2, 1.0, 1.0))
+        dag.add_stage(Stage("b", StageKind.REDUCE, 2, 1.0, 0.5))
+        dag.add_edge("a", "b")
+        return dag
+
+    def test_topological_order(self):
+        dag = self._dag()
+        assert [s.name for s in dag.stages()] == ["a", "b"]
+
+    def test_duplicate_stage_rejected(self):
+        dag = self._dag()
+        with pytest.raises(ValueError):
+            dag.add_stage(Stage("a", StageKind.MAP, 1, 0.0, 0.0))
+
+    def test_edge_to_unknown_stage_rejected(self):
+        dag = self._dag()
+        with pytest.raises(ValueError):
+            dag.add_edge("a", "ghost")
+
+    def test_cycle_rejected(self):
+        dag = self._dag()
+        with pytest.raises(ValueError):
+            dag.add_edge("b", "a")
+        # The failed edge must not have been left behind.
+        assert dag.successors("b") == []
+
+    def test_total_tasks(self):
+        assert self._dag().total_tasks == 4
+
+    def test_len_and_iter(self):
+        dag = self._dag()
+        assert len(dag) == 2
+        assert len(list(dag)) == 2
+
+
+class TestPlanToDag:
+    def test_smj_plan_lowering(self, tpch_catalog_sf100):
+        estimator = StatisticsEstimator(tpch_catalog_sf100)
+        plan = JoinNode(
+            left=ScanNode("orders"),
+            right=ScanNode("lineitem"),
+            algorithm=JoinAlgorithm.SORT_MERGE,
+        )
+        dag = plan_to_dag(plan, estimator, HIVE_PROFILE)
+        kinds = [s.kind for s in dag.stages()]
+        assert kinds == [StageKind.MAP, StageKind.REDUCE]
+
+    def test_bhj_plan_lowering(self, tpch_catalog_sf100):
+        estimator = StatisticsEstimator(tpch_catalog_sf100)
+        plan = JoinNode(
+            left=ScanNode("orders"),
+            right=ScanNode("lineitem"),
+            algorithm=JoinAlgorithm.BROADCAST_HASH,
+        )
+        dag = plan_to_dag(plan, estimator, HIVE_PROFILE)
+        kinds = [s.kind for s in dag.stages()]
+        assert kinds == [StageKind.BROADCAST, StageKind.PROBE]
+        broadcast = dag.stages()[0]
+        assert broadcast.num_tasks == 1
+
+    def test_two_join_plan_wires_child_to_parent(
+        self, tpch_catalog_sf100
+    ):
+        estimator = StatisticsEstimator(tpch_catalog_sf100)
+        plan = JoinNode(
+            left=JoinNode(
+                left=ScanNode("customer"),
+                right=ScanNode("orders"),
+                algorithm=JoinAlgorithm.BROADCAST_HASH,
+            ),
+            right=ScanNode("lineitem"),
+            algorithm=JoinAlgorithm.SORT_MERGE,
+        )
+        dag = plan_to_dag(plan, estimator, HIVE_PROFILE)
+        assert len(dag) == 4
+        # The child join's probe stage feeds the parent's map stage.
+        assert "join1.map" in dag.successors("join0.probe")
+
+    def test_explicit_reducers(self, tpch_catalog_sf100):
+        estimator = StatisticsEstimator(tpch_catalog_sf100)
+        plan = JoinNode(
+            left=ScanNode("orders"), right=ScanNode("lineitem")
+        )
+        dag = plan_to_dag(
+            plan, estimator, HIVE_PROFILE, num_reducers=37
+        )
+        reduce_stage = [
+            s for s in dag.stages() if s.kind is StageKind.REDUCE
+        ][0]
+        assert reduce_stage.num_tasks == 37
+
+    def test_map_tasks_match_split_sizing(self, tpch_catalog_sf100):
+        estimator = StatisticsEstimator(tpch_catalog_sf100)
+        plan = JoinNode(
+            left=ScanNode("orders"), right=ScanNode("lineitem")
+        )
+        dag = plan_to_dag(plan, estimator, HIVE_PROFILE)
+        map_stage = dag.stage("join0.map")
+        small, large = estimator.join_io_gb(["orders"], ["lineitem"])
+        import math
+
+        expected = math.ceil(
+            (small + large) / HIVE_PROFILE.split_gb
+        )
+        assert map_stage.num_tasks == expected

@@ -1,0 +1,140 @@
+"""Tests for repro.engine.executor."""
+
+import math
+
+import pytest
+
+from repro.catalog.statistics import StatisticsEstimator
+from repro.cluster.containers import ResourceConfiguration
+from repro.cluster.pricing import PriceModel
+from repro.engine.executor import ExecutionError, execute_plan
+from repro.engine.joins import JoinAlgorithm, smj_execution
+from repro.engine.profiles import HIVE_PROFILE
+from repro.planner.plan import JoinNode, ScanNode, left_deep_plan
+
+
+@pytest.fixture()
+def q3_plan():
+    return left_deep_plan(("customer", "orders", "lineitem"))
+
+
+class TestExecutePlan:
+    def test_single_join_matches_join_model(self, estimator):
+        config = ResourceConfiguration(10, 4.0)
+        plan = JoinNode(
+            left=ScanNode("orders"), right=ScanNode("lineitem")
+        )
+        result = execute_plan(
+            plan, estimator, HIVE_PROFILE, default_resources=config
+        )
+        small, large = estimator.join_io_gb(["orders"], ["lineitem"])
+        expected = smj_execution(small, large, config, HIVE_PROFILE)
+        assert result.time_s == pytest.approx(expected.time_s)
+        assert result.feasible
+
+    def test_multi_join_time_is_sum(self, estimator, q3_plan):
+        config = ResourceConfiguration(10, 4.0)
+        result = execute_plan(
+            q3_plan, estimator, HIVE_PROFILE, default_resources=config
+        )
+        assert result.time_s == pytest.approx(
+            sum(j.time_s for j in result.joins)
+        )
+        assert len(result.joins) == 2
+
+    def test_gb_seconds_accounting(self, estimator, q3_plan):
+        config = ResourceConfiguration(10, 4.0)
+        result = execute_plan(
+            q3_plan, estimator, HIVE_PROFILE, default_resources=config
+        )
+        expected = sum(
+            config.gb_seconds(j.time_s) for j in result.joins
+        )
+        assert result.gb_seconds == pytest.approx(expected)
+        assert result.tb_seconds == pytest.approx(expected / 1024.0)
+
+    def test_dollars_use_price_model(self, estimator, q3_plan):
+        config = ResourceConfiguration(10, 4.0)
+        price = PriceModel(dollars_per_gb_hour=3.6)
+        result = execute_plan(
+            q3_plan,
+            estimator,
+            HIVE_PROFILE,
+            default_resources=config,
+            price_model=price,
+        )
+        assert result.dollars == pytest.approx(
+            price.cost_of_gb_seconds(result.gb_seconds)
+        )
+
+    def test_per_operator_resources_override_default(self, estimator):
+        inner = JoinNode(
+            left=ScanNode("customer"),
+            right=ScanNode("orders"),
+            resources=ResourceConfiguration(40, 2.0),
+        )
+        plan = JoinNode(left=inner, right=ScanNode("lineitem"))
+        result = execute_plan(
+            plan,
+            estimator,
+            HIVE_PROFILE,
+            default_resources=ResourceConfiguration(10, 4.0),
+        )
+        assert result.joins[0].resources == ResourceConfiguration(
+            40, 2.0
+        )
+        assert result.joins[1].resources == ResourceConfiguration(
+            10, 4.0
+        )
+
+    def test_missing_resources_rejected(self, estimator, q3_plan):
+        with pytest.raises(ExecutionError):
+            execute_plan(q3_plan, estimator, HIVE_PROFILE)
+
+    def test_infeasible_bhj_poisons_result(self, estimator):
+        # orders at SF-100 is ~17 GB: broadcast cannot fit 3 GB containers.
+        plan = JoinNode(
+            left=ScanNode("orders"),
+            right=ScanNode("lineitem"),
+            algorithm=JoinAlgorithm.BROADCAST_HASH,
+        )
+        result = execute_plan(
+            plan,
+            estimator,
+            HIVE_PROFILE,
+            default_resources=ResourceConfiguration(10, 3.0),
+        )
+        assert not result.feasible
+        assert result.time_s == math.inf
+        assert result.dollars == math.inf
+
+    def test_join_report_tables(self, estimator, q3_plan):
+        result = execute_plan(
+            q3_plan,
+            estimator,
+            HIVE_PROFILE,
+            default_resources=ResourceConfiguration(10, 4.0),
+        )
+        assert result.joins[0].tables == {"customer", "orders"}
+        assert result.joins[1].tables == {
+            "customer",
+            "orders",
+            "lineitem",
+        }
+
+    def test_reducer_override_changes_smj_time(self, estimator):
+        plan = JoinNode(
+            left=ScanNode("orders"), right=ScanNode("lineitem")
+        )
+        config = ResourceConfiguration(10, 4.0)
+        auto = execute_plan(
+            plan, estimator, HIVE_PROFILE, default_resources=config
+        )
+        few = execute_plan(
+            plan,
+            estimator,
+            HIVE_PROFILE,
+            default_resources=config,
+            num_reducers=2,
+        )
+        assert few.time_s > auto.time_s  # 2 reducers limit parallelism

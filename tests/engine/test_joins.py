@@ -1,0 +1,310 @@
+"""Tests for repro.engine.joins, including the paper's anchors."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.containers import ResourceConfiguration
+from repro.engine.joins import (
+    JoinAlgorithm,
+    JoinExecution,
+    best_join,
+    bhj_execution,
+    bhj_feasible,
+    default_num_reducers,
+    join_execution,
+    num_map_tasks,
+    smj_execution,
+)
+from repro.engine.profiles import HIVE_PROFILE
+
+
+def rc(nc, cs):
+    return ResourceConfiguration(num_containers=nc, container_gb=cs)
+
+
+class TestHelpers:
+    def test_default_num_reducers(self, hive_profile):
+        assert default_num_reducers(2.5, hive_profile) == 10
+        assert default_num_reducers(0.0, hive_profile) == 1
+
+    def test_default_num_reducers_capped(self, hive_profile):
+        assert (
+            default_num_reducers(1e6, hive_profile)
+            == hive_profile.max_reducers
+        )
+
+    def test_num_map_tasks(self, hive_profile):
+        assert num_map_tasks(1.0, hive_profile) == 4
+        assert num_map_tasks(0.0, hive_profile) == 1
+
+    def test_negative_data_rejected(self, hive_profile):
+        with pytest.raises(ValueError):
+            default_num_reducers(-1.0, hive_profile)
+        with pytest.raises(ValueError):
+            num_map_tasks(-1.0, hive_profile)
+
+
+class TestInputValidation:
+    def test_unsorted_inputs_rejected(self, hive_profile):
+        with pytest.raises(ValueError):
+            smj_execution(10.0, 5.0, rc(10, 4.0), hive_profile)
+        with pytest.raises(ValueError):
+            bhj_execution(10.0, 5.0, rc(10, 4.0), hive_profile)
+
+    def test_negative_inputs_rejected(self, hive_profile):
+        with pytest.raises(ValueError):
+            smj_execution(-1.0, 5.0, rc(10, 4.0), hive_profile)
+
+    def test_zero_reducers_rejected(self, hive_profile):
+        with pytest.raises(ValueError):
+            smj_execution(
+                1.0, 5.0, rc(10, 4.0), hive_profile, num_reducers=0
+            )
+
+    def test_unknown_algorithm_rejected(self, hive_profile):
+        with pytest.raises(ValueError):
+            join_execution(
+                "nested-loop", 1.0, 5.0, rc(10, 4.0), hive_profile
+            )
+
+
+class TestExecutionInvariants:
+    def test_smj_always_feasible(self, hive_profile):
+        run = smj_execution(50.0, 77.0, rc(1, 1.0), hive_profile)
+        assert run.feasible
+        assert math.isfinite(run.time_s)
+
+    def test_bhj_oom_wall(self, hive_profile):
+        wall = hive_profile.hash_memory_fraction * 3.0
+        below = bhj_execution(wall - 0.1, 77.0, rc(10, 3.0), hive_profile)
+        above = bhj_execution(wall + 0.1, 77.0, rc(10, 3.0), hive_profile)
+        assert below.feasible
+        assert not above.feasible
+        assert above.time_s == math.inf
+
+    def test_bhj_feasible_predicate(self, hive_profile):
+        assert bhj_feasible(3.0, rc(10, 3.0), hive_profile)
+        assert not bhj_feasible(3.5, rc(10, 3.0), hive_profile)
+
+    def test_bhj_feasible_negative_rejected(self, hive_profile):
+        with pytest.raises(ValueError):
+            bhj_feasible(-1.0, rc(10, 3.0), hive_profile)
+
+    def test_breakdown_sums_to_time(self, hive_profile):
+        run = smj_execution(3.0, 77.0, rc(10, 4.0), hive_profile)
+        total = (
+            run.breakdown["fixed"]
+            + run.breakdown["map"]
+            + run.breakdown["reduce"]
+        )
+        assert total == pytest.approx(run.time_s)
+
+    def test_bhj_breakdown_sums_to_time(self, hive_profile):
+        run = bhj_execution(3.0, 77.0, rc(10, 4.0), hive_profile)
+        total = (
+            run.breakdown["fixed"]
+            + run.breakdown["broadcast"]
+            + run.breakdown["build"]
+            + run.breakdown["probe"]
+        )
+        assert total == pytest.approx(run.time_s)
+
+    def test_join_execution_dispatch(self, hive_profile):
+        config = rc(10, 4.0)
+        smj = join_execution(
+            JoinAlgorithm.SORT_MERGE, 3.0, 77.0, config, hive_profile
+        )
+        bhj = join_execution(
+            JoinAlgorithm.BROADCAST_HASH, 3.0, 77.0, config, hive_profile
+        )
+        assert smj.algorithm is JoinAlgorithm.SORT_MERGE
+        assert bhj.algorithm is JoinAlgorithm.BROADCAST_HASH
+
+    def test_best_join_picks_faster(self, hive_profile):
+        config = rc(10, 9.0)
+        best = best_join(3.0, 77.0, config, hive_profile)
+        smj = smj_execution(3.0, 77.0, config, hive_profile)
+        bhj = bhj_execution(3.0, 77.0, config, hive_profile)
+        assert best.time_s == min(smj.time_s, bhj.time_s)
+
+    def test_best_join_falls_back_to_smj_on_oom(self, hive_profile):
+        best = best_join(9.0, 77.0, rc(10, 3.0), hive_profile)
+        assert best.algorithm is JoinAlgorithm.SORT_MERGE
+
+    def test_infeasible_execution_shape(self, hive_profile):
+        run = bhj_execution(20.0, 77.0, rc(10, 3.0), hive_profile)
+        with pytest.raises(ValueError):
+            JoinExecution(
+                algorithm=run.algorithm,
+                feasible=True,
+                time_s=math.inf,
+                num_tasks=1,
+            )
+        with pytest.raises(ValueError):
+            JoinExecution(
+                algorithm=run.algorithm,
+                feasible=False,
+                time_s=1.0,
+                num_tasks=1,
+            )
+
+
+class TestMonotonicity:
+    """The directional behaviours the paper's Sec III establishes."""
+
+    def test_smj_improves_with_parallelism(self, hive_profile):
+        times = [
+            smj_execution(3.4, 77.0, rc(nc, 3.0), hive_profile).time_s
+            for nc in (5, 10, 20, 40)
+        ]
+        assert times == sorted(times, reverse=True)
+
+    def test_smj_stable_over_container_size(self, hive_profile):
+        times = [
+            smj_execution(5.1, 77.0, rc(10, cs), hive_profile).time_s
+            for cs in (2.0, 4.0, 6.0, 8.0, 10.0)
+        ]
+        assert max(times) / min(times) < 1.25
+
+    def test_bhj_improves_with_container_size(self, hive_profile):
+        times = [
+            bhj_execution(5.1, 77.0, rc(10, cs), hive_profile).time_s
+            for cs in (5.0, 6.0, 7.0, 8.0, 9.0, 10.0)
+        ]
+        assert times == sorted(times, reverse=True)
+
+    def test_bhj_broadcast_grows_with_containers(self, hive_profile):
+        small = bhj_execution(3.0, 77.0, rc(10, 9.0), hive_profile)
+        large = bhj_execution(3.0, 77.0, rc(50, 9.0), hive_profile)
+        assert (
+            large.breakdown["broadcast"] > small.breakdown["broadcast"]
+        )
+
+    @given(
+        st.floats(min_value=0.1, max_value=8.0),
+        st.integers(min_value=1, max_value=60),
+        st.floats(min_value=1.0, max_value=12.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_times_positive_and_finite_when_feasible(
+        self, ss, nc, cs
+    ):
+        config = rc(nc, cs)
+        smj = smj_execution(ss, 77.0, config, HIVE_PROFILE)
+        assert smj.time_s > 0 and math.isfinite(smj.time_s)
+        bhj = bhj_execution(ss, 77.0, config, HIVE_PROFILE)
+        if bhj.feasible:
+            assert bhj.time_s > 0 and math.isfinite(bhj.time_s)
+        else:
+            assert ss > HIVE_PROFILE.hash_memory_fraction * cs
+
+
+class TestPaperAnchors:
+    """The calibration anchors from the paper's Figs 3-4 (DESIGN.md)."""
+
+    def test_fig3a_smj_wins_below_7gb(self, hive_profile):
+        for cs in (5.0, 6.0):
+            config = rc(10, cs)
+            assert (
+                smj_execution(5.1, 77.0, config, hive_profile).time_s
+                < bhj_execution(5.1, 77.0, config, hive_profile).time_s
+            )
+
+    def test_fig3a_bhj_wins_from_7gb(self, hive_profile):
+        for cs in (7.0, 8.0, 9.0, 10.0):
+            config = rc(10, cs)
+            assert (
+                bhj_execution(5.1, 77.0, config, hive_profile).time_s
+                < smj_execution(5.1, 77.0, config, hive_profile).time_s
+            )
+
+    def test_fig3a_bhj_oom_below_5gb(self, hive_profile):
+        assert not bhj_execution(
+            5.1, 77.0, rc(10, 4.0), hive_profile
+        ).feasible
+        assert bhj_execution(
+            5.1, 77.0, rc(10, 5.0), hive_profile
+        ).feasible
+
+    def test_fig3b_bhj_wins_below_20_containers(self, hive_profile):
+        for nc in (5, 10, 15):
+            config = rc(nc, 3.0)
+            assert (
+                bhj_execution(3.4, 77.0, config, hive_profile).time_s
+                < smj_execution(3.4, 77.0, config, hive_profile).time_s
+            )
+
+    def test_fig3b_smj_wins_from_20_containers(self, hive_profile):
+        for nc in (20, 30, 40):
+            config = rc(nc, 3.0)
+            assert (
+                smj_execution(3.4, 77.0, config, hive_profile).time_s
+                < bhj_execution(3.4, 77.0, config, hive_profile).time_s
+            )
+
+    def test_fig3b_smj_about_2x_faster_at_40(self, hive_profile):
+        config = rc(40, 3.0)
+        smj = smj_execution(3.4, 77.0, config, hive_profile).time_s
+        bhj = bhj_execution(3.4, 77.0, config, hive_profile).time_s
+        assert bhj / smj >= 1.6
+
+    def test_fig4a_switch_near_6gb_with_9gb_containers(
+        self, hive_profile
+    ):
+        config = rc(10, 9.0)
+        assert (
+            bhj_execution(5.5, 77.0, config, hive_profile).time_s
+            < smj_execution(5.5, 77.0, config, hive_profile).time_s
+        )
+        assert (
+            smj_execution(7.0, 77.0, config, hive_profile).time_s
+            < bhj_execution(7.0, 77.0, config, hive_profile).time_s
+        )
+
+    def test_fig4a_3gb_wall_at_3_45(self, hive_profile):
+        config = rc(10, 3.0)
+        # BHJ wins right up to the OOM wall, as in the paper.
+        assert (
+            bhj_execution(3.4, 77.0, config, hive_profile).time_s
+            < smj_execution(3.4, 77.0, config, hive_profile).time_s
+        )
+        assert not bhj_execution(
+            3.5, 77.0, config, hive_profile
+        ).feasible
+
+    def test_magnitudes_in_paper_range(self, hive_profile):
+        # The paper's Fig 3 runs sit between roughly 300 and 2000 s.
+        time = smj_execution(5.1, 77.0, rc(10, 7.0), hive_profile).time_s
+        assert 800 <= time <= 1400
+
+
+class TestMoreProperties:
+    @given(
+        st.floats(min_value=0.1, max_value=3.0),
+        st.floats(min_value=0.1, max_value=3.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_bhj_time_monotone_in_broadcast_size(self, a, b):
+        """A bigger broadcast side never makes a BHJ faster."""
+        config = rc(10, 4.0)
+        small, large = sorted((a, b))
+        lo = bhj_execution(small, 77.0, config, HIVE_PROFILE)
+        hi = bhj_execution(large, 77.0, config, HIVE_PROFILE)
+        if lo.feasible and hi.feasible:
+            assert lo.time_s <= hi.time_s + 1e-9
+
+    @given(
+        st.floats(min_value=10.0, max_value=200.0),
+        st.floats(min_value=10.0, max_value=200.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_smj_time_monotone_in_total_data(self, a, b):
+        """More data never makes an SMJ faster."""
+        config = rc(10, 4.0)
+        small, large = sorted((a, b))
+        lo = smj_execution(1.0, small, config, HIVE_PROFILE)
+        hi = smj_execution(1.0, large, config, HIVE_PROFILE)
+        assert lo.time_s <= hi.time_s + 1e-9

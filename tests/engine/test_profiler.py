@@ -1,0 +1,87 @@
+"""Tests for repro.engine.profiler."""
+
+import math
+
+import pytest
+
+from repro.engine.joins import JoinAlgorithm
+from repro.engine.profiler import (
+    ProfileSample,
+    default_training_grid,
+    feasible_samples,
+    profile_grid,
+)
+from repro.engine.profiles import HIVE_PROFILE
+
+
+class TestProfileGrid:
+    def test_grid_size(self):
+        samples = profile_grid(
+            HIVE_PROFILE,
+            small_sizes_gb=(1.0, 2.0),
+            large_gb=77.0,
+            container_counts=(5, 10),
+            container_sizes_gb=(3.0,),
+        )
+        # 2 algorithms x 2 sizes x 2 counts x 1 container size.
+        assert len(samples) == 8
+
+    def test_reducer_settings_multiply(self):
+        samples = profile_grid(
+            HIVE_PROFILE,
+            small_sizes_gb=(1.0,),
+            large_gb=77.0,
+            container_counts=(5,),
+            container_sizes_gb=(3.0,),
+            reducer_settings=(None, 100),
+        )
+        assert len(samples) == 4
+
+    def test_infeasible_samples_marked(self):
+        samples = profile_grid(
+            HIVE_PROFILE,
+            small_sizes_gb=(9.0,),
+            large_gb=77.0,
+            container_counts=(10,),
+            container_sizes_gb=(3.0,),
+            algorithms=(JoinAlgorithm.BROADCAST_HASH,),
+        )
+        [sample] = samples
+        assert not sample.feasible
+        assert sample.time_s == math.inf
+        assert sample.gb_seconds == math.inf
+
+    def test_gb_seconds(self):
+        samples = profile_grid(
+            HIVE_PROFILE,
+            small_sizes_gb=(1.0,),
+            large_gb=77.0,
+            container_counts=(10,),
+            container_sizes_gb=(4.0,),
+            algorithms=(JoinAlgorithm.SORT_MERGE,),
+        )
+        [sample] = samples
+        assert sample.gb_seconds == pytest.approx(40.0 * sample.time_s)
+
+    def test_feasible_samples_filter(self):
+        samples = profile_grid(
+            HIVE_PROFILE,
+            small_sizes_gb=(1.0, 9.0),
+            large_gb=77.0,
+            container_counts=(10,),
+            container_sizes_gb=(3.0,),
+        )
+        bhj = feasible_samples(samples, JoinAlgorithm.BROADCAST_HASH)
+        assert all(s.feasible for s in bhj)
+        assert all(
+            s.algorithm is JoinAlgorithm.BROADCAST_HASH for s in bhj
+        )
+        # The 9 GB broadcast side is infeasible in 3 GB containers.
+        assert len(bhj) == 1
+
+    def test_default_training_grid_covers_both_algorithms(self):
+        samples = default_training_grid(HIVE_PROFILE)
+        smj = feasible_samples(samples, JoinAlgorithm.SORT_MERGE)
+        bhj = feasible_samples(samples, JoinAlgorithm.BROADCAST_HASH)
+        assert len(smj) > 100
+        assert len(bhj) > 100

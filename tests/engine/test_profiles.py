@@ -1,0 +1,68 @@
+"""Tests for repro.engine.profiles."""
+
+import dataclasses
+
+import pytest
+
+from repro.engine.profiles import (
+    EngineProfile,
+    HIVE_PROFILE,
+    SPARK_PROFILE,
+)
+
+
+class TestProfiles:
+    def test_names(self):
+        assert HIVE_PROFILE.name == "hive"
+        assert SPARK_PROFILE.name == "spark"
+
+    def test_default_broadcast_threshold_is_10mb(self):
+        for profile in (HIVE_PROFILE, SPARK_PROFILE):
+            assert profile.default_broadcast_threshold_gb == pytest.approx(
+                0.010
+            )
+
+    def test_spark_hash_fraction_smaller(self):
+        # Spark gives the broadcast table a much smaller memory share.
+        assert (
+            SPARK_PROFILE.hash_memory_fraction
+            < HIVE_PROFILE.hash_memory_fraction
+        )
+
+    def test_spark_pipeline_faster(self):
+        assert SPARK_PROFILE.map_cost_s_per_gb < (
+            HIVE_PROFILE.map_cost_s_per_gb
+        )
+        assert SPARK_PROFILE.smj_fixed_s < HIVE_PROFILE.smj_fixed_s
+
+    def test_with_overrides(self):
+        modified = HIVE_PROFILE.with_overrides(split_gb=0.5)
+        assert modified.split_gb == 0.5
+        assert modified.name == HIVE_PROFILE.name
+        assert HIVE_PROFILE.split_gb == 0.25  # original untouched
+
+    def test_profiles_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            HIVE_PROFILE.split_gb = 1.0
+
+
+class TestValidation:
+    def test_non_positive_rate_rejected(self):
+        with pytest.raises(ValueError):
+            HIVE_PROFILE.with_overrides(map_cost_s_per_gb=0.0)
+
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(ValueError):
+            HIVE_PROFILE.with_overrides(task_overhead_s=-1.0)
+
+    def test_zero_max_reducers_rejected(self):
+        with pytest.raises(ValueError):
+            HIVE_PROFILE.with_overrides(max_reducers=0)
+
+    def test_zero_split_rejected(self):
+        with pytest.raises(ValueError):
+            HIVE_PROFILE.with_overrides(split_gb=0.0)
+
+    def test_negative_pressure_rejected(self):
+        with pytest.raises(ValueError):
+            HIVE_PROFILE.with_overrides(pressure_coeff=-0.1)

@@ -1,0 +1,146 @@
+"""Tests for repro.engine.runtime (adaptive execution)."""
+
+import pytest
+
+from repro.catalog import tpch
+from repro.catalog.statistics import StatisticsEstimator
+from repro.cluster.cluster import ClusterConditions
+from repro.cluster.rm_api import ExposureLevel, RmClient, RmState
+from repro.core.raqo import RaqoCoster, RaqoPlanner, default_cost_model
+from repro.engine.executor import ExecutionError, execute_plan
+from repro.engine.profiles import HIVE_PROFILE
+from repro.engine.runtime import AdaptiveRuntime
+from repro.planner.plan import left_deep_plan
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return tpch.tpch_catalog(100)
+
+
+@pytest.fixture(scope="module")
+def planner(catalog):
+    return RaqoPlanner.default(catalog)
+
+
+@pytest.fixture(scope="module")
+def joint_plan(planner):
+    return planner.optimize(tpch.QUERY_Q3).plan
+
+
+def make_runtime(planner, free_fraction=1.0, exposure=ExposureLevel.FULL):
+    state = RmState(
+        total=ClusterConditions(100, 10.0), free_fraction=free_fraction
+    )
+    client = RmClient(state, exposure)
+    return (
+        AdaptiveRuntime(
+            estimator=planner.estimator,
+            profile=HIVE_PROFILE,
+            coster=RaqoCoster(model=planner.cost_model),
+            rm_client=client,
+        ),
+        client,
+    )
+
+
+class TestAdaptiveRuntime:
+    def test_no_change_no_replan(self, planner, joint_plan):
+        runtime, _ = make_runtime(planner, free_fraction=1.0)
+        report = runtime.run(joint_plan)
+        assert report.feasible
+        assert report.replanned_stages == 0
+        for stage in report.stages:
+            assert stage.executed == stage.planned
+
+    def test_matches_plain_executor_when_unchanged(
+        self, planner, joint_plan
+    ):
+        runtime, _ = make_runtime(planner, free_fraction=1.0)
+        report = runtime.run(joint_plan)
+        plain = execute_plan(
+            joint_plan, planner.estimator, HIVE_PROFILE
+        )
+        assert report.time_s == pytest.approx(plain.time_s)
+        assert report.gb_seconds == pytest.approx(plain.gb_seconds)
+
+    def test_shrunk_cluster_triggers_replan(self, planner, joint_plan):
+        runtime, _ = make_runtime(planner, free_fraction=0.2)
+        report = runtime.run(joint_plan)
+        assert report.feasible
+        assert report.replanned_stages > 0
+        for stage in report.stages:
+            # Replanned stages fit the shrunk envelope (20 containers).
+            assert stage.executed.num_containers <= 20
+
+    def test_replanned_run_slower_than_full_cluster(
+        self, planner, joint_plan
+    ):
+        full_runtime, _ = make_runtime(planner, free_fraction=1.0)
+        tight_runtime, _ = make_runtime(planner, free_fraction=0.1)
+        full = full_runtime.run(joint_plan)
+        tight = tight_runtime.run(joint_plan)
+        assert tight.time_s >= full.time_s * 0.99
+
+    def test_mid_query_cluster_change(self, planner, joint_plan):
+        """Conditions change between stages: only later stages adapt."""
+        runtime, client = make_runtime(planner, free_fraction=1.0)
+        seen = []
+
+        def on_stage(record):
+            seen.append(record)
+            client.update(free_fraction=0.1)  # spike after stage 1
+
+        report = runtime.run(joint_plan, on_stage=on_stage)
+        assert len(seen) == 2
+        assert not report.stages[0].replanned
+        assert report.stages[1].replanned
+
+    def test_two_step_plan_rejected(self, planner):
+        runtime, _ = make_runtime(planner)
+        bare = left_deep_plan(("customer", "orders", "lineitem"))
+        with pytest.raises(ExecutionError):
+            runtime.run(bare)
+
+    def test_improvement_slack_validation(self, planner):
+        with pytest.raises(ValueError):
+            AdaptiveRuntime(
+                estimator=planner.estimator,
+                profile=HIVE_PROFILE,
+                coster=RaqoCoster(model=default_cost_model()),
+                rm_client=make_runtime(planner)[1],
+                improvement_slack=-1.0,
+            )
+
+    def test_dollars_accounted(self, planner, joint_plan):
+        runtime, _ = make_runtime(planner)
+        report = runtime.run(joint_plan)
+        assert report.dollars == pytest.approx(
+            runtime.price_model.cost_of_gb_seconds(report.gb_seconds)
+        )
+
+
+class TestInfeasibleFallback:
+    def test_bhj_impossible_under_shrunk_envelope(self, planner):
+        """When re-planning cannot make an operator feasible, the
+        runtime clamps the original reservation and the failure
+        surfaces in the report rather than being masked."""
+        from repro.cluster.containers import ResourceConfiguration
+        from repro.engine.joins import JoinAlgorithm
+        from repro.planner.plan import JoinNode, ScanNode
+
+        # orders at SF-100 is ~17 GB: broadcastable at 100x10 GB is
+        # already impossible, so build the plan by hand with a BHJ
+        # that was "planned" under generous conditions.
+        plan = JoinNode(
+            left=ScanNode("orders"),
+            right=ScanNode("lineitem"),
+            algorithm=JoinAlgorithm.BROADCAST_HASH,
+            resources=ResourceConfiguration(10, 10.0),
+        )
+        runtime, client = make_runtime(planner, free_fraction=1.0)
+        client.update(free_container_gb=2.0)  # big slots are gone
+        report = runtime.run(plan)
+        assert report.replanned_stages == 1
+        assert not report.feasible
+        assert report.stages[0].executed.container_gb <= 2.0

@@ -1,0 +1,59 @@
+"""Behavioural tests for the SparkSQL engine profile (paper Fig 9b)."""
+
+import pytest
+
+from repro.cluster.containers import ResourceConfiguration
+from repro.core.switch_points import find_switch_point
+from repro.engine.joins import bhj_execution, smj_execution
+from repro.engine.profiles import SPARK_PROFILE
+
+
+def rc(nc, cs):
+    return ResourceConfiguration(nc, cs)
+
+
+class TestSparkSwitchBehaviour:
+    def test_switch_points_in_hundreds_of_mb(self, spark_profile):
+        """Fig 9(b): Spark flips to SMJ far earlier than Hive."""
+        for cs in (3.0, 7.0, 11.0):
+            point = find_switch_point(
+                spark_profile, 10.0, rc(10, cs), resolution_gb=0.02
+            )
+            assert 0.1 <= point.switch_gb <= 1.2
+
+    def test_switch_grows_with_container_size(self, spark_profile):
+        small = find_switch_point(
+            spark_profile, 10.0, rc(10, 3.0), resolution_gb=0.02
+        )
+        large = find_switch_point(
+            spark_profile, 10.0, rc(10, 9.0), resolution_gb=0.02
+        )
+        assert large.switch_gb >= small.switch_gb
+
+    def test_memory_wall_much_tighter_than_hive(self, spark_profile):
+        # A 2 GB broadcast side cannot fit a 5 GB Spark executor
+        # (0.35 fraction) though it easily fits a 5 GB Hive container.
+        run = bhj_execution(2.0, 10.0, rc(10, 5.0), spark_profile)
+        assert not run.feasible
+
+    def test_pipeline_faster_than_hive(
+        self, spark_profile, hive_profile
+    ):
+        config = rc(10, 4.0)
+        spark = smj_execution(1.0, 10.0, config, spark_profile)
+        hive = smj_execution(1.0, 10.0, config, hive_profile)
+        assert spark.time_s < hive.time_s
+
+    def test_smj_improves_with_parallelism(self, spark_profile):
+        times = [
+            smj_execution(0.5, 10.0, rc(nc, 4.0), spark_profile).time_s
+            for nc in (4, 8, 16, 32)
+        ]
+        assert times == sorted(times, reverse=True)
+
+    def test_broadcast_cost_grows_with_containers(self, spark_profile):
+        few = bhj_execution(0.3, 10.0, rc(5, 4.0), spark_profile)
+        many = bhj_execution(0.3, 10.0, rc(50, 4.0), spark_profile)
+        assert (
+            many.breakdown["broadcast"] > few.breakdown["broadcast"]
+        )

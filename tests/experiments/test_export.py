@@ -1,0 +1,85 @@
+"""Tests for repro.experiments.export and fig08."""
+
+import pytest
+
+from repro.experiments import (
+    fig01_queue_cdf,
+    fig03_operator_switch,
+    fig08_architecture,
+)
+from repro.experiments.export import (
+    ExportError,
+    export_fig03,
+    export_queue_cdf,
+    read_csv,
+    write_csv,
+)
+
+
+class TestWriteCsv:
+    def test_round_trip(self, tmp_path):
+        path = write_csv(
+            tmp_path / "x.csv", ["a", "b"], [(1, 2), (3, 4)]
+        )
+        rows = read_csv(path)
+        assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+    def test_creates_directories(self, tmp_path):
+        path = write_csv(
+            tmp_path / "deep" / "dir" / "x.csv", ["a"], [(1,)]
+        )
+        assert path.exists()
+
+    def test_empty_headers_rejected(self, tmp_path):
+        with pytest.raises(ExportError):
+            write_csv(tmp_path / "x.csv", [], [])
+
+    def test_row_arity_checked(self, tmp_path):
+        with pytest.raises(ExportError):
+            write_csv(tmp_path / "x.csv", ["a", "b"], [(1,)])
+
+
+class TestFigureExports:
+    def test_export_fig03(self, tmp_path):
+        result = fig03_operator_switch.run()
+        paths = export_fig03(result, tmp_path)
+        assert len(paths) == 2
+        size_rows = read_csv(paths[0])
+        assert size_rows[0] == ["container_gb", "smj_s", "bhj_s", "winner"]
+        assert len(size_rows) == len(result.container_size_sweep) + 1
+
+    def test_export_queue_cdf(self, tmp_path):
+        from repro.cluster.trace import TraceConfig
+
+        result = fig01_queue_cdf.run(TraceConfig(num_jobs=300))
+        path = export_queue_cdf(result, tmp_path)
+        rows = read_csv(path)
+        assert rows[0] == ["fraction_of_jobs", "queue_runtime_ratio"]
+        assert len(rows) == len(result.cdf) + 1
+
+
+class TestFig08:
+    def test_stacks_described(self):
+        result = fig08_architecture.run()
+        assert len(result.current) == 4
+        assert len(result.raqo) == 5
+
+    def test_raqo_has_single_optimization_layer(self):
+        result = fig08_architecture.run()
+        assert result.optimization_layers_raqo == 1
+        assert result.optimization_layers_current == 2
+
+    def test_package_mapping_points_at_core(self):
+        mapping = fig08_architecture.run().package_mapping()
+        raqo_layer = [
+            layer for layer in mapping if "RAQO" in layer
+        ]
+        assert len(raqo_layer) == 1
+        assert "repro.core" in mapping[raqo_layer[0]]
+
+    def test_render_mentions_both_stacks(self):
+        result = fig08_architecture.run()
+        text = fig08_architecture.render(result)
+        assert "Current practice" in text
+        assert "RAQO vision" in text
+        assert "repro.core" in text

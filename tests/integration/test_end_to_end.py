@@ -1,0 +1,150 @@
+"""End-to-end integration tests across the whole stack.
+
+These exercise the full pipeline the paper describes: catalog ->
+cost-model training -> joint planning -> simulated execution -> metrics,
+plus the headline comparison (RAQO beats the two-step baseline when both
+plans are executed on the simulated engine).
+"""
+
+import pytest
+
+from repro.catalog import tpch
+from repro.catalog.random_schema import (
+    RandomSchemaConfig,
+    random_catalog,
+    random_query,
+)
+from repro.catalog.statistics import StatisticsEstimator
+from repro.cluster.cluster import ClusterConditions
+from repro.core.cost_model import SimulatorCostModel
+from repro.core.raqo import (
+    DEFAULT_QO_RESOURCES,
+    PlannerKind,
+    RaqoPlanner,
+)
+from repro.engine.dataflow import plan_to_dag
+from repro.engine.executor import execute_plan
+from repro.engine.profiles import HIVE_PROFILE
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return tpch.tpch_catalog(100)
+
+
+@pytest.fixture(scope="module")
+def estimator(catalog):
+    return StatisticsEstimator(catalog)
+
+
+class TestRaqoBeatsBaseline:
+    """The paper's headline: joint optimization wins end to end."""
+
+    @pytest.mark.parametrize(
+        "query", tpch.EVALUATION_QUERIES, ids=lambda q: q.name
+    )
+    def test_simulated_execution_improves(
+        self, catalog, estimator, query
+    ):
+        raqo = RaqoPlanner(
+            catalog, cost_model=SimulatorCostModel(HIVE_PROFILE)
+        )
+        baseline = RaqoPlanner.two_step_baseline(
+            catalog, cost_model=SimulatorCostModel(HIVE_PROFILE)
+        )
+        raqo_run = execute_plan(
+            raqo.optimize(query).plan,
+            estimator,
+            HIVE_PROFILE,
+            default_resources=DEFAULT_QO_RESOURCES,
+        )
+        baseline_run = execute_plan(
+            baseline.optimize(query).plan,
+            estimator,
+            HIVE_PROFILE,
+            default_resources=DEFAULT_QO_RESOURCES,
+        )
+        assert raqo_run.feasible
+        assert raqo_run.time_s <= baseline_run.time_s * 1.01
+
+    def test_oracle_prediction_matches_execution(
+        self, catalog, estimator
+    ):
+        """With the simulator-backed cost model, predicted plan time
+        equals executed plan time exactly."""
+        planner = RaqoPlanner(
+            catalog, cost_model=SimulatorCostModel(HIVE_PROFILE)
+        )
+        result = planner.optimize(tpch.QUERY_Q3)
+        run = execute_plan(result.plan, estimator, HIVE_PROFILE)
+        assert run.time_s == pytest.approx(result.cost.time_s)
+
+
+class TestPlannerAgreement:
+    def test_selinger_and_randomized_agree_on_small_queries(
+        self, catalog
+    ):
+        """On small TPC-H queries, the randomized planner should land
+        within a small factor of the DP optimum."""
+        selinger = RaqoPlanner.default(catalog)
+        randomized = RaqoPlanner(
+            catalog,
+            planner_kind=PlannerKind.FAST_RANDOMIZED,
+            randomized_iterations=10,
+        )
+        for query in (tpch.QUERY_Q12, tpch.QUERY_Q3, tpch.QUERY_Q2):
+            dp = selinger.optimize(query)
+            rnd = randomized.optimize(query)
+            assert rnd.cost.time_s <= dp.cost.time_s * 1.25
+
+
+class TestFullPipelineOnRandomSchema:
+    def test_plan_execute_random_schema(self, rng):
+        catalog = random_catalog(RandomSchemaConfig(num_tables=12), rng)
+        query = random_query(catalog, 6, rng)
+        planner = RaqoPlanner(
+            catalog,
+            planner_kind=PlannerKind.FAST_RANDOMIZED,
+            randomized_iterations=3,
+        )
+        result = planner.optimize(query)
+        run = execute_plan(
+            result.plan,
+            StatisticsEstimator(catalog),
+            HIVE_PROFILE,
+            default_resources=DEFAULT_QO_RESOURCES,
+        )
+        assert run.feasible
+        assert run.time_s > 0
+
+    def test_plan_lowering_to_dag(self, catalog, estimator):
+        planner = RaqoPlanner.default(catalog)
+        result = planner.optimize(tpch.QUERY_ALL)
+        dag = plan_to_dag(result.plan, estimator, HIVE_PROFILE)
+        # 7 joins -> 14 stages, all wired acyclically.
+        assert len(dag) == 14
+        assert dag.total_tasks > 0
+
+
+class TestAdaptiveFlow:
+    def test_shrinking_cluster_increases_predicted_time(self, catalog):
+        planner = RaqoPlanner.default(catalog)
+        costs = []
+        for max_nc, max_gb in ((100, 10.0), (20, 4.0), (5, 2.0)):
+            result = planner.replan(
+                tpch.QUERY_Q3,
+                ClusterConditions(
+                    max_containers=max_nc, max_container_gb=max_gb
+                ),
+            )
+            costs.append(result.cost.time_s)
+        assert costs[0] <= costs[1] <= costs[2]
+
+    def test_replanned_resources_respect_envelope(self, catalog):
+        planner = RaqoPlanner.default(catalog)
+        cluster = ClusterConditions(
+            max_containers=7, max_container_gb=3.0
+        )
+        result = planner.replan(tpch.QUERY_Q2, cluster)
+        for join in result.plan.joins_postorder():
+            assert cluster.contains(join.resources)

@@ -1,0 +1,52 @@
+"""Tests for repro.planner.operators."""
+
+import pytest
+
+from repro.engine.joins import JoinAlgorithm
+from repro.planner.operators import (
+    JOIN_IMPLEMENTATIONS,
+    NUM_JOIN_IMPLEMENTATIONS,
+    SCAN_IMPLEMENTATIONS,
+    search_space_size,
+)
+
+
+class TestInventory:
+    def test_two_join_implementations(self):
+        assert NUM_JOIN_IMPLEMENTATIONS == 2
+        assert JoinAlgorithm.SORT_MERGE in JOIN_IMPLEMENTATIONS
+        assert JoinAlgorithm.BROADCAST_HASH in JOIN_IMPLEMENTATIONS
+
+    def test_one_scan_implementation(self):
+        assert len(SCAN_IMPLEMENTATIONS) == 1
+
+
+class TestSearchSpace:
+    def test_independent_formula(self):
+        # n! * a * n * rp * rc for n=3, rp=10, rc=5: 6 * 2 * 3 * 50.
+        assert search_space_size(3, 10, 5) == 6 * 2 * 3 * 10 * 5
+
+    def test_joint_formula(self):
+        # n! * (a*rp*rc)^n for n=2, rp=2, rc=2: 2 * 8^2.
+        assert search_space_size(
+            2, 2, 2, independent_operators=False
+        ) == 2 * (2 * 2 * 2) ** 2
+
+    def test_independence_shrinks_space(self):
+        joint = search_space_size(5, 10, 10, independent_operators=False)
+        independent = search_space_size(5, 10, 10)
+        assert independent < joint
+
+    def test_single_relation(self):
+        assert search_space_size(1, 10, 10) == 2 * 1 * 10 * 10
+
+    def test_invalid_relations_rejected(self):
+        with pytest.raises(ValueError):
+            search_space_size(0, 10, 10)
+
+    def test_paper_magnitude(self):
+        """Sec VI-B: the joint space explodes; independence tames it."""
+        joint = search_space_size(8, 100, 10, independent_operators=False)
+        independent = search_space_size(8, 100, 10)
+        assert joint > 1e30
+        assert independent < 1e9

@@ -1,0 +1,142 @@
+"""Tests for repro.planner.selinger."""
+
+import itertools
+
+import pytest
+
+from repro.catalog.queries import Query
+from repro.catalog.statistics import StatisticsEstimator
+from repro.cluster.cluster import ClusterConditions
+from repro.planner.cost_interface import (
+    Cost,
+    PlanningContext,
+    get_plan_cost,
+)
+from repro.planner.plan import join_order, left_deep_plan
+from repro.planner.selinger import PlanningError, SelingerPlanner
+
+
+class SizeCoster:
+    """Cost = output size of the join (classic Cout metric)."""
+
+    def join_cost(self, left_tables, right_tables, algorithm, context):
+        stats = context.estimator.join_stats(left_tables, right_tables)
+        return Cost(time_s=stats.size_gb, money=0.0), None
+
+
+def make_context(catalog):
+    return PlanningContext(
+        estimator=StatisticsEstimator(catalog),
+        cluster=ClusterConditions(max_containers=10, max_container_gb=4.0),
+    )
+
+
+class TestSelinger:
+    def test_single_join_query(self, tpch_catalog_sf100):
+        planner = SelingerPlanner(SizeCoster())
+        context = make_context(tpch_catalog_sf100)
+        result = planner.plan(Query("q", ("orders", "lineitem")), context)
+        assert result.plan.num_joins == 1
+        assert result.cost.is_finite
+
+    def test_left_deep_shape(self, tpch_catalog_sf100):
+        planner = SelingerPlanner(SizeCoster())
+        context = make_context(tpch_catalog_sf100)
+        result = planner.plan(
+            Query("q", ("customer", "orders", "lineitem")), context
+        )
+        # Left-deep: every right child is a scan.
+        for join in result.plan.joins_postorder():
+            assert not join.right.is_join
+
+    def test_optimal_vs_exhaustive_left_deep(self, tpch_catalog_sf100):
+        """DP must match brute-force enumeration of left-deep orders."""
+        tables = ("customer", "orders", "lineitem", "supplier")
+        coster = SizeCoster()
+        planner = SelingerPlanner(coster)
+        context = make_context(tpch_catalog_sf100)
+        result = planner.plan(Query("q", tables), context)
+
+        graph = tpch_catalog_sf100.join_graph
+        best = None
+        for perm in itertools.permutations(tables):
+            # Skip orders that create cross joins.
+            valid = all(
+                graph.edges_between(perm[: i + 1], [perm[i + 1]])
+                for i in range(len(perm) - 1)
+            )
+            if not valid:
+                continue
+            plan = left_deep_plan(perm)
+            _, cost = get_plan_cost(plan, coster, context)
+            if best is None or cost.time_s < best:
+                best = cost.time_s
+        assert result.cost.time_s == pytest.approx(best)
+
+    def test_no_cross_products(self, tpch_catalog_sf100):
+        planner = SelingerPlanner(SizeCoster())
+        context = make_context(tpch_catalog_sf100)
+        result = planner.plan(
+            Query("q", ("region", "nation", "supplier", "partsupp")),
+            context,
+        )
+        graph = tpch_catalog_sf100.join_graph
+        for join in result.plan.joins_postorder():
+            assert graph.edges_between(
+                join.left.tables, join.right.tables
+            )
+
+    def test_counts_join_costings(self, tpch_catalog_sf100):
+        planner = SelingerPlanner(SizeCoster())
+        context = make_context(tpch_catalog_sf100)
+        result = planner.plan(
+            Query("q", ("customer", "orders", "lineitem")), context
+        )
+        assert result.counters.join_costings > 0
+        assert context.counters.join_costings == (
+            result.counters.join_costings
+        )
+
+    def test_counter_deltas_accumulate_in_context(
+        self, tpch_catalog_sf100
+    ):
+        planner = SelingerPlanner(SizeCoster())
+        context = make_context(tpch_catalog_sf100)
+        first = planner.plan(Query("q", ("orders", "lineitem")), context)
+        second = planner.plan(
+            Query("q", ("orders", "lineitem")), context
+        )
+        assert context.counters.join_costings == (
+            first.counters.join_costings + second.counters.join_costings
+        )
+
+    def test_invalid_query_rejected(self, tpch_catalog_sf100):
+        planner = SelingerPlanner(SizeCoster())
+        context = make_context(tpch_catalog_sf100)
+        from repro.catalog.queries import QueryError
+
+        with pytest.raises(QueryError):
+            planner.plan(Query("q", ("customer", "part")), context)
+
+    def test_plan_covers_all_tables(self, tpch_catalog_sf100):
+        planner = SelingerPlanner(SizeCoster())
+        context = make_context(tpch_catalog_sf100)
+        tables = (
+            "region",
+            "nation",
+            "supplier",
+            "customer",
+            "orders",
+            "lineitem",
+        )
+        result = planner.plan(Query("q", tables), context)
+        assert result.plan.tables == frozenset(tables)
+
+    def test_result_metadata(self, tpch_catalog_sf100):
+        planner = SelingerPlanner(SizeCoster())
+        context = make_context(tpch_catalog_sf100)
+        query = Query("named", ("orders", "lineitem"))
+        result = planner.plan(query, context)
+        assert result.planner_name == "selinger"
+        assert result.query is query
+        assert result.wall_time_s >= 0

@@ -1,0 +1,130 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import FIGURE_MODULES, main
+
+
+class TestPlanCommand:
+    def test_plan_default(self, capsys):
+        assert main(["plan", "--query", "Q12"]) == 0
+        out = capsys.readouterr().out
+        assert "Scan(orders)" in out
+        assert "predicted time" in out
+        assert "resource configurations explored" in out
+
+    def test_plan_fast_randomized(self, capsys):
+        assert (
+            main(
+                [
+                    "plan",
+                    "--query",
+                    "Q2",
+                    "--planner",
+                    "fast_randomized",
+                ]
+            )
+            == 0
+        )
+        assert "predicted time" in capsys.readouterr().out
+
+    def test_plan_baseline_explores_nothing(self, capsys):
+        assert main(["plan", "--query", "Q12", "--baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "resource configurations explored: 0" in out
+
+    def test_plan_custom_cluster(self, capsys):
+        assert (
+            main(
+                [
+                    "plan",
+                    "--query",
+                    "Q12",
+                    "--containers",
+                    "8",
+                    "--container-gb",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        # Planned resources stay inside the 8 x 2 GB envelope.
+        assert "x 1GB>" in out or "x 2GB>" in out
+
+    def test_plan_brute_force(self, capsys):
+        assert (
+            main(
+                [
+                    "plan",
+                    "--query",
+                    "Q12",
+                    "--resource-method",
+                    "brute_force",
+                    "--containers",
+                    "10",
+                    "--container-gb",
+                    "4",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        # Brute force explores the whole 10x4 grid per costing.
+        assert "resource configurations explored" in out
+
+    def test_invalid_query_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["plan", "--query", "Q99"])
+
+
+class TestExecuteCommand:
+    def test_execute_compares_against_baseline(self, capsys):
+        assert main(["execute", "--query", "Q12"]) == 0
+        out = capsys.readouterr().out
+        assert "simulated execution" in out
+        assert "two-step baseline" in out
+        assert "speedup" in out
+
+    def test_execute_baseline_only(self, capsys):
+        assert main(["execute", "--query", "Q12", "--baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "two-step baseline" not in out
+
+
+class TestFigureCommand:
+    def test_figure_names_cover_all_evaluation_figures(self):
+        expected = {
+            "fig01", "fig02", "fig03", "fig04", "fig05", "fig06",
+            "fig07", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13",
+            "fig14", "fig15",
+        }
+        assert set(FIGURE_MODULES) == expected
+
+    def test_figure_runs(self, capsys):
+        assert main(["figure", "fig03"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 3(a)" in out
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "fig99"])
+
+
+class TestTreesCommand:
+    def test_hive_trees(self, capsys):
+        assert main(["trees", "--engine", "hive"]) == 0
+        out = capsys.readouterr().out
+        assert "default tree (hive)" in out
+        assert "RAQO tree (hive)" in out
+        assert "max path length" in out
+
+    def test_spark_trees(self, capsys):
+        assert main(["trees", "--engine", "spark"]) == 0
+        assert "spark" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

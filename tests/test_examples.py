@@ -1,0 +1,68 @@
+"""Smoke tests: every shipped example must run and produce its output.
+
+Examples are the public face of the library; these tests run each one
+in-process and assert on its key output lines so they cannot silently
+rot.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, capsys):
+    """Execute an example script as __main__ and capture its stdout."""
+    path = EXAMPLES_DIR / name
+    assert path.exists(), f"missing example {name}"
+    runpy.run_path(str(path), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "RAQO joint plan" in out
+        assert "speedup over the two-step baseline" in out
+        # The headline claim: RAQO at least matches the baseline.
+        speedup = float(out.rsplit(":", 1)[1].strip().rstrip("x"))
+        assert speedup >= 1.0
+
+    def test_resource_aware_rules(self, capsys):
+        out = run_example("resource_aware_rules.py", capsys)
+        assert "Learned RAQO decision tree" in out
+        assert "RAQO wins" in out
+
+    def test_budget_and_price(self, capsys):
+        out = run_example("budget_and_price.py", capsys)
+        assert "[r => p]" in out
+        assert "[p => (r, c)]" in out
+        assert "[(p, r)]" in out
+        assert "[c => (p, r)]" in out
+
+    def test_adaptive_reoptimization(self, capsys):
+        out = run_example("adaptive_reoptimization.py", capsys)
+        assert "quiet cluster" in out
+        assert "plan adapted to the new cluster conditions" in out
+
+    def test_scheduling_and_whatif(self, capsys):
+        out = run_example("scheduling_and_whatif.py", capsys)
+        assert "scheduler policies" in out
+        assert "robust plan" in out
+        assert "what-if: shrinking envelope" in out
+        assert "price-performance frontier" in out
+
+    def test_all_examples_covered(self):
+        """Every example file has a smoke test above."""
+        tested = {
+            "quickstart.py",
+            "resource_aware_rules.py",
+            "budget_and_price.py",
+            "adaptive_reoptimization.py",
+            "scheduling_and_whatif.py",
+        }
+        shipped = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+        assert shipped == tested

@@ -1,0 +1,110 @@
+"""Tests for repro.serialization."""
+
+import pytest
+
+from repro.catalog import tpch
+from repro.cluster.containers import ResourceConfiguration
+from repro.core.decision_tree import DecisionTreeClassifier
+from repro.core.paper_models import PAPER_SMJ_MODEL
+from repro.core.raqo import RaqoPlanner, default_cost_model
+from repro.engine.joins import JoinAlgorithm
+from repro.planner.plan import left_deep_plan, plan_signature
+from repro.serialization import (
+    SerializationError,
+    cost_model_from_dict,
+    cost_model_to_dict,
+    load_json,
+    plan_from_dict,
+    plan_to_dict,
+    save_json,
+    tree_from_dict,
+    tree_to_dict,
+)
+
+
+class TestPlanRoundTrip:
+    def test_bare_plan(self):
+        plan = left_deep_plan(("a", "b", "c"))
+        rebuilt = plan_from_dict(plan_to_dict(plan))
+        assert plan_signature(rebuilt) == plan_signature(plan)
+
+    def test_joint_plan_keeps_resources(self):
+        planner = RaqoPlanner.default(tpch.tpch_catalog(100))
+        plan = planner.optimize(tpch.QUERY_Q3).plan
+        rebuilt = plan_from_dict(plan_to_dict(plan))
+        originals = [j.resources for j in plan.joins_postorder()]
+        restored = [j.resources for j in rebuilt.joins_postorder()]
+        assert originals == restored
+        assert all(r is not None for r in restored)
+
+    def test_algorithms_preserved(self):
+        plan = left_deep_plan(
+            ("a", "b"),
+            algorithms=(JoinAlgorithm.BROADCAST_HASH,),
+        )
+        rebuilt = plan_from_dict(plan_to_dict(plan))
+        [join] = rebuilt.joins_postorder()
+        assert join.algorithm is JoinAlgorithm.BROADCAST_HASH
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SerializationError):
+            plan_from_dict({"kind": "cube"})
+
+
+class TestCostModelRoundTrip:
+    def test_paper_model(self):
+        payload = cost_model_to_dict(PAPER_SMJ_MODEL)
+        rebuilt = cost_model_from_dict(payload)
+        config = ResourceConfiguration(10, 4.0)
+        assert rebuilt.predict(3.0, 77.0, config) == pytest.approx(
+            PAPER_SMJ_MODEL.predict(3.0, 77.0, config)
+        )
+
+    def test_trained_suite_models(self):
+        suite = default_cost_model()
+        for model in suite.models.values():
+            rebuilt = cost_model_from_dict(cost_model_to_dict(model))
+            config = ResourceConfiguration(25, 6.0)
+            assert rebuilt.predict(2.0, 77.0, config) == pytest.approx(
+                model.predict(2.0, 77.0, config)
+            )
+
+    def test_unknown_feature_map_rejected(self):
+        payload = cost_model_to_dict(PAPER_SMJ_MODEL)
+        payload["feature_map"] = "mystery"
+        with pytest.raises(SerializationError):
+            cost_model_from_dict(payload)
+
+
+class TestTreeRoundTrip:
+    def _tree(self):
+        X = [[1.0, 5.0], [2.0, 6.0], [10.0, 5.0], [11.0, 7.0]]
+        y = ["BHJ", "BHJ", "SMJ", "SMJ"]
+        return DecisionTreeClassifier(max_depth=3).fit(X, y), X, y
+
+    def test_predictions_survive(self):
+        tree, X, y = self._tree()
+        rebuilt = tree_from_dict(tree_to_dict(tree))
+        assert rebuilt.predict(X) == tree.predict(X)
+        assert rebuilt.predict_one([5.0, 5.0]) == tree.predict_one(
+            [5.0, 5.0]
+        )
+
+    def test_structure_survives(self):
+        tree, _, _ = self._tree()
+        rebuilt = tree_from_dict(tree_to_dict(tree))
+        assert rebuilt.export_text() == tree.export_text()
+        assert rebuilt.depth == tree.depth
+
+    def test_unfitted_tree_rejected(self):
+        with pytest.raises(SerializationError):
+            tree_to_dict(DecisionTreeClassifier())
+
+
+class TestFileHelpers:
+    def test_save_and_load(self, tmp_path):
+        plan = left_deep_plan(("a", "b"))
+        path = tmp_path / "plan.json"
+        save_json(plan_to_dict(plan), path)
+        rebuilt = plan_from_dict(load_json(path))
+        assert plan_signature(rebuilt) == plan_signature(plan)

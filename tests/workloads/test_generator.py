@@ -1,0 +1,99 @@
+"""Tests for repro.workloads.generator."""
+
+import numpy as np
+import pytest
+
+from repro.catalog import tpch
+from repro.workloads.generator import WorkloadSpec, generate_workload
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return tpch.tpch_catalog(1)
+
+
+class TestWorkloadSpec:
+    def test_defaults_valid(self):
+        WorkloadSpec(num_queries=10)
+
+    def test_zero_queries_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(num_queries=0)
+
+    def test_mismatched_weights_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(
+                num_queries=5, sizes=(2, 3), size_weights=(1.0,)
+            )
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(
+                num_queries=5,
+                sizes=(2, 3),
+                size_weights=(-1.0, 2.0),
+            )
+
+    def test_zero_weight_sum_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(
+                num_queries=5, sizes=(2,), size_weights=(0.0,)
+            )
+
+    def test_bad_repeat_probability(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(num_queries=5, repeat_probability=1.5)
+
+
+class TestGeneration:
+    def test_count_and_validity(self, catalog):
+        rng = np.random.default_rng(3)
+        queries = generate_workload(
+            catalog, WorkloadSpec(num_queries=25), rng
+        )
+        assert len(queries) == 25
+        for query in queries:
+            query.validate(catalog)
+
+    def test_sizes_come_from_spec(self, catalog):
+        rng = np.random.default_rng(3)
+        spec = WorkloadSpec(
+            num_queries=30,
+            sizes=(2, 4),
+            size_weights=(0.5, 0.5),
+            repeat_probability=0.0,
+        )
+        queries = generate_workload(catalog, spec, rng)
+        assert {len(q.tables) for q in queries} <= {2, 4}
+
+    def test_repeats_produce_duplicates(self, catalog):
+        rng = np.random.default_rng(3)
+        spec = WorkloadSpec(num_queries=40, repeat_probability=0.9)
+        queries = generate_workload(catalog, spec, rng)
+        table_sets = [q.tables for q in queries]
+        assert len(set(table_sets)) < len(table_sets)
+
+    def test_no_repeats_when_disabled(self, catalog):
+        rng = np.random.default_rng(3)
+        spec = WorkloadSpec(num_queries=10, repeat_probability=0.0)
+        queries = generate_workload(catalog, spec, rng)
+        names = [q.name for q in queries]
+        assert len(set(names)) == 10
+
+    def test_deterministic(self, catalog):
+        spec = WorkloadSpec(num_queries=15)
+        a = generate_workload(catalog, spec, np.random.default_rng(9))
+        b = generate_workload(catalog, spec, np.random.default_rng(9))
+        assert [q.tables for q in a] == [q.tables for q in b]
+
+    def test_size_clamped_to_schema(self, catalog):
+        rng = np.random.default_rng(3)
+        spec = WorkloadSpec(
+            num_queries=5,
+            sizes=(50,),
+            size_weights=(1.0,),
+            repeat_probability=0.0,
+        )
+        queries = generate_workload(catalog, spec, rng)
+        for query in queries:
+            assert len(query.tables) <= 8

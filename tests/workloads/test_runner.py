@@ -1,0 +1,77 @@
+"""Tests for repro.workloads.runner."""
+
+import numpy as np
+import pytest
+
+from repro.catalog import tpch
+from repro.core.raqo import RaqoPlanner
+from repro.workloads.generator import WorkloadSpec, generate_workload
+from repro.workloads.runner import WorkloadRunner, compare_planners
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return tpch.tpch_catalog(100)
+
+
+@pytest.fixture(scope="module")
+def workload(catalog):
+    rng = np.random.default_rng(11)
+    return generate_workload(
+        catalog, WorkloadSpec(num_queries=6), rng
+    )
+
+
+class TestWorkloadRunner:
+    def test_runs_all_queries(self, catalog, workload):
+        runner = WorkloadRunner(RaqoPlanner.default(catalog))
+        report = runner.run(workload, label="raqo")
+        assert len(report.outcomes) == len(workload)
+        assert report.label == "raqo"
+
+    def test_aggregates_consistent(self, catalog, workload):
+        runner = WorkloadRunner(RaqoPlanner.default(catalog))
+        report = runner.run(workload)
+        assert report.total_planning_ms == pytest.approx(
+            sum(o.planning_ms for o in report.outcomes)
+        )
+        assert report.total_executed_time_s == pytest.approx(
+            sum(o.executed_time_s for o in report.outcomes)
+        )
+        assert report.total_dollars > 0
+
+    def test_summary_row_shape(self, catalog, workload):
+        runner = WorkloadRunner(RaqoPlanner.default(catalog))
+        row = runner.run(workload).summary_row()
+        assert row[0] == "workload"
+        assert row[1] == len(workload)
+
+    def test_raqo_beats_baseline_on_workload(self, catalog, workload):
+        """Workload-level version of the paper's headline claim."""
+        reports = compare_planners(
+            {
+                "raqo": RaqoPlanner.default(catalog),
+                "baseline": RaqoPlanner.two_step_baseline(catalog),
+            },
+            workload,
+        )
+        by_label = {r.label: r for r in reports}
+        assert (
+            by_label["raqo"].total_executed_time_s
+            <= by_label["baseline"].total_executed_time_s * 1.01
+        )
+
+    def test_across_query_cache_reduces_iterations(
+        self, catalog, workload
+    ):
+        cold = WorkloadRunner(
+            RaqoPlanner(catalog, clear_cache_between_queries=True)
+        ).run(workload)
+        warm = WorkloadRunner(
+            RaqoPlanner(catalog, clear_cache_between_queries=False)
+        ).run(workload)
+        assert (
+            warm.total_resource_iterations
+            <= cold.total_resource_iterations
+        )
+        assert warm.cache_hit_total >= cold.cache_hit_total
