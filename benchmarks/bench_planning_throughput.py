@@ -1,0 +1,206 @@
+"""Planning-throughput benchmark: scalar vs vectorized vs memoized.
+
+Measures the two rates the fast-path work targets (see
+``docs/performance.md``):
+
+- **configurations costed per second** -- the resource-planning
+  microbenchmark: brute-force planning one operator over the full
+  discrete grid, scalar loop vs batched ``predict_time_grid``;
+- **sub-plans costed per second** -- whole-query planning throughput on
+  TPC-H for three planner configurations: scalar brute force, vectorized
+  brute force, and vectorized + within-run memo + resource plan cache.
+
+Writes ``BENCH_planning.json`` at the repository root. This is a
+standalone script (not a pytest-benchmark case) so CI can smoke it
+directly::
+
+    PYTHONPATH=src python benchmarks/bench_planning_throughput.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.catalog import tpch  # noqa: E402
+from repro.core.raqo import (  # noqa: E402
+    DEFAULT_CLUSTER,
+    RaqoPlanner,
+    ResourcePlanningMethod,
+    default_cost_model,
+)
+from repro.core.resource_planner import (  # noqa: E402
+    brute_force_resource_plan,
+)
+from repro.engine.joins import JoinAlgorithm  # noqa: E402
+
+#: One mid-size TPC-H SF-100 operator (orders x lineitem, in GB).
+SMALL_GB, LARGE_GB = 17.0, 77.0
+
+
+def _time_repeats(func, repeats):
+    """Best-of-N wall time in seconds (minimum is the least noisy)."""
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        func()
+        samples.append(time.perf_counter() - start)
+    return min(samples), statistics.median(samples)
+
+
+def bench_config_costing(repeats):
+    """Configurations-costed-per-second: scalar vs vectorized grid scan."""
+    model = default_cost_model()
+    cluster = DEFAULT_CLUSTER
+    grid_size = cluster.grid_size
+
+    def cost_fn(config):
+        return model.predict_time(
+            JoinAlgorithm.SORT_MERGE, SMALL_GB, LARGE_GB, config
+        )
+
+    def grid_cost_fn(grid):
+        return model.predict_time_grid(
+            JoinAlgorithm.SORT_MERGE, SMALL_GB, LARGE_GB, grid
+        )
+
+    def scalar():
+        return brute_force_resource_plan(cost_fn, cluster)
+
+    def vectorized():
+        return brute_force_resource_plan(
+            cost_fn, cluster, vectorized=True, grid_cost_fn=grid_cost_fn
+        )
+
+    assert scalar() == vectorized(), "fast path diverged from scalar"
+    scalar_s, _ = _time_repeats(scalar, repeats)
+    vector_s, _ = _time_repeats(vectorized, repeats)
+    return {
+        "grid_size": grid_size,
+        "scalar_configs_per_s": grid_size / scalar_s,
+        "vectorized_configs_per_s": grid_size / vector_s,
+        "speedup": scalar_s / vector_s,
+    }
+
+
+PLANNER_VARIANTS = {
+    "scalar": dict(
+        vectorized_resource_planning=False,
+        memoize_within_run=False,
+        cache_mode=None,
+    ),
+    "vectorized": dict(
+        vectorized_resource_planning=True,
+        memoize_within_run=False,
+        cache_mode=None,
+    ),
+    "memoized": dict(
+        vectorized_resource_planning=True,
+        memoize_within_run=True,
+    ),
+}
+
+
+def bench_subplan_throughput(queries, repeats):
+    """Sub-plans-costed-per-second through whole-query planning."""
+    catalog = tpch.tpch_catalog(100)
+    results = {}
+    for name, options in PLANNER_VARIANTS.items():
+        planner = RaqoPlanner(
+            catalog,
+            resource_method=ResourcePlanningMethod.BRUTE_FORCE,
+            **options,
+        )
+
+        def plan_all(planner=planner):
+            return [planner.optimize(query) for query in queries]
+
+        outcomes = plan_all()  # warm model caches before timing
+        best_s, median_s = _time_repeats(plan_all, repeats)
+        join_costings = sum(
+            o.counters.join_costings for o in outcomes
+        )
+        resource_iterations = sum(
+            o.counters.resource_iterations for o in outcomes
+        )
+        results[name] = {
+            "planning_s": best_s,
+            "planning_s_median": median_s,
+            "sub_plans_costed": join_costings,
+            "sub_plans_per_s": join_costings / best_s,
+            "resource_iterations": resource_iterations,
+            "configs_per_s": resource_iterations / best_s,
+            "memo_hits": sum(o.counters.memo_hits for o in outcomes),
+        }
+    for name in ("vectorized", "memoized"):
+        results[name]["speedup_vs_scalar"] = (
+            results["scalar"]["planning_s"] / results[name]["planning_s"]
+        )
+    return results
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smoke mode: fewer repeats, Q3 only",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_planning.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+    repeats = 3 if args.quick else 10
+    queries = (
+        [tpch.QUERY_Q3]
+        if args.quick
+        else list(tpch.EVALUATION_QUERIES)
+    )
+
+    config_costing = bench_config_costing(repeats)
+    subplan = bench_subplan_throughput(queries, repeats)
+    report = {
+        "mode": "quick" if args.quick else "full",
+        "queries": [query.name for query in queries],
+        "config_costing": config_costing,
+        "subplan_throughput": subplan,
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(
+        f"configurations costed per second "
+        f"({config_costing['grid_size']}-point grid):"
+    )
+    print(
+        f"  scalar     {config_costing['scalar_configs_per_s']:12,.0f}/s"
+    )
+    print(
+        f"  vectorized "
+        f"{config_costing['vectorized_configs_per_s']:12,.0f}/s "
+        f"({config_costing['speedup']:.1f}x)"
+    )
+    print(f"sub-plan costing throughput ({len(queries)} queries):")
+    for name, row in subplan.items():
+        speedup = row.get("speedup_vs_scalar")
+        suffix = f" ({speedup:.1f}x vs scalar)" if speedup else ""
+        print(
+            f"  {name:<10} {row['sub_plans_per_s']:10,.0f} sub-plans/s, "
+            f"{row['configs_per_s']:12,.0f} configs/s{suffix}"
+        )
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,8 @@ Subcommands:
 - ``figure``  -- regenerate one of the paper's figures (fig01..fig15).
 - ``trees``   -- print the default (Fig 10) and learned RAQO (Fig 11)
   decision trees for an engine.
+- ``workload`` -- plan and simulate a generated multi-query workload,
+  optionally fanning queries out over a worker pool (``--parallel N``).
 
 Examples::
 
@@ -17,6 +19,7 @@ Examples::
     python -m repro execute --query Q2 --containers 40 --container-gb 6
     python -m repro figure fig03
     python -m repro trees --engine spark
+    python -m repro workload --num-queries 20 --parallel 4
 """
 
 from __future__ import annotations
@@ -90,6 +93,30 @@ def _build_parser() -> argparse.ArgumentParser:
         default="hive",
         help="engine profile to train against",
     )
+
+    workload = sub.add_parser(
+        "workload", help="plan and simulate a generated workload"
+    )
+    _add_planner_options(workload)
+    workload.add_argument(
+        "--num-queries",
+        type=int,
+        default=20,
+        help="number of generated workload queries",
+    )
+    workload.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="workload generator seed",
+    )
+    workload.add_argument(
+        "--parallel",
+        type=int,
+        default=1,
+        metavar="WORKERS",
+        help="plan queries concurrently on this many workers",
+    )
     return parser
 
 
@@ -100,6 +127,10 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         default="Q3",
         help="TPC-H evaluation query",
     )
+    _add_planner_options(parser)
+
+
+def _add_planner_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--scale-factor",
         type=float,
@@ -199,6 +230,45 @@ def _cmd_execute(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_workload(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.workloads.generator import WorkloadSpec, generate_workload
+    from repro.workloads.runner import WorkloadRunner
+
+    if args.parallel < 1:
+        print("--parallel must be >= 1", file=sys.stderr)
+        return 2
+    planner = _make_planner(args)
+    queries = generate_workload(
+        planner.catalog,
+        WorkloadSpec(num_queries=args.num_queries),
+        np.random.default_rng(args.seed),
+    )
+    report = WorkloadRunner(planner).run(
+        queries,
+        label="baseline" if args.baseline else "raqo",
+        max_workers=args.parallel,
+    )
+    for outcome in report.outcomes:
+        print(
+            f"{outcome.query.name:>12}: "
+            f"planning {outcome.planning_ms:8.1f} ms | "
+            f"{outcome.resource_iterations:6d} resource iters | "
+            f"simulated {outcome.executed_time_s:8.1f} s | "
+            f"${outcome.executed_dollars:.3f}"
+        )
+    print(
+        f"\n{report.label}: {len(report.outcomes)} queries "
+        f"({args.parallel} worker(s)) | "
+        f"planning {report.total_planning_ms:.1f} ms | "
+        f"{report.total_resource_iterations} resource iters | "
+        f"simulated {report.total_executed_time_s:.1f} s | "
+        f"${report.total_dollars:.3f}"
+    )
+    return 0
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
     module = importlib.import_module(FIGURE_MODULES[args.name])
     module.main()
@@ -234,6 +304,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "execute": _cmd_execute,
         "figure": _cmd_figure,
         "trees": _cmd_trees,
+        "workload": _cmd_workload,
     }
     return handlers[args.command](args)
 

@@ -7,7 +7,11 @@ request when capacity is unavailable (the phenomenon behind the paper's
 Fig 1).
 """
 
-from repro.cluster.cluster import ClusterConditions, ResourceDimension
+from repro.cluster.cluster import (
+    ClusterConditions,
+    ConfigurationGrid,
+    ResourceDimension,
+)
 from repro.cluster.containers import ContainerRequest, ResourceConfiguration
 from repro.cluster.pricing import PriceModel
 from repro.cluster.resource_manager import ResourceManager
@@ -17,6 +21,7 @@ from repro.cluster.scheduler import DagScheduler, SchedulingPolicy
 __all__ = [
     "ClusterConditions",
     "ClusterSnapshot",
+    "ConfigurationGrid",
     "ContainerRequest",
     "DagScheduler",
     "ExposureLevel",

@@ -10,6 +10,7 @@ resources could be increased in discrete intervals of 1 on either axis").
 
 from __future__ import annotations
 
+import functools
 import itertools
 from dataclasses import dataclass
 from typing import Iterator, List, Tuple
@@ -57,6 +58,58 @@ class ResourceDimension:
     def contains(self, value: float) -> bool:
         """True when ``value`` lies within the bounds (inclusive)."""
         return self.minimum <= value <= self.maximum
+
+
+@dataclass(frozen=True)
+class ConfigurationGrid:
+    """The full discrete configuration grid as parallel numpy arrays.
+
+    Row ``i`` corresponds to the ``i``-th configuration yielded by
+    :meth:`ClusterConditions.iter_configurations` -- the same enumeration
+    order, so an argmin over batched costs breaks ties exactly like the
+    scalar brute-force scan (first strictly-smaller cost wins).
+
+    ``total_memory_gb`` is the per-configuration price basis: dollars for
+    a duration are proportional to ``total_memory_gb * duration``.
+    """
+
+    counts: np.ndarray
+    sizes: np.ndarray
+    total_memory_gb: np.ndarray
+
+    @property
+    def num_configs(self) -> int:
+        """Number of configurations (rows) in the grid."""
+        return int(self.counts.shape[0])
+
+    def config_at(self, index: int) -> ResourceConfiguration:
+        """Materialise the configuration at one grid row."""
+        return ResourceConfiguration(
+            num_containers=int(round(float(self.counts[index]))),
+            container_gb=float(self.sizes[index]),
+        )
+
+    def configurations(self) -> Iterator[ResourceConfiguration]:
+        """Materialise every configuration in grid order."""
+        for index in range(self.num_configs):
+            yield self.config_at(index)
+
+
+@functools.lru_cache(maxsize=256)
+def _build_configuration_grid(
+    cluster: "ClusterConditions",
+) -> ConfigurationGrid:
+    dims = cluster.dimensions
+    count_values = np.asarray(dims[0].values(), dtype=float)
+    size_values = np.asarray(dims[1].values(), dtype=float)
+    counts = np.repeat(count_values, size_values.shape[0])
+    sizes = np.tile(size_values, count_values.shape[0])
+    total = counts * sizes
+    for array in (counts, sizes, total):
+        array.setflags(write=False)
+    return ConfigurationGrid(
+        counts=counts, sizes=sizes, total_memory_gb=total
+    )
 
 
 @dataclass(frozen=True)
@@ -122,6 +175,22 @@ class ClusterConditions:
             ),
         )
 
+    def dimension(self, name: str) -> ResourceDimension:
+        """Look one resource axis up by name.
+
+        Callers that need a specific axis (e.g. the BHJ memory wall needs
+        ``container_gb``) must use this instead of positional indexing so
+        reordered or extended dimension lists cannot silently pick the
+        wrong axis.
+        """
+        for dim in self.dimensions:
+            if dim.name == name:
+                return dim
+        known = ", ".join(d.name for d in self.dimensions)
+        raise ResourceError(
+            f"unknown resource dimension {name!r} (known: {known})"
+        )
+
     @property
     def step_sizes(self) -> Tuple[float, float]:
         """``GetDiscreteSteps(clusterCond)`` from Algorithm 1."""
@@ -173,6 +242,17 @@ class ClusterConditions:
             yield ResourceConfiguration(
                 num_containers=int(count), container_gb=size
             )
+
+    def config_grid(self) -> ConfigurationGrid:
+        """The full discrete grid as cached numpy arrays.
+
+        The grid is built once per distinct cluster condition (the class
+        is a frozen value type, so equal conditions share one grid) and
+        the arrays are read-only. This is the input of the vectorized
+        resource-planning fast path: one batched cost-model call replaces
+        ``grid_size`` scalar invocations.
+        """
+        return _build_configuration_grid(self)
 
     def scaled(
         self, max_containers: int, max_container_gb: float

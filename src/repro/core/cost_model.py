@@ -33,8 +33,9 @@ from typing import Callable, Dict, Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.cluster.cluster import ConfigurationGrid
 from repro.cluster.containers import ResourceConfiguration
-from repro.engine.joins import JoinAlgorithm, join_execution
+from repro.engine.joins import JoinAlgorithm, join_execution, join_time_grid
 from repro.engine.profiler import ProfileSample
 from repro.engine.profiles import EngineProfile
 
@@ -61,6 +62,36 @@ class FeatureMap:
             float(config.num_containers),
         )
         return np.asarray(values, dtype=float)
+
+    def batch(
+        self,
+        small_gb: float,
+        large_gb: float,
+        container_gb: np.ndarray,
+        num_containers: np.ndarray,
+    ) -> np.ndarray:
+        """The ``(N, F)`` feature matrix for N resource configurations.
+
+        The transform runs once on whole arrays (the feature expressions
+        are elementwise arithmetic, so numpy computes the same IEEE
+        values as the scalar path). Transforms that are not
+        numpy-compatible fall back to per-row evaluation.
+        """
+        cs = np.asarray(container_gb, dtype=float)
+        nc = np.asarray(num_containers, dtype=float)
+        try:
+            values = self.transform(small_gb, large_gb, cs, nc)
+            columns = [
+                np.broadcast_to(np.asarray(v, dtype=float), cs.shape)
+                for v in values
+            ]
+            return np.stack(columns, axis=1)
+        except Exception:
+            rows = [
+                self.transform(small_gb, large_gb, float(c), float(n))
+                for c, n in zip(cs, nc)
+            ]
+            return np.asarray(rows, dtype=float)
 
     def __len__(self) -> int:
         return len(self.feature_names)
@@ -145,14 +176,46 @@ class OperatorCostModel:
         Non-finite predictions (overflowing extrapolations, corrupted
         coefficients) surface as infinity, which planners already treat
         as "infeasible" -- they must never be silently compared as NaN.
+
+        The dot product is accumulated feature by feature (not through
+        BLAS): :meth:`predict_grid` accumulates its per-configuration
+        lanes in exactly the same order, which is what makes the two
+        paths bit-identical (BLAS dot vs matmul kernels can differ by
+        ULPs, enough to flip argmin tie-breaks).
         """
         features = self.feature_map(small_gb, large_gb, config)
-        raw = self.intercept + float(
-            np.dot(features, np.asarray(self.coefficients))
-        )
+        acc = 0.0
+        for coefficient, feature in zip(self.coefficients, features):
+            acc = acc + coefficient * float(feature)
+        raw = self.intercept + acc
         if math.isnan(raw):
             return math.inf
         return max(raw, MIN_PREDICTED_TIME_S)
+
+    def predict_grid(
+        self,
+        small_gb: float,
+        large_gb: float,
+        counts: np.ndarray,
+        sizes: np.ndarray,
+    ) -> np.ndarray:
+        """Batched :meth:`predict` over a whole configuration grid.
+
+        A handful of column-accumulated array operations replace N
+        feature builds and dot products; each configuration's lane runs
+        the same multiply-add sequence as :meth:`predict`, so the batch
+        matches the scalar path value for value. NaN predictions surface
+        as ``inf`` and the same positive floor is applied.
+        """
+        features = self.feature_map.batch(
+            small_gb, large_gb, sizes, counts
+        )
+        acc = np.zeros(features.shape[0])
+        for column, coefficient in enumerate(self.coefficients):
+            acc = acc + coefficient * features[:, column]
+        raw = self.intercept + acc
+        raw = np.where(np.isnan(raw), math.inf, raw)
+        return np.maximum(raw, MIN_PREDICTED_TIME_S)
 
     @classmethod
     def fit(
@@ -235,6 +298,29 @@ class JoinCostEstimator:
         """Predicted execution time; ``inf`` when infeasible."""
         raise NotImplementedError
 
+    def predict_time_grid(
+        self,
+        algorithm: JoinAlgorithm,
+        small_gb: float,
+        large_gb: float,
+        grid: ConfigurationGrid,
+    ) -> np.ndarray:
+        """Predicted times for every configuration in a grid.
+
+        The base implementation loops over :meth:`predict_time`, so any
+        estimator supports the batched interface; subclasses override it
+        with genuinely vectorized evaluations (one matmul for learned
+        models, elementwise array math for the simulator oracle).
+        """
+        return np.fromiter(
+            (
+                self.predict_time(algorithm, small_gb, large_gb, config)
+                for config in grid.configurations()
+            ),
+            dtype=float,
+            count=grid.num_configs,
+        )
+
     def bhj_feasible(
         self, small_gb: float, config: ResourceConfiguration
     ) -> bool:
@@ -278,6 +364,25 @@ class CostModelSuite(JoinCostEstimator):
         ):
             return math.inf
         return self.models[algorithm].predict(small_gb, large_gb, config)
+
+    def predict_time_grid(
+        self,
+        algorithm: JoinAlgorithm,
+        small_gb: float,
+        large_gb: float,
+        grid: ConfigurationGrid,
+    ) -> np.ndarray:
+        """One batched model evaluation for the whole grid (plus the
+        BHJ memory wall applied as a vector mask)."""
+        times = self.models[algorithm].predict_grid(
+            small_gb, large_gb, grid.counts, grid.sizes
+        )
+        if algorithm is JoinAlgorithm.BROADCAST_HASH:
+            infeasible = small_gb > (
+                self.hash_memory_fraction * grid.sizes
+            )
+            times = np.where(infeasible, math.inf, times)
+        return times
 
     @classmethod
     def train(
@@ -344,6 +449,24 @@ class SimulatorCostModel(JoinCostEstimator):
             num_reducers=self.num_reducers,
         )
         return execution.time_s
+
+    def predict_time_grid(
+        self,
+        algorithm: JoinAlgorithm,
+        small_gb: float,
+        large_gb: float,
+        grid: ConfigurationGrid,
+    ) -> np.ndarray:
+        """Vectorized analytic oracle over the whole grid."""
+        return join_time_grid(
+            algorithm,
+            small_gb,
+            large_gb,
+            grid.counts,
+            grid.sizes,
+            self.profile,
+            num_reducers=self.num_reducers,
+        )
 
     def model_key(self, algorithm: JoinAlgorithm) -> str:
         return f"simulator:{self.profile.name}:{algorithm.value}"

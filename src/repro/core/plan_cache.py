@@ -46,6 +46,9 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     inserts: int = 0
+    #: Distinct keys currently held across all indexes (re-inserting an
+    #: existing key updates it in place and does not count).
+    entries: int = 0
 
     @property
     def lookups(self) -> int:
@@ -61,24 +64,73 @@ class CacheStats:
 
 
 class _SortedIndex:
-    """A sorted array of (data_gb, config) with binary-search lookup."""
+    """A sorted array of (data_gb, config) with binary-search lookup.
+
+    The paper describes "a sorted array of keys, with automatic resizing
+    whenever the array gets full". A plain ``list.insert`` at the bisect
+    position makes every miss O(n) in array shifts, which dominates once
+    a warm across-query cache holds thousands of keys. New keys therefore
+    land in a small unsorted pending buffer (a dict, so lookups there are
+    O(1)) that is merged into the sorted main array whenever it reaches
+    ``MERGE_THRESHOLD``: inserts are amortized O(1) plus an occasional
+    O(n + t log t) merge, instead of O(n) every time. Main-array keys and
+    pending keys are kept disjoint -- re-inserting a key that already
+    made it into the main array updates it in place.
+    """
+
+    #: Pending-buffer size that triggers a merge into the sorted array.
+    MERGE_THRESHOLD = 64
 
     def __init__(self) -> None:
         self._keys: List[float] = []
         self._configs: List[ResourceConfiguration] = []
+        self._pending: Dict[float, ResourceConfiguration] = {}
 
-    def insert(self, key: float, config: ResourceConfiguration) -> None:
+    def insert(self, key: float, config: ResourceConfiguration) -> bool:
+        """Insert or update one entry; True when the key is new."""
         position = bisect.bisect_left(self._keys, key)
         if (
             position < len(self._keys)
             and self._keys[position] == key
         ):
             self._configs[position] = config
+            return False
+        is_new = key not in self._pending
+        self._pending[key] = config
+        if len(self._pending) >= self.MERGE_THRESHOLD:
+            self._merge_pending()
+        return is_new
+
+    def _merge_pending(self) -> None:
+        """Fold the pending buffer into the sorted main array (one pass)."""
+        if not self._pending:
             return
-        self._keys.insert(position, key)
-        self._configs.insert(position, config)
+        incoming = sorted(self._pending.items())
+        merged_keys: List[float] = []
+        merged_configs: List[ResourceConfiguration] = []
+        i = j = 0
+        while i < len(self._keys) and j < len(incoming):
+            if self._keys[i] <= incoming[j][0]:
+                merged_keys.append(self._keys[i])
+                merged_configs.append(self._configs[i])
+                i += 1
+            else:
+                merged_keys.append(incoming[j][0])
+                merged_configs.append(incoming[j][1])
+                j += 1
+        merged_keys.extend(self._keys[i:])
+        merged_configs.extend(self._configs[i:])
+        for key, config in incoming[j:]:
+            merged_keys.append(key)
+            merged_configs.append(config)
+        self._keys = merged_keys
+        self._configs = merged_configs
+        self._pending.clear()
 
     def exact(self, key: float) -> Optional[ResourceConfiguration]:
+        pending = self._pending.get(key)
+        if pending is not None:
+            return pending
         position = bisect.bisect_left(self._keys, key)
         if position < len(self._keys) and self._keys[position] == key:
             return self._configs[position]
@@ -93,11 +145,19 @@ class _SortedIndex:
         entries = [
             (self._keys[i], self._configs[i]) for i in range(low, high)
         ]
+        entries.extend(
+            (pending_key, config)
+            for pending_key, config in self._pending.items()
+            if abs(pending_key - key) <= threshold
+        )
+        # Key-sort first so equidistant neighbours tie-break by key
+        # regardless of whether they sat in the buffer or the array.
+        entries.sort(key=lambda entry: entry[0])
         entries.sort(key=lambda entry: abs(entry[0] - key))
         return entries
 
     def __len__(self) -> int:
-        return len(self._keys)
+        return len(self._keys) + len(self._pending)
 
 
 class ResourcePlanCache:
@@ -168,13 +228,15 @@ class ResourcePlanCache:
         config: ResourceConfiguration,
     ) -> None:
         """Record the best configuration found for these characteristics."""
-        self._index(model_key).insert(data_gb, config)
+        if self._index(model_key).insert(data_gb, config):
+            self.stats.entries += 1
         self.stats.inserts += 1
 
     def clear(self) -> None:
         """Drop all cached entries (the paper clears between queries
         unless testing across-query caching)."""
         self._indexes.clear()
+        self.stats.entries = 0
 
     def size(self, model_key: Optional[str] = None) -> int:
         """Number of cached entries (for one model or in total)."""

@@ -25,6 +25,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Optional, Tuple, Union
 
+import numpy as np
+
 from repro.catalog.queries import Query
 from repro.catalog.schema import Catalog
 from repro.catalog.statistics import StatisticsEstimator
@@ -126,6 +128,21 @@ class RaqoCoster:
     ``money_weight`` folds monetary cost into the resource-planning
     objective (multi-objective resource planning); the default optimizes
     execution time as in the paper's main experiments.
+
+    Two fast-path layers sit in front of the resource planner:
+
+    - ``memoize``: a per-planning-run memo keyed by ``(algorithm, ss,
+      ls)``. Query planners request the same sub-plan costing many times
+      (Selinger re-extends overlapping subsets; the randomized planner
+      revisits joins across restarts); repeats return the previously
+      planned cost without touching the plan cache or the planner.
+      The memo lives on the :class:`PlanningContext`, so its lifetime is
+      exactly one planning run.
+    - ``vectorized``: brute-force resource planning costs the whole
+      configuration grid through the model's batched
+      ``predict_time_grid`` (a few array operations for learned models)
+      instead of one scalar call per configuration. The winner is
+      bit-identical to the scalar scan; only the wall-clock changes.
     """
 
     model: JoinCostEstimator
@@ -133,6 +150,8 @@ class RaqoCoster:
     cache: Optional[ResourcePlanCache] = None
     price_model: PriceModel = field(default_factory=PriceModel)
     money_weight: float = 0.0
+    memoize: bool = True
+    vectorized: bool = True
 
     def join_cost(
         self,
@@ -143,6 +162,33 @@ class RaqoCoster:
     ) -> Tuple[Cost, Optional[ResourceConfiguration]]:
         """Plan resources for this operator, then cost it there."""
         small_gb, large_gb = context.join_io_gb(left_tables, right_tables)
+        memo_key = None
+        if self.memoize:
+            memo_key = (
+                self.model.model_key(algorithm),
+                small_gb,
+                large_gb,
+                self.money_weight,
+            )
+            memoized = context.resource_plan_memo.get(memo_key)
+            if memoized is not None:
+                context.counters.memo_hits += 1
+                return memoized
+        result = self._plan_and_cost(
+            algorithm, small_gb, large_gb, context
+        )
+        if memo_key is not None:
+            context.resource_plan_memo[memo_key] = result
+        return result
+
+    def _plan_and_cost(
+        self,
+        algorithm: JoinAlgorithm,
+        small_gb: float,
+        large_gb: float,
+        context: PlanningContext,
+    ) -> Tuple[Cost, Optional[ResourceConfiguration]]:
+        """The memo-miss path: cache lookup, then resource planning."""
         config = self._cached_config(
             algorithm, small_gb, large_gb, context
         )
@@ -217,6 +263,26 @@ class RaqoCoster:
                 return time_s + self.money_weight * money
             return time_s
 
+        def grid_objective(grid) -> np.ndarray:
+            # One batched model call for the whole grid; counted exactly
+            # like the scalar scan (one iteration per configuration).
+            counters.resource_iterations += grid.num_configs
+            times = self.model.predict_time_grid(
+                algorithm, small_gb, large_gb, grid
+            )
+            times = np.where(np.isnan(times), math.inf, times)
+            if self.money_weight:
+                # Inlined PriceModel.cost_of_gb_seconds (it rejects
+                # arrays); same expression, so bit-identical to scalar.
+                money = (
+                    grid.total_memory_gb
+                    * times
+                    / 3600.0
+                    * self.price_model.dollars_per_gb_hour
+                )
+                return times + self.money_weight * money
+            return times
+
         start: Optional[ResourceConfiguration] = None
         if algorithm is JoinAlgorithm.BROADCAST_HASH:
             start = feasible_bhj_start(
@@ -225,6 +291,13 @@ class RaqoCoster:
             if start is None:
                 return None
         if self.method is ResourcePlanningMethod.BRUTE_FORCE:
+            if self.vectorized:
+                return brute_force_resource_plan(
+                    objective,
+                    cluster,
+                    vectorized=True,
+                    grid_cost_fn=grid_objective,
+                )
             return brute_force_resource_plan(objective, cluster)
         return hill_climb_resource_plan(objective, cluster, start=start)
 
@@ -276,7 +349,27 @@ class RaqoPlanner:
         money_weight: float = 0.0,
         randomized_iterations: int = 10,
         seed: int = 0,
+        memoize_within_run: bool = True,
+        vectorized_resource_planning: bool = True,
     ) -> None:
+        # Everything needed to build an equivalent planner (clone()).
+        self._init_kwargs = dict(
+            cluster=cluster,
+            cost_model=cost_model,
+            planner_kind=planner_kind,
+            resource_method=resource_method,
+            cache_mode=cache_mode,
+            cache_threshold_gb=cache_threshold_gb,
+            clear_cache_between_queries=clear_cache_between_queries,
+            resource_aware=resource_aware,
+            default_resources=default_resources,
+            price_model=price_model,
+            money_weight=money_weight,
+            randomized_iterations=randomized_iterations,
+            seed=seed,
+            memoize_within_run=memoize_within_run,
+            vectorized_resource_planning=vectorized_resource_planning,
+        )
         self.catalog = catalog
         self.cluster = cluster
         self.estimator = StatisticsEstimator(catalog)
@@ -299,6 +392,8 @@ class RaqoPlanner:
                     cache=self.cache,
                     price_model=self.price_model,
                     money_weight=money_weight,
+                    memoize=memoize_within_run,
+                    vectorized=vectorized_resource_planning,
                 )
             )
         else:
@@ -332,6 +427,19 @@ class RaqoPlanner:
         later, at a fixed default configuration."""
         kwargs.setdefault("resource_aware", False)
         return cls(catalog, **kwargs)
+
+    def clone(self) -> "RaqoPlanner":
+        """An independent planner with the same configuration.
+
+        The clone shares the (immutable, already-fitted) cost model but
+        gets its own resource plan cache and coster, so clones can plan
+        on separate threads without sharing mutable state. The parallel
+        workload runner builds one clone per worker.
+        """
+        kwargs = dict(self._init_kwargs)
+        kwargs["cost_model"] = self.cost_model  # skip any re-fitting
+        kwargs["cluster"] = self.cluster  # reflect replan() updates
+        return type(self)(self.catalog, **kwargs)
 
     def make_context(
         self,

@@ -36,6 +36,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+import numpy as np
+
 from repro.cluster.containers import ResourceConfiguration
 from repro.engine.profiles import EngineProfile
 
@@ -236,6 +238,119 @@ def bhj_execution(
             "pressure_penalty": pressure_penalty,
         },
     )
+
+
+def smj_time_grid(
+    small_gb: float,
+    large_gb: float,
+    counts: np.ndarray,
+    sizes: np.ndarray,
+    profile: EngineProfile,
+    num_reducers: Optional[int] = None,
+) -> np.ndarray:
+    """Vectorized :func:`smj_execution` times over a configuration grid.
+
+    ``counts[i] x sizes[i]`` is one resource configuration; the returned
+    array holds the same wall-clock times the scalar model computes, one
+    batched evaluation replacing ``len(counts)`` scalar calls. Every
+    arithmetic step mirrors the scalar expression exactly so the two
+    paths agree bit for bit.
+    """
+    _validate_inputs(small_gb, large_gb)
+    data_gb = small_gb + large_gb
+    nc = np.asarray(counts, dtype=float)
+    cs = np.asarray(sizes, dtype=float)
+    if num_reducers is None:
+        num_reducers = default_num_reducers(data_gb, profile)
+    elif num_reducers < 1:
+        raise ValueError(f"num_reducers must be >= 1, got {num_reducers}")
+
+    map_tasks = num_map_tasks(data_gb, profile)
+    map_time = (
+        data_gb * profile.map_cost_s_per_gb / nc
+        + map_tasks * profile.task_overhead_s / nc
+    )
+
+    reduce_parallelism = np.minimum(float(num_reducers), nc)
+    per_reducer_gb = data_gb / num_reducers
+    sort_budget_gb = profile.sort_memory_fraction * cs
+    spills = (per_reducer_gb > sort_budget_gb) & (sort_budget_gb > 0)
+    # The clip only affects masked-out entries, keeping the log argument
+    # bit-identical to the scalar path wherever the penalty applies.
+    ratio = per_reducer_gb / np.maximum(sort_budget_gb, 1e-300)
+    spill_penalty = np.where(
+        spills,
+        1.0 + profile.sort_spill_coeff * np.log2(np.maximum(ratio, 1.0)),
+        1.0,
+    )
+    reduce_time = (
+        data_gb * profile.reduce_cost_s_per_gb / reduce_parallelism
+    ) * spill_penalty + num_reducers * profile.task_overhead_s / nc
+
+    return profile.smj_fixed_s + map_time + reduce_time
+
+
+def bhj_time_grid(
+    small_gb: float,
+    large_gb: float,
+    counts: np.ndarray,
+    sizes: np.ndarray,
+    profile: EngineProfile,
+) -> np.ndarray:
+    """Vectorized :func:`bhj_execution` times over a configuration grid.
+
+    Infeasible configurations (broadcast table past the hash budget)
+    report ``inf``, as the scalar model does.
+    """
+    _validate_inputs(small_gb, large_gb)
+    nc = np.asarray(counts, dtype=float)
+    cs = np.asarray(sizes, dtype=float)
+    probe_tasks = num_map_tasks(large_gb, profile)
+
+    budget = profile.hash_memory_fraction * cs
+    feasible = small_gb <= budget
+
+    broadcast_time = small_gb * nc / profile.broadcast_agg_gb_s
+
+    pressure = small_gb / budget
+    pressure_penalty = 1.0 + profile.pressure_coeff * (
+        pressure**profile.pressure_exponent
+    )
+    build_time = (
+        profile.build_cost_s
+        * (small_gb**profile.build_exponent)
+        * pressure_penalty
+    )
+
+    probe_cost = profile.probe_cost_s_per_gb * (
+        1.0 + profile.probe_memory_boost / cs
+    )
+    probe_time = (
+        large_gb * probe_cost / nc
+        + probe_tasks * profile.task_overhead_s / nc
+    )
+
+    times = profile.bhj_fixed_s + broadcast_time + build_time + probe_time
+    return np.where(feasible, times, INFEASIBLE_TIME_S)
+
+
+def join_time_grid(
+    algorithm: JoinAlgorithm,
+    small_gb: float,
+    large_gb: float,
+    counts: np.ndarray,
+    sizes: np.ndarray,
+    profile: EngineProfile,
+    num_reducers: Optional[int] = None,
+) -> np.ndarray:
+    """Vectorized execution times for one join implementation."""
+    if algorithm is JoinAlgorithm.SORT_MERGE:
+        return smj_time_grid(
+            small_gb, large_gb, counts, sizes, profile, num_reducers
+        )
+    if algorithm is JoinAlgorithm.BROADCAST_HASH:
+        return bhj_time_grid(small_gb, large_gb, counts, sizes, profile)
+    raise ValueError(f"unknown join algorithm: {algorithm!r}")
 
 
 def join_execution(

@@ -76,7 +76,11 @@ def run(
 ) -> PlanCacheResult:
     """Measure HC alone vs HC + caching variants over thresholds."""
     catalog = tpch.tpch_catalog(SCALE_FACTOR)
-    baseline = RaqoPlanner(catalog, cache_mode=None)
+    # The within-run memo is disabled throughout so the figure isolates
+    # the resource plan cache's contribution, as in the paper.
+    baseline = RaqoPlanner(
+        catalog, cache_mode=None, memoize_within_run=False
+    )
     base_iters, base_ms, _, _ = _measure(baseline, query, repetitions)
 
     points = []
@@ -89,6 +93,7 @@ def run(
                 catalog,
                 cache_mode=mode,
                 cache_threshold_gb=threshold,
+                memoize_within_run=False,
             )
             iters, ms, hits, misses = _measure(
                 planner, query, repetitions

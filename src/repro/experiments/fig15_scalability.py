@@ -107,6 +107,9 @@ def _make_planner(
         clear_cache_between_queries=clear_cache,
         randomized_iterations=iterations,
         seed=seed,
+        # Isolate the resource plan cache's contribution: the within-run
+        # memo would absorb the exact-repeat hits the figure measures.
+        memoize_within_run=False,
     )
 
 

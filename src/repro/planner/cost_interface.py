@@ -16,10 +16,11 @@ wall-clock time).
 
 from __future__ import annotations
 
+import dataclasses
 import math
 import time
 from dataclasses import dataclass, field
-from typing import FrozenSet, Iterable, Optional, Protocol, Tuple
+from typing import Dict, FrozenSet, Iterable, Optional, Protocol, Tuple
 
 from repro.catalog.queries import Query
 from repro.catalog.statistics import StatisticsEstimator
@@ -79,13 +80,17 @@ class PlanningCounters:
     #: Resource plan cache hits / misses (Fig 14).
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Within-run memo hits: identical (algorithm, ss, ls) costings
+    #: served without touching the resource planner or the plan cache.
+    memo_hits: int = 0
 
     def merge(self, other: "PlanningCounters") -> None:
         """Accumulate another counter set into this one."""
-        self.resource_iterations += other.resource_iterations
-        self.join_costings += other.join_costings
-        self.cache_hits += other.cache_hits
-        self.cache_misses += other.cache_misses
+        for counter_field in dataclasses.fields(self):
+            name = counter_field.name
+            setattr(
+                self, name, getattr(self, name) + getattr(other, name)
+            )
 
 
 @dataclass
@@ -95,6 +100,10 @@ class PlanningContext:
     estimator: StatisticsEstimator
     cluster: ClusterConditions
     counters: PlanningCounters = field(default_factory=PlanningCounters)
+    #: Per-run scratch space for the RAQO coster's sub-plan memo: one
+    #: planning run = one context = one memo lifetime, so entries can
+    #: never leak across queries or changed cluster conditions.
+    resource_plan_memo: Dict[Tuple, object] = field(default_factory=dict)
 
     def join_io_gb(
         self, left_tables: Iterable[str], right_tables: Iterable[str]

@@ -140,9 +140,8 @@ def _counters_delta(
 ) -> PlanningCounters:
     """Per-run counter deltas (context counters keep accumulating)."""
     return PlanningCounters(
-        resource_iterations=end.resource_iterations
-        - start.resource_iterations,
-        join_costings=end.join_costings - start.join_costings,
-        cache_hits=end.cache_hits - start.cache_hits,
-        cache_misses=end.cache_misses - start.cache_misses,
+        **{
+            f.name: getattr(end, f.name) - getattr(start, f.name)
+            for f in dataclasses.fields(PlanningCounters)
+        }
     )

@@ -4,10 +4,20 @@ Aggregates both sides of the paper's story per workload: the planning
 overheads (wall time, resource configurations explored, cache behaviour)
 and the simulated execution outcomes (time, resources used, dollars) when
 the produced plans run on the engine simulator.
+
+Independent queries can be planned concurrently: ``run(max_workers=N)``
+fans the workload out over a thread pool, giving each worker thread its
+own planner clone (own coster, own resource plan cache) so no mutable
+planner state is shared. Results always come back in submission order,
+and with the default ``clear_cache_between_queries=True`` planner the
+parallel report is identical to the sequential one except for wall-clock
+timings.
 """
 
 from __future__ import annotations
 
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
@@ -89,31 +99,65 @@ class WorkloadRunner:
         self.profile = profile
         self.default_resources = default_resources
 
+    def _run_one(
+        self, planner: RaqoPlanner, query: Query
+    ) -> QueryOutcome:
+        """Plan and execute a single workload query on ``planner``."""
+        result = planner.optimize(query)
+        execution = execute_plan(
+            result.plan,
+            planner.estimator,
+            self.profile,
+            default_resources=self.default_resources,
+        )
+        return QueryOutcome(
+            query=query,
+            planning_ms=result.wall_time_s * 1000.0,
+            resource_iterations=result.resource_iterations,
+            cache_hits=result.counters.cache_hits,
+            predicted_time_s=result.cost.time_s,
+            executed_time_s=execution.time_s,
+            executed_gb_seconds=execution.gb_seconds,
+            executed_dollars=execution.dollars,
+        )
+
     def run(
-        self, queries: Sequence[Query], label: str = "workload"
+        self,
+        queries: Sequence[Query],
+        label: str = "workload",
+        max_workers: int = 1,
     ) -> WorkloadReport:
-        """Plan and execute every query; returns the aggregate report."""
-        outcomes: List[QueryOutcome] = []
-        for query in queries:
-            result = self.planner.optimize(query)
-            execution = execute_plan(
-                result.plan,
-                self.planner.estimator,
-                self.profile,
-                default_resources=self.default_resources,
+        """Plan and execute every query; returns the aggregate report.
+
+        ``max_workers > 1`` plans independent queries concurrently on a
+        thread pool. Each worker thread plans on its own
+        :meth:`RaqoPlanner.clone`, so per-query counters cannot
+        interleave and the resource plan cache is never shared across
+        threads (warm-cache planners therefore keep one cache *per
+        worker* when parallel). ``pool.map`` preserves submission order,
+        so the report's outcome order matches the input order exactly.
+        """
+        if max_workers < 1:
+            raise ValueError(
+                f"max_workers must be >= 1, got {max_workers}"
             )
-            outcomes.append(
-                QueryOutcome(
-                    query=query,
-                    planning_ms=result.wall_time_s * 1000.0,
-                    resource_iterations=result.resource_iterations,
-                    cache_hits=result.counters.cache_hits,
-                    predicted_time_s=result.cost.time_s,
-                    executed_time_s=execution.time_s,
-                    executed_gb_seconds=execution.gb_seconds,
-                    executed_dollars=execution.dollars,
-                )
-            )
+        if max_workers == 1 or len(queries) <= 1:
+            outcomes: List[QueryOutcome] = [
+                self._run_one(self.planner, query) for query in queries
+            ]
+            return WorkloadReport(label=label, outcomes=tuple(outcomes))
+
+        local = threading.local()
+
+        def worker(query: Query) -> QueryOutcome:
+            planner = getattr(local, "planner", None)
+            if planner is None:
+                planner = self.planner.clone()
+                local.planner = planner
+            return self._run_one(planner, query)
+
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            outcomes = list(pool.map(worker, queries))
         return WorkloadReport(label=label, outcomes=tuple(outcomes))
 
 
@@ -121,9 +165,12 @@ def compare_planners(
     planners: Dict[str, RaqoPlanner],
     queries: Sequence[Query],
     profile: EngineProfile = HIVE_PROFILE,
+    max_workers: int = 1,
 ) -> List[WorkloadReport]:
     """Run the same workload through several planner configurations."""
     return [
-        WorkloadRunner(planner, profile).run(queries, label=label)
+        WorkloadRunner(planner, profile).run(
+            queries, label=label, max_workers=max_workers
+        )
         for label, planner in planners.items()
     ]

@@ -18,15 +18,23 @@ def rc(nc, cs):
 
 
 class TestSortedIndex:
-    def test_insert_keeps_sorted(self):
+    def test_insert_keeps_lookup_order(self):
         index = _SortedIndex()
         for key in (3.0, 1.0, 2.0):
             index.insert(key, rc(int(key), 1.0))
+        index._merge_pending()
         assert index._keys == [1.0, 2.0, 3.0]
 
     def test_exact(self):
         index = _SortedIndex()
         index.insert(2.0, rc(2, 1.0))
+        assert index.exact(2.0) == rc(2, 1.0)
+        assert index.exact(2.1) is None
+
+    def test_exact_after_merge(self):
+        index = _SortedIndex()
+        index.insert(2.0, rc(2, 1.0))
+        index._merge_pending()
         assert index.exact(2.0) == rc(2, 1.0)
         assert index.exact(2.1) is None
 
@@ -36,6 +44,22 @@ class TestSortedIndex:
         index.insert(2.0, rc(9, 1.0))
         assert index.exact(2.0) == rc(9, 1.0)
         assert len(index) == 1
+
+    def test_duplicate_key_overwrites_after_merge(self):
+        index = _SortedIndex()
+        index.insert(2.0, rc(2, 1.0))
+        index._merge_pending()
+        index.insert(2.0, rc(9, 1.0))
+        assert index.exact(2.0) == rc(9, 1.0)
+        assert len(index) == 1
+
+    def test_insert_reports_new_keys(self):
+        index = _SortedIndex()
+        assert index.insert(2.0, rc(2, 1.0)) is True
+        assert index.insert(2.0, rc(9, 1.0)) is False
+        index._merge_pending()
+        assert index.insert(2.0, rc(3, 1.0)) is False
+        assert index.insert(4.0, rc(4, 1.0)) is True
 
     def test_neighbors_within(self):
         index = _SortedIndex()
@@ -47,13 +71,56 @@ class TestSortedIndex:
         # Nearest first.
         assert keys[0] == 2.0
 
+    def test_neighbors_span_buffer_and_array(self):
+        index = _SortedIndex()
+        index.insert(1.0, rc(1, 1.0))
+        index.insert(3.0, rc(3, 1.0))
+        index._merge_pending()
+        index.insert(2.0, rc(2, 1.0))  # still in the pending buffer
+        neighbors = index.neighbors_within(2.2, 1.5)
+        assert [k for k, _ in neighbors] == [2.0, 3.0, 1.0]
+
+    def test_automatic_merge_at_threshold(self):
+        index = _SortedIndex()
+        for offset in range(index.MERGE_THRESHOLD):
+            index.insert(float(offset), rc(1, 1.0))
+        # The buffer hit its threshold and was folded into the array.
+        assert not index._pending
+        assert index._keys == sorted(index._keys)
+        assert len(index) == index.MERGE_THRESHOLD
+
     @given(st.lists(st.floats(min_value=0.0, max_value=100.0), max_size=40))
     @settings(max_examples=40)
     def test_property_sorted_invariant(self, keys):
         index = _SortedIndex()
         for key in keys:
             index.insert(key, rc(1, 1.0))
+        index._merge_pending()
         assert index._keys == sorted(set(index._keys))
+        assert len(index) == len(set(keys))
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=100.0),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=40)
+    def test_property_lookups_unaffected_by_buffering(self, keys):
+        """The pending buffer is invisible to exact/neighbour lookups."""
+        buffered = _SortedIndex()
+        eager = _SortedIndex()
+        for key in keys:
+            buffered.insert(key, rc(1, 1.0))
+            eager.insert(key, rc(1, 1.0))
+            eager._merge_pending()
+        probe = keys[len(keys) // 2]
+        assert buffered.exact(probe) == eager.exact(probe)
+        assert buffered.neighbors_within(probe, 5.0) == (
+            eager.neighbors_within(probe, 5.0)
+        )
+        assert len(buffered) == len(eager)
 
 
 class TestExactMode:
@@ -182,11 +249,22 @@ class TestStatsAndMaintenance:
         assert cache.size("smj") == 2
         assert cache.size() == 3
 
+    def test_entries_counts_distinct_keys(self):
+        cache = ResourcePlanCache()
+        cache.insert("smj", 1.0, rc(1, 1.0))
+        cache.insert("smj", 1.0, rc(2, 1.0))  # update, not a new entry
+        cache.insert("smj", 2.0, rc(2, 1.0))
+        cache.insert("bhj", 1.0, rc(1, 1.0))
+        assert cache.stats.entries == 3
+        assert cache.stats.inserts == 4
+        assert cache.stats.entries == cache.size()
+
     def test_clear(self):
         cache = ResourcePlanCache()
         cache.insert("smj", 1.0, rc(1, 1.0))
         cache.clear()
         assert cache.size() == 0
+        assert cache.stats.entries == 0
         assert cache.lookup("smj", 1.0) is None
 
     def test_negative_threshold_rejected(self):

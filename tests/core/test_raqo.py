@@ -196,7 +196,11 @@ class TestRaqoCoster:
         from repro.core.plan_cache import ResourcePlanCache
 
         cache = ResourcePlanCache(mode=LookupMode.EXACT)
-        coster = RaqoCoster(model=default_cost_model(), cache=cache)
+        # memoize=False so the repeat actually reaches the cache layer
+        # (the within-run memo would otherwise absorb it first).
+        coster = RaqoCoster(
+            model=default_cost_model(), cache=cache, memoize=False
+        )
         args = (
             frozenset(("orders",)),
             frozenset(("lineitem",)),
@@ -212,6 +216,95 @@ class TestRaqoCoster:
         assert context.counters.resource_iterations == (
             iterations_after_first
         )
+
+    def test_memo_short_circuits_repeat_costings(self, context):
+        coster = RaqoCoster(model=default_cost_model())
+        args = (
+            frozenset(("orders",)),
+            frozenset(("lineitem",)),
+            JoinAlgorithm.SORT_MERGE,
+            context,
+        )
+        first = coster.join_cost(*args)
+        iterations_after_first = context.counters.resource_iterations
+        second = coster.join_cost(*args)
+        assert second == first
+        assert context.counters.memo_hits == 1
+        # The repeat never reaches the planner or the cache layer.
+        assert context.counters.resource_iterations == (
+            iterations_after_first
+        )
+        assert context.counters.cache_hits == 0
+
+    def test_memo_distinguishes_algorithms(self, context):
+        coster = RaqoCoster(model=default_cost_model())
+        for algorithm in (
+            JoinAlgorithm.SORT_MERGE,
+            JoinAlgorithm.BROADCAST_HASH,
+        ):
+            coster.join_cost(
+                frozenset(("customer",)),
+                frozenset(("orders",)),
+                algorithm,
+                context,
+            )
+        assert context.counters.memo_hits == 0
+
+    def test_memo_caches_infeasible_results(self, context):
+        coster = RaqoCoster(model=SimulatorCostModel(HIVE_PROFILE))
+        args = (
+            frozenset(("lineitem",)),  # 72 GB broadcast: impossible
+            frozenset(("orders", "customer")),
+            JoinAlgorithm.BROADCAST_HASH,
+            context,
+        )
+        first, _ = coster.join_cost(*args)
+        second, _ = coster.join_cost(*args)
+        assert not first.is_finite and not second.is_finite
+        assert context.counters.memo_hits == 1
+
+    def test_memo_scoped_to_context(self, catalog):
+        from repro.catalog.statistics import StatisticsEstimator
+
+        coster = RaqoCoster(model=default_cost_model())
+        for _ in range(2):
+            fresh = PlanningContext(
+                estimator=StatisticsEstimator(catalog),
+                cluster=DEFAULT_CLUSTER,
+            )
+            coster.join_cost(
+                frozenset(("orders",)),
+                frozenset(("lineitem",)),
+                JoinAlgorithm.SORT_MERGE,
+                fresh,
+            )
+            # A fresh context starts with an empty memo every time.
+            assert fresh.counters.memo_hits == 0
+
+    def test_vectorized_brute_force_matches_scalar(self, catalog):
+        from repro.catalog.statistics import StatisticsEstimator
+
+        results = {}
+        for vectorized in (False, True):
+            context = PlanningContext(
+                estimator=StatisticsEstimator(catalog),
+                cluster=DEFAULT_CLUSTER,
+            )
+            coster = RaqoCoster(
+                model=default_cost_model(),
+                method=ResourcePlanningMethod.BRUTE_FORCE,
+                vectorized=vectorized,
+            )
+            results[vectorized] = (
+                coster.join_cost(
+                    frozenset(("orders",)),
+                    frozenset(("lineitem",)),
+                    JoinAlgorithm.SORT_MERGE,
+                    context,
+                ),
+                context.counters.resource_iterations,
+            )
+        assert results[True] == results[False]
 
     def test_money_weight_changes_objective(self, catalog):
         from repro.catalog.statistics import StatisticsEstimator

@@ -48,12 +48,78 @@ class TestBruteForce:
         assert outcome.config == small_cluster.minimum_configuration
 
 
+class TestVectorizedBruteForce:
+    def test_matches_scalar_on_bowl(self, small_cluster):
+        scalar = brute_force_resource_plan(
+            quadratic_bowl(5, 3.0), small_cluster
+        )
+        fast = brute_force_resource_plan(
+            quadratic_bowl(5, 3.0), small_cluster, vectorized=True
+        )
+        assert fast == scalar
+
+    def test_grid_cost_fn_used(self, small_cluster):
+        import numpy as np
+
+        calls = []
+
+        def grid_cost_fn(grid):
+            calls.append(grid.num_configs)
+            return np.asarray(grid.counts, dtype=float)
+
+        outcome = brute_force_resource_plan(
+            lambda c: float(c.num_containers),
+            small_cluster,
+            vectorized=True,
+            grid_cost_fn=grid_cost_fn,
+        )
+        assert calls == [small_cluster.grid_size]
+        assert outcome.config.num_containers == 1
+        assert outcome.iterations == small_cluster.grid_size
+
+    def test_bad_grid_shape_rejected(self, small_cluster):
+        import numpy as np
+
+        with pytest.raises(ResourcePlanningError, match="shape"):
+            brute_force_resource_plan(
+                lambda c: 1.0,
+                small_cluster,
+                vectorized=True,
+                grid_cost_fn=lambda grid: np.zeros(3),
+            )
+
+
 class TestHillClimb:
     def test_finds_interior_optimum(self, small_cluster):
         outcome = hill_climb_resource_plan(
             quadratic_bowl(5, 3.0), small_cluster
         )
         assert outcome.config == ResourceConfiguration(5, 3.0)
+
+    def test_memo_skips_repeat_evaluations(self, paper_cluster):
+        cost = quadratic_bowl(60, 7.0)
+        evaluations = []
+
+        def counting_cost(config):
+            evaluations.append(config)
+            return cost(config)
+
+        outcome = hill_climb_resource_plan(counting_cost, paper_cluster)
+        # Every invocation was for a distinct configuration...
+        assert len(evaluations) == len(set(evaluations))
+        # ...and the reported iterations count exactly those.
+        assert outcome.iterations == len(evaluations)
+
+    def test_memo_off_matches_path(self, paper_cluster):
+        cost = quadratic_bowl(60, 7.0)
+        memoized = hill_climb_resource_plan(cost, paper_cluster)
+        plain = hill_climb_resource_plan(
+            cost, paper_cluster, memoize=False
+        )
+        # Same climb, same answer; the memo only removes re-evaluations.
+        assert memoized.config == plain.config
+        assert memoized.cost == plain.cost
+        assert memoized.iterations <= plain.iterations
 
     def test_explores_fewer_than_brute_force(self, paper_cluster):
         cost = quadratic_bowl(60, 7.0)

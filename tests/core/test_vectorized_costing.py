@@ -1,0 +1,284 @@
+"""Scalar vs vectorized costing equivalence (property-style tests).
+
+The vectorized fast path (config grid -> batched predict -> argmin) must
+return exactly what the scalar reference loop returns -- same values,
+same winning configuration, same tie-breaks -- across clusters, data
+sizes, join algorithms, and both engine profiles. The scalar path is the
+oracle; these tests pin the fast path to it.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.cluster import ClusterConditions
+from repro.core.cost_model import (
+    EXTENDED_FEATURES,
+    JoinCostEstimator,
+    PAPER_FEATURES,
+    SimulatorCostModel,
+)
+from repro.core.raqo import default_cost_model
+from repro.core.resource_planner import brute_force_resource_plan
+from repro.engine.joins import JoinAlgorithm
+from repro.engine.profiles import HIVE_PROFILE, SPARK_PROFILE
+
+PROFILES = {"hive": HIVE_PROFILE, "spark": SPARK_PROFILE}
+
+#: Small clusters keep the hypothesis sweeps fast; shapes vary widely.
+clusters = st.builds(
+    ClusterConditions,
+    max_containers=st.integers(min_value=1, max_value=24),
+    max_container_gb=st.floats(min_value=1.0, max_value=16.0),
+    container_step=st.integers(min_value=1, max_value=3),
+    container_gb_step=st.sampled_from((0.5, 1.0, 2.0)),
+)
+data_sizes = st.floats(min_value=0.01, max_value=200.0)
+algorithms = st.sampled_from(list(JoinAlgorithm))
+profile_names = st.sampled_from(sorted(PROFILES))
+
+
+def _scalar_times(model, algorithm, ss, ls, cluster):
+    return np.array(
+        [
+            model.predict_time(algorithm, ss, ls, config)
+            for config in cluster.iter_configurations()
+        ]
+    )
+
+
+class TestConfigGrid:
+    def test_grid_matches_iteration_order(self, paper_cluster):
+        grid = paper_cluster.config_grid()
+        configs = list(paper_cluster.iter_configurations())
+        assert grid.num_configs == paper_cluster.grid_size == len(configs)
+        assert list(grid.configurations()) == configs
+        assert [grid.config_at(i) for i in range(3)] == configs[:3]
+
+    def test_grid_is_cached(self, paper_cluster):
+        assert paper_cluster.config_grid() is paper_cluster.config_grid()
+
+    def test_grid_arrays_read_only(self, paper_cluster):
+        grid = paper_cluster.config_grid()
+        with pytest.raises(ValueError):
+            grid.counts[0] = 99.0
+
+    def test_total_memory(self, small_cluster):
+        grid = small_cluster.config_grid()
+        np.testing.assert_array_equal(
+            grid.total_memory_gb, grid.counts * grid.sizes
+        )
+
+    def test_dimension_lookup_by_name(self, paper_cluster):
+        assert paper_cluster.dimension("container_gb").maximum == 10.0
+        assert paper_cluster.dimension("num_containers").maximum == 100.0
+
+    def test_unknown_dimension_rejected(self, paper_cluster):
+        from repro.cluster.cluster import ResourceError
+
+        with pytest.raises(ResourceError, match="bogus"):
+            paper_cluster.dimension("bogus")
+
+
+class TestLearnedModelEquivalence:
+    @given(
+        cluster=clusters,
+        ss=data_sizes,
+        ls=data_sizes,
+        algorithm=algorithms,
+        profile_name=profile_names,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_grid_predictions_bit_identical(
+        self, cluster, ss, ls, algorithm, profile_name
+    ):
+        ss, ls = sorted((ss, ls))
+        model = default_cost_model(PROFILES[profile_name])
+        batched = model.predict_time_grid(
+            algorithm, ss, ls, cluster.config_grid()
+        )
+        scalar = _scalar_times(model, algorithm, ss, ls, cluster)
+        np.testing.assert_array_equal(batched, scalar)
+
+    @given(
+        cluster=clusters,
+        ss=data_sizes,
+        ls=data_sizes,
+        profile_name=profile_names,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_paper_feature_map_equivalence(
+        self, cluster, ss, ls, profile_name
+    ):
+        ss, ls = sorted((ss, ls))
+        model = default_cost_model(
+            PROFILES[profile_name], feature_map=PAPER_FEATURES
+        )
+        for algorithm in JoinAlgorithm:
+            batched = model.predict_time_grid(
+                algorithm, ss, ls, cluster.config_grid()
+            )
+            scalar = _scalar_times(model, algorithm, ss, ls, cluster)
+            np.testing.assert_array_equal(batched, scalar)
+
+
+class TestSimulatorEquivalence:
+    @given(
+        cluster=clusters,
+        ss=data_sizes,
+        ls=data_sizes,
+        algorithm=algorithms,
+        profile_name=profile_names,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_grid_predictions_bit_identical(
+        self, cluster, ss, ls, algorithm, profile_name
+    ):
+        ss, ls = sorted((ss, ls))
+        model = SimulatorCostModel(PROFILES[profile_name])
+        batched = model.predict_time_grid(
+            algorithm, ss, ls, cluster.config_grid()
+        )
+        scalar = _scalar_times(model, algorithm, ss, ls, cluster)
+        np.testing.assert_array_equal(batched, scalar)
+
+    def test_fixed_reducers_respected(self, paper_cluster):
+        model = SimulatorCostModel(HIVE_PROFILE, num_reducers=4)
+        batched = model.predict_time_grid(
+            JoinAlgorithm.SORT_MERGE, 5.0, 50.0, paper_cluster.config_grid()
+        )
+        scalar = _scalar_times(
+            model, JoinAlgorithm.SORT_MERGE, 5.0, 50.0, paper_cluster
+        )
+        np.testing.assert_array_equal(batched, scalar)
+
+
+class TestGenericFallback:
+    def test_base_class_loops_predict_time(self, small_cluster):
+        class OddEstimator(JoinCostEstimator):
+            hash_memory_fraction = 1.0
+
+            def predict_time(self, algorithm, small_gb, large_gb, config):
+                return config.num_containers * 10.0 + config.container_gb
+
+        model = OddEstimator()
+        batched = model.predict_time_grid(
+            JoinAlgorithm.SORT_MERGE, 1.0, 2.0, small_cluster.config_grid()
+        )
+        scalar = _scalar_times(
+            model, JoinAlgorithm.SORT_MERGE, 1.0, 2.0, small_cluster
+        )
+        np.testing.assert_array_equal(batched, scalar)
+
+
+class TestFeatureMapBatch:
+    @given(
+        cluster=clusters,
+        ss=data_sizes,
+        ls=data_sizes,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_batch_matches_per_row_transform(self, cluster, ss, ls):
+        grid = cluster.config_grid()
+        for feature_map in (PAPER_FEATURES, EXTENDED_FEATURES):
+            batched = feature_map.batch(ss, ls, grid.sizes, grid.counts)
+            rows = np.array(
+                [
+                    feature_map(ss, ls, config)
+                    for config in grid.configurations()
+                ]
+            )
+            assert batched.shape == (grid.num_configs, len(feature_map))
+            np.testing.assert_array_equal(batched, rows)
+
+    def test_non_vectorizable_transform_falls_back(self, small_cluster):
+        from repro.core.cost_model import FeatureMap
+
+        def awkward(ss, ls, cs, nc):
+            # float() raises on arrays, forcing the per-row fallback.
+            return (float(cs) + float(nc), ss)
+
+        feature_map = FeatureMap(
+            name="awkward", feature_names=("a", "b"), transform=awkward
+        )
+        grid = small_cluster.config_grid()
+        batched = feature_map.batch(3.0, 7.0, grid.sizes, grid.counts)
+        rows = np.array(
+            [feature_map(3.0, 7.0, c) for c in grid.configurations()]
+        )
+        np.testing.assert_array_equal(batched, rows)
+
+
+class TestBruteForceEquivalence:
+    @given(
+        cluster=clusters,
+        ss=data_sizes,
+        ls=data_sizes,
+        algorithm=algorithms,
+        profile_name=profile_names,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_vectorized_winner_identical(
+        self, cluster, ss, ls, algorithm, profile_name
+    ):
+        """Same config, same cost, same tie-break, same iteration count."""
+        ss, ls = sorted((ss, ls))
+        model = default_cost_model(PROFILES[profile_name])
+
+        def cost_fn(config):
+            return model.predict_time(algorithm, ss, ls, config)
+
+        def grid_cost_fn(grid):
+            return model.predict_time_grid(algorithm, ss, ls, grid)
+
+        try:
+            scalar = brute_force_resource_plan(cost_fn, cluster)
+        except Exception as scalar_error:
+            with pytest.raises(type(scalar_error)):
+                brute_force_resource_plan(
+                    cost_fn,
+                    cluster,
+                    vectorized=True,
+                    grid_cost_fn=grid_cost_fn,
+                )
+            return
+        fast = brute_force_resource_plan(
+            cost_fn, cluster, vectorized=True, grid_cost_fn=grid_cost_fn
+        )
+        assert fast == scalar
+
+    def test_tie_break_prefers_first_configuration(self, small_cluster):
+        """Constant costs: both paths pick the very first grid point."""
+        scalar = brute_force_resource_plan(lambda c: 1.0, small_cluster)
+        fast = brute_force_resource_plan(
+            lambda c: 1.0, small_cluster, vectorized=True
+        )
+        assert fast == scalar
+        assert fast.config == small_cluster.minimum_configuration
+
+    def test_all_infinite_costs_raise(self, small_cluster):
+        from repro.core.resource_planner import ResourcePlanningError
+
+        for kwargs in ({}, {"vectorized": True}):
+            with pytest.raises(ResourcePlanningError):
+                brute_force_resource_plan(
+                    lambda c: math.inf, small_cluster, **kwargs
+                )
+
+    def test_nan_treated_as_infeasible(self, small_cluster):
+        """NaN costs lose to any finite cost on both paths."""
+
+        def cost_fn(config):
+            if config.num_containers == 1:
+                return math.nan
+            return float(config.num_containers)
+
+        scalar = brute_force_resource_plan(cost_fn, small_cluster)
+        fast = brute_force_resource_plan(
+            cost_fn, small_cluster, vectorized=True
+        )
+        assert fast == scalar
+        assert fast.config.num_containers == 2
