@@ -1,0 +1,11 @@
+"""``python -m repro.analysis`` -- run the invariant linter.
+
+Exit codes: 0 = clean, 1 = findings reported, 2 = usage error.
+"""
+
+import sys
+
+from repro.analysis.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,285 @@
+"""Runtime semantic checks for joint query/resource plan well-formedness.
+
+The AST passes keep the *source* honest; this module keeps the *plans*
+honest.  :func:`check_plan` walks a plan tree and verifies the
+structural invariants every downstream consumer (executor, explain,
+serialization) silently assumes:
+
+- **acyclicity / tree shape** -- the operator DAG must be a tree: no
+  node object appears twice (a shared subtree would double-count cost
+  and resources) and no cycle exists;
+- **operator arity** -- joins have exactly two plan-node children, scans
+  have none and name a non-empty table; no foreign node types;
+- **table disjointness** -- a join's children touch disjoint table
+  sets, so each base table is scanned exactly once;
+- **resource-vector dimension-name usage** -- per-operator resource
+  configurations are validated *by dimension name* against the cluster
+  envelope (``getattr(config, dim.name)`` for every
+  :class:`~repro.cluster.cluster.ResourceDimension`), generalizing the
+  ``feasible_bhj_start`` fix: a reordered or extended axis list cannot
+  silently validate the wrong axis.
+
+Callable from library code (:func:`validate_plan` raises on the first
+bad plan), from ``repro plan`` (every optimized plan is checked before
+being printed), and from ``repro lint --plans``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set
+
+from repro.cluster.cluster import ClusterConditions
+from repro.cluster.containers import ResourceConfiguration
+from repro.engine.joins import JoinAlgorithm
+from repro.planner.plan import JoinNode, PlanNode, ScanNode
+
+
+class PlanInvariantError(Exception):
+    """Raised by :func:`validate_plan` when a plan violates invariants."""
+
+
+@dataclass(frozen=True)
+class PlanIssue:
+    """One violated plan invariant."""
+
+    code: str
+    where: str
+    message: str
+
+    def render(self) -> str:
+        """``code @ where: message`` for reports."""
+        return f"{self.code} @ {self.where}: {self.message}"
+
+
+def _collect_tables(node: PlanNode) -> Set[str]:
+    """Base tables under ``node``, robust to cyclic/shared malformed trees.
+
+    ``PlanNode.tables`` recurses without a visited set, so on the very
+    cycles this checker exists to report it would hit the recursion
+    limit before the cycle detector runs.
+    """
+    tables: Set[str] = set()
+    seen: Set[int] = set()
+    stack: List[PlanNode] = [node]
+    while stack:
+        current = stack.pop()
+        if id(current) in seen:
+            continue
+        seen.add(id(current))
+        if isinstance(current, ScanNode):
+            if isinstance(current.table, str):
+                tables.add(current.table)
+        elif isinstance(current, JoinNode):
+            for child in (current.left, current.right):
+                if isinstance(child, PlanNode):
+                    stack.append(child)
+    return tables
+
+
+def _describe(node: PlanNode) -> str:
+    if isinstance(node, ScanNode):
+        return f"Scan({node.table!r})"
+    if isinstance(node, JoinNode):
+        return f"Join[{getattr(node.algorithm, 'name', node.algorithm)}]"
+    return type(node).__name__
+
+
+def _check_resources(
+    config: ResourceConfiguration,
+    cluster: ClusterConditions,
+    where: str,
+    issues: List[PlanIssue],
+) -> None:
+    """Validate a per-operator configuration dimension-by-name."""
+    for dim in cluster.dimensions:
+        value = getattr(config, dim.name, None)
+        if value is None:
+            issues.append(
+                PlanIssue(
+                    code="missing-dimension",
+                    where=where,
+                    message=(
+                        f"resource configuration exposes no "
+                        f"'{dim.name}' dimension (has: "
+                        f"{sorted(vars(config))})"
+                    ),
+                )
+            )
+        elif not dim.contains(float(value)):
+            issues.append(
+                PlanIssue(
+                    code="dimension-out-of-envelope",
+                    where=where,
+                    message=(
+                        f"{dim.name}={value} outside the cluster "
+                        f"envelope [{dim.minimum}, {dim.maximum}]"
+                    ),
+                )
+            )
+
+
+def check_plan(
+    plan: PlanNode,
+    cluster: Optional[ClusterConditions] = None,
+    require_resources: bool = False,
+) -> List[PlanIssue]:
+    """All invariant violations of ``plan`` (empty list = well-formed)."""
+    issues: List[PlanIssue] = []
+    seen_ids: Set[int] = set()
+    seen_tables: Set[str] = set()
+
+    def walk(node: PlanNode, on_path: Set[int], where: str) -> None:
+        node_id = id(node)
+        if node_id in on_path:
+            issues.append(
+                PlanIssue(
+                    code="cycle",
+                    where=where,
+                    message=f"{_describe(node)} is its own ancestor",
+                )
+            )
+            return
+        if node_id in seen_ids:
+            issues.append(
+                PlanIssue(
+                    code="shared-subtree",
+                    where=where,
+                    message=(
+                        f"{_describe(node)} appears twice in the plan; "
+                        "the operator DAG must be a tree"
+                    ),
+                )
+            )
+            return
+        seen_ids.add(node_id)
+        if isinstance(node, ScanNode):
+            if not isinstance(node.table, str) or not node.table:
+                issues.append(
+                    PlanIssue(
+                        code="bad-scan",
+                        where=where,
+                        message="scan must name a non-empty table",
+                    )
+                )
+            elif node.table in seen_tables:
+                issues.append(
+                    PlanIssue(
+                        code="duplicate-table",
+                        where=where,
+                        message=(
+                            f"table {node.table!r} is scanned more "
+                            "than once"
+                        ),
+                    )
+                )
+            else:
+                seen_tables.add(node.table)
+            return
+        if not isinstance(node, JoinNode):
+            issues.append(
+                PlanIssue(
+                    code="unknown-operator",
+                    where=where,
+                    message=(
+                        f"{_describe(node)} is not a ScanNode/JoinNode"
+                    ),
+                )
+            )
+            return
+        children = [("left", node.left), ("right", node.right)]
+        for side, child in children:
+            if not isinstance(child, PlanNode):
+                issues.append(
+                    PlanIssue(
+                        code="bad-arity",
+                        where=f"{where}.{side[0].upper()}",
+                        message=(
+                            f"join {side} child is "
+                            f"{type(child).__name__}, not a PlanNode"
+                        ),
+                    )
+                )
+        if not isinstance(node.algorithm, JoinAlgorithm):
+            issues.append(
+                PlanIssue(
+                    code="bad-algorithm",
+                    where=where,
+                    message=(
+                        f"join algorithm {node.algorithm!r} is not a "
+                        "JoinAlgorithm"
+                    ),
+                )
+            )
+        left_tables = (
+            _collect_tables(node.left)
+            if isinstance(node.left, PlanNode)
+            else set()
+        )
+        right_tables = (
+            _collect_tables(node.right)
+            if isinstance(node.right, PlanNode)
+            else set()
+        )
+        overlap = left_tables & right_tables
+        if overlap:
+            issues.append(
+                PlanIssue(
+                    code="overlapping-children",
+                    where=where,
+                    message=(
+                        f"join children share tables {sorted(overlap)}"
+                    ),
+                )
+            )
+        if node.resources is not None:
+            if not isinstance(node.resources, ResourceConfiguration):
+                issues.append(
+                    PlanIssue(
+                        code="bad-resources",
+                        where=where,
+                        message=(
+                            f"resources are {type(node.resources).__name__},"
+                            " not a ResourceConfiguration"
+                        ),
+                    )
+                )
+            elif cluster is not None:
+                _check_resources(node.resources, cluster, where, issues)
+        elif require_resources:
+            issues.append(
+                PlanIssue(
+                    code="missing-resources",
+                    where=where,
+                    message=(
+                        "join carries no resource configuration but the "
+                        "plan is expected to be fully resource-annotated"
+                    ),
+                )
+            )
+        for side, child in children:
+            if isinstance(child, PlanNode):
+                walk(
+                    child,
+                    on_path | {node_id},
+                    f"{where}.{side[0].upper()}",
+                )
+
+    walk(plan, set(), "root")
+    return issues
+
+
+def validate_plan(
+    plan: PlanNode,
+    cluster: Optional[ClusterConditions] = None,
+    require_resources: bool = False,
+) -> None:
+    """Raise :class:`PlanInvariantError` when ``plan`` is malformed."""
+    issues = check_plan(
+        plan, cluster=cluster, require_resources=require_resources
+    )
+    if issues:
+        rendered = "\n  ".join(issue.render() for issue in issues)
+        raise PlanInvariantError(
+            f"plan violates {len(issues)} invariant(s):\n  {rendered}"
+        )

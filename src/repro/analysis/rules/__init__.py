@@ -1,0 +1,29 @@
+"""Concrete analysis passes codifying the project invariants.
+
+Importing this package registers every rule with the framework's
+registry (see :func:`repro.analysis.framework.register_rule`):
+
+- :mod:`determinism` -- RAQO001 unseeded-random, RAQO002 wall-clock,
+  RAQO003 set-iteration-order;
+- :mod:`comparisons` -- RAQO004 float-cost-compare;
+- :mod:`safety` -- RAQO005 shared-mutable-state, RAQO006
+  mutable-default-arg;
+- :mod:`plan_shape` -- RAQO007 positional-dimension-index;
+- :mod:`typing_gate` -- RAQO008 untyped-public-api.
+"""
+
+from repro.analysis.rules import (  # noqa: F401  (registration imports)
+    comparisons,
+    determinism,
+    plan_shape,
+    safety,
+    typing_gate,
+)
+
+__all__ = [
+    "comparisons",
+    "determinism",
+    "plan_shape",
+    "safety",
+    "typing_gate",
+]

@@ -1,0 +1,85 @@
+"""RAQO004 float-cost-compare: no raw ``==``/``!=`` on cost values.
+
+Costs are floats produced by learned models and vectorized kernels; the
+vectorized fast paths are only *bit-identical* to the scalar reference
+because nothing in the pipeline branches on exact float equality.  A
+raw ``==`` on a cost is either a latent tie-break bug or a disguised
+zero-check; both belong in the sanctioned helpers of
+:mod:`repro.core.numeric` (``costs_equal``, ``is_effectively_zero``),
+which make the tolerance policy explicit and auditable in one place.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Optional, Tuple
+
+from repro.analysis.framework import (
+    AnalysisSession,
+    Finding,
+    ModuleInfo,
+    Rule,
+    register_rule,
+)
+
+#: Identifiers treated as cost-valued: ``cost``, ``best_cost``,
+#: ``time_s``, ``predicted_time_s``, ``money``, ``executed_dollars``...
+_COST_NAME_RE = re.compile(r"(?:^|_)(?:cost|costs|time_s|money|dollars)$")
+
+#: Modules allowed to compare raw floats: the sanctioned helpers.
+_SANCTIONED_MODULES: Tuple[str, ...] = ("repro.core.numeric",)
+
+
+def _cost_operand(node: ast.AST) -> Optional[str]:
+    """The cost-ish identifier an expression reads, if any."""
+    if isinstance(node, ast.Name) and _COST_NAME_RE.search(node.id):
+        return node.id
+    if isinstance(node, ast.Attribute) and _COST_NAME_RE.search(node.attr):
+        return node.attr
+    if isinstance(node, ast.Call):
+        # Cost.scalar(...) results are scalarised costs.
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "scalar"
+        ):
+            return "scalar()"
+    return None
+
+
+@register_rule
+class FloatCostCompareRule(Rule):
+    """RAQO004: raw equality on cost values is banned."""
+
+    id = "RAQO004"
+    name = "float-cost-compare"
+    description = (
+        "== / != on cost-valued floats (cost, time_s, money, dollars) "
+        "must go through repro.core.numeric (costs_equal / "
+        "is_effectively_zero) so the tolerance policy lives in one place"
+    )
+
+    def check(
+        self, info: ModuleInfo, session: AnalysisSession
+    ) -> Iterator[Finding]:
+        if info.module in _SANCTIONED_MODULES:
+            return
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for index, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                for side in (operands[index], operands[index + 1]):
+                    name = _cost_operand(side)
+                    if name is not None:
+                        symbol = "==" if isinstance(op, ast.Eq) else "!="
+                        yield self.finding(
+                            info,
+                            node,
+                            f"raw '{symbol}' on cost value '{name}'; "
+                            "use repro.core.numeric.costs_equal / "
+                            "is_effectively_zero",
+                        )
+                        break

@@ -1,0 +1,82 @@
+"""RAQO007 positional-dimension-index: resource axes are named, not
+numbered.
+
+PR 1 fixed a bug where the BHJ feasibility check indexed
+``cluster.dimensions[1]`` to find the memory axis -- correct until the
+dimension tuple is reordered or extended (the paper explicitly keeps
+the resource vector extensible: "our experiments can naturally be
+extended to include other resources, such as CPU").  This pass
+generalizes that fix: any subscript of a dimension collection
+(``dims[0]``, ``cluster.dimensions[1]``, ``step_sizes[0]``,
+``config.as_vector()[1]``) with a *constant* index is flagged; use
+:meth:`ClusterConditions.dimension` (lookup by name) or iterate all
+dimensions uniformly.  Loop-variable subscripts (``steps[dim_index]``)
+stay legal: they treat every axis the same.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.framework import (
+    AnalysisSession,
+    Finding,
+    ModuleInfo,
+    Rule,
+    register_rule,
+)
+
+#: Names that (by project convention) hold the dimension tuple or the
+#: positional resource vector.
+_DIMENSION_NAMES = {"dims", "dimensions", "step_sizes"}
+
+
+def _dimension_holder(node: ast.AST) -> Optional[str]:
+    """A printable label when ``node`` denotes a dimension collection."""
+    if isinstance(node, ast.Name) and node.id in _DIMENSION_NAMES:
+        return node.id
+    if isinstance(node, ast.Attribute) and node.attr in _DIMENSION_NAMES:
+        return node.attr
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "as_vector"
+    ):
+        return "as_vector()"
+    return None
+
+
+@register_rule
+class PositionalDimensionIndexRule(Rule):
+    """RAQO007: no constant positional indexing into resource axes."""
+
+    id = "RAQO007"
+    name = "positional-dimension-index"
+    description = (
+        "resource dimensions must be selected by name "
+        "(ClusterConditions.dimension('container_gb')) or iterated "
+        "uniformly, never via a hard-coded position: reordering or "
+        "extending the axis list would silently pick the wrong axis"
+    )
+
+    def check(
+        self, info: ModuleInfo, session: AnalysisSession
+    ) -> Iterator[Finding]:
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.Subscript):
+                continue
+            holder = _dimension_holder(node.value)
+            if holder is None:
+                continue
+            index = node.slice
+            if isinstance(index, ast.Constant) and isinstance(
+                index.value, int
+            ):
+                yield self.finding(
+                    info,
+                    node,
+                    f"positional index [{index.value}] into '{holder}'; "
+                    "select resource axes by name "
+                    "(e.g. cluster.dimension('container_gb'))",
+                )

@@ -1,0 +1,103 @@
+"""RAQO008 untyped-public-api: exported callables must be annotated.
+
+The repo ships a ``py.typed`` marker, so downstream users type-check
+against these signatures; an unannotated public function silently
+degrades to ``Any`` and the strict-ish mypy gate loses all leverage
+over its callers.  The rule requires every *public* module-level
+function and every public method (plus ``__init__``) to annotate all
+parameters (``self``/``cls`` excepted) and the return type.  Private
+helpers (leading underscore) and nested functions are exempt -- mypy's
+``check_untyped_defs`` still type-checks their bodies.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Union
+
+from repro.analysis.framework import (
+    AnalysisSession,
+    Finding,
+    ModuleInfo,
+    Rule,
+    register_rule,
+)
+
+_FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _is_public(name: str) -> bool:
+    if name == "__init__":
+        return True
+    if name.startswith("__") and name.endswith("__"):
+        return False  # other dunders have well-known signatures
+    return not name.startswith("_")
+
+
+def _is_staticmethod(node: _FunctionNode) -> bool:
+    return any(
+        isinstance(dec, ast.Name) and dec.id == "staticmethod"
+        for dec in node.decorator_list
+    )
+
+
+@register_rule
+class UntypedPublicApiRule(Rule):
+    """RAQO008: public functions/methods need complete annotations."""
+
+    id = "RAQO008"
+    name = "untyped-public-api"
+    description = (
+        "public module-level functions and public methods (incl. "
+        "__init__) must annotate every parameter and the return type; "
+        "unannotated public APIs degrade to Any for py.typed consumers"
+    )
+
+    def check(
+        self, info: ModuleInfo, session: AnalysisSession
+    ) -> Iterator[Finding]:
+        yield from self._check_body(info, info.tree.body, is_class=False)
+
+    def _check_body(
+        self,
+        info: ModuleInfo,
+        body: List[ast.stmt],
+        is_class: bool,
+    ) -> Iterator[Finding]:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if _is_public(stmt.name):
+                    yield from self._check_function(info, stmt, is_class)
+            elif isinstance(stmt, ast.ClassDef) and _is_public(stmt.name):
+                yield from self._check_body(info, stmt.body, is_class=True)
+
+    def _check_function(
+        self, info: ModuleInfo, node: _FunctionNode, is_method: bool
+    ) -> Iterator[Finding]:
+        args = node.args
+        positional = [*args.posonlyargs, *args.args]
+        skip_first = is_method and not _is_staticmethod(node) and positional
+        if skip_first:
+            positional = positional[1:]  # self / cls
+        unannotated = [
+            arg.arg
+            for arg in [*positional, *args.kwonlyargs]
+            if arg.annotation is None
+        ]
+        for vararg, prefix in ((args.vararg, "*"), (args.kwarg, "**")):
+            if vararg is not None and vararg.annotation is None:
+                unannotated.append(f"{prefix}{vararg.arg}")
+        if unannotated:
+            yield self.finding(
+                info,
+                node,
+                f"public function '{node.name}' has unannotated "
+                f"parameter(s): {', '.join(unannotated)}",
+            )
+        if node.returns is None:
+            yield self.finding(
+                info,
+                node,
+                f"public function '{node.name}' is missing a return "
+                "annotation",
+            )

@@ -17,14 +17,19 @@ The paper evaluates four queries on this schema (Sec VII):
 
 from __future__ import annotations
 
-from typing import Dict, List
+from types import MappingProxyType
+from typing import List, Mapping
 
 from repro.catalog.join_graph import JoinEdge, JoinGraph
 from repro.catalog.queries import Query
 from repro.catalog.schema import Catalog, Column, Schema, Table
 
+# The shared tables below are wrapped in read-only views (and the edge
+# list is a tuple) so they can be safely shared across the parallel
+# workload runner's worker threads (lint rule RAQO005).
+
 #: Base cardinalities at scale factor 1. ``region``/``nation`` do not scale.
-_BASE_ROWS: Dict[str, int] = {
+_BASE_ROWS: Mapping[str, int] = MappingProxyType({
     "region": 5,
     "nation": 25,
     "supplier": 10_000,
@@ -33,12 +38,12 @@ _BASE_ROWS: Dict[str, int] = {
     "partsupp": 800_000,
     "orders": 1_500_000,
     "lineitem": 6_000_000,
-}
+})
 
 _FIXED_SIZE_TABLES = frozenset({"region", "nation"})
 
 #: Average row widths in bytes (uncompressed), per the TPC-H spec tables.
-_ROW_WIDTH: Dict[str, int] = {
+_ROW_WIDTH: Mapping[str, int] = MappingProxyType({
     "region": 124,
     "nation": 128,
     "supplier": 159,
@@ -47,9 +52,9 @@ _ROW_WIDTH: Dict[str, int] = {
     "partsupp": 144,
     "orders": 121,
     "lineitem": 129,
-}
+})
 
-_COLUMNS: Dict[str, List[Column]] = {
+_COLUMNS: Mapping[str, List[Column]] = MappingProxyType({
     "region": [
         Column("r_regionkey", "int", 4),
         Column("r_name", "char(25)", 25),
@@ -127,10 +132,10 @@ _COLUMNS: Dict[str, List[Column]] = {
         Column("l_shipmode", "char(10)", 10),
         Column("l_comment", "varchar(44)", 27),
     ],
-}
+})
 
 #: PK-FK join edges: (fk_table, fk_column, pk_table, pk_column).
-_EDGES = [
+_EDGES = (
     ("nation", "n_regionkey", "region", "r_regionkey"),
     ("supplier", "s_nationkey", "nation", "n_nationkey"),
     ("customer", "c_nationkey", "nation", "n_nationkey"),
@@ -140,7 +145,7 @@ _EDGES = [
     ("lineitem", "l_orderkey", "orders", "o_orderkey"),
     ("lineitem", "l_partkey", "part", "p_partkey"),
     ("lineitem", "l_suppkey", "supplier", "s_suppkey"),
-]
+)
 
 #: Table names in ascending size order at any scale factor.
 TABLE_NAMES = tuple(_BASE_ROWS)

@@ -11,6 +11,10 @@ Subcommands:
   decision trees for an engine.
 - ``workload`` -- plan and simulate a generated multi-query workload,
   optionally fanning queries out over a worker pool (``--parallel N``).
+- ``lint``    -- run the AST-based invariant linter
+  (:mod:`repro.analysis`) over the source tree; ``--plans`` also
+  validates optimized plans for every TPC-H evaluation query with the
+  runtime well-formedness checker.
 
 Examples::
 
@@ -20,6 +24,7 @@ Examples::
     python -m repro figure fig03
     python -m repro trees --engine spark
     python -m repro workload --num-queries 20 --parallel 4
+    python -m repro lint src --plans
 """
 
 from __future__ import annotations
@@ -117,6 +122,42 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="WORKERS",
         help="plan queries concurrently on this many workers",
     )
+
+    lint = sub.add_parser(
+        "lint", help="run the invariant linter (repro.analysis)"
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    lint.add_argument(
+        "--rule",
+        action="append",
+        metavar="ID_OR_NAME",
+        help="run only this rule (repeatable)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true", help="list rules and exit"
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="findings output format",
+    )
+    lint.add_argument(
+        "--no-suppress",
+        action="store_true",
+        help="ignore '# lint: disable' pragmas",
+    )
+    lint.add_argument(
+        "--plans",
+        action="store_true",
+        help="also validate optimized plans for every TPC-H "
+        "evaluation query with the runtime well-formedness checker",
+    )
     return parser
 
 
@@ -184,15 +225,24 @@ def _make_planner(args: argparse.Namespace) -> RaqoPlanner:
 
 
 def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.analysis.plan_checks import validate_plan
+
     planner = _make_planner(args)
     result = planner.optimize(_QUERIES[args.query])
+    # Every emitted plan passes the runtime well-formedness checker
+    # before it is shown (tree shape, arity, by-name resource bounds).
+    validate_plan(
+        result.plan,
+        cluster=planner.cluster,
+        require_resources=planner.resource_aware,
+    )
     print(result.plan.explain())
     print(
         f"predicted time: {result.cost.time_s:.1f} s | "
         f"monetary: ${result.cost.money:.3f} | "
         f"planning: {result.wall_time_s * 1000:.1f} ms | "
         f"resource configurations explored: "
-        f"{result.resource_iterations}"
+        f"{result.resource_iterations} | plan invariants: ok"
     )
     return 0
 
@@ -269,6 +319,36 @@ def _cmd_workload(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import main as lint_main
+    from repro.analysis.plan_checks import validate_plan
+
+    argv: List[str] = list(args.paths)
+    for selector in args.rule or ():
+        argv.extend(["--rule", selector])
+    if args.list_rules:
+        argv.append("--list-rules")
+    if args.format != "text":
+        argv.extend(["--format", args.format])
+    if args.no_suppress:
+        argv.append("--no-suppress")
+    status = lint_main(argv)
+    if args.plans and not args.list_rules:
+        planner = RaqoPlanner.default(tpch.tpch_catalog(100))
+        for query in tpch.EVALUATION_QUERIES:
+            result = planner.optimize(query)
+            validate_plan(
+                result.plan,
+                cluster=planner.cluster,
+                require_resources=True,
+            )
+        print(
+            f"plan invariants: ok "
+            f"({len(tpch.EVALUATION_QUERIES)} evaluation queries)"
+        )
+    return status
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
     module = importlib.import_module(FIGURE_MODULES[args.name])
     module.main()
@@ -305,6 +385,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "figure": _cmd_figure,
         "trees": _cmd_trees,
         "workload": _cmd_workload,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

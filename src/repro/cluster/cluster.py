@@ -99,9 +99,12 @@ class ConfigurationGrid:
 def _build_configuration_grid(
     cluster: "ClusterConditions",
 ) -> ConfigurationGrid:
-    dims = cluster.dimensions
-    count_values = np.asarray(dims[0].values(), dtype=float)
-    size_values = np.asarray(dims[1].values(), dtype=float)
+    count_values = np.asarray(
+        cluster.dimension("num_containers").values(), dtype=float
+    )
+    size_values = np.asarray(
+        cluster.dimension("container_gb").values(), dtype=float
+    )
     counts = np.repeat(count_values, size_values.shape[0])
     sizes = np.tile(size_values, count_values.shape[0])
     total = counts * sizes
@@ -215,29 +218,35 @@ class ClusterConditions:
     @property
     def grid_size(self) -> int:
         """Total number of discrete resource configurations."""
-        dims = self.dimensions
-        return dims[0].num_values * dims[1].num_values
+        size = 1
+        for dim in self.dimensions:
+            size *= dim.num_values
+        return size
 
     def contains(self, config: ResourceConfiguration) -> bool:
         """True when ``config`` lies within the envelope."""
-        dims = self.dimensions
-        return dims[0].contains(float(config.num_containers)) and dims[
-            1
-        ].contains(config.container_gb)
+        return self.dimension("num_containers").contains(
+            float(config.num_containers)
+        ) and self.dimension("container_gb").contains(config.container_gb)
 
     def clamp(self, config: ResourceConfiguration) -> ResourceConfiguration:
         """Clip a configuration into the envelope."""
-        dims = self.dimensions
         return ResourceConfiguration(
-            num_containers=int(dims[0].clamp(float(config.num_containers))),
-            container_gb=dims[1].clamp(config.container_gb),
+            num_containers=int(
+                self.dimension("num_containers").clamp(
+                    float(config.num_containers)
+                )
+            ),
+            container_gb=self.dimension("container_gb").clamp(
+                config.container_gb
+            ),
         )
 
     def iter_configurations(self) -> Iterator[ResourceConfiguration]:
         """Enumerate the full discrete grid (brute-force search space)."""
-        dims = self.dimensions
         for count, size in itertools.product(
-            dims[0].values(), dims[1].values()
+            self.dimension("num_containers").values(),
+            self.dimension("container_gb").values(),
         ):
             yield ResourceConfiguration(
                 num_containers=int(count), container_gb=size

@@ -15,7 +15,7 @@ the paper's Figs 10 and 11 (gini, samples, value, class per node).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -187,8 +187,8 @@ class DecisionTreeClassifier:
             raise DecisionTreeError("tree is not fitted")
         return self.root
 
-    def predict_one(self, features: Sequence[float]):
-        """Predict the class label of one sample."""
+    def predict_one(self, features: Sequence[float]) -> Any:
+        """Predict the class label of one sample (labels are opaque)."""
         node = self._require_fitted()
         row = np.asarray(features, dtype=float)
         if row.shape != (self.n_features_,):

@@ -20,6 +20,7 @@ from typing import List, Optional, Tuple
 from repro.catalog.queries import Query
 from repro.cluster.containers import ResourceConfiguration
 from repro.core.cost_model import JoinCostEstimator
+from repro.core.numeric import is_effectively_zero
 from repro.core.raqo import RaqoPlanner
 from repro.engine.joins import JoinAlgorithm
 from repro.planner.cost_interface import PlanningResult
@@ -46,7 +47,7 @@ class OperatorExplanation:
         """How much slower the rejected implementation would be."""
         if not math.isfinite(self.alternative_time_s):
             return math.inf
-        if self.predicted_time_s == 0:
+        if is_effectively_zero(self.predicted_time_s):
             return math.inf
         return self.alternative_time_s / self.predicted_time_s
 

@@ -1,0 +1,54 @@
+"""Sanctioned float comparisons for cost values (RAQO004's escape hatch).
+
+Costs flow through learned models and vectorized kernels; raw ``==`` on
+them is either a tie-break bug waiting for a reordered reduction or a
+disguised zero-check.  Every cost-equality decision in the repo goes
+through these two helpers so the tolerance policy is auditable in one
+place -- the linter (rule RAQO004, float-cost-compare) bans raw
+equality everywhere else.
+
+The defaults are deliberately tight: planner tie-breaks must stay
+*bit-identical* between the scalar and vectorized paths, so these
+helpers default to exact semantics extended to infinities, with the
+tolerances available for callers that genuinely mean "close enough".
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Relative tolerance used when a caller asks for approximate equality.
+DEFAULT_REL_TOL = 1e-9
+#: Absolute tolerance floor (covers comparisons around zero).
+DEFAULT_ABS_TOL = 1e-12
+
+
+def costs_equal(
+    a: float,
+    b: float,
+    rel_tol: float = 0.0,
+    abs_tol: float = 0.0,
+) -> bool:
+    """Whether two cost values are equal under the given tolerances.
+
+    With the default zero tolerances this is exact equality that also
+    treats equal infinities as equal (two infeasible costs compare
+    equal) and NaN as unequal to everything, matching IEEE semantics
+    while keeping the comparison intention explicit at the call site.
+    """
+    if math.isnan(a) or math.isnan(b):
+        return False
+    if math.isinf(a) or math.isinf(b):
+        return a == b
+    if rel_tol == 0.0 and abs_tol == 0.0:
+        return a == b
+    return math.isclose(a, b, rel_tol=rel_tol, abs_tol=abs_tol)
+
+
+def is_effectively_zero(
+    value: float, abs_tol: float = DEFAULT_ABS_TOL
+) -> bool:
+    """Whether a cost value is zero up to ``abs_tol`` (NaN is not)."""
+    if math.isnan(value):
+        return False
+    return abs(value) <= abs_tol

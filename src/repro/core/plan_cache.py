@@ -271,20 +271,22 @@ def _weighted_average(
     )
     if cluster is None:
         return averaged
-    # Snap onto the discrete grid.
-    dims = cluster.dimensions
+    # Snap onto the discrete grid, selecting each axis by name (rule
+    # RAQO007: positional indexing breaks if the axis list changes).
+    count_dim = cluster.dimension("num_containers")
+    size_dim = cluster.dimension("container_gb")
     count_steps = round(
-        (averaged.num_containers - dims[0].minimum) / dims[0].step
+        (averaged.num_containers - count_dim.minimum) / count_dim.step
     )
     size_steps = round(
-        (averaged.container_gb - dims[1].minimum) / dims[1].step
+        (averaged.container_gb - size_dim.minimum) / size_dim.step
     )
     snapped = ResourceConfiguration(
         num_containers=max(
-            1, int(dims[0].minimum + count_steps * dims[0].step)
+            1, int(count_dim.minimum + count_steps * count_dim.step)
         ),
         container_gb=max(
-            dims[1].minimum + size_steps * dims[1].step, 1e-9
+            size_dim.minimum + size_steps * size_dim.step, 1e-9
         ),
     )
     return cluster.clamp(snapped)

@@ -22,8 +22,9 @@ from __future__ import annotations
 
 import enum
 import math
+import threading
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Optional, Tuple, Union
+from typing import Any, Dict, FrozenSet, Optional, Tuple, Union
 
 import numpy as np
 
@@ -36,6 +37,7 @@ from repro.cluster.pricing import PriceModel
 from repro.core.cost_model import (
     CostModelSuite,
     EXTENDED_FEATURES,
+    FeatureMap,
     JoinCostEstimator,
     SimulatorCostModel,
 )
@@ -303,22 +305,33 @@ class RaqoCoster:
 
 
 # Trained default models are expensive to fit; share them per profile.
-_DEFAULT_MODEL_CACHE: Dict[Tuple[str, str], CostModelSuite] = {}
+# The cache is module-level state and therefore shared by every worker
+# thread of the parallel WorkloadRunner, so all access is serialized.
+_MODEL_CACHE_LOCK = threading.Lock()
+_DEFAULT_MODEL_CACHE: Dict[Tuple[str, str], CostModelSuite] = {}  # lint: guarded-by=_MODEL_CACHE_LOCK
 
 
 def default_cost_model(
     profile: EngineProfile = HIVE_PROFILE,
-    feature_map=EXTENDED_FEATURES,
+    feature_map: FeatureMap = EXTENDED_FEATURES,
 ) -> CostModelSuite:
-    """The default learned cost model for an engine profile (memoised)."""
+    """The default learned cost model for an engine profile (memoised).
+
+    Thread-safe: concurrent first calls for the same key serialize on
+    the cache lock, so exactly one suite is fitted and every caller
+    (including the parallel workload runner's workers) shares it.
+    Training is deterministic, so holding the lock across the fit
+    trades a one-time wait for never fitting the same model twice.
+    """
     key = (profile.name, feature_map.name)
-    suite = _DEFAULT_MODEL_CACHE.get(key)
-    if suite is None:
-        suite = CostModelSuite.train_from_profile(
-            profile, feature_map=feature_map
-        )
-        _DEFAULT_MODEL_CACHE[key] = suite
-    return suite
+    with _MODEL_CACHE_LOCK:
+        suite = _DEFAULT_MODEL_CACHE.get(key)
+        if suite is None:
+            suite = CostModelSuite.train_from_profile(
+                profile, feature_map=feature_map
+            )
+            _DEFAULT_MODEL_CACHE[key] = suite
+        return suite
 
 
 class RaqoPlanner:
@@ -416,13 +429,15 @@ class RaqoPlanner:
             )
 
     @classmethod
-    def default(cls, catalog: Catalog, **kwargs) -> "RaqoPlanner":
+    def default(cls, catalog: Catalog, **kwargs: Any) -> "RaqoPlanner":
         """A RAQO planner with the paper's defaults (Selinger + hill
         climbing + nearest-neighbour cache on the 100 x 10 GB cluster)."""
         return cls(catalog, **kwargs)
 
     @classmethod
-    def two_step_baseline(cls, catalog: Catalog, **kwargs) -> "RaqoPlanner":
+    def two_step_baseline(
+        cls, catalog: Catalog, **kwargs: Any
+    ) -> "RaqoPlanner":
         """The current-practice baseline ("QO"): plan first, resources
         later, at a fixed default configuration."""
         kwargs.setdefault("resource_aware", False)

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import Iterable, List, Sequence, Union
+from typing import Any, Iterable, List, Sequence, Union
 
 PathLike = Union[str, Path]
 
@@ -47,7 +47,7 @@ def read_csv(path: PathLike) -> List[List[str]]:
         return [row for row in csv.reader(handle)]
 
 
-def export_fig03(result, directory: PathLike) -> List[Path]:
+def export_fig03(result: Any, directory: PathLike) -> List[Path]:
     """Export both Fig 3 sweeps (see fig03_operator_switch.run)."""
     base = Path(directory)
     size_path = write_csv(
@@ -79,7 +79,7 @@ def export_fig03(result, directory: PathLike) -> List[Path]:
     return [size_path, count_path]
 
 
-def export_fig12(result, directory: PathLike) -> Path:
+def export_fig12(result: Any, directory: PathLike) -> Path:
     """Export the Fig 12 planning grid."""
     return write_csv(
         Path(directory) / "fig12_tpch_planning.csv",
@@ -103,7 +103,7 @@ def export_fig12(result, directory: PathLike) -> Path:
     )
 
 
-def export_fig14(result, directory: PathLike) -> Path:
+def export_fig14(result: Any, directory: PathLike) -> Path:
     """Export the Fig 14 cache-effectiveness series."""
     return write_csv(
         Path(directory) / "fig14_plan_cache.csv",
@@ -129,7 +129,7 @@ def export_fig14(result, directory: PathLike) -> Path:
     )
 
 
-def export_queue_cdf(result, directory: PathLike) -> Path:
+def export_queue_cdf(result: Any, directory: PathLike) -> Path:
     """Export the Fig 1 CDF points."""
     return write_csv(
         Path(directory) / "fig01_queue_cdf.csv",

@@ -6,10 +6,10 @@ plot; this module renders them consistently.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Any, Iterable, List, Optional, Sequence
 
 
-def format_cell(value) -> str:
+def format_cell(value: Any) -> str:
     """Human-friendly rendering of one table cell."""
     if isinstance(value, float):
         if value != value:  # NaN

@@ -1,0 +1,35 @@
+"""Shared fixtures for the repro.analysis test suite."""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import ModuleInfo
+from repro.analysis.framework import resolve_rules, run_analysis_on_modules
+
+
+@pytest.fixture(scope="session")
+def repo_root():
+    """The repository root (the directory holding src/ and tests/)."""
+    return Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture
+def lint():
+    """Run rules over one dedented source snippet (standalone file).
+
+    Standalone fixture files sit outside any package, so scoped rules
+    fail open and every rule can be exercised on a snippet.
+    """
+
+    def run(source, rule=None, path="fixture.py", suppress=True):
+        info = ModuleInfo.parse(path, source=textwrap.dedent(source))
+        selectors = [rule] if isinstance(rule, str) else rule
+        return run_analysis_on_modules(
+            [info],
+            rules=resolve_rules(selectors),
+            respect_suppressions=suppress,
+        )
+
+    return run

@@ -1,0 +1,151 @@
+"""Runtime plan well-formedness: check_plan / validate_plan.
+
+Well-formed plans cannot be built malformed (the plan dataclasses
+validate at construction), so the negative tests corrupt frozen nodes
+with ``object.__setattr__`` -- exactly the kind of damage a buggy
+transform could inflict -- and assert the checker reports it instead of
+crashing.
+"""
+
+import dataclasses
+from types import SimpleNamespace
+
+import pytest
+
+from repro.analysis import PlanInvariantError, check_plan, validate_plan
+from repro.cluster.cluster import ClusterConditions, ResourceDimension
+from repro.cluster.containers import ResourceConfiguration
+from repro.engine.joins import JoinAlgorithm
+from repro.planner.plan import JoinNode, ScanNode, left_deep_plan
+
+
+@pytest.fixture
+def cluster():
+    return ClusterConditions(max_containers=100, max_container_gb=10.0)
+
+
+def _annotated_plan(config):
+    plan = left_deep_plan(["part", "supplier", "lineitem"])
+    return plan.map_joins(lambda join: join.with_resources(config))
+
+
+def _codes(issues):
+    return [issue.code for issue in issues]
+
+
+class TestWellFormedPlans:
+    def test_plain_plan_is_clean(self):
+        plan = left_deep_plan(["part", "supplier", "lineitem"])
+        assert check_plan(plan) == []
+        validate_plan(plan)  # must not raise
+
+    def test_fully_annotated_plan_is_clean(self, cluster):
+        plan = _annotated_plan(ResourceConfiguration(10, 2.0))
+        assert (
+            check_plan(plan, cluster=cluster, require_resources=True) == []
+        )
+
+    def test_single_scan_is_a_valid_plan(self):
+        assert check_plan(ScanNode("lineitem")) == []
+
+
+class TestStructuralViolations:
+    def test_shared_subtree_is_reported(self):
+        inner = JoinNode(ScanNode("part"), ScanNode("supplier"))
+        outer = JoinNode(inner, ScanNode("lineitem"))
+        object.__setattr__(outer, "right", inner)
+        issues = check_plan(outer)
+        assert "shared-subtree" in _codes(issues)
+        assert "overlapping-children" in _codes(issues)
+
+    def test_cycle_is_reported_not_recursed_into(self):
+        inner = JoinNode(ScanNode("part"), ScanNode("supplier"))
+        outer = JoinNode(inner, ScanNode("lineitem"))
+        object.__setattr__(inner, "left", outer)
+        issues = check_plan(outer)
+        assert "cycle" in _codes(issues)
+
+    def test_duplicate_table_is_reported(self):
+        join = JoinNode(ScanNode("part"), ScanNode("supplier"))
+        object.__setattr__(join, "right", ScanNode("part"))
+        issues = check_plan(join)
+        assert "duplicate-table" in _codes(issues)
+
+    def test_non_plan_child_is_bad_arity(self):
+        join = JoinNode(ScanNode("part"), ScanNode("supplier"))
+        object.__setattr__(join, "right", "not a plan node")
+        issues = check_plan(join)
+        assert _codes(issues) == ["bad-arity"]
+        assert "right" in issues[0].message
+
+    def test_empty_scan_table_is_reported(self):
+        scan = ScanNode("part")
+        object.__setattr__(scan, "table", "")
+        assert _codes(check_plan(scan)) == ["bad-scan"]
+
+    def test_foreign_algorithm_is_reported(self):
+        join = JoinNode(ScanNode("part"), ScanNode("supplier"))
+        object.__setattr__(join, "algorithm", "hash-ish")
+        assert "bad-algorithm" in _codes(check_plan(join))
+
+
+class TestResourceValidation:
+    def test_missing_resources_only_when_required(self):
+        plan = left_deep_plan(["part", "supplier", "lineitem"])
+        assert check_plan(plan, require_resources=False) == []
+        issues = check_plan(plan, require_resources=True)
+        # Both joins are unannotated.
+        assert _codes(issues) == ["missing-resources", "missing-resources"]
+
+    def test_out_of_envelope_dimension_is_reported(self, cluster):
+        plan = _annotated_plan(ResourceConfiguration(500, 2.0))
+        issues = check_plan(plan, cluster=cluster)
+        assert "dimension-out-of-envelope" in _codes(issues)
+        assert any("num_containers=500" in i.message for i in issues)
+
+    def test_dimensions_are_validated_by_name_not_position(self):
+        # A cluster exposing an axis the configuration lacks must fail
+        # loudly by *name* -- positional indexing would mask this.
+        duck_cluster = SimpleNamespace(
+            dimensions=(
+                ResourceDimension("num_containers", 1, 100, 1),
+                ResourceDimension("cpu_cores", 1, 8, 1),
+            )
+        )
+        plan = _annotated_plan(ResourceConfiguration(10, 2.0))
+        issues = check_plan(plan, cluster=duck_cluster)
+        assert "missing-dimension" in _codes(issues)
+        assert any("cpu_cores" in issue.message for issue in issues)
+
+    def test_non_configuration_resources_are_reported(self, cluster):
+        plan = left_deep_plan(["part", "supplier"])
+        plan = dataclasses.replace(plan, resources=("not", "a", "config"))
+        issues = check_plan(plan, cluster=cluster)
+        assert _codes(issues) == ["bad-resources"]
+
+
+class TestValidatePlan:
+    def test_raises_with_rendered_issues(self):
+        join = JoinNode(
+            ScanNode("part"),
+            ScanNode("supplier"),
+            algorithm=JoinAlgorithm.SORT_MERGE,
+        )
+        object.__setattr__(join, "right", ScanNode("part"))
+        with pytest.raises(PlanInvariantError) as excinfo:
+            validate_plan(join)
+        message = str(excinfo.value)
+        assert "duplicate-table" in message
+        assert "root" in message
+
+    def test_optimized_plans_pass(self, cluster):
+        from repro.catalog import tpch
+        from repro.core.raqo import RaqoPlanner
+
+        planner = RaqoPlanner.default(
+            tpch.tpch_catalog(100), cluster=cluster
+        )
+        result = planner.optimize(tpch.EVALUATION_QUERIES[0])
+        validate_plan(
+            result.plan, cluster=cluster, require_resources=True
+        )
