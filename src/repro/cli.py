@@ -11,6 +11,10 @@ Subcommands:
   decision trees for an engine.
 - ``workload`` -- plan and simulate a generated multi-query workload,
   optionally fanning queries out over a worker pool (``--parallel N``).
+- ``run``     -- alias of ``execute``; with ``--faults SPEC`` the
+  simulated cluster injects deterministic preemptions, OOM kills, and
+  stragglers, and the engine recovers via retries, speculation, and
+  BHJ -> SMJ degradation (see :mod:`repro.faults`).
 - ``lint``    -- run the AST-based invariant linter
   (:mod:`repro.analysis`) over the source tree; ``--plans`` also
   validates optimized plans for every TPC-H evaluation query with the
@@ -21,6 +25,8 @@ Examples::
     python -m repro plan --query Q3 --scale-factor 100
     python -m repro plan --query All --planner fast_randomized
     python -m repro execute --query Q2 --containers 40 --container-gb 6
+    python -m repro run --query Q3 --faults "seed=7,preempt=0.1,oom=0.3"
+    python -m repro workload --num-queries 20 --faults oom=0.2,seed=1
     python -m repro figure fig03
     python -m repro trees --engine spark
     python -m repro workload --num-queries 20 --parallel 4
@@ -30,9 +36,13 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import importlib
 import sys
-from typing import List, Optional
+from typing import List, Optional, TYPE_CHECKING, Tuple
+
+if TYPE_CHECKING:
+    from repro.faults import FaultPlan, RecoveryPolicy
 
 from repro.catalog import tpch
 from repro.cluster.cluster import ClusterConditions
@@ -62,6 +72,7 @@ FIGURE_MODULES = {
     "fig13": "repro.experiments.fig13_hill_climbing",
     "fig14": "repro.experiments.fig14_plan_cache",
     "fig15": "repro.experiments.fig15_scalability",
+    "fig16": "repro.experiments.fig16_robustness",
 }
 
 _QUERIES = {q.name: q for q in tpch.EVALUATION_QUERIES}
@@ -78,9 +89,12 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_common(plan)
 
     execute = sub.add_parser(
-        "execute", help="optimize and simulate execution"
+        "execute",
+        aliases=["run"],
+        help="optimize and simulate execution (alias: run)",
     )
     _add_common(execute)
+    _add_fault_options(execute)
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument(
@@ -122,6 +136,7 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="WORKERS",
         help="plan queries concurrently on this many workers",
     )
+    _add_fault_options(workload)
 
     lint = sub.add_parser(
         "lint", help="run the invariant linter (repro.analysis)"
@@ -159,6 +174,56 @@ def _build_parser() -> argparse.ArgumentParser:
         "evaluation query with the runtime well-formedness checker",
     )
     return parser
+
+
+def _add_fault_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--faults",
+        metavar="SPEC",
+        default=None,
+        help=(
+            "inject deterministic faults during simulated execution; "
+            "SPEC is key=value pairs, e.g. "
+            "'seed=7,preempt=0.1,oom=0.3,straggle=0.1,slowdown=4'"
+        ),
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="recovery policy: retries per stage (default 3)",
+    )
+
+
+def _make_faults(
+    args: argparse.Namespace,
+) -> "Tuple[Optional[FaultPlan], Optional[RecoveryPolicy]]":
+    """(fault plan, recovery policy) from the CLI flags, or Nones."""
+    from repro.faults import (
+        DEFAULT_RECOVERY,
+        FaultError,
+        FaultPlan,
+        FaultSpec,
+        RecoveryPolicy,
+    )
+
+    if args.faults is None and args.max_retries is None:
+        return None, None
+    try:
+        spec = (
+            FaultSpec.parse(args.faults) if args.faults else FaultSpec()
+        )
+    except FaultError as exc:
+        raise SystemExit(f"error: invalid --faults spec: {exc}")
+    recovery = (
+        dataclasses.replace(
+            DEFAULT_RECOVERY, max_retries=args.max_retries
+        )
+        if args.max_retries is not None
+        else DEFAULT_RECOVERY
+    )
+    return FaultPlan(spec), recovery
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -250,18 +315,29 @@ def _cmd_plan(args: argparse.Namespace) -> int:
 def _cmd_execute(args: argparse.Namespace) -> int:
     planner = _make_planner(args)
     query = _QUERIES[args.query]
+    faults, recovery = _make_faults(args)
     result = planner.optimize(query)
     run = execute_plan(
         result.plan,
         planner.estimator,
         HIVE_PROFILE,
         default_resources=DEFAULT_QO_RESOURCES,
+        faults=faults,
+        recovery=recovery,
     )
     print(result.plan.explain())
     print(
         f"simulated execution: {run.time_s:.1f} s | "
         f"{run.tb_seconds:.2f} TB*s | ${run.dollars:.3f}"
     )
+    if faults is not None:
+        print(
+            f"faults: {run.faults_injected} injected | "
+            f"{run.retries} retries | "
+            f"{run.degraded_stages} degraded stage(s) | "
+            f"{run.speculative_stages} speculative | "
+            f"{'feasible' if run.feasible else 'FAILED'}"
+        )
     if not args.baseline:
         baseline = RaqoPlanner.two_step_baseline(
             planner.catalog, cluster=planner.cluster
@@ -271,6 +347,8 @@ def _cmd_execute(args: argparse.Namespace) -> int:
             planner.estimator,
             HIVE_PROFILE,
             default_resources=DEFAULT_QO_RESOURCES,
+            faults=faults,
+            recovery=recovery,
         )
         speedup = baseline_run.time_s / run.time_s
         print(
@@ -290,12 +368,15 @@ def _cmd_workload(args: argparse.Namespace) -> int:
         print("--parallel must be >= 1", file=sys.stderr)
         return 2
     planner = _make_planner(args)
+    faults, recovery = _make_faults(args)
     queries = generate_workload(
         planner.catalog,
         WorkloadSpec(num_queries=args.num_queries),
         np.random.default_rng(args.seed),
     )
-    report = WorkloadRunner(planner).run(
+    report = WorkloadRunner(
+        planner, faults=faults, recovery=recovery
+    ).run(
         queries,
         label="baseline" if args.baseline else "raqo",
         max_workers=args.parallel,
@@ -316,6 +397,13 @@ def _cmd_workload(args: argparse.Namespace) -> int:
         f"simulated {report.total_executed_time_s:.1f} s | "
         f"${report.total_dollars:.3f}"
     )
+    if faults is not None:
+        print(
+            f"faults: {report.total_faults_injected} injected | "
+            f"{report.total_retries} retries | "
+            f"{report.total_degraded_stages} degraded | "
+            f"{report.infeasible_queries} failed quer(ies)"
+        )
     return 0
 
 
@@ -382,6 +470,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "plan": _cmd_plan,
         "execute": _cmd_execute,
+        "run": _cmd_execute,
         "figure": _cmd_figure,
         "trees": _cmd_trees,
         "workload": _cmd_workload,

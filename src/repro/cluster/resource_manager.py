@@ -5,6 +5,14 @@ request queues, exactly the phenomenon the paper's Fig 1 quantifies ("more
 than 80% of the jobs spend as much time waiting for resources in the queue
 as in the actual job execution"). The simulation is event driven and
 deterministic given the submitted jobs.
+
+Fault injection (``faults=``) adds the other half of cluster volatility:
+container *preemption*. A running job can lose its containers partway
+through (the fault plan decides when, deterministically per (job,
+attempt)); the job's partial work is wasted and it re-queues at the tail
+of the FIFO with its full duration, up to ``max_restarts`` preemptions
+per job -- after which the simulator lets it run to completion, so every
+simulation terminates.
 """
 
 from __future__ import annotations
@@ -12,9 +20,10 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.cluster.containers import ContainerRequest, ResourceError
+from repro.faults.model import FaultKind, FaultPlan
 
 
 @dataclass(frozen=True)
@@ -34,7 +43,12 @@ class JobSubmission:
 
 @dataclass(frozen=True)
 class JobRecord:
-    """The outcome of one simulated job."""
+    """The outcome of one simulated job.
+
+    ``start_time_s`` is the *first* time the job got its containers;
+    ``preemptions``/``wasted_s`` account restarts (zero without fault
+    injection, preserving historical records bit for bit).
+    """
 
     job_id: int
     arrival_time_s: float
@@ -42,6 +56,9 @@ class JobRecord:
     finish_time_s: float
     runtime_s: float
     memory_gb: float
+    preemptions: int = 0
+    #: Simulated busy time lost to preempted (re-done) partial runs.
+    wasted_s: float = 0.0
 
     @property
     def queue_time_s(self) -> float:
@@ -52,6 +69,16 @@ class JobRecord:
     def queue_runtime_ratio(self) -> float:
         """The paper's Fig 1 metric: queue time over execution time."""
         return self.queue_time_s / self.runtime_s
+
+
+@dataclass
+class _QueuedJob:
+    """A submission waiting in the FIFO, with its restart history."""
+
+    submission: JobSubmission
+    restarts: int = 0
+    first_start_s: Optional[float] = None
+    wasted_s: float = 0.0
 
 
 class ResourceManager:
@@ -71,12 +98,23 @@ class ResourceManager:
             )
         self.capacity_gb = capacity_gb
 
-    def run(self, submissions: List[JobSubmission]) -> List[JobRecord]:
+    def run(
+        self,
+        submissions: List[JobSubmission],
+        faults: Optional[FaultPlan] = None,
+        max_restarts: int = 3,
+    ) -> List[JobRecord]:
         """Simulate all submissions; returns one record per job.
 
         Jobs whose single-job memory demand exceeds the cluster capacity
         are rejected with :class:`ResourceError` (they could never start).
+        With ``faults``, running jobs may be preempted and re-queued (at
+        most ``max_restarts`` times each).
         """
+        if max_restarts < 0:
+            raise ResourceError(
+                f"max_restarts must be >= 0, got {max_restarts}"
+            )
         for submission in submissions:
             if submission.request.memory_gb > self.capacity_gb:
                 raise ResourceError(
@@ -87,9 +125,10 @@ class ResourceManager:
         pending = sorted(
             submissions, key=lambda s: (s.arrival_time_s, s.job_id)
         )
-        queue: List[JobSubmission] = []
-        # (finish_time, seq, memory_gb) -- seq breaks ties deterministically.
-        running: List[tuple] = []
+        queue: List[_QueuedJob] = []
+        # (event_time, seq, job) -- seq breaks ties deterministically
+        # and guarantees heap comparisons never reach the job payload.
+        running: List[Tuple[float, int, "_RunningJob"]] = []
         seq = itertools.count()
         used_gb = 0.0
         now = 0.0
@@ -100,40 +139,80 @@ class ResourceManager:
             nonlocal used_gb
             while queue:
                 head = queue[0]
-                needed = head.request.memory_gb
+                needed = head.submission.request.memory_gb
                 if used_gb + needed > self.capacity_gb + 1e-9:
                     return
                 queue.pop(0)
                 used_gb += needed
-                finish = now + head.request.duration_s
-                heapq.heappush(running, (finish, next(seq), needed))
-                records.append(
-                    JobRecord(
-                        job_id=head.job_id,
-                        arrival_time_s=head.arrival_time_s,
-                        start_time_s=now,
-                        finish_time_s=finish,
-                        runtime_s=head.request.duration_s,
-                        memory_gb=needed,
+                if head.first_start_s is None:
+                    head.first_start_s = now
+                duration = head.submission.request.duration_s
+                preempt_at: Optional[float] = None
+                if faults is not None and head.restarts < max_restarts:
+                    decision = faults.decide(
+                        f"rm-job:{head.submission.job_id}",
+                        head.restarts,
                     )
-                )
+                    if decision.kind is FaultKind.PREEMPTION:
+                        preempt_at = duration * decision.fraction
+                if preempt_at is not None:
+                    event_time = now + preempt_at
+                    job = _RunningJob(
+                        queued=head,
+                        memory_gb=needed,
+                        preempted=True,
+                        segment_s=preempt_at,
+                    )
+                else:
+                    event_time = now + duration
+                    job = _RunningJob(
+                        queued=head,
+                        memory_gb=needed,
+                        preempted=False,
+                        segment_s=duration,
+                    )
+                heapq.heappush(running, (event_time, next(seq), job))
 
         while next_arrival < len(pending) or queue or running:
-            # Choose the next event: an arrival or a completion.
+            # Choose the next event: an arrival or a run-segment end
+            # (completion or preemption).
             arrival_time = (
                 pending[next_arrival].arrival_time_s
                 if next_arrival < len(pending)
                 else float("inf")
             )
-            completion_time = running[0][0] if running else float("inf")
-            if arrival_time <= completion_time:
+            event_time = running[0][0] if running else float("inf")
+            if arrival_time <= event_time:
                 now = arrival_time
-                queue.append(pending[next_arrival])
+                queue.append(_QueuedJob(pending[next_arrival]))
                 next_arrival += 1
             else:
-                now = completion_time
-                _, _, freed = heapq.heappop(running)
-                used_gb -= freed
+                now = event_time
+                _, _, job = heapq.heappop(running)
+                used_gb -= job.memory_gb
+                queued = job.queued
+                if job.preempted:
+                    queued.restarts += 1
+                    queued.wasted_s += job.segment_s
+                    queue.append(queued)
+                else:
+                    assert queued.first_start_s is not None
+                    records.append(
+                        JobRecord(
+                            job_id=queued.submission.job_id,
+                            arrival_time_s=(
+                                queued.submission.arrival_time_s
+                            ),
+                            start_time_s=queued.first_start_s,
+                            finish_time_s=now,
+                            runtime_s=(
+                                queued.submission.request.duration_s
+                            ),
+                            memory_gb=job.memory_gb,
+                            preemptions=queued.restarts,
+                            wasted_s=queued.wasted_s,
+                        )
+                    )
             start_eligible()
 
         records.sort(key=lambda r: r.job_id)
@@ -142,7 +221,11 @@ class ResourceManager:
     def utilization(
         self, records: List[JobRecord], horizon_s: Optional[float] = None
     ) -> float:
-        """Average fraction of capacity in use over the simulated horizon."""
+        """Average fraction of capacity in use over the simulated horizon.
+
+        Preempted (wasted) busy time counts: those containers really
+        were occupied before being reclaimed.
+        """
         if not records:
             return 0.0
         if horizon_s is None:
@@ -150,6 +233,31 @@ class ResourceManager:
         if horizon_s <= 0:
             return 0.0
         busy_gb_seconds = sum(
-            record.runtime_s * record.memory_gb for record in records
+            (record.runtime_s + record.wasted_s) * record.memory_gb
+            for record in records
         )
         return busy_gb_seconds / (horizon_s * self.capacity_gb)
+
+    def preemption_summary(
+        self, records: List[JobRecord]
+    ) -> Dict[str, float]:
+        """Aggregate preemption statistics for a finished simulation."""
+        return {
+            "jobs": float(len(records)),
+            "preemptions": float(
+                sum(record.preemptions for record in records)
+            ),
+            "wasted_s": sum(record.wasted_s for record in records),
+        }
+
+
+@dataclass
+class _RunningJob:
+    """One run segment of a started job."""
+
+    queued: _QueuedJob
+    memory_gb: float
+    #: True when this segment ends in preemption rather than completion.
+    preempted: bool
+    #: Length of this segment in simulated seconds.
+    segment_s: float

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.cluster.containers import ResourceConfiguration
+from repro.faults.model import FaultSpec
 from repro.planner.cost_interface import Cost
 from repro.planner.plan import PlanNode
 
@@ -105,6 +106,11 @@ class DagScheduler:
     ``free_gb`` is the capacity the RM reports available right now;
     ``drain_rate_gb_s`` (capacity freed per second, from recent history)
     turns a deficit into an expected wait for the DELAY policy.
+
+    ``fault_spec`` makes the wait estimate volatility-aware: preempted
+    work re-enters the queue and re-occupies capacity, so the *net*
+    drain rate shrinks by the expected number of attempts per job
+    (``1 / (1 - preemption_rate)``, the geometric-retry mean).
     """
 
     def __init__(
@@ -112,6 +118,7 @@ class DagScheduler:
         capacity_gb: float,
         free_gb: Optional[float] = None,
         drain_rate_gb_s: float = 1.0,
+        fault_spec: Optional[FaultSpec] = None,
     ) -> None:
         if capacity_gb <= 0:
             raise SchedulingError(
@@ -130,6 +137,13 @@ class DagScheduler:
         self.capacity_gb = capacity_gb
         self.free_gb = free_gb
         self.drain_rate_gb_s = drain_rate_gb_s
+        self.fault_spec = fault_spec
+
+    def effective_drain_rate_gb_s(self) -> float:
+        """The net capacity drain rate after expected fault rework."""
+        if self.fault_spec is None:
+            return self.drain_rate_gb_s
+        return self.drain_rate_gb_s / self.fault_spec.expected_attempts()
 
     def fits_now(self, request: JointPlanRequest) -> bool:
         """True when the plan's peak demand fits the free capacity."""
@@ -147,7 +161,7 @@ class DagScheduler:
             > self.capacity_gb
         ):
             return math.inf
-        return deficit / self.drain_rate_gb_s
+        return deficit / self.effective_drain_rate_gb_s()
 
     def schedule(
         self,

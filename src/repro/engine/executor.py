@@ -7,6 +7,14 @@ resource configuration when RAQO planned one, or on a global default
 otherwise. The executor reports the paper's three evaluation metrics:
 execution time, total resources used ("the product of the total memory and
 the total execution time", Sec I), and serverless monetary cost.
+
+Fault injection (``faults=``/``recovery=``) threads every stage through
+the deterministic attempt loop in :mod:`repro.faults.injection`:
+container preemptions and OOM kills waste work and trigger capped
+exponential-backoff retries, stragglers stretch (and may speculatively
+re-execute) a stage, and a BHJ that OOMs degrades to SMJ instead of
+failing the query. A zero-fault plan is bit-identical to running without
+fault injection at all -- the contract the property suite asserts.
 """
 
 from __future__ import annotations
@@ -18,18 +26,66 @@ from typing import FrozenSet, Optional, Tuple
 from repro.catalog.statistics import StatisticsEstimator
 from repro.cluster.containers import ResourceConfiguration
 from repro.cluster.pricing import PriceModel
-from repro.engine.joins import JoinAlgorithm, join_execution
+from repro.engine.joins import (
+    JoinAlgorithm,
+    JoinExecution,
+    join_execution,
+)
 from repro.engine.profiles import EngineProfile
-from repro.planner.plan import PlanNode
+from repro.faults.injection import run_stage_with_faults
+from repro.faults.model import (
+    AttemptRecord,
+    FaultPlan,
+    stage_key_for_join,
+)
+from repro.faults.recovery import DEFAULT_RECOVERY, RecoveryPolicy
+from repro.planner.plan import JoinNode, PlanNode
 
 
 class ExecutionError(Exception):
-    """Raised when a plan cannot be executed as specified."""
+    """Raised when a plan cannot be executed as specified.
+
+    Carries the failing stage's context so callers (and logs) can tell
+    *which* operator, on *which* attempt, under *which* envelope broke:
+    ``stage_id`` (postorder index), ``tables``, ``attempt`` (0-based),
+    and ``resources`` (None when the stage had no envelope at all).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        stage_id: Optional[int] = None,
+        tables: Optional[FrozenSet[str]] = None,
+        attempt: int = 0,
+        resources: Optional[ResourceConfiguration] = None,
+    ) -> None:
+        self.stage_id = stage_id
+        self.tables = tables
+        self.attempt = attempt
+        self.resources = resources
+        parts = [message]
+        if stage_id is not None:
+            parts.append(f"stage={stage_id}")
+        if tables is not None:
+            parts.append(f"tables={sorted(tables)}")
+        if stage_id is not None or tables is not None:
+            parts.append(f"attempt={attempt}")
+            parts.append(
+                f"resources={resources}"
+                if resources is not None
+                else "resources=<none>"
+            )
+        super().__init__(" | ".join(parts))
 
 
 @dataclass(frozen=True)
 class JoinRunReport:
-    """Simulated execution of one join operator."""
+    """Simulated execution of one join operator.
+
+    The fault-era fields default to their quiet values so fault-free
+    runs (and zero-fault injected runs) produce reports identical to the
+    pre-fault executor's.
+    """
 
     left_tables: FrozenSet[str]
     right_tables: FrozenSet[str]
@@ -38,6 +94,15 @@ class JoinRunReport:
     feasible: bool
     time_s: float
     gb_seconds: float
+    #: Per-attempt history; empty unless a fault, retry, degradation, or
+    #: speculative copy touched this stage.
+    attempts: Tuple[AttemptRecord, ...] = ()
+    retries: int = 0
+    #: True when a BHJ fell back to SMJ (``algorithm`` then reports the
+    #: SMJ that actually ran).
+    degraded: bool = False
+    speculative: bool = False
+    faults_injected: int = 0
 
     @property
     def tables(self) -> FrozenSet[str]:
@@ -54,11 +119,36 @@ class ExecutionResult:
     dollars: float
     feasible: bool
     joins: Tuple[JoinRunReport, ...]
+    #: Aggregate fault/recovery counters (all zero for fault-free runs).
+    retries: int = 0
+    faults_injected: int = 0
+    degraded_stages: int = 0
+    speculative_stages: int = 0
 
     @property
     def tb_seconds(self) -> float:
         """The paper's Fig 2 unit: resources used in TB * seconds."""
         return self.gb_seconds / 1024.0
+
+
+def oom_pressure(
+    algorithm: JoinAlgorithm,
+    small_gb: float,
+    resources: ResourceConfiguration,
+    profile: EngineProfile,
+) -> float:
+    """Memory-budget utilisation of a join stage (scales OOM kills).
+
+    For BHJ this is the broadcast table over the per-container hash
+    budget -- the quantity whose crossing 1.0 is the paper's OOM wall.
+    SMJ streams and spills, so its injected OOM pressure is zero.
+    """
+    if algorithm is not JoinAlgorithm.BROADCAST_HASH:
+        return 0.0
+    budget = profile.hash_memory_fraction * resources.container_gb
+    if budget <= 0:
+        return math.inf
+    return small_gb / budget
 
 
 def execute_plan(
@@ -68,6 +158,8 @@ def execute_plan(
     default_resources: Optional[ResourceConfiguration] = None,
     price_model: Optional[PriceModel] = None,
     num_reducers: Optional[int] = None,
+    faults: Optional[FaultPlan] = None,
+    recovery: Optional[RecoveryPolicy] = None,
 ) -> ExecutionResult:
     """Simulate ``plan`` and account its time, resources, and cost.
 
@@ -75,52 +167,53 @@ def execute_plan(
     :class:`~repro.cluster.containers.ResourceConfiguration` when present,
     else ``default_resources`` (an :class:`ExecutionError` if neither is
     available). Infeasible joins (BHJ OOM) make the whole result
-    infeasible with infinite time, mirroring a failed job.
+    infeasible with infinite time, mirroring a failed job -- unless a
+    ``recovery`` policy allows the BHJ -> SMJ fallback.
+
+    ``faults`` injects deterministic preemptions, OOM kills, and
+    stragglers (see :mod:`repro.faults`); ``recovery`` defaults to
+    :data:`~repro.faults.recovery.DEFAULT_RECOVERY` whenever ``faults``
+    is given, and may also be passed alone to enable degradation without
+    injected faults.
     """
     price_model = price_model or PriceModel()
+    if faults is not None and recovery is None:
+        recovery = DEFAULT_RECOVERY
     reports = []
     total_time = 0.0
     total_gb_seconds = 0.0
     feasible = True
 
-    for join in plan.joins_postorder():
+    for stage_id, join in enumerate(plan.joins_postorder()):
         resources = join.resources or default_resources
         if resources is None:
             raise ExecutionError(
-                "join over "
-                f"{sorted(join.tables)} has no resources and no default "
-                "was provided"
+                "join has no resources and no default was provided",
+                stage_id=stage_id,
+                tables=frozenset(join.tables),
             )
         small_gb, large_gb = estimator.join_io_gb(
             join.left.tables, join.right.tables
         )
-        execution = join_execution(
-            join.algorithm,
-            small_gb,
-            large_gb,
-            resources,
-            profile,
-            num_reducers=num_reducers,
-        )
-        gb_seconds = (
-            resources.gb_seconds(execution.time_s)
-            if execution.feasible
-            else math.inf
-        )
-        reports.append(
-            JoinRunReport(
-                left_tables=frozenset(join.left.tables),
-                right_tables=frozenset(join.right.tables),
-                algorithm=join.algorithm,
-                resources=resources,
-                feasible=execution.feasible,
-                time_s=execution.time_s,
-                gb_seconds=gb_seconds,
+        if faults is None and recovery is None:
+            report = _run_stage_plain(
+                join, resources, small_gb, large_gb, profile, num_reducers
             )
-        )
-        feasible = feasible and execution.feasible
-        total_time += execution.time_s
-        total_gb_seconds += gb_seconds
+        else:
+            report = _run_stage_faulty(
+                join,
+                resources,
+                small_gb,
+                large_gb,
+                profile,
+                num_reducers,
+                faults,
+                recovery,
+            )
+        reports.append(report)
+        feasible = feasible and report.feasible
+        total_time += report.time_s
+        total_gb_seconds += report.gb_seconds
 
     dollars = (
         price_model.cost_of_gb_seconds(total_gb_seconds)
@@ -133,4 +226,97 @@ def execute_plan(
         dollars=dollars,
         feasible=feasible,
         joins=tuple(reports),
+        retries=sum(r.retries for r in reports),
+        faults_injected=sum(r.faults_injected for r in reports),
+        degraded_stages=sum(1 for r in reports if r.degraded),
+        speculative_stages=sum(1 for r in reports if r.speculative),
+    )
+
+
+def _run_stage_plain(
+    join: JoinNode,
+    resources: ResourceConfiguration,
+    small_gb: float,
+    large_gb: float,
+    profile: EngineProfile,
+    num_reducers: Optional[int],
+) -> JoinRunReport:
+    """The historical fault-free fast path (bit-for-bit preserved)."""
+    execution = join_execution(
+        join.algorithm,
+        small_gb,
+        large_gb,
+        resources,
+        profile,
+        num_reducers=num_reducers,
+    )
+    gb_seconds = (
+        resources.gb_seconds(execution.time_s)
+        if execution.feasible
+        else math.inf
+    )
+    return JoinRunReport(
+        left_tables=frozenset(join.left.tables),
+        right_tables=frozenset(join.right.tables),
+        algorithm=join.algorithm,
+        resources=resources,
+        feasible=execution.feasible,
+        time_s=execution.time_s,
+        gb_seconds=gb_seconds,
+    )
+
+
+def _run_stage_faulty(
+    join: JoinNode,
+    resources: ResourceConfiguration,
+    small_gb: float,
+    large_gb: float,
+    profile: EngineProfile,
+    num_reducers: Optional[int],
+    faults: Optional[FaultPlan],
+    recovery: Optional[RecoveryPolicy],
+) -> JoinRunReport:
+    """One stage through the fault-aware attempt loop."""
+
+    def run_attempt(
+        algorithm: JoinAlgorithm, config: ResourceConfiguration
+    ) -> JoinExecution:
+        return join_execution(
+            algorithm,
+            small_gb,
+            large_gb,
+            config,
+            profile,
+            num_reducers=num_reducers,
+        )
+
+    def pressure(
+        algorithm: JoinAlgorithm, config: ResourceConfiguration
+    ) -> float:
+        return oom_pressure(algorithm, small_gb, config, profile)
+
+    outcome = run_stage_with_faults(
+        stage_key=stage_key_for_join(
+            join.left.tables, join.right.tables, join.algorithm
+        ),
+        algorithm=join.algorithm,
+        resources=resources,
+        run_attempt=run_attempt,
+        oom_pressure=pressure,
+        faults=faults,
+        recovery=recovery,
+    )
+    return JoinRunReport(
+        left_tables=frozenset(join.left.tables),
+        right_tables=frozenset(join.right.tables),
+        algorithm=outcome.algorithm,
+        resources=outcome.resources,
+        feasible=outcome.feasible,
+        time_s=outcome.elapsed_s,
+        gb_seconds=outcome.gb_seconds,
+        attempts=outcome.attempts,
+        retries=outcome.retries,
+        degraded=outcome.degraded,
+        speculative=outcome.speculative,
+        faults_injected=outcome.faults_injected,
     )

@@ -13,6 +13,14 @@ ClusterSnapshot`; if the stage's planned resources no longer fit the
 offered envelope (or the envelope grew enough to be worth exploiting), it
 re-plans that operator's resources through the RAQO coster before
 launching the stage.
+
+With fault injection enabled (``faults=``/``recovery=``), each stage
+additionally runs through the deterministic attempt loop of
+:mod:`repro.faults.injection`. The runtime is where degradation gets the
+full paper treatment: a BHJ stage that OOMs falls back to SMJ and is
+*re-costed through the RAQO coster* under the live cluster conditions,
+so the fallback runs on resources chosen for the sort-merge plan rather
+than on the doomed broadcast configuration.
 """
 
 from __future__ import annotations
@@ -27,9 +35,20 @@ from repro.cluster.containers import ResourceConfiguration
 from repro.cluster.pricing import PriceModel
 from repro.cluster.rm_api import RmClient
 from repro.core.raqo import RaqoCoster
-from repro.engine.executor import ExecutionError
-from repro.engine.joins import join_execution
+from repro.engine.executor import ExecutionError, oom_pressure
+from repro.engine.joins import (
+    JoinAlgorithm,
+    JoinExecution,
+    join_execution,
+)
 from repro.engine.profiles import EngineProfile
+from repro.faults.injection import run_stage_with_faults
+from repro.faults.model import (
+    AttemptRecord,
+    FaultPlan,
+    stage_key_for_join,
+)
+from repro.faults.recovery import DEFAULT_RECOVERY, RecoveryPolicy
 from repro.planner.cost_interface import PlanningContext
 from repro.planner.plan import JoinNode, PlanNode
 
@@ -44,6 +63,12 @@ class StageRecord:
     replanned: bool
     time_s: float
     gb_seconds: float
+    #: Fault-era bookkeeping; quiet defaults keep fault-free runs
+    #: identical to the historical records.
+    attempts: Tuple[AttemptRecord, ...] = ()
+    retries: int = 0
+    degraded: bool = False
+    faults_injected: int = 0
 
 
 @dataclass(frozen=True)
@@ -56,6 +81,9 @@ class AdaptiveRunReport:
     dollars: float
     replanned_stages: int
     feasible: bool
+    retries: int = 0
+    faults_injected: int = 0
+    degraded_stages: int = 0
 
 
 class AdaptiveRuntime:
@@ -74,6 +102,8 @@ class AdaptiveRuntime:
         #: Re-plan when the live envelope's maxima drift from the
         #: planning-time envelope by more than this relative slack.
         improvement_slack: float = 0.25,
+        faults: Optional[FaultPlan] = None,
+        recovery: Optional[RecoveryPolicy] = None,
     ) -> None:
         if improvement_slack < 0:
             raise ValueError(
@@ -86,6 +116,10 @@ class AdaptiveRuntime:
         self.price_model = price_model or PriceModel()
         self.planned_under = planned_under
         self.improvement_slack = improvement_slack
+        if faults is not None and recovery is None:
+            recovery = DEFAULT_RECOVERY
+        self.faults = faults
+        self.recovery = recovery
 
     def _should_replan(
         self,
@@ -129,12 +163,14 @@ class AdaptiveRuntime:
                 now_s=clock
             ).conditions
 
-        for join in plan.joins_postorder():
+        for stage_id, join in enumerate(plan.joins_postorder()):
             planned = join.resources
             if planned is None:
                 raise ExecutionError(
-                    "adaptive runtime needs a joint plan; operator over "
-                    f"{sorted(join.tables)} has no resources"
+                    "adaptive runtime needs a joint plan; operator "
+                    "has no resources",
+                    stage_id=stage_id,
+                    tables=frozenset(join.tables),
                 )
             snapshot = self.rm_client.snapshot(now_s=clock)
             executed = planned
@@ -144,35 +180,16 @@ class AdaptiveRuntime:
                     join, snapshot.conditions
                 )
                 replanned = True
-            small_gb, large_gb = self.estimator.join_io_gb(
-                join.left.tables, join.right.tables
-            )
-            execution = join_execution(
-                join.algorithm,
-                small_gb,
-                large_gb,
-                executed,
-                self.profile,
-            )
-            gb_seconds = (
-                executed.gb_seconds(execution.time_s)
-                if execution.feasible
-                else math.inf
-            )
-            record = StageRecord(
-                tables=frozenset(join.tables),
-                planned=planned,
-                executed=executed,
-                replanned=replanned,
-                time_s=execution.time_s,
-                gb_seconds=gb_seconds,
+            record = self._run_stage(
+                join, planned, executed, snapshot.conditions, replanned
             )
             stages.append(record)
             if on_stage is not None:
                 on_stage(record)
-            feasible = feasible and execution.feasible
-            clock += execution.time_s if execution.feasible else 0.0
-            total_gb_seconds += gb_seconds
+            stage_feasible = math.isfinite(record.time_s)
+            feasible = feasible and stage_feasible
+            clock += record.time_s if stage_feasible else 0.0
+            total_gb_seconds += record.gb_seconds
 
         total_time = sum(stage.time_s for stage in stages)
         return AdaptiveRunReport(
@@ -186,7 +203,110 @@ class AdaptiveRuntime:
             ),
             replanned_stages=sum(1 for s in stages if s.replanned),
             feasible=feasible,
+            retries=sum(s.retries for s in stages),
+            faults_injected=sum(s.faults_injected for s in stages),
+            degraded_stages=sum(1 for s in stages if s.degraded),
         )
+
+    def _run_stage(
+        self,
+        join: JoinNode,
+        planned: ResourceConfiguration,
+        executed: ResourceConfiguration,
+        conditions: ClusterConditions,
+        replanned: bool,
+    ) -> StageRecord:
+        """Run one stage, with or without the fault layer."""
+        small_gb, large_gb = self.estimator.join_io_gb(
+            join.left.tables, join.right.tables
+        )
+        if self.faults is None and self.recovery is None:
+            execution = join_execution(
+                join.algorithm,
+                small_gb,
+                large_gb,
+                executed,
+                self.profile,
+            )
+            gb_seconds = (
+                executed.gb_seconds(execution.time_s)
+                if execution.feasible
+                else math.inf
+            )
+            return StageRecord(
+                tables=frozenset(join.tables),
+                planned=planned,
+                executed=executed,
+                replanned=replanned,
+                time_s=execution.time_s,
+                gb_seconds=gb_seconds,
+            )
+
+        def run_attempt(
+            algorithm: JoinAlgorithm, config: ResourceConfiguration
+        ) -> JoinExecution:
+            return join_execution(
+                algorithm, small_gb, large_gb, config, self.profile
+            )
+
+        def pressure(
+            algorithm: JoinAlgorithm, config: ResourceConfiguration
+        ) -> float:
+            return oom_pressure(
+                algorithm, small_gb, config, self.profile
+            )
+
+        def replan_on_degrade(
+            algorithm: JoinAlgorithm,
+        ) -> Optional[ResourceConfiguration]:
+            # The paper's recovery story: consult the optimizer for the
+            # fallback implementation under the live envelope.
+            return self._recost_degraded(join, algorithm, conditions)
+
+        outcome = run_stage_with_faults(
+            stage_key=stage_key_for_join(
+                join.left.tables, join.right.tables, join.algorithm
+            ),
+            algorithm=join.algorithm,
+            resources=executed,
+            run_attempt=run_attempt,
+            oom_pressure=pressure,
+            faults=self.faults,
+            recovery=self.recovery,
+            replan_on_degrade=replan_on_degrade,
+        )
+        return StageRecord(
+            tables=frozenset(join.tables),
+            planned=planned,
+            executed=outcome.resources,
+            replanned=replanned or outcome.degraded,
+            time_s=outcome.elapsed_s,
+            gb_seconds=outcome.gb_seconds,
+            attempts=outcome.attempts,
+            retries=outcome.retries,
+            degraded=outcome.degraded,
+            faults_injected=outcome.faults_injected,
+        )
+
+    def _recost_degraded(
+        self,
+        join: JoinNode,
+        algorithm: JoinAlgorithm,
+        conditions: ClusterConditions,
+    ) -> Optional[ResourceConfiguration]:
+        """Resources for the degraded implementation, via the coster."""
+        context = PlanningContext(
+            estimator=self.estimator, cluster=conditions
+        )
+        cost, resources = self.coster.join_cost(
+            join.left.tables,
+            join.right.tables,
+            algorithm,
+            context,
+        )
+        if resources is not None and cost.is_finite:
+            return resources
+        return None
 
     def _replan_stage(
         self, join: JoinNode, conditions: ClusterConditions

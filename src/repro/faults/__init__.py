@@ -1,0 +1,56 @@
+"""Deterministic fault injection for the simulated cluster.
+
+RAQO's premise is that plans run on *shared, volatile* cloud resources:
+containers get preempted, tasks OOM, and stragglers appear (the paper's
+Fig 1 queueing analysis and the BHJ feasibility walls of Figs 3/4 only
+matter because clusters misbehave). This package turns that volatility
+into a first-class, fully deterministic simulation input:
+
+- :class:`~repro.faults.model.FaultSpec` declares fault *rates* (container
+  preemption, task OOM kill, straggler slowdown) plus a seed;
+- :class:`~repro.faults.model.FaultPlan` converts the spec into
+  per-(stage, attempt) decisions that are a pure function of
+  ``(seed, stage_key, attempt)`` -- never of draw order -- so serial and
+  parallel executions of the same workload observe identical faults;
+- :class:`~repro.faults.recovery.RecoveryPolicy` says how the engine
+  reacts: capped retries with exponential simulated-time backoff,
+  speculative re-execution of stragglers, and graceful BHJ -> SMJ
+  degradation instead of failing the query;
+- :func:`~repro.faults.injection.run_stage_with_faults` is the shared
+  attempt loop both the batch executor and the adaptive runtime thread
+  their stages through.
+
+Everything is seeded (``numpy.random.default_rng``; RAQO001-clean) and
+free of shared mutable state (RAQO005-clean), so fault-injected runs are
+bit-reproducible and safe under the parallel workload runner.
+"""
+
+from repro.faults.injection import StageFaultOutcome, run_stage_with_faults
+from repro.faults.model import (
+    AttemptRecord,
+    FaultDecision,
+    FaultError,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    NO_FAULT,
+    ZERO_FAULTS,
+    stage_key_for_join,
+)
+from repro.faults.recovery import DEFAULT_RECOVERY, RecoveryPolicy
+
+__all__ = [
+    "AttemptRecord",
+    "DEFAULT_RECOVERY",
+    "FaultDecision",
+    "FaultError",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "NO_FAULT",
+    "RecoveryPolicy",
+    "StageFaultOutcome",
+    "ZERO_FAULTS",
+    "run_stage_with_faults",
+    "stage_key_for_join",
+]

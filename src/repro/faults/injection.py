@@ -1,0 +1,287 @@
+"""The shared fault-aware stage attempt loop.
+
+Both execution paths -- the batch executor
+(:func:`repro.engine.executor.execute_plan`) and the adaptive runtime
+(:class:`repro.engine.runtime.AdaptiveRuntime`) -- drive each join stage
+through :func:`run_stage_with_faults`. The loop consults the
+:class:`~repro.faults.model.FaultPlan` before charging each attempt,
+applies the :class:`~repro.faults.recovery.RecoveryPolicy` (retries with
+backoff, speculation, BHJ -> SMJ degradation), and returns a complete
+per-attempt accounting.
+
+The caller supplies the physics through callbacks (how an attempt
+executes, how close it sits to its OOM wall, how a degraded stage is
+re-costed), which keeps this module free of engine imports beyond type
+signatures and lets the runtime plug the RAQO coster into degradation.
+
+Accounting rules:
+
+- *busy* container time (wasted attempts, the successful run, any
+  speculative copy) accrues GB-seconds at the resources it ran on;
+- *backoff* elapses on the simulated clock only -- no containers held;
+- a stage that exhausts its retry budget, or is infeasible with no
+  degradation path, reports ``feasible=False`` with infinite time, the
+  same convention the executor has always used for the BHJ OOM wall.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.cluster.containers import ResourceConfiguration
+from repro.engine.joins import JoinAlgorithm, JoinExecution
+from repro.faults.model import (
+    AttemptRecord,
+    FaultKind,
+    FaultPlan,
+)
+from repro.faults.recovery import RecoveryPolicy
+
+#: Runs one attempt of the stage: (algorithm, resources) -> execution.
+AttemptRunner = Callable[
+    [JoinAlgorithm, ResourceConfiguration], JoinExecution
+]
+
+#: Memory-budget utilisation of the stage under (algorithm, resources);
+#: scales the injected OOM rate.
+PressureFn = Callable[[JoinAlgorithm, ResourceConfiguration], float]
+
+#: Re-plans resources for the degraded algorithm (None keeps current).
+DegradeReplanner = Callable[
+    [JoinAlgorithm], Optional[ResourceConfiguration]
+]
+
+#: Behaviour when no recovery layer is configured: fail on first kill,
+#: never degrade, never speculate.
+_NULL_RECOVERY = RecoveryPolicy(
+    max_retries=0,
+    backoff_base_s=0.0,
+    backoff_cap_s=0.0,
+    degrade_bhj_to_smj=False,
+    speculative_threshold=math.inf,
+)
+
+
+@dataclass(frozen=True)
+class StageFaultOutcome:
+    """Everything one fault-aware stage execution produced."""
+
+    feasible: bool
+    #: The implementation that ultimately ran (SMJ after degradation).
+    algorithm: JoinAlgorithm
+    #: The resources the final attempt ran on.
+    resources: ResourceConfiguration
+    #: Simulated wall time including wasted attempts and backoffs.
+    elapsed_s: float
+    #: GB-seconds across every busy segment (wasted + final + copies).
+    gb_seconds: float
+    #: Per-attempt history; empty when nothing noteworthy happened
+    #: (clean first-attempt success), keeping zero-fault runs
+    #: bit-identical to fault-free execution.
+    attempts: Tuple[AttemptRecord, ...]
+    retries: int
+    degraded: bool
+    speculative: bool
+    faults_injected: int
+
+
+def run_stage_with_faults(
+    stage_key: str,
+    algorithm: JoinAlgorithm,
+    resources: ResourceConfiguration,
+    run_attempt: AttemptRunner,
+    oom_pressure: PressureFn,
+    faults: Optional[FaultPlan] = None,
+    recovery: Optional[RecoveryPolicy] = None,
+    replan_on_degrade: Optional[DegradeReplanner] = None,
+) -> StageFaultOutcome:
+    """Execute one stage to completion (or declared infeasibility).
+
+    ``stage_key`` must be stable across runs and execution orders (see
+    :func:`~repro.faults.model.stage_key_for_join`); together with the
+    attempt counter it fully determines every fault decision.
+    """
+    policy = recovery if recovery is not None else _NULL_RECOVERY
+    attempts: List[AttemptRecord] = []
+    elapsed_s = 0.0
+    gb_seconds = 0.0
+    trial = 0
+    retries_used = 0
+    degraded = False
+    speculative = False
+
+    def _outcome(
+        feasible: bool,
+        elapsed: float,
+        gb: float,
+    ) -> StageFaultOutcome:
+        noteworthy = len(attempts) > 1 or any(
+            a.fault is not None or a.speculative for a in attempts
+        )
+        return StageFaultOutcome(
+            feasible=feasible,
+            algorithm=algorithm,
+            resources=resources,
+            elapsed_s=elapsed,
+            gb_seconds=gb,
+            attempts=tuple(attempts) if noteworthy else (),
+            retries=retries_used,
+            degraded=degraded,
+            speculative=speculative,
+            faults_injected=sum(
+                1 for a in attempts if a.fault is not None and a.injected
+            ),
+        )
+
+    while True:
+        execution = run_attempt(algorithm, resources)
+        can_degrade = (
+            policy.degrade_bhj_to_smj
+            and not degraded
+            and algorithm is JoinAlgorithm.BROADCAST_HASH
+        )
+
+        if not execution.feasible:
+            # The static OOM wall: the broadcast table cannot fit this
+            # envelope, no matter how often we retry.
+            if can_degrade:
+                attempts.append(
+                    AttemptRecord(
+                        index=trial,
+                        algorithm=algorithm,
+                        fault=FaultKind.OOM_KILL,
+                        injected=False,
+                        time_s=0.0,
+                        backoff_s=0.0,
+                        succeeded=False,
+                    )
+                )
+                algorithm, resources, degraded = _degrade(
+                    resources, replan_on_degrade
+                )
+                trial += 1
+                continue
+            return _outcome(False, math.inf, math.inf)
+
+        decision = (
+            faults.decide(
+                stage_key,
+                trial,
+                oom_pressure=oom_pressure(algorithm, resources),
+            )
+            if faults is not None
+            else None
+        )
+
+        if decision is None or not decision.is_fault:
+            elapsed_s += execution.time_s
+            gb_seconds += resources.gb_seconds(execution.time_s)
+            attempts.append(
+                AttemptRecord(
+                    index=trial,
+                    algorithm=algorithm,
+                    fault=None,
+                    injected=False,
+                    time_s=execution.time_s,
+                    backoff_s=0.0,
+                    succeeded=True,
+                )
+            )
+            return _outcome(True, elapsed_s, gb_seconds)
+
+        if decision.kind is FaultKind.STRAGGLER:
+            slowed_s = execution.time_s * decision.slowdown
+            launches_copy = (
+                decision.slowdown >= policy.speculative_threshold
+            )
+            if launches_copy:
+                launch_s = (
+                    execution.time_s
+                    * policy.speculative_launch_fraction
+                )
+                finish_s = min(slowed_s, launch_s + execution.time_s)
+                busy_s = finish_s + (finish_s - launch_s)
+                speculative = True
+            else:
+                finish_s = slowed_s
+                busy_s = slowed_s
+            elapsed_s += finish_s
+            gb_seconds += resources.gb_seconds(busy_s)
+            attempts.append(
+                AttemptRecord(
+                    index=trial,
+                    algorithm=algorithm,
+                    fault=FaultKind.STRAGGLER,
+                    injected=True,
+                    time_s=busy_s,
+                    backoff_s=0.0,
+                    succeeded=True,
+                    speculative=launches_copy,
+                )
+            )
+            return _outcome(True, elapsed_s, gb_seconds)
+
+        # Kill-type fault: the attempt's partial work is lost.
+        wasted_s = execution.time_s * decision.fraction
+        elapsed_s += wasted_s
+        gb_seconds += resources.gb_seconds(wasted_s)
+        backoff_s = 0.0
+        if decision.kind is FaultKind.OOM_KILL and can_degrade:
+            attempts.append(
+                AttemptRecord(
+                    index=trial,
+                    algorithm=algorithm,
+                    fault=decision.kind,
+                    injected=True,
+                    time_s=wasted_s,
+                    backoff_s=0.0,
+                    succeeded=False,
+                )
+            )
+            algorithm, resources, degraded = _degrade(
+                resources, replan_on_degrade
+            )
+        else:
+            if retries_used >= policy.max_retries:
+                attempts.append(
+                    AttemptRecord(
+                        index=trial,
+                        algorithm=algorithm,
+                        fault=decision.kind,
+                        injected=True,
+                        time_s=wasted_s,
+                        backoff_s=0.0,
+                        succeeded=False,
+                    )
+                )
+                return _outcome(False, math.inf, math.inf)
+            retries_used += 1
+            backoff_s = policy.backoff_s(retries_used)
+            elapsed_s += backoff_s
+            attempts.append(
+                AttemptRecord(
+                    index=trial,
+                    algorithm=algorithm,
+                    fault=decision.kind,
+                    injected=True,
+                    time_s=wasted_s,
+                    backoff_s=backoff_s,
+                    succeeded=False,
+                )
+            )
+        trial += 1
+
+
+def _degrade(
+    resources: ResourceConfiguration,
+    replan: Optional[DegradeReplanner],
+) -> Tuple[JoinAlgorithm, ResourceConfiguration, bool]:
+    """The BHJ -> SMJ fallback, optionally re-costed by the caller."""
+    fallback = JoinAlgorithm.SORT_MERGE
+    if replan is not None:
+        replanned = replan(fallback)
+        if replanned is not None:
+            resources = replanned
+    return fallback, resources, True

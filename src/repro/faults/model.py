@@ -1,0 +1,356 @@
+"""Fault model: kinds, rate specs, and deterministic fault plans.
+
+The core determinism contract lives in :meth:`FaultPlan.decide`: the
+decision for a stage attempt is a pure function of ``(seed, stage_key,
+attempt)``. The RNG for each decision is derived by hashing that triple
+(SHA-256, stable across processes and platforms -- unlike ``hash()``,
+which is salted per process), so fault outcomes do not depend on the
+order in which stages execute. That is what makes the same seeded
+workload produce bit-identical reports under the serial and the parallel
+:class:`~repro.workloads.runner.WorkloadRunner`.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, fields, replace
+from typing import Any, Dict, Iterable, Optional
+
+import numpy as np
+
+from repro.engine.joins import JoinAlgorithm
+
+
+class FaultError(Exception):
+    """Raised for invalid fault specifications."""
+
+
+class FaultKind(enum.Enum):
+    """The three fault classes the simulator injects."""
+
+    #: The stage's containers are reclaimed mid-run; work is lost.
+    PREEMPTION = "preemption"
+    #: A task is killed for exceeding its memory budget.
+    OOM_KILL = "oom_kill"
+    #: The stage completes, but slower than modelled (skewed/slow node).
+    STRAGGLER = "straggler"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """What (if anything) happens to one stage attempt.
+
+    ``fraction`` is the share of the attempt's work completed before a
+    kill-type fault strikes (wasted work); ``slowdown`` is the straggler
+    time multiplier. Both are neutral for ``kind=None``.
+    """
+
+    kind: Optional[FaultKind] = None
+    fraction: float = 0.0
+    slowdown: float = 1.0
+
+    @property
+    def is_fault(self) -> bool:
+        """True when any fault was injected."""
+        return self.kind is not None
+
+    @property
+    def is_kill(self) -> bool:
+        """True for faults that lose the attempt's work."""
+        return self.kind in (FaultKind.PREEMPTION, FaultKind.OOM_KILL)
+
+
+#: The decision for an untouched attempt.
+NO_FAULT = FaultDecision()
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Declarative fault rates plus the seed that fixes every outcome.
+
+    ``oom_rate`` is a *base* rate scaled by the stage's memory pressure
+    (how close the operator sits to its OOM wall), so plans with memory
+    headroom -- the resource-aware ones -- really are more robust, which
+    is the mechanism the fig16 robustness experiment quantifies.
+    """
+
+    seed: int = 0
+    preemption_rate: float = 0.0
+    oom_rate: float = 0.0
+    straggler_rate: float = 0.0
+    #: Peak straggler slowdown; actual slowdowns draw from
+    #: ``[1 + (slowdown-1)/2, slowdown]``.
+    straggler_slowdown: float = 3.0
+
+    def __post_init__(self) -> None:
+        for name in ("preemption_rate", "oom_rate", "straggler_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise FaultError(
+                    f"{name} must be in [0, 1], got {rate}"
+                )
+        if self.preemption_rate >= 1.0:
+            raise FaultError(
+                "preemption_rate must be < 1 (a stage preempted with "
+                "certainty can never finish)"
+            )
+        if self.straggler_slowdown < 1.0:
+            raise FaultError(
+                "straggler_slowdown must be >= 1, got "
+                f"{self.straggler_slowdown}"
+            )
+
+    @property
+    def is_zero(self) -> bool:
+        """True when no fault can ever fire under this spec."""
+        return (
+            self.preemption_rate == 0.0
+            and self.oom_rate == 0.0
+            and self.straggler_rate == 0.0
+        )
+
+    def expected_attempts(self) -> float:
+        """Expected executions per stage under preemption alone.
+
+        The geometric-retry mean ``1 / (1 - p)``; the scheduler uses it
+        to discount its capacity drain rate (preempted work re-occupies
+        capacity when it retries).
+        """
+        return 1.0 / (1.0 - self.preemption_rate)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (see :mod:`repro.serialization`)."""
+        return {
+            "seed": self.seed,
+            "preemption_rate": self.preemption_rate,
+            "oom_rate": self.oom_rate,
+            "straggler_rate": self.straggler_rate,
+            "straggler_slowdown": self.straggler_slowdown,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FaultSpec":
+        """Rebuild a spec from its JSON form."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise FaultError(
+                f"unknown fault spec fields: {sorted(unknown)}"
+            )
+        return cls(**payload)
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        """Parse the CLI spec format.
+
+        A comma-separated ``key=value`` list, e.g.
+        ``"seed=7,preempt=0.1,oom=0.2,straggle=0.1,slowdown=4"``.
+        Omitted keys keep their defaults; ``"none"`` is the zero spec.
+        """
+        text = text.strip()
+        if not text or text == "none":
+            return cls()
+        aliases = {
+            "seed": "seed",
+            "preempt": "preemption_rate",
+            "preemption_rate": "preemption_rate",
+            "oom": "oom_rate",
+            "oom_rate": "oom_rate",
+            "straggle": "straggler_rate",
+            "straggler_rate": "straggler_rate",
+            "slowdown": "straggler_slowdown",
+            "straggler_slowdown": "straggler_slowdown",
+        }
+        payload: Dict[str, Any] = {}
+        for item in text.split(","):
+            key, sep, value = item.partition("=")
+            key = key.strip()
+            if not sep or not key:
+                raise FaultError(
+                    f"malformed fault spec item {item!r}; expected "
+                    "key=value"
+                )
+            field = aliases.get(key)
+            if field is None:
+                raise FaultError(
+                    f"unknown fault spec key {key!r}; known keys: "
+                    f"{sorted(set(aliases))}"
+                )
+            try:
+                payload[field] = (
+                    int(value) if field == "seed" else float(value)
+                )
+            except ValueError as exc:
+                raise FaultError(
+                    f"bad value for {key!r}: {value!r}"
+                ) from exc
+        return cls(**payload)
+
+    def with_seed(self, seed: int) -> "FaultSpec":
+        """The same rates under a different seed."""
+        return replace(self, seed=seed)
+
+
+#: A plan that never injects anything (executor output is bit-identical
+#: to running without fault injection at all).
+ZERO_FAULTS: "FaultPlan"
+
+
+@dataclass(frozen=True)
+class AttemptRecord:
+    """One execution attempt of one stage (for reports and tests)."""
+
+    #: 0-based attempt index within the stage.
+    index: int
+    #: The implementation this attempt ran (may differ from the planned
+    #: one after a BHJ -> SMJ degradation).
+    algorithm: JoinAlgorithm
+    #: The fault that ended the attempt, or None on clean success.
+    fault: Optional[FaultKind]
+    #: True when the fault came from the injected plan; False for
+    #: statically infeasible stages (the BHJ OOM wall).
+    injected: bool
+    #: Busy container time charged to this attempt (simulated seconds).
+    time_s: float
+    #: Simulated backoff waited *after* this attempt before the next.
+    backoff_s: float
+    #: True when the stage completed on this attempt.
+    succeeded: bool
+    #: True when a speculative copy raced (and beat) a straggler.
+    speculative: bool = False
+
+
+class FaultPlan:
+    """Seeded, order-independent fault decisions for every stage attempt.
+
+    Instances are immutable and stateless between calls: each
+    :meth:`decide` derives a fresh generator from the (seed, stage_key,
+    attempt) triple, so a plan may be shared freely across worker
+    threads (RAQO005) and produces identical outcomes regardless of
+    execution order.
+    """
+
+    def __init__(self, spec: FaultSpec, scope: str = "") -> None:
+        self._spec = spec
+        self._scope = scope
+
+    @property
+    def spec(self) -> FaultSpec:
+        """The rates and seed this plan realises."""
+        return self._spec
+
+    @property
+    def scope(self) -> str:
+        """The namespace prefix mixed into every decision hash."""
+        return self._scope
+
+    def scoped(self, salt: str) -> "FaultPlan":
+        """A plan drawing independent decisions under ``salt``.
+
+        Stage keys are only unique *within* one plan execution; two
+        workload queries sharing a join would otherwise share its fault
+        fate. Scoping by a stable per-query salt (the query name) keeps
+        decisions order-independent while making them independent
+        across queries.
+        """
+        return FaultPlan(
+            self._spec, scope=f"{self._scope}\x1e{salt}"
+        )
+
+    @property
+    def is_zero(self) -> bool:
+        """True when this plan can never inject a fault."""
+        return self._spec.is_zero
+
+    def rng_for(
+        self, stage_key: str, attempt: int
+    ) -> np.random.Generator:
+        """The deterministic generator for one (stage, attempt) pair."""
+        digest = hashlib.sha256(
+            f"{self._spec.seed}\x1f{self._scope}\x1f{stage_key}"
+            f"\x1f{attempt}".encode()
+        ).digest()
+        return np.random.default_rng(int.from_bytes(digest, "big"))
+
+    def decide(
+        self,
+        stage_key: str,
+        attempt: int,
+        oom_pressure: float = 0.0,
+    ) -> FaultDecision:
+        """The fault (if any) striking this stage attempt.
+
+        ``oom_pressure`` scales the base OOM rate: it is the operator's
+        memory-budget utilisation (e.g. broadcast table size over the
+        per-container hash budget), so stages sitting close to their OOM
+        wall are proportionally more likely to be killed. A pressure of
+        zero (SMJ, or plenty of headroom) disables OOM kills entirely.
+        """
+        if oom_pressure < 0:
+            raise FaultError(
+                f"oom_pressure must be >= 0, got {oom_pressure}"
+            )
+        spec = self._spec
+        if spec.is_zero:
+            return NO_FAULT
+        rng = self.rng_for(stage_key, attempt)
+        # A fixed number of draws in a fixed order keeps every decision
+        # independent of which branches are taken.
+        u_oom, u_preempt, u_straggle, u_frac, u_slow = (
+            float(u) for u in rng.random(5)
+        )
+        effective_oom = min(1.0, spec.oom_rate * oom_pressure)
+        fraction = 0.05 + 0.9 * u_frac
+        if u_oom < effective_oom:
+            return FaultDecision(
+                kind=FaultKind.OOM_KILL, fraction=fraction
+            )
+        if u_preempt < spec.preemption_rate:
+            return FaultDecision(
+                kind=FaultKind.PREEMPTION, fraction=fraction
+            )
+        if u_straggle < spec.straggler_rate:
+            half = (spec.straggler_slowdown - 1.0) / 2.0
+            slowdown = 1.0 + half + half * u_slow
+            return FaultDecision(
+                kind=FaultKind.STRAGGLER, slowdown=slowdown
+            )
+        return NO_FAULT
+
+    def __repr__(self) -> str:
+        if self._scope:
+            return f"FaultPlan({self._spec!r}, scope={self._scope!r})"
+        return f"FaultPlan({self._spec!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FaultPlan):
+            return NotImplemented
+        return (
+            self._spec == other._spec and self._scope == other._scope
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._spec, self._scope))
+
+
+ZERO_FAULTS = FaultPlan(FaultSpec())
+
+
+def stage_key_for_join(
+    left_tables: Iterable[str],
+    right_tables: Iterable[str],
+    algorithm: JoinAlgorithm,
+) -> str:
+    """The stable identity of one join stage for fault keying.
+
+    Built from sorted table names and the *planned* algorithm, so the
+    key survives mid-stage degradation and is identical however the
+    containing plan is executed (serial, parallel, adaptive).
+    """
+    left = "|".join(sorted(left_tables))
+    right = "|".join(sorted(right_tables))
+    return f"{left}><{right}:{algorithm.value}"

@@ -1,0 +1,108 @@
+"""Recovery policies: retries, backoff, speculation, degradation.
+
+The policy layer decides how the engine reacts to an injected (or
+statically modelled) fault:
+
+- *retry with capped exponential backoff*: a killed attempt is re-run
+  after ``backoff_base_s * backoff_factor**k`` simulated seconds (capped
+  at ``backoff_cap_s``), at most ``max_retries`` times. Backoff elapses
+  on the simulated clock but holds no containers, so it adds latency but
+  no GB-seconds;
+- *speculative re-execution*: when a straggler runs slower than
+  ``speculative_threshold``x, a backup copy launches after the original
+  has run for ``speculative_launch_fraction`` of its modelled time; the
+  stage finishes when the first copy does, and both copies are charged
+  until then (the Dremel/LATE-style mitigation);
+- *graceful degradation*: a BHJ stage that OOMs -- whether killed by the
+  fault plan or statically infeasible under its envelope -- falls back
+  to SMJ instead of failing the query. Degradation is a re-plan, not a
+  retry, so it does not consume the retry budget; the adaptive runtime
+  re-costs the fallback through the RAQO coster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Dict
+
+from repro.faults.model import FaultError
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """How execution reacts to faults."""
+
+    #: Maximum retries per stage after kill-type faults (attempts are
+    #: therefore capped at ``max_retries + 1``, degradations aside).
+    max_retries: int = 3
+    #: First backoff, in simulated seconds.
+    backoff_base_s: float = 2.0
+    #: Multiplier per additional retry.
+    backoff_factor: float = 2.0
+    #: Upper bound on any single backoff.
+    backoff_cap_s: float = 60.0
+    #: Fall back from BHJ to SMJ after an OOM instead of failing.
+    degrade_bhj_to_smj: bool = True
+    #: Launch a backup copy for stragglers at least this much slower
+    #: than modelled; ``inf`` disables speculation.
+    speculative_threshold: float = 2.0
+    #: When the backup launches, as a fraction of the stage's modelled
+    #: (un-slowed) execution time.
+    speculative_launch_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise FaultError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.backoff_base_s < 0:
+            raise FaultError(
+                f"backoff_base_s must be >= 0, got {self.backoff_base_s}"
+            )
+        if self.backoff_factor < 1.0:
+            raise FaultError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.backoff_cap_s < 0:
+            raise FaultError(
+                f"backoff_cap_s must be >= 0, got {self.backoff_cap_s}"
+            )
+        if self.speculative_threshold < 1.0:
+            raise FaultError(
+                "speculative_threshold must be >= 1, got "
+                f"{self.speculative_threshold}"
+            )
+        if not 0.0 < self.speculative_launch_fraction <= 1.0:
+            raise FaultError(
+                "speculative_launch_fraction must be in (0, 1], got "
+                f"{self.speculative_launch_fraction}"
+            )
+
+    def backoff_s(self, retry: int) -> float:
+        """Simulated wait before the ``retry``-th re-attempt (1-based)."""
+        if retry < 1:
+            raise FaultError(f"retry must be >= 1, got {retry}")
+        return min(
+            self.backoff_cap_s,
+            self.backoff_base_s * self.backoff_factor ** (retry - 1),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (see :mod:`repro.serialization`)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "RecoveryPolicy":
+        """Rebuild a policy from its JSON form."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise FaultError(
+                f"unknown recovery policy fields: {sorted(unknown)}"
+            )
+        return cls(**payload)
+
+
+#: The stock policy used when fault injection is enabled without an
+#: explicit policy.
+DEFAULT_RECOVERY = RecoveryPolicy()

@@ -7,7 +7,9 @@ module round-trips the three artifact kinds through plain JSON:
 
 - joint query/resource plans (:func:`plan_to_dict` / :func:`plan_from_dict`),
 - learned operator cost models (:func:`cost_model_to_dict` / ...),
-- CART decision trees (:func:`tree_to_dict` / ...).
+- CART decision trees (:func:`tree_to_dict` / ...),
+- fault specs and recovery policies (:func:`fault_spec_to_dict` / ...),
+  so a robustness experiment's exact fault schedule can be replayed.
 """
 
 from __future__ import annotations
@@ -25,6 +27,8 @@ from repro.core.cost_model import (
 )
 from repro.core.decision_tree import DecisionTreeClassifier, TreeNode
 from repro.engine.joins import JoinAlgorithm
+from repro.faults.model import FaultError, FaultSpec
+from repro.faults.recovery import RecoveryPolicy
 from repro.planner.plan import JoinNode, PlanNode, ScanNode
 
 #: Registry of feature maps by name (feature maps carry code, so they
@@ -173,6 +177,37 @@ def tree_from_dict(payload: Dict[str, Any]) -> DecisionTreeClassifier:
     tree.n_features_ = int(payload["n_features"])
     tree.root = _node_from_dict(payload["root"])
     return tree
+
+
+# --- fault specs and recovery policies ---
+
+
+def fault_spec_to_dict(spec: FaultSpec) -> Dict[str, Any]:
+    """Serialize a fault spec (rates + seed)."""
+    return spec.to_dict()
+
+
+def fault_spec_from_dict(payload: Dict[str, Any]) -> FaultSpec:
+    """Rebuild a fault spec from its JSON form."""
+    try:
+        return FaultSpec.from_dict(payload)
+    except (FaultError, TypeError) as exc:
+        raise SerializationError(f"bad fault spec: {exc}") from exc
+
+
+def recovery_policy_to_dict(policy: RecoveryPolicy) -> Dict[str, Any]:
+    """Serialize a recovery policy."""
+    return policy.to_dict()
+
+
+def recovery_policy_from_dict(payload: Dict[str, Any]) -> RecoveryPolicy:
+    """Rebuild a recovery policy from its JSON form."""
+    try:
+        return RecoveryPolicy.from_dict(payload)
+    except (FaultError, TypeError) as exc:
+        raise SerializationError(
+            f"bad recovery policy: {exc}"
+        ) from exc
 
 
 # --- file helpers ---

@@ -19,13 +19,15 @@ from __future__ import annotations
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.catalog.queries import Query
 from repro.cluster.containers import ResourceConfiguration
 from repro.core.raqo import DEFAULT_QO_RESOURCES, RaqoPlanner
 from repro.engine.executor import execute_plan
 from repro.engine.profiles import EngineProfile, HIVE_PROFILE
+from repro.faults.model import FaultPlan
+from repro.faults.recovery import RecoveryPolicy
 
 
 @dataclass(frozen=True)
@@ -40,6 +42,11 @@ class QueryOutcome:
     executed_time_s: float
     executed_gb_seconds: float
     executed_dollars: float
+    executed_feasible: bool = True
+    #: Fault/recovery counters (all zero without fault injection).
+    retries: int = 0
+    faults_injected: int = 0
+    degraded_stages: int = 0
 
 
 @dataclass(frozen=True)
@@ -74,6 +81,26 @@ class WorkloadReport:
         """Total resource-plan-cache hits."""
         return sum(o.cache_hits for o in self.outcomes)
 
+    @property
+    def total_retries(self) -> int:
+        """Total fault-recovery retries across the workload."""
+        return sum(o.retries for o in self.outcomes)
+
+    @property
+    def total_faults_injected(self) -> int:
+        """Total injected faults across the workload."""
+        return sum(o.faults_injected for o in self.outcomes)
+
+    @property
+    def total_degraded_stages(self) -> int:
+        """Total BHJ -> SMJ degradations across the workload."""
+        return sum(o.degraded_stages for o in self.outcomes)
+
+    @property
+    def infeasible_queries(self) -> int:
+        """Queries whose simulated execution never completed."""
+        return sum(1 for o in self.outcomes if not o.executed_feasible)
+
     def summary_row(self) -> Tuple:
         """A printable aggregate row."""
         return (
@@ -94,21 +121,38 @@ class WorkloadRunner:
         planner: RaqoPlanner,
         profile: EngineProfile = HIVE_PROFILE,
         default_resources: ResourceConfiguration = DEFAULT_QO_RESOURCES,
+        faults: Optional[FaultPlan] = None,
+        recovery: Optional[RecoveryPolicy] = None,
     ) -> None:
         self.planner = planner
         self.profile = profile
         self.default_resources = default_resources
+        #: Shared across workers: FaultPlan decisions are pure functions
+        #: of (seed, stage, attempt), so parallel runs stay identical to
+        #: serial ones.
+        self.faults = faults
+        self.recovery = recovery
 
     def _run_one(
         self, planner: RaqoPlanner, query: Query
     ) -> QueryOutcome:
         """Plan and execute a single workload query on ``planner``."""
         result = planner.optimize(query)
+        # Scope faults per query (by its stable name): two queries
+        # sharing a join stage draw independent fault fates, while
+        # decisions stay order-independent so serial == parallel.
+        faults = (
+            self.faults.scoped(query.name)
+            if self.faults is not None
+            else None
+        )
         execution = execute_plan(
             result.plan,
             planner.estimator,
             self.profile,
             default_resources=self.default_resources,
+            faults=faults,
+            recovery=self.recovery,
         )
         return QueryOutcome(
             query=query,
@@ -119,6 +163,10 @@ class WorkloadRunner:
             executed_time_s=execution.time_s,
             executed_gb_seconds=execution.gb_seconds,
             executed_dollars=execution.dollars,
+            executed_feasible=execution.feasible,
+            retries=execution.retries,
+            faults_injected=execution.faults_injected,
+            degraded_stages=execution.degraded_stages,
         )
 
     def run(
@@ -166,11 +214,18 @@ def compare_planners(
     queries: Sequence[Query],
     profile: EngineProfile = HIVE_PROFILE,
     max_workers: int = 1,
+    faults: Optional[FaultPlan] = None,
+    recovery: Optional[RecoveryPolicy] = None,
 ) -> List[WorkloadReport]:
-    """Run the same workload through several planner configurations."""
+    """Run the same workload through several planner configurations.
+
+    ``faults``/``recovery`` apply identically to every planner's
+    execution, so the comparison isolates how *plan choice* affects
+    robustness (the fig16 experiment's question).
+    """
     return [
-        WorkloadRunner(planner, profile).run(
-            queries, label=label, max_workers=max_workers
-        )
+        WorkloadRunner(
+            planner, profile, faults=faults, recovery=recovery
+        ).run(queries, label=label, max_workers=max_workers)
         for label, planner in planners.items()
     ]

@@ -179,3 +179,164 @@ class TestInvariants:
             assert record.finish_time_s == pytest.approx(
                 record.start_time_s + record.runtime_s
             )
+
+
+class ScriptedFaults:
+    """Duck-typed fault plan returning scripted decisions per attempt."""
+
+    def __init__(self, script):
+        # script: {(stage_key, attempt): FaultDecision}
+        self.script = script
+
+    def decide(self, stage_key, attempt, oom_pressure=0.0):
+        from repro.faults.model import NO_FAULT
+
+        return self.script.get((stage_key, attempt), NO_FAULT)
+
+
+class TestPreemption:
+    def test_preempted_job_requeues_and_completes(self):
+        from repro.faults.model import FaultDecision, FaultKind
+
+        manager = ResourceManager(capacity_gb=100.0)
+        faults = ScriptedFaults(
+            {
+                ("rm-job:0", 0): FaultDecision(
+                    kind=FaultKind.PREEMPTION, fraction=0.5
+                )
+            }
+        )
+        [record] = manager.run(
+            [job(0, 0.0, 10, 2.0, 100.0)], faults=faults
+        )
+        # Preempted at 50 s, restarted immediately, done at 150 s.
+        assert record.start_time_s == 0.0
+        assert record.finish_time_s == 150.0
+        assert record.preemptions == 1
+        assert record.wasted_s == 50.0
+        assert record.runtime_s == 100.0
+
+    def test_max_restarts_zero_disables_preemption(self):
+        from repro.faults.model import FaultDecision, FaultKind
+
+        manager = ResourceManager(capacity_gb=100.0)
+        faults = ScriptedFaults(
+            {
+                ("rm-job:0", 0): FaultDecision(
+                    kind=FaultKind.PREEMPTION, fraction=0.5
+                )
+            }
+        )
+        [record] = manager.run(
+            [job(0, 0.0, 10, 2.0, 100.0)], faults=faults, max_restarts=0
+        )
+        assert record.preemptions == 0
+        assert record.finish_time_s == 100.0
+
+    def test_restart_cap_guarantees_termination(self):
+        from repro.faults.model import FaultPlan, FaultSpec
+
+        manager = ResourceManager(capacity_gb=100.0)
+        faults = FaultPlan(FaultSpec(seed=3, preemption_rate=0.95))
+        records = manager.run(
+            [job(i, 0.0, 5, 2.0, 50.0) for i in range(6)],
+            faults=faults,
+            max_restarts=2,
+        )
+        assert len(records) == 6
+        assert all(r.preemptions <= 2 for r in records)
+
+    def test_preempted_capacity_frees_for_waiting_jobs(self):
+        from repro.faults.model import FaultDecision, FaultKind
+
+        manager = ResourceManager(capacity_gb=20.0)
+        faults = ScriptedFaults(
+            {
+                ("rm-job:0", 0): FaultDecision(
+                    kind=FaultKind.PREEMPTION, fraction=0.25
+                )
+            }
+        )
+        records = manager.run(
+            [
+                job(0, 0.0, 10, 2.0, 100.0),
+                job(1, 0.0, 10, 2.0, 10.0),
+            ],
+            faults=faults,
+        )
+        by_id = {r.job_id: r for r in records}
+        # Job 0 is preempted at 25 s; job 1 then starts and runs 10 s;
+        # job 0 restarts behind it and finishes at 135 s.
+        assert by_id[1].start_time_s == 25.0
+        assert by_id[1].finish_time_s == 35.0
+        assert by_id[0].finish_time_s == 135.0
+        assert by_id[0].preemptions == 1
+
+    def test_zero_fault_plan_matches_fault_free_run(self):
+        from repro.faults.model import ZERO_FAULTS
+
+        submissions = [
+            job(i, float(i) * 3.0, 8, 2.0, 40.0) for i in range(8)
+        ]
+        manager = ResourceManager(capacity_gb=48.0)
+        plain = manager.run(list(submissions))
+        zeroed = manager.run(list(submissions), faults=ZERO_FAULTS)
+        assert plain == zeroed
+
+    def test_seeded_runs_are_deterministic(self):
+        from repro.faults.model import FaultPlan, FaultSpec
+
+        submissions = [
+            job(i, float(i), 8, 2.0, 40.0) for i in range(10)
+        ]
+        manager = ResourceManager(capacity_gb=32.0)
+        faults = FaultPlan(FaultSpec(seed=5, preemption_rate=0.5))
+        first = manager.run(list(submissions), faults=faults)
+        again = manager.run(list(submissions), faults=faults)
+        assert first == again
+        assert sum(r.preemptions for r in first) > 0
+
+    def test_utilization_counts_wasted_time(self):
+        from repro.faults.model import FaultDecision, FaultKind
+
+        manager = ResourceManager(capacity_gb=20.0)
+        faults = ScriptedFaults(
+            {
+                ("rm-job:0", 0): FaultDecision(
+                    kind=FaultKind.PREEMPTION, fraction=0.5
+                )
+            }
+        )
+        [record] = manager.run(
+            [job(0, 0.0, 10, 2.0, 100.0)], faults=faults
+        )
+        # 150 busy seconds x 20 GB over a 150 s horizon of 20 GB.
+        assert manager.utilization([record]) == pytest.approx(1.0)
+
+    def test_preemption_summary(self):
+        from repro.faults.model import FaultPlan, FaultSpec
+
+        manager = ResourceManager(capacity_gb=32.0)
+        faults = FaultPlan(FaultSpec(seed=5, preemption_rate=0.5))
+        records = manager.run(
+            [job(i, float(i), 8, 2.0, 40.0) for i in range(10)],
+            faults=faults,
+        )
+        summary = manager.preemption_summary(records)
+        assert summary["jobs"] == 10.0
+        assert summary["preemptions"] == sum(
+            r.preemptions for r in records
+        )
+        assert summary["wasted_s"] == pytest.approx(
+            sum(r.wasted_s for r in records)
+        )
+
+    def test_negative_max_restarts_rejected(self):
+        from repro.faults.model import ZERO_FAULTS
+
+        with pytest.raises(ResourceError):
+            ResourceManager(10.0).run(
+                [job(0, 0.0, 1, 1.0, 1.0)],
+                faults=ZERO_FAULTS,
+                max_restarts=-1,
+            )

@@ -165,3 +165,60 @@ class TestFrontierConversion:
         alternatives = frontier_to_alternatives(frontier)
         assert len(alternatives) == 2
         assert alternatives[0].cost.time_s == 10.0
+
+
+class TestFaultAwareWaits:
+    def test_fault_spec_discounts_the_drain_rate(self):
+        from repro.faults.model import FaultSpec
+
+        scheduler = DagScheduler(
+            capacity_gb=100.0,
+            free_gb=10.0,
+            drain_rate_gb_s=2.0,
+            fault_spec=FaultSpec(preemption_rate=0.5),
+        )
+        # Expected attempts double under 50% preemption, so the net
+        # drain rate halves.
+        assert scheduler.effective_drain_rate_gb_s() == pytest.approx(
+            1.0
+        )
+
+    def test_no_fault_spec_keeps_raw_drain_rate(self):
+        scheduler = DagScheduler(
+            capacity_gb=100.0, free_gb=10.0, drain_rate_gb_s=2.0
+        )
+        assert scheduler.effective_drain_rate_gb_s() == 2.0
+
+    def test_waits_stretch_under_preemption(self):
+        from repro.faults.model import FaultSpec
+
+        request = joint_plan(nc=20, cs=2.0)  # 40 GB demand
+        calm = DagScheduler(
+            capacity_gb=100.0, free_gb=10.0, drain_rate_gb_s=2.0
+        )
+        volatile = DagScheduler(
+            capacity_gb=100.0,
+            free_gb=10.0,
+            drain_rate_gb_s=2.0,
+            fault_spec=FaultSpec(preemption_rate=0.5),
+        )
+        assert volatile.expected_wait_s(
+            request
+        ) == pytest.approx(2.0 * calm.expected_wait_s(request))
+
+    def test_zero_rate_spec_changes_nothing(self):
+        from repro.faults.model import FaultSpec
+
+        request = joint_plan(nc=20, cs=2.0)
+        plain = DagScheduler(
+            capacity_gb=100.0, free_gb=10.0, drain_rate_gb_s=2.0
+        )
+        zero = DagScheduler(
+            capacity_gb=100.0,
+            free_gb=10.0,
+            drain_rate_gb_s=2.0,
+            fault_spec=FaultSpec(),
+        )
+        assert zero.expected_wait_s(request) == plain.expected_wait_s(
+            request
+        )

@@ -1,0 +1,206 @@
+"""Executor-level tests for fault injection and failure recovery.
+
+Covers the acceptance criteria of the fault subsystem at the
+``execute_plan`` layer: zero-fault bit-identity, BHJ OOM recovery via
+the SMJ fallback, counter aggregation, and the stage context carried by
+:class:`~repro.engine.executor.ExecutionError`.
+"""
+
+import math
+
+import pytest
+
+from repro.catalog import tpch
+from repro.catalog.statistics import StatisticsEstimator
+from repro.cluster.containers import ResourceConfiguration
+from repro.engine.executor import (
+    ExecutionError,
+    execute_plan,
+    oom_pressure,
+)
+from repro.engine.joins import JoinAlgorithm
+from repro.engine.profiles import HIVE_PROFILE
+from repro.faults.model import FaultPlan, FaultSpec, ZERO_FAULTS
+from repro.faults.recovery import DEFAULT_RECOVERY, RecoveryPolicy
+from repro.planner.plan import left_deep_plan
+
+
+@pytest.fixture(scope="module")
+def sf100_estimator():
+    return StatisticsEstimator(tpch.tpch_catalog(100))
+
+
+def q3_plan(algorithm=JoinAlgorithm.SORT_MERGE):
+    return left_deep_plan(
+        ("customer", "orders", "lineitem"),
+        algorithms=(algorithm, JoinAlgorithm.SORT_MERGE),
+    )
+
+
+class TestZeroFaultIdentity:
+    def test_zero_fault_plan_is_bit_identical(self, sf100_estimator):
+        """Acceptance criterion: a zero-fault FaultPlan produces output
+        bit-identical to the executor without fault injection."""
+        plan = q3_plan()
+        resources = ResourceConfiguration(10, 4.0)
+        plain = execute_plan(
+            plan, sf100_estimator, HIVE_PROFILE,
+            default_resources=resources,
+        )
+        zero = execute_plan(
+            plan, sf100_estimator, HIVE_PROFILE,
+            default_resources=resources,
+            faults=ZERO_FAULTS,
+            recovery=RecoveryPolicy(degrade_bhj_to_smj=False),
+        )
+        assert zero == plain
+        assert zero.joins == plain.joins
+
+    def test_same_seed_is_bit_identical(self, sf100_estimator):
+        plan = q3_plan()
+        resources = ResourceConfiguration(10, 4.0)
+        faults = FaultPlan(
+            FaultSpec(
+                seed=7,
+                preemption_rate=0.3,
+                oom_rate=0.3,
+                straggler_rate=0.3,
+            )
+        )
+        runs = [
+            execute_plan(
+                plan, sf100_estimator, HIVE_PROFILE,
+                default_resources=resources, faults=faults,
+            )
+            for _ in range(3)
+        ]
+        assert runs[0] == runs[1] == runs[2]
+
+
+class TestBhjOomRecovery:
+    def test_oom_wall_degrades_to_smj(self, sf100_estimator):
+        """Acceptance criterion: a BHJ stage under an infeasible envelope
+        recovers via the SMJ fallback, visibly in the run report."""
+        plan = q3_plan(JoinAlgorithm.BROADCAST_HASH)
+        tight = ResourceConfiguration(10, 2.0)
+        plain = execute_plan(
+            plan, sf100_estimator, HIVE_PROFILE, default_resources=tight
+        )
+        assert not plain.feasible
+        assert math.isinf(plain.time_s)
+
+        healed = execute_plan(
+            plan, sf100_estimator, HIVE_PROFILE,
+            default_resources=tight, recovery=DEFAULT_RECOVERY,
+        )
+        assert healed.feasible
+        assert math.isfinite(healed.time_s)
+        assert healed.degraded_stages == 1
+        degraded = [r for r in healed.joins if r.degraded]
+        assert len(degraded) == 1
+        assert degraded[0].algorithm is JoinAlgorithm.SORT_MERGE
+        assert degraded[0].attempts  # the wall shows in the history
+
+    def test_degradation_can_be_disabled(self, sf100_estimator):
+        plan = q3_plan(JoinAlgorithm.BROADCAST_HASH)
+        tight = ResourceConfiguration(10, 2.0)
+        result = execute_plan(
+            plan, sf100_estimator, HIVE_PROFILE,
+            default_resources=tight,
+            recovery=RecoveryPolicy(degrade_bhj_to_smj=False),
+        )
+        assert not result.feasible
+
+
+class TestCounters:
+    def test_counters_aggregate_over_stages(self, sf100_estimator):
+        plan = q3_plan()
+        resources = ResourceConfiguration(10, 4.0)
+        faults = FaultPlan(
+            FaultSpec(seed=3, preemption_rate=0.4, straggler_rate=0.3)
+        )
+        result = execute_plan(
+            plan, sf100_estimator, HIVE_PROFILE,
+            default_resources=resources, faults=faults,
+        )
+        assert result.retries == sum(r.retries for r in result.joins)
+        assert result.faults_injected == sum(
+            r.faults_injected for r in result.joins
+        )
+        assert result.degraded_stages == sum(
+            1 for r in result.joins if r.degraded
+        )
+        assert result.speculative_stages == sum(
+            1 for r in result.joins if r.speculative
+        )
+
+
+class TestOomPressure:
+    def test_smj_has_zero_pressure(self):
+        rc = ResourceConfiguration(10, 4.0)
+        assert (
+            oom_pressure(JoinAlgorithm.SORT_MERGE, 100.0, rc, HIVE_PROFILE)
+            == 0.0
+        )
+
+    def test_bhj_pressure_is_budget_utilisation(self):
+        rc = ResourceConfiguration(10, 4.0)
+        budget = HIVE_PROFILE.hash_memory_fraction * rc.container_gb
+        assert oom_pressure(
+            JoinAlgorithm.BROADCAST_HASH, budget / 2, rc, HIVE_PROFILE
+        ) == pytest.approx(0.5)
+        # Crossing 1.0 is exactly the static OOM wall.
+        assert (
+            oom_pressure(
+                JoinAlgorithm.BROADCAST_HASH,
+                budget * 2,
+                rc,
+                HIVE_PROFILE,
+            )
+            > 1.0
+        )
+
+
+class TestExecutionErrorContext:
+    def test_message_carries_stage_context(self):
+        rc = ResourceConfiguration(10, 4.0)
+        error = ExecutionError(
+            "stage exploded",
+            stage_id=2,
+            tables=frozenset({"orders", "customer"}),
+            attempt=1,
+            resources=rc,
+        )
+        message = str(error)
+        assert message.startswith("stage exploded")
+        assert "stage=2" in message
+        assert "tables=['customer', 'orders']" in message
+        assert "attempt=1" in message
+        assert f"resources={rc}" in message
+        assert error.stage_id == 2
+        assert error.attempt == 1
+        assert error.resources == rc
+
+    def test_message_without_resources(self):
+        error = ExecutionError(
+            "no envelope",
+            stage_id=0,
+            tables=frozenset({"a", "b"}),
+        )
+        assert "resources=<none>" in str(error)
+        assert error.resources is None
+
+    def test_bare_message_unchanged(self):
+        assert str(ExecutionError("boom")) == "boom"
+
+    def test_missing_resources_raise_includes_context(
+        self, sf100_estimator
+    ):
+        plan = q3_plan()
+        with pytest.raises(ExecutionError) as excinfo:
+            execute_plan(plan, sf100_estimator, HIVE_PROFILE)
+        error = excinfo.value
+        assert error.stage_id == 0
+        assert error.tables == frozenset({"customer", "orders"})
+        assert "stage=0" in str(error)
+        assert "resources=<none>" in str(error)

@@ -144,3 +144,66 @@ class TestInfeasibleFallback:
         assert report.replanned_stages == 1
         assert not report.feasible
         assert report.stages[0].executed.container_gb <= 2.0
+
+
+class TestRuntimeFaults:
+    def _joint_plan(self, algorithm, rc):
+        from repro.engine.joins import JoinAlgorithm
+
+        plan = left_deep_plan(
+            ("customer", "orders", "lineitem"),
+            algorithms=(algorithm, JoinAlgorithm.SORT_MERGE),
+        )
+        return plan.map_joins(lambda join: join.with_resources(rc))
+
+    def test_zero_fault_plan_is_bit_identical(self, planner, joint_plan):
+        from repro.faults.model import ZERO_FAULTS
+        from repro.faults.recovery import RecoveryPolicy
+
+        plain_runtime, _ = make_runtime(planner)
+        zero_runtime, _ = make_runtime(planner)
+        zero_runtime.faults = ZERO_FAULTS
+        zero_runtime.recovery = RecoveryPolicy(degrade_bhj_to_smj=False)
+        assert zero_runtime.run(joint_plan) == plain_runtime.run(
+            joint_plan
+        )
+
+    def test_same_seed_runs_identical(self, planner, joint_plan):
+        from repro.faults.model import FaultPlan, FaultSpec
+        from repro.faults.recovery import DEFAULT_RECOVERY
+
+        faults = FaultPlan(
+            FaultSpec(seed=5, preemption_rate=0.3, straggler_rate=0.3)
+        )
+        reports = []
+        for _ in range(2):
+            runtime, _ = make_runtime(planner)
+            runtime.faults = faults
+            runtime.recovery = DEFAULT_RECOVERY
+            reports.append(runtime.run(joint_plan))
+        assert reports[0] == reports[1]
+
+    def test_degraded_bhj_is_recosted_through_the_coster(self, planner):
+        """The fallback SMJ runs on optimizer-chosen resources, not on
+        the doomed broadcast envelope."""
+        from repro.cluster.containers import ResourceConfiguration
+        from repro.engine.joins import JoinAlgorithm
+        from repro.faults.recovery import DEFAULT_RECOVERY
+
+        tight = ResourceConfiguration(10, 2.0)
+        plan = self._joint_plan(JoinAlgorithm.BROADCAST_HASH, tight)
+
+        doomed, _ = make_runtime(planner)
+        report = doomed.run(plan)
+        assert not report.feasible
+
+        healing, _ = make_runtime(planner)
+        healing.recovery = DEFAULT_RECOVERY
+        healed = healing.run(plan)
+        assert healed.feasible
+        assert healed.degraded_stages == 1
+        degraded = [s for s in healed.stages if s.degraded]
+        assert len(degraded) == 1
+        # Re-costed: the executed envelope is the coster's SMJ choice.
+        assert degraded[0].replanned
+        assert degraded[0].executed != tight

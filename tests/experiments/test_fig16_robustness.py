@@ -1,0 +1,70 @@
+"""Tests for the fig16 robustness experiment (reduced sweep for speed)."""
+
+import pytest
+
+from repro.experiments import fig16_robustness
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig16_robustness.run(
+        intensities=(0.0, 0.4), num_queries=4, seed=11
+    )
+
+
+class TestRobustnessSweep:
+    def test_both_planners_swept(self, result):
+        assert set(result.series) == {"raqo", "two_step"}
+        for points in result.series.values():
+            assert [p.intensity for p in points] == [0.0, 0.4]
+
+    def test_fault_free_baseline_is_clean(self, result):
+        for label in result.series:
+            assert result.slowdown_at(label, 0.0) == 1.0
+            base = result.series[label][0]
+            assert base.faults_injected == 0
+            assert base.retries == 0
+            assert base.degraded_stages == 0
+
+    def test_faults_slow_execution_down(self, result):
+        for label in result.series:
+            stressed = result.series[label][-1]
+            assert stressed.slowdown >= 1.0
+            assert (
+                stressed.executed_time_s
+                >= result.series[label][0].executed_time_s
+            )
+        # The sweep actually injects at high intensity.
+        assert any(
+            points[-1].faults_injected > 0
+            for points in result.series.values()
+        )
+
+    def test_no_query_fails_under_recovery(self, result):
+        for points in result.series.values():
+            for point in points:
+                assert point.failed_queries == 0
+
+    def test_sweep_is_deterministic(self, result):
+        again = fig16_robustness.run(
+            intensities=(0.0, 0.4), num_queries=4, seed=11
+        )
+        assert again == result
+
+    def test_max_slowdown_helper(self, result):
+        for label, points in result.series.items():
+            assert result.max_slowdown(label) == max(
+                p.slowdown for p in points
+            )
+
+
+class TestFaultSpecScaling:
+    def test_intensity_maps_to_rates(self):
+        spec = fig16_robustness.fault_spec_for(0.4, seed=2)
+        assert spec.seed == 2
+        assert spec.oom_rate == 0.4
+        assert spec.preemption_rate == 0.2
+        assert spec.straggler_rate == 0.2
+
+    def test_zero_intensity_is_zero_spec(self):
+        assert fig16_robustness.fault_spec_for(0.0).is_zero

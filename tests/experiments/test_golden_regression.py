@@ -1,0 +1,123 @@
+"""Golden regression tests for the paper's switch-point figures.
+
+The simulator is deterministic, so the fig03/fig04/fig09 outputs are
+snapshotted under ``tests/experiments/golden/`` and compared with a
+small tolerance: cost-model refits or profile recalibrations may move a
+curve by a hair, but a switch point drifting past the tolerance means
+the reproduced figure no longer tells the paper's story and the golden
+file needs a deliberate regeneration (see the module docstring of each
+experiment for what the paper expects).
+"""
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.engine.profiles import HIVE_PROFILE, SPARK_PROFILE
+from repro.experiments import (
+    fig03_operator_switch,
+    fig04_data_switch,
+    fig09_switch_space,
+)
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: Relative tolerance for execution-time curves.
+TIME_RTOL = 1e-6
+
+#: Absolute tolerance (GB) for switch points: one sweep-resolution step.
+SWITCH_ATOL_GB = 0.25
+
+
+def load(name):
+    return json.loads((GOLDEN_DIR / name).read_text())
+
+
+def dec(value):
+    """Golden files encode infinities as the string "inf"."""
+    return math.inf if value == "inf" else value
+
+
+def assert_time_close(actual, golden):
+    golden = dec(golden)
+    if math.isinf(golden):
+        assert math.isinf(actual)
+    else:
+        assert actual == pytest.approx(golden, rel=TIME_RTOL)
+
+
+class TestFig03Golden:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig03_operator_switch.run()
+
+    def test_switch_points(self, result):
+        golden = load("fig03.json")
+        assert result.switch_container_gb() == pytest.approx(
+            golden["switch_container_gb"], abs=1.0
+        )
+        assert (
+            abs(
+                result.switch_container_count()
+                - golden["switch_container_count"]
+            )
+            <= 5
+        )
+
+    @pytest.mark.parametrize(
+        "sweep", ["container_size_sweep", "container_count_sweep"]
+    )
+    def test_time_curves(self, result, sweep):
+        golden = load("fig03.json")[sweep]
+        points = getattr(result, sweep)
+        assert len(points) == len(golden)
+        for point, snap in zip(points, golden):
+            assert point.config.num_containers == snap["num_containers"]
+            assert point.config.container_gb == snap["container_gb"]
+            assert_time_close(point.smj_time_s, snap["smj_time_s"])
+            assert_time_close(point.bhj_time_s, snap["bhj_time_s"])
+
+
+class TestFig04Golden:
+    def test_switch_and_wall_points(self):
+        golden = load("fig04.json")
+        result = fig04_data_switch.run()
+        assert set(result.series) == set(golden)
+        for label, snap in golden.items():
+            series = result.series[label]
+            assert series.switch.switch_gb == pytest.approx(
+                snap["switch_gb"], abs=SWITCH_ATOL_GB
+            )
+            assert series.switch.wall_gb == pytest.approx(
+                snap["wall_gb"], abs=SWITCH_ATOL_GB
+            )
+
+    def test_bigger_containers_move_the_switch_point_out(self):
+        # The paper's Fig 4(a) qualitative claim must survive any refit.
+        golden = load("fig04.json")
+        assert (
+            golden["cs=9GB,nc=10"]["switch_gb"]
+            > golden["cs=3GB,nc=10"]["switch_gb"]
+        )
+
+
+class TestFig09Golden:
+    @pytest.mark.parametrize(
+        "profile", [HIVE_PROFILE, SPARK_PROFILE], ids=lambda p: p.name
+    )
+    def test_switch_curves(self, profile):
+        golden = load("fig09.json")[profile.name]
+        result = fig09_switch_space.run(profile)
+        actual = {
+            f"{nc},{nr if nr is not None else 'default'}": [
+                p.switch_gb for p in points
+            ]
+            for (nc, nr), points in result.curves.items()
+        }
+        assert set(actual) == set(golden)
+        for combo, snapshot in golden.items():
+            assert len(actual[combo]) == len(snapshot)
+            for got, snap in zip(actual[combo], snapshot):
+                assert got == pytest.approx(snap, abs=SWITCH_ATOL_GB)

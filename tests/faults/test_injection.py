@@ -1,0 +1,321 @@
+"""Tests for repro.faults.injection: the fault-aware stage attempt loop.
+
+Uses a scripted fault double (duck-typed: the loop only calls
+``decide``) so every branch of the loop is driven deterministically,
+independent of the hash-derived RNG.
+"""
+
+import math
+
+import pytest
+
+from repro.cluster.containers import ResourceConfiguration
+from repro.engine.joins import JoinAlgorithm, JoinExecution
+from repro.faults.injection import run_stage_with_faults
+from repro.faults.model import (
+    FaultDecision,
+    FaultKind,
+    NO_FAULT,
+    ZERO_FAULTS,
+)
+from repro.faults.recovery import RecoveryPolicy
+
+RC = ResourceConfiguration(num_containers=10, container_gb=4.0)
+GB_PER_S = RC.total_memory_gb  # 40 GB busy per second
+
+
+class ScriptedFaults:
+    """Returns pre-scripted decisions by attempt index."""
+
+    def __init__(self, *decisions):
+        self.decisions = decisions
+        self.calls = []
+
+    def decide(self, stage_key, attempt, oom_pressure=0.0):
+        self.calls.append((stage_key, attempt, oom_pressure))
+        if attempt < len(self.decisions):
+            return self.decisions[attempt]
+        return NO_FAULT
+
+
+def feasible_attempt(time_s=100.0):
+    def run(algorithm, resources):
+        return JoinExecution(
+            algorithm=algorithm,
+            feasible=True,
+            time_s=time_s,
+            num_tasks=resources.num_containers,
+        )
+
+    return run
+
+
+def bhj_walled_attempt(smj_time_s=200.0):
+    """BHJ hits the static OOM wall; SMJ runs fine."""
+
+    def run(algorithm, resources):
+        if algorithm is JoinAlgorithm.BROADCAST_HASH:
+            return JoinExecution(
+                algorithm=algorithm,
+                feasible=False,
+                time_s=math.inf,
+                num_tasks=0,
+            )
+        return JoinExecution(
+            algorithm=algorithm,
+            feasible=True,
+            time_s=smj_time_s,
+            num_tasks=resources.num_containers,
+        )
+
+    return run
+
+
+def no_pressure(algorithm, resources):
+    return 0.0
+
+
+def run_stage(run_attempt, faults=None, recovery=None, **kwargs):
+    return run_stage_with_faults(
+        stage_key="t><t:smj",
+        algorithm=kwargs.pop("algorithm", JoinAlgorithm.SORT_MERGE),
+        resources=kwargs.pop("resources", RC),
+        run_attempt=run_attempt,
+        oom_pressure=kwargs.pop("oom_pressure", no_pressure),
+        faults=faults,
+        recovery=recovery,
+        **kwargs,
+    )
+
+
+class TestCleanPath:
+    def test_clean_success_has_quiet_outcome(self):
+        outcome = run_stage(feasible_attempt(100.0), faults=ZERO_FAULTS)
+        assert outcome.feasible
+        assert outcome.elapsed_s == 100.0
+        assert outcome.gb_seconds == 100.0 * GB_PER_S
+        # Nothing noteworthy: attempts stay empty so zero-fault runs are
+        # bit-identical to fault-free execution.
+        assert outcome.attempts == ()
+        assert outcome.retries == 0
+        assert not outcome.degraded
+        assert outcome.faults_injected == 0
+
+    def test_no_faults_no_recovery(self):
+        outcome = run_stage(feasible_attempt(42.0))
+        assert outcome.feasible
+        assert outcome.elapsed_s == 42.0
+
+
+class TestRetries:
+    def test_preemption_retries_with_backoff(self):
+        faults = ScriptedFaults(
+            FaultDecision(kind=FaultKind.PREEMPTION, fraction=0.5)
+        )
+        policy = RecoveryPolicy(
+            max_retries=3, backoff_base_s=2.0, backoff_factor=2.0
+        )
+        outcome = run_stage(
+            feasible_attempt(100.0), faults=faults, recovery=policy
+        )
+        assert outcome.feasible
+        # 50 s wasted + 2 s backoff + 100 s clean rerun.
+        assert outcome.elapsed_s == pytest.approx(152.0)
+        # Backoff holds no containers: only busy time accrues GB-seconds.
+        assert outcome.gb_seconds == pytest.approx(150.0 * GB_PER_S)
+        assert outcome.retries == 1
+        assert outcome.faults_injected == 1
+        assert [a.succeeded for a in outcome.attempts] == [False, True]
+        assert outcome.attempts[0].backoff_s == 2.0
+
+    def test_retries_never_exceed_cap(self):
+        faults = ScriptedFaults(
+            *(
+                FaultDecision(kind=FaultKind.PREEMPTION, fraction=0.1)
+                for _ in range(10)
+            )
+        )
+        policy = RecoveryPolicy(max_retries=2)
+        outcome = run_stage(
+            feasible_attempt(100.0), faults=faults, recovery=policy
+        )
+        assert not outcome.feasible
+        assert outcome.elapsed_s == math.inf
+        assert outcome.gb_seconds == math.inf
+        assert outcome.retries == 2
+        # Initial attempt + 2 retries, all killed.
+        assert len(outcome.attempts) == 3
+        assert not any(a.succeeded for a in outcome.attempts)
+
+    def test_null_recovery_fails_on_first_kill(self):
+        faults = ScriptedFaults(
+            FaultDecision(kind=FaultKind.PREEMPTION, fraction=0.5)
+        )
+        outcome = run_stage(feasible_attempt(100.0), faults=faults)
+        assert not outcome.feasible
+        assert outcome.retries == 0
+
+
+class TestDegradation:
+    def test_static_oom_wall_degrades_to_smj(self):
+        policy = RecoveryPolicy()
+        outcome = run_stage(
+            bhj_walled_attempt(200.0),
+            algorithm=JoinAlgorithm.BROADCAST_HASH,
+            faults=ZERO_FAULTS,
+            recovery=policy,
+        )
+        assert outcome.feasible
+        assert outcome.degraded
+        assert outcome.algorithm is JoinAlgorithm.SORT_MERGE
+        assert outcome.elapsed_s == 200.0
+        assert outcome.retries == 0  # degradation is a re-plan
+        wall = outcome.attempts[0]
+        assert wall.fault is FaultKind.OOM_KILL
+        assert not wall.injected  # static wall, not injected
+        assert wall.time_s == 0.0
+        assert outcome.faults_injected == 0
+
+    def test_static_oom_wall_without_recovery_is_infeasible(self):
+        outcome = run_stage(
+            bhj_walled_attempt(),
+            algorithm=JoinAlgorithm.BROADCAST_HASH,
+        )
+        assert not outcome.feasible
+        assert outcome.elapsed_s == math.inf
+
+    def test_injected_oom_on_bhj_degrades(self):
+        faults = ScriptedFaults(
+            FaultDecision(kind=FaultKind.OOM_KILL, fraction=0.25)
+        )
+        outcome = run_stage(
+            feasible_attempt(100.0),
+            algorithm=JoinAlgorithm.BROADCAST_HASH,
+            faults=faults,
+            recovery=RecoveryPolicy(),
+        )
+        assert outcome.feasible
+        assert outcome.degraded
+        assert outcome.algorithm is JoinAlgorithm.SORT_MERGE
+        # 25 s wasted BHJ work + 100 s SMJ, no backoff for a re-plan.
+        assert outcome.elapsed_s == pytest.approx(125.0)
+        assert outcome.retries == 0
+        assert outcome.faults_injected == 1
+
+    def test_degradation_replans_resources(self):
+        replanned = ResourceConfiguration(20, 2.0)
+
+        def replan(algorithm):
+            assert algorithm is JoinAlgorithm.SORT_MERGE
+            return replanned
+
+        outcome = run_stage(
+            bhj_walled_attempt(),
+            algorithm=JoinAlgorithm.BROADCAST_HASH,
+            faults=ZERO_FAULTS,
+            recovery=RecoveryPolicy(),
+            replan_on_degrade=replan,
+        )
+        assert outcome.feasible
+        assert outcome.resources == replanned
+
+    def test_injected_oom_on_smj_is_a_retry_not_a_degrade(self):
+        faults = ScriptedFaults(
+            FaultDecision(kind=FaultKind.OOM_KILL, fraction=0.5)
+        )
+        outcome = run_stage(
+            feasible_attempt(100.0),
+            faults=faults,
+            recovery=RecoveryPolicy(max_retries=1),
+        )
+        assert outcome.feasible
+        assert not outcome.degraded
+        assert outcome.retries == 1
+
+    def test_degradation_happens_at_most_once(self):
+        # OOM-kill the BHJ, then OOM-kill the degraded SMJ too: the
+        # second kill must consume the retry budget, not re-degrade.
+        faults = ScriptedFaults(
+            FaultDecision(kind=FaultKind.OOM_KILL, fraction=0.5),
+            FaultDecision(kind=FaultKind.OOM_KILL, fraction=0.5),
+        )
+        outcome = run_stage(
+            feasible_attempt(100.0),
+            algorithm=JoinAlgorithm.BROADCAST_HASH,
+            faults=faults,
+            recovery=RecoveryPolicy(max_retries=2),
+        )
+        assert outcome.feasible
+        assert outcome.degraded
+        assert outcome.retries == 1
+        assert len(outcome.attempts) == 3
+
+
+class TestStragglers:
+    def test_slow_straggler_without_speculation(self):
+        faults = ScriptedFaults(
+            FaultDecision(kind=FaultKind.STRAGGLER, slowdown=1.5)
+        )
+        outcome = run_stage(
+            feasible_attempt(100.0),
+            faults=faults,
+            recovery=RecoveryPolicy(speculative_threshold=2.0),
+        )
+        assert outcome.feasible
+        assert outcome.elapsed_s == pytest.approx(150.0)
+        assert outcome.gb_seconds == pytest.approx(150.0 * GB_PER_S)
+        assert not outcome.speculative
+        assert outcome.faults_injected == 1
+        assert outcome.attempts[0].succeeded
+
+    def test_speculative_copy_beats_bad_straggler(self):
+        faults = ScriptedFaults(
+            FaultDecision(kind=FaultKind.STRAGGLER, slowdown=3.0)
+        )
+        policy = RecoveryPolicy(
+            speculative_threshold=2.0, speculative_launch_fraction=0.5
+        )
+        outcome = run_stage(
+            feasible_attempt(100.0), faults=faults, recovery=policy
+        )
+        assert outcome.feasible
+        assert outcome.speculative
+        # Copy launches at 50 s, finishes at 150 s < the 300 s straggle.
+        assert outcome.elapsed_s == pytest.approx(150.0)
+        # Both copies charged while racing: 150 + (150 - 50) busy secs.
+        assert outcome.gb_seconds == pytest.approx(250.0 * GB_PER_S)
+        assert outcome.attempts[0].speculative
+
+    def test_speculation_never_exceeds_straggler_time(self):
+        faults = ScriptedFaults(
+            FaultDecision(kind=FaultKind.STRAGGLER, slowdown=2.0)
+        )
+        policy = RecoveryPolicy(
+            speculative_threshold=2.0, speculative_launch_fraction=0.9
+        )
+        outcome = run_stage(
+            feasible_attempt(100.0), faults=faults, recovery=policy
+        )
+        # Copy would finish at 190 s; straggler at 200 s: copy wins.
+        assert outcome.elapsed_s == pytest.approx(190.0)
+
+
+class TestDecisionPlumbing:
+    def test_attempt_counter_and_pressure_reach_the_plan(self):
+        faults = ScriptedFaults(
+            FaultDecision(kind=FaultKind.PREEMPTION, fraction=0.5)
+        )
+
+        def pressure(algorithm, resources):
+            return 0.75
+
+        run_stage(
+            feasible_attempt(10.0),
+            faults=faults,
+            recovery=RecoveryPolicy(),
+            oom_pressure=pressure,
+        )
+        assert faults.calls == [
+            ("t><t:smj", 0, 0.75),
+            ("t><t:smj", 1, 0.75),
+        ]

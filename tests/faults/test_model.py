@@ -1,0 +1,251 @@
+"""Tests for repro.faults.model: specs, decisions, and fault plans."""
+
+import pytest
+
+from repro.engine.joins import JoinAlgorithm
+from repro.faults.model import (
+    FaultDecision,
+    FaultError,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    NO_FAULT,
+    ZERO_FAULTS,
+    stage_key_for_join,
+)
+
+
+class TestFaultSpec:
+    def test_defaults_are_zero(self):
+        spec = FaultSpec()
+        assert spec.is_zero
+        assert spec.expected_attempts() == 1.0
+
+    @pytest.mark.parametrize(
+        "field", ["preemption_rate", "oom_rate", "straggler_rate"]
+    )
+    @pytest.mark.parametrize("value", [-0.1, 1.5])
+    def test_rates_must_be_probabilities(self, field, value):
+        with pytest.raises(FaultError):
+            FaultSpec(**{field: value})
+
+    def test_certain_preemption_rejected(self):
+        # A stage preempted with probability 1 can never finish.
+        with pytest.raises(FaultError):
+            FaultSpec(preemption_rate=1.0)
+
+    def test_slowdown_below_one_rejected(self):
+        with pytest.raises(FaultError):
+            FaultSpec(straggler_slowdown=0.5)
+
+    def test_expected_attempts_is_geometric_mean(self):
+        assert FaultSpec(preemption_rate=0.5).expected_attempts() == 2.0
+        assert FaultSpec(
+            preemption_rate=0.2
+        ).expected_attempts() == pytest.approx(1.25)
+
+    def test_round_trip(self):
+        spec = FaultSpec(
+            seed=9,
+            preemption_rate=0.1,
+            oom_rate=0.2,
+            straggler_rate=0.3,
+            straggler_slowdown=4.0,
+        )
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(FaultError):
+            FaultSpec.from_dict({"seed": 1, "crash_rate": 0.5})
+
+    def test_with_seed_keeps_rates(self):
+        spec = FaultSpec(seed=1, oom_rate=0.4)
+        reseeded = spec.with_seed(99)
+        assert reseeded.seed == 99
+        assert reseeded.oom_rate == 0.4
+
+
+class TestFaultSpecParse:
+    def test_full_spec(self):
+        spec = FaultSpec.parse(
+            "seed=7,preempt=0.1,oom=0.2,straggle=0.1,slowdown=4"
+        )
+        assert spec == FaultSpec(
+            seed=7,
+            preemption_rate=0.1,
+            oom_rate=0.2,
+            straggler_rate=0.1,
+            straggler_slowdown=4.0,
+        )
+
+    def test_long_aliases(self):
+        assert FaultSpec.parse(
+            "preemption_rate=0.1,oom_rate=0.2"
+        ) == FaultSpec(preemption_rate=0.1, oom_rate=0.2)
+
+    @pytest.mark.parametrize("text", ["", "none", "  none  "])
+    def test_none_is_zero_spec(self, text):
+        assert FaultSpec.parse(text) == FaultSpec()
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(FaultError, match="unknown fault spec key"):
+            FaultSpec.parse("explode=0.5")
+
+    def test_malformed_item_rejected(self):
+        with pytest.raises(FaultError, match="malformed"):
+            FaultSpec.parse("oom")
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(FaultError, match="bad value"):
+            FaultSpec.parse("oom=lots")
+
+    def test_out_of_range_parsed_rate_rejected(self):
+        with pytest.raises(FaultError):
+            FaultSpec.parse("oom=1.5")
+
+
+class TestFaultDecision:
+    def test_no_fault(self):
+        assert not NO_FAULT.is_fault
+        assert not NO_FAULT.is_kill
+
+    def test_kill_kinds(self):
+        assert FaultDecision(kind=FaultKind.PREEMPTION).is_kill
+        assert FaultDecision(kind=FaultKind.OOM_KILL).is_kill
+        assert not FaultDecision(kind=FaultKind.STRAGGLER).is_kill
+
+
+class TestFaultPlan:
+    def test_zero_plan_never_faults(self):
+        for attempt in range(20):
+            assert (
+                ZERO_FAULTS.decide("k", attempt, oom_pressure=100.0)
+                is NO_FAULT
+            )
+
+    def test_decisions_are_deterministic(self):
+        plan = FaultPlan(
+            FaultSpec(
+                seed=3,
+                preemption_rate=0.3,
+                oom_rate=0.3,
+                straggler_rate=0.3,
+            )
+        )
+        for attempt in range(10):
+            first = plan.decide("stage-a", attempt, oom_pressure=0.5)
+            again = plan.decide("stage-a", attempt, oom_pressure=0.5)
+            assert first == again
+
+    def test_decisions_are_order_independent(self):
+        plan = FaultPlan(
+            FaultSpec(seed=3, preemption_rate=0.4, straggler_rate=0.4)
+        )
+        keys = [f"stage-{i}" for i in range(8)]
+        forward = [plan.decide(key, 0) for key in keys]
+        backward = [plan.decide(key, 0) for key in reversed(keys)]
+        assert forward == list(reversed(backward))
+
+    def test_seed_changes_outcomes(self):
+        spec = FaultSpec(preemption_rate=0.5, straggler_rate=0.4)
+        a = FaultPlan(spec.with_seed(1))
+        b = FaultPlan(spec.with_seed(2))
+        decisions_a = [a.decide(f"s{i}", 0) for i in range(40)]
+        decisions_b = [b.decide(f"s{i}", 0) for i in range(40)]
+        assert decisions_a != decisions_b
+
+    def test_zero_pressure_disables_oom(self):
+        plan = FaultPlan(FaultSpec(seed=5, oom_rate=1.0))
+        for i in range(50):
+            decision = plan.decide(f"s{i}", 0, oom_pressure=0.0)
+            assert decision.kind is not FaultKind.OOM_KILL
+
+    def test_pressure_scales_oom_rate(self):
+        plan = FaultPlan(FaultSpec(seed=5, oom_rate=0.5))
+        kills_low = sum(
+            plan.decide(f"s{i}", 0, oom_pressure=0.1).kind
+            is FaultKind.OOM_KILL
+            for i in range(200)
+        )
+        kills_high = sum(
+            plan.decide(f"s{i}", 0, oom_pressure=2.0).kind
+            is FaultKind.OOM_KILL
+            for i in range(200)
+        )
+        assert kills_low < kills_high
+
+    def test_negative_pressure_rejected(self):
+        plan = FaultPlan(FaultSpec(oom_rate=0.5))
+        with pytest.raises(FaultError):
+            plan.decide("s", 0, oom_pressure=-1.0)
+
+    def test_straggler_slowdown_bounds(self):
+        plan = FaultPlan(
+            FaultSpec(seed=2, straggler_rate=1.0, straggler_slowdown=3.0)
+        )
+        for i in range(100):
+            decision = plan.decide(f"s{i}", 0)
+            assert decision.kind is FaultKind.STRAGGLER
+            assert 2.0 <= decision.slowdown <= 3.0
+
+    def test_kill_fraction_bounds(self):
+        plan = FaultPlan(FaultSpec(seed=2, preemption_rate=0.9))
+        fractions = [
+            d.fraction
+            for d in (plan.decide(f"s{i}", 0) for i in range(100))
+            if d.is_kill
+        ]
+        assert fractions
+        assert all(0.05 <= f <= 0.95 for f in fractions)
+
+    def test_decision_values_are_plain_floats(self):
+        plan = FaultPlan(
+            FaultSpec(seed=1, preemption_rate=0.9, straggler_rate=0.9)
+        )
+        for i in range(20):
+            decision = plan.decide(f"s{i}", 0)
+            assert type(decision.fraction) is float
+            assert type(decision.slowdown) is float
+
+    def test_scoped_plans_draw_independently(self):
+        base = FaultPlan(FaultSpec(seed=4, preemption_rate=0.5))
+        a = base.scoped("q000")
+        b = base.scoped("q001")
+        decisions_a = [a.decide(f"s{i}", 0) for i in range(40)]
+        decisions_b = [b.decide(f"s{i}", 0) for i in range(40)]
+        assert decisions_a != decisions_b
+        # Scoping is itself deterministic.
+        assert decisions_a == [
+            base.scoped("q000").decide(f"s{i}", 0) for i in range(40)
+        ]
+
+    def test_equality_includes_scope(self):
+        base = FaultPlan(FaultSpec(seed=4, oom_rate=0.1))
+        assert base == FaultPlan(FaultSpec(seed=4, oom_rate=0.1))
+        assert base.scoped("x") == base.scoped("x")
+        assert base.scoped("x") != base
+        assert base.scoped("x") != base.scoped("y")
+        assert hash(base.scoped("x")) == hash(base.scoped("x"))
+
+
+class TestStageKey:
+    def test_key_is_order_insensitive_within_sides(self):
+        key = stage_key_for_join(
+            ["orders", "customer"], ["lineitem"], JoinAlgorithm.SORT_MERGE
+        )
+        assert key == stage_key_for_join(
+            ["customer", "orders"], ["lineitem"], JoinAlgorithm.SORT_MERGE
+        )
+        assert key == "customer|orders><lineitem:smj"
+
+    def test_key_distinguishes_algorithm_and_sides(self):
+        smj = stage_key_for_join(
+            ["a"], ["b"], JoinAlgorithm.SORT_MERGE
+        )
+        bhj = stage_key_for_join(
+            ["a"], ["b"], JoinAlgorithm.BROADCAST_HASH
+        )
+        swapped = stage_key_for_join(
+            ["b"], ["a"], JoinAlgorithm.SORT_MERGE
+        )
+        assert len({smj, bhj, swapped}) == 3

@@ -1,0 +1,74 @@
+"""Tests for repro.faults.recovery: the recovery policy layer."""
+
+import math
+
+import pytest
+
+from repro.faults.model import FaultError
+from repro.faults.recovery import DEFAULT_RECOVERY, RecoveryPolicy
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        assert DEFAULT_RECOVERY.max_retries == 3
+        assert DEFAULT_RECOVERY.degrade_bhj_to_smj
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_retries": -1},
+            {"backoff_base_s": -0.1},
+            {"backoff_factor": 0.5},
+            {"backoff_cap_s": -1.0},
+            {"speculative_threshold": 0.9},
+            {"speculative_launch_fraction": 0.0},
+            {"speculative_launch_fraction": 1.5},
+        ],
+    )
+    def test_invalid_fields_rejected(self, kwargs):
+        with pytest.raises(FaultError):
+            RecoveryPolicy(**kwargs)
+
+    def test_speculation_can_be_disabled_with_inf(self):
+        policy = RecoveryPolicy(speculative_threshold=math.inf)
+        assert policy.speculative_threshold == math.inf
+
+
+class TestBackoff:
+    def test_exponential_growth(self):
+        policy = RecoveryPolicy(
+            backoff_base_s=2.0, backoff_factor=2.0, backoff_cap_s=60.0
+        )
+        assert policy.backoff_s(1) == 2.0
+        assert policy.backoff_s(2) == 4.0
+        assert policy.backoff_s(3) == 8.0
+
+    def test_cap_applies(self):
+        policy = RecoveryPolicy(
+            backoff_base_s=10.0, backoff_factor=10.0, backoff_cap_s=50.0
+        )
+        assert policy.backoff_s(1) == 10.0
+        assert policy.backoff_s(2) == 50.0
+        assert policy.backoff_s(9) == 50.0
+
+    def test_retry_must_be_positive(self):
+        with pytest.raises(FaultError):
+            DEFAULT_RECOVERY.backoff_s(0)
+
+
+class TestRoundTrip:
+    def test_round_trip(self):
+        policy = RecoveryPolicy(
+            max_retries=5,
+            backoff_base_s=1.0,
+            backoff_factor=3.0,
+            backoff_cap_s=30.0,
+            degrade_bhj_to_smj=False,
+            speculative_threshold=2.5,
+            speculative_launch_fraction=0.25,
+        )
+        assert RecoveryPolicy.from_dict(policy.to_dict()) == policy
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(FaultError):
+            RecoveryPolicy.from_dict({"max_retries": 1, "jitter": 0.1})

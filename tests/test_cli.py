@@ -97,7 +97,7 @@ class TestFigureCommand:
         expected = {
             "fig01", "fig02", "fig03", "fig04", "fig05", "fig06",
             "fig07", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13",
-            "fig14", "fig15",
+            "fig14", "fig15", "fig16",
         }
         assert set(FIGURE_MODULES) == expected
 
@@ -128,3 +128,72 @@ class TestParser:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestFaultOptions:
+    def test_run_alias_with_faults(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "--query",
+                    "Q3",
+                    "--faults",
+                    "seed=7,preempt=0.2,oom=0.4",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "simulated execution" in out
+        assert "faults:" in out
+        assert "retries" in out
+
+    def test_execute_without_faults_prints_no_fault_line(self, capsys):
+        assert main(["execute", "--query", "Q3", "--baseline"]) == 0
+        assert "faults:" not in capsys.readouterr().out
+
+    def test_max_retries_alone_enables_recovery(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "--query",
+                    "Q3",
+                    "--baseline",
+                    "--max-retries",
+                    "0",
+                ]
+            )
+            == 0
+        )
+        assert "faults: 0 injected" in capsys.readouterr().out
+
+    def test_workload_with_faults_is_deterministic(self, capsys):
+        import re
+
+        def strip_wall_time(out):
+            # Planner wall time varies run to run; the simulated
+            # numbers (and fault counters) must not.
+            return re.sub(r"planning\s+[\d.,]+ ms", "planning -", out)
+
+        argv = [
+            "workload",
+            "--num-queries",
+            "3",
+            "--faults",
+            "seed=1,oom=0.3,preempt=0.15",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert strip_wall_time(second) == strip_wall_time(first)
+        assert "faults:" in first
+
+    def test_invalid_fault_spec_is_a_usage_error(self):
+        with pytest.raises(SystemExit, match="invalid --faults spec"):
+            main(["run", "--query", "Q3", "--faults", "explode=1"])
+
+    def test_fig16_is_registered(self):
+        assert "fig16" in FIGURE_MODULES

@@ -108,3 +108,61 @@ class TestFileHelpers:
         save_json(plan_to_dict(plan), path)
         rebuilt = plan_from_dict(load_json(path))
         assert plan_signature(rebuilt) == plan_signature(plan)
+
+
+class TestFaultArtifacts:
+    def test_fault_spec_round_trip(self):
+        from repro.faults.model import FaultSpec
+        from repro.serialization import (
+            fault_spec_from_dict,
+            fault_spec_to_dict,
+        )
+
+        spec = FaultSpec(
+            seed=7,
+            preemption_rate=0.1,
+            oom_rate=0.2,
+            straggler_rate=0.3,
+            straggler_slowdown=4.0,
+        )
+        assert fault_spec_from_dict(fault_spec_to_dict(spec)) == spec
+
+    def test_fault_spec_payload_is_json_safe(self):
+        import json
+
+        from repro.faults.model import FaultSpec
+        from repro.serialization import fault_spec_to_dict
+
+        payload = fault_spec_to_dict(FaultSpec(seed=1, oom_rate=0.5))
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_bad_fault_spec_payload_rejected(self):
+        from repro.serialization import fault_spec_from_dict
+
+        with pytest.raises(SerializationError):
+            fault_spec_from_dict({"seed": 1, "oom_rate": 2.0})
+        with pytest.raises(SerializationError):
+            fault_spec_from_dict({"surprise": True})
+
+    def test_recovery_policy_round_trip(self):
+        from repro.faults.recovery import RecoveryPolicy
+        from repro.serialization import (
+            recovery_policy_from_dict,
+            recovery_policy_to_dict,
+        )
+
+        policy = RecoveryPolicy(
+            max_retries=5,
+            backoff_base_s=1.5,
+            degrade_bhj_to_smj=False,
+        )
+        assert (
+            recovery_policy_from_dict(recovery_policy_to_dict(policy))
+            == policy
+        )
+
+    def test_bad_recovery_policy_rejected(self):
+        from repro.serialization import recovery_policy_from_dict
+
+        with pytest.raises(SerializationError):
+            recovery_policy_from_dict({"max_retries": -3})

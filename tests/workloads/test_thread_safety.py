@@ -131,3 +131,50 @@ class TestCloneIsolationUnderStress:
         ).run(workload, "baseline")
         assert _strip_timing(report_a) == _strip_timing(solo_a)
         assert _strip_timing(report_b) == _strip_timing(solo_b)
+
+
+class TestFaultDeterminism:
+    """The fault subsystem's parallel-determinism acceptance criterion:
+    with faults enabled, same-seed runs are bit-identical across the
+    serial and the parallel runner (fault decisions are pure functions
+    of (seed, scope, stage, attempt), never of execution order)."""
+
+    @pytest.fixture(scope="class")
+    def faults(self):
+        from repro.faults.model import FaultPlan, FaultSpec
+
+        return FaultPlan(
+            FaultSpec(
+                seed=13,
+                preemption_rate=0.2,
+                oom_rate=0.4,
+                straggler_rate=0.2,
+            )
+        )
+
+    def test_parallel_runs_with_faults_are_reproducible(
+        self, catalog, workload, faults
+    ):
+        runner = WorkloadRunner(
+            RaqoPlanner.default(catalog), faults=faults
+        )
+        reports = [
+            runner.run(workload, max_workers=8) for _ in range(2)
+        ]
+        assert _strip_timing(reports[0]) == _strip_timing(reports[1])
+
+    def test_serial_and_parallel_reports_are_identical(
+        self, catalog, workload, faults
+    ):
+        serial = WorkloadRunner(
+            RaqoPlanner.default(catalog), faults=faults
+        ).run(workload, max_workers=1)
+        parallel = WorkloadRunner(
+            RaqoPlanner.default(catalog), faults=faults
+        ).run(workload, max_workers=6)
+        assert _strip_timing(serial) == _strip_timing(parallel)
+        # The runs really injected something (the test is not vacuous).
+        assert serial.total_faults_injected > 0
+        assert serial.total_faults_injected == (
+            parallel.total_faults_injected
+        )
