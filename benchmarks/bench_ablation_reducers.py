@@ -21,7 +21,9 @@ def _sweep():
     for ss in (1.0, 3.0, 6.0):
         for nc in (5, 10, 40):
             for cs in (2.0, 6.0):
-                config = ResourceConfiguration(nc, cs)
+                config = ResourceConfiguration(
+                    num_containers=nc, container_gb=cs
+                )
                 plan = plan_reducers(ss, 77.0, config, HIVE_PROFILE)
                 rows.append(
                     (

@@ -35,7 +35,7 @@ def _climb_from_everywhere():
 
     starts = {
         "minimum": CLUSTER.minimum_configuration,
-        "middle": ResourceConfiguration(50, 5.0),
+        "middle": ResourceConfiguration(num_containers=50, container_gb=5.0),
         "maximum": CLUSTER.maximum_configuration,
     }
     rows = []

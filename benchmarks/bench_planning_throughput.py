@@ -147,6 +147,53 @@ def bench_subplan_throughput(queries, repeats):
     return results
 
 
+def assert_overhead(max_drop_pct, baseline_path, repeats):
+    """Gate: fresh memoized throughput vs the checked-in baseline.
+
+    Replays the *baseline's own query set* through the memoized planner
+    variant (the production fast path, null tracer) and fails when the
+    fresh ``sub_plans_per_s`` rate falls more than ``max_drop_pct``
+    percent below the recorded one.  This is the observability layer's
+    overhead budget: instrumentation behind the null tracer must stay
+    within the noise floor of the planning hot path.
+    """
+    baseline = json.loads(Path(baseline_path).read_text())
+    recorded = baseline["subplan_throughput"]["memoized"][
+        "sub_plans_per_s"
+    ]
+    by_name = {q.name: q for q in tpch.EVALUATION_QUERIES}
+    queries = [by_name[name] for name in baseline["queries"]]
+    catalog = tpch.tpch_catalog(100)
+    planner = RaqoPlanner(
+        catalog,
+        resource_method=ResourcePlanningMethod.BRUTE_FORCE,
+        **PLANNER_VARIANTS["memoized"],
+    )
+
+    def plan_all():
+        return [planner.optimize(query) for query in queries]
+
+    outcomes = plan_all()  # warm model caches before timing
+    best_s, _ = _time_repeats(plan_all, repeats)
+    sub_plans = sum(o.counters.join_costings for o in outcomes)
+    fresh = sub_plans / best_s
+    floor = recorded * (1.0 - max_drop_pct / 100.0)
+    drop_pct = (1.0 - fresh / recorded) * 100.0
+    print(
+        f"overhead gate: fresh {fresh:,.0f} sub-plans/s vs baseline "
+        f"{recorded:,.0f}/s ({drop_pct:+.1f}% drop, budget "
+        f"{max_drop_pct:.1f}%)"
+    )
+    if fresh < floor:
+        print(
+            f"FAIL: memoized planning throughput fell below "
+            f"{floor:,.0f} sub-plans/s"
+        )
+        return 1
+    print("OK: within the overhead budget")
+    return 0
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -160,7 +207,29 @@ def main(argv=None):
         default=REPO_ROOT / "BENCH_planning.json",
         help="where to write the JSON report",
     )
+    parser.add_argument(
+        "--assert-overhead",
+        type=float,
+        metavar="PCT",
+        default=None,
+        help=(
+            "instead of the full benchmark, replay the baseline's "
+            "query set through the memoized planner and fail when "
+            "throughput drops more than PCT percent below it"
+        ),
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=REPO_ROOT / "BENCH_planning.json",
+        help="baseline JSON for --assert-overhead",
+    )
     args = parser.parse_args(argv)
+    if args.assert_overhead is not None:
+        repeats = 3 if args.quick else 10
+        return assert_overhead(
+            args.assert_overhead, args.baseline, repeats
+        )
     repeats = 3 if args.quick else 10
     queries = (
         [tpch.QUERY_Q3]

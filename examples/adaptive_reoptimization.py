@@ -36,9 +36,9 @@ def available_envelopes() -> list:
         f"over {finish / 3600:.1f} h, {len(records)} jobs"
     )
     return [
-        ("quiet cluster", ClusterConditions(100, 10.0)),
-        ("busy cluster", ClusterConditions(40, 6.0)),
-        ("contended cluster", ClusterConditions(12, 2.0)),
+        ("quiet cluster", ClusterConditions(max_containers=100, max_container_gb=10.0)),
+        ("busy cluster", ClusterConditions(max_containers=40, max_container_gb=6.0)),
+        ("contended cluster", ClusterConditions(max_containers=12, max_container_gb=2.0)),
     ]
 
 

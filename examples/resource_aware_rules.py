@@ -52,10 +52,10 @@ def main() -> None:
     print("\nexecution with each rule (customer |><| orders |><| lineitem):")
     print(f"{'resources':>14} {'default rule':>14} {'RAQO rule':>12}")
     for config in (
-        ResourceConfiguration(10, 3.0),
-        ResourceConfiguration(10, 9.0),
-        ResourceConfiguration(40, 3.0),
-        ResourceConfiguration(5, 10.0),
+        ResourceConfiguration(num_containers=10, container_gb=3.0),
+        ResourceConfiguration(num_containers=10, container_gb=9.0),
+        ResourceConfiguration(num_containers=40, container_gb=3.0),
+        ResourceConfiguration(num_containers=5, container_gb=10.0),
     ):
         rows = []
         for rule in (default_rule, raqo_rule):

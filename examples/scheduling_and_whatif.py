@@ -51,9 +51,9 @@ def main() -> None:
     # --- 2. robust plan across envelopes ---
     planner = RaqoPlanner.default(catalog)
     scenarios = (
-        ClusterConditions(100, 10.0),
-        ClusterConditions(25, 5.0),
-        ClusterConditions(8, 2.0),
+        ClusterConditions(max_containers=100, max_container_gb=10.0),
+        ClusterConditions(max_containers=25, max_container_gb=5.0),
+        ClusterConditions(max_containers=8, max_container_gb=2.0),
     )
     choice = robust_plan(
         planner,

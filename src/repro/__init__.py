@@ -19,28 +19,35 @@ The package is organised bottom-up:
   RAQO decision trees, and the joint RAQO planner.
 - :mod:`repro.experiments` -- one driver per figure in the paper.
 
-Quickstart::
+Quickstart (the stable facade, see :mod:`repro.api`)::
 
-    from repro import tpch
-    from repro.core.raqo import RaqoPlanner
+    from repro import RaqoSession
 
-    catalog = tpch.tpch_catalog(scale_factor=100)
-    planner = RaqoPlanner.default(catalog)
-    result = planner.optimize(tpch.QUERY_Q3)
-    print(result.plan.explain())
+    session = RaqoSession(scale_factor=100)
+    result = session.run("Q3")
+    print(result.planning.plan.explain())
+    print(f"simulated: {result.simulated_time_s:.1f} s")
+
+The deeper modules remain importable (``repro.core.raqo`` and friends),
+but :class:`~repro.api.RaqoSession` is the supported public surface.
 """
 
+from repro.api import RaqoSession, RunResult
 from repro.catalog import tpch
 from repro.catalog.queries import Query
 from repro.cluster.cluster import ClusterConditions
 from repro.cluster.containers import ResourceConfiguration
 from repro.core.raqo import RaqoPlanner
+from repro.obs.tracing import Tracer
 
 __all__ = [
     "ClusterConditions",
     "Query",
     "RaqoPlanner",
+    "RaqoSession",
     "ResourceConfiguration",
+    "RunResult",
+    "Tracer",
     "tpch",
 ]
 

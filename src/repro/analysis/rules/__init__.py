@@ -9,10 +9,12 @@ registry (see :func:`repro.analysis.framework.register_rule`):
 - :mod:`safety` -- RAQO005 shared-mutable-state, RAQO006
   mutable-default-arg;
 - :mod:`plan_shape` -- RAQO007 positional-dimension-index;
-- :mod:`typing_gate` -- RAQO008 untyped-public-api.
+- :mod:`typing_gate` -- RAQO008 untyped-public-api;
+- :mod:`api_compat` -- RAQO009 positional-resource-axes.
 """
 
 from repro.analysis.rules import (  # noqa: F401  (registration imports)
+    api_compat,
     comparisons,
     determinism,
     plan_shape,
@@ -21,6 +23,7 @@ from repro.analysis.rules import (  # noqa: F401  (registration imports)
 )
 
 __all__ = [
+    "api_compat",
     "comparisons",
     "determinism",
     "plan_shape",

@@ -1,0 +1,72 @@
+"""RAQO009 positional-resource-axes: axis constructors take keywords.
+
+The resource axes of the public constructors --
+``ResourceConfiguration(num_containers=, container_gb=)`` and
+``ClusterConditions(max_containers=, max_container_gb=, ...)`` -- are
+keyword-only in the public API: ``(10, 4.0)`` silently transposes if
+the axis order ever changes, ``num_containers=10, container_gb=4.0``
+cannot.  The constructors keep a one-release positional shim (emitting
+:class:`DeprecationWarning`) for downstream callers; this pass keeps
+the source tree itself off the shim so the deprecation can complete.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.framework import (
+    AnalysisSession,
+    Finding,
+    ModuleInfo,
+    Rule,
+    register_rule,
+)
+from repro.analysis.rules._ast_utils import dotted_name
+
+#: Public constructors whose axes must be passed by keyword.
+_AXIS_CONSTRUCTORS = frozenset(
+    {"ResourceConfiguration", "ClusterConditions"}
+)
+
+
+@register_rule
+class PositionalResourceAxesRule(Rule):
+    """RAQO009: no positional arguments to axis constructors."""
+
+    id = "RAQO009"
+    name = "positional-resource-axes"
+    description = (
+        "ResourceConfiguration and ClusterConditions take their "
+        "resource axes as keywords (num_containers=, container_gb=, "
+        "max_containers=, ...); positional axes are deprecated and "
+        "transpose silently if the axis order changes"
+    )
+
+    def check(
+        self, info: ModuleInfo, session: AnalysisSession
+    ) -> Iterator[Finding]:
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            if name.rsplit(".", 1)[-1] not in _AXIS_CONSTRUCTORS:
+                continue
+            positional = [
+                arg
+                for arg in node.args
+                if not isinstance(arg, ast.Starred)
+            ]
+            if not positional and not any(
+                isinstance(arg, ast.Starred) for arg in node.args
+            ):
+                continue
+            yield self.finding(
+                info,
+                node,
+                f"positional resource axes in "
+                f"{name.rsplit('.', 1)[-1]}(...); pass every axis "
+                "by keyword (the positional shim is deprecated)",
+            )

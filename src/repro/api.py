@@ -1,0 +1,379 @@
+"""The stable public facade: one session object over the whole stack.
+
+Everything the CLI, the experiment drivers, and downstream users need --
+planning, simulated execution, workloads, explanations, tracing, and
+metrics -- hangs off one :class:`RaqoSession`::
+
+    from repro.api import RaqoSession
+
+    session = RaqoSession(scale_factor=100)
+    result = session.run("Q3")
+    print(result.planning.plan.explain())
+    print(result.execution.time_s)
+
+The session owns a :class:`~repro.obs.metrics.MetricsRegistry` and
+(optionally) a :class:`~repro.obs.tracing.Tracer`; every call records
+the paper's headline counters (resource iterations, cache behaviour,
+fault recovery) plus a per-operator predicted-vs-simulated cost-error
+histogram, and the recorded spans export to Chrome trace / JSONL via
+:meth:`RaqoSession.write_trace` and friends.
+
+Compatibility contract: the names exported here (see ``__all__``) are
+the supported surface.  Deeper imports (``repro.core.raqo`` etc.) keep
+working but may reorganise between releases; this module will not.
+"""
+
+from __future__ import annotations
+
+import math
+import types
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.catalog import tpch
+from repro.catalog.queries import Query
+from repro.catalog.schema import Catalog
+from repro.cluster.cluster import ClusterConditions
+from repro.cluster.containers import ResourceConfiguration
+from repro.core.explain import explain as _explain
+from repro.core.raqo import (
+    DEFAULT_QO_RESOURCES,
+    PlannerKind,
+    RaqoPlanner,
+    ResourcePlanningMethod,
+)
+from repro.engine.executor import ExecutionResult, execute_plan
+from repro.engine.profiles import EngineProfile, HIVE_PROFILE
+from repro.faults.model import FaultPlan, FaultSpec
+from repro.faults.recovery import DEFAULT_RECOVERY, RecoveryPolicy
+from repro.obs.export import (
+    export_spans_jsonl,
+    render_text_report,
+    write_chrome_trace,
+    write_trace_dir,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import NULL_TRACER, Tracer
+from repro.planner.cost_interface import PlanningResult
+from repro.workloads.runner import WorkloadReport, WorkloadRunner
+
+__all__ = [
+    "QueryLike",
+    "RaqoSession",
+    "RunResult",
+]
+
+#: Queries are accepted as objects or as TPC-H evaluation-query names.
+QueryLike = Union[Query, str]
+
+#: Fault injection is accepted pre-built or as a ``key=value`` spec
+#: string (the CLI's ``--faults`` format).
+FaultsLike = Union[FaultPlan, FaultSpec, str]
+
+_TPCH_QUERIES = types.MappingProxyType(
+    {q.name: q for q in tpch.EVALUATION_QUERIES}
+)
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Planning plus simulated execution for one query."""
+
+    planning: PlanningResult
+    execution: ExecutionResult
+
+    @property
+    def query(self) -> Query:
+        """The optimized query."""
+        return self.planning.query
+
+    @property
+    def predicted_time_s(self) -> float:
+        """The optimizer's predicted execution time."""
+        return self.planning.cost.time_s
+
+    @property
+    def simulated_time_s(self) -> float:
+        """What the engine simulator actually charged."""
+        return self.execution.time_s
+
+    @property
+    def prediction_error(self) -> float:
+        """Relative cost-model error, ``|predicted - simulated| /
+        simulated`` (``inf`` when the run never finished)."""
+        if (
+            not math.isfinite(self.simulated_time_s)
+            or self.simulated_time_s <= 0.0
+            or not math.isfinite(self.predicted_time_s)
+        ):
+            return math.inf
+        return (
+            abs(self.predicted_time_s - self.simulated_time_s)
+            / self.simulated_time_s
+        )
+
+
+class RaqoSession:
+    """The one-object entry point to the RAQO reproduction.
+
+    ``catalog``, ``profile``, and ``cluster`` configure the world the
+    session plans against (defaults: TPC-H at ``scale_factor``, the
+    Hive profile, the paper's 100 x 10 GB cluster); everything else is
+    keyword-only.  Pass a :class:`~repro.obs.tracing.Tracer` to record
+    spans for every call made through the session -- the same tracer is
+    shared with planner clones, so parallel workloads land in one trace.
+    """
+
+    def __init__(
+        self,
+        catalog: Optional[Catalog] = None,
+        profile: EngineProfile = HIVE_PROFILE,
+        cluster: Optional[ClusterConditions] = None,
+        *,
+        seed: int = 0,
+        tracer: Optional[Tracer] = None,
+        scale_factor: float = 100.0,
+        planner: PlannerKind = PlannerKind.SELINGER,
+        resource_method: ResourcePlanningMethod = (
+            ResourcePlanningMethod.HILL_CLIMB
+        ),
+        resource_aware: bool = True,
+        money_weight: float = 0.0,
+        default_resources: ResourceConfiguration = DEFAULT_QO_RESOURCES,
+    ) -> None:
+        self.catalog = (
+            catalog
+            if catalog is not None
+            else tpch.tpch_catalog(scale_factor)
+        )
+        self.profile = profile
+        self.seed = seed
+        self.tracer: Tracer = (
+            tracer if tracer is not None else NULL_TRACER
+        )
+        self.metrics = MetricsRegistry()
+        self.default_resources = default_resources
+        planner_kwargs = dict(
+            planner_kind=planner,
+            resource_method=resource_method,
+            resource_aware=resource_aware,
+            money_weight=money_weight,
+            default_resources=default_resources,
+            seed=seed,
+            tracer=self.tracer,
+        )
+        if cluster is not None:
+            planner_kwargs["cluster"] = cluster
+        self.planner = RaqoPlanner(self.catalog, **planner_kwargs)
+        self.cluster = self.planner.cluster
+
+    # -- query resolution --------------------------------------------------
+
+    def resolve_query(self, query: QueryLike) -> Query:
+        """Accept a :class:`Query` or a TPC-H evaluation-query name."""
+        if isinstance(query, Query):
+            return query
+        try:
+            return _TPCH_QUERIES[query]
+        except KeyError:
+            known = ", ".join(sorted(_TPCH_QUERIES))
+            raise KeyError(
+                f"unknown query {query!r}; TPC-H evaluation queries "
+                f"are: {known}"
+            ) from None
+
+    def _resolve_faults(
+        self, faults: Optional[FaultsLike]
+    ) -> Optional[FaultPlan]:
+        if faults is None or isinstance(faults, FaultPlan):
+            return faults
+        if isinstance(faults, FaultSpec):
+            return FaultPlan(faults)
+        return FaultPlan(FaultSpec.parse(faults))
+
+    # -- the four verbs ----------------------------------------------------
+
+    def plan(self, query: QueryLike) -> PlanningResult:
+        """Jointly optimize one query; records planning metrics."""
+        result = self.planner.optimize(self.resolve_query(query))
+        self._record_planning(result)
+        return result
+
+    def run(
+        self,
+        query: QueryLike,
+        *,
+        faults: Optional[FaultsLike] = None,
+        recovery: Optional[RecoveryPolicy] = None,
+    ) -> RunResult:
+        """Optimize and simulate one query end to end.
+
+        ``faults`` turns on deterministic fault injection (accepts a
+        plan, a spec, or the CLI's ``"seed=7,oom=0.2"`` string); the
+        default recovery policy applies whenever faults are injected.
+        """
+        planning = self.plan(query)
+        fault_plan = self._resolve_faults(faults)
+        if recovery is None and fault_plan is not None:
+            recovery = DEFAULT_RECOVERY
+        execution = execute_plan(
+            planning.plan,
+            self.planner.estimator,
+            self.profile,
+            default_resources=self.default_resources,
+            faults=fault_plan,
+            recovery=recovery,
+            tracer=self.tracer,
+        )
+        self._record_execution(execution)
+        return RunResult(planning=planning, execution=execution)
+
+    def workload(
+        self,
+        queries: Sequence[QueryLike],
+        *,
+        parallel: int = 1,
+        label: str = "workload",
+        faults: Optional[FaultsLike] = None,
+        recovery: Optional[RecoveryPolicy] = None,
+    ) -> WorkloadReport:
+        """Plan and simulate a batch of queries (optionally threaded)."""
+        resolved = [self.resolve_query(q) for q in queries]
+        fault_plan = self._resolve_faults(faults)
+        if recovery is None and fault_plan is not None:
+            recovery = DEFAULT_RECOVERY
+        runner = WorkloadRunner(
+            self.planner,
+            self.profile,
+            default_resources=self.default_resources,
+            faults=fault_plan,
+            recovery=recovery,
+        )
+        report = runner.run(resolved, label=label, max_workers=parallel)
+        self._record_workload(report)
+        return report
+
+    def explain(self, query: QueryLike) -> str:
+        """Optimize and render the full joint-plan explanation."""
+        return _explain(self.planner, self.resolve_query(query))
+
+    # -- metrics -----------------------------------------------------------
+
+    def _record_planning(self, result: PlanningResult) -> None:
+        counters = result.counters
+        self.metrics.increment_many(
+            {
+                "planning.queries": 1,
+                "planning.resource_iterations": (
+                    counters.resource_iterations
+                ),
+                "planning.join_costings": counters.join_costings,
+                "planning.cache_hits": counters.cache_hits,
+                "planning.cache_misses": counters.cache_misses,
+                "planning.memo_hits": counters.memo_hits,
+            }
+        )
+        self.metrics.histogram("planning.wall_ms").observe(
+            result.wall_time_s * 1000.0
+        )
+
+    def _record_execution(self, execution: ExecutionResult) -> None:
+        self.metrics.increment_many(
+            {
+                "execution.runs": 1,
+                "execution.retries": execution.retries,
+                "execution.faults_injected": execution.faults_injected,
+                "execution.degraded_stages": execution.degraded_stages,
+                "execution.speculative_stages": (
+                    execution.speculative_stages
+                ),
+                "execution.infeasible": (
+                    0 if execution.feasible else 1
+                ),
+            }
+        )
+        if execution.feasible:
+            self.metrics.histogram("execution.time_s").observe(
+                execution.time_s
+            )
+        self._record_cost_errors(execution)
+
+    def _record_cost_errors(self, execution: ExecutionResult) -> None:
+        """Per-operator predicted-vs-simulated relative time error."""
+        histogram = self.metrics.histogram("execution.cost_error_rel")
+        model = self.planner.cost_model
+        estimator = self.planner.estimator
+        for report in execution.joins:
+            if not report.feasible or report.time_s <= 0.0:
+                continue
+            small_gb, large_gb = estimator.join_io_gb(
+                report.left_tables, report.right_tables
+            )
+            predicted = model.predict_time(
+                report.algorithm, small_gb, large_gb, report.resources
+            )
+            if not math.isfinite(predicted):
+                continue
+            histogram.observe(
+                abs(predicted - report.time_s) / report.time_s
+            )
+
+    def _record_workload(self, report: WorkloadReport) -> None:
+        self.metrics.increment_many(
+            {
+                "workload.batches": 1,
+                "workload.queries": len(report.outcomes),
+                "workload.infeasible": report.infeasible_queries,
+                "execution.retries": report.total_retries,
+                "execution.faults_injected": (
+                    report.total_faults_injected
+                ),
+                "execution.degraded_stages": (
+                    report.total_degraded_stages
+                ),
+                "planning.resource_iterations": (
+                    report.total_resource_iterations
+                ),
+                "planning.cache_hits": report.cache_hit_total,
+            }
+        )
+        for outcome in report.outcomes:
+            if outcome.executed_feasible and math.isfinite(
+                outcome.executed_time_s
+            ):
+                self.metrics.histogram("execution.time_s").observe(
+                    outcome.executed_time_s
+                )
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """The registry's deterministic, JSON-ready snapshot."""
+        return self.metrics.snapshot()
+
+    # -- trace export ------------------------------------------------------
+
+    def write_trace(self, path: Union[str, Path]) -> Path:
+        """Write the recorded spans as Chrome ``trace_event`` JSON."""
+        destination = Path(path)
+        write_chrome_trace(self.tracer, destination, metrics=self.metrics)
+        return destination
+
+    def write_spans(self, path: Union[str, Path]) -> int:
+        """Write the recorded spans as JSONL; returns the span count."""
+        return export_spans_jsonl(self.tracer, path)
+
+    def write_trace_dir(
+        self, directory: Union[str, Path], title: str = "raqo session"
+    ) -> Dict[str, Path]:
+        """Write trace.json + spans.jsonl + report.txt + metrics.json."""
+        return write_trace_dir(
+            self.tracer, directory, metrics=self.metrics, title=title
+        )
+
+    def report(self) -> str:
+        """Plain-text span tree plus the metrics summary."""
+        lines: List[str] = [render_text_report(self.tracer)]
+        rendered = self.metrics.render_text()
+        if rendered:
+            lines.extend(["", rendered])
+        return "\n".join(lines)

@@ -26,10 +26,11 @@ Examples::
     python -m repro plan --query All --planner fast_randomized
     python -m repro execute --query Q2 --containers 40 --container-gb 6
     python -m repro run --query Q3 --faults "seed=7,preempt=0.1,oom=0.3"
+    python -m repro run --query Q3 --trace out.json --metrics
     python -m repro workload --num-queries 20 --faults oom=0.2,seed=1
     python -m repro figure fig03
     python -m repro trees --engine spark
-    python -m repro workload --num-queries 20 --parallel 4
+    python -m repro workload --num-queries 20 --parallel 4 --trace-dir t/
     python -m repro lint src --plans
 """
 
@@ -44,16 +45,16 @@ from typing import List, Optional, TYPE_CHECKING, Tuple
 if TYPE_CHECKING:
     from repro.faults import FaultPlan, RecoveryPolicy
 
+from repro.api import RaqoSession
 from repro.catalog import tpch
 from repro.cluster.cluster import ClusterConditions
 from repro.core.raqo import (
-    DEFAULT_QO_RESOURCES,
     PlannerKind,
     RaqoPlanner,
     ResourcePlanningMethod,
 )
-from repro.engine.executor import execute_plan
 from repro.engine.profiles import HIVE_PROFILE, SPARK_PROFILE
+from repro.obs.tracing import Tracer
 
 #: Figure-name -> experiments module (each exposes ``main()``).
 FIGURE_MODULES = {
@@ -95,6 +96,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_common(execute)
     _add_fault_options(execute)
+    _add_trace_options(execute)
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument(
@@ -135,6 +137,15 @@ def _build_parser() -> argparse.ArgumentParser:
         default=1,
         metavar="WORKERS",
         help="plan queries concurrently on this many workers",
+    )
+    workload.add_argument(
+        "--trace-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "record spans and write the full export bundle "
+            "(trace.json, spans.jsonl, report.txt, metrics.json) here"
+        ),
     )
     _add_fault_options(workload)
 
@@ -193,6 +204,27 @@ def _add_fault_options(parser: argparse.ArgumentParser) -> None:
         default=None,
         metavar="N",
         help="recovery policy: retries per stage (default 3)",
+    )
+
+
+def _add_trace_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a Chrome trace_event JSON timeline here "
+        "(loads in Perfetto / chrome://tracing)",
+    )
+    parser.add_argument(
+        "--spans",
+        metavar="PATH",
+        default=None,
+        help="write the recorded spans as JSONL here",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the session's metrics summary after the run",
     )
 
 
@@ -274,26 +306,54 @@ def _add_planner_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _make_planner(args: argparse.Namespace) -> RaqoPlanner:
-    catalog = tpch.tpch_catalog(args.scale_factor)
+def _make_session(
+    args: argparse.Namespace, seed: int = 0
+) -> RaqoSession:
+    """Build the facade session the CLI flags describe.
+
+    A tracer is attached only when an export flag asks for one, so
+    untraced invocations keep the null-tracer fast path.
+    """
     cluster = ClusterConditions(
         max_containers=args.containers,
         max_container_gb=args.container_gb,
     )
-    return RaqoPlanner(
-        catalog,
+    wants_trace = bool(
+        getattr(args, "trace", None)
+        or getattr(args, "spans", None)
+        or getattr(args, "metrics", False)
+        or getattr(args, "trace_dir", None)
+    )
+    return RaqoSession(
         cluster=cluster,
-        planner_kind=PlannerKind(args.planner),
+        seed=seed,
+        scale_factor=args.scale_factor,
+        planner=PlannerKind(args.planner),
         resource_method=ResourcePlanningMethod(args.resource_method),
         resource_aware=not args.baseline,
+        tracer=Tracer(seed=seed) if wants_trace else None,
     )
+
+
+def _export_trace(session: RaqoSession, args: argparse.Namespace) -> None:
+    """Honour the --trace/--spans/--metrics export flags."""
+    if getattr(args, "trace", None):
+        session.write_trace(args.trace)
+        print(f"trace written: {args.trace} (open in Perfetto)")
+    if getattr(args, "spans", None):
+        count = session.write_spans(args.spans)
+        print(f"spans written: {args.spans} ({count} spans)")
+    if getattr(args, "metrics", False):
+        print()
+        print(session.metrics.render_text("session metrics"))
 
 
 def _cmd_plan(args: argparse.Namespace) -> int:
     from repro.analysis.plan_checks import validate_plan
 
-    planner = _make_planner(args)
-    result = planner.optimize(_QUERIES[args.query])
+    session = _make_session(args)
+    planner = session.planner
+    result = session.plan(args.query)
     # Every emitted plan passes the runtime well-formedness checker
     # before it is shown (tree shape, arity, by-name resource bounds).
     validate_plan(
@@ -313,19 +373,13 @@ def _cmd_plan(args: argparse.Namespace) -> int:
 
 
 def _cmd_execute(args: argparse.Namespace) -> int:
-    planner = _make_planner(args)
-    query = _QUERIES[args.query]
+    session = _make_session(args)
     faults, recovery = _make_faults(args)
-    result = planner.optimize(query)
-    run = execute_plan(
-        result.plan,
-        planner.estimator,
-        HIVE_PROFILE,
-        default_resources=DEFAULT_QO_RESOURCES,
-        faults=faults,
-        recovery=recovery,
+    result = session.run(
+        args.query, faults=faults, recovery=recovery
     )
-    print(result.plan.explain())
+    run = result.execution
+    print(result.planning.plan.explain())
     print(
         f"simulated execution: {run.time_s:.1f} s | "
         f"{run.tb_seconds:.2f} TB*s | ${run.dollars:.3f}"
@@ -339,22 +393,20 @@ def _cmd_execute(args: argparse.Namespace) -> int:
             f"{'feasible' if run.feasible else 'FAILED'}"
         )
     if not args.baseline:
-        baseline = RaqoPlanner.two_step_baseline(
-            planner.catalog, cluster=planner.cluster
+        baseline = RaqoSession(
+            session.catalog,
+            cluster=session.cluster,
+            resource_aware=False,
         )
-        baseline_run = execute_plan(
-            baseline.optimize(query).plan,
-            planner.estimator,
-            HIVE_PROFILE,
-            default_resources=DEFAULT_QO_RESOURCES,
-            faults=faults,
-            recovery=recovery,
-        )
+        baseline_run = baseline.run(
+            args.query, faults=faults, recovery=recovery
+        ).execution
         speedup = baseline_run.time_s / run.time_s
         print(
             f"two-step baseline: {baseline_run.time_s:.1f} s "
             f"(RAQO speedup {speedup:.2f}x)"
         )
+    _export_trace(session, args)
     return 0
 
 
@@ -362,24 +414,23 @@ def _cmd_workload(args: argparse.Namespace) -> int:
     import numpy as np
 
     from repro.workloads.generator import WorkloadSpec, generate_workload
-    from repro.workloads.runner import WorkloadRunner
 
     if args.parallel < 1:
         print("--parallel must be >= 1", file=sys.stderr)
         return 2
-    planner = _make_planner(args)
+    session = _make_session(args, seed=args.seed)
     faults, recovery = _make_faults(args)
     queries = generate_workload(
-        planner.catalog,
+        session.catalog,
         WorkloadSpec(num_queries=args.num_queries),
         np.random.default_rng(args.seed),
     )
-    report = WorkloadRunner(
-        planner, faults=faults, recovery=recovery
-    ).run(
+    report = session.workload(
         queries,
+        parallel=args.parallel,
         label="baseline" if args.baseline else "raqo",
-        max_workers=args.parallel,
+        faults=faults,
+        recovery=recovery,
     )
     for outcome in report.outcomes:
         print(
@@ -403,6 +454,14 @@ def _cmd_workload(args: argparse.Namespace) -> int:
             f"{report.total_retries} retries | "
             f"{report.total_degraded_stages} degraded | "
             f"{report.infeasible_queries} failed quer(ies)"
+        )
+    if args.trace_dir:
+        written = session.write_trace_dir(
+            args.trace_dir, title=f"workload ({report.label})"
+        )
+        print(
+            "trace bundle written: "
+            + ", ".join(str(p) for _, p in sorted(written.items()))
         )
     return 0
 

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.cluster.containers import ContainerRequest, ResourceError
 from repro.faults.model import FaultKind, FaultPlan
+from repro.obs.tracing import NULL_TRACER, Tracer
 
 
 @dataclass(frozen=True)
@@ -103,6 +104,7 @@ class ResourceManager:
         submissions: List[JobSubmission],
         faults: Optional[FaultPlan] = None,
         max_restarts: int = 3,
+        tracer: Tracer = NULL_TRACER,
     ) -> List[JobRecord]:
         """Simulate all submissions; returns one record per job.
 
@@ -110,6 +112,10 @@ class ResourceManager:
         are rejected with :class:`ResourceError` (they could never start).
         With ``faults``, running jobs may be preempted and re-queued (at
         most ``max_restarts`` times each).
+
+        An active ``tracer`` records one ``rm-job`` cluster span per job
+        (simulated window = arrival to finish, with a queue-time event),
+        keyed by job ID so traces are independent of event ordering.
         """
         if max_restarts < 0:
             raise ResourceError(
@@ -216,7 +222,62 @@ class ResourceManager:
             start_eligible()
 
         records.sort(key=lambda r: r.job_id)
+        if tracer.active:
+            self._trace_records(records, tracer)
         return records
+
+    def _trace_records(
+        self, records: List[JobRecord], tracer: Tracer
+    ) -> None:
+        """Emit one cluster span per finished job."""
+        with tracer.span("rm-run", kind="cluster") as run_span:
+            if records:
+                run_span.set_sim_window(
+                    min(r.arrival_time_s for r in records),
+                    max(r.finish_time_s for r in records),
+                )
+            run_span.set_attributes(
+                {
+                    "jobs": len(records),
+                    "capacity_gb": self.capacity_gb,
+                    "preemptions": sum(
+                        r.preemptions for r in records
+                    ),
+                }
+            )
+            for record in records:
+                with tracer.span(
+                    "rm-job",
+                    kind="cluster",
+                    parent=run_span,
+                    key=str(record.job_id),
+                ) as job_span:
+                    job_span.set_sim_window(
+                        record.arrival_time_s, record.finish_time_s
+                    )
+                    job_span.set_attributes(
+                        {
+                            "job_id": record.job_id,
+                            "memory_gb": record.memory_gb,
+                            "runtime_s": record.runtime_s,
+                            "queue_time_s": record.queue_time_s,
+                            "preemptions": record.preemptions,
+                            "wasted_s": record.wasted_s,
+                        }
+                    )
+                    job_span.event(
+                        "containers-granted",
+                        sim_time_s=record.start_time_s,
+                    )
+                    if record.preemptions:
+                        job_span.event(
+                            "preempted",
+                            sim_time_s=record.start_time_s,
+                            attributes={
+                                "count": record.preemptions,
+                                "wasted_s": record.wasted_s,
+                            },
+                        )
 
     def utilization(
         self, records: List[JobRecord], horizon_s: Optional[float] = None

@@ -29,6 +29,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.cluster.containers import ResourceConfiguration
 from repro.faults.model import FaultSpec
+from repro.obs.tracing import NULL_TRACER, Tracer
 from repro.planner.cost_interface import Cost
 from repro.planner.plan import PlanNode
 
@@ -119,6 +120,7 @@ class DagScheduler:
         free_gb: Optional[float] = None,
         drain_rate_gb_s: float = 1.0,
         fault_spec: Optional[FaultSpec] = None,
+        tracer: Tracer = NULL_TRACER,
     ) -> None:
         if capacity_gb <= 0:
             raise SchedulingError(
@@ -138,6 +140,7 @@ class DagScheduler:
         self.free_gb = free_gb
         self.drain_rate_gb_s = drain_rate_gb_s
         self.fault_spec = fault_spec
+        self.tracer = tracer
 
     def effective_drain_rate_gb_s(self) -> float:
         """The net capacity drain rate after expected fault rework."""
@@ -175,6 +178,45 @@ class DagScheduler:
         """
         if not alternatives:
             raise SchedulingError("no plan alternatives submitted")
+        decision = self._schedule(alternatives, policy)
+        if self.tracer.active:
+            with self.tracer.span(
+                "schedule", kind="cluster"
+            ) as span:
+                span.set_attributes(
+                    {
+                        "policy": policy.value,
+                        "alternatives": len(alternatives),
+                        "admitted": decision.admitted,
+                        "expected_wait_s": (
+                            decision.expected_wait_s
+                            if math.isfinite(decision.expected_wait_s)
+                            else -1.0
+                        ),
+                        "free_gb": self.free_gb,
+                    }
+                )
+                if decision.alternative_index is not None:
+                    span.set_attribute(
+                        "alternative_index",
+                        decision.alternative_index,
+                    )
+                if decision.ran_fallback:
+                    span.event(
+                        "fallback",
+                        attributes={
+                            "alternative_index": (
+                                decision.alternative_index
+                            )
+                        },
+                    )
+        return decision
+
+    def _schedule(
+        self,
+        alternatives: Sequence[JointPlanRequest],
+        policy: SchedulingPolicy,
+    ) -> SchedulingDecision:
         preferred = alternatives[0]
 
         if policy is SchedulingPolicy.FAIL:

@@ -66,7 +66,7 @@ def explain_plan(
             join.left.tables, join.right.tables
         )
         resources = join.resources or cluster.clamp(
-            ResourceConfiguration(10, 4.0)
+            ResourceConfiguration(num_containers=10, container_gb=4.0)
         )
         time_s = model.predict_time(
             join.algorithm, small_gb, large_gb, resources

@@ -50,6 +50,7 @@ from repro.core.resource_planner import (
 )
 from repro.engine.profiles import EngineProfile, HIVE_PROFILE
 from repro.engine.joins import JoinAlgorithm
+from repro.obs.tracing import NULL_TRACER, Tracer
 from repro.planner.cost_interface import (
     Cost,
     INFEASIBLE_COST,
@@ -191,6 +192,45 @@ class RaqoCoster:
         context: PlanningContext,
     ) -> Tuple[Cost, Optional[ResourceConfiguration]]:
         """The memo-miss path: cache lookup, then resource planning."""
+        if not context.tracer.active:
+            return self._plan_and_cost_impl(
+                algorithm, small_gb, large_gb, context
+            )
+        with context.tracer.span(
+            "resource-planning", kind="planner"
+        ) as span:
+            before_hits = context.counters.cache_hits
+            cost, config = self._plan_and_cost_impl(
+                algorithm, small_gb, large_gb, context
+            )
+            span.set_attributes(
+                {
+                    "algorithm": algorithm.value,
+                    "small_gb": small_gb,
+                    "large_gb": large_gb,
+                    "cache_hit": context.counters.cache_hits
+                    > before_hits,
+                    "feasible": cost.is_finite,
+                }
+            )
+            if cost.is_finite:
+                span.set_attribute("cost_time_s", cost.time_s)
+            if config is not None:
+                span.set_attributes(
+                    {
+                        "num_containers": config.num_containers,
+                        "container_gb": config.container_gb,
+                    }
+                )
+            return cost, config
+
+    def _plan_and_cost_impl(
+        self,
+        algorithm: JoinAlgorithm,
+        small_gb: float,
+        large_gb: float,
+        context: PlanningContext,
+    ) -> Tuple[Cost, Optional[ResourceConfiguration]]:
         config = self._cached_config(
             algorithm, small_gb, large_gb, context
         )
@@ -292,16 +332,33 @@ class RaqoCoster:
             )
             if start is None:
                 return None
-        if self.method is ResourcePlanningMethod.BRUTE_FORCE:
-            if self.vectorized:
-                return brute_force_resource_plan(
-                    objective,
-                    cluster,
-                    vectorized=True,
-                    grid_cost_fn=grid_objective,
-                )
-            return brute_force_resource_plan(objective, cluster)
-        return hill_climb_resource_plan(objective, cluster, start=start)
+
+        def search() -> Optional[ResourcePlanOutcome]:
+            if self.method is ResourcePlanningMethod.BRUTE_FORCE:
+                if self.vectorized:
+                    return brute_force_resource_plan(
+                        objective,
+                        cluster,
+                        vectorized=True,
+                        grid_cost_fn=grid_objective,
+                    )
+                return brute_force_resource_plan(objective, cluster)
+            return hill_climb_resource_plan(
+                objective, cluster, start=start
+            )
+
+        if not context.tracer.active:
+            return search()
+        span_name = (
+            "grid-costing"
+            if self.method is ResourcePlanningMethod.BRUTE_FORCE
+            else "hill-climb"
+        )
+        with context.tracer.span(span_name, kind="planner") as span:
+            outcome = search()
+            if outcome is not None:
+                span.set_attribute("iterations", outcome.iterations)
+            return outcome
 
 
 # Trained default models are expensive to fit; share them per profile.
@@ -364,6 +421,7 @@ class RaqoPlanner:
         seed: int = 0,
         memoize_within_run: bool = True,
         vectorized_resource_planning: bool = True,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         # Everything needed to build an equivalent planner (clone()).
         self._init_kwargs = dict(
@@ -382,9 +440,13 @@ class RaqoPlanner:
             seed=seed,
             memoize_within_run=memoize_within_run,
             vectorized_resource_planning=vectorized_resource_planning,
+            tracer=tracer,
         )
         self.catalog = catalog
         self.cluster = cluster
+        #: Shared (thread-safe) observability sink; clones reuse it so a
+        #: parallel workload's spans land in one trace.
+        self.tracer: Tracer = tracer if tracer is not None else NULL_TRACER
         self.estimator = StatisticsEstimator(catalog)
         self.cost_model = cost_model or default_cost_model()
         self.price_model = price_model or PriceModel()
@@ -471,8 +533,47 @@ class RaqoPlanner:
         if query is not None and query.filters:
             estimator = estimator.with_filters(query.filter_factors)
         return PlanningContext(
-            estimator=estimator, cluster=cluster or self.cluster
+            estimator=estimator,
+            cluster=cluster or self.cluster,
+            tracer=self.tracer,
         )
+
+    def _traced_plan(
+        self, query: Query, context: PlanningContext
+    ) -> PlanningResult:
+        """Run the query planner inside a ``plan`` span."""
+        if not self.tracer.active:
+            return self.query_planner.plan(query, context)
+        with self.tracer.span("plan", kind="planner") as span:
+            span.set_attributes(
+                {
+                    "query": query.name,
+                    "resource_aware": self.resource_aware,
+                }
+            )
+            result = self.query_planner.plan(query, context)
+            span.set_attributes(
+                {
+                    "planner": result.planner_name,
+                    "feasible": result.cost.is_finite,
+                    "resource_iterations": (
+                        result.counters.resource_iterations
+                    ),
+                    "join_costings": result.counters.join_costings,
+                    "memo_hits": result.counters.memo_hits,
+                    "cache_hits": result.counters.cache_hits,
+                    "cache_misses": result.counters.cache_misses,
+                    "wall_ms": result.wall_time_s * 1000.0,
+                }
+            )
+            if result.cost.is_finite:
+                span.set_attributes(
+                    {
+                        "cost_time_s": result.cost.time_s,
+                        "cost_money": result.cost.money,
+                    }
+                )
+            return result
 
     def optimize(
         self,
@@ -488,7 +589,7 @@ class RaqoPlanner:
             self.cache.clear()
         if context is None:
             context = self.make_context(query=query)
-        return self.query_planner.plan(query, context)
+        return self._traced_plan(query, context)
 
     def replan(
         self, query: Query, cluster: ClusterConditions
@@ -506,4 +607,4 @@ class RaqoPlanner:
         if self.cache is not None and self.clear_cache_between_queries:
             self.cache.clear()
         context = self.make_context(cluster, query=query)
-        return self.query_planner.plan(query, context)
+        return self._traced_plan(query, context)

@@ -39,6 +39,7 @@ from repro.faults.model import (
     stage_key_for_join,
 )
 from repro.faults.recovery import DEFAULT_RECOVERY, RecoveryPolicy
+from repro.obs.tracing import NULL_SPAN, NULL_TRACER, SpanHandle, Tracer
 from repro.planner.plan import JoinNode, PlanNode
 
 
@@ -49,6 +50,8 @@ class ExecutionError(Exception):
     *which* operator, on *which* attempt, under *which* envelope broke:
     ``stage_id`` (postorder index), ``tables``, ``attempt`` (0-based),
     and ``resources`` (None when the stage had no envelope at all).
+    When the run was traced, ``span_id``/``trace_id`` join the failure
+    back to the stage's span in the exported trace file.
     """
 
     def __init__(
@@ -58,11 +61,15 @@ class ExecutionError(Exception):
         tables: Optional[FrozenSet[str]] = None,
         attempt: int = 0,
         resources: Optional[ResourceConfiguration] = None,
+        span_id: Optional[str] = None,
+        trace_id: Optional[str] = None,
     ) -> None:
         self.stage_id = stage_id
         self.tables = tables
         self.attempt = attempt
         self.resources = resources
+        self.span_id = span_id
+        self.trace_id = trace_id
         parts = [message]
         if stage_id is not None:
             parts.append(f"stage={stage_id}")
@@ -75,6 +82,8 @@ class ExecutionError(Exception):
                 if resources is not None
                 else "resources=<none>"
             )
+        if span_id:
+            parts.append(f"span={span_id}")
         super().__init__(" | ".join(parts))
 
 
@@ -160,6 +169,7 @@ def execute_plan(
     num_reducers: Optional[int] = None,
     faults: Optional[FaultPlan] = None,
     recovery: Optional[RecoveryPolicy] = None,
+    tracer: Tracer = NULL_TRACER,
 ) -> ExecutionResult:
     """Simulate ``plan`` and account its time, resources, and cost.
 
@@ -175,6 +185,11 @@ def execute_plan(
     :data:`~repro.faults.recovery.DEFAULT_RECOVERY` whenever ``faults``
     is given, and may also be passed alone to enable degradation without
     injected faults.
+
+    ``tracer`` (the no-op null tracer by default) records a ``run`` span
+    with one ``stage`` span per join operator -- simulated-time windows
+    on the plan's cumulative clock -- and, on the fault path, per
+    ``attempt`` child spans with fault/retry events.
     """
     price_model = price_model or PriceModel()
     if faults is not None and recovery is None:
@@ -184,36 +199,73 @@ def execute_plan(
     total_gb_seconds = 0.0
     feasible = True
 
-    for stage_id, join in enumerate(plan.joins_postorder()):
-        resources = join.resources or default_resources
-        if resources is None:
-            raise ExecutionError(
-                "join has no resources and no default was provided",
-                stage_id=stage_id,
-                tables=frozenset(join.tables),
+    with tracer.span("run", kind="engine") as run_span:
+        for stage_id, join in enumerate(plan.joins_postorder()):
+            stage_span = tracer.span(
+                "stage", kind="engine", parent=run_span, key=str(stage_id)
             )
-        small_gb, large_gb = estimator.join_io_gb(
-            join.left.tables, join.right.tables
-        )
-        if faults is None and recovery is None:
-            report = _run_stage_plain(
-                join, resources, small_gb, large_gb, profile, num_reducers
+            with stage_span:
+                resources = join.resources or default_resources
+                if resources is None:
+                    stage_span.set_attribute("error", "no-resources")
+                    raise ExecutionError(
+                        "join has no resources and no default was "
+                        "provided",
+                        stage_id=stage_id,
+                        tables=frozenset(join.tables),
+                        span_id=stage_span.span_id or None,
+                        trace_id=tracer.trace_id or None,
+                    )
+                small_gb, large_gb = estimator.join_io_gb(
+                    join.left.tables, join.right.tables
+                )
+                if faults is None and recovery is None:
+                    report = _run_stage_plain(
+                        join,
+                        resources,
+                        small_gb,
+                        large_gb,
+                        profile,
+                        num_reducers,
+                    )
+                else:
+                    report = _run_stage_faulty(
+                        join,
+                        resources,
+                        small_gb,
+                        large_gb,
+                        profile,
+                        num_reducers,
+                        faults,
+                        recovery,
+                        tracer=tracer,
+                        stage_span=stage_span,
+                        sim_start_s=total_time,
+                    )
+                if stage_span.active:
+                    _annotate_stage_span(
+                        stage_span, stage_id, report, total_time
+                    )
+            reports.append(report)
+            feasible = feasible and report.feasible
+            total_time += report.time_s
+            total_gb_seconds += report.gb_seconds
+        if run_span.active:
+            run_span.set_attributes(
+                {
+                    "stages": len(reports),
+                    "feasible": feasible,
+                    "retries": sum(r.retries for r in reports),
+                    "faults_injected": sum(
+                        r.faults_injected for r in reports
+                    ),
+                }
             )
-        else:
-            report = _run_stage_faulty(
-                join,
-                resources,
-                small_gb,
-                large_gb,
-                profile,
-                num_reducers,
-                faults,
-                recovery,
-            )
-        reports.append(report)
-        feasible = feasible and report.feasible
-        total_time += report.time_s
-        total_gb_seconds += report.gb_seconds
+            if feasible:
+                run_span.set_sim_window(0.0, total_time)
+                run_span.set_attribute(
+                    "gb_seconds", total_gb_seconds
+                )
 
     dollars = (
         price_model.cost_of_gb_seconds(total_gb_seconds)
@@ -231,6 +283,35 @@ def execute_plan(
         degraded_stages=sum(1 for r in reports if r.degraded),
         speculative_stages=sum(1 for r in reports if r.speculative),
     )
+
+
+def _annotate_stage_span(
+    stage_span: SpanHandle,
+    stage_id: int,
+    report: JoinRunReport,
+    sim_start_s: float,
+) -> None:
+    """Attach a stage's outcome to its span (traced runs only)."""
+    stage_span.set_attributes(
+        {
+            "stage_id": stage_id,
+            "algorithm": report.algorithm.value,
+            "tables": ",".join(sorted(report.tables)),
+            "num_containers": report.resources.num_containers,
+            "container_gb": report.resources.container_gb,
+            "total_memory_gb": report.resources.total_memory_gb,
+            "feasible": report.feasible,
+            "retries": report.retries,
+            "degraded": report.degraded,
+            "speculative": report.speculative,
+            "faults_injected": report.faults_injected,
+        }
+    )
+    if math.isfinite(report.time_s) and math.isfinite(sim_start_s):
+        stage_span.set_sim_window(
+            sim_start_s, sim_start_s + report.time_s
+        )
+        stage_span.set_attribute("time_s", report.time_s)
 
 
 def _run_stage_plain(
@@ -275,6 +356,9 @@ def _run_stage_faulty(
     num_reducers: Optional[int],
     faults: Optional[FaultPlan],
     recovery: Optional[RecoveryPolicy],
+    tracer: Tracer = NULL_TRACER,
+    stage_span: SpanHandle = NULL_SPAN,
+    sim_start_s: float = 0.0,
 ) -> JoinRunReport:
     """One stage through the fault-aware attempt loop."""
 
@@ -305,6 +389,9 @@ def _run_stage_faulty(
         oom_pressure=pressure,
         faults=faults,
         recovery=recovery,
+        tracer=tracer,
+        stage_span=stage_span,
+        sim_start_s=sim_start_s,
     )
     return JoinRunReport(
         left_tables=frozenset(join.left.tables),

@@ -163,6 +163,18 @@ def smj_execution(
     )
 
 
+def _vector_pow(base: float, exponent: float) -> float:
+    """Scalar pow routed through numpy's *array* kernel.
+
+    numpy's vectorized pow loop can differ from libm's ``pow`` by one
+    ulp, so a scalar simulator using ``**`` would disagree with the
+    batched grid (:func:`bhj_time_grid`) on rare inputs.  Both paths go
+    through the same kernel instead; the 1-element array keeps this
+    exact, not just close.
+    """
+    return float(np.power(np.asarray([base]), exponent)[0])
+
+
 def bhj_feasible(
     small_gb: float,
     config: ResourceConfiguration,
@@ -206,8 +218,8 @@ def bhj_execution(
 
     # Hash build: superlinear in table size, worse under memory pressure.
     pressure = small_gb / (profile.hash_memory_fraction * cs)
-    pressure_penalty = 1.0 + profile.pressure_coeff * (
-        pressure**profile.pressure_exponent
+    pressure_penalty = 1.0 + profile.pressure_coeff * _vector_pow(
+        pressure, profile.pressure_exponent
     )
     build_time = (
         profile.build_cost_s

@@ -49,6 +49,7 @@ from repro.faults.model import (
     stage_key_for_join,
 )
 from repro.faults.recovery import DEFAULT_RECOVERY, RecoveryPolicy
+from repro.obs.tracing import NULL_SPAN, NULL_TRACER, SpanHandle, Tracer
 from repro.planner.cost_interface import PlanningContext
 from repro.planner.plan import JoinNode, PlanNode
 
@@ -104,11 +105,13 @@ class AdaptiveRuntime:
         improvement_slack: float = 0.25,
         faults: Optional[FaultPlan] = None,
         recovery: Optional[RecoveryPolicy] = None,
+        tracer: Tracer = NULL_TRACER,
     ) -> None:
         if improvement_slack < 0:
             raise ValueError(
                 f"improvement_slack must be >= 0, got {improvement_slack}"
             )
+        self.tracer = tracer
         self.estimator = estimator
         self.profile = profile
         self.coster = coster
@@ -163,33 +166,77 @@ class AdaptiveRuntime:
                 now_s=clock
             ).conditions
 
-        for stage_id, join in enumerate(plan.joins_postorder()):
-            planned = join.resources
-            if planned is None:
-                raise ExecutionError(
-                    "adaptive runtime needs a joint plan; operator "
-                    "has no resources",
-                    stage_id=stage_id,
-                    tables=frozenset(join.tables),
+        with self.tracer.span(
+            "adaptive-run", kind="engine"
+        ) as run_span:
+            for stage_id, join in enumerate(plan.joins_postorder()):
+                planned = join.resources
+                stage_span = self.tracer.span(
+                    "stage",
+                    kind="engine",
+                    parent=run_span,
+                    key=str(stage_id),
                 )
-            snapshot = self.rm_client.snapshot(now_s=clock)
-            executed = planned
-            replanned = False
-            if self._should_replan(planned, snapshot.conditions):
-                executed = self._replan_stage(
-                    join, snapshot.conditions
+                with stage_span:
+                    if planned is None:
+                        raise ExecutionError(
+                            "adaptive runtime needs a joint plan; "
+                            "operator has no resources",
+                            stage_id=stage_id,
+                            tables=frozenset(join.tables),
+                            span_id=stage_span.span_id or None,
+                            trace_id=self.tracer.trace_id or None,
+                        )
+                    snapshot = self.rm_client.snapshot(now_s=clock)
+                    executed = planned
+                    replanned = False
+                    if self._should_replan(planned, snapshot.conditions):
+                        executed = self._replan_stage(
+                            join, snapshot.conditions
+                        )
+                        replanned = True
+                        stage_span.event(
+                            "replan",
+                            sim_time_s=clock,
+                            attributes={
+                                "num_containers": (
+                                    executed.num_containers
+                                ),
+                                "container_gb": executed.container_gb,
+                            },
+                        )
+                    record = self._run_stage(
+                        join,
+                        planned,
+                        executed,
+                        snapshot.conditions,
+                        replanned,
+                        stage_span=stage_span,
+                        sim_start_s=clock,
+                    )
+                    if stage_span.active:
+                        self._annotate_stage_span(
+                            stage_span, stage_id, record, clock
+                        )
+                stages.append(record)
+                if on_stage is not None:
+                    on_stage(record)
+                stage_feasible = math.isfinite(record.time_s)
+                feasible = feasible and stage_feasible
+                clock += record.time_s if stage_feasible else 0.0
+                total_gb_seconds += record.gb_seconds
+            if run_span.active:
+                run_span.set_attributes(
+                    {
+                        "stages": len(stages),
+                        "feasible": feasible,
+                        "replanned_stages": sum(
+                            1 for s in stages if s.replanned
+                        ),
+                    }
                 )
-                replanned = True
-            record = self._run_stage(
-                join, planned, executed, snapshot.conditions, replanned
-            )
-            stages.append(record)
-            if on_stage is not None:
-                on_stage(record)
-            stage_feasible = math.isfinite(record.time_s)
-            feasible = feasible and stage_feasible
-            clock += record.time_s if stage_feasible else 0.0
-            total_gb_seconds += record.gb_seconds
+                if feasible:
+                    run_span.set_sim_window(now_s, clock)
 
         total_time = sum(stage.time_s for stage in stages)
         return AdaptiveRunReport(
@@ -208,6 +255,33 @@ class AdaptiveRuntime:
             degraded_stages=sum(1 for s in stages if s.degraded),
         )
 
+    def _annotate_stage_span(
+        self,
+        stage_span: SpanHandle,
+        stage_id: int,
+        record: StageRecord,
+        sim_start_s: float,
+    ) -> None:
+        """Attach one stage's outcome to its span (traced runs only)."""
+        stage_span.set_attributes(
+            {
+                "stage_id": stage_id,
+                "tables": ",".join(sorted(record.tables)),
+                "num_containers": record.executed.num_containers,
+                "container_gb": record.executed.container_gb,
+                "total_memory_gb": record.executed.total_memory_gb,
+                "replanned": record.replanned,
+                "degraded": record.degraded,
+                "retries": record.retries,
+                "faults_injected": record.faults_injected,
+            }
+        )
+        if math.isfinite(record.time_s) and math.isfinite(sim_start_s):
+            stage_span.set_sim_window(
+                sim_start_s, sim_start_s + record.time_s
+            )
+            stage_span.set_attribute("time_s", record.time_s)
+
     def _run_stage(
         self,
         join: JoinNode,
@@ -215,6 +289,8 @@ class AdaptiveRuntime:
         executed: ResourceConfiguration,
         conditions: ClusterConditions,
         replanned: bool,
+        stage_span: SpanHandle = NULL_SPAN,
+        sim_start_s: float = 0.0,
     ) -> StageRecord:
         """Run one stage, with or without the fault layer."""
         small_gb, large_gb = self.estimator.join_io_gb(
@@ -274,6 +350,9 @@ class AdaptiveRuntime:
             faults=self.faults,
             recovery=self.recovery,
             replan_on_degrade=replan_on_degrade,
+            tracer=self.tracer,
+            stage_span=stage_span,
+            sim_start_s=sim_start_s,
         )
         return StageRecord(
             tables=frozenset(join.tables),
@@ -296,7 +375,9 @@ class AdaptiveRuntime:
     ) -> Optional[ResourceConfiguration]:
         """Resources for the degraded implementation, via the coster."""
         context = PlanningContext(
-            estimator=self.estimator, cluster=conditions
+            estimator=self.estimator,
+            cluster=conditions,
+            tracer=self.tracer,
         )
         cost, resources = self.coster.join_cost(
             join.left.tables,
@@ -313,7 +394,9 @@ class AdaptiveRuntime:
     ) -> ResourceConfiguration:
         """Consult the optimizer for one stage under new conditions."""
         context = PlanningContext(
-            estimator=self.estimator, cluster=conditions
+            estimator=self.estimator,
+            cluster=conditions,
+            tracer=self.tracer,
         )
         cost, resources = self.coster.join_cost(
             join.left.tables,

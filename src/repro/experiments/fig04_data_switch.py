@@ -81,9 +81,21 @@ def _sweep(
 def run(profile: EngineProfile = HIVE_PROFILE) -> DataSwitchResult:
     """Run all four Fig 4 sweeps."""
     configs = {
-        "cs=3GB,nc=10": ResourceConfiguration(10, 3.0),
-        "cs=9GB,nc=10": ResourceConfiguration(10, 9.0),
-        "cs=3GB,nc=40": ResourceConfiguration(40, 3.0),
+        "cs=3GB,nc=10": ResourceConfiguration(
+
+            num_containers=10, container_gb=3.0
+
+        ),
+        "cs=9GB,nc=10": ResourceConfiguration(
+
+            num_containers=10, container_gb=9.0
+
+        ),
+        "cs=3GB,nc=40": ResourceConfiguration(
+
+            num_containers=40, container_gb=3.0
+
+        ),
     }
     return DataSwitchResult(
         series={

@@ -157,11 +157,11 @@ def run(profile: EngineProfile = HIVE_PROFILE) -> JoinOrderResult:
         )
 
     size_sweep = tuple(
-        point(ResourceConfiguration(10, size))
+        point(ResourceConfiguration(num_containers=10, container_gb=size))
         for size in (2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0)
     )
     count_sweep = tuple(
-        point(ResourceConfiguration(count, 3.0))
+        point(ResourceConfiguration(num_containers=count, container_gb=3.0))
         for count in (8, 12, 16, 20, 24, 28, 32, 36, 40, 44)
     )
     return JoinOrderResult(

@@ -45,10 +45,26 @@ def run(
 ) -> MonetarySwitchResult:
     """Sweep the data axis for each Fig 7 configuration."""
     configs = {
-        "cs=3GB,nc=10": ResourceConfiguration(10, 3.0),
-        "cs=9GB,nc=10": ResourceConfiguration(10, 9.0),
-        "cs=3GB,nc=10cont": ResourceConfiguration(10, 3.0),
-        "cs=3GB,nc=40": ResourceConfiguration(40, 3.0),
+        "cs=3GB,nc=10": ResourceConfiguration(
+
+            num_containers=10, container_gb=3.0
+
+        ),
+        "cs=9GB,nc=10": ResourceConfiguration(
+
+            num_containers=10, container_gb=9.0
+
+        ),
+        "cs=3GB,nc=10cont": ResourceConfiguration(
+
+            num_containers=10, container_gb=3.0
+
+        ),
+        "cs=3GB,nc=40": ResourceConfiguration(
+
+            num_containers=40, container_gb=3.0
+
+        ),
     }
     series = {}
     for label, config in configs.items():

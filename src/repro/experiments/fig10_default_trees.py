@@ -32,7 +32,7 @@ def learn_default_tree(
 ) -> DecisionTreeClassifier:
     """Fit CART on samples labelled by the engine's default rule."""
     rule = DefaultThresholdRule(profile.default_broadcast_threshold_gb)
-    config = ResourceConfiguration(10, 4.0)
+    config = ResourceConfiguration(num_containers=10, container_gb=4.0)
     features = []
     labels = []
     for data_mb in (1, 2, 5, 8, 12, 20, 50, 200, 1000, 5000):

@@ -24,14 +24,14 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from repro.api import RaqoSession
 from repro.catalog import tpch
-from repro.core.raqo import RaqoPlanner
 from repro.engine.profiles import EngineProfile, HIVE_PROFILE
 from repro.experiments.report import print_table
 from repro.faults.model import FaultPlan, FaultSpec
 from repro.faults.recovery import DEFAULT_RECOVERY
 from repro.workloads.generator import WorkloadSpec, generate_workload
-from repro.workloads.runner import WorkloadReport, WorkloadRunner
+from repro.workloads.runner import WorkloadReport
 
 #: Fault intensities swept (the base OOM rate; preemption and straggler
 #: rates scale at half intensity).
@@ -124,23 +124,22 @@ def run(
         WorkloadSpec(num_queries=num_queries),
         np.random.default_rng(seed),
     )
-    planners = {
-        "raqo": RaqoPlanner.default(catalog),
-        "two_step": RaqoPlanner.two_step_baseline(catalog),
+    sessions = {
+        "raqo": RaqoSession(catalog, profile),
+        "two_step": RaqoSession(catalog, profile, resource_aware=False),
     }
     series: Dict[str, Tuple[RobustnessPoint, ...]] = {}
-    for label, planner in planners.items():
+    for label, session in sessions.items():
         points: List[RobustnessPoint] = []
         base_time_s = 0.0
         for intensity in intensities:
             spec = fault_spec_for(intensity, seed)
-            runner = WorkloadRunner(
-                planner,
-                profile,
+            report = session.workload(
+                queries,
+                label=label,
                 faults=FaultPlan(spec),
                 recovery=DEFAULT_RECOVERY,
             )
-            report = runner.run(queries, label=label)
             if intensity == 0.0:
                 base_time_s = report.total_executed_time_s
             points.append(

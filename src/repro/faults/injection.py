@@ -38,6 +38,12 @@ from repro.faults.model import (
     FaultPlan,
 )
 from repro.faults.recovery import RecoveryPolicy
+from repro.obs.tracing import (
+    NULL_SPAN,
+    NULL_TRACER,
+    SpanHandle,
+    Tracer,
+)
 
 #: Runs one attempt of the stage: (algorithm, resources) -> execution.
 AttemptRunner = Callable[
@@ -96,12 +102,22 @@ def run_stage_with_faults(
     faults: Optional[FaultPlan] = None,
     recovery: Optional[RecoveryPolicy] = None,
     replan_on_degrade: Optional[DegradeReplanner] = None,
+    tracer: Tracer = NULL_TRACER,
+    stage_span: SpanHandle = NULL_SPAN,
+    sim_start_s: float = 0.0,
 ) -> StageFaultOutcome:
     """Execute one stage to completion (or declared infeasibility).
 
     ``stage_key`` must be stable across runs and execution orders (see
     :func:`~repro.faults.model.stage_key_for_join`); together with the
     attempt counter it fully determines every fault decision.
+
+    When ``tracer`` is active, each attempt emits an ``attempt`` span
+    under ``stage_span`` (keyed by the attempt index, so span IDs stay
+    order-independent) with its simulated-time window relative to
+    ``sim_start_s`` -- the stage's position on the run's simulated
+    clock -- plus fault/retry events.  The resulting span IDs are
+    stamped onto the corresponding :class:`AttemptRecord` instances.
     """
     policy = recovery if recovery is not None else _NULL_RECOVERY
     attempts: List[AttemptRecord] = []
@@ -111,6 +127,74 @@ def run_stage_with_faults(
     retries_used = 0
     degraded = False
     speculative = False
+
+    def _note_attempt(
+        index: int,
+        attempt_algorithm: JoinAlgorithm,
+        fault: Optional[FaultKind],
+        injected: bool,
+        time_s: float,
+        backoff_s: float,
+        succeeded: bool,
+        start_s: float,
+        window_s: Optional[float] = None,
+        launched_copy: bool = False,
+    ) -> None:
+        """Record one attempt; emits its span when tracing is active."""
+        span_id: Optional[str] = None
+        if tracer.active:
+            span = tracer.span(
+                "attempt",
+                kind="engine",
+                parent=stage_span,
+                key=str(index),
+            )
+            with span:
+                span_start = sim_start_s + start_s
+                duration = time_s if window_s is None else window_s
+                if math.isfinite(span_start) and math.isfinite(duration):
+                    span.set_sim_window(
+                        span_start, span_start + duration
+                    )
+                span.set_attributes(
+                    {
+                        "index": index,
+                        "algorithm": attempt_algorithm.value,
+                        "succeeded": succeeded,
+                        "busy_s": time_s,
+                    }
+                )
+                if launched_copy:
+                    span.set_attribute("speculative", True)
+                if fault is not None:
+                    span.event(
+                        "fault",
+                        sim_time_s=span_start + duration,
+                        attributes={
+                            "kind": fault.value,
+                            "injected": injected,
+                        },
+                    )
+                if backoff_s > 0.0:
+                    span.event(
+                        "retry-backoff",
+                        sim_time_s=span_start + duration,
+                        attributes={"backoff_s": backoff_s},
+                    )
+            span_id = span.span_id
+        attempts.append(
+            AttemptRecord(
+                index=index,
+                algorithm=attempt_algorithm,
+                fault=fault,
+                injected=injected,
+                time_s=time_s,
+                backoff_s=backoff_s,
+                succeeded=succeeded,
+                speculative=launched_copy,
+                span_id=span_id,
+            )
+        )
 
     def _outcome(
         feasible: bool,
@@ -136,6 +220,7 @@ def run_stage_with_faults(
         )
 
     while True:
+        attempt_start_s = elapsed_s
         execution = run_attempt(algorithm, resources)
         can_degrade = (
             policy.degrade_bhj_to_smj
@@ -147,16 +232,15 @@ def run_stage_with_faults(
             # The static OOM wall: the broadcast table cannot fit this
             # envelope, no matter how often we retry.
             if can_degrade:
-                attempts.append(
-                    AttemptRecord(
-                        index=trial,
-                        algorithm=algorithm,
-                        fault=FaultKind.OOM_KILL,
-                        injected=False,
-                        time_s=0.0,
-                        backoff_s=0.0,
-                        succeeded=False,
-                    )
+                _note_attempt(
+                    index=trial,
+                    attempt_algorithm=algorithm,
+                    fault=FaultKind.OOM_KILL,
+                    injected=False,
+                    time_s=0.0,
+                    backoff_s=0.0,
+                    succeeded=False,
+                    start_s=attempt_start_s,
                 )
                 algorithm, resources, degraded = _degrade(
                     resources, replan_on_degrade
@@ -178,16 +262,15 @@ def run_stage_with_faults(
         if decision is None or not decision.is_fault:
             elapsed_s += execution.time_s
             gb_seconds += resources.gb_seconds(execution.time_s)
-            attempts.append(
-                AttemptRecord(
-                    index=trial,
-                    algorithm=algorithm,
-                    fault=None,
-                    injected=False,
-                    time_s=execution.time_s,
-                    backoff_s=0.0,
-                    succeeded=True,
-                )
+            _note_attempt(
+                index=trial,
+                attempt_algorithm=algorithm,
+                fault=None,
+                injected=False,
+                time_s=execution.time_s,
+                backoff_s=0.0,
+                succeeded=True,
+                start_s=attempt_start_s,
             )
             return _outcome(True, elapsed_s, gb_seconds)
 
@@ -209,17 +292,17 @@ def run_stage_with_faults(
                 busy_s = slowed_s
             elapsed_s += finish_s
             gb_seconds += resources.gb_seconds(busy_s)
-            attempts.append(
-                AttemptRecord(
-                    index=trial,
-                    algorithm=algorithm,
-                    fault=FaultKind.STRAGGLER,
-                    injected=True,
-                    time_s=busy_s,
-                    backoff_s=0.0,
-                    succeeded=True,
-                    speculative=launches_copy,
-                )
+            _note_attempt(
+                index=trial,
+                attempt_algorithm=algorithm,
+                fault=FaultKind.STRAGGLER,
+                injected=True,
+                time_s=busy_s,
+                backoff_s=0.0,
+                succeeded=True,
+                start_s=attempt_start_s,
+                window_s=finish_s,
+                launched_copy=launches_copy,
             )
             return _outcome(True, elapsed_s, gb_seconds)
 
@@ -229,47 +312,44 @@ def run_stage_with_faults(
         gb_seconds += resources.gb_seconds(wasted_s)
         backoff_s = 0.0
         if decision.kind is FaultKind.OOM_KILL and can_degrade:
-            attempts.append(
-                AttemptRecord(
-                    index=trial,
-                    algorithm=algorithm,
-                    fault=decision.kind,
-                    injected=True,
-                    time_s=wasted_s,
-                    backoff_s=0.0,
-                    succeeded=False,
-                )
+            _note_attempt(
+                index=trial,
+                attempt_algorithm=algorithm,
+                fault=decision.kind,
+                injected=True,
+                time_s=wasted_s,
+                backoff_s=0.0,
+                succeeded=False,
+                start_s=attempt_start_s,
             )
             algorithm, resources, degraded = _degrade(
                 resources, replan_on_degrade
             )
         else:
             if retries_used >= policy.max_retries:
-                attempts.append(
-                    AttemptRecord(
-                        index=trial,
-                        algorithm=algorithm,
-                        fault=decision.kind,
-                        injected=True,
-                        time_s=wasted_s,
-                        backoff_s=0.0,
-                        succeeded=False,
-                    )
+                _note_attempt(
+                    index=trial,
+                    attempt_algorithm=algorithm,
+                    fault=decision.kind,
+                    injected=True,
+                    time_s=wasted_s,
+                    backoff_s=0.0,
+                    succeeded=False,
+                    start_s=attempt_start_s,
                 )
                 return _outcome(False, math.inf, math.inf)
             retries_used += 1
             backoff_s = policy.backoff_s(retries_used)
             elapsed_s += backoff_s
-            attempts.append(
-                AttemptRecord(
-                    index=trial,
-                    algorithm=algorithm,
-                    fault=decision.kind,
-                    injected=True,
-                    time_s=wasted_s,
-                    backoff_s=backoff_s,
-                    succeeded=False,
-                )
+            _note_attempt(
+                index=trial,
+                attempt_algorithm=algorithm,
+                fault=decision.kind,
+                injected=True,
+                time_s=wasted_s,
+                backoff_s=backoff_s,
+                succeeded=False,
+                start_s=attempt_start_s,
             )
         trial += 1
 

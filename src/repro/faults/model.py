@@ -222,6 +222,9 @@ class AttemptRecord:
     succeeded: bool
     #: True when a speculative copy raced (and beat) a straggler.
     speculative: bool = False
+    #: The attempt's span ID when the run was traced (joins the record
+    #: back to the trace file); None -- the quiet default -- otherwise.
+    span_id: Optional[str] = None
 
 
 class FaultPlan:

@@ -1,0 +1,56 @@
+"""Structured observability: tracing, metrics, and trace exporters.
+
+Zero-dependency instrumentation substrate for the planner, engine,
+cluster, fault, and workload layers.  See :mod:`repro.obs.tracing` for
+the deterministic span model, :mod:`repro.obs.metrics` for the
+counters/gauges/histograms registry, and :mod:`repro.obs.export` for
+the JSONL / Chrome ``trace_event`` / plain-text exporters.
+"""
+
+from repro.obs.export import (
+    canonical_span_tree_json,
+    chrome_trace,
+    export_spans_jsonl,
+    render_text_report,
+    span_tree,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_trace_dir,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracing import (
+    NULL_SPAN,
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    SpanEvent,
+    SpanHandle,
+    Tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "SpanEvent",
+    "SpanHandle",
+    "Tracer",
+    "canonical_span_tree_json",
+    "chrome_trace",
+    "export_spans_jsonl",
+    "render_text_report",
+    "span_tree",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_trace_dir",
+]

@@ -1,0 +1,386 @@
+"""Deterministic hierarchical tracing for planner and engine runs.
+
+The tracer produces a tree of spans mirroring the two clock domains the
+simulator spans:
+
+- **planner spans** (``kind="planner"``) measure real wall-clock time --
+  how long the optimizer itself ran;
+- **engine / cluster spans** (``kind="engine"`` / ``"cluster"``) carry
+  *simulated-time* windows -- when the modelled stage ran on the
+  modelled cluster.
+
+Span identities are *derived*, not drawn: a span's ID is a SHA-256 hash
+of ``(tracer seed, path from the root)``, where each path component is
+the span name plus either an explicit ``key`` (for spans created across
+threads, e.g. one per workload query) or the per-parent occurrence
+ordinal (for the deterministic single-threaded subtrees below them).
+Two runs of the same seeded workload therefore emit byte-identical span
+trees whether the queries were executed serially or on a thread pool --
+the same contract :class:`~repro.faults.model.FaultPlan` keeps for fault
+decisions.
+
+By default every instrumented call site holds a :data:`NULL_TRACER`,
+whose ``span()`` returns a shared no-op handle: with tracing disabled
+the hot planning path does one attribute check (``tracer.active``) and
+no allocation, keeping benchmark throughput unchanged.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple, Union
+
+__all__ = [
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "SpanEvent",
+    "SpanHandle",
+    "Tracer",
+]
+
+#: Attribute value types spans accept (JSON-representable scalars).
+AttrValue = Union[str, int, float, bool, None]
+
+
+def _span_id(seed: int, path: Tuple[str, ...]) -> str:
+    """The deterministic 64-bit hex ID for a span path under a seed."""
+    payload = f"{seed}\x1f" + "\x1f".join(path)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+class SpanEvent:
+    """A point-in-time annotation on a span (fault injected, retry...)."""
+
+    __slots__ = ("name", "sim_time_s", "attributes")
+
+    def __init__(
+        self,
+        name: str,
+        sim_time_s: Optional[float] = None,
+        attributes: Optional[Mapping[str, AttrValue]] = None,
+    ) -> None:
+        self.name = name
+        self.sim_time_s = sim_time_s
+        self.attributes: Dict[str, AttrValue] = dict(attributes or {})
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form with deterministically ordered attributes."""
+        return {
+            "name": self.name,
+            "sim_time_s": self.sim_time_s,
+            "attributes": {
+                k: self.attributes[k] for k in sorted(self.attributes)
+            },
+        }
+
+
+class SpanHandle:
+    """The no-op span: every method is free and returns immediately.
+
+    Real spans subclass this; instrumented code can therefore hold and
+    annotate "the current span" unconditionally, paying nothing when
+    tracing is disabled (:data:`NULL_TRACER` hands out one shared
+    instance of this base class).
+    """
+
+    __slots__ = ()
+
+    #: False on the null span; True on real spans.
+    active: bool = False
+    #: Empty on the null span; deterministic hex IDs on real spans.
+    span_id: str = ""
+    trace_id: str = ""
+    name: str = ""
+
+    def __enter__(self) -> "SpanHandle":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+    def set_attribute(self, key: str, value: AttrValue) -> None:
+        """Attach one attribute to the span (no-op here)."""
+
+    def set_attributes(self, attributes: Mapping[str, AttrValue]) -> None:
+        """Attach several attributes to the span (no-op here)."""
+
+    def event(
+        self,
+        name: str,
+        sim_time_s: Optional[float] = None,
+        attributes: Optional[Mapping[str, AttrValue]] = None,
+    ) -> None:
+        """Record a point-in-time event on the span (no-op here)."""
+
+    def set_sim_window(self, start_s: float, end_s: float) -> None:
+        """Set the simulated-time window the span covers (no-op here)."""
+
+
+#: The shared no-op span handed out by disabled tracers.
+NULL_SPAN = SpanHandle()
+
+
+class Span(SpanHandle):
+    """One node of the trace tree; use as a context manager."""
+
+    __slots__ = (
+        "tracer",
+        "name",
+        "kind",
+        "span_id",
+        "trace_id",
+        "parent_id",
+        "path",
+        "attributes",
+        "events",
+        "wall_start_s",
+        "wall_end_s",
+        "sim_start_s",
+        "sim_end_s",
+        "_child_ordinals",
+    )
+
+    active = True
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        kind: str,
+        path: Tuple[str, ...],
+        parent_id: Optional[str],
+    ) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.kind = kind
+        self.path = path
+        self.parent_id = parent_id
+        self.span_id = _span_id(tracer.seed, path)
+        self.trace_id = tracer.trace_id
+        self.attributes: Dict[str, AttrValue] = {}
+        self.events: List[SpanEvent] = []
+        self.wall_start_s: Optional[float] = None
+        self.wall_end_s: Optional[float] = None
+        self.sim_start_s: Optional[float] = None
+        self.sim_end_s: Optional[float] = None
+        #: Occurrence counters for unkeyed children, per child name.
+        #: Only touched from the thread running this span's subtree.
+        self._child_ordinals: Dict[str, int] = {}
+
+    def __enter__(self) -> "Span":
+        self.wall_start_s = time.perf_counter()
+        self.tracer._push(self)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.wall_end_s = time.perf_counter()
+        self.tracer._pop(self)
+        self.tracer._record(self)
+
+    def set_attribute(self, key: str, value: AttrValue) -> None:
+        """Attach one attribute to the span."""
+        self.attributes[key] = value
+
+    def set_attributes(self, attributes: Mapping[str, AttrValue]) -> None:
+        """Attach several attributes to the span."""
+        self.attributes.update(attributes)
+
+    def event(
+        self,
+        name: str,
+        sim_time_s: Optional[float] = None,
+        attributes: Optional[Mapping[str, AttrValue]] = None,
+    ) -> None:
+        """Record a point-in-time event on the span."""
+        self.events.append(SpanEvent(name, sim_time_s, attributes))
+
+    def set_sim_window(self, start_s: float, end_s: float) -> None:
+        """Set the simulated-time window the span covers."""
+        self.sim_start_s = start_s
+        self.sim_end_s = end_s
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form (wall-clock fields included)."""
+        return {
+            "span_id": self.span_id,
+            "trace_id": self.trace_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "kind": self.kind,
+            "path": list(self.path),
+            "attributes": {
+                k: self.attributes[k] for k in sorted(self.attributes)
+            },
+            "events": [event.to_dict() for event in self.events],
+            "wall_start_s": self.wall_start_s,
+            "wall_end_s": self.wall_end_s,
+            "sim_start_s": self.sim_start_s,
+            "sim_end_s": self.sim_end_s,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({'/'.join(self.path)!r}, kind={self.kind!r}, "
+            f"id={self.span_id})"
+        )
+
+
+class Tracer:
+    """Collects a deterministic span tree for one traced run.
+
+    Thread-safe: span completion serializes on an internal lock, and the
+    "current span" used for implicit parenting is tracked per thread.
+    Cross-thread subtrees (one workload query per worker) must pass an
+    explicit ``parent=`` and a deterministic ``key=`` so IDs do not
+    depend on thread scheduling.
+    """
+
+    #: Real tracers record spans; the :class:`NullTracer` overrides this.
+    active: bool = True
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self.trace_id = hashlib.sha256(
+            f"trace\x1f{seed}".encode()
+        ).hexdigest()[:16]
+        self._lock = threading.Lock()
+        self._finished: List[Span] = []
+        self._root_ordinals: Dict[str, int] = {}
+        self._local = threading.local()
+
+    # -- span lifecycle -------------------------------------------------
+
+    def span(
+        self,
+        name: str,
+        kind: str = "internal",
+        parent: Optional[SpanHandle] = None,
+        key: Optional[str] = None,
+        attributes: Optional[Mapping[str, AttrValue]] = None,
+    ) -> SpanHandle:
+        """Create (but do not start) a child span.
+
+        ``parent`` defaults to the thread's current span; pass it
+        explicitly (with a ``key``) when the span starts on a different
+        thread than its parent.  ``key`` fixes the span's path component
+        (``name[key]``); without it the per-parent occurrence ordinal is
+        used, which is deterministic only within a single-threaded
+        subtree.
+        """
+        if parent is None:
+            parent = self.current_span()
+        real_parent = parent if isinstance(parent, Span) else None
+        if key is None:
+            if real_parent is not None:
+                ordinal = real_parent._child_ordinals.get(name, 0)
+                real_parent._child_ordinals[name] = ordinal + 1
+            else:
+                with self._lock:
+                    ordinal = self._root_ordinals.get(name, 0)
+                    self._root_ordinals[name] = ordinal + 1
+            component = f"{name}[{ordinal}]"
+        else:
+            component = f"{name}[{key}]"
+        base_path = real_parent.path if real_parent is not None else ()
+        span = Span(
+            tracer=self,
+            name=name,
+            kind=kind,
+            path=base_path + (component,),
+            parent_id=(
+                real_parent.span_id if real_parent is not None else None
+            ),
+        )
+        if attributes:
+            span.set_attributes(attributes)
+        return span
+
+    def current_span(self) -> Optional[SpanHandle]:
+        """The innermost span entered on the calling thread, if any."""
+        stack = getattr(self._local, "stack", None)
+        if not stack:
+            return None
+        top: SpanHandle = stack[-1]
+        return top
+
+    def _push(self, span: Span) -> None:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = getattr(self._local, "stack", None)
+        if stack and stack[-1] is span:
+            stack.pop()
+
+    def _record(self, span: Span) -> None:
+        with self._lock:
+            self._finished.append(span)
+
+    # -- introspection --------------------------------------------------
+
+    def spans(self) -> Tuple[Span, ...]:
+        """All finished spans, sorted by path (deterministic order)."""
+        with self._lock:
+            finished = list(self._finished)
+        finished.sort(key=lambda span: span.path)
+        return tuple(finished)
+
+    def clear(self) -> None:
+        """Drop all finished spans (the seed and trace ID stay)."""
+        with self._lock:
+            self._finished.clear()
+            self._root_ordinals.clear()
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self.spans())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._finished)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(seed={self.seed}, "
+            f"spans={len(self)})"
+        )
+
+
+class NullTracer(Tracer):
+    """A disabled tracer: ``span()`` returns the shared no-op handle.
+
+    Instrumented code guards allocation-heavy attribute computation with
+    ``if tracer.active:``; everything else can call through the null
+    tracer unconditionally at negligible cost.
+    """
+
+    active = False
+
+    def __init__(self) -> None:
+        super().__init__(seed=0)
+
+    def span(
+        self,
+        name: str,
+        kind: str = "internal",
+        parent: Optional[SpanHandle] = None,
+        key: Optional[str] = None,
+        attributes: Optional[Mapping[str, AttrValue]] = None,
+    ) -> SpanHandle:
+        """Hand out the shared no-op span."""
+        return NULL_SPAN
+
+    def current_span(self) -> Optional[SpanHandle]:
+        """The null tracer never has a current span."""
+        return None
+
+
+#: The process-wide disabled tracer every instrumented call site
+#: defaults to.  Stateless, so sharing one instance is safe.
+NULL_TRACER = NullTracer()

@@ -26,6 +26,7 @@ from repro.catalog.queries import Query
 from repro.catalog.statistics import StatisticsEstimator
 from repro.cluster.cluster import ClusterConditions
 from repro.engine.joins import JoinAlgorithm
+from repro.obs.tracing import NULL_TRACER, Tracer
 from repro.planner.plan import JoinNode, PlanNode
 
 
@@ -104,6 +105,9 @@ class PlanningContext:
     #: planning run = one context = one memo lifetime, so entries can
     #: never leak across queries or changed cluster conditions.
     resource_plan_memo: Dict[Tuple, object] = field(default_factory=dict)
+    #: Observability sink for this planning run; the shared null tracer
+    #: by default, so uninstrumented callers pay one attribute check.
+    tracer: Tracer = NULL_TRACER
 
     def join_io_gb(
         self, left_tables: Iterable[str], right_tables: Iterable[str]

@@ -16,6 +16,7 @@ timings.
 
 from __future__ import annotations
 
+import math
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
@@ -28,6 +29,7 @@ from repro.engine.executor import execute_plan
 from repro.engine.profiles import EngineProfile, HIVE_PROFILE
 from repro.faults.model import FaultPlan
 from repro.faults.recovery import RecoveryPolicy
+from repro.obs.tracing import SpanHandle, Tracer
 
 
 @dataclass(frozen=True)
@@ -153,6 +155,7 @@ class WorkloadRunner:
             default_resources=self.default_resources,
             faults=faults,
             recovery=self.recovery,
+            tracer=planner.tracer,
         )
         return QueryOutcome(
             query=query,
@@ -169,6 +172,44 @@ class WorkloadRunner:
             degraded_stages=execution.degraded_stages,
         )
 
+    def _run_traced(
+        self,
+        planner: RaqoPlanner,
+        query: Query,
+        tracer: Tracer,
+        workload_span: SpanHandle,
+        index: int,
+    ) -> QueryOutcome:
+        """Run one query inside its ``query`` span.
+
+        The span is keyed by the query's workload position and parented
+        explicitly on the workload root, so its ID -- and those of the
+        plan/run subtrees opened beneath it -- do not depend on which
+        worker thread picked the query up.
+        """
+        with tracer.span(
+            "query",
+            kind="planner",
+            parent=workload_span,
+            key=str(index),
+        ) as span:
+            span.set_attributes({"index": index, "query": query.name})
+            outcome = self._run_one(planner, query)
+            span.set_attributes(
+                {
+                    "feasible": outcome.executed_feasible,
+                    "retries": outcome.retries,
+                    "faults_injected": outcome.faults_injected,
+                    "degraded_stages": outcome.degraded_stages,
+                    "wall_planning_ms": outcome.planning_ms,
+                }
+            )
+            if math.isfinite(outcome.executed_time_s):
+                span.set_attribute(
+                    "executed_time_s", outcome.executed_time_s
+                )
+            return outcome
+
     def run(
         self,
         queries: Sequence[Query],
@@ -184,11 +225,79 @@ class WorkloadRunner:
         threads (warm-cache planners therefore keep one cache *per
         worker* when parallel). ``pool.map`` preserves submission order,
         so the report's outcome order matches the input order exactly.
+
+        Tracing rides the planner's tracer: an active tracer gets one
+        ``workload`` root span (keyed by ``label``) with a ``query``
+        child per entry, and -- because fault decisions and span keys
+        are order-independent -- the same seed produces byte-identical
+        span trees whether the workload runs serially or in parallel
+        (for the default clear-cache-between-queries planner, whose
+        counters do not depend on execution order).
         """
         if max_workers < 1:
             raise ValueError(
                 f"max_workers must be >= 1, got {max_workers}"
             )
+        tracer = self.planner.tracer
+        if not tracer.active:
+            return self._run_untraced(queries, label, max_workers)
+        with tracer.span(
+            "workload", kind="planner", key=label
+        ) as workload_span:
+            workload_span.set_attributes(
+                {
+                    "label": label,
+                    "queries": len(queries),
+                    "faulted": self.faults is not None,
+                }
+            )
+            if max_workers == 1 or len(queries) <= 1:
+                outcomes: List[QueryOutcome] = [
+                    self._run_traced(
+                        self.planner, query, tracer, workload_span, i
+                    )
+                    for i, query in enumerate(queries)
+                ]
+            else:
+                local = threading.local()
+
+                def worker(
+                    item: Tuple[int, Query],
+                ) -> QueryOutcome:
+                    index, query = item
+                    planner = getattr(local, "planner", None)
+                    if planner is None:
+                        planner = self.planner.clone()
+                        local.planner = planner
+                    return self._run_traced(
+                        planner, query, tracer, workload_span, index
+                    )
+
+                with ThreadPoolExecutor(max_workers=max_workers) as pool:
+                    outcomes = list(
+                        pool.map(worker, enumerate(queries))
+                    )
+            report = WorkloadReport(
+                label=label, outcomes=tuple(outcomes)
+            )
+            workload_span.set_attributes(
+                {
+                    "infeasible": report.infeasible_queries,
+                    "total_retries": report.total_retries,
+                    "total_faults_injected": (
+                        report.total_faults_injected
+                    ),
+                }
+            )
+            return report
+
+    def _run_untraced(
+        self,
+        queries: Sequence[Query],
+        label: str,
+        max_workers: int,
+    ) -> WorkloadReport:
+        """The original zero-instrumentation execution paths."""
         if max_workers == 1 or len(queries) <= 1:
             outcomes: List[QueryOutcome] = [
                 self._run_one(self.planner, query) for query in queries

@@ -40,7 +40,7 @@ class TestWellFormedPlans:
         validate_plan(plan)  # must not raise
 
     def test_fully_annotated_plan_is_clean(self, cluster):
-        plan = _annotated_plan(ResourceConfiguration(10, 2.0))
+        plan = _annotated_plan(ResourceConfiguration(num_containers=10, container_gb=2.0))
         assert (
             check_plan(plan, cluster=cluster, require_resources=True) == []
         )
@@ -98,7 +98,7 @@ class TestResourceValidation:
         assert _codes(issues) == ["missing-resources", "missing-resources"]
 
     def test_out_of_envelope_dimension_is_reported(self, cluster):
-        plan = _annotated_plan(ResourceConfiguration(500, 2.0))
+        plan = _annotated_plan(ResourceConfiguration(num_containers=500, container_gb=2.0))
         issues = check_plan(plan, cluster=cluster)
         assert "dimension-out-of-envelope" in _codes(issues)
         assert any("num_containers=500" in i.message for i in issues)
@@ -112,7 +112,7 @@ class TestResourceValidation:
                 ResourceDimension("cpu_cores", 1, 8, 1),
             )
         )
-        plan = _annotated_plan(ResourceConfiguration(10, 2.0))
+        plan = _annotated_plan(ResourceConfiguration(num_containers=10, container_gb=2.0))
         issues = check_plan(plan, cluster=duck_cluster)
         assert "missing-dimension" in _codes(issues)
         assert any("cpu_cores" in issue.message for issue in issues)

@@ -52,26 +52,26 @@ class TestClusterConditions:
 
     def test_minimum_configuration(self, paper_cluster):
         assert paper_cluster.minimum_configuration == (
-            ResourceConfiguration(1, 1.0)
+            ResourceConfiguration(num_containers=1, container_gb=1.0)
         )
 
     def test_maximum_configuration(self, paper_cluster):
         assert paper_cluster.maximum_configuration == (
-            ResourceConfiguration(100, 10.0)
+            ResourceConfiguration(num_containers=100, container_gb=10.0)
         )
 
     def test_contains(self, paper_cluster):
-        assert paper_cluster.contains(ResourceConfiguration(50, 5.0))
+        assert paper_cluster.contains(ResourceConfiguration(num_containers=50, container_gb=5.0))
         assert not paper_cluster.contains(
-            ResourceConfiguration(101, 5.0)
+            ResourceConfiguration(num_containers=101, container_gb=5.0)
         )
         assert not paper_cluster.contains(
-            ResourceConfiguration(50, 10.5)
+            ResourceConfiguration(num_containers=50, container_gb=10.5)
         )
 
     def test_clamp(self, paper_cluster):
-        clamped = paper_cluster.clamp(ResourceConfiguration(500, 50.0))
-        assert clamped == ResourceConfiguration(100, 10.0)
+        clamped = paper_cluster.clamp(ResourceConfiguration(num_containers=500, container_gb=50.0))
+        assert clamped == ResourceConfiguration(num_containers=100, container_gb=10.0)
 
     def test_iter_configurations_count(self, small_cluster):
         configs = list(small_cluster.iter_configurations())
@@ -119,6 +119,54 @@ class TestClusterConditions:
         cluster = ClusterConditions(
             max_containers=100, max_container_gb=10.0
         )
-        clamped = cluster.clamp(ResourceConfiguration(count, size))
+        clamped = cluster.clamp(ResourceConfiguration(
+            num_containers=count, container_gb=size
+        ))
         assert cluster.contains(clamped)
         assert cluster.clamp(clamped) == clamped
+
+
+class TestPositionalAxisShim:
+    """One-release positional shim mirrors the keyword constructor."""
+
+    def test_positional_axes_warn(self):
+        with pytest.warns(DeprecationWarning, match="positional resource"):
+            ClusterConditions(100, 10.0)  # lint: disable=RAQO009
+
+    def test_keyword_axes_do_not_warn(self, recwarn):
+        ClusterConditions(max_containers=100, max_container_gb=10.0)
+        deprecations = [
+            w for w in recwarn if issubclass(w.category, DeprecationWarning)
+        ]
+        assert deprecations == []
+
+    def test_positional_equals_keyword(self):
+        with pytest.warns(DeprecationWarning):
+            positional = ClusterConditions(  # lint: disable=RAQO009
+                100, 10.0, 2, 0.5, 2, 0.5
+            )
+        keyword = ClusterConditions(
+            max_containers=100,
+            max_container_gb=10.0,
+            min_containers=2,
+            min_container_gb=0.5,
+            container_step=2,
+            container_gb_step=0.5,
+        )
+        assert positional == keyword
+
+    def test_duplicate_axis_rejected(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError, match="multiple values"):
+                ClusterConditions(100, max_containers=50)  # lint: disable=RAQO009
+
+    def test_missing_maxima_rejected(self):
+        with pytest.raises(TypeError, match="requires max_containers"):
+            ClusterConditions(min_containers=1)
+
+    def test_defaults_applied(self):
+        cluster = ClusterConditions(max_containers=20, max_container_gb=8.0)
+        assert cluster.min_containers == 1
+        assert cluster.min_container_gb == 1.0
+        assert cluster.container_step == 1
+        assert cluster.container_gb_step == 1.0

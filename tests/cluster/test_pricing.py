@@ -14,13 +14,13 @@ class TestPriceModel:
 
     def test_cost_of_config(self):
         model = PriceModel(dollars_per_gb_hour=1.0)
-        config = ResourceConfiguration(10, 2.0)  # 20 GB
+        config = ResourceConfiguration(num_containers=10, container_gb=2.0)  # 20 GB
         # 20 GB for 3600 s = 20 GB-hours = $20.
         assert model.cost(config, 3600.0) == pytest.approx(20.0)
 
     def test_linear_in_duration(self):
         model = PriceModel()
-        config = ResourceConfiguration(4, 4.0)
+        config = ResourceConfiguration(num_containers=4, container_gb=4.0)
         assert model.cost(config, 200.0) == pytest.approx(
             2 * model.cost(config, 100.0)
         )

@@ -21,7 +21,9 @@ def job(job_id, arrival, containers, size_gb, duration):
         job_id=job_id,
         arrival_time_s=arrival,
         request=ContainerRequest(
-            config=ResourceConfiguration(containers, size_gb),
+            config=ResourceConfiguration(
+                num_containers=containers, container_gb=size_gb
+            ),
             duration_s=duration,
         ),
     )

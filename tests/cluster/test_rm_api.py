@@ -23,19 +23,19 @@ def state():
 
 class TestRmState:
     def test_defaults(self):
-        state = RmState(total=ClusterConditions(10, 4.0))
+        state = RmState(total=ClusterConditions(max_containers=10, max_container_gb=4.0))
         assert state.free_container_gb == 4.0
 
     def test_bad_fraction(self):
         with pytest.raises(ResourceError):
             RmState(
-                total=ClusterConditions(10, 4.0), free_fraction=1.5
+                total=ClusterConditions(max_containers=10, max_container_gb=4.0), free_fraction=1.5
             )
 
     def test_bad_free_container(self):
         with pytest.raises(ResourceError):
             RmState(
-                total=ClusterConditions(10, 4.0),
+                total=ClusterConditions(max_containers=10, max_container_gb=4.0),
                 free_container_gb=8.0,
             )
 
@@ -43,7 +43,7 @@ class TestRmState:
 class TestSnapshot:
     def test_age(self):
         snapshot = ClusterSnapshot(
-            conditions=ClusterConditions(10, 4.0),
+            conditions=ClusterConditions(max_containers=10, max_container_gb=4.0),
             exposure=ExposureLevel.FULL,
             taken_at_s=100.0,
         )

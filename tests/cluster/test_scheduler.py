@@ -23,7 +23,7 @@ def joint_plan(nc, cs, time_s=100.0):
         left=ScanNode("a"),
         right=ScanNode("b"),
         algorithm=JoinAlgorithm.SORT_MERGE,
-        resources=ResourceConfiguration(nc, cs),
+        resources=ResourceConfiguration(num_containers=nc, container_gb=cs),
     )
     return JointPlanRequest(plan=plan, cost=Cost(time_s, 1.0))
 
@@ -31,21 +31,21 @@ def joint_plan(nc, cs, time_s=100.0):
 class TestJointPlanRequest:
     def test_peak_demand_single_join(self):
         request = joint_plan(10, 4.0)
-        assert request.peak_demand() == ResourceConfiguration(10, 4.0)
+        assert request.peak_demand() == ResourceConfiguration(num_containers=10, container_gb=4.0)
 
     def test_peak_demand_takes_maximum(self):
         inner = JoinNode(
             left=ScanNode("a"),
             right=ScanNode("b"),
-            resources=ResourceConfiguration(50, 8.0),
+            resources=ResourceConfiguration(num_containers=50, container_gb=8.0),
         )
         outer = JoinNode(
             left=inner,
             right=ScanNode("c"),
-            resources=ResourceConfiguration(10, 2.0),
+            resources=ResourceConfiguration(num_containers=10, container_gb=2.0),
         )
         request = JointPlanRequest(plan=outer, cost=Cost(1.0, 1.0))
-        assert request.peak_demand() == ResourceConfiguration(50, 8.0)
+        assert request.peak_demand() == ResourceConfiguration(num_containers=50, container_gb=8.0)
 
     def test_two_step_plan_rejected(self):
         plan = JoinNode(left=ScanNode("a"), right=ScanNode("b"))

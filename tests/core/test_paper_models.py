@@ -37,7 +37,7 @@ class TestPublishedCoefficients:
         )
 
     def test_models_are_usable(self):
-        config = ResourceConfiguration(10, 4.0)
+        config = ResourceConfiguration(num_containers=10, container_gb=4.0)
         smj = PAPER_SMJ_MODEL.predict(3.0, 77.0, config)
         bhj = PAPER_BHJ_MODEL.predict(3.0, 77.0, config)
         assert smj > 0
@@ -64,9 +64,9 @@ class TestRetrainedSigns:
         )
         # SMJ: more containers -> cheaper (at fixed 3 GB containers).
         assert smj.predict(
-            3.0, 77.0, ResourceConfiguration(40, 3.0)
-        ) < smj.predict(3.0, 77.0, ResourceConfiguration(5, 3.0))
+            3.0, 77.0, ResourceConfiguration(num_containers=40, container_gb=3.0)
+        ) < smj.predict(3.0, 77.0, ResourceConfiguration(num_containers=5, container_gb=3.0))
         # BHJ: bigger containers -> cheaper (at fixed 10 containers).
         assert bhj.predict(
-            5.0, 77.0, ResourceConfiguration(10, 10.0)
-        ) < bhj.predict(5.0, 77.0, ResourceConfiguration(10, 5.0))
+            5.0, 77.0, ResourceConfiguration(num_containers=10, container_gb=10.0)
+        ) < bhj.predict(5.0, 77.0, ResourceConfiguration(num_containers=10, container_gb=5.0))

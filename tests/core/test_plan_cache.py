@@ -14,7 +14,7 @@ from repro.core.plan_cache import (
 
 
 def rc(nc, cs):
-    return ResourceConfiguration(nc, cs)
+    return ResourceConfiguration(num_containers=nc, container_gb=cs)
 
 
 class TestSortedIndex:

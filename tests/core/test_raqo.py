@@ -64,7 +64,7 @@ class TestQueryOptimizerCoster:
     def test_infeasible_bhj(self, context):
         coster = QueryOptimizerCoster(
             model=SimulatorCostModel(HIVE_PROFILE),
-            default_resources=ResourceConfiguration(10, 3.0),
+            default_resources=ResourceConfiguration(num_containers=10, container_gb=3.0),
         )
         cost, _ = coster.join_cost(
             frozenset(("orders",)),  # ~17 GB at SF-100: no broadcast
@@ -83,7 +83,7 @@ class TestQueryOptimizerCoster:
         )
         coster = QueryOptimizerCoster(
             model=SimulatorCostModel(HIVE_PROFILE),
-            default_resources=ResourceConfiguration(100, 10.0),
+            default_resources=ResourceConfiguration(num_containers=100, container_gb=10.0),
         )
         cost, _ = coster.join_cost(
             frozenset(("orders",)),
@@ -96,7 +96,7 @@ class TestQueryOptimizerCoster:
         expected = oracle.predict_time(
             JoinAlgorithm.SORT_MERGE,
             *context.join_io_gb(["orders"], ["lineitem"]),
-            ResourceConfiguration(4, 2.0),
+            ResourceConfiguration(num_containers=4, container_gb=2.0),
         )
         assert cost.time_s == pytest.approx(expected)
 

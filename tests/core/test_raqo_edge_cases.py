@@ -33,7 +33,7 @@ class TestSingleTableQueries:
             result.plan,
             planner.estimator,
             HIVE_PROFILE,
-            default_resources=ResourceConfiguration(10, 4.0),
+            default_resources=ResourceConfiguration(num_containers=10, container_gb=4.0),
         )
         # Scan-only plans are free in the join-level model.
         assert run.time_s == 0.0
@@ -51,7 +51,7 @@ class TestTinyClusters:
         result = planner.optimize(tpch.QUERY_Q12)
         assert result.cost.is_finite
         for join in result.plan.joins_postorder():
-            assert join.resources == ResourceConfiguration(1, 1.0)
+            assert join.resources == ResourceConfiguration(num_containers=1, container_gb=1.0)
 
     def test_one_point_grid_brute_force(self, catalog):
         from repro.core.raqo import ResourcePlanningMethod

@@ -17,7 +17,7 @@ from repro.engine.profiles import HIVE_PROFILE
 
 
 def rc(nc, cs):
-    return ResourceConfiguration(nc, cs)
+    return ResourceConfiguration(num_containers=nc, container_gb=cs)
 
 
 class TestCandidates:

@@ -32,7 +32,7 @@ class TestBruteForce:
         outcome = brute_force_resource_plan(
             quadratic_bowl(5, 3.0), small_cluster
         )
-        assert outcome.config == ResourceConfiguration(5, 3.0)
+        assert outcome.config == ResourceConfiguration(num_containers=5, container_gb=3.0)
         assert outcome.cost == 0.0
 
     def test_explores_entire_grid(self, small_cluster):
@@ -94,7 +94,7 @@ class TestHillClimb:
         outcome = hill_climb_resource_plan(
             quadratic_bowl(5, 3.0), small_cluster
         )
-        assert outcome.config == ResourceConfiguration(5, 3.0)
+        assert outcome.config == ResourceConfiguration(num_containers=5, container_gb=3.0)
 
     def test_memo_skips_repeat_evaluations(self, paper_cluster):
         cost = quadratic_bowl(60, 7.0)
@@ -142,18 +142,18 @@ class TestHillClimb:
         assert outcome.config == small_cluster.maximum_configuration
 
     def test_custom_start(self, paper_cluster):
-        start = ResourceConfiguration(50, 5.0)
+        start = ResourceConfiguration(num_containers=50, container_gb=5.0)
         outcome = hill_climb_resource_plan(
             quadratic_bowl(52, 6.0), paper_cluster, start=start
         )
-        assert outcome.config == ResourceConfiguration(52, 6.0)
+        assert outcome.config == ResourceConfiguration(num_containers=52, container_gb=6.0)
 
     def test_start_outside_cluster_rejected(self, small_cluster):
         with pytest.raises(ResourcePlanningError):
             hill_climb_resource_plan(
                 quadratic_bowl(2, 2.0),
                 small_cluster,
-                start=ResourceConfiguration(1000, 1.0),
+                start=ResourceConfiguration(num_containers=1000, container_gb=1.0),
             )
 
     def test_respects_bounds(self, small_cluster):
@@ -189,7 +189,7 @@ class TestHillClimb:
         # Reachable grid: nc in {1,6,11,16}, cs in {1,3,5,7}.
         assert outcome.config.num_containers in {1, 6, 11, 16}
         assert outcome.config.container_gb in {1.0, 3.0, 5.0, 7.0}
-        assert outcome.config == ResourceConfiguration(11, 5.0)
+        assert outcome.config == ResourceConfiguration(num_containers=11, container_gb=5.0)
 
     @given(
         st.integers(min_value=1, max_value=30),

@@ -37,7 +37,7 @@ class TestRuleBasedOptimizer:
     def test_produces_complete_plan(self, estimator, raqo_rule):
         optimizer = RuleBasedOptimizer(estimator, raqo_rule)
         plan = optimizer.optimize(
-            tpch.QUERY_Q3, ResourceConfiguration(10, 9.0)
+            tpch.QUERY_Q3, ResourceConfiguration(num_containers=10, container_gb=9.0)
         )
         assert plan.tables == frozenset(tpch.QUERY_Q3.tables)
         assert plan.num_joins == 2
@@ -54,10 +54,10 @@ class TestRuleBasedOptimizer:
             filters={"orders": 0.3},  # a ~5.1 GB broadcast side
         )
         small = optimizer.optimize(
-            query, ResourceConfiguration(10, 5.0)
+            query, ResourceConfiguration(num_containers=10, container_gb=5.0)
         )
         large = optimizer.optimize(
-            query, ResourceConfiguration(10, 10.0)
+            query, ResourceConfiguration(num_containers=10, container_gb=10.0)
         )
         small_algorithms = [
             j.algorithm for j in small.joins_postorder()
@@ -71,7 +71,7 @@ class TestRuleBasedOptimizer:
     def test_beats_default_rule_end_to_end(self, estimator, raqo_rule):
         """Executed on the simulator, the learned rule's plan is at
         least as fast as the stock rule's at BHJ-friendly resources."""
-        config = ResourceConfiguration(10, 10.0)
+        config = ResourceConfiguration(num_containers=10, container_gb=10.0)
         query = make_query(
             "q12s", ("orders", "lineitem"), filters={"orders": 0.3}
         )
@@ -91,7 +91,7 @@ class TestRuleBasedOptimizer:
 
     def test_respects_query_filters(self, estimator, raqo_rule):
         optimizer = RuleBasedOptimizer(estimator, raqo_rule)
-        config = ResourceConfiguration(10, 10.0)
+        config = ResourceConfiguration(num_containers=10, container_gb=10.0)
         full = optimizer.optimize(tpch.QUERY_Q12, config)
         sampled = optimizer.optimize(
             make_query(

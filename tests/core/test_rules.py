@@ -16,7 +16,7 @@ from repro.planner.plan import left_deep_plan
 
 
 def rc(nc, cs):
-    return ResourceConfiguration(nc, cs)
+    return ResourceConfiguration(num_containers=nc, container_gb=cs)
 
 
 @pytest.fixture(scope="module")

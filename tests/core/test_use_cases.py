@@ -22,17 +22,17 @@ def planner():
 
 class TestBudgetMode:
     def test_plan_within_budget(self, planner):
-        budget = ResourceConfiguration(20, 4.0)
+        budget = ResourceConfiguration(num_containers=20, container_gb=4.0)
         result = best_plan_for_budget(planner, tpch.QUERY_Q3, budget)
         assert result.cost.is_finite
         assert result.plan.tables == frozenset(tpch.QUERY_Q3.tables)
 
     def test_tighter_budget_never_faster(self, planner):
         roomy = best_plan_for_budget(
-            planner, tpch.QUERY_Q3, ResourceConfiguration(50, 8.0)
+            planner, tpch.QUERY_Q3, ResourceConfiguration(num_containers=50, container_gb=8.0)
         )
         tight = best_plan_for_budget(
-            planner, tpch.QUERY_Q3, ResourceConfiguration(5, 2.0)
+            planner, tpch.QUERY_Q3, ResourceConfiguration(num_containers=5, container_gb=2.0)
         )
         assert tight.cost.time_s >= roomy.cost.time_s * 0.99
 

@@ -20,7 +20,7 @@ def q3_plan():
 
 class TestExecutePlan:
     def test_single_join_matches_join_model(self, estimator):
-        config = ResourceConfiguration(10, 4.0)
+        config = ResourceConfiguration(num_containers=10, container_gb=4.0)
         plan = JoinNode(
             left=ScanNode("orders"), right=ScanNode("lineitem")
         )
@@ -33,7 +33,7 @@ class TestExecutePlan:
         assert result.feasible
 
     def test_multi_join_time_is_sum(self, estimator, q3_plan):
-        config = ResourceConfiguration(10, 4.0)
+        config = ResourceConfiguration(num_containers=10, container_gb=4.0)
         result = execute_plan(
             q3_plan, estimator, HIVE_PROFILE, default_resources=config
         )
@@ -43,7 +43,7 @@ class TestExecutePlan:
         assert len(result.joins) == 2
 
     def test_gb_seconds_accounting(self, estimator, q3_plan):
-        config = ResourceConfiguration(10, 4.0)
+        config = ResourceConfiguration(num_containers=10, container_gb=4.0)
         result = execute_plan(
             q3_plan, estimator, HIVE_PROFILE, default_resources=config
         )
@@ -54,7 +54,7 @@ class TestExecutePlan:
         assert result.tb_seconds == pytest.approx(expected / 1024.0)
 
     def test_dollars_use_price_model(self, estimator, q3_plan):
-        config = ResourceConfiguration(10, 4.0)
+        config = ResourceConfiguration(num_containers=10, container_gb=4.0)
         price = PriceModel(dollars_per_gb_hour=3.6)
         result = execute_plan(
             q3_plan,
@@ -71,20 +71,20 @@ class TestExecutePlan:
         inner = JoinNode(
             left=ScanNode("customer"),
             right=ScanNode("orders"),
-            resources=ResourceConfiguration(40, 2.0),
+            resources=ResourceConfiguration(num_containers=40, container_gb=2.0),
         )
         plan = JoinNode(left=inner, right=ScanNode("lineitem"))
         result = execute_plan(
             plan,
             estimator,
             HIVE_PROFILE,
-            default_resources=ResourceConfiguration(10, 4.0),
+            default_resources=ResourceConfiguration(num_containers=10, container_gb=4.0),
         )
         assert result.joins[0].resources == ResourceConfiguration(
-            40, 2.0
+            num_containers=40, container_gb=2.0
         )
         assert result.joins[1].resources == ResourceConfiguration(
-            10, 4.0
+            num_containers=10, container_gb=4.0
         )
 
     def test_missing_resources_rejected(self, estimator, q3_plan):
@@ -102,7 +102,7 @@ class TestExecutePlan:
             plan,
             estimator,
             HIVE_PROFILE,
-            default_resources=ResourceConfiguration(10, 3.0),
+            default_resources=ResourceConfiguration(num_containers=10, container_gb=3.0),
         )
         assert not result.feasible
         assert result.time_s == math.inf
@@ -113,7 +113,7 @@ class TestExecutePlan:
             q3_plan,
             estimator,
             HIVE_PROFILE,
-            default_resources=ResourceConfiguration(10, 4.0),
+            default_resources=ResourceConfiguration(num_containers=10, container_gb=4.0),
         )
         assert result.joins[0].tables == {"customer", "orders"}
         assert result.joins[1].tables == {
@@ -126,7 +126,7 @@ class TestExecutePlan:
         plan = JoinNode(
             left=ScanNode("orders"), right=ScanNode("lineitem")
         )
-        config = ResourceConfiguration(10, 4.0)
+        config = ResourceConfiguration(num_containers=10, container_gb=4.0)
         auto = execute_plan(
             plan, estimator, HIVE_PROFILE, default_resources=config
         )

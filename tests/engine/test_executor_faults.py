@@ -42,7 +42,7 @@ class TestZeroFaultIdentity:
         """Acceptance criterion: a zero-fault FaultPlan produces output
         bit-identical to the executor without fault injection."""
         plan = q3_plan()
-        resources = ResourceConfiguration(10, 4.0)
+        resources = ResourceConfiguration(num_containers=10, container_gb=4.0)
         plain = execute_plan(
             plan, sf100_estimator, HIVE_PROFILE,
             default_resources=resources,
@@ -58,7 +58,7 @@ class TestZeroFaultIdentity:
 
     def test_same_seed_is_bit_identical(self, sf100_estimator):
         plan = q3_plan()
-        resources = ResourceConfiguration(10, 4.0)
+        resources = ResourceConfiguration(num_containers=10, container_gb=4.0)
         faults = FaultPlan(
             FaultSpec(
                 seed=7,
@@ -82,7 +82,7 @@ class TestBhjOomRecovery:
         """Acceptance criterion: a BHJ stage under an infeasible envelope
         recovers via the SMJ fallback, visibly in the run report."""
         plan = q3_plan(JoinAlgorithm.BROADCAST_HASH)
-        tight = ResourceConfiguration(10, 2.0)
+        tight = ResourceConfiguration(num_containers=10, container_gb=2.0)
         plain = execute_plan(
             plan, sf100_estimator, HIVE_PROFILE, default_resources=tight
         )
@@ -103,7 +103,7 @@ class TestBhjOomRecovery:
 
     def test_degradation_can_be_disabled(self, sf100_estimator):
         plan = q3_plan(JoinAlgorithm.BROADCAST_HASH)
-        tight = ResourceConfiguration(10, 2.0)
+        tight = ResourceConfiguration(num_containers=10, container_gb=2.0)
         result = execute_plan(
             plan, sf100_estimator, HIVE_PROFILE,
             default_resources=tight,
@@ -115,7 +115,7 @@ class TestBhjOomRecovery:
 class TestCounters:
     def test_counters_aggregate_over_stages(self, sf100_estimator):
         plan = q3_plan()
-        resources = ResourceConfiguration(10, 4.0)
+        resources = ResourceConfiguration(num_containers=10, container_gb=4.0)
         faults = FaultPlan(
             FaultSpec(seed=3, preemption_rate=0.4, straggler_rate=0.3)
         )
@@ -137,14 +137,14 @@ class TestCounters:
 
 class TestOomPressure:
     def test_smj_has_zero_pressure(self):
-        rc = ResourceConfiguration(10, 4.0)
+        rc = ResourceConfiguration(num_containers=10, container_gb=4.0)
         assert (
             oom_pressure(JoinAlgorithm.SORT_MERGE, 100.0, rc, HIVE_PROFILE)
             == 0.0
         )
 
     def test_bhj_pressure_is_budget_utilisation(self):
-        rc = ResourceConfiguration(10, 4.0)
+        rc = ResourceConfiguration(num_containers=10, container_gb=4.0)
         budget = HIVE_PROFILE.hash_memory_fraction * rc.container_gb
         assert oom_pressure(
             JoinAlgorithm.BROADCAST_HASH, budget / 2, rc, HIVE_PROFILE
@@ -163,7 +163,7 @@ class TestOomPressure:
 
 class TestExecutionErrorContext:
     def test_message_carries_stage_context(self):
-        rc = ResourceConfiguration(10, 4.0)
+        rc = ResourceConfiguration(num_containers=10, container_gb=4.0)
         error = ExecutionError(
             "stage exploded",
             stage_id=2,

@@ -30,7 +30,7 @@ def joint_plan(planner):
 
 def make_runtime(planner, free_fraction=1.0, exposure=ExposureLevel.FULL):
     state = RmState(
-        total=ClusterConditions(100, 10.0), free_fraction=free_fraction
+        total=ClusterConditions(max_containers=100, max_container_gb=10.0), free_fraction=free_fraction
     )
     client = RmClient(state, exposure)
     return (
@@ -136,7 +136,7 @@ class TestInfeasibleFallback:
             left=ScanNode("orders"),
             right=ScanNode("lineitem"),
             algorithm=JoinAlgorithm.BROADCAST_HASH,
-            resources=ResourceConfiguration(10, 10.0),
+            resources=ResourceConfiguration(num_containers=10, container_gb=10.0),
         )
         runtime, client = make_runtime(planner, free_fraction=1.0)
         client.update(free_container_gb=2.0)  # big slots are gone
@@ -190,7 +190,7 @@ class TestRuntimeFaults:
         from repro.engine.joins import JoinAlgorithm
         from repro.faults.recovery import DEFAULT_RECOVERY
 
-        tight = ResourceConfiguration(10, 2.0)
+        tight = ResourceConfiguration(num_containers=10, container_gb=2.0)
         plan = self._joint_plan(JoinAlgorithm.BROADCAST_HASH, tight)
 
         doomed, _ = make_runtime(planner)

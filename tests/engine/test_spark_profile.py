@@ -9,7 +9,7 @@ from repro.engine.profiles import SPARK_PROFILE
 
 
 def rc(nc, cs):
-    return ResourceConfiguration(nc, cs)
+    return ResourceConfiguration(num_containers=nc, container_gb=cs)
 
 
 class TestSparkSwitchBehaviour:

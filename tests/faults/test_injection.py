@@ -203,7 +203,7 @@ class TestDegradation:
         assert outcome.faults_injected == 1
 
     def test_degradation_replans_resources(self):
-        replanned = ResourceConfiguration(20, 2.0)
+        replanned = ResourceConfiguration(num_containers=20, container_gb=2.0)
 
         def replan(algorithm):
             assert algorithm is JoinAlgorithm.SORT_MERGE

@@ -1,0 +1,107 @@
+"""Null-tracer identity: tracing must never change what is computed.
+
+A traced run and an untraced run of the same seeded query must produce
+bit-identical planning and execution results -- the only permitted
+difference is the :attr:`AttemptRecord.span_id` back-reference, which is
+``None`` when no tracer recorded the attempt.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.catalog import tpch
+from repro.core.raqo import RaqoPlanner
+from repro.engine.executor import execute_plan
+from repro.engine.profiles import HIVE_PROFILE
+from repro.faults.model import FaultPlan, FaultSpec
+from repro.faults.recovery import DEFAULT_RECOVERY
+from repro.obs.tracing import NULL_TRACER, Tracer
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return tpch.tpch_catalog(100)
+
+
+@pytest.fixture(scope="module")
+def queries(catalog):
+    return [q for q in tpch.EVALUATION_QUERIES[:4]]
+
+
+FAULTS = FaultPlan(FaultSpec.parse("seed=3,oom=0.25,preempt=0.15"))
+
+
+def _scrub_span_ids(execution):
+    """The execution result with span back-references nulled out."""
+    joins = tuple(
+        dataclasses.replace(
+            join,
+            attempts=tuple(
+                dataclasses.replace(attempt, span_id=None)
+                for attempt in join.attempts
+            ),
+        )
+        for join in execution.joins
+    )
+    return dataclasses.replace(execution, joins=joins)
+
+
+def _run(catalog, query, tracer):
+    planner = RaqoPlanner.default(catalog, tracer=tracer)
+    planning = planner.optimize(query)
+    execution = execute_plan(
+        planning.plan,
+        planner.estimator,
+        HIVE_PROFILE,
+        faults=FAULTS,
+        recovery=DEFAULT_RECOVERY,
+        tracer=tracer,
+    )
+    return planning, execution
+
+
+class TestNullTracerIdentity:
+    def test_traced_and_untraced_runs_match(self, catalog, queries):
+        for query in queries:
+            untraced_plan, untraced_exec = _run(
+                catalog, query, NULL_TRACER
+            )
+            traced_plan, traced_exec = _run(
+                catalog, query, Tracer(seed=0)
+            )
+            assert traced_plan.plan == untraced_plan.plan
+            assert traced_plan.cost == untraced_plan.cost
+            assert _scrub_span_ids(traced_exec) == _scrub_span_ids(
+                untraced_exec
+            )
+
+    def test_untraced_attempts_have_no_span_ids(self, catalog, queries):
+        _, execution = _run(catalog, queries[0], NULL_TRACER)
+        for join in execution.joins:
+            for attempt in join.attempts:
+                assert attempt.span_id is None
+
+    def test_traced_attempts_reference_recorded_spans(
+        self, catalog, queries
+    ):
+        tracer = Tracer(seed=0)
+        faulted = None
+        for query in queries:
+            tracer.clear()
+            _, execution = _run(catalog, query, tracer)
+            if any(join.attempts for join in execution.joins):
+                faulted = execution
+                break
+        assert faulted is not None, "no query produced attempt records"
+        recorded = {span.span_id for span in tracer.spans()}
+        for join in faulted.joins:
+            for attempt in join.attempts:
+                assert attempt.span_id in recorded
+
+    def test_execution_errors_carry_trace_context(self, catalog):
+        from repro.engine.executor import ExecutionError
+
+        error = ExecutionError("boom", span_id="a" * 16, trace_id="b" * 16)
+        assert error.span_id == "a" * 16
+        assert error.trace_id == "b" * 16

@@ -1,0 +1,173 @@
+"""Tests for repro.obs.tracing: deterministic IDs, nesting, null path."""
+
+import threading
+
+from repro.obs.tracing import (
+    NULL_SPAN,
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    SpanHandle,
+    Tracer,
+)
+
+
+class TestSpanIdentity:
+    def test_same_seed_same_path_same_id(self):
+        first = Tracer(seed=7)
+        second = Tracer(seed=7)
+        with first.span("run", kind="engine") as a:
+            pass
+        with second.span("run", kind="engine") as b:
+            pass
+        assert a.span_id == b.span_id
+        assert a.trace_id == b.trace_id
+
+    def test_different_seed_different_id(self):
+        first = Tracer(seed=7)
+        second = Tracer(seed=8)
+        with first.span("run") as a:
+            pass
+        with second.span("run") as b:
+            pass
+        assert a.span_id != b.span_id
+        assert a.trace_id != b.trace_id
+
+    def test_sibling_ordinals_disambiguate(self):
+        tracer = Tracer(seed=0)
+        with tracer.span("workload") as root:
+            with tracer.span("stage") as s0:
+                pass
+            with tracer.span("stage") as s1:
+                pass
+        assert s0.path == (root.path[0], "stage[0]")
+        assert s1.path == (root.path[0], "stage[1]")
+        assert s0.span_id != s1.span_id
+
+    def test_explicit_key_fixes_the_path_component(self):
+        tracer = Tracer(seed=0)
+        with tracer.span("workload") as root:
+            span = tracer.span("query", parent=root, key="3")
+            with span:
+                pass
+        assert span.path[-1] == "query[3]"
+
+    def test_keyed_ids_do_not_depend_on_creation_order(self):
+        forward = Tracer(seed=5)
+        with forward.span("workload", key="w") as root:
+            for key in ("0", "1", "2"):
+                with forward.span("query", parent=root, key=key):
+                    pass
+        backward = Tracer(seed=5)
+        with backward.span("workload", key="w") as root:
+            for key in ("2", "1", "0"):
+                with backward.span("query", parent=root, key=key):
+                    pass
+        forward_ids = {s.path: s.span_id for s in forward.spans()}
+        backward_ids = {s.path: s.span_id for s in backward.spans()}
+        assert forward_ids == backward_ids
+
+    def test_span_ids_are_sixteen_hex_chars(self):
+        tracer = Tracer(seed=123)
+        with tracer.span("plan") as span:
+            pass
+        assert len(span.span_id) == 16
+        int(span.span_id, 16)  # must parse as hex
+
+
+class TestNesting:
+    def test_implicit_parenting_uses_the_entered_span(self):
+        tracer = Tracer(seed=0)
+        with tracer.span("run") as outer:
+            with tracer.span("stage") as inner:
+                assert tracer.current_span() is inner
+            assert tracer.current_span() is outer
+        assert tracer.current_span() is None
+        assert inner.parent_id == outer.span_id
+
+    def test_thread_local_stacks_are_independent(self):
+        tracer = Tracer(seed=0)
+        seen = {}
+
+        def worker():
+            seen["current"] = tracer.current_span()
+
+        with tracer.span("run"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen["current"] is None
+
+    def test_spans_sorted_by_path(self):
+        tracer = Tracer(seed=0)
+        with tracer.span("b"):
+            pass
+        with tracer.span("a"):
+            pass
+        names = [span.path for span in tracer.spans()]
+        assert names == sorted(names)
+
+    def test_clear_resets_spans_and_ordinals(self):
+        tracer = Tracer(seed=0)
+        with tracer.span("run") as first:
+            pass
+        tracer.clear()
+        assert len(tracer) == 0
+        with tracer.span("run") as again:
+            pass
+        assert again.span_id == first.span_id
+
+
+class TestSpanPayload:
+    def test_attributes_and_events_round_trip(self):
+        tracer = Tracer(seed=0)
+        with tracer.span("stage", kind="engine") as span:
+            span.set_attribute("algorithm", "BHJ")
+            span.set_attributes({"num_containers": 10})
+            span.event("fault", sim_time_s=1.5, attributes={"kind": "oom"})
+            span.set_sim_window(0.0, 4.0)
+        payload = span.to_dict()
+        assert payload["attributes"] == {
+            "algorithm": "BHJ",
+            "num_containers": 10,
+        }
+        assert payload["events"][0]["name"] == "fault"
+        assert payload["events"][0]["sim_time_s"] == 1.5
+        assert payload["sim_start_s"] == 0.0
+        assert payload["sim_end_s"] == 4.0
+
+    def test_wall_clock_is_recorded_on_enter_exit(self):
+        tracer = Tracer(seed=0)
+        with tracer.span("plan", kind="planner") as span:
+            pass
+        assert span.wall_start_s is not None
+        assert span.wall_end_s is not None
+        assert span.wall_end_s >= span.wall_start_s
+
+
+class TestNullTracer:
+    def test_null_tracer_is_inactive_and_allocation_free(self):
+        assert NULL_TRACER.active is False
+        assert NULL_TRACER.span("anything") is NULL_SPAN
+        assert NULL_TRACER.current_span() is None
+
+    def test_null_span_accepts_the_full_surface(self):
+        span = NULL_TRACER.span("run")
+        with span as entered:
+            entered.set_attribute("k", 1)
+            entered.set_attributes({"a": 2})
+            entered.event("fault", sim_time_s=1.0)
+            entered.set_sim_window(0.0, 1.0)
+        assert span.active is False
+        assert span.span_id == ""
+
+    def test_real_span_is_a_span_handle(self):
+        tracer = Tracer(seed=0)
+        with tracer.span("run") as span:
+            pass
+        assert isinstance(span, SpanHandle)
+        assert isinstance(span, Span)
+        assert span.active is True
+
+    def test_fresh_null_tracer_is_also_inactive(self):
+        assert NullTracer().active is False

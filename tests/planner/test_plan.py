@@ -52,7 +52,7 @@ class TestJoinNode:
 
     def test_with_resources(self):
         join = JoinNode(left=ScanNode("a"), right=ScanNode("b"))
-        config = ResourceConfiguration(5, 2.0)
+        config = ResourceConfiguration(num_containers=5, container_gb=2.0)
         assert join.with_resources(config).resources == config
         assert join.resources is None
 
@@ -60,7 +60,7 @@ class TestJoinNode:
         join = JoinNode(
             left=ScanNode("a"),
             right=ScanNode("b"),
-            resources=ResourceConfiguration(5, 2.0),
+            resources=ResourceConfiguration(num_containers=5, container_gb=2.0),
         )
         assert "<5 x 2GB>" in join.explain()
 
@@ -157,6 +157,6 @@ class TestSignature:
     def test_resources_do_not_affect_signature(self):
         base = left_deep_plan(("a", "b"))
         annotated = base.map_joins(
-            lambda j: j.with_resources(ResourceConfiguration(5, 2.0))
+            lambda j: j.with_resources(ResourceConfiguration(num_containers=5, container_gb=2.0))
         )
         assert plan_signature(base) == plan_signature(annotated)

@@ -55,7 +55,7 @@ class TestCostModelRoundTrip:
     def test_paper_model(self):
         payload = cost_model_to_dict(PAPER_SMJ_MODEL)
         rebuilt = cost_model_from_dict(payload)
-        config = ResourceConfiguration(10, 4.0)
+        config = ResourceConfiguration(num_containers=10, container_gb=4.0)
         assert rebuilt.predict(3.0, 77.0, config) == pytest.approx(
             PAPER_SMJ_MODEL.predict(3.0, 77.0, config)
         )
@@ -64,7 +64,7 @@ class TestCostModelRoundTrip:
         suite = default_cost_model()
         for model in suite.models.values():
             rebuilt = cost_model_from_dict(cost_model_to_dict(model))
-            config = ResourceConfiguration(25, 6.0)
+            config = ResourceConfiguration(num_containers=25, container_gb=6.0)
             assert rebuilt.predict(2.0, 77.0, config) == pytest.approx(
                 model.predict(2.0, 77.0, config)
             )
