@@ -10,11 +10,13 @@ registry (see :func:`repro.analysis.framework.register_rule`):
   mutable-default-arg;
 - :mod:`plan_shape` -- RAQO007 positional-dimension-index;
 - :mod:`typing_gate` -- RAQO008 untyped-public-api;
-- :mod:`api_compat` -- RAQO009 positional-resource-axes.
+- :mod:`api_compat` -- RAQO009 positional-resource-axes;
+- :mod:`batching` -- RAQO010 per-candidate-costing-loop.
 """
 
 from repro.analysis.rules import (  # noqa: F401  (registration imports)
     api_compat,
+    batching,
     comparisons,
     determinism,
     plan_shape,
@@ -24,6 +26,7 @@ from repro.analysis.rules import (  # noqa: F401  (registration imports)
 
 __all__ = [
     "api_compat",
+    "batching",
     "comparisons",
     "determinism",
     "plan_shape",

@@ -59,6 +59,13 @@ class JoinGraph:
     def __init__(self, edges: Iterable[JoinEdge] = ()) -> None:
         self._graph = nx.Graph()
         self._edges: Dict[FrozenSet[str], JoinEdge] = {}
+        #: Connectivity answers by table set. The DP planners probe
+        #: every subset of every lattice level (often across many
+        #: queries over one catalog), and the networkx subgraph + BFS
+        #: behind each probe dominates batched planning time. Entries
+        #: are idempotent, so concurrent refills by parallel workload
+        #: threads are benign; ``add_edge`` invalidates.
+        self._connected_cache: Dict[FrozenSet[str], bool] = {}
         for edge in edges:
             self.add_edge(edge)
 
@@ -70,6 +77,7 @@ class JoinGraph:
             )
         self._edges[edge.key] = edge
         self._graph.add_edge(edge.left, edge.right)
+        self._connected_cache.clear()
 
     def edges(self) -> List[JoinEdge]:
         """All join edges in insertion order."""
@@ -126,10 +134,17 @@ class JoinGraph:
             raise JoinGraphError("empty table set")
         if len(table_list) == 1:
             return True
+        key = frozenset(table_list)
+        cached = self._connected_cache.get(key)
+        if cached is not None:
+            return cached
         if any(table not in self._graph for table in table_list):
-            return False
-        subgraph = self._graph.subgraph(table_list)
-        return nx.is_connected(subgraph)
+            connected = False
+        else:
+            subgraph = self._graph.subgraph(table_list)
+            connected = bool(nx.is_connected(subgraph))
+        self._connected_cache[key] = connected
+        return connected
 
     def selectivity_between(
         self, left_tables: Iterable[str], right_tables: Iterable[str]

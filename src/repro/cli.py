@@ -133,10 +133,26 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     workload.add_argument(
         "--parallel",
+        "--workers",
+        dest="parallel",
         type=int,
         default=1,
         metavar="WORKERS",
-        help="plan queries concurrently on this many workers",
+        help=(
+            "plan queries concurrently on this many threads "
+            "(best when planning is numpy-kernel dominated)"
+        ),
+    )
+    workload.add_argument(
+        "--procs",
+        type=int,
+        default=0,
+        metavar="PROCS",
+        help=(
+            "shard queries across a process pool of this size instead "
+            "of threads (best for GIL-bound planning on many cores); "
+            "mutually exclusive with --parallel/--workers"
+        ),
     )
     workload.add_argument(
         "--trace-dir",
@@ -418,6 +434,15 @@ def _cmd_workload(args: argparse.Namespace) -> int:
     if args.parallel < 1:
         print("--parallel must be >= 1", file=sys.stderr)
         return 2
+    if args.procs < 0:
+        print("--procs must be >= 0", file=sys.stderr)
+        return 2
+    if args.procs and args.parallel > 1:
+        print(
+            "--procs and --parallel/--workers are mutually exclusive",
+            file=sys.stderr,
+        )
+        return 2
     session = _make_session(args, seed=args.seed)
     faults, recovery = _make_faults(args)
     queries = generate_workload(
@@ -428,6 +453,7 @@ def _cmd_workload(args: argparse.Namespace) -> int:
     report = session.workload(
         queries,
         parallel=args.parallel,
+        processes=args.procs,
         label="baseline" if args.baseline else "raqo",
         faults=faults,
         recovery=recovery,
@@ -442,7 +468,12 @@ def _cmd_workload(args: argparse.Namespace) -> int:
         )
     print(
         f"\n{report.label}: {len(report.outcomes)} queries "
-        f"({args.parallel} worker(s)) | "
+        + (
+            f"({args.procs} process(es)) | "
+            if args.procs
+            else f"({args.parallel} worker(s)) | "
+        )
+        +
         f"planning {report.total_planning_ms:.1f} ms | "
         f"{report.total_resource_iterations} resource iters | "
         f"simulated {report.total_executed_time_s:.1f} s | "

@@ -93,6 +93,34 @@ class FeatureMap:
             ]
             return np.asarray(rows, dtype=float)
 
+    def stacked(
+        self,
+        small_gbs: np.ndarray,
+        large_gbs: np.ndarray,
+        container_gb: np.ndarray,
+        num_containers: np.ndarray,
+    ) -> Tuple[np.ndarray, ...]:
+        """Feature columns for M candidates x N configurations.
+
+        Returns one ``(M, N)`` array per feature. The data axes enter as
+        column vectors and the resource axes as row vectors, so the
+        transform's elementwise arithmetic broadcasts to the full
+        candidate-by-configuration plane without copying either axis --
+        every candidate shares the same zero-copy grid arrays. Each lane
+        runs the same IEEE operations as the scalar transform, so values
+        are bit-identical to M separate :meth:`batch` calls.
+        """
+        ss = np.asarray(small_gbs, dtype=float)[:, None]
+        ls = np.asarray(large_gbs, dtype=float)[:, None]
+        cs = np.asarray(container_gb, dtype=float)[None, :]
+        nc = np.asarray(num_containers, dtype=float)[None, :]
+        shape = (ss.shape[0], cs.shape[1])
+        values = self.transform(ss, ls, cs, nc)
+        return tuple(
+            np.broadcast_to(np.asarray(v, dtype=float), shape)
+            for v in values
+        )
+
     def __len__(self) -> int:
         return len(self.feature_names)
 
@@ -217,6 +245,106 @@ class OperatorCostModel:
         raw = np.where(np.isnan(raw), math.inf, raw)
         return np.maximum(raw, MIN_PREDICTED_TIME_S)
 
+    def predict_grid_stacked(
+        self,
+        small_gbs: np.ndarray,
+        large_gbs: np.ndarray,
+        counts: np.ndarray,
+        sizes: np.ndarray,
+    ) -> np.ndarray:
+        """:meth:`predict_grid` for M candidates at once: an ``(M, N)``
+        matrix of predicted times.
+
+        Row ``m`` accumulates the same coefficient-by-coefficient
+        multiply-add sequence as ``predict_grid(small_gbs[m], ...)``, so
+        each row is bit-identical to the per-candidate call. Transforms
+        that reject 2-D inputs fall back to stacking per-candidate grid
+        predictions.
+        """
+        small = np.asarray(small_gbs, dtype=float)
+        large = np.asarray(large_gbs, dtype=float)
+        if small.size == 0:
+            return np.zeros((0, len(counts)))
+        try:
+            values = self.feature_map.transform(
+                small[:, None],
+                large[:, None],
+                np.asarray(sizes, dtype=float)[None, :],
+                np.asarray(counts, dtype=float)[None, :],
+            )
+        except Exception:
+            return np.stack(
+                [
+                    self.predict_grid(
+                        float(ss), float(ls), counts, sizes
+                    )
+                    for ss, ls in zip(small, large)
+                ]
+            )
+        # Accumulate the un-broadcast feature values directly: the
+        # scalar multiply runs on the small (M, 1) or (1, N) operand
+        # and only the in-place add sweeps the full (M, N) plane. Each
+        # lane still sees the exact `acc + coef * column` IEEE sequence
+        # of the per-candidate path, at a fraction of the memory
+        # traffic of materializing every broadcast column.
+        acc = np.zeros((small.shape[0], len(counts)))
+        for value, coefficient in zip(values, self.coefficients):
+            acc += coefficient * np.asarray(value, dtype=float)
+        raw = self.intercept + acc
+        raw = np.where(np.isnan(raw), math.inf, raw)
+        return np.maximum(raw, MIN_PREDICTED_TIME_S)
+
+    def predict_rows(
+        self,
+        small_gbs: np.ndarray,
+        large_gbs: np.ndarray,
+        container_gb: np.ndarray,
+        num_containers: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized :meth:`predict` over N independent rows.
+
+        Unlike :meth:`predict_grid_stacked` there is no cross product:
+        row ``n`` pairs candidate ``n`` with *its own* configuration
+        (the batched planner's per-winner recompute). The feature
+        expressions are elementwise arithmetic and the accumulation
+        runs coefficient by coefficient, so each lane performs exactly
+        the IEEE operation sequence of the scalar call -- bit-identical
+        results. Transforms that reject array inputs fall back to the
+        per-row scalar path.
+        """
+        ss = np.asarray(small_gbs, dtype=float)
+        ls = np.asarray(large_gbs, dtype=float)
+        cs = np.asarray(container_gb, dtype=float)
+        nc = np.asarray(num_containers, dtype=float)
+        if ss.size == 0:
+            return np.zeros(0)
+        try:
+            values = self.feature_map.transform(ss, ls, cs, nc)
+            columns = [
+                np.broadcast_to(np.asarray(v, dtype=float), ss.shape)
+                for v in values
+            ]
+        except Exception:
+            return np.asarray(
+                [
+                    self.predict(
+                        float(s),
+                        float(l),
+                        ResourceConfiguration(
+                            num_containers=int(round(float(n))),
+                            container_gb=float(c),
+                        ),
+                    )
+                    for s, l, c, n in zip(ss, ls, cs, nc)
+                ]
+            )
+        acc = np.zeros(ss.shape)
+        for column, coefficient in zip(columns, self.coefficients):
+            acc = acc + coefficient * column
+        raw = self.intercept + acc
+        raw = np.where(np.isnan(raw), math.inf, raw)
+        return np.maximum(raw, MIN_PREDICTED_TIME_S)
+
     @classmethod
     def fit(
         cls,
@@ -321,6 +449,68 @@ class JoinCostEstimator:
             count=grid.num_configs,
         )
 
+    def predict_time_grid_batch(
+        self,
+        algorithm: JoinAlgorithm,
+        small_gbs: np.ndarray,
+        large_gbs: np.ndarray,
+        grid: ConfigurationGrid,
+    ) -> np.ndarray:
+        """Predicted times for M candidates x every grid configuration.
+
+        The base implementation stacks per-candidate
+        :meth:`predict_time_grid` rows, so every estimator supports the
+        batched planner path; :class:`CostModelSuite` overrides it with
+        one stacked kernel evaluation for the whole ``(M, N)`` plane.
+        Row ``m`` always equals ``predict_time_grid(algorithm,
+        small_gbs[m], large_gbs[m], grid)`` bit for bit.
+        """
+        rows = [
+            self.predict_time_grid(
+                algorithm, float(ss), float(ls), grid
+            )
+            for ss, ls in zip(small_gbs, large_gbs)
+        ]
+        if not rows:
+            return np.zeros((0, grid.num_configs))
+        return np.stack(rows)
+
+    def predict_time_rows(
+        self,
+        algorithm: JoinAlgorithm,
+        small_gbs: np.ndarray,
+        large_gbs: np.ndarray,
+        container_gb: np.ndarray,
+        num_containers: np.ndarray,
+    ) -> np.ndarray:
+        """Predicted times for N (candidate, configuration) pairs.
+
+        Row ``n`` pairs ``small_gbs[n]``/``large_gbs[n]`` with its own
+        configuration -- the batched kernel's per-winner recompute shape.
+        The base implementation loops over :meth:`predict_time`;
+        :class:`CostModelSuite` overrides it with one elementwise array
+        evaluation. Row ``n`` always equals ``predict_time(algorithm,
+        small_gbs[n], large_gbs[n], config_n)`` bit for bit.
+        """
+        return np.fromiter(
+            (
+                self.predict_time(
+                    algorithm,
+                    float(ss),
+                    float(ls),
+                    ResourceConfiguration(
+                        num_containers=int(round(float(nc))),
+                        container_gb=float(cs),
+                    ),
+                )
+                for ss, ls, cs, nc in zip(
+                    small_gbs, large_gbs, container_gb, num_containers
+                )
+            ),
+            dtype=float,
+            count=len(np.asarray(small_gbs)),
+        )
+
     def bhj_feasible(
         self, small_gb: float, config: ResourceConfiguration
     ) -> bool:
@@ -380,6 +570,57 @@ class CostModelSuite(JoinCostEstimator):
         if algorithm is JoinAlgorithm.BROADCAST_HASH:
             infeasible = small_gb > (
                 self.hash_memory_fraction * grid.sizes
+            )
+            times = np.where(infeasible, math.inf, times)
+        return times
+
+    def predict_time_grid_batch(
+        self,
+        algorithm: JoinAlgorithm,
+        small_gbs: np.ndarray,
+        large_gbs: np.ndarray,
+        grid: ConfigurationGrid,
+    ) -> np.ndarray:
+        """One stacked model evaluation for all M candidates x the grid.
+
+        The BHJ memory wall broadcasts the same per-lane comparison as
+        :meth:`predict_time_grid`, so rows stay bit-identical to the
+        per-candidate calls.
+        """
+        small = np.asarray(small_gbs, dtype=float)
+        large = np.asarray(large_gbs, dtype=float)
+        times = self.models[algorithm].predict_grid_stacked(
+            small, large, grid.counts, grid.sizes
+        )
+        if algorithm is JoinAlgorithm.BROADCAST_HASH and small.size:
+            infeasible = small[:, None] > (
+                self.hash_memory_fraction * grid.sizes
+            )
+            times = np.where(infeasible, math.inf, times)
+        return times
+
+    def predict_time_rows(
+        self,
+        algorithm: JoinAlgorithm,
+        small_gbs: np.ndarray,
+        large_gbs: np.ndarray,
+        container_gb: np.ndarray,
+        num_containers: np.ndarray,
+    ) -> np.ndarray:
+        """One elementwise model evaluation for all N winner rows.
+
+        Applies the BHJ memory wall as the same per-lane comparison as
+        :meth:`predict_time`, so rows stay bit-identical to per-winner
+        scalar calls.
+        """
+        small = np.asarray(small_gbs, dtype=float)
+        times = self.models[algorithm].predict_rows(
+            small, large_gbs, container_gb, num_containers
+        )
+        if algorithm is JoinAlgorithm.BROADCAST_HASH and small.size:
+            infeasible = small > (
+                self.hash_memory_fraction
+                * np.asarray(container_gb, dtype=float)
             )
             times = np.where(infeasible, math.inf, times)
         return times

@@ -24,7 +24,7 @@ import enum
 import math
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Dict, FrozenSet, Optional, Tuple, Union
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -44,6 +44,7 @@ from repro.core.cost_model import (
 from repro.core.plan_cache import LookupMode, ResourcePlanCache
 from repro.core.resource_planner import (
     ResourcePlanOutcome,
+    ResourcePlanningError,
     brute_force_resource_plan,
     feasible_bhj_start,
     hill_climb_resource_plan,
@@ -52,11 +53,14 @@ from repro.engine.profiles import EngineProfile, HIVE_PROFILE
 from repro.engine.joins import JoinAlgorithm
 from repro.obs.tracing import NULL_TRACER, Tracer
 from repro.planner.cost_interface import (
+    BatchCostResult,
     Cost,
     INFEASIBLE_COST,
     PlanningContext,
     PlanningResult,
+    cost_batch_scalar,
 )
+from repro.planner.plan import CandidateBatch
 from repro.planner.randomized import FastRandomizedPlanner
 from repro.planner.selinger import SelingerPlanner
 
@@ -123,6 +127,16 @@ class QueryOptimizerCoster:
         # they are chosen later, outside the optimizer.
         return Cost(time_s=time_s, money=money), None
 
+    def cost_batch(
+        self, batch: CandidateBatch, context: PlanningContext
+    ) -> BatchCostResult:
+        """Batched protocol for the baseline: per-candidate costing.
+
+        The fixed-configuration coster has no resource grid to stack,
+        so the batch runs through the scalar reference loop.
+        """
+        return cost_batch_scalar(self, batch, context)
+
 
 @dataclass
 class RaqoCoster:
@@ -183,6 +197,350 @@ class RaqoCoster:
         if memo_key is not None:
             context.resource_plan_memo[memo_key] = result
         return result
+
+    # Candidate classifications used by :meth:`cost_batch`. Finished
+    # candidates (memo hits and within-batch aliases) need no further
+    # work; CACHED/WALL candidates resolved inline (cache hit / BHJ
+    # memory wall); KERNEL candidates go through the stacked grid
+    # kernel; TAIL candidates must replay the scalar path sequentially
+    # because their cache lookup depends on an earlier candidate's
+    # insert.
+    _DONE, _CACHED, _WALL, _KERNEL, _TAIL = range(5)
+
+    def cost_batch(
+        self, batch: CandidateBatch, context: PlanningContext
+    ) -> BatchCostResult:
+        """Cost a whole candidate batch through one stacked kernel.
+
+        The batch is partitioned *in candidate order* into memo hits,
+        cache hits, and kernel rows; the kernel then costs all rows of
+        one algorithm against the full resource grid in a single
+        ``predict_time_grid_batch`` call (N candidates x G
+        configurations, zero-copy shared grid axes). Candidates whose
+        plan-cache lookup could observe an insert made by an *earlier*
+        candidate of the same batch are deferred to a sequential tail
+        that replays the exact scalar semantics, so every observable --
+        chosen configurations, costs, counters, cache statistics, and
+        traced span trees -- is bit-identical to costing the candidates
+        one at a time. Hill climbing and non-vectorized costers fall
+        back to the scalar reference loop.
+        """
+        if (
+            self.method is not ResourcePlanningMethod.BRUTE_FORCE
+            or not self.vectorized
+        ):
+            return cost_batch_scalar(self, batch, context)
+        counters = context.counters
+        counters.batched_calls += 1
+        context.batch_sizes.append(len(batch))
+        n = len(batch)
+        times = np.full(n, math.inf)
+        money = np.full(n, math.inf)
+        configs: List[Optional[ResourceConfiguration]] = [None] * n
+        kinds = [self._DONE] * n
+        cache_hit = [False] * n
+        alias_of: Dict[int, int] = {}
+        memo_keys: List[Optional[Tuple]] = [None] * n
+        #: First in-batch candidate computing each memo key.
+        batch_first: Dict[Tuple, int] = {}
+        #: (model_key -> smaller-input keys) of candidates that may
+        #: still insert into the plan cache (kernel rows and tail).
+        pending: Dict[str, List[float]] = {}
+        if self.cache is not None and (
+            self.cache.mode is not LookupMode.EXACT
+        ):
+            threshold = self.cache.threshold_gb
+        else:
+            threshold = 0.0
+
+        def commit(
+            index: int, result: Tuple[Cost, Optional[ResourceConfiguration]]
+        ) -> None:
+            cost, config = result
+            times[index] = cost.time_s
+            money[index] = cost.money
+            configs[index] = config
+            memo_key = memo_keys[index]
+            if memo_key is not None:
+                context.resource_plan_memo[memo_key] = result
+
+        # Loop-invariant lookups hoisted out of the per-candidate scan:
+        # model keys are pure per-algorithm strings, and the BHJ wall is
+        # `feasible_bhj_start(...) is None`, which only compares
+        # small_gb / hash_memory_fraction against the largest container.
+        model_keys = {
+            algorithm: self.model.model_key(algorithm)
+            for algorithm in dict.fromkeys(batch.algorithms)
+        }
+        bhj_fraction = self.model.hash_memory_fraction
+        bhj_max_gb = context.cluster.dimension("container_gb").maximum
+
+        # Phase 1 -- partition, visiting candidates in scalar order.
+        kernel_rows: List[int] = []
+        for i in range(n):
+            algorithm = batch.algorithms[i]
+            small_gb = float(batch.small_gb[i])
+            large_gb = float(batch.large_gb[i])
+            model_key = model_keys[algorithm]
+            if self.memoize:
+                memo_key = (
+                    model_key,
+                    small_gb,
+                    large_gb,
+                    self.money_weight,
+                )
+                memoized = context.resource_plan_memo.get(memo_key)
+                if memoized is not None:
+                    counters.memo_hits += 1
+                    counters.batch_memo_hits += 1
+                    cost, config = memoized
+                    times[i] = cost.time_s
+                    money[i] = cost.money
+                    configs[i] = config
+                    continue
+                first = batch_first.get(memo_key)
+                if first is not None:
+                    # A duplicate of a still-pending candidate: by the
+                    # time the scalar loop reached it, the first
+                    # occurrence's result would be memoized.
+                    counters.memo_hits += 1
+                    counters.batch_memo_hits += 1
+                    alias_of[i] = first
+                    continue
+                batch_first[memo_key] = i
+                memo_keys[i] = memo_key
+            if self.cache is not None and any(
+                abs(small_gb - other) <= threshold
+                for other in pending.get(model_key, ())
+            ):
+                # The scalar loop would have inserted the pending
+                # candidate's configuration before this lookup ran;
+                # replay this candidate sequentially after the kernel.
+                kinds[i] = self._TAIL
+                pending.setdefault(model_key, []).append(small_gb)
+                continue
+            config = self._cached_config(
+                algorithm, small_gb, large_gb, context
+            )
+            if config is not None:
+                # Cache hits are validated feasible by _cached_config.
+                cache_hit[i] = True
+                kinds[i] = self._CACHED
+                time_s = self.model.predict_time(
+                    algorithm, small_gb, large_gb, config
+                )
+                if not math.isfinite(time_s):
+                    commit(i, (INFEASIBLE_COST, None))
+                    continue
+                commit(
+                    i,
+                    (
+                        Cost(
+                            time_s=time_s,
+                            money=self.price_model.cost_of_gb_seconds(
+                                config.gb_seconds(time_s)
+                            ),
+                        ),
+                        config,
+                    ),
+                )
+                continue
+            if algorithm is JoinAlgorithm.BROADCAST_HASH:
+                if small_gb < 0:
+                    raise ResourcePlanningError(
+                        f"small_gb must be >= 0, got {small_gb}"
+                    )
+                if small_gb / bhj_fraction > bhj_max_gb:
+                    kinds[i] = self._WALL
+                    commit(i, (INFEASIBLE_COST, None))
+                    continue
+            kinds[i] = self._KERNEL
+            kernel_rows.append(i)
+            pending.setdefault(model_key, []).append(small_gb)
+
+        # Phase 2 -- one stacked kernel call per algorithm present.
+        if kernel_rows:
+            self._run_kernel(batch, kernel_rows, context, commit)
+
+        # Phase 3 -- sequential tail + span emission, in candidate
+        # order (span ordinals under the plan span must match the
+        # scalar loop's creation order).
+        tracer = context.tracer
+        for i in range(n):
+            kind = kinds[i]
+            if kind == self._TAIL:
+                result = self._plan_and_cost(
+                    batch.algorithms[i],
+                    float(batch.small_gb[i]),
+                    float(batch.large_gb[i]),
+                    context,
+                )
+                commit(i, result)
+            elif tracer.active and kind != self._DONE:
+                self._emit_candidate_span(
+                    batch, i, kind, cache_hit[i], times, configs, context
+                )
+        for i, source in alias_of.items():
+            times[i] = times[source]
+            money[i] = money[source]
+            configs[i] = configs[source]
+        feasible = np.isfinite(times) & np.isfinite(money)
+        return BatchCostResult(
+            time_s=times,
+            money=money,
+            feasible=feasible,
+            configs=tuple(configs),
+        )
+
+    def _run_kernel(
+        self,
+        batch: CandidateBatch,
+        kernel_rows: List[int],
+        context: PlanningContext,
+        commit,
+    ) -> None:
+        """Grid-cost all kernel rows, one stacked call per algorithm."""
+        grid = context.cluster.config_grid()
+        if grid.num_configs == 0:
+            raise ResourcePlanningError(
+                "cluster offers no configurations"
+            )
+        by_algorithm: Dict[JoinAlgorithm, List[int]] = {}
+        for i in kernel_rows:
+            by_algorithm.setdefault(batch.algorithms[i], []).append(i)
+        #: Winners cluster on few grid points; materialise each once.
+        config_cache: Dict[int, ResourceConfiguration] = {}
+        for algorithm, rows in by_algorithm.items():
+            small = batch.small_gb[rows]
+            large = batch.large_gb[rows]
+            # Counted exactly like the scalar scan: one resource
+            # iteration per (candidate, configuration) pair.
+            context.counters.resource_iterations += (
+                grid.num_configs * len(rows)
+            )
+            times = self.model.predict_time_grid_batch(
+                algorithm, small, large, grid
+            )
+            times = np.where(np.isnan(times), math.inf, times)
+            if self.money_weight:
+                # Same inlined expression as the scalar grid objective,
+                # broadcast over the candidate axis.
+                money = (
+                    grid.total_memory_gb
+                    * times
+                    / 3600.0
+                    * self.price_model.dollars_per_gb_hour
+                )
+                objective = times + self.money_weight * money
+                objective = np.where(
+                    np.isnan(objective), math.inf, objective
+                )
+            else:
+                # `times` is already NaN-washed; no second pass needed.
+                objective = times
+            # First-occurrence argmin per row = the scalar tie-break.
+            best = np.argmin(objective, axis=1)
+            model_key = self.model.model_key(algorithm)
+            # Recompute the winners' unweighted times in one elementwise
+            # call (the scalar path re-predicts after its argmin too);
+            # each lane is bit-identical to a per-winner predict_time.
+            winner_counts = grid.counts[best]
+            winner_sizes = grid.sizes[best]
+            winner_times = self.model.predict_time_rows(
+                algorithm,
+                small,
+                large,
+                winner_sizes,
+                winner_counts,
+            )
+            # Same left-to-right expression as the scalar
+            # `cost_of_gb_seconds(config.gb_seconds(time_s))` chain:
+            # ((nc * cs) * t) / 3600 * rate, lane for lane.
+            winner_money = (
+                winner_counts
+                * winner_sizes
+                * winner_times
+                / 3600.0
+                * self.price_model.dollars_per_gb_hour
+            )
+            for position, i in enumerate(rows):
+                best_index = int(best[position])
+                best_cost = float(objective[position, best_index])
+                if not math.isfinite(best_cost):
+                    raise ResourcePlanningError(
+                        "cluster offers no configurations"
+                    )
+                config = config_cache.get(best_index)
+                if config is None:
+                    config = grid.config_at(best_index)
+                    config_cache[best_index] = config
+                small_gb = float(batch.small_gb[i])
+                if self.cache is not None:
+                    self.cache.insert(model_key, small_gb, config)
+                time_s = float(winner_times[position])
+                if not math.isfinite(time_s):
+                    commit(i, (INFEASIBLE_COST, None))
+                    continue
+                commit(
+                    i,
+                    (
+                        Cost(
+                            time_s=time_s,
+                            money=float(winner_money[position]),
+                        ),
+                        config,
+                    ),
+                )
+
+    def _emit_candidate_span(
+        self,
+        batch: CandidateBatch,
+        index: int,
+        kind: int,
+        hit: bool,
+        times: np.ndarray,
+        configs: List[Optional[ResourceConfiguration]],
+        context: PlanningContext,
+    ) -> None:
+        """Emit the spans the scalar path would have for one candidate.
+
+        Batched costing computes results out of band, so the
+        ``resource-planning`` (and, for kernel rows, ``grid-costing``)
+        spans are materialized afterwards with the same nesting,
+        creation order, and attributes as :meth:`_plan_and_cost` --
+        canonical span trees stay byte-identical to the scalar run.
+        """
+        with context.tracer.span(
+            "resource-planning", kind="planner"
+        ) as span:
+            if kind == self._KERNEL:
+                grid = context.cluster.config_grid()
+                with context.tracer.span(
+                    "grid-costing", kind="planner"
+                ) as inner:
+                    inner.set_attribute(
+                        "iterations", grid.num_configs
+                    )
+            time_s = float(times[index])
+            config = configs[index]
+            span.set_attributes(
+                {
+                    "algorithm": batch.algorithms[index].value,
+                    "small_gb": float(batch.small_gb[index]),
+                    "large_gb": float(batch.large_gb[index]),
+                    "cache_hit": hit,
+                    "feasible": math.isfinite(time_s),
+                }
+            )
+            if math.isfinite(time_s):
+                span.set_attribute("cost_time_s", time_s)
+            if config is not None:
+                span.set_attributes(
+                    {
+                        "num_containers": config.num_containers,
+                        "container_gb": config.container_gb,
+                    }
+                )
 
     def _plan_and_cost(
         self,
@@ -421,6 +779,7 @@ class RaqoPlanner:
         seed: int = 0,
         memoize_within_run: bool = True,
         vectorized_resource_planning: bool = True,
+        batched_costing: bool = True,
         tracer: Optional[Tracer] = None,
     ) -> None:
         # Everything needed to build an equivalent planner (clone()).
@@ -440,6 +799,7 @@ class RaqoPlanner:
             seed=seed,
             memoize_within_run=memoize_within_run,
             vectorized_resource_planning=vectorized_resource_planning,
+            batched_costing=batched_costing,
             tracer=tracer,
         )
         self.catalog = catalog
@@ -480,7 +840,9 @@ class RaqoPlanner:
 
         if planner_kind is PlannerKind.SELINGER:
             self.query_planner = SelingerPlanner(
-                self.coster, money_weight=money_weight
+                self.coster,
+                money_weight=money_weight,
+                batched=batched_costing,
             )
         else:
             self.query_planner = FastRandomizedPlanner(
@@ -488,6 +850,7 @@ class RaqoPlanner:
                 iterations=randomized_iterations,
                 money_weight=money_weight,
                 seed=seed,
+                batched=batched_costing,
             )
 
     @classmethod
@@ -517,6 +880,21 @@ class RaqoPlanner:
         kwargs["cost_model"] = self.cost_model  # skip any re-fitting
         kwargs["cluster"] = self.cluster  # reflect replan() updates
         return type(self)(self.catalog, **kwargs)
+
+    def picklable_init_kwargs(self) -> Dict[str, Any]:
+        """Constructor kwargs rebuilding this planner in another process.
+
+        Mirrors :meth:`clone`, except the tracer is dropped -- it holds
+        a lock and cannot cross a process boundary; the process-parallel
+        workload runner installs a fresh same-seed child tracer in each
+        worker instead. The already-fitted cost model ships along so
+        workers never re-train.
+        """
+        kwargs = dict(self._init_kwargs)
+        kwargs["cost_model"] = self.cost_model
+        kwargs["cluster"] = self.cluster
+        kwargs.pop("tracer", None)
+        return kwargs
 
     def make_context(
         self,

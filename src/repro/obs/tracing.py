@@ -332,6 +332,53 @@ class Tracer:
         finished.sort(key=lambda span: span.path)
         return tuple(finished)
 
+    def adopt(self, payloads: Iterable[Mapping[str, object]]) -> int:
+        """Graft spans recorded by a same-seed tracer in another process.
+
+        The process-parallel workload runner rebuilds each worker's
+        planner around a child ``Tracer(seed)`` (the tracer itself holds
+        a lock and cannot cross a process boundary) and ships finished
+        spans back as :meth:`Span.to_dict` payloads. Because span IDs
+        are pure functions of ``(seed, path)``, a grafted span is
+        indistinguishable from one recorded locally -- the merged tree
+        is byte-identical to a serial run. Payloads whose IDs do not
+        match this tracer's seed are rejected, catching
+        mismatched-tracer bugs early. Returns the number of spans
+        adopted.
+        """
+        count = 0
+        for payload in payloads:
+            path = tuple(str(part) for part in payload["path"])
+            span = Span(
+                tracer=self,
+                name=str(payload["name"]),
+                kind=str(payload["kind"]),
+                path=path,
+                parent_id=payload.get("parent_id"),
+            )
+            if span.span_id != payload["span_id"]:
+                raise ValueError(
+                    f"span {'/'.join(path)!r} was recorded under a "
+                    f"different tracer seed (id {payload['span_id']!r}"
+                    f" != expected {span.span_id!r})"
+                )
+            span.attributes = dict(payload.get("attributes") or {})
+            span.events = [
+                SpanEvent(
+                    name=str(event["name"]),
+                    sim_time_s=event.get("sim_time_s"),
+                    attributes=event.get("attributes"),
+                )
+                for event in payload.get("events") or []
+            ]
+            span.wall_start_s = payload.get("wall_start_s")
+            span.wall_end_s = payload.get("wall_end_s")
+            span.sim_start_s = payload.get("sim_start_s")
+            span.sim_end_s = payload.get("sim_end_s")
+            self._record(span)
+            count += 1
+        return count
+
     def clear(self) -> None:
         """Drop all finished spans (the seed and trace ID stay)."""
         with self._lock:

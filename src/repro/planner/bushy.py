@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import dataclasses
 import itertools
-from typing import Dict, FrozenSet, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.catalog.queries import Query
 from repro.planner.cost_interface import (
@@ -25,9 +25,10 @@ from repro.planner.cost_interface import (
     PlanningResult,
     Stopwatch,
     ZERO_COST,
+    dispatch_cost_batch,
 )
 from repro.planner.operators import JOIN_IMPLEMENTATIONS
-from repro.planner.plan import JoinNode, PlanNode, ScanNode
+from repro.planner.plan import CandidateBatch, JoinNode, PlanNode, ScanNode
 from repro.planner.selinger import PlanningError, _counters_delta
 
 #: Exhaustive bushy enumeration is exponential; refuse silly inputs.
@@ -35,7 +36,15 @@ MAX_BUSHY_RELATIONS = 12
 
 
 class BushyPlanner:
-    """Exhaustive bushy join-order optimizer (DPsize)."""
+    """Exhaustive bushy join-order optimizer (DPsize).
+
+    With ``batched`` (the default) each DP level -- every (left, right,
+    implementation) partition of every connected subset of one size --
+    is costed through a single ``cost_batch`` call, exactly like the
+    left-deep :class:`~repro.planner.selinger.SelingerPlanner`:
+    size-``k`` entries only read strictly smaller ``best`` entries, so
+    the batched level is bit-identical to the per-candidate loop.
+    """
 
     name = "bushy_dp"
 
@@ -44,10 +53,12 @@ class BushyPlanner:
         coster: PlanCoster,
         time_weight: float = 1.0,
         money_weight: float = 0.0,
+        batched: bool = True,
     ) -> None:
         self._coster = coster
         self._time_weight = time_weight
         self._money_weight = money_weight
+        self._batched = batched
 
     def _scalar(self, cost: Cost) -> float:
         return cost.scalar(self._time_weight, self._money_weight)
@@ -65,6 +76,7 @@ class BushyPlanner:
         query.validate(context.estimator.catalog)
         watch = Stopwatch()
         start = dataclasses.replace(context.counters)
+        batches_before = len(context.batch_sizes)
 
         graph = context.estimator.join_graph
         best: Dict[FrozenSet[str], Tuple[PlanNode, Cost]] = {}
@@ -73,6 +85,9 @@ class BushyPlanner:
 
         all_tables = frozenset(query.tables)
         for size in range(2, len(query.tables) + 1):
+            if self._batched:
+                self._split_level(size, all_tables, best, context)
+                continue
             for combo in itertools.combinations(sorted(all_tables), size):
                 subset = frozenset(combo)
                 if not graph.is_connected(subset):
@@ -94,7 +109,84 @@ class BushyPlanner:
             wall_time_s=watch.elapsed_s(),
             counters=delta,
             planner_name=self.name,
+            batch_sizes=tuple(context.batch_sizes[batches_before:]),
         )
+
+    def _split_level(
+        self,
+        size: int,
+        all_tables: FrozenSet[str],
+        best: Dict[FrozenSet[str], Tuple[PlanNode, Cost]],
+        context: PlanningContext,
+    ) -> None:
+        """Cost one whole DPsize level as a single candidate batch.
+
+        Candidates are collected in exactly the order the scalar
+        ``_best_split`` loop costs them, costed in one ``cost_batch``
+        call, and the per-subset champion comparisons replayed in that
+        order.
+        """
+        graph = context.estimator.join_graph
+        #: (subset, left plan, left cost, right plan, right cost,
+        #: algorithm) rows, parallel to the batch.
+        rows: List[Tuple] = []
+        candidates = []
+        for combo in itertools.combinations(sorted(all_tables), size):
+            subset = frozenset(combo)
+            if not graph.is_connected(subset):
+                continue
+            names = sorted(subset)
+            # Enumerate proper subsets containing the smallest element,
+            # so each unordered partition is considered exactly once.
+            anchor = names[0]
+            restnames = names[1:]
+            for mask_size in range(0, len(restnames)):
+                for picked in itertools.combinations(
+                    restnames, mask_size
+                ):
+                    left = frozenset((anchor,) + picked)
+                    right = subset - left
+                    left_entry = best.get(left)
+                    right_entry = best.get(right)
+                    if left_entry is None or right_entry is None:
+                        continue
+                    if not graph.edges_between(left, right):
+                        continue
+                    for algorithm in JOIN_IMPLEMENTATIONS:
+                        context.counters.join_costings += 1
+                        rows.append(
+                            (subset, *left_entry, *right_entry, algorithm)
+                        )
+                        candidates.append((left, right, algorithm))
+        if not rows:
+            return
+        batch = CandidateBatch.build(candidates, context.join_io_gb)
+        costed = dispatch_cost_batch(self._coster, batch, context)
+        champions: Dict[FrozenSet[str], Tuple[PlanNode, Cost]] = {}
+        for index, (
+            subset,
+            left_plan,
+            left_cost,
+            right_plan,
+            right_cost,
+            algorithm,
+        ) in enumerate(rows):
+            cost, resources = costed.pair(index)
+            total = left_cost + right_cost + cost
+            if not total.is_finite:
+                continue
+            champion = champions.get(subset)
+            if champion is None or self._scalar(total) < self._scalar(
+                champion[1]
+            ):
+                node = JoinNode(
+                    left=left_plan,
+                    right=right_plan,
+                    algorithm=algorithm,
+                    resources=resources,
+                )
+                champions[subset] = (node, total)
+        best.update(champions)
 
     def _best_split(
         self,
@@ -122,7 +214,7 @@ class BushyPlanner:
                     continue
                 left_plan, left_cost = left_entry
                 right_plan, right_cost = right_entry
-                for algorithm in JOIN_IMPLEMENTATIONS:
+                for algorithm in JOIN_IMPLEMENTATIONS:  # lint: disable=RAQO010 -- the scalar reference path batched mode is verified against
                     context.counters.join_costings += 1
                     cost, resources = self._coster.join_cost(
                         left, right, algorithm, context

@@ -20,14 +20,24 @@ import dataclasses
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Optional, Protocol, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Protocol,
+    Tuple,
+)
+
+import numpy as np
 
 from repro.catalog.queries import Query
 from repro.catalog.statistics import StatisticsEstimator
 from repro.cluster.cluster import ClusterConditions
 from repro.engine.joins import JoinAlgorithm
 from repro.obs.tracing import NULL_TRACER, Tracer
-from repro.planner.plan import JoinNode, PlanNode
+from repro.planner.plan import CandidateBatch, JoinNode, PlanNode
 
 
 @dataclass(frozen=True)
@@ -84,6 +94,12 @@ class PlanningCounters:
     #: Within-run memo hits: identical (algorithm, ss, ls) costings
     #: served without touching the resource planner or the plan cache.
     memo_hits: int = 0
+    #: Candidate batches submitted through the batched costing entry
+    #: point (one per DP level / per whole-plan costing).
+    batched_calls: int = 0
+    #: Memo hits served during batch-aware partitioning, before the
+    #: stacked kernel ran (a subset of ``memo_hits``).
+    batch_memo_hits: int = 0
 
     def merge(self, other: "PlanningCounters") -> None:
         """Accumulate another counter set into this one."""
@@ -108,6 +124,9 @@ class PlanningContext:
     #: Observability sink for this planning run; the shared null tracer
     #: by default, so uninstrumented callers pay one attribute check.
     tracer: Tracer = NULL_TRACER
+    #: Sizes of the candidate batches costed during this run (feeds the
+    #: session's ``planner.batch_size`` histogram).
+    batch_sizes: List[int] = field(default_factory=list)
 
     def join_io_gb(
         self, left_tables: Iterable[str], right_tables: Iterable[str]
@@ -134,6 +153,101 @@ class PlanCoster(Protocol):
         """Cost one join operator; optionally return planned resources."""
         ...
 
+    def cost_batch(
+        self, batch: CandidateBatch, context: PlanningContext
+    ) -> "BatchCostResult":
+        """Cost a whole candidate batch; see :class:`BatchCostResult`."""
+        ...
+
+
+@dataclass(frozen=True)
+class BatchCostResult:
+    """Per-candidate costs for one :class:`CandidateBatch`, as parallel
+    arrays (struct-of-arrays, mirroring the batch itself).
+
+    ``time_s``/``money`` hold the exact float values the scalar
+    ``join_cost`` path would have produced (``inf`` for infeasible
+    candidates); ``feasible`` is the derived mask; ``configs`` carries
+    the planned per-operator resources (``None`` for infeasible
+    candidates and for costers that do not plan resources).
+    """
+
+    time_s: np.ndarray
+    money: np.ndarray
+    feasible: np.ndarray
+    configs: Tuple[Optional["ResourceConfiguration"], ...]  # noqa: F821
+
+    def pair(
+        self, index: int
+    ) -> Tuple[Cost, Optional["ResourceConfiguration"]]:  # noqa: F821
+        """Candidate ``index`` in ``join_cost`` return form."""
+        return (
+            Cost(
+                time_s=float(self.time_s[index]),
+                money=float(self.money[index]),
+            ),
+            self.configs[index],
+        )
+
+    def __len__(self) -> int:
+        return len(self.configs)
+
+
+def cost_batch_scalar(
+    coster: PlanCoster,
+    batch: CandidateBatch,
+    context: PlanningContext,
+) -> BatchCostResult:
+    """The reference ``cost_batch``: per-candidate ``join_cost`` calls.
+
+    Costers without a stacked kernel (the fixed-resource baseline, hill
+    climbing) implement the batched protocol by delegating here, so
+    planners can stay on the batch API unconditionally. Candidates run
+    in batch order -- identical to the scalar planner loop, spans and
+    counters included.
+    """
+    context.counters.batched_calls += 1
+    context.batch_sizes.append(len(batch))
+    times = np.empty(len(batch))
+    money = np.empty(len(batch))
+    configs: List[Optional["ResourceConfiguration"]] = []  # noqa: F821
+    for index in range(len(batch)):  # lint: disable=RAQO010 -- this *is* the scalar reference path batched costers fall back to
+        cost, config = coster.join_cost(
+            batch.left_tables[index],
+            batch.right_tables[index],
+            batch.algorithms[index],
+            context,
+        )
+        times[index] = cost.time_s
+        money[index] = cost.money
+        configs.append(config)
+    feasible = np.isfinite(times) & np.isfinite(money)
+    return BatchCostResult(
+        time_s=times,
+        money=money,
+        feasible=feasible,
+        configs=tuple(configs),
+    )
+
+
+def dispatch_cost_batch(
+    coster: PlanCoster,
+    batch: CandidateBatch,
+    context: PlanningContext,
+) -> BatchCostResult:
+    """Route a batch to ``coster.cost_batch``, or the scalar reference.
+
+    The batched planners call this instead of ``coster.cost_batch``
+    directly so that minimal :class:`PlanCoster` implementations (test
+    doubles, ad-hoc costers exposing only ``join_cost``) keep working:
+    they are costed through :func:`cost_batch_scalar`, which is
+    bit-identical to the per-candidate loop.
+    """
+    cost_batch = getattr(coster, "cost_batch", None)
+    if cost_batch is None:
+        return cost_batch_scalar(coster, batch, context)
+    return cost_batch(batch, context)
+
 
 def get_plan_cost(
     plan: PlanNode, coster: PlanCoster, context: PlanningContext
@@ -159,6 +273,42 @@ def get_plan_cost(
     return annotated, total
 
 
+def get_plan_cost_batched(
+    plan: PlanNode, coster: PlanCoster, context: PlanningContext
+) -> Tuple[PlanNode, Cost]:
+    """:func:`get_plan_cost` through one ``cost_batch`` call.
+
+    All of the plan's joins are gathered (in the same bottom-up order
+    ``map_joins`` costs them) into one :class:`CandidateBatch`, costed
+    in a single batched call, and folded back onto the tree. The
+    per-join costs, their summation order, and the annotated resources
+    are identical to the scalar path, so the two entry points return
+    bit-identical results.
+    """
+    joins = list(plan.joins_postorder())
+    if not joins:
+        return plan, ZERO_COST
+    batch = CandidateBatch.build(
+        [
+            (join.left.tables, join.right.tables, join.algorithm)
+            for join in joins
+        ],
+        context.join_io_gb,
+    )
+    result = dispatch_cost_batch(coster, batch, context)
+    total = ZERO_COST
+    indexes = iter(range(len(joins)))
+
+    def cost_one(join: JoinNode) -> JoinNode:
+        nonlocal total
+        cost, resources = result.pair(next(indexes))
+        total = total + cost
+        return join.with_resources(resources)
+
+    annotated = plan.map_joins(cost_one)
+    return annotated, total
+
+
 @dataclass(frozen=True)
 class PlanningResult:
     """The outcome of one optimizer run, with the paper's metrics."""
@@ -169,6 +319,9 @@ class PlanningResult:
     wall_time_s: float
     counters: PlanningCounters
     planner_name: str
+    #: Candidate-batch sizes this run pushed through ``cost_batch``
+    #: (empty on the scalar path); feeds the session batch histogram.
+    batch_sizes: Tuple[int, ...] = ()
 
     @property
     def resource_iterations(self) -> int:

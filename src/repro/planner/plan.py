@@ -12,11 +12,31 @@ to be requested to the RM for each operator in the DAG", Sec IV).
 from __future__ import annotations
 
 import dataclasses
+import types
 from dataclasses import dataclass
-from typing import Callable, FrozenSet, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
 
 from repro.cluster.containers import ResourceConfiguration
 from repro.engine.joins import JoinAlgorithm
+
+#: Stable operator codes for the struct-of-arrays candidate batch
+#: (enum order is part of the planner's deterministic iteration order).
+#: Read-only so worker threads can share it without a lock.
+ALGORITHM_CODES: Mapping[JoinAlgorithm, int] = types.MappingProxyType(
+    dict((algorithm, code) for code, algorithm in enumerate(JoinAlgorithm))
+)
 
 
 class PlanError(Exception):
@@ -152,6 +172,84 @@ class JoinNode(PlanNode):
             self.right.explain(indent + 2),
         ]
         return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class CandidateBatch:
+    """A struct-of-arrays batch of join candidates awaiting costing.
+
+    One entry per (left input, right input, join implementation) triple,
+    in the exact order the planner would have costed them one at a time
+    -- batched costing replays this order, which is what keeps champion
+    selection (and therefore the chosen plans) bit-identical to the
+    scalar path. The numeric columns are parallel numpy arrays so a
+    coster can feed a whole DP level (or a whole bushy plan's joins)
+    into one stacked kernel call; the table sets stay as Python
+    frozensets for plan reconstruction.
+    """
+
+    #: Per-candidate table sets (parallel to the arrays below).
+    left_tables: Tuple[FrozenSet[str], ...]
+    right_tables: Tuple[FrozenSet[str], ...]
+    algorithms: Tuple[JoinAlgorithm, ...]
+    #: Operator codes (``ALGORITHM_CODES``) as one int array.
+    algorithm_codes: np.ndarray
+    #: Candidate (smaller, larger) input sizes in GB.
+    small_gb: np.ndarray
+    large_gb: np.ndarray
+
+    @classmethod
+    def build(
+        cls,
+        candidates: Sequence[
+            Tuple[FrozenSet[str], FrozenSet[str], JoinAlgorithm]
+        ],
+        join_io_gb: Callable[
+            [FrozenSet[str], FrozenSet[str]], Tuple[float, float]
+        ],
+    ) -> "CandidateBatch":
+        """Assemble a batch, deriving sizes via ``join_io_gb``.
+
+        ``join_io_gb`` is typically
+        :meth:`~repro.planner.cost_interface.PlanningContext.join_io_gb`;
+        it is a pure function of the (left, right) pair, so the batch
+        evaluates it once per distinct pair (planners enumerate every
+        join implementation per pair, so this saves a constant factor
+        of ``len(JoinAlgorithm)`` without changing any value).
+        """
+        lefts: List[FrozenSet[str]] = []
+        rights: List[FrozenSet[str]] = []
+        algorithms: List[JoinAlgorithm] = []
+        codes: List[int] = []
+        small: List[float] = []
+        large: List[float] = []
+        sizes: Dict[
+            Tuple[FrozenSet[str], FrozenSet[str]], Tuple[float, float]
+        ] = {}
+        for left, right, algorithm in candidates:
+            lefts.append(left)
+            rights.append(right)
+            algorithms.append(algorithm)
+            codes.append(ALGORITHM_CODES[algorithm])
+            pair = (left, right)
+            io_gb = sizes.get(pair)
+            if io_gb is None:
+                io_gb = join_io_gb(left, right)
+                sizes[pair] = io_gb
+            ss, ls = io_gb
+            small.append(ss)
+            large.append(ls)
+        return cls(
+            left_tables=tuple(lefts),
+            right_tables=tuple(rights),
+            algorithms=tuple(algorithms),
+            algorithm_codes=np.asarray(codes, dtype=np.int8),
+            small_gb=np.asarray(small, dtype=float),
+            large_gb=np.asarray(large, dtype=float),
+        )
+
+    def __len__(self) -> int:
+        return len(self.algorithms)
 
 
 def left_deep_plan(

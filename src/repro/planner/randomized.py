@@ -33,6 +33,7 @@ from repro.planner.cost_interface import (
     PlanningResult,
     Stopwatch,
     get_plan_cost,
+    get_plan_cost_batched,
 )
 from repro.planner.operators import JOIN_IMPLEMENTATIONS
 from repro.planner.plan import (
@@ -93,7 +94,15 @@ class ParetoFrontier:
 
 
 class FastRandomizedPlanner:
-    """Multi-start randomized multi-objective join-order optimizer."""
+    """Multi-start randomized multi-objective join-order optimizer.
+
+    With ``batched`` (the default) every candidate plan -- the random
+    start and each accepted-or-rejected mutation neighbour -- has all
+    its joins costed as one :class:`~repro.planner.plan.CandidateBatch`
+    instead of per-join coster calls. The search itself (RNG stream,
+    mutation choices, acceptance tests) is untouched, so the batched
+    mode is bit-identical to the scalar one.
+    """
 
     name = "fast_randomized"
 
@@ -106,6 +115,7 @@ class FastRandomizedPlanner:
         time_weight: float = 1.0,
         money_weight: float = 0.0,
         seed: int = 0,
+        batched: bool = True,
     ) -> None:
         if iterations < 1:
             raise ValueError(f"iterations must be >= 1, got {iterations}")
@@ -116,9 +126,17 @@ class FastRandomizedPlanner:
         self._time_weight = time_weight
         self._money_weight = money_weight
         self._seed = seed
+        self._batched = batched
 
     def _scalar(self, cost: Cost) -> float:
         return cost.scalar(self._time_weight, self._money_weight)
+
+    def _cost_plan(
+        self, plan: PlanNode, context: PlanningContext
+    ) -> Tuple[PlanNode, Cost]:
+        if self._batched:
+            return get_plan_cost_batched(plan, self._coster, context)
+        return get_plan_cost(plan, self._coster, context)
 
     def plan(
         self, query: Query, context: PlanningContext
@@ -127,6 +145,7 @@ class FastRandomizedPlanner:
         query.validate(context.estimator.catalog)
         watch = Stopwatch()
         start = dataclasses.replace(context.counters)
+        batches_before = len(context.batch_sizes)
         rng = np.random.default_rng(self._seed)
         graph = context.estimator.join_graph
         patience = self._patience or max(20, 8 * len(query.tables))
@@ -137,7 +156,7 @@ class FastRandomizedPlanner:
 
         for _ in range(self._iterations):
             plan = random_join_tree(query.tables, graph, rng)
-            plan, cost = get_plan_cost(plan, self._coster, context)
+            plan, cost = self._cost_plan(plan, context)
             frontier.offer(plan, cost)
             if cost.is_finite and (
                 best is None or self._scalar(cost) < self._scalar(best[1])
@@ -155,8 +174,8 @@ class FastRandomizedPlanner:
                     failures += 1
                     continue
                 seen.add(signature)
-                candidate, candidate_cost = get_plan_cost(
-                    candidate, self._coster, context
+                candidate, candidate_cost = self._cost_plan(
+                    candidate, context
                 )
                 frontier.offer(candidate, candidate_cost)
                 improved = candidate_cost.is_finite and (
@@ -187,6 +206,7 @@ class FastRandomizedPlanner:
             wall_time_s=watch.elapsed_s(),
             counters=delta,
             planner_name=self.name,
+            batch_sizes=tuple(context.batch_sizes[batches_before:]),
             frontier=frontier.entries(),
         )
 

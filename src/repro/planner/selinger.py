@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import dataclasses
 import itertools
-from typing import Dict, FrozenSet, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.catalog.queries import Query
 from repro.planner.cost_interface import (
@@ -24,9 +24,15 @@ from repro.planner.cost_interface import (
     PlanningResult,
     Stopwatch,
     ZERO_COST,
+    dispatch_cost_batch,
 )
 from repro.planner.operators import JOIN_IMPLEMENTATIONS
-from repro.planner.plan import JoinNode, PlanNode, ScanNode
+from repro.planner.plan import (
+    CandidateBatch,
+    JoinNode,
+    PlanNode,
+    ScanNode,
+)
 
 
 class PlanningError(Exception):
@@ -34,7 +40,18 @@ class PlanningError(Exception):
 
 
 class SelingerPlanner:
-    """Left-deep bottom-up dynamic programming join-order optimizer."""
+    """Left-deep bottom-up dynamic programming join-order optimizer.
+
+    With ``batched`` (the default) every DP level -- all single-relation
+    extensions of all connected subsets of one size -- is costed as one
+    stacked :class:`~repro.planner.plan.CandidateBatch` through the
+    coster's ``cost_batch`` entry point. Extensions of size-``k``
+    subsets only read ``best`` entries of size ``k - 1``, so batching a
+    level never reorders any observable work: candidates are collected
+    and champions compared in exactly the order the per-candidate loop
+    uses, making the two modes bit-identical (plans, costs, counters,
+    span trees).
+    """
 
     name = "selinger"
 
@@ -43,10 +60,12 @@ class SelingerPlanner:
         coster: PlanCoster,
         time_weight: float = 1.0,
         money_weight: float = 0.0,
+        batched: bool = True,
     ) -> None:
         self._coster = coster
         self._time_weight = time_weight
         self._money_weight = money_weight
+        self._batched = batched
 
     def _scalar(self, cost: Cost) -> float:
         return cost.scalar(self._time_weight, self._money_weight)
@@ -63,6 +82,7 @@ class SelingerPlanner:
         query.validate(context.estimator.catalog)
         watch = Stopwatch()
         start = dataclasses.replace(context.counters)
+        batches_before = len(context.batch_sizes)
 
         graph = context.estimator.join_graph
         best: Dict[FrozenSet[str], Tuple[PlanNode, Cost]] = {}
@@ -71,6 +91,9 @@ class SelingerPlanner:
 
         all_tables = frozenset(query.tables)
         for size in range(2, len(query.tables) + 1):
+            if self._batched:
+                self._extend_level(size, all_tables, best, context)
+                continue
             for combo in itertools.combinations(sorted(all_tables), size):
                 subset = frozenset(combo)
                 if size > 1 and not graph.is_connected(subset):
@@ -93,7 +116,76 @@ class SelingerPlanner:
             wall_time_s=watch.elapsed_s(),
             counters=delta,
             planner_name=self.name,
+            batch_sizes=tuple(context.batch_sizes[batches_before:]),
         )
+
+    def _extend_level(
+        self,
+        size: int,
+        all_tables: FrozenSet[str],
+        best: Dict[FrozenSet[str], Tuple[PlanNode, Cost]],
+        context: PlanningContext,
+    ) -> None:
+        """Cost one whole DP level as a single candidate batch.
+
+        Collects every (subset, extension relation, implementation)
+        candidate of this level in the scalar iteration order, costs
+        them in one ``cost_batch`` call, then replays the per-subset
+        champion comparisons in the same order.
+        """
+        graph = context.estimator.join_graph
+        #: (subset, rest plan, rest cost, new table, algorithm) rows,
+        #: parallel to the batch.
+        rows: List[
+            Tuple[FrozenSet[str], PlanNode, Cost, str, "JoinAlgorithm"]  # noqa: F821
+        ] = []
+        candidates = []
+        for combo in itertools.combinations(sorted(all_tables), size):
+            subset = frozenset(combo)
+            if not graph.is_connected(subset):
+                continue
+            for table in sorted(subset):
+                rest = subset - {table}
+                rest_entry = best.get(rest)
+                if rest_entry is None:
+                    continue
+                # Left-deep: the new relation is always the right
+                # input, and must actually join (no cross products).
+                if not graph.edges_between(rest, {table}):
+                    continue
+                rest_plan, rest_cost = rest_entry
+                for algorithm in JOIN_IMPLEMENTATIONS:
+                    context.counters.join_costings += 1
+                    rows.append(
+                        (subset, rest_plan, rest_cost, table, algorithm)
+                    )
+                    candidates.append(
+                        (rest, frozenset((table,)), algorithm)
+                    )
+        if not rows:
+            return
+        batch = CandidateBatch.build(candidates, context.join_io_gb)
+        costed = dispatch_cost_batch(self._coster, batch, context)
+        champions: Dict[FrozenSet[str], Tuple[PlanNode, Cost]] = {}
+        for index, (subset, rest_plan, rest_cost, table, algorithm) in (
+            enumerate(rows)
+        ):
+            cost, resources = costed.pair(index)
+            total = rest_cost + cost
+            if not total.is_finite:
+                continue
+            champion = champions.get(subset)
+            if champion is None or self._scalar(total) < self._scalar(
+                champion[1]
+            ):
+                node = JoinNode(
+                    left=rest_plan,
+                    right=ScanNode(table),
+                    algorithm=algorithm,
+                    resources=resources,
+                )
+                champions[subset] = (node, total)
+        best.update(champions)
 
     def _best_extension(
         self,
@@ -114,7 +206,7 @@ class SelingerPlanner:
             if not graph.edges_between(rest, {table}):
                 continue
             rest_plan, rest_cost = rest_entry
-            for algorithm in JOIN_IMPLEMENTATIONS:
+            for algorithm in JOIN_IMPLEMENTATIONS:  # lint: disable=RAQO010 -- the scalar reference path batched mode is verified against
                 context.counters.join_costings += 1
                 cost, resources = self._coster.join_cost(
                     rest, frozenset((table,)), algorithm, context

@@ -5,20 +5,30 @@ overheads (wall time, resource configurations explored, cache behaviour)
 and the simulated execution outcomes (time, resources used, dollars) when
 the produced plans run on the engine simulator.
 
-Independent queries can be planned concurrently: ``run(max_workers=N)``
-fans the workload out over a thread pool, giving each worker thread its
-own planner clone (own coster, own resource plan cache) so no mutable
-planner state is shared. Results always come back in submission order,
-and with the default ``clear_cache_between_queries=True`` planner the
-parallel report is identical to the sequential one except for wall-clock
-timings.
+Independent queries can be planned concurrently, two ways:
+
+- ``run(max_workers=N)`` fans the workload out over a *thread pool*,
+  giving each worker thread its own planner clone (own coster, own
+  resource plan cache) so no mutable planner state is shared.
+- ``run(processes=N)`` fans it out over a *process pool*: each worker
+  process rebuilds the planner from its picklable constructor state
+  (catalog, fitted cost model, knobs) once, then plans its share of the
+  queries free of the GIL. Traced runs give each worker a same-seed
+  child tracer and graft the finished spans back onto the parent
+  tracer, so the merged canonical span tree is byte-identical to a
+  serial run.
+
+Results always come back in submission order, and with the default
+``clear_cache_between_queries=True`` planner the parallel report is
+identical to the sequential one except for wall-clock timings.
 """
 
 from __future__ import annotations
 
 import math
+import multiprocessing
 import threading
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -113,6 +123,68 @@ class WorkloadReport:
             self.total_executed_time_s,
             self.total_dollars,
         )
+
+
+#: Per-worker-process runner installed by :func:`_init_workload_worker`.
+#: One per process, so workload shards never share mutable planner state.
+_WORKER_RUNNER: Optional["WorkloadRunner"] = None
+
+
+def _init_workload_worker(payload: Dict[str, object]) -> None:
+    """Process-pool initializer: rebuild the runner from picklable state.
+
+    Runs once per worker process; the rebuilt planner (and its
+    deterministically re-fitted statistics) then serves every query the
+    pool hands this worker.
+    """
+    global _WORKER_RUNNER
+    kwargs = dict(payload["planner_kwargs"])
+    tracer_seed = payload["tracer_seed"]
+    if tracer_seed is not None:
+        kwargs["tracer"] = Tracer(seed=tracer_seed)
+    planner = RaqoPlanner(payload["catalog"], **kwargs)
+    _WORKER_RUNNER = WorkloadRunner(
+        planner,
+        profile=payload["profile"],
+        default_resources=payload["default_resources"],
+        faults=payload["faults"],
+        recovery=payload["recovery"],
+    )
+
+
+def _run_workload_item(
+    item: Tuple[int, Query, str],
+) -> Tuple["QueryOutcome", Tuple[Dict[str, object], ...]]:
+    """Plan and execute one workload query in a worker process.
+
+    Returns the outcome plus the spans this query produced (as
+    picklable dicts) for the parent tracer to adopt. The worker's
+    ``workload`` span handle is created but never entered: it only
+    anchors the query subtree at the same deterministic path the
+    parent's real workload root has, so grafted span IDs line up.
+    """
+    index, query, label = item
+    runner = _WORKER_RUNNER
+    assert runner is not None, "worker used before initialization"
+    planner = runner.planner
+    tracer = planner.tracer
+    if not tracer.active:
+        return runner._run_one(planner, query), ()
+    workload_span = tracer.span("workload", kind="planner", key=label)
+    outcome = runner._run_traced(
+        planner, query, tracer, workload_span, index
+    )
+    spans = tuple(span.to_dict() for span in tracer.spans())
+    tracer.clear()
+    return outcome, spans
+
+
+def _process_pool_context() -> multiprocessing.context.BaseContext:
+    """Fork where available (cheap, inherits the fitted model cache);
+    the platform default elsewhere."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
 
 
 class WorkloadRunner:
@@ -215,6 +287,7 @@ class WorkloadRunner:
         queries: Sequence[Query],
         label: str = "workload",
         max_workers: int = 1,
+        processes: int = 0,
     ) -> WorkloadReport:
         """Plan and execute every query; returns the aggregate report.
 
@@ -226,18 +299,38 @@ class WorkloadRunner:
         worker* when parallel). ``pool.map`` preserves submission order,
         so the report's outcome order matches the input order exactly.
 
+        ``processes > 0`` shards the workload over a process pool
+        instead (mutually exclusive with ``max_workers > 1``): each
+        worker process rebuilds the planner once from
+        :meth:`RaqoPlanner.picklable_init_kwargs` and plans its queries
+        without sharing the GIL. Threads win when the per-query work is
+        dominated by the stacked numpy kernels (which release little
+        Python time anyway) or when pool startup must be free; processes
+        win for numpy-light planning (hill climbing, many small
+        queries), where the GIL serializes threads.
+
         Tracing rides the planner's tracer: an active tracer gets one
         ``workload`` root span (keyed by ``label``) with a ``query``
         child per entry, and -- because fault decisions and span keys
         are order-independent -- the same seed produces byte-identical
-        span trees whether the workload runs serially or in parallel
-        (for the default clear-cache-between-queries planner, whose
-        counters do not depend on execution order).
+        span trees whether the workload runs serially, on threads, or
+        on processes (for the default clear-cache-between-queries
+        planner, whose counters do not depend on execution order).
         """
         if max_workers < 1:
             raise ValueError(
                 f"max_workers must be >= 1, got {max_workers}"
             )
+        if processes < 0:
+            raise ValueError(
+                f"processes must be >= 0, got {processes}"
+            )
+        if processes and max_workers > 1:
+            raise ValueError(
+                "choose thread workers or processes, not both"
+            )
+        if processes:
+            return self._run_processes(queries, label, processes)
         tracer = self.planner.tracer
         if not tracer.active:
             return self._run_untraced(queries, label, max_workers)
@@ -290,6 +383,71 @@ class WorkloadRunner:
                 }
             )
             return report
+
+    def _run_processes(
+        self,
+        queries: Sequence[Query],
+        label: str,
+        processes: int,
+    ) -> WorkloadReport:
+        """Shard the workload over a process pool; see :meth:`run`."""
+        tracer = self.planner.tracer
+        payload = {
+            "catalog": self.planner.catalog,
+            "planner_kwargs": self.planner.picklable_init_kwargs(),
+            "profile": self.profile,
+            "default_resources": self.default_resources,
+            "faults": self.faults,
+            "recovery": self.recovery,
+            "tracer_seed": tracer.seed if tracer.active else None,
+        }
+        items = [
+            (index, query, label)
+            for index, query in enumerate(queries)
+        ]
+        with ProcessPoolExecutor(
+            max_workers=processes,
+            mp_context=_process_pool_context(),
+            initializer=_init_workload_worker,
+            initargs=(payload,),
+        ) as pool:
+            if not tracer.active:
+                outcomes = [
+                    outcome
+                    for outcome, _ in pool.map(_run_workload_item, items)
+                ]
+                return WorkloadReport(
+                    label=label, outcomes=tuple(outcomes)
+                )
+            with tracer.span(
+                "workload", kind="planner", key=label
+            ) as workload_span:
+                workload_span.set_attributes(
+                    {
+                        "label": label,
+                        "queries": len(queries),
+                        "faulted": self.faults is not None,
+                    }
+                )
+                outcomes = []
+                for outcome, spans in pool.map(
+                    _run_workload_item, items
+                ):
+                    tracer.adopt(spans)
+                    outcomes.append(outcome)
+                report = WorkloadReport(
+                    label=label, outcomes=tuple(outcomes)
+                )
+                workload_span.set_attributes(
+                    {
+                        "infeasible": report.infeasible_queries,
+                        "total_retries": report.total_retries,
+                        "total_faults_injected": (
+                            report.total_faults_injected
+                        ),
+                    }
+                )
+                return report
 
     def _run_untraced(
         self,

@@ -1,4 +1,4 @@
-"""Good/bad fixture snippets for every concrete rule (RAQO001-009)."""
+"""Good/bad fixture snippets for every concrete rule (RAQO001-010)."""
 
 from repro.analysis import ModuleInfo
 from repro.analysis.framework import resolve_rules, run_analysis_on_modules
@@ -490,5 +490,126 @@ class TestPositionalResourceAxesRAQO009:
             c = ResourceConfiguration(10, 4.0)  # lint: disable=RAQO009
             """,
             rule="RAQO009",
+        )
+        assert findings == []
+
+
+class TestPerCandidateCostingLoopRAQO010:
+    def test_scalar_costing_loop_is_flagged(self, lint):
+        findings = lint(
+            """
+            def search(candidates, coster, context):
+                best = None
+                for left, right, algorithm in candidates:
+                    cost, resources = coster.join_cost(
+                        left, right, algorithm, context
+                    )
+                    if best is None or cost < best:
+                        best = cost
+                return best
+            """,
+            rule="RAQO010",
+        )
+        assert _ids(findings) == ["RAQO010"]
+        assert "join_cost" in findings[0].message
+        assert "cost_batch" in findings[0].message
+
+    def test_grid_costing_loop_is_flagged(self, lint):
+        findings = lint(
+            """
+            def sweep(model, rows, grid):
+                return [
+                    model.predict_time_grid(a, s, l, grid)
+                    for (a, s, l) in rows
+                ]
+            """,
+            rule="RAQO010",
+        )
+        assert _ids(findings) == ["RAQO010"]
+        assert "predict_time_grid" in findings[0].message
+
+    def test_finding_anchors_at_innermost_loop(self, lint):
+        findings = lint(
+            """
+            def search(levels, coster, context):
+                for level in levels:
+                    for candidate in level:
+                        coster.join_cost(*candidate, context)
+            """,
+            rule="RAQO010",
+        )
+        assert _ids(findings) == ["RAQO010"]
+        assert findings[0].line == 4  # the inner for, not the outer
+
+    def test_batched_call_outside_loop_is_clean(self, lint):
+        findings = lint(
+            """
+            def extend_level(batch, coster, context):
+                costed = coster.cost_batch(batch, context)
+                return costed
+            """,
+            rule="RAQO010",
+        )
+        assert findings == []
+
+    def test_single_call_outside_loop_is_clean(self, lint):
+        findings = lint(
+            """
+            def one(coster, left, right, algorithm, context):
+                return coster.join_cost(left, right, algorithm, context)
+            """,
+            rule="RAQO010",
+        )
+        assert findings == []
+
+    def test_closure_defined_in_loop_is_clean(self, lint):
+        """A function *defined* inside a loop is not driven by it."""
+        findings = lint(
+            """
+            def build(coster, items, context):
+                thunks = []
+                for item in items:
+                    def thunk(item=item):
+                        return coster.join_cost(*item, context)
+                    thunks.append(thunk)
+                return thunks
+            """,
+            rule="RAQO010",
+        )
+        assert findings == []
+
+    def test_pragma_on_loop_line_suppresses(self, lint):
+        findings = lint(
+            """
+            def reference(batch, coster, context):
+                out = []
+                for index in range(len(batch)):  # lint: disable=RAQO010
+                    out.append(coster.join_cost(*batch[index], context))
+                return out
+            """,
+            rule="RAQO010",
+        )
+        assert findings == []
+
+    def test_non_planner_module_is_out_of_scope(self, lint, repo_root):
+        source = """
+        def recompute(model, winners, context):
+            for algorithm, small, large, config in winners:
+                model.predict_time(algorithm, small, large, config)
+        """
+        # The same loop inside a planner search module is a finding...
+        planner_path = repo_root / "src/repro/planner/selinger.py"
+        flagged = lint(source, rule="RAQO010", path=planner_path)
+        assert _ids(flagged) == ["RAQO010"]
+        # ... but coster internals (repro.core.raqo) are out of scope.
+        coster_path = repo_root / "src/repro/core/raqo.py"
+        assert lint(source, rule="RAQO010", path=coster_path) == []
+
+    def test_source_tree_is_clean(self, repo_root):
+        from repro.analysis.framework import resolve_rules, run_analysis
+
+        src = repo_root / "src" / "repro"
+        findings = run_analysis(
+            [src], rules=resolve_rules(["RAQO010"])
         )
         assert findings == []

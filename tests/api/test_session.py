@@ -92,6 +92,16 @@ class TestVerbs:
         assert report.label == "batch"
         assert [o.query.name for o in report.outcomes] == ["Q3", "Q12"]
 
+    def test_workload_process_pool(self, session):
+        threaded = session.workload(["Q3", "Q12"], parallel=2)
+        sharded = session.workload(["Q3", "Q12"], processes=2)
+        assert [o.query.name for o in sharded.outcomes] == ["Q3", "Q12"]
+        assert sharded.total_dollars == threaded.total_dollars
+
+    def test_workload_rejects_threads_and_processes(self, session):
+        with pytest.raises(ValueError, match="not both"):
+            session.workload(["Q3"], parallel=2, processes=2)
+
     def test_explain_renders_text(self, session):
         text = session.explain("Q3")
         assert "Q3" in text
@@ -123,6 +133,15 @@ class TestMetrics:
         counters = session.metrics_snapshot()["counters"]
         assert counters["workload.batches"] == 1
         assert counters["workload.queries"] == 2
+
+    def test_batch_metrics_are_recorded(self):
+        session = RaqoSession(scale_factor=100)
+        session.plan("Q3")
+        snap = session.metrics_snapshot()
+        assert snap["counters"]["planner.batched_calls"] > 0
+        sizes = snap["histograms"]["planner.batch_size"]
+        assert sizes["count"] > 0
+        assert sizes["max"] >= sizes["min"] > 0
 
 
 class TestTracedSession:

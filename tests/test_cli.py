@@ -197,3 +197,65 @@ class TestFaultOptions:
 
     def test_fig16_is_registered(self):
         assert "fig16" in FIGURE_MODULES
+
+
+class TestWorkloadSharding:
+    def test_procs_and_workers_conflict_is_usage_error(self, capsys):
+        assert (
+            main(
+                [
+                    "workload",
+                    "--num-queries",
+                    "2",
+                    "--procs",
+                    "2",
+                    "--parallel",
+                    "2",
+                ]
+            )
+            == 2
+        )
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_negative_procs_is_usage_error(self, capsys):
+        assert (
+            main(["workload", "--num-queries", "2", "--procs", "-1"])
+            == 2
+        )
+        assert "--procs" in capsys.readouterr().err
+
+    def test_workers_alias_matches_parallel(self, capsys):
+        import re
+
+        def strip_wall_time(out):
+            return re.sub(r"planning\s+[\d.,]+ ms", "planning -", out)
+
+        assert (
+            main(["workload", "--num-queries", "3", "--workers", "2"])
+            == 0
+        )
+        first = capsys.readouterr().out
+        assert (
+            main(["workload", "--num-queries", "3", "--parallel", "2"])
+            == 0
+        )
+        second = capsys.readouterr().out
+        assert strip_wall_time(second) == strip_wall_time(first)
+
+    def test_procs_match_serial_output(self, capsys):
+        import re
+
+        def strip_wall_time(out):
+            return re.sub(r"planning\s+[\d.,]+ ms", "planning -", out)
+
+        assert main(["workload", "--num-queries", "3"]) == 0
+        serial = capsys.readouterr().out
+        assert (
+            main(["workload", "--num-queries", "3", "--procs", "2"])
+            == 0
+        )
+        sharded = capsys.readouterr().out
+        assert "2 process(es)" in sharded
+        assert strip_wall_time(sharded.replace(
+            "2 process(es)", "1 worker(s)"
+        )) == strip_wall_time(serial)
