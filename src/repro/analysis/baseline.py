@@ -1,0 +1,201 @@
+"""Checked-in findings baseline: adopt the linter without a flag day.
+
+A baseline file records the findings a team has explicitly accepted,
+each with a required human justification.  ``repro lint --baseline
+lint_baseline.json`` then fails only on findings *not* in the file, so
+new rules can land (and start gating CI) while legacy debt is burned
+down incrementally.
+
+Identity is the fingerprint ``sha1(rule_id | relative path | message)``
+-- deliberately line-independent, so unrelated edits that shift a
+baselined finding up or down the file do not break the build.  Stale
+entries (baselined findings that no longer occur) are reported so the
+file shrinks as debt is paid off; ``--update-baseline`` rewrites the
+file from the current findings, preserving existing justifications.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Set
+
+from repro.analysis.framework import AnalysisError, Finding
+
+BASELINE_VERSION = 1
+_DEFAULT_JUSTIFICATION = "TODO: justify or fix this finding"
+
+
+def finding_fingerprint(
+    finding: Finding, base_dir: Optional[Path] = None
+) -> str:
+    """Stable, line-independent identity of one finding."""
+    base = (base_dir or Path.cwd()).resolve()
+    path = Path(finding.path).resolve()
+    try:
+        relative = path.relative_to(base).as_posix()
+    except ValueError:
+        relative = path.as_posix()
+    payload = f"{finding.rule_id}|{relative}|{finding.message}"
+    return hashlib.sha1(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted finding."""
+
+    fingerprint: str
+    rule_id: str
+    path: str
+    message: str
+    justification: str
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of filtering findings through a baseline."""
+
+    #: Findings not covered by the baseline (these fail the build).
+    new: List[Finding]
+    #: Findings matched (and silenced) by a baseline entry.
+    matched: List[Finding]
+    #: Entries whose finding no longer occurs (remove them).
+    stale: List[BaselineEntry]
+
+
+def load_baseline(path: Path) -> List[BaselineEntry]:
+    """Parse a baseline file, validating its structure."""
+    try:
+        raw = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise AnalysisError(f"cannot read baseline {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise AnalysisError(
+            f"baseline {path} is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(raw, dict) or raw.get("version") != BASELINE_VERSION:
+        raise AnalysisError(
+            f"baseline {path} must be an object with version="
+            f"{BASELINE_VERSION}"
+        )
+    findings = raw.get("findings")
+    if not isinstance(findings, list):
+        raise AnalysisError(f"baseline {path}: 'findings' must be a list")
+    entries: List[BaselineEntry] = []
+    for i, item in enumerate(findings):
+        if not isinstance(item, dict):
+            raise AnalysisError(
+                f"baseline {path}: findings[{i}] must be an object"
+            )
+        for key in ("fingerprint", "rule_id", "path", "message"):
+            if not isinstance(item.get(key), str) or not item[key]:
+                raise AnalysisError(
+                    f"baseline {path}: findings[{i}].{key} must be a "
+                    "non-empty string"
+                )
+        entries.append(
+            BaselineEntry(
+                fingerprint=item["fingerprint"],
+                rule_id=item["rule_id"],
+                path=item["path"],
+                message=item["message"],
+                justification=str(
+                    item.get("justification", _DEFAULT_JUSTIFICATION)
+                ),
+            )
+        )
+    return entries
+
+
+def apply_baseline(
+    findings: Sequence[Finding],
+    entries: Sequence[BaselineEntry],
+    base_dir: Optional[Path] = None,
+) -> BaselineResult:
+    """Split findings into new vs baselined, and spot stale entries."""
+    by_fingerprint: Dict[str, BaselineEntry] = {
+        entry.fingerprint: entry for entry in entries
+    }
+    new: List[Finding] = []
+    matched: List[Finding] = []
+    seen: Set[str] = set()
+    for finding in findings:
+        fingerprint = finding_fingerprint(finding, base_dir)
+        if fingerprint in by_fingerprint:
+            matched.append(finding)
+            seen.add(fingerprint)
+        else:
+            new.append(finding)
+    stale = [
+        entry
+        for fingerprint, entry in sorted(by_fingerprint.items())
+        if fingerprint not in seen
+    ]
+    return BaselineResult(new=new, matched=matched, stale=stale)
+
+
+def build_baseline(
+    findings: Sequence[Finding],
+    previous: Sequence[BaselineEntry] = (),
+    base_dir: Optional[Path] = None,
+) -> Dict[str, Any]:
+    """The baseline document for the current findings.
+
+    Justifications from ``previous`` entries are carried over for
+    findings that persist; genuinely new entries get a TODO marker a
+    human must replace.
+    """
+    base = (base_dir or Path.cwd()).resolve()
+    carried = {entry.fingerprint: entry.justification for entry in previous}
+    items: List[Dict[str, str]] = []
+    for finding in sorted(set(findings)):
+        fingerprint = finding_fingerprint(finding, base)
+        path = Path(finding.path).resolve()
+        try:
+            relative = path.relative_to(base).as_posix()
+        except ValueError:
+            relative = path.as_posix()
+        items.append(
+            {
+                "fingerprint": fingerprint,
+                "rule_id": finding.rule_id,
+                "path": relative,
+                "message": finding.message,
+                "justification": carried.get(
+                    fingerprint, _DEFAULT_JUSTIFICATION
+                ),
+            }
+        )
+    # One entry per fingerprint even if a finding repeats on several
+    # lines: the fingerprint is line-independent by design.
+    unique: Dict[str, Dict[str, str]] = {}
+    for item in items:
+        unique.setdefault(item["fingerprint"], item)
+    return {
+        "version": BASELINE_VERSION,
+        "findings": sorted(
+            unique.values(),
+            key=lambda e: (e["path"], e["rule_id"], e["message"]),
+        ),
+    }
+
+
+def write_baseline(path: Path, document: Dict[str, Any]) -> None:
+    path.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def format_stale(stale: Sequence[BaselineEntry]) -> List[str]:
+    """Human-readable warnings for entries that no longer fire."""
+    return [
+        f"stale baseline entry: {entry.rule_id} at {entry.path} "
+        f"({entry.message[:60]}...)"
+        if len(entry.message) > 60
+        else f"stale baseline entry: {entry.rule_id} at {entry.path} "
+        f"({entry.message})"
+        for entry in stale
+    ]

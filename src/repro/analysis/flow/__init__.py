@@ -1,0 +1,43 @@
+"""Whole-program dataflow analyses on top of the AST rule framework.
+
+The PR 2 rules are *syntactic* and *per-file*: RAQO002 catches a
+``time.time()`` call inside a planner module, but not the same call two
+hops away through a helper; RAQO005 *trusts* ``guarded-by`` pragmas
+instead of verifying them.  This package closes those gaps with a
+project-wide model shared by every flow rule (built once per analysis
+session, see :meth:`repro.analysis.framework.AnalysisSession.flow`):
+
+- :mod:`repro.analysis.flow.symbols` -- a module-qualified symbol
+  table and call graph: functions, methods, classes, import-aware name
+  resolution (including ``__init__`` re-export chains), ``self``/typed
+  receiver dispatch, closures, properties, and a conservative
+  every-method-of-that-name fallback for dynamic dispatch.
+- :mod:`repro.analysis.flow.taint` -- transitive propagation of
+  nondeterminism sources (wall-clock, unseeded RNG, ``os.environ``,
+  set-order iteration) along call edges to planner/engine entry
+  points (RAQO011).
+- :mod:`repro.analysis.flow.locks` -- verification of every
+  ``guarded-by`` pragma and RAQO005 suppression against actual
+  ``with <lock>:`` dominance on the mutation sites (RAQO012).
+- :mod:`repro.analysis.flow.units` -- a lightweight abstract
+  interpreter over physical units (``Seconds``, ``GB``, ``Rows``,
+  ``Dollars``, ``Containers`` from :mod:`repro.core.units`) flagging
+  unit-incoherent arithmetic (RAQO013).
+- :mod:`repro.analysis.flow.pickles` -- picklability of the state
+  shipped to ``WorkloadRunner(processes=N)`` worker rebuilds
+  (RAQO014).
+"""
+
+from repro.analysis.flow.symbols import (
+    CallEdge,
+    ClassInfo,
+    FunctionInfo,
+    ProjectModel,
+)
+
+__all__ = [
+    "CallEdge",
+    "ClassInfo",
+    "FunctionInfo",
+    "ProjectModel",
+]

@@ -1,0 +1,302 @@
+"""Verification of lock-guard claims against actual ``with`` dominance.
+
+RAQO005 *trusts* a ``# lint: guarded-by=<LOCK>`` pragma as long as a
+module-level lock of that name exists.  This pass checks the claim:
+every *mutation site* of the guarded binding inside a function body
+must be lexically dominated by ``with <LOCK>:`` (module-level
+statements are exempt -- they run once, under the import lock).  It
+also audits ``lint: disable=RAQO005`` suppressions: a suppressed
+mutable binding that is in fact mutated from functions without *any*
+lock held is a verified thread-safety hole, not a style choice.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.framework import ModuleInfo
+from repro.analysis.rules._ast_utils import dotted_name
+
+#: Method calls that mutate the common container types.
+_MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "add",
+        "update",
+        "pop",
+        "popitem",
+        "clear",
+        "setdefault",
+        "extend",
+        "insert",
+        "remove",
+        "discard",
+    }
+)
+
+
+@dataclass(frozen=True)
+class GuardViolation:
+    """One unguarded mutation of a guard-claimed binding."""
+
+    binding: str
+    lock: Optional[str]  # the claimed lock; None for RAQO005 suppressions
+    path: str
+    line: int
+    detail: str
+
+
+@dataclass(frozen=True)
+class _GuardClaim:
+    binding: str
+    lock: Optional[str]
+    line: int
+    #: "pragma" (guarded-by) or "suppression" (lint: disable=RAQO005).
+    origin: str
+
+
+def _module_guard_claims(info: ModuleInfo) -> List[_GuardClaim]:
+    """Guard pragmas and RAQO005 suppressions on mutable bindings."""
+    claims: List[_GuardClaim] = []
+    for stmt in _binding_statements(info.tree):
+        names = _bound_names(stmt)
+        if not names:
+            continue
+        lock = info.guard_on_line(stmt.lineno)
+        if lock is not None:
+            for name in names:
+                claims.append(
+                    _GuardClaim(
+                        binding=name,
+                        lock=lock,
+                        line=stmt.lineno,
+                        origin="pragma",
+                    )
+                )
+            continue
+        suppressed = info.line_suppressions.get(stmt.lineno, set())
+        if {"RAQO005", "shared-mutable-state"} & suppressed:
+            for name in names:
+                claims.append(
+                    _GuardClaim(
+                        binding=name,
+                        lock=None,
+                        line=stmt.lineno,
+                        origin="suppression",
+                    )
+                )
+    return claims
+
+
+def _binding_statements(tree: ast.Module) -> Iterator[ast.stmt]:
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            yield stmt
+        elif isinstance(stmt, ast.ClassDef):
+            for member in stmt.body:
+                if isinstance(member, (ast.Assign, ast.AnnAssign)):
+                    yield member
+
+
+def _bound_names(stmt: ast.stmt) -> List[str]:
+    targets: List[ast.expr]
+    if isinstance(stmt, ast.Assign):
+        targets = stmt.targets
+    elif isinstance(stmt, ast.AnnAssign):
+        targets = [stmt.target]
+    else:  # pragma: no cover - filtered by caller
+        return []
+    return [t.id for t in targets if isinstance(t, ast.Name)]
+
+
+def verify_guards(info: ModuleInfo) -> List[GuardViolation]:
+    """All guard violations in one module."""
+    claims = _module_guard_claims(info)
+    if not claims:
+        return []
+    violations: List[GuardViolation] = []
+    path = str(info.path)
+    mutations = _function_mutations(info)
+    for claim in claims:
+        sites = mutations.get(claim.binding, [])
+        if claim.origin == "pragma":
+            assert claim.lock is not None
+            for line, detail, held in sites:
+                if claim.lock not in held:
+                    violations.append(
+                        GuardViolation(
+                            binding=claim.binding,
+                            lock=claim.lock,
+                            path=path,
+                            line=line,
+                            detail=detail,
+                        )
+                    )
+        else:
+            # A RAQO005 suppression claims thread safety without a
+            # lock.  If the binding is mutated from function bodies
+            # with no lock held at all, the claim is refuted.
+            unguarded = [
+                (line, detail)
+                for line, detail, held in sites
+                if not held
+            ]
+            if sites and len(unguarded) == len(sites):
+                line, detail = unguarded[0]
+                violations.append(
+                    GuardViolation(
+                        binding=claim.binding,
+                        lock=None,
+                        path=path,
+                        line=line,
+                        detail=detail,
+                    )
+                )
+    return sorted(
+        violations, key=lambda v: (v.line, v.binding, v.detail)
+    )
+
+
+def _function_mutations(
+    info: ModuleInfo,
+) -> "dict[str, List[Tuple[int, str, Set[str]]]]":
+    """binding name -> [(line, detail, locks-held)] mutation sites.
+
+    Only mutations inside function bodies count; module-level
+    initialization runs once at import time.  Mutations of a *local*
+    variable that merely shadows the module binding (a parameter or an
+    in-function rebinding, without ``global``) are skipped.
+    """
+    sites: "dict[str, List[Tuple[int, str, Set[str]]]]" = {}
+    for function in _all_functions(info.tree):
+        locals_bound = _local_names(function)
+        _walk_function(function, locals_bound, sites)
+    return sites
+
+
+def _all_functions(tree: ast.Module) -> Iterator[ast.AST]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _local_names(function: ast.AST) -> Set[str]:
+    """Names the function binds locally (minus ``global`` escapes)."""
+    local: Set[str] = set()
+    globals_declared: Set[str] = set()
+    args = function.args  # type: ignore[attr-defined]
+    for arg in [
+        *args.posonlyargs,
+        *args.args,
+        *args.kwonlyargs,
+        *filter(None, (args.vararg, args.kwarg)),
+    ]:
+        local.add(arg.arg)
+    for node in ast.walk(function):
+        if node is function:
+            continue
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue  # nested functions have their own scope
+        if isinstance(node, ast.Global):
+            globals_declared.update(node.names)
+        elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    local.add(target.id)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            if isinstance(node.target, ast.Name):
+                local.add(node.target.id)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if isinstance(item.optional_vars, ast.Name):
+                    local.add(item.optional_vars.id)
+    return local - globals_declared
+
+
+def _walk_function(
+    function: ast.AST,
+    locals_bound: Set[str],
+    sites: "dict[str, List[Tuple[int, str, Set[str]]]]",
+) -> None:
+    def held_locks(stack: List[ast.AST]) -> Set[str]:
+        held: Set[str] = set()
+        for with_node in stack:
+            for item in with_node.items:  # type: ignore[attr-defined]
+                name = dotted_name(item.context_expr)
+                if name is None and isinstance(
+                    item.context_expr, ast.Call
+                ):
+                    name = dotted_name(item.context_expr.func)
+                if name is not None:
+                    held.add(name.rsplit(".", 1)[-1])
+                    held.add(name)
+        return held
+
+    def visit(node: ast.AST, stack: List[ast.AST]) -> None:
+        if node is not function and isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            return  # handled by its own _walk_function pass
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            stack = stack + [node]
+        target = _mutation_target(node)
+        if target is not None and target[0] not in locals_bound:
+            sites.setdefault(target[0], []).append(
+                (
+                    getattr(node, "lineno", 1),
+                    target[1],
+                    held_locks(stack),
+                )
+            )
+        for child in ast.iter_child_nodes(node):
+            visit(child, stack)
+
+    visit(function, [])
+
+
+def _mutation_target(node: ast.AST) -> Optional[Tuple[str, str]]:
+    """(binding, detail) when ``node`` mutates a module-level name."""
+    if isinstance(node, (ast.Assign, ast.AugAssign)):
+        targets = (
+            node.targets if isinstance(node, ast.Assign) else [node.target]
+        )
+        for target in targets:
+            if isinstance(target, ast.Subscript) and isinstance(
+                target.value, ast.Name
+            ):
+                return (
+                    target.value.id,
+                    f"{target.value.id}[...] assignment",
+                )
+            if isinstance(target, ast.Name) and isinstance(
+                node, ast.Assign
+            ):
+                # Rebinds only count when the name escapes via
+                # ``global`` -- locally-shadowed names are filtered by
+                # the caller's local-scope table.
+                return (target.id, f"rebinding of {target.id}")
+    elif isinstance(node, ast.Delete):
+        for target in node.targets:
+            if isinstance(target, ast.Subscript) and isinstance(
+                target.value, ast.Name
+            ):
+                return (
+                    target.value.id,
+                    f"del {target.value.id}[...]",
+                )
+    elif isinstance(node, ast.Call):
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.attr in _MUTATOR_METHODS
+        ):
+            return (func.value.id, f"{func.value.id}.{func.attr}(...)")
+    return None

@@ -1,0 +1,336 @@
+"""Picklability of state shipped to process-pool workers.
+
+``WorkloadRunner(processes=N)`` rebuilds planner state inside each
+worker from an ``initargs`` payload, so everything in that payload
+crosses a pickle boundary.  A class holding ``threading.Lock`` /
+``threading.local`` state (the tracer, the model-cache guard) raises
+``TypeError: cannot pickle '_thread.lock' object`` only at runtime --
+and only on the multiprocessing path, which unit tests rarely take.
+
+This pass finds the failure statically:
+
+- *unpicklable classes*: any project class whose ``__init__`` stores a
+  thread primitive (``threading.Lock()``, ``threading.local()``, ...)
+  on ``self``, or stores an instance of another unpicklable class
+  (transitive closure) -- unless it customises pickling via
+  ``__reduce__`` / ``__reduce_ex__`` / ``__getstate__``;
+- *sinks*: ``ProcessPoolExecutor(initializer=..., initargs=(payload,))``
+  and ``multiprocessing.Pool(...)`` calls.  Every expression reachable
+  from ``initargs`` (tuple elements, dict-literal values one level
+  deep) is typed through the project symbol table; attribute chains are
+  evaluated precisely, so shipping ``tracer.seed`` (an ``int`` field)
+  is fine while shipping ``tracer`` itself is flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.framework import ModuleInfo
+from repro.analysis.flow.symbols import FunctionInfo, ProjectModel
+from repro.analysis.rules._ast_utils import dotted_name
+
+#: Constructors whose instances cannot cross a pickle boundary.
+_THREAD_PRIMITIVES = frozenset(
+    {
+        "threading.local",
+        "threading.Lock",
+        "threading.RLock",
+        "threading.Condition",
+        "threading.Event",
+        "threading.Semaphore",
+        "threading.BoundedSemaphore",
+        "_thread.allocate_lock",
+    }
+)
+
+#: Process-pool constructors whose ``initargs`` payload gets pickled.
+_POOL_SINKS = frozenset(
+    {
+        "concurrent.futures.ProcessPoolExecutor",
+        "concurrent.futures.process.ProcessPoolExecutor",
+        "multiprocessing.Pool",
+        "multiprocessing.pool.Pool",
+    }
+)
+
+
+@dataclass(frozen=True)
+class PickleIssue:
+    """One unpicklable value shipped to a process-pool sink."""
+
+    path: str
+    line: int
+    col: int
+    message: str
+
+
+class PickleAnalysis:
+    """Unpicklable-class inference plus pool-payload checking."""
+
+    def __init__(self, model: ProjectModel) -> None:
+        self.model = model
+        self._unpicklable = self._infer_unpicklable()
+
+    @property
+    def unpicklable_classes(self) -> Dict[str, str]:
+        """class qualname -> human-readable reason."""
+        return dict(self._unpicklable)
+
+    # ------------------------------------------------------------------
+    # Class inference
+    # ------------------------------------------------------------------
+
+    def _infer_unpicklable(self) -> Dict[str, str]:
+        unpicklable: Dict[str, str] = {}
+        for qualname, cls in sorted(self.model.classes.items()):
+            if cls.has_custom_reduce():
+                continue
+            for attr, value in sorted(cls.init_assignments.items()):
+                primitive = self._thread_primitive(cls.module_key, value)
+                if primitive is not None:
+                    unpicklable[qualname] = (
+                        f"__init__ stores {primitive}() on "
+                        f"self.{attr} (line {value.lineno})"
+                    )
+                    break
+        # Transitive closure: holding an unpicklable instance makes the
+        # holder unpicklable too.  Iterate to a fixed point.
+        changed = True
+        while changed:
+            changed = False
+            for qualname, cls in sorted(self.model.classes.items()):
+                if qualname in unpicklable or cls.has_custom_reduce():
+                    continue
+                for attr, value in sorted(cls.init_assignments.items()):
+                    inner = self._constructed_class(
+                        cls.module_key, value
+                    )
+                    if inner in unpicklable:
+                        inner_cls = self.model.classes[inner]
+                        unpicklable[qualname] = (
+                            f"__init__ stores a {inner_cls.name} on "
+                            f"self.{attr}, and {inner_cls.name} is "
+                            f"unpicklable ({unpicklable[inner]})"
+                        )
+                        changed = True
+                        break
+        return unpicklable
+
+    def _thread_primitive(
+        self, module_key: str, value: ast.expr
+    ) -> Optional[str]:
+        if not isinstance(value, ast.Call):
+            return None
+        name = dotted_name(value.func)
+        if name is None:
+            return None
+        absolute = self._absolute_name(module_key, name)
+        if absolute in _THREAD_PRIMITIVES:
+            return absolute
+        return None
+
+    def _constructed_class(
+        self, module_key: str, value: ast.expr
+    ) -> Optional[str]:
+        if not isinstance(value, ast.Call):
+            return None
+        name = dotted_name(value.func)
+        if name is None:
+            return None
+        resolved = self.model.resolve(module_key, name)
+        if resolved in self.model.classes:
+            return resolved
+        return None
+
+    def _absolute_name(self, module_key: str, dotted: str) -> str:
+        """Expand the leading binding without requiring a known target."""
+        head, _, rest = dotted.partition(".")
+        target = self.model.bindings.get(module_key, {}).get(head)
+        if target is None:
+            return dotted
+        return f"{target}.{rest}" if rest else target
+
+    # ------------------------------------------------------------------
+    # Sink analysis
+    # ------------------------------------------------------------------
+
+    def check_module(self, info: ModuleInfo) -> List[PickleIssue]:
+        issues: List[PickleIssue] = []
+        path = str(info.path)
+        for fn in self.model.functions.values():
+            if str(fn.module.path) != path:
+                continue
+            issues.extend(self._check_function(fn))
+        return sorted(
+            issues, key=lambda i: (i.line, i.col, i.message)
+        )
+
+    def _check_function(self, fn: FunctionInfo) -> List[PickleIssue]:
+        issues: List[PickleIssue] = []
+        env = self.model._typed_locals(fn)
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            absolute = self._absolute_name(fn.module_key, name)
+            if absolute not in _POOL_SINKS:
+                continue
+            payload = None
+            for keyword in node.keywords:
+                if keyword.arg == "initargs":
+                    payload = keyword.value
+            if payload is None:
+                continue
+            for expr, label in self._shipped_exprs(fn, payload):
+                verdict = self._expr_unpicklable(fn, expr, env)
+                if verdict is None:
+                    continue
+                cls_name, reason = verdict
+                issues.append(
+                    PickleIssue(
+                        path=str(fn.module.path),
+                        line=getattr(expr, "lineno", node.lineno),
+                        col=getattr(expr, "col_offset", 0) + 1,
+                        message=(
+                            f"process-pool payload entry {label} "
+                            f"ships a {cls_name}, which is "
+                            f"unpicklable: {reason}"
+                        ),
+                    )
+                )
+        return issues
+
+    def _shipped_exprs(
+        self, fn: FunctionInfo, payload: ast.expr
+    ) -> List[Tuple[ast.expr, str]]:
+        """Leaf expressions crossing the pickle boundary, with labels."""
+        shipped: List[Tuple[ast.expr, str]] = []
+
+        def expand(expr: ast.expr, label: str, depth: int) -> None:
+            if isinstance(expr, (ast.Tuple, ast.List)):
+                for element in expr.elts:
+                    expand(element, label, depth)
+                return
+            if isinstance(expr, ast.Dict):
+                for key, value in zip(expr.keys, expr.values):
+                    entry = label
+                    if isinstance(key, ast.Constant) and isinstance(
+                        key.value, str
+                    ):
+                        entry = f"'{key.value}'"
+                    expand(value, entry, depth)
+                return
+            if isinstance(expr, ast.Name) and depth < 3:
+                # Follow one local hop: payload = {...}; initargs=(payload,)
+                assigned = self._local_assignment(fn, expr.id)
+                if assigned is not None and isinstance(
+                    assigned, (ast.Dict, ast.Tuple, ast.List)
+                ):
+                    expand(assigned, label, depth + 1)
+                    return
+            shipped.append((expr, label))
+
+        expand(payload, "initargs", 0)
+        return shipped
+
+    @staticmethod
+    def _local_assignment(
+        fn: FunctionInfo, name: str
+    ) -> Optional[ast.expr]:
+        found: Optional[ast.expr] = None
+        for node in ast.walk(fn.node):
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and node.targets[0].id == name
+            ):
+                found = node.value  # last assignment wins, best effort
+        return found
+
+    def _expr_unpicklable(
+        self,
+        fn: FunctionInfo,
+        expr: ast.expr,
+        env: Dict[str, str],
+    ) -> Optional[Tuple[str, str]]:
+        """(class name, reason) when the expression's type is unpicklable."""
+        cls = self._expr_class(fn, expr, env)
+        if cls is None or cls not in self._unpicklable:
+            return None
+        return (self.model.classes[cls].name, self._unpicklable[cls])
+
+    def _expr_class(
+        self,
+        fn: FunctionInfo,
+        expr: ast.expr,
+        env: Dict[str, str],
+    ) -> Optional[str]:
+        """Static type of an expression, as a known class qualname."""
+        if isinstance(expr, ast.Name):
+            return env.get(expr.id)
+        if isinstance(expr, ast.Call):
+            name = dotted_name(expr.func)
+            if name is None:
+                return None
+            resolved = self.model.resolve(fn.module_key, name)
+            if resolved in self.model.classes:
+                return resolved
+            if resolved in self.model.functions:
+                returns = self.model.functions[resolved].node.returns
+                return self.model.resolve_annotation_class(
+                    self.model.functions[resolved].module_key, returns
+                )
+            return None
+        if isinstance(expr, ast.Attribute):
+            receiver = self._expr_class(fn, expr.value, env)
+            if receiver is None:
+                if (
+                    isinstance(expr.value, ast.Name)
+                    and fn.class_qualname is not None
+                ):
+                    args = fn.node.args
+                    positional = [*args.posonlyargs, *args.args]
+                    if (
+                        positional
+                        and expr.value.id == positional[0].arg
+                    ):
+                        receiver = fn.class_qualname
+            if receiver is None:
+                return None
+            return self._field_class(receiver, expr.attr)
+        return None
+
+    def _field_class(
+        self, class_qualname: str, attr: str
+    ) -> Optional[str]:
+        """The known class of ``<class>.<attr>``, walking bases."""
+        seen = set()
+        current: Optional[str] = class_qualname
+        while current is not None and current not in seen:
+            seen.add(current)
+            cls = self.model.classes.get(current)
+            if cls is None:
+                return None
+            annotation = cls.field_annotations.get(attr)
+            if annotation is None:
+                annotation = cls.init_param_fields.get(attr)
+            if annotation is not None:
+                return self.model.resolve_annotation_class(
+                    cls.module_key, annotation
+                )
+            value = cls.init_assignments.get(attr)
+            if value is not None:
+                return self._constructed_class(cls.module_key, value)
+            current = None
+            for base_name in cls.base_names:
+                resolved = self.model.resolve(cls.module_key, base_name)
+                if resolved in self.model.classes:
+                    current = resolved
+                    break
+        return None

@@ -1,0 +1,740 @@
+"""Project-wide symbol table and call graph.
+
+Every analyzed module contributes its functions, methods and classes to
+one :class:`ProjectModel`.  Call edges are resolved module-qualified:
+
+- bare names through the module's import/alias bindings, following
+  package ``__init__`` re-export chains (``from repro.core import
+  RaqoPlanner`` resolves to ``repro.core.raqo.RaqoPlanner``);
+- ``self.method()`` / ``cls.method()`` through the enclosing class and
+  its (known) bases;
+- attribute calls on *typed* receivers -- parameters and locals whose
+  class is statically known from annotations or ``x = ClassName(...)``
+  assignments;
+- ``ClassName(...)`` instantiation to ``ClassName.__init__``;
+- ``super().method()`` to the first known base;
+- ``self.attr`` access to ``@property`` getters (properties execute);
+- nested ``def``/``lambda`` closures via a definition edge from the
+  enclosing function (a closure usually runs on behalf of its owner,
+  e.g. handed to a pool);
+- everything else falls back *conservatively*: an attribute call on an
+  unknown receiver links to every known method of that name, so taint
+  never silently stops at a dynamic dispatch site.
+
+Standalone files outside any package (test fixtures) participate under
+their file stem, so the flow rules can be exercised on snippets.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.analysis.framework import ModuleInfo
+from repro.analysis.rules._ast_utils import dotted_name
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Resolution depth bound for re-export chains (guards against cycles).
+_MAX_RESOLVE_DEPTH = 12
+
+#: Dunder methods excluded from the dynamic-dispatch fallback (their
+#: names are too generic to imply a project-internal callee).
+_DYNAMIC_FALLBACK_EXCLUDED = frozenset(
+    {"__init__", "__post_init__", "__enter__", "__exit__"}
+)
+
+
+@dataclass(frozen=True)
+class CallEdge:
+    """One resolved call: ``caller`` may execute ``callee``."""
+
+    caller: str
+    callee: str
+    line: int
+    #: "direct" (resolved name), "method" (typed receiver / self),
+    #: "init" (instantiation), "closure" (nested def), "property"
+    #: (attribute access running a getter), or "dynamic" (conservative
+    #: by-name fallback).
+    kind: str
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method in the project."""
+
+    qualname: str
+    name: str
+    module: ModuleInfo
+    module_key: str
+    node: FunctionNode
+    #: Qualified name of the owning class for methods; None otherwise.
+    class_qualname: Optional[str] = None
+
+    @property
+    def line(self) -> int:
+        return self.node.lineno
+
+    @property
+    def end_line(self) -> int:
+        return getattr(self.node, "end_lineno", self.node.lineno)
+
+    @property
+    def is_public(self) -> bool:
+        return not self.name.startswith("_") or self.name == "__init__"
+
+    def decorator_names(self) -> List[str]:
+        """Dotted names of this function's decorators (best effort)."""
+        names = []
+        for dec in self.node.decorator_list:
+            target = dec.func if isinstance(dec, ast.Call) else dec
+            name = dotted_name(target)
+            if name is not None:
+                names.append(name)
+        return names
+
+
+@dataclass
+class ClassInfo:
+    """One class: its methods, bases, and attribute declarations."""
+
+    qualname: str
+    name: str
+    module: ModuleInfo
+    module_key: str
+    node: ast.ClassDef
+    #: method name -> function qualname.
+    methods: Dict[str, str] = field(default_factory=dict)
+    #: Raw dotted base-class names as written in the source.
+    base_names: List[str] = field(default_factory=list)
+    #: Attribute annotations: class-body ``x: T`` and ``__init__``-body
+    #: ``self.x: T``; attr name -> annotation expression.
+    field_annotations: Dict[str, ast.expr] = field(default_factory=dict)
+    #: ``__init__``-body ``self.x = <expr>`` value expressions.
+    init_assignments: Dict[str, ast.expr] = field(default_factory=dict)
+    #: ``__init__`` parameter annotations feeding ``self.x = param``.
+    init_param_fields: Dict[str, ast.expr] = field(default_factory=dict)
+
+    def has_custom_reduce(self) -> bool:
+        """True when the class customises pickling."""
+        return bool(
+            {"__reduce__", "__reduce_ex__", "__getstate__"}
+            & set(self.methods)
+        )
+
+
+def module_key_of(info: ModuleInfo) -> str:
+    """The dotted name a module contributes symbols under.
+
+    Package modules use their real dotted name; standalone files use
+    their stem so fixtures get readable qualnames.
+    """
+    if info.module is not None:
+        return info.module
+    return info.path.stem
+
+
+class ProjectModel:
+    """Symbol table + call graph over one set of analyzed modules."""
+
+    def __init__(self) -> None:
+        self.modules: List[ModuleInfo] = []
+        #: module key -> ModuleInfo.
+        self.module_table: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        #: module key -> local binding name -> absolute dotted target.
+        self.bindings: Dict[str, Dict[str, str]] = {}
+        self.edges: Dict[str, List[CallEdge]] = {}
+        self.reverse_edges: Dict[str, List[CallEdge]] = {}
+        #: method name -> sorted method qualnames (dynamic fallback).
+        self.methods_by_name: Dict[str, List[str]] = {}
+        #: module path -> [(start, end, qualname)] for line lookup.
+        self._spans: Dict[str, List[Tuple[int, int, str]]] = {}
+        #: Derived analyses (taint/units/pickles) memoized per model so
+        #: every flow rule shares one instance per session.
+        self.analysis_cache: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(cls, modules: Iterable[ModuleInfo]) -> "ProjectModel":
+        model = cls()
+        model.modules = list(modules)
+        for info in model.modules:
+            key = module_key_of(info)
+            # First stem wins on (unlikely) standalone-name collisions;
+            # later files fall back to their full path as the key.
+            if key in model.module_table:
+                key = str(info.path)
+            model.module_table[key] = info
+            model._collect_symbols(info, key)
+        for info in model.modules:
+            key = model._key_for(info)
+            model._collect_bindings(info, key)
+        for function in list(model.functions.values()):
+            model._collect_edges(function)
+        for edges in model.edges.values():
+            for edge in edges:
+                self_list = model.reverse_edges.setdefault(edge.callee, [])
+                self_list.append(edge)
+        return model
+
+    def _key_for(self, info: ModuleInfo) -> str:
+        for key, candidate in self.module_table.items():
+            if candidate is info:
+                return key
+        raise KeyError(str(info.path))  # pragma: no cover
+
+    def _collect_symbols(self, info: ModuleInfo, key: str) -> None:
+        self._spans.setdefault(str(info.path), [])
+
+        def add_function(
+            node: FunctionNode,
+            qualname: str,
+            class_qualname: Optional[str],
+        ) -> FunctionInfo:
+            fn = FunctionInfo(
+                qualname=qualname,
+                name=node.name,
+                module=info,
+                module_key=key,
+                node=node,
+                class_qualname=class_qualname,
+            )
+            self.functions[qualname] = fn
+            self._spans[str(info.path)].append(
+                (fn.line, fn.end_line, qualname)
+            )
+            if class_qualname is not None and not node.name.startswith(
+                "__"
+            ):
+                self.methods_by_name.setdefault(node.name, []).append(
+                    qualname
+                )
+            return fn
+
+        def visit_body(
+            body: Sequence[ast.stmt],
+            prefix: str,
+            class_qualname: Optional[str],
+        ) -> None:
+            for stmt in body:
+                if isinstance(
+                    stmt, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    qualname = f"{prefix}.{stmt.name}"
+                    add_function(stmt, qualname, class_qualname)
+                    visit_body(
+                        stmt.body, f"{qualname}.<locals>", None
+                    )
+                elif isinstance(stmt, ast.ClassDef):
+                    cls_qualname = f"{prefix}.{stmt.name}"
+                    cls_info = ClassInfo(
+                        qualname=cls_qualname,
+                        name=stmt.name,
+                        module=info,
+                        module_key=key,
+                        node=stmt,
+                    )
+                    cls_info.base_names = [
+                        name
+                        for name in (
+                            dotted_name(base) for base in stmt.bases
+                        )
+                        if name is not None
+                    ]
+                    self.classes[cls_qualname] = cls_info
+                    for member in stmt.body:
+                        if isinstance(
+                            member,
+                            (ast.FunctionDef, ast.AsyncFunctionDef),
+                        ):
+                            method_qualname = (
+                                f"{cls_qualname}.{member.name}"
+                            )
+                            cls_info.methods[member.name] = (
+                                method_qualname
+                            )
+                            add_function(
+                                member, method_qualname, cls_qualname
+                            )
+                            visit_body(
+                                member.body,
+                                f"{method_qualname}.<locals>",
+                                None,
+                            )
+                        elif isinstance(member, ast.AnnAssign):
+                            if isinstance(member.target, ast.Name):
+                                cls_info.field_annotations[
+                                    member.target.id
+                                ] = member.annotation
+                    self._collect_init_fields(cls_info)
+                else:
+                    # Walk into if/try blocks for conditionally-defined
+                    # symbols (TYPE_CHECKING guards, version gates).
+                    for child_body in _nested_bodies(stmt):
+                        visit_body(child_body, prefix, class_qualname)
+
+        visit_body(info.tree.body, key, None)
+
+    def _collect_init_fields(self, cls_info: ClassInfo) -> None:
+        """Record ``self.x = ...`` state set up by ``__init__``."""
+        init_name = cls_info.methods.get("__init__")
+        if init_name is None:
+            return
+        init = self.functions.get(init_name)
+        if init is None:
+            return
+        args = init.node.args
+        positional = [*args.posonlyargs, *args.args]
+        self_name = positional[0].arg if positional else "self"
+        param_annotations = {
+            arg.arg: arg.annotation
+            for arg in [*positional, *args.kwonlyargs]
+            if arg.annotation is not None
+        }
+        for node in ast.walk(init.node):
+            target: Optional[ast.expr] = None
+            value: Optional[ast.expr] = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign):
+                target, value = node.target, node.value
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == self_name
+                ):
+                    cls_info.field_annotations.setdefault(
+                        target.attr, node.annotation
+                    )
+            if (
+                target is None
+                or not isinstance(target, ast.Attribute)
+                or not isinstance(target.value, ast.Name)
+                or target.value.id != self_name
+                or value is None
+            ):
+                continue
+            cls_info.init_assignments.setdefault(target.attr, value)
+            if isinstance(value, ast.Name):
+                annotation = param_annotations.get(value.id)
+                if annotation is not None:
+                    cls_info.init_param_fields.setdefault(
+                        target.attr, annotation
+                    )
+
+    def _collect_bindings(self, info: ModuleInfo, key: str) -> None:
+        table: Dict[str, str] = {}
+        # Local definitions shadow imports.
+        package_parts = key.split(".")
+        if info.module is not None and info.path.name != "__init__.py":
+            package_parts = package_parts[:-1]
+        for node in ast.walk(info.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        table[alias.asname] = alias.name
+                    else:
+                        root = alias.name.split(".")[0]
+                        table.setdefault(root, root)
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:
+                    base_parts = package_parts[
+                        : len(package_parts) - (node.level - 1)
+                    ]
+                    base = ".".join(
+                        base_parts
+                        + ([node.module] if node.module else [])
+                    )
+                else:
+                    base = node.module or ""
+                if not base:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    table[bound] = f"{base}.{alias.name}"
+        # Module-level ``alias = Name`` re-binds.
+        for stmt in info.tree.body:
+            if (
+                isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+                and isinstance(stmt.value, ast.Name)
+            ):
+                source = stmt.value.id
+                target_name = stmt.targets[0].id
+                if source in table:
+                    table.setdefault(target_name, table[source])
+                elif f"{key}.{source}" in self.functions or (
+                    f"{key}.{source}" in self.classes
+                ):
+                    table.setdefault(target_name, f"{key}.{source}")
+        # Locally-defined symbols take precedence over any import.
+        for qualname in list(self.functions) + list(self.classes):
+            prefix, _, last = qualname.rpartition(".")
+            if prefix == key:
+                table[last] = qualname
+        self.bindings[key] = table
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+
+    def resolve(
+        self, module_key: str, dotted: str, _depth: int = 0
+    ) -> Optional[str]:
+        """Resolve a dotted name used in ``module_key`` to a qualname.
+
+        Returns the qualified name of a known function, method, or
+        class; None when the name cannot be resolved inside the
+        analyzed set (builtins, third-party modules, dynamic values).
+        """
+        if _depth > _MAX_RESOLVE_DEPTH:
+            return None
+        head, _, rest = dotted.partition(".")
+        target = self.bindings.get(module_key, {}).get(head)
+        if target is None:
+            return self._resolve_absolute(dotted, _depth + 1)
+        absolute = f"{target}.{rest}" if rest else target
+        return self._resolve_absolute(absolute, _depth + 1)
+
+    def _resolve_absolute(
+        self, dotted: str, depth: int
+    ) -> Optional[str]:
+        if depth > _MAX_RESOLVE_DEPTH:
+            return None
+        if dotted in self.functions:
+            return dotted
+        if dotted in self.classes:
+            return dotted
+        head, _, last = dotted.rpartition(".")
+        if head in self.classes:
+            return self.lookup_method(head, last)
+        # Longest known module prefix, re-resolved through its bindings
+        # (this is what follows ``__init__`` re-export chains).
+        parts = dotted.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            prefix = ".".join(parts[:cut])
+            if prefix in self.module_table:
+                rest = ".".join(parts[cut:])
+                resolved = self.resolve(prefix, rest, depth + 1)
+                if resolved is not None:
+                    return resolved
+                break
+        return None
+
+    def lookup_method(
+        self,
+        class_qualname: str,
+        method: str,
+        _seen: Optional[Set[str]] = None,
+    ) -> Optional[str]:
+        """Find ``method`` on a class or its known bases."""
+        seen = _seen or set()
+        if class_qualname in seen:
+            return None
+        seen.add(class_qualname)
+        cls = self.classes.get(class_qualname)
+        if cls is None:
+            return None
+        if method in cls.methods:
+            return cls.methods[method]
+        for base_name in cls.base_names:
+            base = self.resolve(cls.module_key, base_name)
+            if base in self.classes:
+                found = self.lookup_method(base, method, seen)
+                if found is not None:
+                    return found
+        return None
+
+    def resolve_annotation_class(
+        self, module_key: str, annotation: Optional[ast.expr]
+    ) -> Optional[str]:
+        """The class qualname an annotation names, when known.
+
+        Unwraps ``Optional[T]`` / ``"T"`` string annotations one level.
+        """
+        if annotation is None:
+            return None
+        node: ast.expr = annotation
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            try:
+                node = ast.parse(node.value, mode="eval").body
+            except SyntaxError:
+                return None
+        if isinstance(node, ast.Subscript):
+            # Optional[T] / Final[T]: resolve the (first) argument.
+            inner = node.slice
+            if isinstance(inner, ast.Tuple) and inner.elts:
+                node = inner.elts[0]
+            else:
+                node = inner
+        name = dotted_name(node)
+        if name is None:
+            return None
+        resolved = self.resolve(module_key, name)
+        if resolved in self.classes:
+            return resolved
+        return None
+
+    def function_at(
+        self, path: str, line: int
+    ) -> Optional[FunctionInfo]:
+        """The innermost function containing ``line`` of ``path``."""
+        best: Optional[Tuple[int, str]] = None
+        for start, end, qualname in self._spans.get(path, ()):
+            if start <= line <= end:
+                if best is None or start > best[0]:
+                    best = (start, qualname)
+        return self.functions.get(best[1]) if best else None
+
+    # ------------------------------------------------------------------
+    # Call graph
+    # ------------------------------------------------------------------
+
+    def _collect_edges(self, fn: FunctionInfo) -> None:
+        edges: List[CallEdge] = []
+        env = self._typed_locals(fn)
+        self_name = self._self_param(fn)
+
+        def add(callee: Optional[str], line: int, kind: str) -> None:
+            if callee is None or callee == fn.qualname:
+                return
+            edges.append(
+                CallEdge(
+                    caller=fn.qualname,
+                    callee=callee,
+                    line=line,
+                    kind=kind,
+                )
+            )
+
+        def on_call(node: ast.Call) -> None:
+            func = node.func
+            # super().method()
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Call)
+                and isinstance(func.value.func, ast.Name)
+                and func.value.func.id == "super"
+                and fn.class_qualname is not None
+            ):
+                cls = self.classes.get(fn.class_qualname)
+                if cls is not None:
+                    for base_name in cls.base_names:
+                        base = self.resolve(cls.module_key, base_name)
+                        if base in self.classes:
+                            add(
+                                self.lookup_method(base, func.attr),
+                                node.lineno,
+                                "method",
+                            )
+                            break
+                return
+            name = dotted_name(func)
+            if name is None:
+                if isinstance(func, ast.Attribute):
+                    self._dynamic_edges(add, func.attr, node.lineno)
+                return
+            parts = name.split(".")
+            if len(parts) == 1:
+                local = f"{fn.qualname}.<locals>.{parts[0]}"
+                if local in self.functions:
+                    add(local, node.lineno, "closure")
+                    return
+                resolved = self.resolve(fn.module_key, parts[0])
+                self._add_resolved(add, resolved, node.lineno, "direct")
+                return
+            base, attr = parts[0], parts[-1]
+            if (
+                self_name is not None
+                and base == self_name
+                and len(parts) == 2
+                and fn.class_qualname is not None
+            ):
+                found = self.lookup_method(fn.class_qualname, attr)
+                if found is not None:
+                    add(found, node.lineno, "method")
+                else:
+                    self._dynamic_edges(add, attr, node.lineno)
+                return
+            if base in env and len(parts) == 2:
+                found = self.lookup_method(env[base], attr)
+                if found is not None:
+                    add(found, node.lineno, "method")
+                else:
+                    self._dynamic_edges(add, attr, node.lineno)
+                return
+            resolved = self.resolve(fn.module_key, name)
+            if resolved is not None:
+                self._add_resolved(add, resolved, node.lineno, "direct")
+            else:
+                self._dynamic_edges(add, attr, node.lineno)
+
+        def on_attribute(node: ast.Attribute) -> None:
+            """Property access executes the getter."""
+            receiver: Optional[str] = None
+            if isinstance(node.value, ast.Name):
+                if (
+                    self_name is not None
+                    and node.value.id == self_name
+                    and fn.class_qualname is not None
+                ):
+                    receiver = fn.class_qualname
+                else:
+                    receiver = env.get(node.value.id)
+            if receiver is None:
+                return
+            found = self.lookup_method(receiver, node.attr)
+            if found is None:
+                return
+            method = self.functions.get(found)
+            if method is not None and "property" in (
+                method.decorator_names()
+            ):
+                add(found, node.lineno, "property")
+
+        def walk(node: ast.AST, top: bool) -> None:
+            if not top and isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                # Closure definition: the nested body gets its own
+                # FunctionInfo/edges; record that the owner may run it.
+                local = f"{fn.qualname}.<locals>.{node.name}"
+                if local in self.functions:
+                    add(local, node.lineno, "closure")
+                return
+            if not top and isinstance(node, ast.Lambda):
+                return
+            if isinstance(node, ast.Call):
+                on_call(node)
+            elif isinstance(node, ast.Attribute):
+                on_attribute(node)
+            for child in ast.iter_child_nodes(node):
+                walk(child, top=False)
+
+        walk(fn.node, top=True)
+        self.edges[fn.qualname] = edges
+
+    def _add_resolved(
+        self,
+        add: "_AddEdge",
+        resolved: Optional[str],
+        line: int,
+        kind: str,
+    ) -> None:
+        if resolved is None:
+            return
+        if resolved in self.classes:
+            init = self.lookup_method(resolved, "__init__")
+            if init is not None:
+                add(init, line, "init")
+        else:
+            add(resolved, line, kind)
+
+    def _dynamic_edges(
+        self, add: "_AddEdge", attr: str, line: int
+    ) -> None:
+        """Conservative fallback: every known method named ``attr``."""
+        if attr in _DYNAMIC_FALLBACK_EXCLUDED:
+            return
+        for qualname in self.methods_by_name.get(attr, ()):
+            add(qualname, line, "dynamic")
+
+    def _self_param(self, fn: FunctionInfo) -> Optional[str]:
+        if fn.class_qualname is None:
+            return None
+        args = fn.node.args
+        positional = [*args.posonlyargs, *args.args]
+        if not positional:
+            return None
+        if any(
+            isinstance(dec, ast.Name) and dec.id == "staticmethod"
+            for dec in fn.node.decorator_list
+        ):
+            return None
+        return positional[0].arg
+
+    def _typed_locals(self, fn: FunctionInfo) -> Dict[str, str]:
+        """Local name -> class qualname, from annotations/constructors."""
+        env: Dict[str, str] = {}
+        args = fn.node.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            cls = self.resolve_annotation_class(
+                fn.module_key, arg.annotation
+            )
+            if cls is not None:
+                env[arg.arg] = cls
+        for node in ast.walk(fn.node):
+            target: Optional[ast.expr] = None
+            if isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                cls = self.resolve_annotation_class(
+                    fn.module_key, node.annotation
+                )
+                if cls is not None:
+                    env[node.target.id] = cls
+                continue
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                value = node.value
+                if isinstance(target, ast.Name) and isinstance(
+                    value, ast.Call
+                ):
+                    name = dotted_name(value.func)
+                    if name is not None:
+                        resolved = self.resolve(fn.module_key, name)
+                        if resolved in self.classes:
+                            env[target.id] = resolved
+        return env
+
+    # ------------------------------------------------------------------
+    # Reporting helpers
+    # ------------------------------------------------------------------
+
+    def render_graph(self) -> str:
+        """A deterministic, human-readable call-graph dump."""
+        lines = [
+            f"# call graph: {len(self.functions)} functions, "
+            f"{sum(len(e) for e in self.edges.values())} edges"
+        ]
+        for caller in sorted(self.edges):
+            for edge in sorted(
+                self.edges[caller], key=lambda e: (e.line, e.callee)
+            ):
+                lines.append(
+                    f"{caller} -> {edge.callee} "
+                    f"[{edge.kind}] line {edge.line}"
+                )
+        return "\n".join(lines)
+
+
+def _nested_bodies(stmt: ast.stmt) -> List[List[ast.stmt]]:
+    """Statement bodies nested one level under control flow."""
+    bodies: List[List[ast.stmt]] = []
+    for attr in ("body", "orelse", "finalbody"):
+        block = getattr(stmt, attr, None)
+        if isinstance(block, list) and block and isinstance(
+            block[0], ast.stmt
+        ):
+            bodies.append(block)
+    for handler in getattr(stmt, "handlers", ()) or ():
+        bodies.append(handler.body)
+    return bodies
+
+
+class _AddEdge:
+    """Typing protocol stub for the edge-adding callback."""
+
+    def __call__(
+        self, callee: Optional[str], line: int, kind: str
+    ) -> None:  # pragma: no cover - protocol only
+        raise NotImplementedError

@@ -1,0 +1,327 @@
+"""Transitive nondeterminism taint over the project call graph.
+
+*Sources* are the same facts the syntactic determinism rules detect --
+wall-clock reads, unseeded RNG, ``os.environ`` lookups, set-order
+iteration feeding order-sensitive consumers -- but attributed to the
+*function* containing them.  The engine then propagates "may execute a
+source" backwards along call edges, so a planner entry point two hops
+away from a ``time.time()`` call is flagged even though no banned call
+appears in its own module (the RAQO002 gap).
+
+*Entry points* are the public functions and methods of the planner and
+engine entry modules.  Standalone fixture files fail open: all their
+public top-level functions count as entries so the rule can be
+exercised on snippets.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.framework import ModuleInfo
+from repro.analysis.flow.symbols import (
+    FunctionInfo,
+    ProjectModel,
+    module_key_of,
+)
+from repro.analysis.rules._ast_utils import dotted_name, is_set_expression
+from repro.analysis.rules.determinism import (
+    _ALLOWED_NP_RANDOM,
+    _alias_tables,
+    _banned_clock_calls,
+)
+
+#: Modules whose public surface is a planner/engine entry point: the
+#: paper's determinism claim is about what these can execute.
+ENTRY_MODULES: Tuple[str, ...] = (
+    "repro.core.raqo",
+    "repro.core.resource_planner",
+    "repro.core.cost_model",
+    "repro.planner.selinger",
+    "repro.planner.randomized",
+    "repro.planner.bushy",
+    "repro.engine.executor",
+    "repro.engine.runtime",
+)
+
+#: Order-sensitive consumers of set iteration (mirrors RAQO003).
+_ORDER_SENSITIVE = frozenset(
+    {"min", "max", "next", "list", "tuple", "enumerate"}
+)
+
+
+@dataclass(frozen=True)
+class TaintSource:
+    """One nondeterminism source inside one function."""
+
+    kind: str  # "wall-clock" | "unseeded-rng" | "environ" | "set-order"
+    function: str  # qualname of the containing function
+    path: str
+    line: int
+    detail: str  # e.g. "time.time()"
+
+
+@dataclass(frozen=True)
+class TaintHit:
+    """A source transitively reachable from an entry point."""
+
+    entry: str  # entry-point qualname
+    source: TaintSource
+    #: Call chain from the entry to the source's function (inclusive).
+    chain: Tuple[str, ...]
+
+    @property
+    def hops(self) -> int:
+        """Call edges between the entry and the source's function."""
+        return len(self.chain) - 1
+
+
+def detect_sources(model: ProjectModel) -> List[TaintSource]:
+    """All per-function nondeterminism sources in the project."""
+    sources: List[TaintSource] = []
+    for info in model.modules:
+        sources.extend(_module_sources(model, info))
+    return sorted(
+        sources, key=lambda s: (s.path, s.line, s.kind, s.detail)
+    )
+
+
+def _module_sources(
+    model: ProjectModel, info: ModuleInfo
+) -> Iterator[TaintSource]:
+    banned_clocks = _banned_clock_calls(info.tree)
+    randoms, numpys, np_randoms, rng_factories = _alias_tables(info.tree)
+    environ_roots = _os_aliases(info.tree)
+    path = str(info.path)
+
+    def owner(node: ast.AST) -> Optional[str]:
+        fn = model.function_at(path, getattr(node, "lineno", 0))
+        return fn.qualname if fn is not None else None
+
+    def emit(
+        node: ast.AST, kind: str, detail: str
+    ) -> Iterator[TaintSource]:
+        function = owner(node)
+        if function is None:
+            return  # module-level statements run once at import time
+        yield TaintSource(
+            kind=kind,
+            function=function,
+            path=path,
+            line=getattr(node, "lineno", 1),
+            detail=detail,
+        )
+
+    for node in ast.walk(info.tree):
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name is not None:
+                if name in banned_clocks:
+                    yield from emit(node, "wall-clock", f"{name}()")
+                yield from (
+                    emit(node, "unseeded-rng", f"{name}()")
+                    if _is_unseeded_rng(
+                        name,
+                        node,
+                        randoms,
+                        numpys,
+                        np_randoms,
+                        rng_factories,
+                    )
+                    else ()
+                )
+                parts = name.split(".")
+                if (
+                    len(parts) >= 2
+                    and parts[0] in environ_roots
+                    and parts[1] in ("getenv", "environ")
+                ):
+                    yield from emit(node, "environ", f"{name}()")
+            func = node.func
+            if (
+                isinstance(func, ast.Name)
+                and func.id in _ORDER_SENSITIVE
+                and node.args
+                and is_set_expression(node.args[0])
+            ):
+                yield from emit(
+                    node, "set-order", f"{func.id}() over a set"
+                )
+        elif isinstance(node, ast.Subscript):
+            name = dotted_name(node.value)
+            if name is not None:
+                parts = name.split(".")
+                if (
+                    len(parts) == 2
+                    and parts[0] in environ_roots
+                    and parts[1] == "environ"
+                ):
+                    yield from emit(node, "environ", f"{name}[...]")
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            if is_set_expression(node.iter):
+                yield from emit(
+                    node.iter, "set-order", "for-loop over a set"
+                )
+        elif isinstance(
+            node,
+            (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp),
+        ):
+            for generator in node.generators:
+                if is_set_expression(generator.iter):
+                    yield from emit(
+                        generator.iter,
+                        "set-order",
+                        "comprehension over a set",
+                    )
+
+
+def _os_aliases(tree: ast.Module) -> Set[str]:
+    """Names bound to the ``os`` module."""
+    aliases: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "os":
+                    aliases.add(alias.asname or "os")
+    return aliases
+
+
+def _is_unseeded_rng(
+    name: str,
+    node: ast.Call,
+    randoms: Set[str],
+    numpys: Set[str],
+    np_randoms: Set[str],
+    rng_factories: Set[str],
+) -> bool:
+    """Mirror of RAQO001's call classification (see determinism.py)."""
+    parts = name.split(".")
+    if (
+        len(parts) == 1
+        and parts[0] in rng_factories
+        and not node.args
+        and not node.keywords
+    ):
+        return True
+    if len(parts) >= 2 and parts[0] in randoms:
+        return True
+    attr = None
+    if len(parts) >= 3 and parts[0] in numpys and parts[1] == "random":
+        attr = parts[2]
+    elif len(parts) >= 2 and parts[0] in np_randoms:
+        attr = parts[1]
+    if attr is None:
+        return False
+    if attr not in _ALLOWED_NP_RANDOM:
+        return True
+    return attr == "default_rng" and not node.args and not node.keywords
+
+
+def entry_points(model: ProjectModel) -> List[FunctionInfo]:
+    """Planner/engine entry points, sorted by qualified name."""
+    entries: List[FunctionInfo] = []
+    standalone_keys = {
+        module_key_of(info)
+        for info in model.modules
+        if info.module is None
+    }
+    for fn in model.functions.values():
+        if "<locals>" in fn.qualname:
+            continue
+        if not fn.is_public:
+            continue
+        if fn.class_qualname is not None:
+            # Methods of private classes are not entry points.
+            cls = model.classes.get(fn.class_qualname)
+            if cls is None or cls.name.startswith("_"):
+                continue
+        in_entry_module = fn.module_key in ENTRY_MODULES
+        in_standalone = fn.module_key in standalone_keys
+        if in_entry_module or in_standalone:
+            entries.append(fn)
+    return sorted(entries, key=lambda f: f.qualname)
+
+
+class TaintAnalysis:
+    """Reachability of nondeterminism sources from entry points."""
+
+    def __init__(self, model: ProjectModel) -> None:
+        self.model = model
+        self.sources = detect_sources(model)
+        self.entries = entry_points(model)
+        self._hits: Optional[Dict[str, List[TaintHit]]] = None
+
+    def hits_by_entry(self) -> Dict[str, List[TaintHit]]:
+        """Transitive hits (>= 1 hop), keyed by entry qualname.
+
+        Zero-hop reaches -- the source sits in the entry function
+        itself -- are the syntactic rules' territory and are excluded.
+        """
+        if self._hits is not None:
+            return self._hits
+        hits: Dict[str, List[TaintHit]] = {}
+        # One BFS per *source function*: compute, for every function,
+        # the next hop toward the source along forward call edges.
+        by_function: Dict[str, List[TaintSource]] = {}
+        for source in self.sources:
+            by_function.setdefault(source.function, []).append(source)
+        entry_names = {fn.qualname for fn in self.entries}
+        for source_fn, sources in sorted(by_function.items()):
+            parents = self._reverse_bfs(source_fn)
+            for entry in sorted(entry_names):
+                if entry not in parents or entry == source_fn:
+                    continue
+                chain = self._chain(entry, source_fn, parents)
+                if chain is None or len(chain) < 2:
+                    continue
+                for source in sources:
+                    hits.setdefault(entry, []).append(
+                        TaintHit(
+                            entry=entry,
+                            source=source,
+                            chain=tuple(chain),
+                        )
+                    )
+        for entry in hits:
+            hits[entry].sort(
+                key=lambda h: (
+                    h.source.kind,
+                    h.source.path,
+                    h.source.line,
+                    h.chain,
+                )
+            )
+        self._hits = hits
+        return hits
+
+    def _reverse_bfs(self, source_fn: str) -> Dict[str, str]:
+        """caller -> next hop toward ``source_fn`` (BFS, deterministic)."""
+        parents: Dict[str, str] = {source_fn: source_fn}
+        frontier = [source_fn]
+        while frontier:
+            next_frontier: List[str] = []
+            for current in frontier:
+                incoming = self.model.reverse_edges.get(current, ())
+                for edge in sorted(
+                    incoming, key=lambda e: (e.caller, e.line)
+                ):
+                    if edge.caller in parents:
+                        continue
+                    parents[edge.caller] = current
+                    next_frontier.append(edge.caller)
+            frontier = next_frontier
+        return parents
+
+    def _chain(
+        self, entry: str, source_fn: str, parents: Dict[str, str]
+    ) -> Optional[List[str]]:
+        chain = [entry]
+        current = entry
+        while current != source_fn:
+            current = parents[current]
+            chain.append(current)
+            if len(chain) > len(self.model.functions) + 1:
+                return None  # pragma: no cover - cycle guard
+        return chain

@@ -1,0 +1,461 @@
+"""A lightweight abstract interpreter over physical units.
+
+The cost model multiplies gigabytes, rows, seconds, containers and
+dollars across ~10 modules; nothing in the type system stops
+``seconds + gigabytes``.  Units are declared through the annotated
+``NewType``s of :mod:`repro.core.units` (``Seconds``, ``GB``, ``Rows``,
+``Dollars``, ``Containers``); this pass abstractly evaluates the bodies
+of every function that mentions at least one unit annotation and flags:
+
+- ``+``/``-`` between operands of *different known* dimensions;
+- comparisons between different known dimensions;
+- returning a known dimension that contradicts the annotated return;
+- assigning a known dimension to a variable annotated otherwise.
+
+The domain is deliberately forgiving: anything unknown stays unknown
+and propagates silently (no finding), bare numeric literals are
+unit-polymorphic in ``+``/``-`` and dimensionless scale factors in
+``*``/``/``, and an explicit ``Seconds(...)``/``GB(...)`` constructor
+is a sanctioned cast.  Multiplication and division combine dimension
+exponents, so ``GB / Seconds`` is a distinct derived unit and
+``gb_per_s * time_s`` correctly recovers ``GB``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+from repro.analysis.framework import ModuleInfo
+from repro.analysis.flow.symbols import FunctionInfo, ProjectModel
+from repro.analysis.rules._ast_utils import dotted_name
+
+#: Unit annotation name -> dimension-exponent vector.
+UNIT_TYPES: Mapping[str, Mapping[str, int]] = {
+    "Seconds": {"s": 1},
+    "GB": {"gb": 1},
+    "Rows": {"rows": 1},
+    "Dollars": {"usd": 1},
+    "Containers": {"containers": 1},
+    "DollarsPerHour": {"usd": 1, "s": -1},
+    "GBSeconds": {"gb": 1, "s": 1},
+}
+
+#: Builtins that preserve the unit of their first argument.
+_UNIT_PRESERVING = frozenset({"min", "max", "abs", "round", "sorted"})
+
+
+@dataclass(frozen=True)
+class Unit:
+    """A dimension-exponent vector (frozen, hashable, canonical)."""
+
+    dims: Tuple[Tuple[str, int], ...]
+
+    @classmethod
+    def of(cls, mapping: Mapping[str, int]) -> "Unit":
+        return cls(
+            dims=tuple(
+                sorted((d, e) for d, e in mapping.items() if e != 0)
+            )
+        )
+
+    def combine(self, other: "Unit", sign: int) -> "Unit":
+        merged = dict(self.dims)
+        for dim, exp in other.dims:
+            merged[dim] = merged.get(dim, 0) + sign * exp
+        return Unit.of(merged)
+
+    def scale_exponents(self, factor: int) -> "Unit":
+        return Unit.of({d: e * factor for d, e in self.dims})
+
+    @property
+    def dimensionless(self) -> bool:
+        return not self.dims
+
+    def render(self) -> str:
+        if not self.dims:
+            return "dimensionless"
+        num = [
+            d if e == 1 else f"{d}^{e}" for d, e in self.dims if e > 0
+        ]
+        den = [
+            d if e == -1 else f"{d}^{-e}" for d, e in self.dims if e < 0
+        ]
+        if not num:
+            return "1/" + "*".join(den)
+        rendered = "*".join(num)
+        if den:
+            rendered += "/" + "*".join(den)
+        return rendered
+
+
+DIMENSIONLESS = Unit.of({})
+
+
+@dataclass(frozen=True)
+class UnitIssue:
+    """One unit-incoherent operation."""
+
+    path: str
+    line: int
+    col: int
+    message: str
+
+
+def annotation_unit(annotation: Optional[ast.expr]) -> Optional[Unit]:
+    """The unit a type annotation declares, if any."""
+    if annotation is None:
+        return None
+    node: ast.expr = annotation
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None
+    name = dotted_name(node)
+    if name is None:
+        return None
+    terminal = name.rsplit(".", 1)[-1]
+    mapping = UNIT_TYPES.get(terminal)
+    return Unit.of(mapping) if mapping is not None else None
+
+
+class UnitChecker:
+    """Per-function abstract interpretation of unit flow."""
+
+    def __init__(self, model: ProjectModel) -> None:
+        self.model = model
+        #: function qualname -> declared return unit (for call results).
+        self._return_units: Dict[str, Optional[Unit]] = {}
+        for qualname, fn in model.functions.items():
+            self._return_units[qualname] = annotation_unit(
+                fn.node.returns
+            )
+
+    # ------------------------------------------------------------------
+
+    def check_module(self, info: ModuleInfo) -> List[UnitIssue]:
+        issues: List[UnitIssue] = []
+        path = str(info.path)
+        for fn in self.model.functions.values():
+            if str(fn.module.path) != path:
+                continue
+            if not self._mentions_units(fn):
+                continue
+            issues.extend(self._check_function(fn))
+        return sorted(issues, key=lambda i: (i.line, i.col, i.message))
+
+    def _mentions_units(self, fn: FunctionInfo) -> bool:
+        args = fn.node.args
+        annotations = [
+            arg.annotation
+            for arg in [
+                *args.posonlyargs,
+                *args.args,
+                *args.kwonlyargs,
+            ]
+        ]
+        annotations.append(fn.node.returns)
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.AnnAssign):
+                annotations.append(node.annotation)
+        return any(
+            annotation_unit(a) is not None for a in annotations if a
+        )
+
+    # ------------------------------------------------------------------
+
+    def _check_function(self, fn: FunctionInfo) -> Iterator[UnitIssue]:
+        env: Dict[str, Unit] = {}
+        args = fn.node.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            unit = annotation_unit(arg.annotation)
+            if unit is not None:
+                env[arg.arg] = unit
+        issues: List[UnitIssue] = []
+        return_unit = annotation_unit(fn.node.returns)
+        path = str(fn.module.path)
+
+        def report(node: ast.AST, message: str) -> None:
+            issues.append(
+                UnitIssue(
+                    path=path,
+                    line=getattr(node, "lineno", fn.line),
+                    col=getattr(node, "col_offset", 0) + 1,
+                    message=message,
+                )
+            )
+
+        def eval_expr(node: ast.expr) -> Optional[Unit]:
+            if isinstance(node, ast.Name):
+                return env.get(node.id)
+            if isinstance(node, ast.Constant):
+                return None  # literals are unit-polymorphic
+            if isinstance(node, ast.UnaryOp):
+                return eval_expr(node.operand)
+            if isinstance(node, ast.IfExp):
+                body = eval_expr(node.body)
+                orelse = eval_expr(node.orelse)
+                return body if body is not None else orelse
+            if isinstance(node, ast.Attribute):
+                return self._attribute_unit(fn, node, env)
+            if isinstance(node, ast.BinOp):
+                return eval_binop(node)
+            if isinstance(node, ast.Call):
+                return eval_call(node)
+            if isinstance(node, ast.Compare):
+                check_compare(node)
+                return None
+            return None
+
+        def eval_binop(node: ast.BinOp) -> Optional[Unit]:
+            left = eval_expr(node.left)
+            right = eval_expr(node.right)
+            if isinstance(node.op, (ast.Add, ast.Sub)):
+                if (
+                    left is not None
+                    and right is not None
+                    and left != right
+                ):
+                    op = "+" if isinstance(node.op, ast.Add) else "-"
+                    report(
+                        node,
+                        f"unit mismatch: '{left.render()}' "
+                        f"{op} '{right.render()}'",
+                    )
+                    return left
+                return left if left is not None else right
+            if isinstance(node.op, ast.Mult):
+                if left is None and right is None:
+                    return None
+                if left is None and _is_numeric_literal(node.left):
+                    return right
+                if right is None and _is_numeric_literal(node.right):
+                    return left
+                if left is None or right is None:
+                    return None
+                return left.combine(right, sign=1)
+            if isinstance(node.op, ast.Div):
+                if left is None and right is None:
+                    return None
+                if right is None and _is_numeric_literal(node.right):
+                    return left
+                if left is None and _is_numeric_literal(node.left):
+                    return (
+                        right.scale_exponents(-1)
+                        if right is not None
+                        else None
+                    )
+                if left is None or right is None:
+                    return None
+                return left.combine(right, sign=-1)
+            if isinstance(node.op, ast.Pow):
+                if (
+                    left is not None
+                    and isinstance(node.right, ast.Constant)
+                    and isinstance(node.right.value, int)
+                ):
+                    return left.scale_exponents(node.right.value)
+                return None
+            return None
+
+        def eval_call(node: ast.Call) -> Optional[Unit]:
+            name = dotted_name(node.func)
+            if name is None:
+                return None
+            terminal = name.rsplit(".", 1)[-1]
+            # Explicit unit cast: Seconds(x) is the sanctioned
+            # conversion point, whatever x's inferred unit is.
+            if terminal in UNIT_TYPES and len(name.split(".")) <= 2:
+                for arg in node.args:
+                    eval_expr(arg)  # still surface mismatches inside
+                return Unit.of(UNIT_TYPES[terminal])
+            if terminal in _UNIT_PRESERVING:
+                units = [eval_expr(arg) for arg in node.args]
+                known = [u for u in units if u is not None]
+                if known and all(u == known[0] for u in known):
+                    return known[0]
+                if len(known) > 1:
+                    report(
+                        node,
+                        f"unit mismatch: '{terminal}()' mixes "
+                        + " and ".join(
+                            sorted({u.render() for u in known})
+                        ),
+                    )
+                return None
+            for arg in node.args:
+                eval_expr(arg)
+            for keyword in node.keywords:
+                eval_expr(keyword.value)
+            resolved = self.model.resolve(fn.module_key, name)
+            if resolved is None and isinstance(node.func, ast.Attribute):
+                # Dynamic receiver: adopt the return unit when every
+                # known method of that name agrees on one.
+                candidates = {
+                    self._return_units.get(q)
+                    for q in self.model.methods_by_name.get(
+                        terminal, ()
+                    )
+                }
+                if len(candidates) == 1:
+                    return next(iter(candidates))
+                return None
+            if resolved is not None:
+                return self._return_units.get(resolved)
+            return None
+
+        def check_compare(node: ast.Compare) -> None:
+            operands = [node.left, *node.comparators]
+            units = [eval_expr(operand) for operand in operands]
+            known = [
+                (u, operand)
+                for u, operand in zip(units, operands)
+                if u is not None
+            ]
+            for (left_u, _), (right_u, _) in zip(known, known[1:]):
+                if left_u != right_u:
+                    report(
+                        node,
+                        f"unit mismatch: comparing "
+                        f"'{left_u.render()}' with "
+                        f"'{right_u.render()}'",
+                    )
+
+        def visit(node: ast.AST) -> None:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node is not fn.node:
+                    return  # nested functions are checked separately
+            if isinstance(node, ast.Assign):
+                unit = eval_expr(node.value)
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        if unit is not None:
+                            env[target.id] = unit
+                        else:
+                            env.pop(target.id, None)
+                return
+            if isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                declared = annotation_unit(node.annotation)
+                inferred = (
+                    eval_expr(node.value)
+                    if node.value is not None
+                    else None
+                )
+                if (
+                    declared is not None
+                    and inferred is not None
+                    and declared != inferred
+                ):
+                    report(
+                        node,
+                        f"unit mismatch: '{node.target.id}' is "
+                        f"declared '{declared.render()}' but assigned "
+                        f"'{inferred.render()}'",
+                    )
+                if declared is not None:
+                    env[node.target.id] = declared
+                elif inferred is not None:
+                    env[node.target.id] = inferred
+                return
+            if isinstance(node, ast.AugAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                synthetic = ast.BinOp(
+                    left=ast.Name(id=node.target.id, ctx=ast.Load()),
+                    op=node.op,
+                    right=node.value,
+                )
+                ast.copy_location(synthetic, node)
+                ast.fix_missing_locations(synthetic)
+                unit = eval_binop(synthetic)
+                if unit is not None:
+                    env[node.target.id] = unit
+                return
+            if isinstance(node, ast.Return) and node.value is not None:
+                inferred = eval_expr(node.value)
+                if (
+                    return_unit is not None
+                    and inferred is not None
+                    and inferred != return_unit
+                ):
+                    report(
+                        node,
+                        f"unit mismatch: returns "
+                        f"'{inferred.render()}' but is annotated "
+                        f"'{return_unit.render()}'",
+                    )
+                return
+            if isinstance(node, ast.expr):
+                eval_expr(node)
+                return
+            for child in ast.iter_child_nodes(node):
+                visit(child)
+
+        for stmt in fn.node.body:
+            visit(stmt)
+        yield from issues
+
+    def _attribute_unit(
+        self,
+        fn: FunctionInfo,
+        node: ast.Attribute,
+        env: Dict[str, Unit],
+    ) -> Optional[Unit]:
+        """Unit of ``receiver.attr`` via known class field annotations."""
+        if not isinstance(node.value, ast.Name):
+            return None
+        receiver_class: Optional[str] = None
+        base = node.value.id
+        if fn.class_qualname is not None:
+            args = fn.node.args
+            positional = [*args.posonlyargs, *args.args]
+            if positional and base == positional[0].arg:
+                receiver_class = fn.class_qualname
+        if receiver_class is None:
+            annotation = self._param_annotation(fn, base)
+            receiver_class = self.model.resolve_annotation_class(
+                fn.module_key, annotation
+            )
+        if receiver_class is None:
+            return None
+        seen = set()
+        current: Optional[str] = receiver_class
+        while current is not None and current not in seen:
+            seen.add(current)
+            cls = self.model.classes.get(current)
+            if cls is None:
+                return None
+            annotation = cls.field_annotations.get(node.attr)
+            if annotation is None:
+                annotation = cls.init_param_fields.get(node.attr)
+            if annotation is not None:
+                return annotation_unit(annotation)
+            current = None
+            for base_name in cls.base_names:
+                resolved = self.model.resolve(cls.module_key, base_name)
+                if resolved in self.model.classes:
+                    current = resolved
+                    break
+        return None
+
+    @staticmethod
+    def _param_annotation(
+        fn: FunctionInfo, name: str
+    ) -> Optional[ast.expr]:
+        args = fn.node.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            if arg.arg == name:
+                return arg.annotation
+        return None
+
+
+def _is_numeric_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, (int, float))
+    if isinstance(node, ast.UnaryOp):
+        return _is_numeric_literal(node.operand)
+    return False

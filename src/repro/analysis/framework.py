@@ -28,10 +28,12 @@ be exercised on snippets.
 from __future__ import annotations
 
 import ast
+import difflib
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (
+    TYPE_CHECKING,
     Dict,
     Iterable,
     Iterator,
@@ -44,7 +46,10 @@ from typing import (
     Union,
 )
 
-#: Trailing or standalone suppression: ``# lint: disable=RAQO001,RAQO004``.
+if TYPE_CHECKING:  # pragma: no cover -- import cycle guard
+    from repro.analysis.flow.symbols import ProjectModel
+
+#: Trailing or standalone suppression: ``lint: disable=RAQO001,RAQO004``.
 _SUPPRESS_RE = re.compile(r"#\s*lint:\s*disable=([A-Za-z0-9_,\-]+)")
 #: File-wide suppression, honoured within the first lines of a file.
 _SUPPRESS_FILE_RE = re.compile(r"#\s*lint:\s*disable-file=([A-Za-z0-9_,\-]+)")
@@ -261,11 +266,50 @@ class AnalysisSession:
 
     modules: List[ModuleInfo]
     graph: ImportGraph
+    #: Lazily-built whole-program model (symbol table + call graph +
+    #: taint/lock/unit/pickle analyses); shared by every flow rule so
+    #: the call graph is constructed exactly once per run.
+    _flow: Optional["ProjectModel"] = field(
+        default=None, repr=False, compare=False
+    )
+    #: Lazily-computed unsuppressed findings of every non-meta rule,
+    #: keyed by module path (used by the dead-suppression pass).
+    _raw_findings: Optional[Dict[str, List[Finding]]] = field(
+        default=None, repr=False, compare=False
+    )
 
     @classmethod
     def from_modules(cls, modules: Iterable[ModuleInfo]) -> "AnalysisSession":
         modules = list(modules)
         return cls(modules=modules, graph=ImportGraph(modules))
+
+    def flow(self) -> "ProjectModel":
+        """The whole-program model, built on first use and cached."""
+        if self._flow is None:
+            from repro.analysis.flow.symbols import ProjectModel
+
+            self._flow = ProjectModel.build(self.modules)
+        return self._flow
+
+    def unsuppressed_findings(self) -> Dict[str, List[Finding]]:
+        """Findings of every non-meta rule with pragmas ignored.
+
+        Cached per session: the dead-suppression pass asks "would this
+        pragma have silenced anything?", which needs the full finding
+        set exactly once regardless of how many modules carry pragmas.
+        """
+        if self._raw_findings is None:
+            per_path: Dict[str, List[Finding]] = {}
+            primary = [r for r in all_rules() if not r.meta_rule]
+            for info in self.modules:
+                found: List[Finding] = []
+                for rule in primary:
+                    if not self.in_scope(info, rule.scope_roots):
+                        continue
+                    found.extend(rule.check(info, self))
+                per_path[str(info.path)] = found
+            self._raw_findings = per_path
+        return self._raw_findings
 
     def in_scope(self, info: ModuleInfo, roots: Tuple[str, ...]) -> bool:
         """Whether a scoped rule applies to ``info``.
@@ -299,6 +343,10 @@ class Rule:
     #: When non-empty: only modules import-reachable from these roots
     #: are checked (see :meth:`AnalysisSession.in_scope`).
     scope_roots: Tuple[str, ...] = ()
+    #: Meta rules inspect the *other* rules' findings (dead-suppression)
+    #: and are excluded from :meth:`AnalysisSession.unsuppressed_findings`
+    #: to avoid recursion.
+    meta_rule: bool = False
 
     def check(
         self, info: ModuleInfo, session: AnalysisSession
@@ -355,8 +403,20 @@ def resolve_rules(selectors: Optional[Sequence[str]]) -> List[Rule]:
     known = {r.id for r in rules} | {r.name for r in rules}
     unknown = wanted - known
     if unknown:
+        hints = []
+        for selector in sorted(unknown):
+            close = difflib.get_close_matches(
+                selector, sorted(known), n=1, cutoff=0.6
+            )
+            hints.append(
+                f"{selector} (did you mean {close[0]}?)"
+                if close
+                else selector
+            )
+        valid = ", ".join(f"{r.id}/{r.name}" for r in rules)
         raise AnalysisError(
-            f"unknown rule selector(s): {', '.join(sorted(unknown))}"
+            f"unknown rule selector(s): {'; '.join(hints)}. "
+            f"Valid selectors: {valid}"
         )
     return chosen
 

@@ -11,7 +11,11 @@ registry (see :func:`repro.analysis.framework.register_rule`):
 - :mod:`plan_shape` -- RAQO007 positional-dimension-index;
 - :mod:`typing_gate` -- RAQO008 untyped-public-api;
 - :mod:`api_compat` -- RAQO009 positional-resource-axes;
-- :mod:`batching` -- RAQO010 per-candidate-costing-loop.
+- :mod:`batching` -- RAQO010 per-candidate-costing-loop;
+- :mod:`whole_program` -- RAQO011 transitive-nondeterminism, RAQO012
+  unverified-lock-guard, RAQO013 unit-mismatch, RAQO014
+  unpicklable-process-state, RAQO015 dead-suppression (whole-program
+  passes over the shared call graph, see :mod:`repro.analysis.flow`).
 """
 
 from repro.analysis.rules import (  # noqa: F401  (registration imports)
@@ -22,6 +26,7 @@ from repro.analysis.rules import (  # noqa: F401  (registration imports)
     plan_shape,
     safety,
     typing_gate,
+    whole_program,
 )
 
 __all__ = [
@@ -32,4 +37,5 @@ __all__ = [
     "plan_shape",
     "safety",
     "typing_gate",
+    "whole_program",
 ]

@@ -9,7 +9,7 @@ candidate reintroduces exactly the per-candidate interpreter overhead
 the batch kernel removed, and such regressions are invisible to the
 bit-identity tests (the scalar path produces the same answers, just
 slowly). The designated scalar *reference* paths carry
-``# lint: disable=RAQO010`` pragmas; anything else is a finding.
+``lint: disable=RAQO010`` pragmas; anything else is a finding.
 """
 
 from __future__ import annotations
@@ -92,7 +92,7 @@ class PerCandidateCostingLoopRule(Rule):
             tail = name.rsplit(".", 1)[-1] if name else None
             if loops and tail in _SCALAR_COSTING_CALLS:
                 # Anchor at the innermost enclosing loop so one
-                # ``# lint: disable=RAQO010`` on the loop line covers
+                # ``lint: disable=RAQO010`` on the loop line covers
                 # every scalar call the loop drives.
                 yield self.finding(
                     info,

@@ -1,0 +1,290 @@
+"""Whole-program passes: RAQO011-RAQO015.
+
+These rules consume the shared :class:`ProjectModel` built once per
+analysis session (:meth:`AnalysisSession.flow`) instead of looking at
+one file at a time:
+
+- RAQO011 ``transitive-nondeterminism``: a planner/engine entry point
+  transitively reaches a wall-clock / unseeded-RNG / ``os.environ`` /
+  set-order source through the call graph.  One-file sources are
+  RAQO001-003's territory; this rule only reports chains of at least
+  one call hop -- exactly the cases the syntactic rules cannot see.
+- RAQO012 ``unverified-lock-guard``: a ``# lint: guarded-by=<LOCK>``
+  pragma whose binding is mutated somewhere without ``with <LOCK>:``
+  held, or a RAQO005 suppression on a binding that is in fact mutated
+  with no lock at all.
+- RAQO013 ``unit-mismatch``: unit-incoherent arithmetic over the
+  :mod:`repro.core.units` NewTypes (``Seconds + GB``, comparing rows
+  with dollars, returning the wrong dimension).
+- RAQO014 ``unpicklable-process-state``: a process-pool ``initargs``
+  payload ships an instance of a class holding thread primitives
+  (locks, ``threading.local``) without custom pickling.
+- RAQO015 ``dead-suppression``: a ``# lint: disable=`` pragma that no
+  longer suppresses anything -- the finding it silenced is gone, or
+  the rule id never existed.  Dead pragmas hide future regressions.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.analysis.framework import (
+    _SUPPRESS_FILE_RE,
+    _SUPPRESS_RE,
+    _FILE_PRAGMA_WINDOW,
+    AnalysisSession,
+    Finding,
+    ModuleInfo,
+    Rule,
+    all_rules,
+    register_rule,
+)
+from repro.analysis.flow.locks import verify_guards
+from repro.analysis.flow.pickles import PickleAnalysis
+from repro.analysis.flow.symbols import ProjectModel
+from repro.analysis.flow.taint import TaintAnalysis
+from repro.analysis.flow.units import UnitChecker
+
+
+def _taint(session: AnalysisSession) -> TaintAnalysis:
+    model = session.flow()
+    cached = model.analysis_cache.get("taint")
+    if not isinstance(cached, TaintAnalysis):
+        cached = TaintAnalysis(model)
+        model.analysis_cache["taint"] = cached
+    return cached
+
+
+def _units(session: AnalysisSession) -> UnitChecker:
+    model = session.flow()
+    cached = model.analysis_cache.get("units")
+    if not isinstance(cached, UnitChecker):
+        cached = UnitChecker(model)
+        model.analysis_cache["units"] = cached
+    return cached
+
+
+def _pickles(session: AnalysisSession) -> PickleAnalysis:
+    model = session.flow()
+    cached = model.analysis_cache.get("pickles")
+    if not isinstance(cached, PickleAnalysis):
+        cached = PickleAnalysis(model)
+        model.analysis_cache["pickles"] = cached
+    return cached
+
+
+@register_rule
+class TransitiveNondeterminismRule(Rule):
+    """RAQO011: entry points must not reach nondeterminism sources."""
+
+    id = "RAQO011"
+    name = "transitive-nondeterminism"
+    description = (
+        "a public planner/engine entry point transitively calls into "
+        "a wall-clock read, unseeded RNG, os.environ lookup, or "
+        "set-order iteration; the repeatability claim (same query + "
+        "resources => same plan) breaks even though the entry's own "
+        "module looks clean"
+    )
+
+    def check(
+        self, info: ModuleInfo, session: AnalysisSession
+    ) -> Iterator[Finding]:
+        analysis = _taint(session)
+        model = session.flow()
+        path = str(info.path)
+        for entry, hits in sorted(analysis.hits_by_entry().items()):
+            fn = model.functions.get(entry)
+            if fn is None or str(fn.module.path) != path:
+                continue
+            for hit in hits:
+                chain = " -> ".join(hit.chain)
+                yield self.finding(
+                    info,
+                    fn.node,
+                    f"'{entry}' transitively reaches "
+                    f"{hit.source.kind} source {hit.source.detail} "
+                    f"({hit.source.path}:{hit.source.line}, "
+                    f"{hit.hops} hop{'s' if hit.hops != 1 else ''} "
+                    f"away) via {chain}",
+                )
+
+
+@register_rule
+class UnverifiedLockGuardRule(Rule):
+    """RAQO012: guard claims must match actual lock dominance."""
+
+    id = "RAQO012"
+    name = "unverified-lock-guard"
+    description = (
+        "a '# lint: guarded-by=<LOCK>' pragma (or a RAQO005 "
+        "suppression) claims thread safety, but the binding is "
+        "mutated from a function body without that lock held; the "
+        "pragma documents a guarantee the code does not provide"
+    )
+
+    def check(
+        self, info: ModuleInfo, session: AnalysisSession
+    ) -> Iterator[Finding]:
+        for violation in verify_guards(info):
+            anchor = ast.Pass()
+            anchor.lineno = violation.line
+            anchor.col_offset = 0
+            if violation.lock is not None:
+                message = (
+                    f"'{violation.binding}' is declared guarded-by="
+                    f"{violation.lock}, but this mutation "
+                    f"({violation.detail}) runs without "
+                    f"'with {violation.lock}:' held"
+                )
+            else:
+                message = (
+                    f"'{violation.binding}' suppresses RAQO005, but "
+                    f"every mutation site ({violation.detail} here) "
+                    "runs with no lock held at all; the suppression "
+                    "hides a real thread-safety hole"
+                )
+            yield self.finding(info, anchor, message)
+
+
+@register_rule
+class UnitMismatchRule(Rule):
+    """RAQO013: arithmetic must be unit-coherent."""
+
+    id = "RAQO013"
+    name = "unit-mismatch"
+    description = (
+        "adding, subtracting or comparing quantities of different "
+        "physical units (Seconds, GB, Rows, Dollars, Containers from "
+        "repro.core.units), or returning/assigning a dimension that "
+        "contradicts the annotation; wrap explicit conversions in the "
+        "unit constructor, e.g. Seconds(gb / throughput)"
+    )
+
+    def check(
+        self, info: ModuleInfo, session: AnalysisSession
+    ) -> Iterator[Finding]:
+        checker = _units(session)
+        for issue in checker.check_module(info):
+            anchor = ast.Pass()
+            anchor.lineno = issue.line
+            anchor.col_offset = issue.col - 1
+            yield self.finding(info, anchor, issue.message)
+
+
+@register_rule
+class UnpicklableProcessStateRule(Rule):
+    """RAQO014: process-pool payloads must be picklable."""
+
+    id = "RAQO014"
+    name = "unpicklable-process-state"
+    description = (
+        "a ProcessPoolExecutor/multiprocessing initargs payload ships "
+        "an instance of a class holding thread primitives (locks, "
+        "threading.local) without __reduce__/__getstate__; the "
+        "multiprocessing path fails at runtime with 'cannot pickle "
+        "_thread.lock'; ship plain state (e.g. the tracer seed) and "
+        "rebuild the object inside the worker"
+    )
+
+    def check(
+        self, info: ModuleInfo, session: AnalysisSession
+    ) -> Iterator[Finding]:
+        analysis = _pickles(session)
+        for issue in analysis.check_module(info):
+            anchor = ast.Pass()
+            anchor.lineno = issue.line
+            anchor.col_offset = issue.col - 1
+            yield self.finding(info, anchor, issue.message)
+
+
+@register_rule
+class DeadSuppressionRule(Rule):
+    """RAQO015: every suppression must still suppress something."""
+
+    id = "RAQO015"
+    name = "dead-suppression"
+    description = (
+        "a '# lint: disable=' pragma that silences nothing -- the "
+        "finding it once hid is fixed, or the rule id is a typo; "
+        "remove the pragma so future regressions surface"
+    )
+    meta_rule = True
+
+    #: Labels this pass cannot evaluate against the finding set.
+    _UNCHECKABLE = frozenset({"all", "RAQO015", "dead-suppression"})
+
+    def check(
+        self, info: ModuleInfo, session: AnalysisSession
+    ) -> Iterator[Finding]:
+        raw = session.unsuppressed_findings().get(str(info.path), [])
+        by_line: Dict[int, Set[str]] = {}
+        file_labels: Set[str] = set()
+        for found in raw:
+            by_line.setdefault(found.line, set()).update(
+                {found.rule_id, found.rule_name}
+            )
+            file_labels.update({found.rule_id, found.rule_name})
+        known = self._known_labels()
+        for line, target, labels in _pragma_sites(info):
+            for label in sorted(labels):
+                if label in self._UNCHECKABLE:
+                    continue
+                anchor = ast.Pass()
+                anchor.lineno = line
+                anchor.col_offset = 0
+                if label not in known:
+                    yield self.finding(
+                        info,
+                        anchor,
+                        f"suppression names unknown rule '{label}'; "
+                        "it can never match a finding",
+                    )
+                    continue
+                live = (
+                    label in file_labels
+                    if target is None
+                    else label in by_line.get(target, set())
+                )
+                if not live:
+                    where = (
+                        "anywhere in this file"
+                        if target is None
+                        else f"on line {target}"
+                    )
+                    yield self.finding(
+                        info,
+                        anchor,
+                        f"suppression of {label} is dead: no {label} "
+                        f"finding {where}; remove the pragma",
+                    )
+
+    @staticmethod
+    def _known_labels() -> Set[str]:
+        labels: Set[str] = set()
+        for rule in all_rules():
+            labels.update({rule.id, rule.name})
+        return labels
+
+
+def _pragma_sites(
+    info: ModuleInfo,
+) -> List[Tuple[int, "int | None", Set[str]]]:
+    """(pragma line, target line or None for file-wide, labels)."""
+    sites: List[Tuple[int, "int | None", Set[str]]] = []
+    for number, text in enumerate(info.source.splitlines(), start=1):
+        stripped = text.strip()
+        match = _SUPPRESS_RE.search(text)
+        if match:
+            labels = {p for p in match.group(1).split(",") if p}
+            target = number + 1 if stripped.startswith("#") else number
+            sites.append((number, target, labels))
+        if number <= _FILE_PRAGMA_WINDOW:
+            file_match = _SUPPRESS_FILE_RE.search(text)
+            if file_match:
+                labels = {
+                    p for p in file_match.group(1).split(",") if p
+                }
+                sites.append((number, None, labels))
+    return sites

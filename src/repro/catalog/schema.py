@@ -10,7 +10,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
-GB = 1024.0**3
+BYTES_PER_GB = 1024.0**3
+#: Backwards-compatible alias for the byte-count constant.
+GB = BYTES_PER_GB
 
 
 class CatalogError(Exception):
@@ -83,7 +85,7 @@ class Table:
     @property
     def size_gb(self) -> float:
         """Total estimated size in GB (1 GB = 2**30 bytes)."""
-        return self.size_bytes / GB
+        return self.size_bytes / BYTES_PER_GB
 
     def column(self, name: str) -> Column:
         """Return the column with ``name`` or raise :class:`CatalogError`."""

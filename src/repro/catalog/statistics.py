@@ -12,7 +12,8 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Optional, Tuple
 
 from repro.catalog.join_graph import JoinGraph, JoinGraphError
-from repro.catalog.schema import GB, Catalog
+from repro.catalog.schema import BYTES_PER_GB, Catalog
+from repro.units import GB
 
 
 @dataclass(frozen=True)
@@ -38,7 +39,7 @@ class TableStats:
     @property
     def size_gb(self) -> float:
         """Estimated total size in GB."""
-        return self.size_bytes / GB
+        return self.size_bytes / BYTES_PER_GB
 
 
 class StatisticsEstimator:
@@ -143,7 +144,7 @@ class StatisticsEstimator:
 
     def join_io_gb(
         self, left_tables: Iterable[str], right_tables: Iterable[str]
-    ) -> Tuple[float, float]:
+    ) -> Tuple[GB, GB]:
         """(smaller, larger) input sizes in GB for a join of two sets.
 
         This is the ``ss`` (smaller side size) feature the paper's cost
@@ -152,7 +153,7 @@ class StatisticsEstimator:
         """
         left_gb = self.stats_for(left_tables).size_gb
         right_gb = self.stats_for(right_tables).size_gb
-        return (min(left_gb, right_gb), max(left_gb, right_gb))
+        return (GB(min(left_gb, right_gb)), GB(max(left_gb, right_gb)))
 
     def clear_cache(self) -> None:
         """Drop all memoised intermediate statistics."""

@@ -195,6 +195,27 @@ def _build_parser() -> argparse.ArgumentParser:
         help="ignore '# lint: disable' pragmas",
     )
     lint.add_argument(
+        "--sarif",
+        metavar="FILE",
+        help="additionally write a SARIF 2.1.0 log to FILE ('-' for "
+        "stdout)",
+    )
+    lint.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="only fail on findings not recorded in this baseline file",
+    )
+    lint.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the --baseline file from the current findings",
+    )
+    lint.add_argument(
+        "--graph",
+        action="store_true",
+        help="dump the resolved whole-program call graph and exit",
+    )
+    lint.add_argument(
         "--plans",
         action="store_true",
         help="also validate optimized plans for every TPC-H "
@@ -510,6 +531,14 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         argv.extend(["--format", args.format])
     if args.no_suppress:
         argv.append("--no-suppress")
+    if args.sarif:
+        argv.extend(["--sarif", args.sarif])
+    if args.baseline:
+        argv.extend(["--baseline", args.baseline])
+    if args.update_baseline:
+        argv.append("--update-baseline")
+    if args.graph:
+        argv.append("--graph")
     status = lint_main(argv)
     if args.plans and not args.list_rules:
         planner = RaqoPlanner.default(tpch.tpch_catalog(100))

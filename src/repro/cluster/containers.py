@@ -13,6 +13,8 @@ import warnings
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from repro.units import GBSeconds, Seconds
+
 
 class ResourceError(Exception):
     """Raised for invalid resource configurations or requests."""
@@ -97,7 +99,7 @@ class ResourceConfiguration:
         """Aggregate memory of the configuration."""
         return self.num_containers * self.container_gb
 
-    def gb_seconds(self, duration_s: float) -> float:
+    def gb_seconds(self, duration_s: Seconds) -> GBSeconds:
         """Resources consumed holding this configuration for a duration.
 
         This is the paper's "total resources used" metric (memory x time);
@@ -105,7 +107,7 @@ class ResourceConfiguration:
         """
         if duration_s < 0:
             raise ResourceError(f"duration must be >= 0, got {duration_s}")
-        return self.total_memory_gb * duration_s
+        return GBSeconds(self.total_memory_gb * duration_s)
 
     def as_vector(self) -> Tuple[float, float]:
         """(num_containers, container_gb) as a mutable-friendly vector."""

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cluster.containers import ResourceConfiguration, ResourceError
+from repro.units import Dollars, GBSeconds, Seconds
 
 
 @dataclass(frozen=True)
@@ -31,16 +32,16 @@ class PriceModel:
                 f"{self.dollars_per_gb_hour}"
             )
 
-    def cost_of_gb_seconds(self, gb_seconds: float) -> float:
+    def cost_of_gb_seconds(self, gb_seconds: GBSeconds) -> Dollars:
         """Dollar cost of a given GB-seconds consumption."""
         if gb_seconds < 0:
             raise ResourceError(
                 f"gb_seconds must be >= 0, got {gb_seconds}"
             )
-        return gb_seconds / 3600.0 * self.dollars_per_gb_hour
+        return Dollars(gb_seconds / 3600.0 * self.dollars_per_gb_hour)
 
     def cost(
-        self, config: ResourceConfiguration, duration_s: float
-    ) -> float:
+        self, config: ResourceConfiguration, duration_s: Seconds
+    ) -> Dollars:
         """Dollar cost of holding ``config`` for ``duration_s`` seconds."""
         return self.cost_of_gb_seconds(config.gb_seconds(duration_s))

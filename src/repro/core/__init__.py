@@ -36,11 +36,27 @@ from repro.core.resource_planner import (
     hill_climb_resource_plan,
 )
 from repro.core.robustness import RobustnessCriterion, robust_plan
+from repro.core.units import (
+    GB,
+    Containers,
+    Dollars,
+    DollarsPerHour,
+    GBSeconds,
+    Rows,
+    Seconds,
+)
 from repro.core.whatif import what_if
 
 __all__ = [
+    "GB",
+    "Containers",
     "CostModelSuite",
+    "Dollars",
+    "DollarsPerHour",
+    "GBSeconds",
     "LookupMode",
+    "Rows",
+    "Seconds",
     "OperatorCostModel",
     "QueryOptimizerCoster",
     "RaqoCoster",

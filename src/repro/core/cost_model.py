@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.cluster.cluster import ConfigurationGrid
 from repro.cluster.containers import ResourceConfiguration
+from repro.core.units import GB, Seconds
 from repro.engine.joins import JoinAlgorithm, join_execution, join_time_grid
 from repro.engine.profiler import ProfileSample
 from repro.engine.profiles import EngineProfile
@@ -53,7 +54,7 @@ class FeatureMap:
     transform: Callable[[float, float, float, float], Tuple[float, ...]]
 
     def __call__(
-        self, small_gb: float, large_gb: float, config: ResourceConfiguration
+        self, small_gb: GB, large_gb: GB, config: ResourceConfiguration
     ) -> np.ndarray:
         values = self.transform(
             small_gb,
@@ -195,10 +196,10 @@ class OperatorCostModel:
 
     def predict(
         self,
-        small_gb: float,
-        large_gb: float,
+        small_gb: GB,
+        large_gb: GB,
         config: ResourceConfiguration,
-    ) -> float:
+    ) -> Seconds:
         """Predicted execution time in seconds (clipped positive).
 
         Non-finite predictions (overflowing extrapolations, corrupted
@@ -217,13 +218,13 @@ class OperatorCostModel:
             acc = acc + coefficient * float(feature)
         raw = self.intercept + acc
         if math.isnan(raw):
-            return math.inf
-        return max(raw, MIN_PREDICTED_TIME_S)
+            return Seconds(math.inf)
+        return Seconds(max(raw, MIN_PREDICTED_TIME_S))
 
     def predict_grid(
         self,
-        small_gb: float,
-        large_gb: float,
+        small_gb: GB,
+        large_gb: GB,
         counts: np.ndarray,
         sizes: np.ndarray,
     ) -> np.ndarray:
@@ -328,8 +329,8 @@ class OperatorCostModel:
             return np.asarray(
                 [
                     self.predict(
-                        float(s),
-                        float(l),
+                        GB(float(s)),
+                        GB(float(l)),
                         ResourceConfiguration(
                             num_containers=int(round(float(n))),
                             container_gb=float(c),
@@ -368,7 +369,9 @@ class OperatorCostModel:
                 num_containers=sample.num_containers,
                 container_gb=sample.container_gb,
             )
-            features = feature_map(sample.small_gb, sample.large_gb, config)
+            features = feature_map(
+                GB(sample.small_gb), GB(sample.large_gb), config
+            )
             rows.append(np.concatenate(([1.0], features)))
             targets.append(sample.time_s)
         design = np.vstack(rows)
@@ -398,7 +401,9 @@ class OperatorCostModel:
                 container_gb=sample.container_gb,
             )
             predictions.append(
-                self.predict(sample.small_gb, sample.large_gb, config)
+                self.predict(
+                    GB(sample.small_gb), GB(sample.large_gb), config
+                )
             )
             actuals.append(sample.time_s)
         predicted = np.asarray(predictions)
@@ -419,18 +424,18 @@ class JoinCostEstimator:
     def predict_time(
         self,
         algorithm: JoinAlgorithm,
-        small_gb: float,
-        large_gb: float,
+        small_gb: GB,
+        large_gb: GB,
         config: ResourceConfiguration,
-    ) -> float:
+    ) -> Seconds:
         """Predicted execution time; ``inf`` when infeasible."""
         raise NotImplementedError
 
     def predict_time_grid(
         self,
         algorithm: JoinAlgorithm,
-        small_gb: float,
-        large_gb: float,
+        small_gb: GB,
+        large_gb: GB,
         grid: ConfigurationGrid,
     ) -> np.ndarray:
         """Predicted times for every configuration in a grid.
@@ -512,7 +517,7 @@ class JoinCostEstimator:
         )
 
     def bhj_feasible(
-        self, small_gb: float, config: ResourceConfiguration
+        self, small_gb: GB, config: ResourceConfiguration
     ) -> bool:
         """The broadcast-fits-in-memory wall (Sec VIII: "a broadcast join
         requires one relation to fit in memory")."""
@@ -545,10 +550,10 @@ class CostModelSuite(JoinCostEstimator):
     def predict_time(
         self,
         algorithm: JoinAlgorithm,
-        small_gb: float,
-        large_gb: float,
+        small_gb: GB,
+        large_gb: GB,
         config: ResourceConfiguration,
-    ) -> float:
+    ) -> Seconds:
         if algorithm is JoinAlgorithm.BROADCAST_HASH and not (
             self.bhj_feasible(small_gb, config)
         ):
@@ -558,8 +563,8 @@ class CostModelSuite(JoinCostEstimator):
     def predict_time_grid(
         self,
         algorithm: JoinAlgorithm,
-        small_gb: float,
-        large_gb: float,
+        small_gb: GB,
+        large_gb: GB,
         grid: ConfigurationGrid,
     ) -> np.ndarray:
         """One batched model evaluation for the whole grid (plus the
@@ -647,7 +652,7 @@ class CostModelSuite(JoinCostEstimator):
         cls,
         profile: EngineProfile,
         feature_map: FeatureMap = EXTENDED_FEATURES,
-        large_gb: float = 77.0,
+        large_gb: GB = GB(77.0),
     ) -> "CostModelSuite":
         """Profile the engine simulator and fit (the paper's workflow)."""
         from repro.engine.profiler import default_training_grid
@@ -677,10 +682,10 @@ class SimulatorCostModel(JoinCostEstimator):
     def predict_time(
         self,
         algorithm: JoinAlgorithm,
-        small_gb: float,
-        large_gb: float,
+        small_gb: GB,
+        large_gb: GB,
         config: ResourceConfiguration,
-    ) -> float:
+    ) -> Seconds:
         execution = join_execution(
             algorithm,
             small_gb,
@@ -689,13 +694,13 @@ class SimulatorCostModel(JoinCostEstimator):
             self.profile,
             num_reducers=self.num_reducers,
         )
-        return execution.time_s
+        return Seconds(execution.time_s)
 
     def predict_time_grid(
         self,
         algorithm: JoinAlgorithm,
-        small_gb: float,
-        large_gb: float,
+        small_gb: GB,
+        large_gb: GB,
         grid: ConfigurationGrid,
     ) -> np.ndarray:
         """Vectorized analytic oracle over the whole grid."""

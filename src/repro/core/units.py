@@ -1,0 +1,29 @@
+"""Unit NewTypes, re-exported at the core layer.
+
+The definitions live in :mod:`repro.units` -- a dependency-free leaf
+module -- so that the bottom layers (``repro.catalog``,
+``repro.cluster``) can annotate their surfaces without importing
+through ``repro.core`` (whose ``__init__`` pulls in the planners and
+would create an import cycle).  Core-layer code imports from here; the
+names are identical objects either way.
+"""
+
+from repro.units import (
+    GB,
+    Containers,
+    Dollars,
+    DollarsPerHour,
+    GBSeconds,
+    Rows,
+    Seconds,
+)
+
+__all__ = [
+    "Containers",
+    "Dollars",
+    "DollarsPerHour",
+    "GB",
+    "GBSeconds",
+    "Rows",
+    "Seconds",
+]

@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.catalog.queries import Query
 from repro.catalog.statistics import StatisticsEstimator
+from repro.units import GB
 from repro.cluster.cluster import ClusterConditions
 from repro.engine.joins import JoinAlgorithm
 from repro.obs.tracing import NULL_TRACER, Tracer
@@ -130,7 +131,7 @@ class PlanningContext:
 
     def join_io_gb(
         self, left_tables: Iterable[str], right_tables: Iterable[str]
-    ) -> Tuple[float, float]:
+    ) -> Tuple[GB, GB]:
         """(smaller, larger) input sizes in GB for a candidate join."""
         return self.estimator.join_io_gb(left_tables, right_tables)
 

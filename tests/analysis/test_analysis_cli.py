@@ -14,6 +14,7 @@ import pytest
 
 from repro.analysis import run_analysis
 from repro.analysis.cli import main as lint_main
+from repro.analysis.sarif import validate_sarif
 from repro.cli import main as repro_main
 
 BAD_SOURCE = """\
@@ -110,6 +111,164 @@ class TestOutputModes:
         assert "RAQO005" in capsys.readouterr().out
 
 
+class TestRuleSelectorErrors:
+    def test_typo_gets_a_did_you_mean_hint(self, clean_file, capsys):
+        assert lint_main(["--rule", "RAQO99", str(clean_file)]) == 2
+        out = capsys.readouterr().out
+        assert "did you mean RAQO009?" in out
+
+    def test_error_lists_every_valid_selector(self, clean_file, capsys):
+        assert lint_main(["--rule", "bogus", str(clean_file)]) == 2
+        out = capsys.readouterr().out
+        assert "Valid selectors:" in out
+        for index in range(1, 16):
+            assert f"RAQO{index:03d}" in out
+        assert "RAQO011/transitive-nondeterminism" in out
+
+
+class TestSarifFlag:
+    def test_sarif_file_is_written_and_validates(
+        self, bad_file, tmp_path, capsys
+    ):
+        target = tmp_path / "out.sarif"
+        assert lint_main(["--sarif", str(target), str(bad_file)]) == 1
+        log = json.loads(target.read_text())
+        assert validate_sarif(log) == []
+        assert {
+            r["ruleId"] for r in log["runs"][0]["results"]
+        } == {"RAQO001", "RAQO008"}
+
+    def test_sarif_dash_prints_to_stdout(self, clean_file, capsys):
+        assert lint_main(["--sarif", "-", str(clean_file)]) == 0
+        out = capsys.readouterr().out
+        log = json.loads(out[: out.rindex("}") + 1])
+        assert validate_sarif(log) == []
+        assert log["runs"][0]["results"] == []
+
+    def test_sarif_respects_rule_filter(self, bad_file, tmp_path):
+        target = tmp_path / "out.sarif"
+        assert (
+            lint_main(
+                [
+                    "--rule",
+                    "RAQO001",
+                    "--sarif",
+                    str(target),
+                    str(bad_file),
+                ]
+            )
+            == 1
+        )
+        log = json.loads(target.read_text())
+        catalog = log["runs"][0]["tool"]["driver"]["rules"]
+        assert [r["id"] for r in catalog] == ["RAQO001"]
+
+
+class TestBaselineFlags:
+    def test_update_baseline_requires_baseline(self, bad_file, capsys):
+        assert lint_main(["--update-baseline", str(bad_file)]) == 2
+        assert "--baseline" in capsys.readouterr().out
+
+    def test_update_then_apply_round_trip(
+        self, bad_file, tmp_path, capsys
+    ):
+        baseline = tmp_path / "lint_baseline.json"
+        assert (
+            lint_main(
+                [
+                    "--baseline",
+                    str(baseline),
+                    "--update-baseline",
+                    str(bad_file),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "baseline updated" in out
+        assert baseline.exists()
+        assert (
+            lint_main(["--baseline", str(baseline), str(bad_file)]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "covered by baseline" in out
+        assert "invariants clean" in out
+
+    def test_new_finding_still_fails_under_baseline(
+        self, bad_file, tmp_path, capsys
+    ):
+        baseline = tmp_path / "lint_baseline.json"
+        lint_main(
+            [
+                "--baseline",
+                str(baseline),
+                "--update-baseline",
+                "--rule",
+                "RAQO008",
+                str(bad_file),
+            ]
+        )
+        capsys.readouterr()
+        # The RAQO001 finding was never baselined, so it still fails.
+        assert (
+            lint_main(["--baseline", str(baseline), str(bad_file)]) == 1
+        )
+        out = capsys.readouterr().out
+        assert "RAQO001" in out
+        assert "RAQO008" not in out
+
+    def test_stale_entries_warn_once_fixed(
+        self, bad_file, tmp_path, capsys
+    ):
+        baseline = tmp_path / "lint_baseline.json"
+        lint_main(
+            [
+                "--baseline",
+                str(baseline),
+                "--update-baseline",
+                str(bad_file),
+            ]
+        )
+        capsys.readouterr()
+        bad_file.write_text(CLEAN_SOURCE)
+        assert (
+            lint_main(["--baseline", str(baseline), str(bad_file)]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "warning: stale baseline entry" in out
+
+    def test_missing_baseline_file_fails_open(self, bad_file, capsys):
+        # No baseline on disk yet: everything is a new finding.
+        assert (
+            lint_main(
+                ["--baseline", str(bad_file.parent / "nope.json"),
+                 str(bad_file)]
+            )
+            == 1
+        )
+
+    def test_corrupt_baseline_exits_two(self, bad_file, tmp_path, capsys):
+        baseline = tmp_path / "lint_baseline.json"
+        baseline.write_text("{nope")
+        assert (
+            lint_main(["--baseline", str(baseline), str(bad_file)]) == 2
+        )
+        assert "error:" in capsys.readouterr().out
+
+
+class TestGraphFlag:
+    def test_graph_dumps_resolved_edges(self, tmp_path, capsys):
+        path = tmp_path / "mod.py"
+        path.write_text(
+            "def helper():\n    return 1\n\n\n"
+            "def entry():\n    return helper()\n"
+        )
+        assert lint_main(["--graph", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "# call graph:" in out
+        assert "mod.entry -> mod.helper [direct]" in out
+
+
 class TestEntryPoints:
     def test_python_dash_m_repro_analysis(self, bad_file, repo_root):
         env = dict(os.environ)
@@ -129,6 +288,28 @@ class TestEntryPoints:
         capsys.readouterr()
         assert repro_main(["lint", str(bad_file)]) == 1
         assert "RAQO001" in capsys.readouterr().out
+
+    def test_repro_lint_forwards_the_new_flags(
+        self, bad_file, tmp_path, capsys
+    ):
+        target = tmp_path / "out.sarif"
+        baseline = tmp_path / "lint_baseline.json"
+        assert (
+            repro_main(
+                [
+                    "lint",
+                    "--sarif",
+                    str(target),
+                    "--baseline",
+                    str(baseline),
+                    "--update-baseline",
+                    str(bad_file),
+                ]
+            )
+            == 0
+        )
+        assert validate_sarif(json.loads(target.read_text())) == []
+        assert baseline.exists()
 
 
 class TestLiveTree:

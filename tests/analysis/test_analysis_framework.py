@@ -186,7 +186,7 @@ class TestImportGraphAndScoping:
 class TestRegistryAndSelectors:
     def test_all_rules_cover_the_catalog_in_id_order(self):
         assert [rule.id for rule in all_rules()] == [
-            f"RAQO{i:03d}" for i in range(1, 11)
+            f"RAQO{i:03d}" for i in range(1, 16)
         ]
 
     def test_resolve_by_name_slug(self):

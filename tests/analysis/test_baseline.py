@@ -1,0 +1,229 @@
+"""Baseline fingerprints, filtering, and round-trips."""
+
+import json
+
+import pytest
+
+from repro.analysis.framework import AnalysisError, Finding
+from repro.analysis.baseline import (
+    BASELINE_VERSION,
+    BaselineEntry,
+    apply_baseline,
+    build_baseline,
+    finding_fingerprint,
+    format_stale,
+    load_baseline,
+    write_baseline,
+)
+
+
+def make_finding(
+    path="src/mod.py", line=10, rule_id="RAQO001", message="boom"
+):
+    return Finding(
+        path=path,
+        line=line,
+        col=1,
+        rule_id=rule_id,
+        rule_name="unseeded-random",
+        message=message,
+    )
+
+
+class TestFingerprint:
+    def test_line_drift_does_not_change_identity(self, tmp_path):
+        a = make_finding(path=str(tmp_path / "m.py"), line=10)
+        b = make_finding(path=str(tmp_path / "m.py"), line=99)
+        assert finding_fingerprint(a, tmp_path) == finding_fingerprint(
+            b, tmp_path
+        )
+
+    def test_rule_path_and_message_all_matter(self, tmp_path):
+        base = make_finding(path=str(tmp_path / "m.py"))
+        fingerprints = {
+            finding_fingerprint(base, tmp_path),
+            finding_fingerprint(
+                make_finding(path=str(tmp_path / "m.py"), rule_id="RAQO002"),
+                tmp_path,
+            ),
+            finding_fingerprint(
+                make_finding(path=str(tmp_path / "other.py")), tmp_path
+            ),
+            finding_fingerprint(
+                make_finding(path=str(tmp_path / "m.py"), message="kaboom"),
+                tmp_path,
+            ),
+        }
+        assert len(fingerprints) == 4
+
+    def test_fingerprint_is_relative_to_base_dir(self, tmp_path):
+        # The same repo checked out at two roots produces identical
+        # fingerprints, so baselines are machine-portable.
+        one = tmp_path / "clone_a" / "src"
+        two = tmp_path / "clone_b" / "src"
+        one.mkdir(parents=True)
+        two.mkdir(parents=True)
+        a = make_finding(path=str(one / "m.py"))
+        b = make_finding(path=str(two / "m.py"))
+        assert finding_fingerprint(
+            a, one.parent
+        ) == finding_fingerprint(b, two.parent)
+
+
+class TestApplyBaseline:
+    def test_splits_new_matched_and_stale(self, tmp_path):
+        covered = make_finding(path=str(tmp_path / "m.py"))
+        novel = make_finding(
+            path=str(tmp_path / "m.py"), message="fresh"
+        )
+        gone = make_finding(
+            path=str(tmp_path / "m.py"), message="paid off"
+        )
+        entries = [
+            _entry(covered, tmp_path),
+            _entry(gone, tmp_path),
+        ]
+        result = apply_baseline([covered, novel], entries, tmp_path)
+        assert result.matched == [covered]
+        assert result.new == [novel]
+        assert [e.message for e in result.stale] == ["paid off"]
+
+    def test_empty_baseline_passes_everything_through(self, tmp_path):
+        finding = make_finding(path=str(tmp_path / "m.py"))
+        result = apply_baseline([finding], [], tmp_path)
+        assert result.new == [finding]
+        assert result.matched == []
+        assert result.stale == []
+
+    def test_format_stale_mentions_rule_and_path(self, tmp_path):
+        gone = make_finding(path=str(tmp_path / "m.py"))
+        warnings = format_stale([_entry(gone, tmp_path)])
+        assert len(warnings) == 1
+        assert "RAQO001" in warnings[0]
+        assert "m.py" in warnings[0]
+
+
+class TestBuildAndRoundTrip:
+    def test_round_trip_through_disk(self, tmp_path):
+        findings = [
+            make_finding(path=str(tmp_path / "a.py")),
+            make_finding(path=str(tmp_path / "b.py"), rule_id="RAQO006"),
+        ]
+        document = build_baseline(findings, base_dir=tmp_path)
+        target = tmp_path / "lint_baseline.json"
+        write_baseline(target, document)
+        entries = load_baseline(target)
+        assert len(entries) == 2
+        result = apply_baseline(findings, entries, tmp_path)
+        assert result.new == []
+        assert len(result.matched) == 2
+        assert result.stale == []
+
+    def test_new_entries_get_a_todo_justification(self, tmp_path):
+        document = build_baseline(
+            [make_finding(path=str(tmp_path / "a.py"))],
+            base_dir=tmp_path,
+        )
+        assert document["version"] == BASELINE_VERSION
+        assert document["findings"][0]["justification"].startswith(
+            "TODO"
+        )
+        assert document["findings"][0]["path"] == "a.py"
+
+    def test_update_preserves_human_justifications(self, tmp_path):
+        finding = make_finding(path=str(tmp_path / "a.py"))
+        first = build_baseline([finding], base_dir=tmp_path)
+        first["findings"][0]["justification"] = "legacy seed data"
+        target = tmp_path / "lint_baseline.json"
+        write_baseline(target, first)
+        second = build_baseline(
+            [finding],
+            previous=load_baseline(target),
+            base_dir=tmp_path,
+        )
+        assert (
+            second["findings"][0]["justification"] == "legacy seed data"
+        )
+
+    def test_repeated_findings_collapse_to_one_entry(self, tmp_path):
+        findings = [
+            make_finding(path=str(tmp_path / "a.py"), line=3),
+            make_finding(path=str(tmp_path / "a.py"), line=30),
+        ]
+        document = build_baseline(findings, base_dir=tmp_path)
+        assert len(document["findings"]) == 1
+
+
+class TestLoadValidation:
+    def _write(self, tmp_path, payload):
+        target = tmp_path / "baseline.json"
+        target.write_text(json.dumps(payload))
+        return target
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(AnalysisError, match="cannot read"):
+            load_baseline(tmp_path / "absent.json")
+
+    def test_invalid_json_raises(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        target.write_text("{nope")
+        with pytest.raises(AnalysisError, match="not valid JSON"):
+            load_baseline(target)
+
+    def test_wrong_version_raises(self, tmp_path):
+        target = self._write(
+            tmp_path, {"version": 99, "findings": []}
+        )
+        with pytest.raises(AnalysisError, match="version"):
+            load_baseline(target)
+
+    def test_non_list_findings_raises(self, tmp_path):
+        target = self._write(
+            tmp_path, {"version": BASELINE_VERSION, "findings": {}}
+        )
+        with pytest.raises(AnalysisError, match="must be a list"):
+            load_baseline(target)
+
+    def test_entry_missing_fingerprint_raises(self, tmp_path):
+        target = self._write(
+            tmp_path,
+            {
+                "version": BASELINE_VERSION,
+                "findings": [
+                    {"rule_id": "RAQO001", "path": "a.py", "message": "m"}
+                ],
+            },
+        )
+        with pytest.raises(AnalysisError, match="fingerprint"):
+            load_baseline(target)
+
+    def test_missing_justification_gets_default(self, tmp_path):
+        finding = make_finding(path=str(tmp_path / "a.py"))
+        target = self._write(
+            tmp_path,
+            {
+                "version": BASELINE_VERSION,
+                "findings": [
+                    {
+                        "fingerprint": finding_fingerprint(
+                            finding, tmp_path
+                        ),
+                        "rule_id": "RAQO001",
+                        "path": "a.py",
+                        "message": "boom",
+                    }
+                ],
+            },
+        )
+        entries = load_baseline(target)
+        assert entries[0].justification.startswith("TODO")
+
+
+def _entry(finding, base_dir):
+    return BaselineEntry(
+        fingerprint=finding_fingerprint(finding, base_dir),
+        rule_id=finding.rule_id,
+        path=finding.path,
+        message=finding.message,
+        justification="accepted",
+    )

@@ -1,0 +1,485 @@
+"""The project symbol table and call graph (repro.analysis.flow.symbols)."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.framework import AnalysisSession, ModuleInfo
+from repro.analysis.flow.symbols import ProjectModel
+
+
+def build_model(tmp_path, files):
+    """Write a package tree {relpath: source} and build its model."""
+    paths = []
+    for relpath, source in files.items():
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+        paths.append(path)
+    # Every directory between a file and the root needs an __init__.py
+    # for ModuleInfo to assign dotted module names.
+    for path in list(paths):
+        current = path.parent
+        while current != tmp_path and current != current.parent:
+            marker = current / "__init__.py"
+            if not marker.exists():
+                marker.write_text("")
+            paths.append(marker)
+            current = current.parent
+    modules = [ModuleInfo.parse(p) for p in sorted(set(paths))]
+    return ProjectModel.build(modules)
+
+
+def edge_pairs(model):
+    return {
+        (edge.caller, edge.callee, edge.kind)
+        for edges in model.edges.values()
+        for edge in edges
+    }
+
+
+class TestSymbolCollection:
+    def test_functions_methods_and_classes_are_qualified(self, tmp_path):
+        model = build_model(
+            tmp_path,
+            {
+                "pkg/mod.py": """
+                class Planner:
+                    def optimize(self):
+                        return 1
+
+
+                def helper():
+                    return 2
+                """
+            },
+        )
+        assert "pkg.mod.Planner.optimize" in model.functions
+        assert "pkg.mod.helper" in model.functions
+        assert "pkg.mod.Planner" in model.classes
+        planner = model.classes["pkg.mod.Planner"]
+        assert planner.methods == {"optimize": "pkg.mod.Planner.optimize"}
+
+    def test_nested_defs_get_locals_qualnames(self, tmp_path):
+        model = build_model(
+            tmp_path,
+            {
+                "pkg/mod.py": """
+                def outer():
+                    def inner():
+                        return 1
+                    return inner
+                """
+            },
+        )
+        assert "pkg.mod.outer.<locals>.inner" in model.functions
+
+    def test_function_at_returns_innermost(self, tmp_path):
+        model = build_model(
+            tmp_path,
+            {
+                "pkg/mod.py": """
+                def outer():
+                    def inner():
+                        x = 1
+                        return x
+                    return inner
+                """
+            },
+        )
+        path = str(tmp_path / "pkg/mod.py")
+        inner_line = model.functions[
+            "pkg.mod.outer.<locals>.inner"
+        ].node.body[0].lineno
+        fn = model.function_at(path, inner_line)
+        assert fn.qualname == "pkg.mod.outer.<locals>.inner"
+
+
+class TestResolution:
+    def test_plain_calls_resolve_within_module(self, tmp_path):
+        model = build_model(
+            tmp_path,
+            {
+                "pkg/mod.py": """
+                def helper():
+                    return 1
+
+
+                def entry():
+                    return helper()
+                """
+            },
+        )
+        assert (
+            "pkg.mod.entry",
+            "pkg.mod.helper",
+            "direct",
+        ) in edge_pairs(model)
+
+    def test_aliased_module_import_resolves(self, tmp_path):
+        model = build_model(
+            tmp_path,
+            {
+                "pkg/util.py": """
+                def helper():
+                    return 1
+                """,
+                "pkg/mod.py": """
+                import pkg.util as u
+
+
+                def entry():
+                    return u.helper()
+                """,
+            },
+        )
+        assert (
+            "pkg.mod.entry",
+            "pkg.util.helper",
+            "direct",
+        ) in edge_pairs(model)
+
+    def test_from_import_with_asname_resolves(self, tmp_path):
+        model = build_model(
+            tmp_path,
+            {
+                "pkg/util.py": """
+                def helper():
+                    return 1
+                """,
+                "pkg/mod.py": """
+                from pkg.util import helper as h
+
+
+                def entry():
+                    return h()
+                """,
+            },
+        )
+        assert (
+            "pkg.mod.entry",
+            "pkg.util.helper",
+            "direct",
+        ) in edge_pairs(model)
+
+    def test_init_reexport_chain_resolves(self, tmp_path):
+        # from pkg import Planner, where pkg/__init__ re-exports it
+        # from pkg.impl -- the common facade pattern.
+        model = build_model(
+            tmp_path,
+            {
+                "pkg/impl.py": """
+                class Planner:
+                    def optimize(self):
+                        return 1
+                """,
+                "pkg/__init__.py": """
+                from pkg.impl import Planner
+                """,
+                "app.py": """
+                from pkg import Planner
+
+
+                def entry():
+                    planner = Planner()
+                    return planner.optimize()
+                """,
+            },
+        )
+        pairs = edge_pairs(model)
+        assert (
+            "app.entry",
+            "pkg.impl.Planner.optimize",
+            "method",
+        ) in pairs
+
+    def test_relative_import_resolves(self, tmp_path):
+        model = build_model(
+            tmp_path,
+            {
+                "pkg/util.py": """
+                def helper():
+                    return 1
+                """,
+                "pkg/mod.py": """
+                from .util import helper
+
+
+                def entry():
+                    return helper()
+                """,
+            },
+        )
+        assert (
+            "pkg.mod.entry",
+            "pkg.util.helper",
+            "direct",
+        ) in edge_pairs(model)
+
+
+class TestMethodDispatch:
+    def test_self_calls_resolve_through_the_class(self, tmp_path):
+        model = build_model(
+            tmp_path,
+            {
+                "pkg/mod.py": """
+                class Planner:
+                    def optimize(self):
+                        return self._search()
+
+                    def _search(self):
+                        return 1
+                """
+            },
+        )
+        assert (
+            "pkg.mod.Planner.optimize",
+            "pkg.mod.Planner._search",
+            "method",
+        ) in edge_pairs(model)
+
+    def test_inherited_method_resolves_through_base(self, tmp_path):
+        model = build_model(
+            tmp_path,
+            {
+                "pkg/mod.py": """
+                class Base:
+                    def shared(self):
+                        return 1
+
+
+                class Child(Base):
+                    def entry(self):
+                        return self.shared()
+                """
+            },
+        )
+        assert (
+            "pkg.mod.Child.entry",
+            "pkg.mod.Base.shared",
+            "method",
+        ) in edge_pairs(model)
+
+    def test_super_call_resolves_to_base(self, tmp_path):
+        model = build_model(
+            tmp_path,
+            {
+                "pkg/mod.py": """
+                class Base:
+                    def setup(self):
+                        return 1
+
+
+                class Child(Base):
+                    def setup(self):
+                        return super().setup()
+                """
+            },
+        )
+        assert (
+            "pkg.mod.Child.setup",
+            "pkg.mod.Base.setup",
+            "method",
+        ) in edge_pairs(model)
+
+    def test_typed_receiver_from_annotation(self, tmp_path):
+        model = build_model(
+            tmp_path,
+            {
+                "pkg/mod.py": """
+                class Model:
+                    def predict(self):
+                        return 1
+
+
+                def entry(model: Model):
+                    return model.predict()
+                """
+            },
+        )
+        assert (
+            "pkg.mod.entry",
+            "pkg.mod.Model.predict",
+            "method",
+        ) in edge_pairs(model)
+
+    def test_constructor_assignment_types_the_local(self, tmp_path):
+        model = build_model(
+            tmp_path,
+            {
+                "pkg/mod.py": """
+                class Model:
+                    def __init__(self):
+                        self.x = 1
+
+                    def predict(self):
+                        return self.x
+
+
+                def entry():
+                    model = Model()
+                    return model.predict()
+                """
+            },
+        )
+        pairs = edge_pairs(model)
+        assert ("pkg.mod.entry", "pkg.mod.Model.predict", "method") in pairs
+        # Instantiation also links to __init__.
+        assert ("pkg.mod.entry", "pkg.mod.Model.__init__", "init") in pairs
+
+
+class TestDecoratorsClosuresAndDynamic:
+    def test_decorated_functions_still_have_edges(self, tmp_path):
+        model = build_model(
+            tmp_path,
+            {
+                "pkg/mod.py": """
+                import functools
+
+
+                def helper():
+                    return 1
+
+
+                @functools.lru_cache(maxsize=None)
+                def entry():
+                    return helper()
+                """
+            },
+        )
+        assert (
+            "pkg.mod.entry",
+            "pkg.mod.helper",
+            "direct",
+        ) in edge_pairs(model)
+        fn = model.functions["pkg.mod.entry"]
+        assert "functools.lru_cache" in fn.decorator_names()
+
+    def test_property_access_creates_property_edge(self, tmp_path):
+        model = build_model(
+            tmp_path,
+            {
+                "pkg/mod.py": """
+                class Stats:
+                    @property
+                    def size(self):
+                        return 1
+
+
+                def entry(stats: Stats):
+                    return stats.size
+                """
+            },
+        )
+        assert (
+            "pkg.mod.entry",
+            "pkg.mod.Stats.size",
+            "property",
+        ) in edge_pairs(model)
+
+    def test_closure_definition_edge(self, tmp_path):
+        model = build_model(
+            tmp_path,
+            {
+                "pkg/mod.py": """
+                def entry(pool):
+                    def work():
+                        return 1
+                    return pool.submit(work)
+                """
+            },
+        )
+        assert (
+            "pkg.mod.entry",
+            "pkg.mod.entry.<locals>.work",
+            "closure",
+        ) in edge_pairs(model)
+
+    def test_dynamic_dispatch_falls_back_to_every_method(self, tmp_path):
+        # An attribute call on an unknown receiver conservatively links
+        # to every known method of that name, so taint never silently
+        # stops at a dynamic dispatch site.
+        model = build_model(
+            tmp_path,
+            {
+                "pkg/a.py": """
+                class ModelA:
+                    def predict(self):
+                        return 1
+                """,
+                "pkg/b.py": """
+                class ModelB:
+                    def predict(self):
+                        return 2
+                """,
+                "pkg/mod.py": """
+                def entry(model):
+                    return model.predict()
+                """,
+            },
+        )
+        pairs = edge_pairs(model)
+        assert ("pkg.mod.entry", "pkg.a.ModelA.predict", "dynamic") in pairs
+        assert ("pkg.mod.entry", "pkg.b.ModelB.predict", "dynamic") in pairs
+
+    def test_dynamic_fallback_excludes_generic_dunders(self, tmp_path):
+        model = build_model(
+            tmp_path,
+            {
+                "pkg/a.py": """
+                class Resource:
+                    def __enter__(self):
+                        return self
+
+                    def __exit__(self, *exc):
+                        return False
+                """,
+                "pkg/mod.py": """
+                def entry(thing):
+                    return thing.__enter__()
+                """,
+            },
+        )
+        callees = {
+            edge.callee for edge in model.edges.get("pkg.mod.entry", [])
+        }
+        assert "pkg.a.Resource.__enter__" not in callees
+
+
+class TestRenderGraph:
+    def test_graph_dump_is_deterministic_and_complete(self, tmp_path):
+        files = {
+            "pkg/mod.py": """
+            def helper():
+                return 1
+
+
+            def entry():
+                return helper()
+            """
+        }
+        first = build_model(tmp_path / "one", files).render_graph()
+        second = build_model(tmp_path / "two", files).render_graph()
+        assert first == second
+        assert "pkg.mod.entry -> pkg.mod.helper [direct]" in first
+
+
+class TestSessionIntegration:
+    def test_session_flow_is_built_once_and_cached(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text("def f():\n    return 1\n")
+        session = AnalysisSession.from_modules([ModuleInfo.parse(path)])
+        assert session.flow() is session.flow()
+
+    def test_whole_repo_model_builds(self, repo_root):
+        paths = sorted((repo_root / "src" / "repro").rglob("*.py"))
+        session = AnalysisSession.from_modules(
+            ModuleInfo.parse(p) for p in paths
+        )
+        model = session.flow()
+        assert "repro.core.raqo.RaqoPlanner.optimize" in model.functions
+        assert len(model.reverse_edges) > 100
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))
