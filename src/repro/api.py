@@ -29,7 +29,17 @@ import math
 import types
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Union,
+)
+
+if TYPE_CHECKING:
+    from repro.serving.service import OptimizerService, ServiceConfig
 
 from repro.catalog import tpch
 from repro.catalog.queries import Query
@@ -272,6 +282,31 @@ class RaqoSession:
     def explain(self, query: QueryLike) -> str:
         """Optimize and render the full joint-plan explanation."""
         return _explain(self.planner, self.resolve_query(query))
+
+    def serve(
+        self, config: Optional["ServiceConfig"] = None, **knobs: object
+    ) -> "OptimizerService":
+        """A multi-tenant optimizer service over this session.
+
+        Pass a full :class:`~repro.serving.service.ServiceConfig` or
+        individual knobs (``workers=4, max_queue=256, ...``).  The
+        service plans on clones of this session's planner, shares its
+        tracer, and registers its cache and latency instruments on this
+        session's metrics registry -- so
+        :meth:`metrics_snapshot` reports serving cache hits, misses,
+        evictions, and live entries alongside the planning counters.
+        Call :meth:`~repro.serving.service.OptimizerService.start` (or
+        use the service as a context manager) before awaiting plans.
+        """
+        from repro.serving.service import OptimizerService, ServiceConfig
+
+        if config is not None and knobs:
+            raise ValueError(
+                "pass a ServiceConfig or individual knobs, not both"
+            )
+        if config is None:
+            config = ServiceConfig(**knobs)  # type: ignore[arg-type]
+        return OptimizerService(self, config)
 
     # -- metrics -----------------------------------------------------------
 

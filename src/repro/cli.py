@@ -19,6 +19,12 @@ Subcommands:
   (:mod:`repro.analysis`) over the source tree; ``--plans`` also
   validates optimized plans for every TPC-H evaluation query with the
   runtime well-formedness checker.
+- ``serve``   -- start the multi-tenant optimizer service
+  (:mod:`repro.serving`) and push a round-robin request smoke through
+  it, printing per-request serving lines and the cache summary.
+- ``replay``  -- replay a deterministic Poisson or bursty traffic trace
+  through the optimizer service and report QPS plus p50/p95/p99
+  planning latency (optionally writing the JSON report).
 
 Examples::
 
@@ -32,6 +38,8 @@ Examples::
     python -m repro trees --engine spark
     python -m repro workload --num-queries 20 --parallel 4 --trace-dir t/
     python -m repro lint src --plans
+    python -m repro serve --requests 12 --workers 4
+    python -m repro replay --arrival bursty --num-requests 200 --workers 4
 """
 
 from __future__ import annotations
@@ -165,6 +173,74 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_fault_options(workload)
 
+    serve = sub.add_parser(
+        "serve",
+        help="start the optimizer service and smoke it with requests",
+    )
+    _add_planner_options(serve)
+    _add_serving_options(serve)
+    serve.add_argument(
+        "--requests",
+        type=int,
+        default=12,
+        help="number of smoke requests to push through the service",
+    )
+    serve.add_argument(
+        "--tenants",
+        type=int,
+        default=3,
+        help="number of synthetic tenants to round-robin over",
+    )
+    serve.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the session's metrics summary after serving",
+    )
+
+    rep = sub.add_parser(
+        "replay",
+        help="replay a traffic trace through the optimizer service",
+    )
+    _add_planner_options(rep)
+    _add_serving_options(rep)
+    rep.add_argument(
+        "--arrival",
+        choices=("poisson", "bursty"),
+        default="poisson",
+        help="arrival process for the synthetic trace",
+    )
+    rep.add_argument(
+        "--num-requests",
+        type=int,
+        default=200,
+        help="trace length in requests",
+    )
+    rep.add_argument(
+        "--tenants",
+        type=int,
+        default=4,
+        help="number of synthetic tenants",
+    )
+    rep.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="trace seed (arrivals, tenants, query mix)",
+    )
+    rep.add_argument(
+        "--time-scale",
+        type=float,
+        default=0.0,
+        help="pace arrivals against the trace timeline "
+        "(1.0 = real time; 0 = as fast as possible)",
+    )
+    rep.add_argument(
+        "--output",
+        metavar="FILE",
+        default=None,
+        help="write the replay report as JSON here",
+    )
+
     lint = sub.add_parser(
         "lint", help="run the invariant linter (repro.analysis)"
     )
@@ -222,6 +298,62 @@ def _build_parser() -> argparse.ArgumentParser:
         "evaluation query with the runtime well-formedness checker",
     )
     return parser
+
+
+def _add_serving_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="service worker threads",
+    )
+    parser.add_argument(
+        "--queue-depth",
+        type=int,
+        default=128,
+        help="admission queue bound (requests beyond it are rejected "
+        "with a typed Overloaded error)",
+    )
+    parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=0,
+        help="cap on concurrent optimizer runs (0 = same as --workers)",
+    )
+    parser.add_argument(
+        "--cache-shards",
+        type=int,
+        default=8,
+        help="cross-tenant plan cache: number of lock-striped shards",
+    )
+    parser.add_argument(
+        "--cache-capacity",
+        type=int,
+        default=64,
+        help="cross-tenant plan cache: entries per shard (LRU beyond)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the cross-tenant plan cache",
+    )
+
+
+def _make_service(
+    session: RaqoSession, args: argparse.Namespace
+) -> "object":
+    from repro.serving import ServiceConfig
+
+    return session.serve(
+        ServiceConfig(
+            workers=args.workers,
+            max_queue=args.queue_depth,
+            max_inflight=args.max_inflight,
+            cache_enabled=not args.no_cache,
+            cache_shards=args.cache_shards,
+            cache_shard_capacity=args.cache_capacity,
+        )
+    )
 
 
 def _add_fault_options(parser: argparse.ArgumentParser) -> None:
@@ -518,6 +650,106 @@ def _cmd_workload(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serving import PlanRequest
+
+    if args.requests < 1:
+        print("--requests must be >= 1", file=sys.stderr)
+        return 2
+    session = _make_session(args)
+    service = _make_service(session, args)
+    names = sorted(_QUERIES)
+    with service:
+        futures = [
+            service.submit(
+                PlanRequest(
+                    request_id=index,
+                    query=names[index % len(names)],
+                    tenant=f"tenant-{index % args.tenants}",
+                )
+            )
+            for index in range(args.requests)
+        ]
+        for future in futures:
+            response = future.result()
+            source = (
+                "cache hit"
+                if response.cache_hit
+                else "coalesced"
+                if response.coalesced
+                else "planned"
+            )
+            print(
+                f"#{response.request.request_id:04d} "
+                f"{response.request.tenant:>10} "
+                f"{response.result.query.name:>4}: {source:>9} | "
+                f"{response.latency_ms:8.2f} ms "
+                f"(queued {response.queue_ms:.2f} ms, "
+                f"batch of {response.batch_size})"
+            )
+    cache = service.cache
+    if cache is not None:
+        snap = cache.snapshot()
+        print(
+            f"\ncache: {snap['hits']} hits / {snap['misses']} misses "
+            f"(rate {cache.hit_rate:.2f}) | {snap['entries']} entries "
+            f"across {snap['shards']} shards | "
+            f"{snap['evictions']} evictions"
+        )
+    if args.metrics:
+        print()
+        print(session.metrics.render_text("session metrics"))
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serving import ReplayConfig, build_requests, replay
+
+    session = _make_session(args, seed=args.seed)
+    service = _make_service(session, args)
+    config = ReplayConfig(
+        num_requests=args.num_requests,
+        arrival=args.arrival,
+        num_tenants=args.tenants,
+        seed=args.seed,
+    )
+    requests = build_requests(config, catalog=session.catalog)
+    with service:
+        report = replay(
+            service,
+            requests,
+            label=args.arrival,
+            time_scale=args.time_scale,
+        )
+    print(
+        f"{report.label}: {report.completed}/{report.requests} "
+        f"completed ({report.rejected} rejected) | "
+        f"{report.qps:.0f} qps over {report.elapsed_s:.2f} s"
+    )
+    print(
+        f"latency: p50 {report.latency_ms['p50']:.2f} ms | "
+        f"p95 {report.latency_ms['p95']:.2f} ms | "
+        f"p99 {report.latency_ms['p99']:.2f} ms | "
+        f"max {report.latency_ms['max']:.2f} ms"
+    )
+    if report.cache:
+        print(
+            f"cache: {report.cache_hits} request hits | "
+            f"{report.coalesced} coalesced | "
+            f"hit rate {float(report.cache['hit_rate']):.2f} | "
+            f"{report.cache['entries']} entries"
+        )
+    if args.output:
+        payload = report.to_json_dict()
+        with open(args.output, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"report written: {args.output}")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.cli import main as lint_main
     from repro.analysis.plan_checks import validate_plan
@@ -593,6 +825,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "figure": _cmd_figure,
         "trees": _cmd_trees,
         "workload": _cmd_workload,
+        "serve": _cmd_serve,
+        "replay": _cmd_replay,
         "lint": _cmd_lint,
     }
     return handlers[args.command](args)

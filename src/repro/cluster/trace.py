@@ -62,6 +62,79 @@ class TraceConfig:
             )
 
 
+def poisson_arrival_times(
+    num_arrivals: int,
+    mean_interarrival_s: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Cumulative arrival times of a homogeneous Poisson process.
+
+    The steady-state arrival model for the serving layer: exponential
+    inter-arrival gaps with the given mean, summed into ascending
+    absolute arrival times (seconds).
+    """
+    if num_arrivals < 0:
+        raise ValueError(
+            f"num_arrivals must be >= 0, got {num_arrivals}"
+        )
+    if mean_interarrival_s <= 0:
+        raise ValueError(
+            "mean_interarrival_s must be > 0, got "
+            f"{mean_interarrival_s}"
+        )
+    gaps = rng.exponential(mean_interarrival_s, size=num_arrivals)
+    return np.cumsum(gaps)
+
+
+def bursty_arrival_times(
+    num_arrivals: int,
+    burst_interarrival_s: float,
+    idle_interarrival_s: float,
+    burst_length: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Arrival times of a duty-cycled (bursty) Poisson process.
+
+    The same alternation :func:`generate_submissions` uses for the Fig 1
+    queueing study -- short exponential gaps within a burst, one long
+    exponential gap between bursts, geometric burst sizes -- but
+    returning bare arrival times so the serving replay harness can
+    attach its own request payloads.
+    """
+    if num_arrivals < 0:
+        raise ValueError(
+            f"num_arrivals must be >= 0, got {num_arrivals}"
+        )
+    if burst_length < 1:
+        raise ValueError(
+            f"burst_length must be >= 1, got {burst_length}"
+        )
+    if burst_interarrival_s <= 0:
+        raise ValueError(
+            "burst_interarrival_s must be > 0, got "
+            f"{burst_interarrival_s}"
+        )
+    if idle_interarrival_s <= 0:
+        raise ValueError(
+            "idle_interarrival_s must be > 0, got "
+            f"{idle_interarrival_s}"
+        )
+    times = np.empty(num_arrivals, dtype=float)
+    now = 0.0
+    in_burst_remaining = burst_length
+    for index in range(num_arrivals):
+        if in_burst_remaining > 0:
+            now += rng.exponential(burst_interarrival_s)
+            in_burst_remaining -= 1
+        else:
+            now += rng.exponential(idle_interarrival_s)
+            in_burst_remaining = int(
+                rng.geometric(1.0 / burst_length)
+            )
+        times[index] = now
+    return times
+
+
 def generate_submissions(
     config: TraceConfig, rng: np.random.Generator
 ) -> List[JobSubmission]:

@@ -94,6 +94,11 @@ def run(
 def _avg_runtime_ms(
     planner: RaqoPlanner, query: Query, repetitions: int
 ) -> float:
+    # One untimed warm-up first: the process's first optimize() pays
+    # one-time costs (cost-model fitting, numpy first-touch) that would
+    # otherwise land entirely on whichever grid cell happens to run
+    # first and invert the QO-vs-RAQO overhead comparison.
+    planner.optimize(query)
     total = 0.0
     for _ in range(repetitions):
         total += planner.optimize(query).wall_time_s

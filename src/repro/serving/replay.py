@@ -1,0 +1,265 @@
+"""Traffic replay for the optimizer service: traces in, latency out.
+
+Builds deterministic multi-tenant request traces on the same arrival
+machinery the Fig 1 queueing study uses (:mod:`repro.cluster.trace`):
+a steady Poisson process for open-loop load, or the duty-cycled bursty
+process whose spikes are exactly what admission control exists for.
+:func:`replay` drives a running :class:`~repro.serving.service.
+OptimizerService` with a trace and reports QPS plus p50/p95/p99
+planning latency -- the numbers ``benchmarks/bench_serving.py`` writes
+to ``BENCH_serving.json``.
+
+Replays are open-loop: requests are submitted in arrival order (paced
+against the trace timeline when ``time_scale`` > 0, as fast as possible
+otherwise) and rejected requests are counted, not retried, so an
+overloaded service shows up as a rejection rate instead of unbounded
+queueing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.catalog import tpch
+from repro.catalog.queries import Query
+from repro.catalog.schema import Catalog
+from repro.cluster.trace import bursty_arrival_times, poisson_arrival_times
+from repro.serving.service import (
+    OptimizerService,
+    Overloaded,
+    PlanRequest,
+    PlanResponse,
+)
+
+__all__ = [
+    "ARRIVAL_KINDS",
+    "ReplayConfig",
+    "ReplayReport",
+    "build_requests",
+    "replay",
+]
+
+#: Supported arrival processes.
+ARRIVAL_KINDS = ("poisson", "bursty")
+
+
+@dataclass(frozen=True)
+class ReplayConfig:
+    """Shape of one synthetic serving trace.
+
+    The defaults produce a small, CI-friendly trace; the benchmark
+    scales ``num_requests`` up.  ``unique_queries`` > 0 swaps the TPC-H
+    evaluation queries for a generated random workload of that many
+    distinct queries (more cache keys, lower hit rate).
+    """
+
+    num_requests: int = 100
+    arrival: str = "poisson"
+    #: Poisson: mean inter-arrival gap.
+    mean_interarrival_s: float = 0.005
+    #: Bursty: in-burst gap, between-burst gap, jobs per burst.
+    burst_interarrival_s: float = 0.001
+    idle_interarrival_s: float = 0.25
+    burst_length: int = 25
+    num_tenants: int = 4
+    unique_queries: int = 0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_requests < 1:
+            raise ValueError(
+                f"num_requests must be >= 1, got {self.num_requests}"
+            )
+        if self.arrival not in ARRIVAL_KINDS:
+            raise ValueError(
+                f"arrival must be one of {ARRIVAL_KINDS}, "
+                f"got {self.arrival!r}"
+            )
+        if self.num_tenants < 1:
+            raise ValueError(
+                f"num_tenants must be >= 1, got {self.num_tenants}"
+            )
+        if self.unique_queries < 0:
+            raise ValueError(
+                f"unique_queries must be >= 0, "
+                f"got {self.unique_queries}"
+            )
+
+
+def _query_pool(
+    config: ReplayConfig, catalog: Optional[Catalog]
+) -> List[Query]:
+    if config.unique_queries <= 0:
+        return list(tpch.EVALUATION_QUERIES)
+    from repro.workloads.generator import WorkloadSpec, generate_workload
+
+    if catalog is None:
+        catalog = tpch.tpch_catalog(100)
+    return generate_workload(
+        catalog,
+        WorkloadSpec(num_queries=config.unique_queries),
+        np.random.default_rng(config.seed + 1),
+    )
+
+
+def build_requests(
+    config: ReplayConfig, catalog: Optional[Catalog] = None
+) -> Tuple[PlanRequest, ...]:
+    """A deterministic request trace: pure function of the config.
+
+    Arrival times come from the configured process, tenants and queries
+    from independent draws of the seeded generator; the same config
+    always yields byte-identical traces (the determinism property tests
+    replay one trace at several worker counts and diff the outputs).
+    """
+    rng = np.random.default_rng(config.seed)
+    if config.arrival == "poisson":
+        arrivals = poisson_arrival_times(
+            config.num_requests, config.mean_interarrival_s, rng
+        )
+    else:
+        arrivals = bursty_arrival_times(
+            config.num_requests,
+            config.burst_interarrival_s,
+            config.idle_interarrival_s,
+            config.burst_length,
+            rng,
+        )
+    pool = _query_pool(config, catalog)
+    query_picks = rng.integers(0, len(pool), size=config.num_requests)
+    tenant_picks = rng.integers(
+        0, config.num_tenants, size=config.num_requests
+    )
+    return tuple(
+        PlanRequest(
+            request_id=index,
+            query=pool[int(query_picks[index])],
+            tenant=f"tenant-{int(tenant_picks[index])}",
+            arrival_s=float(arrivals[index]),
+        )
+        for index in range(config.num_requests)
+    )
+
+
+def _quantiles_ms(values: Sequence[float]) -> Dict[str, float]:
+    """Exact nearest-rank latency quantiles (NaN-free, JSON-ready)."""
+    if not values:
+        return {
+            "p50": 0.0,
+            "p95": 0.0,
+            "p99": 0.0,
+            "mean": 0.0,
+            "max": 0.0,
+        }
+    ordered = sorted(values)
+
+    def rank(q: float) -> float:
+        index = min(
+            len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1)
+        )
+        return ordered[index]
+
+    return {
+        "p50": rank(0.50),
+        "p95": rank(0.95),
+        "p99": rank(0.99),
+        "mean": sum(ordered) / len(ordered),
+        "max": ordered[-1],
+    }
+
+
+@dataclass(frozen=True)
+class ReplayReport:
+    """What one trace replay measured."""
+
+    label: str
+    requests: int
+    completed: int
+    rejected: int
+    cache_hits: int
+    coalesced: int
+    elapsed_s: float
+    #: Completed requests per second of wall-clock replay time.
+    qps: float
+    #: End-to-end (admission -> response) latency quantiles, ms.
+    latency_ms: Dict[str, float]
+    #: Queue-wait latency quantiles, ms.
+    queue_ms: Dict[str, float]
+    #: The service cache's counter snapshot (empty when cache is off).
+    cache: Dict[str, object]
+    responses: Tuple[PlanResponse, ...]
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """The JSON payload ``BENCH_serving.json`` embeds per trace."""
+        return {
+            "label": self.label,
+            "requests": self.requests,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "cache_hits": self.cache_hits,
+            "coalesced": self.coalesced,
+            "elapsed_s": self.elapsed_s,
+            "qps": self.qps,
+            "latency_ms": dict(self.latency_ms),
+            "queue_ms": dict(self.queue_ms),
+            "cache": dict(self.cache),
+        }
+
+
+def replay(
+    service: OptimizerService,
+    requests: Sequence[PlanRequest],
+    *,
+    label: str = "replay",
+    time_scale: float = 0.0,
+) -> ReplayReport:
+    """Drive a started service with a request trace; measure it.
+
+    ``time_scale`` stretches the trace timeline onto the wall clock
+    (1.0 = real time, 0.5 = twice as fast); 0 disables pacing and
+    submits the whole trace as fast as admission control allows, which
+    is how the benchmark measures peak sustainable throughput.
+    """
+    import time
+
+    if time_scale < 0:
+        raise ValueError(f"time_scale must be >= 0, got {time_scale}")
+    futures = []
+    rejected = 0
+    started = time.perf_counter()
+    for request in requests:
+        if time_scale > 0:
+            target = started + request.arrival_s * time_scale
+            delay = target - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+        try:
+            futures.append(service.submit(request))
+        except Overloaded:
+            rejected += 1
+    responses = tuple(future.result() for future in futures)
+    elapsed = time.perf_counter() - started
+    latencies = [response.latency_ms for response in responses]
+    queue_waits = [response.queue_ms for response in responses]
+    return ReplayReport(
+        label=label,
+        requests=len(requests),
+        completed=len(responses),
+        rejected=rejected,
+        cache_hits=sum(1 for r in responses if r.cache_hit),
+        coalesced=sum(1 for r in responses if r.coalesced),
+        elapsed_s=elapsed,
+        qps=(len(responses) / elapsed) if elapsed > 0 else 0.0,
+        latency_ms=_quantiles_ms(latencies),
+        queue_ms=_quantiles_ms(queue_waits),
+        cache=(
+            service.cache.snapshot()
+            if service.cache is not None
+            else {}
+        ),
+        responses=responses,
+    )

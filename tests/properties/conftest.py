@@ -1,0 +1,132 @@
+"""Shared scaffolding for the property-based suites.
+
+Every property file used to carry its own copy of the seeded-generator
+helpers (random connected join plans, resource envelopes, fault specs)
+and its own module-scoped SF-100 catalog.  They live here once now:
+
+- ``catalog`` / ``join_graph`` reuse the session-scoped
+  ``tpch_catalog_sf100`` fixture from the top-level conftest, so the
+  catalog is built once per test run instead of once per module;
+- ``gen`` exposes the seeded generators as one namespace -- all of them
+  are pure functions of the ``random.Random`` instance passed in, which
+  is what makes the properties replayable from a seed.
+"""
+
+import random
+
+import pytest
+
+from repro.catalog.join_graph import JoinGraph
+from repro.cluster.containers import ResourceConfiguration
+from repro.engine.joins import JoinAlgorithm
+from repro.faults.model import FaultSpec
+
+#: Random trials per property (each trial is a fresh plan/spec/envelope).
+TRIALS = 25
+
+TPCH_TABLES = (
+    "customer",
+    "lineitem",
+    "nation",
+    "orders",
+    "part",
+    "partsupp",
+    "region",
+    "supplier",
+)
+
+
+class PropertyGenerators:
+    """Seeded generators for random plans, envelopes, and fault specs.
+
+    Methods draw only from the ``random.Random`` they are handed, never
+    from global state, so a property that fails can be replayed exactly
+    from its seed.
+    """
+
+    #: Random trials per property, exported on the fixture so test
+    #: modules never have to import this conftest by module name.
+    TRIALS = TRIALS
+
+    def __init__(self, join_graph: JoinGraph) -> None:
+        self.join_graph = join_graph
+
+    def tables(self, rnd: random.Random):
+        """2-5 distinct TPC-H tables forming a connected join subgraph.
+
+        Grown by a random walk over the schema's join graph, so the
+        estimator never sees a cross join.  Candidates are sorted before
+        each draw to keep the generator a pure function of the seed.
+        """
+        target = rnd.randint(2, 5)
+        tables = [rnd.choice(sorted(TPCH_TABLES))]
+        while len(tables) < target:
+            frontier = sorted(
+                {
+                    neighbor
+                    for table in tables
+                    for neighbor in self.join_graph.neighbors(table)
+                }
+                - set(tables)
+            )
+            if not frontier:
+                break
+            tables.append(rnd.choice(frontier))
+        return tables
+
+    def plan(self, rnd: random.Random):
+        """A random left-deep plan with random join implementations."""
+        from repro.planner.plan import left_deep_plan
+
+        tables = self.tables(rnd)
+        algorithms = [
+            rnd.choice(
+                (JoinAlgorithm.SORT_MERGE, JoinAlgorithm.BROADCAST_HASH)
+            )
+            for _ in range(len(tables) - 1)
+        ]
+        return left_deep_plan(tables, algorithms)
+
+    def bhj_plan(self, rnd: random.Random):
+        """A random left-deep plan forced to all-broadcast joins."""
+        from repro.planner.plan import left_deep_plan
+
+        tables = self.tables(rnd)
+        return left_deep_plan(
+            tables,
+            [JoinAlgorithm.BROADCAST_HASH] * (len(tables) - 1),
+        )
+
+    def resources(self, rnd: random.Random) -> ResourceConfiguration:
+        """A random envelope, skewed to include tight (OOM-prone) ones."""
+        return ResourceConfiguration(
+            num_containers=rnd.randint(2, 40),
+            container_gb=float(rnd.randint(1, 10)),
+        )
+
+    def fault_spec(self, rnd: random.Random) -> FaultSpec:
+        """Random rates under a random seed."""
+        return FaultSpec(
+            seed=rnd.randint(0, 2**31),
+            preemption_rate=rnd.uniform(0.0, 0.5),
+            oom_rate=rnd.uniform(0.0, 0.8),
+            straggler_rate=rnd.uniform(0.0, 0.5),
+            straggler_slowdown=rnd.uniform(1.5, 5.0),
+        )
+
+
+@pytest.fixture(scope="module")
+def catalog(tpch_catalog_sf100):
+    """The shared SF-100 catalog, under the name the suites use."""
+    return tpch_catalog_sf100
+
+
+@pytest.fixture(scope="module")
+def join_graph(tpch_catalog_sf100):
+    return tpch_catalog_sf100.join_graph
+
+
+@pytest.fixture(scope="module")
+def gen(join_graph):
+    """The seeded property generators, bound to the TPC-H join graph."""
+    return PropertyGenerators(join_graph)

@@ -81,9 +81,9 @@ CONFIGS = [
 ]
 
 
-@pytest.fixture(scope="module")
-def catalog():
-    return tpch.tpch_catalog(100)
+#: The shared SF-100 ``catalog`` fixture comes from this directory's
+#: conftest (built once per run, not once per module).
+pytestmark = pytest.mark.slow
 
 
 class TestBatchedScalarIdentity:

@@ -1,8 +1,9 @@
 """Property-based tests for the fault-injection subsystem.
 
-Seeded stdlib-``random`` generators (no new dependency) produce random
-join plans, resource envelopes, and fault specs; each property asserts
-one invariant from the fault subsystem's contract:
+Seeded stdlib-``random`` generators (shared via ``conftest.py``'s
+``gen`` fixture -- no new dependency) produce random join plans,
+resource envelopes, and fault specs; each property asserts one
+invariant from the fault subsystem's contract:
 
 1. the same seed produces a bit-identical ``ExecutionResult``;
 2. a zero-fault plan is identical to running without fault injection;
@@ -23,83 +24,7 @@ from repro.engine.profiles import HIVE_PROFILE
 from repro.faults.model import FaultPlan, FaultSpec
 from repro.faults.recovery import DEFAULT_RECOVERY, RecoveryPolicy
 
-#: Random trials per property (each trial is a fresh plan/spec/envelope).
-TRIALS = 25
-
-TPCH_TABLES = (
-    "customer",
-    "lineitem",
-    "nation",
-    "orders",
-    "part",
-    "partsupp",
-    "region",
-    "supplier",
-)
-
-
-@pytest.fixture(scope="module")
-def join_graph():
-    from repro.catalog import tpch
-
-    return tpch.tpch_catalog(100).join_graph
-
-
-def gen_tables(rnd: random.Random, join_graph):
-    """2-5 distinct TPC-H tables forming a connected join subgraph.
-
-    Grown by a random walk over the schema's join graph, so the
-    estimator never sees a cross join. Candidates are sorted before each
-    draw to keep the generator a pure function of the seed.
-    """
-    target = rnd.randint(2, 5)
-    tables = [rnd.choice(sorted(TPCH_TABLES))]
-    while len(tables) < target:
-        frontier = sorted(
-            {
-                neighbor
-                for table in tables
-                for neighbor in join_graph.neighbors(table)
-            }
-            - set(tables)
-        )
-        if not frontier:
-            break
-        tables.append(rnd.choice(frontier))
-    return tables
-
-
-def gen_plan(rnd: random.Random, join_graph):
-    """A random left-deep plan with random join implementations."""
-    from repro.planner.plan import left_deep_plan
-
-    tables = gen_tables(rnd, join_graph)
-    algorithms = [
-        rnd.choice(
-            (JoinAlgorithm.SORT_MERGE, JoinAlgorithm.BROADCAST_HASH)
-        )
-        for _ in range(len(tables) - 1)
-    ]
-    return left_deep_plan(tables, algorithms)
-
-
-def gen_resources(rnd: random.Random) -> ResourceConfiguration:
-    """A random envelope, skewed to include tight (OOM-prone) ones."""
-    return ResourceConfiguration(
-        num_containers=rnd.randint(2, 40),
-        container_gb=float(rnd.randint(1, 10)),
-    )
-
-
-def gen_fault_spec(rnd: random.Random) -> FaultSpec:
-    """Random rates under a random seed."""
-    return FaultSpec(
-        seed=rnd.randint(0, 2**31),
-        preemption_rate=rnd.uniform(0.0, 0.5),
-        oom_rate=rnd.uniform(0.0, 0.8),
-        straggler_rate=rnd.uniform(0.0, 0.5),
-        straggler_slowdown=rnd.uniform(1.5, 5.0),
-    )
+pytestmark = pytest.mark.slow
 
 
 def run(plan, estimator, resources, faults=None, recovery=None):
@@ -114,12 +39,12 @@ def run(plan, estimator, resources, faults=None, recovery=None):
 
 
 class TestSameSeedBitIdentity:
-    def test_identical_results_for_identical_seeds(self, estimator, join_graph):
+    def test_identical_results_for_identical_seeds(self, estimator, gen):
         rnd = random.Random(1001)
-        for _ in range(TRIALS):
-            plan = gen_plan(rnd, join_graph)
-            resources = gen_resources(rnd)
-            spec = gen_fault_spec(rnd)
+        for _ in range(gen.TRIALS):
+            plan = gen.plan(rnd)
+            resources = gen.resources(rnd)
+            spec = gen.fault_spec(rnd)
             first = run(
                 plan, estimator, resources, faults=FaultPlan(spec)
             )
@@ -128,15 +53,15 @@ class TestSameSeedBitIdentity:
             )
             assert first == again
 
-    def test_different_seeds_eventually_differ(self, estimator, join_graph):
+    def test_different_seeds_eventually_differ(self, estimator, gen):
         # Sanity check that the generator actually injects: across the
         # trials, at least one seeded run must record a fault.
         rnd = random.Random(1002)
         injected = 0
-        for _ in range(TRIALS):
-            plan = gen_plan(rnd, join_graph)
-            resources = gen_resources(rnd)
-            spec = gen_fault_spec(rnd)
+        for _ in range(gen.TRIALS):
+            plan = gen.plan(rnd)
+            resources = gen.resources(rnd)
+            spec = gen.fault_spec(rnd)
             result = run(
                 plan, estimator, resources, faults=FaultPlan(spec)
             )
@@ -145,11 +70,11 @@ class TestSameSeedBitIdentity:
 
 
 class TestZeroFaultIdentity:
-    def test_zero_fault_plan_matches_plain_executor(self, estimator, join_graph):
+    def test_zero_fault_plan_matches_plain_executor(self, estimator, gen):
         rnd = random.Random(2001)
-        for _ in range(TRIALS):
-            plan = gen_plan(rnd, join_graph)
-            resources = gen_resources(rnd)
+        for _ in range(gen.TRIALS):
+            plan = gen.plan(rnd)
+            resources = gen.resources(rnd)
             seed = rnd.randint(0, 2**31)
             plain = run(plan, estimator, resources)
             zero = run(
@@ -165,14 +90,14 @@ class TestZeroFaultIdentity:
 class TestRetryCap:
     @pytest.mark.parametrize("max_retries", [0, 1, 3])
     def test_per_stage_retries_never_exceed_cap(
-        self, estimator, join_graph, max_retries
+        self, estimator, gen, max_retries
     ):
         rnd = random.Random(3000 + max_retries)
         policy = RecoveryPolicy(max_retries=max_retries)
-        for _ in range(TRIALS):
-            plan = gen_plan(rnd, join_graph)
-            resources = gen_resources(rnd)
-            spec = gen_fault_spec(rnd)
+        for _ in range(gen.TRIALS):
+            plan = gen.plan(rnd)
+            resources = gen.resources(rnd)
+            spec = gen.fault_spec(rnd)
             result = run(
                 plan,
                 estimator,
@@ -200,20 +125,14 @@ class TestRetryCap:
 
 
 class TestDegradedBhjTerminatesFeasibly:
-    def test_oom_only_faults_always_recover(self, estimator, join_graph):
+    def test_oom_only_faults_always_recover(self, estimator, gen):
         # OOM-only faults: the SMJ fallback has zero OOM pressure, so a
         # degraded stage can never be killed again -- every query must
         # terminate feasibly no matter how hot the OOM rate runs.
         rnd = random.Random(4001)
-        for _ in range(TRIALS):
-            tables = gen_tables(rnd, join_graph)
-            from repro.planner.plan import left_deep_plan
-
-            plan = left_deep_plan(
-                tables,
-                [JoinAlgorithm.BROADCAST_HASH] * (len(tables) - 1),
-            )
-            resources = gen_resources(rnd)
+        for _ in range(gen.TRIALS):
+            plan = gen.bhj_plan(rnd)
+            resources = gen.resources(rnd)
             spec = FaultSpec(
                 seed=rnd.randint(0, 2**31),
                 oom_rate=rnd.uniform(0.5, 1.0),
@@ -231,19 +150,13 @@ class TestDegradedBhjTerminatesFeasibly:
                     assert report.algorithm is JoinAlgorithm.SORT_MERGE
                     assert report.feasible
 
-    def test_static_walls_always_recover(self, estimator, join_graph):
+    def test_static_walls_always_recover(self, estimator, gen):
         # Even without injected faults, every statically infeasible BHJ
         # must come back feasible through the SMJ fallback.
         rnd = random.Random(4002)
         recovered = 0
-        for _ in range(TRIALS):
-            tables = gen_tables(rnd, join_graph)
-            from repro.planner.plan import left_deep_plan
-
-            plan = left_deep_plan(
-                tables,
-                [JoinAlgorithm.BROADCAST_HASH] * (len(tables) - 1),
-            )
+        for _ in range(gen.TRIALS):
+            plan = gen.bhj_plan(rnd)
             # Tiny containers: big broadcast tables cannot fit.
             resources = ResourceConfiguration(
                 num_containers=rnd.randint(2, 10),

@@ -1,0 +1,176 @@
+"""The replay harness: deterministic traces and honest accounting.
+
+``build_requests`` must be a pure function of its config (the
+determinism property suite replays one trace at several worker counts),
+and ``replay`` must account for every request exactly once: completed +
+rejected == submitted, with rejections counted rather than retried.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.api import RaqoSession
+from repro.cluster.trace import (
+    bursty_arrival_times,
+    poisson_arrival_times,
+)
+from repro.serving import ReplayConfig, build_requests, replay
+
+import numpy as np
+
+
+@pytest.fixture(scope="module")
+def session(tpch_catalog_sf100):
+    return RaqoSession(tpch_catalog_sf100)
+
+
+class TestArrivalProcesses:
+    def test_poisson_arrivals_are_sorted_and_seeded(self):
+        rng = np.random.default_rng(3)
+        times = poisson_arrival_times(50, 0.01, rng)
+        assert len(times) == 50
+        assert all(times[i] <= times[i + 1] for i in range(49))
+        again = poisson_arrival_times(50, 0.01, np.random.default_rng(3))
+        assert np.array_equal(times, again)
+
+    def test_poisson_mean_gap_tracks_the_parameter(self):
+        rng = np.random.default_rng(4)
+        times = poisson_arrival_times(5000, 0.01, rng)
+        mean_gap = float(times[-1]) / 5000
+        assert mean_gap == pytest.approx(0.01, rel=0.1)
+
+    def test_bursty_arrivals_alternate_gap_regimes(self):
+        rng = np.random.default_rng(5)
+        times = bursty_arrival_times(200, 0.001, 0.5, 20, rng)
+        gaps = np.diff(times)
+        assert (gaps > 0).all()
+        # Both regimes must actually occur: tight in-burst gaps and
+        # long idle gaps between bursts.
+        assert (gaps < 0.01).sum() > 100
+        assert (gaps > 0.1).sum() >= 2
+
+    @pytest.mark.parametrize(
+        "call",
+        [
+            lambda rng: poisson_arrival_times(-1, 0.01, rng),
+            lambda rng: poisson_arrival_times(5, 0.0, rng),
+            lambda rng: bursty_arrival_times(5, 0.0, 0.5, 10, rng),
+            lambda rng: bursty_arrival_times(5, 0.001, 0.0, 10, rng),
+            lambda rng: bursty_arrival_times(5, 0.001, 0.5, 0, rng),
+        ],
+    )
+    def test_invalid_parameters_raise(self, call):
+        with pytest.raises(ValueError):
+            call(np.random.default_rng(0))
+
+
+class TestBuildRequests:
+    def test_same_config_same_trace(self, tpch_catalog_sf100):
+        config = ReplayConfig(num_requests=40, seed=11)
+        first = build_requests(config, catalog=tpch_catalog_sf100)
+        second = build_requests(config, catalog=tpch_catalog_sf100)
+        assert first == second
+
+    def test_different_seeds_differ(self, tpch_catalog_sf100):
+        base = ReplayConfig(num_requests=40, seed=11)
+        other = dataclasses.replace(base, seed=12)
+        assert build_requests(
+            base, catalog=tpch_catalog_sf100
+        ) != build_requests(other, catalog=tpch_catalog_sf100)
+
+    def test_trace_shape(self, tpch_catalog_sf100):
+        config = ReplayConfig(num_requests=30, num_tenants=3, seed=0)
+        requests = build_requests(config, catalog=tpch_catalog_sf100)
+        assert [r.request_id for r in requests] == list(range(30))
+        assert {r.tenant for r in requests} <= {
+            "tenant-0",
+            "tenant-1",
+            "tenant-2",
+        }
+        arrivals = [r.arrival_s for r in requests]
+        assert arrivals == sorted(arrivals)
+
+    def test_unique_queries_generates_a_bigger_pool(
+        self, tpch_catalog_sf100
+    ):
+        config = ReplayConfig(
+            num_requests=40, unique_queries=12, seed=0
+        )
+        requests = build_requests(config, catalog=tpch_catalog_sf100)
+        names = {r.query.name for r in requests}
+        # Generated q000... names, not the 4 TPC-H evaluation queries.
+        assert all(name.startswith("q") for name in names)
+        assert len(names) > 4
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            dict(num_requests=0),
+            dict(arrival="uniform"),
+            dict(num_tenants=0),
+            dict(unique_queries=-1),
+        ],
+    )
+    def test_config_validation(self, bad):
+        with pytest.raises(ValueError):
+            ReplayConfig(**bad)
+
+
+class TestReplay:
+    def test_accounting_adds_up(self, session):
+        config = ReplayConfig(num_requests=30, seed=2)
+        requests = build_requests(config, catalog=session.catalog)
+        with session.serve(workers=2, max_queue=256) as service:
+            report = replay(service, requests, label="unit")
+        assert report.label == "unit"
+        assert report.requests == 30
+        assert report.completed + report.rejected == 30
+        assert report.rejected == 0
+        assert len(report.responses) == report.completed
+        assert report.qps > 0
+        assert report.latency_ms["p50"] <= report.latency_ms["p95"]
+        assert report.latency_ms["p95"] <= report.latency_ms["p99"]
+        assert report.latency_ms["p99"] <= report.latency_ms["max"]
+
+    def test_overload_counts_rejections_instead_of_retrying(
+        self, session
+    ):
+        # A 1-deep admission queue against an un-started pool cannot
+        # absorb a 10-request trace: overflow must surface as the
+        # rejection count (completed + rejected == submitted).
+        service = session.serve(workers=1, max_queue=1)
+        requests = build_requests(
+            ReplayConfig(num_requests=10, seed=3),
+            catalog=session.catalog,
+        )
+        service.start()
+        report = replay(service, requests, label="overload")
+        service.stop()
+        assert report.completed + report.rejected == 10
+
+    def test_json_dict_is_json_serializable(self, session):
+        import json
+
+        requests = build_requests(
+            ReplayConfig(num_requests=10, seed=4),
+            catalog=session.catalog,
+        )
+        with session.serve(workers=2) as service:
+            report = replay(service, requests, label="json")
+        payload = report.to_json_dict()
+        round_tripped = json.loads(json.dumps(payload))
+        assert round_tripped["label"] == "json"
+        assert round_tripped["requests"] == 10
+        assert set(round_tripped["latency_ms"]) == {
+            "p50",
+            "p95",
+            "p99",
+            "mean",
+            "max",
+        }
+
+    def test_negative_time_scale_rejected(self, session):
+        with session.serve(workers=1) as service:
+            with pytest.raises(ValueError):
+                replay(service, (), time_scale=-1.0)

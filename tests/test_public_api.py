@@ -20,6 +20,7 @@ import repro.api
 import repro.obs.export
 import repro.obs.metrics
 import repro.obs.tracing
+import repro.serving
 
 MANIFEST_PATH = Path(__file__).parent / "public_api_manifest.json"
 
@@ -43,6 +44,13 @@ def current_surface() -> dict:
         "repro.obs.tracing": sorted(repro.obs.tracing.__all__),
         "repro.obs.metrics": sorted(repro.obs.metrics.__all__),
         "repro.obs.export": sorted(repro.obs.export.__all__),
+        "repro.serving": sorted(repro.serving.__all__),
+        "repro.serving.OptimizerService": _public_members(
+            repro.serving.OptimizerService
+        ),
+        "repro.serving.ServiceConfig": _public_members(
+            repro.serving.ServiceConfig
+        ),
         # Parameter names plus kind markers ("*name" = keyword-only),
         # not defaults: default *values* may evolve, the calling
         # convention may not.

@@ -27,6 +27,8 @@ from repro.engine.profiles import HIVE_PROFILE, SPARK_PROFILE
 from repro.workloads.generator import WorkloadSpec, generate_workload
 from repro.workloads.runner import WorkloadRunner
 
+pytestmark = pytest.mark.stress
+
 
 @pytest.fixture(scope="module")
 def catalog():
