@@ -656,6 +656,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.requests < 1:
         print("--requests must be >= 1", file=sys.stderr)
         return 2
+    if args.tenants < 1:
+        print("--tenants must be >= 1", file=sys.stderr)
+        return 2
     session = _make_session(args)
     service = _make_service(session, args)
     names = sorted(_QUERIES)
@@ -707,6 +710,12 @@ def _cmd_replay(args: argparse.Namespace) -> int:
 
     from repro.serving import ReplayConfig, build_requests, replay
 
+    if args.num_requests < 1:
+        print("--num-requests must be >= 1", file=sys.stderr)
+        return 2
+    if args.tenants < 1:
+        print("--tenants must be >= 1", file=sys.stderr)
+        return 2
     session = _make_session(args, seed=args.seed)
     service = _make_service(session, args)
     config = ReplayConfig(

@@ -36,6 +36,7 @@ parented explicitly on the service root span, exactly the discipline
 from __future__ import annotations
 
 import asyncio
+import hashlib
 import itertools
 import threading
 import time
@@ -268,9 +269,13 @@ class OptimizerService:
 
     def stop(self) -> None:
         """Drain queued requests, stop the workers, close the trace."""
-        if self._stopped:
-            return
-        self._stopped = True
+        with self._lock:
+            # Same lock as submit(): once ``_stopped`` is visible here,
+            # no new ticket can enter the queue, so everything below
+            # the sentinels is already enqueued.
+            if self._stopped:
+                return
+            self._stopped = True
         if self._started:
             for _ in self._threads:
                 # Sentinels land behind every queued request (FIFO), so
@@ -278,6 +283,21 @@ class OptimizerService:
                 self._queue.put(_SENTINEL)
             for thread in self._threads:
                 thread.join()
+        else:
+            # Never started: no pool will ever drain the backlog, so
+            # fail every queued ticket's future instead of leaving its
+            # caller blocked forever.
+            while True:
+                try:
+                    item = self._queue.get_nowait()
+                except Empty:
+                    break
+                assert isinstance(item, _Ticket)
+                item.future.set_exception(
+                    RuntimeError(
+                        "optimizer service stopped before start"
+                    )
+                )
         if self._root_span is not None:
             # Rejection counts depend on wall-clock queue pressure, so
             # they also stay out of the canonical tree.
@@ -310,8 +330,6 @@ class OptimizerService:
         for unknown query names (also before admission, so malformed
         requests never consume queue space).
         """
-        if self._stopped:
-            raise RuntimeError("service already stopped")
         query = self.session.resolve_query(request.query)
         ticket = _Ticket(
             request=request,
@@ -320,14 +338,22 @@ class OptimizerService:
             future=Future(),
             enqueued_at=time.perf_counter(),
         )
-        try:
-            self._queue.put_nowait(ticket)
-        except Full:
-            self.metrics.counter("serving.rejected").inc()
-            raise Overloaded(
-                queue_depth=self._queue.qsize(),
-                max_queue=self.config.max_queue,
-            ) from None
+        # The stopped check and the enqueue are one atomic step:
+        # stop() flips ``_stopped`` under the same lock before it
+        # enqueues the shutdown sentinels, so a ticket can never land
+        # behind the sentinels (where no worker would ever complete
+        # its future and the caller would hang).
+        with self._lock:
+            if self._stopped:
+                raise RuntimeError("service already stopped")
+            try:
+                self._queue.put_nowait(ticket)
+            except Full:
+                self.metrics.counter("serving.rejected").inc()
+                raise Overloaded(
+                    queue_depth=self._queue.qsize(),
+                    max_queue=self.config.max_queue,
+                ) from None
         self.metrics.counter("serving.admitted").inc()
         return ticket.future
 
@@ -355,13 +381,36 @@ class OptimizerService:
             return self._planning_high_water
 
     def cache_key(self, query: Query) -> str:
-        """The cross-tenant cache key: query identity + planner config.
+        """The cross-tenant cache key: query structure + planner config.
+
+        The key binds the query's *structure* (tables and scan filters,
+        via a stable content hash), not just its name: names collide
+        easily across tenants -- every generated workload calls its
+        queries ``q000..qNNN`` -- and a name-only key would silently
+        serve one tenant's plan for another tenant's different query.
 
         Deliberately excludes the tenant -- a plan depends on what is
         asked and how the session plans, never on who asks; that is what
         makes the cache *cross*-tenant.
         """
-        return f"{query.name}|{self._config_fingerprint}"
+        return (
+            f"{query.name}"
+            f"|{self._query_fingerprint(query)}"
+            f"|{self._config_fingerprint}"
+        )
+
+    @staticmethod
+    def _query_fingerprint(query: Query) -> str:
+        """A stable hash of what the optimizer actually sees.
+
+        ``Query`` normalizes its filters (sorted tuple) at construction,
+        so structurally equal queries fingerprint identically; blake2s
+        (unlike salted ``hash()``) is stable across processes, keeping
+        cache keys -- and the span paths derived from them -- a pure
+        function of the trace.
+        """
+        payload = repr((query.tables, query.filters)).encode("utf-8")
+        return hashlib.blake2s(payload, digest_size=8).hexdigest()
 
     def _fingerprint(self) -> str:
         planner = self.session.planner
@@ -416,8 +465,13 @@ class OptimizerService:
             groups.setdefault(ticket.key, []).append(ticket)
         for key, tickets in groups.items():
             # Within-batch duplicates ride the first ticket's run.
-            for extra in tickets[1:]:
+            extras = tickets[1:]
+            for extra in extras:
                 extra.coalesced = True
+            if extras:
+                self.metrics.counter("serving.coalesced").inc(
+                    len(extras)
+                )
             self._serve_group(planner, key, tickets)
 
     def _serve_group(
@@ -434,12 +488,19 @@ class OptimizerService:
             entry = self._inflight.get(key)
             if entry is not None:
                 # Another worker is already planning this key: attach.
+                # Count only tickets not already counted as within-batch
+                # duplicates, so ``serving.coalesced`` equals exactly
+                # the number of responses with ``coalesced=True``.
+                newly = sum(
+                    1 for ticket in tickets if not ticket.coalesced
+                )
                 for ticket in tickets:
                     ticket.coalesced = True
                 entry.waiters.extend(tickets)
-                self.metrics.counter("serving.coalesced").inc(
-                    len(tickets)
-                )
+                if newly:
+                    self.metrics.counter("serving.coalesced").inc(
+                        newly
+                    )
                 return
             # Double-check under the lock: the owner that just finished
             # inserts into the cache *before* deregistering, so a miss

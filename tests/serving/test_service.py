@@ -133,6 +133,19 @@ class TestLifecycle:
         for future in futures:
             assert future.result(timeout=0).result is not None
 
+    def test_stop_before_start_fails_pending_futures(self, session):
+        # submit-before-start is supported, so stop-before-start must
+        # not strand the queued futures: no pool will ever drain them.
+        service = make_service(session, workers=1)
+        future = service.submit(PlanRequest(request_id=0, query="Q3"))
+        service.stop()
+        with pytest.raises(RuntimeError, match="before start"):
+            future.result(timeout=0)
+        with pytest.raises(RuntimeError):
+            service.submit(PlanRequest(request_id=1, query="Q3"))
+        with pytest.raises(RuntimeError):
+            service.start()
+
     def test_context_manager_roundtrip(self, session):
         with make_service(session, workers=2) as service:
             response = service.plan("Q12", tenant="analytics")
@@ -202,12 +215,53 @@ class TestServingPaths:
         assert response.batch_size >= 1
         assert response.latency_ms >= response.queue_ms >= 0.0
 
+    def test_coalesced_counter_matches_responses(self, session):
+        # serving.coalesced must count batch-dedup riders too, not just
+        # single-flight attachers, so it reconciles with the responses.
+        service = make_service(session, workers=1, max_batch=8)
+        before = session.metrics.counter("serving.coalesced").value
+        futures = [
+            service.submit(PlanRequest(request_id=index, query="Q12"))
+            for index in range(5)
+        ]
+        with service:
+            responses = [f.result(timeout=30) for f in futures]
+        coalesced = sum(1 for r in responses if r.coalesced)
+        assert coalesced == 4
+        assert (
+            session.metrics.counter("serving.coalesced").value
+            == before + coalesced
+        )
+
     def test_cache_key_excludes_tenant(self, session):
         service = make_service(session)
         query = session.resolve_query("Q3")
         key = service.cache_key(query)
         assert "Q3" in key
         assert "tenant" not in key
+        service.stop()
+
+    def test_same_name_different_structure_do_not_collide(self, session):
+        from repro.catalog.queries import Query
+
+        # Generated workloads name everything q000..qNNN, so two
+        # tenants easily submit *different* queries under one name; the
+        # structural fingerprint in the cache key keeps them apart.
+        join_a = Query(name="dup", tables=("orders", "lineitem"))
+        join_b = Query(name="dup", tables=("customer", "orders"))
+        with make_service(session, workers=1) as service:
+            assert service.cache_key(join_a) != service.cache_key(join_b)
+            first = service.plan(join_a, tenant="tenant-a")
+            second = service.plan(join_b, tenant="tenant-b")
+        assert not second.cache_hit
+        assert first.result.query.tables == ("orders", "lineitem")
+        assert second.result.query.tables == ("customer", "orders")
+
+    def test_same_name_different_filters_do_not_collide(self, session):
+        query = session.resolve_query("Q12")
+        filtered = query.with_filter("orders", 0.3)
+        service = make_service(session)
+        assert service.cache_key(query) != service.cache_key(filtered)
         service.stop()
 
 

@@ -130,6 +130,24 @@ class TestParser:
             main([])
 
 
+class TestServingCommands:
+    def test_serve_zero_tenants_is_usage_error(self, capsys):
+        assert main(["serve", "--tenants", "0"]) == 2
+        assert "--tenants" in capsys.readouterr().err
+
+    def test_serve_zero_requests_is_usage_error(self, capsys):
+        assert main(["serve", "--requests", "0"]) == 2
+        assert "--requests" in capsys.readouterr().err
+
+    def test_replay_zero_tenants_is_usage_error(self, capsys):
+        assert main(["replay", "--tenants", "0"]) == 2
+        assert "--tenants" in capsys.readouterr().err
+
+    def test_replay_zero_requests_is_usage_error(self, capsys):
+        assert main(["replay", "--num-requests", "0"]) == 2
+        assert "--num-requests" in capsys.readouterr().err
+
+
 class TestFaultOptions:
     def test_run_alias_with_faults(self, capsys):
         assert (
