@@ -13,7 +13,10 @@ Measures the two rates the fast-path work targets (see
   batched + memo + cache (the production default);
 - **workload queries per second** -- serial vs thread-pool vs
   process-sharded ``WorkloadRunner`` throughput over the evaluation
-  queries.
+  queries;
+- **Pareto frontiers per second** -- full latency/dollar frontier
+  computation (``objective=PlanObjective.pareto()``: skyline kernel +
+  exact scalar tail + Minkowski fold) through whole-query planning.
 
 Writes ``BENCH_planning.json`` at the repository root. This is a
 standalone script (not a pytest-benchmark case) so CI can smoke it
@@ -36,6 +39,7 @@ if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.catalog import tpch  # noqa: E402
+from repro.core.pareto import PlanObjective  # noqa: E402
 from repro.core.raqo import (  # noqa: E402
     DEFAULT_CLUSTER,
     RaqoPlanner,
@@ -47,6 +51,24 @@ from repro.core.resource_planner import (  # noqa: E402
 )
 from repro.engine.joins import JoinAlgorithm  # noqa: E402
 from repro.workloads.runner import WorkloadRunner  # noqa: E402
+
+if str(REPO_ROOT / "benchmarks") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from bench_serving import schema_skeleton, validate_report  # noqa: E402
+
+#: Field-structure snapshot of the JSON report (numbers are machine
+#: dependent; the schema is not). See tests/experiments/
+#: test_bench_planning_golden.py for the regeneration recipe.
+GOLDEN_SCHEMA_PATH = (
+    REPO_ROOT / "tests" / "experiments" / "golden"
+    / "bench_planning_schema.json"
+)
+
+
+def validate_planning_report(report):
+    """Mismatches between a planning report and the golden schema."""
+    return validate_report(report, GOLDEN_SCHEMA_PATH)
 
 #: One mid-size TPC-H SF-100 operator (orders x lineitem, in GB).
 SMALL_GB, LARGE_GB = 17.0, 77.0
@@ -217,6 +239,55 @@ def bench_subplan_throughput(queries, repeats):
     return results
 
 
+def bench_pareto_frontiers(queries, repeats):
+    """Frontiers-computed-per-second through pareto-objective planning.
+
+    Times the whole pipeline a ``pareto()`` plan pays on top of the
+    scalarised search: batched per-stage grid costing, the vectorized
+    weak-skyline pass, the exact scalar tail, and the Minkowski fold
+    across stages. Fastest-objective planning over the same queries is
+    timed alongside as the no-frontier reference, so the recorded
+    overhead ratio is phase-stable on shared machines.
+    """
+    catalog = tpch.tpch_catalog(100)
+    pareto_planner = RaqoPlanner(
+        catalog,
+        resource_method=ResourcePlanningMethod.BRUTE_FORCE,
+        objective=PlanObjective.pareto(),
+    )
+    fastest_planner = RaqoPlanner(
+        catalog,
+        resource_method=ResourcePlanningMethod.BRUTE_FORCE,
+    )
+
+    def plan_pareto():
+        return [pareto_planner.optimize(query) for query in queries]
+
+    def plan_fastest():
+        return [fastest_planner.optimize(query) for query in queries]
+
+    outcomes = plan_pareto()  # warm model caches before timing
+    plan_fastest()
+    timings = _time_interleaved(
+        {"pareto": plan_pareto, "fastest": plan_fastest}, repeats
+    )
+    pareto_s, pareto_median_s = timings["pareto"]
+    fastest_s, _ = timings["fastest"]
+    frontier_points = sum(len(o.frontier) for o in outcomes)
+    return {
+        "planning_s": pareto_s,
+        "planning_s_median": pareto_median_s,
+        "frontiers": len(queries),
+        "pareto_frontiers_per_s": len(queries) / pareto_s,
+        "frontier_points": frontier_points,
+        "frontier_points_per_s": frontier_points / pareto_s,
+        "dominated_pruned": sum(
+            o.frontier.dominated_pruned for o in outcomes
+        ),
+        "overhead_vs_fastest": pareto_s / fastest_s,
+    }
+
+
 def bench_workload_sharding(queries, repeats, processes=2):
     """Workload queries-per-second: serial vs threads vs processes.
 
@@ -257,8 +328,14 @@ def bench_workload_sharding(queries, repeats, processes=2):
     return results
 
 
-def _gate_rates(variants, queries, catalog, repeats):
-    """Fresh best-of-N ``sub_plans_per_s`` per variant, interleaved."""
+def _gate_rates(variants, queries, catalog, repeats, extra_fns=None):
+    """Fresh best-of-N ``sub_plans_per_s`` per variant, interleaved.
+
+    ``extra_fns`` (name -> pre-warmed callable) join the same
+    interleaved timing rounds so their best-of-N shares phases with the
+    speed probe; their best wall times come back in the second return
+    value (seconds, not a rate).
+    """
     plan_fns = {}
     sub_plans = {}
     for variant in variants:
@@ -276,11 +353,14 @@ def _gate_rates(variants, queries, catalog, repeats):
             o.counters.join_costings for o in outcomes
         )
         plan_fns[variant] = plan_all
+    plan_fns.update(extra_fns or {})
     timings = _time_interleaved(plan_fns, repeats)
-    return {
+    rates = {
         variant: sub_plans[variant] / timings[variant][0]
         for variant in variants
     }
+    extra_s = {name: timings[name][0] for name in (extra_fns or {})}
+    return rates, extra_s
 
 
 def assert_overhead(max_drop_pct, baseline_path, repeats):
@@ -318,7 +398,25 @@ def assert_overhead(max_drop_pct, baseline_path, repeats):
     measured = [v for v in gated]
     if probe_row is not None:
         measured.append("vectorized")
-    rates = _gate_rates(measured, queries, catalog, repeats)
+
+    extra_fns = {}
+    pareto_row = baseline.get("pareto_frontiers")
+    if pareto_row is not None:
+        pareto_planner = RaqoPlanner(
+            catalog,
+            resource_method=ResourcePlanningMethod.BRUTE_FORCE,
+            objective=PlanObjective.pareto(),
+        )
+
+        def plan_pareto():
+            return [pareto_planner.optimize(query) for query in queries]
+
+        plan_pareto()  # warm model caches before timing
+        extra_fns["pareto"] = plan_pareto
+
+    rates, extra_s = _gate_rates(
+        measured, queries, catalog, repeats, extra_fns
+    )
 
     speed_scale = 1.0
     if probe_row is not None:
@@ -331,27 +429,39 @@ def assert_overhead(max_drop_pct, baseline_path, repeats):
             f"(scale {speed_scale:.2f}x)"
         )
 
-    failures = 0
-    for variant in gated:
-        recorded = baseline["subplan_throughput"][variant][
-            "sub_plans_per_s"
-        ]
-        fresh = rates[variant]
+    def check(label, recorded, fresh):
         normalized = fresh / speed_scale
         floor = recorded * (1.0 - max_drop_pct / 100.0)
         drop_pct = (1.0 - normalized / recorded) * 100.0
         print(
-            f"overhead gate [{variant}]: fresh {fresh:,.0f} "
-            f"(normalized {normalized:,.0f}) sub-plans/s vs baseline "
-            f"{recorded:,.0f}/s ({drop_pct:+.1f}% drop, budget "
+            f"overhead gate [{label}]: fresh {fresh:,.0f} "
+            f"(normalized {normalized:,.0f}) vs baseline "
+            f"{recorded:,.0f} ({drop_pct:+.1f}% drop, budget "
             f"{max_drop_pct:.1f}%)"
         )
         if normalized < floor:
             print(
-                f"FAIL: {variant} planning throughput fell below "
-                f"{floor:,.0f} sub-plans/s (machine-normalized)"
+                f"FAIL: {label} throughput fell below "
+                f"{floor:,.0f} (machine-normalized)"
             )
-            failures += 1
+            return 1
+        return 0
+
+    failures = 0
+    for variant in gated:
+        failures += check(
+            f"{variant} sub-plans/s",
+            baseline["subplan_throughput"][variant]["sub_plans_per_s"],
+            rates[variant],
+        )
+
+    if pareto_row is not None:
+        failures += check(
+            "pareto frontiers/s",
+            pareto_row["pareto_frontiers_per_s"],
+            len(queries) / extra_s["pareto"],
+        )
+
     if failures:
         return 1
     print("OK: within the overhead budget")
@@ -388,7 +498,27 @@ def main(argv=None):
         default=REPO_ROOT / "BENCH_planning.json",
         help="baseline JSON for --assert-overhead",
     )
+    parser.add_argument(
+        "--check",
+        type=Path,
+        metavar="JSON",
+        default=None,
+        help=(
+            "validate an existing report against the golden schema "
+            "instead of benchmarking"
+        ),
+    )
     args = parser.parse_args(argv)
+    if args.check is not None:
+        problems = validate_planning_report(
+            json.loads(args.check.read_text())
+        )
+        for problem in problems:
+            print(problem)
+        if problems:
+            return 1
+        print(f"OK: {args.check} matches the golden schema")
+        return 0
     if args.assert_overhead is not None:
         # The gated variants are fast (tens of ms per pass), so extra
         # repeats are cheap and best-of-N needs them to sit near the
@@ -406,6 +536,7 @@ def main(argv=None):
 
     config_costing = bench_config_costing(repeats)
     subplan = bench_subplan_throughput(queries, repeats)
+    pareto = bench_pareto_frontiers(queries, repeats)
     workload = bench_workload_sharding(
         queries, repeats=2 if args.quick else 3
     )
@@ -414,9 +545,13 @@ def main(argv=None):
         "queries": [query.name for query in queries],
         "config_costing": config_costing,
         "subplan_throughput": subplan,
+        "pareto_frontiers": pareto,
         "workload_sharding": workload,
     }
     args.output.write_text(json.dumps(report, indent=2) + "\n")
+    if GOLDEN_SCHEMA_PATH.exists():
+        for problem in validate_planning_report(report):
+            print(f"schema drift: {problem}")
 
     print(
         f"configurations costed per second "
@@ -441,6 +576,16 @@ def main(argv=None):
             f"sub-plans/s, {row['configs_per_s']:12,.0f} "
             f"configs/s{levels_txt}{suffix}"
         )
+    print(
+        f"Pareto frontiers ({pareto['frontiers']} queries, "
+        f"{pareto['frontier_points']} frontier points):"
+    )
+    print(
+        f"  {pareto['pareto_frontiers_per_s']:10,.1f} frontiers/s, "
+        f"{pareto['frontier_points_per_s']:10,.0f} points/s "
+        f"({pareto['overhead_vs_fastest']:.2f}x the fastest-objective "
+        f"planning time)"
+    )
     print(
         f"workload sharding ({workload['num_queries']} queries, "
         f"{workload['shards']} shards):"

@@ -32,7 +32,7 @@ The deeper modules remain importable (``repro.core.raqo`` and friends),
 but :class:`~repro.api.RaqoSession` is the supported public surface.
 """
 
-from repro.api import RaqoSession, RunResult
+from repro.api import PlanObjective, RaqoSession, RunResult
 from repro.catalog import tpch
 from repro.catalog.queries import Query
 from repro.cluster.cluster import ClusterConditions
@@ -42,6 +42,7 @@ from repro.obs.tracing import Tracer
 
 __all__ = [
     "ClusterConditions",
+    "PlanObjective",
     "Query",
     "RaqoPlanner",
     "RaqoSession",

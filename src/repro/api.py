@@ -47,6 +47,7 @@ from repro.catalog.schema import Catalog
 from repro.cluster.cluster import ClusterConditions
 from repro.cluster.containers import ResourceConfiguration
 from repro.core.explain import explain as _explain
+from repro.core.pareto import ParetoPlanningResult, PlanObjective
 from repro.core.raqo import (
     DEFAULT_QO_RESOURCES,
     PlannerKind,
@@ -69,6 +70,7 @@ from repro.planner.cost_interface import PlanningResult
 from repro.workloads.runner import WorkloadReport, WorkloadRunner
 
 __all__ = [
+    "PlanObjective",
     "QueryLike",
     "RaqoSession",
     "RunResult",
@@ -149,7 +151,8 @@ class RaqoSession:
             ResourcePlanningMethod.HILL_CLIMB
         ),
         resource_aware: bool = True,
-        money_weight: float = 0.0,
+        objective: Optional[PlanObjective] = None,
+        money_weight: Optional[float] = None,
         default_resources: ResourceConfiguration = DEFAULT_QO_RESOURCES,
     ) -> None:
         self.catalog = (
@@ -168,6 +171,10 @@ class RaqoSession:
             planner_kind=planner,
             resource_method=resource_method,
             resource_aware=resource_aware,
+            # money_weight= forwards so the planner's deprecation shim
+            # warns once with the migration message; objective= is the
+            # supported spelling.
+            objective=objective,
             money_weight=money_weight,
             default_resources=default_resources,
             seed=seed,
@@ -176,7 +183,11 @@ class RaqoSession:
         if cluster is not None:
             planner_kwargs["cluster"] = cluster
         self.planner = RaqoPlanner(self.catalog, **planner_kwargs)
+        self.objective = self.planner.objective
         self.cluster = self.planner.cluster
+        #: Per-call ``objective=`` overrides plan on cached clones of
+        #: the session planner (one per distinct objective).
+        self._objective_planners: Dict[str, RaqoPlanner] = {}
 
     # -- query resolution --------------------------------------------------
 
@@ -202,11 +213,40 @@ class RaqoSession:
             return FaultPlan(faults)
         return FaultPlan(FaultSpec.parse(faults))
 
+    def _planner_for(
+        self, objective: Optional[PlanObjective]
+    ) -> RaqoPlanner:
+        """The session planner, re-targeted at a per-call objective.
+
+        Clones are cached by objective fingerprint, so repeated calls
+        with the same override reuse one planner (and its warm model).
+        """
+        if objective is None or objective == self.planner.objective:
+            return self.planner
+        key = objective.fingerprint()
+        planner = self._objective_planners.get(key)
+        if planner is None:
+            planner = self.planner.with_objective(objective)
+            self._objective_planners[key] = planner
+        return planner
+
     # -- the four verbs ----------------------------------------------------
 
-    def plan(self, query: QueryLike) -> PlanningResult:
-        """Jointly optimize one query; records planning metrics."""
-        result = self.planner.optimize(self.resolve_query(query))
+    def plan(
+        self,
+        query: QueryLike,
+        *,
+        objective: Optional[PlanObjective] = None,
+    ) -> PlanningResult:
+        """Jointly optimize one query; records planning metrics.
+
+        ``objective`` overrides the session objective for this call::
+
+            session.plan("Q3", objective=PlanObjective.cheapest())
+        """
+        result = self._planner_for(objective).optimize(
+            self.resolve_query(query)
+        )
         self._record_planning(result)
         return result
 
@@ -214,6 +254,7 @@ class RaqoSession:
         self,
         query: QueryLike,
         *,
+        objective: Optional[PlanObjective] = None,
         faults: Optional[FaultsLike] = None,
         recovery: Optional[RecoveryPolicy] = None,
     ) -> RunResult:
@@ -222,8 +263,9 @@ class RaqoSession:
         ``faults`` turns on deterministic fault injection (accepts a
         plan, a spec, or the CLI's ``"seed=7,oom=0.2"`` string); the
         default recovery policy applies whenever faults are injected.
+        ``objective`` overrides the session objective for this call.
         """
-        planning = self.plan(query)
+        planning = self.plan(query, objective=objective)
         fault_plan = self._resolve_faults(faults)
         if recovery is None and fault_plan is not None:
             recovery = DEFAULT_RECOVERY
@@ -243,6 +285,7 @@ class RaqoSession:
         self,
         queries: Sequence[QueryLike],
         *,
+        objective: Optional[PlanObjective] = None,
         parallel: int = 1,
         processes: int = 0,
         label: str = "workload",
@@ -264,7 +307,7 @@ class RaqoSession:
         if recovery is None and fault_plan is not None:
             recovery = DEFAULT_RECOVERY
         runner = WorkloadRunner(
-            self.planner,
+            self._planner_for(objective),
             self.profile,
             default_resources=self.default_resources,
             faults=fault_plan,
@@ -329,6 +372,20 @@ class RaqoSession:
         self.metrics.histogram("planning.wall_ms").observe(
             result.wall_time_s * 1000.0
         )
+        if (
+            isinstance(result, ParetoPlanningResult)
+            and result.frontier is not None
+        ):
+            self.metrics.histogram("planner.frontier_size").observe(
+                float(len(result.frontier))
+            )
+            self.metrics.increment_many(
+                {
+                    "planner.dominated_pruned": (
+                        result.frontier.dominated_pruned
+                    ),
+                }
+            )
         if result.batch_sizes:
             histogram = self.metrics.histogram("planner.batch_size")
             for size in result.batch_sizes:

@@ -6,7 +6,7 @@ Subcommands:
   the predicted cost, and the planning metrics.
 - ``execute`` -- optimize and run a query on the simulated engine,
   comparing RAQO against the two-step baseline.
-- ``figure``  -- regenerate one of the paper's figures (fig01..fig15).
+- ``figure``  -- regenerate one of the paper's figures (fig01..fig17).
 - ``trees``   -- print the default (Fig 10) and learned RAQO (Fig 11)
   decision trees for an engine.
 - ``workload`` -- plan and simulate a generated multi-query workload,
@@ -56,6 +56,11 @@ if TYPE_CHECKING:
 from repro.api import RaqoSession
 from repro.catalog import tpch
 from repro.cluster.cluster import ClusterConditions
+from repro.core.pareto import (
+    OBJECTIVE_SPECS,
+    ParetoPlanningResult,
+    PlanObjective,
+)
 from repro.core.raqo import (
     PlannerKind,
     RaqoPlanner,
@@ -82,6 +87,7 @@ FIGURE_MODULES = {
     "fig14": "repro.experiments.fig14_plan_cache",
     "fig15": "repro.experiments.fig15_scalability",
     "fig16": "repro.experiments.fig16_robustness",
+    "fig17": "repro.experiments.fig17_pareto_frontier",
 }
 
 _QUERIES = {q.name: q for q in tpch.EVALUATION_QUERIES}
@@ -473,6 +479,12 @@ def _add_planner_options(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="use the two-step baseline instead of RAQO",
     )
+    parser.add_argument(
+        "--objective",
+        default=None,
+        metavar="OBJECTIVE",
+        help=f"planning objective: {OBJECTIVE_SPECS}",
+    )
 
 
 def _make_session(
@@ -500,6 +512,7 @@ def _make_session(
         planner=PlannerKind(args.planner),
         resource_method=ResourcePlanningMethod(args.resource_method),
         resource_aware=not args.baseline,
+        objective=getattr(args, "parsed_objective", None),
         tracer=Tracer(seed=seed) if wants_trace else None,
     )
 
@@ -538,6 +551,21 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         f"resource configurations explored: "
         f"{result.resource_iterations} | plan invariants: ok"
     )
+    if (
+        isinstance(result, ParetoPlanningResult)
+        and result.frontier is not None
+        and len(result.frontier)
+    ):
+        frontier = result.frontier
+        print(
+            f"objective: {result.objective} | frontier: "
+            f"{len(frontier)} points "
+            f"({frontier.points[0].time_s:.1f} s/"
+            f"${frontier.points[0].money:.3f} fastest .. "
+            f"{frontier.points[-1].time_s:.1f} s/"
+            f"${frontier.points[-1].money:.3f} cheapest) | "
+            f"dominated pruned: {frontier.dominated_pruned}"
+        )
     return 0
 
 
@@ -827,6 +855,16 @@ def _cmd_trees(args: argparse.Namespace) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
+    # Validate --objective centrally: every planning command shares the
+    # flag, and a malformed value is a usage error (exit 2), exactly
+    # like --tenants.
+    args.parsed_objective = None
+    if getattr(args, "objective", None):
+        try:
+            args.parsed_objective = PlanObjective.parse(args.objective)
+        except ValueError as error:
+            print(error, file=sys.stderr)
+            return 2
     handlers = {
         "plan": _cmd_plan,
         "execute": _cmd_execute,

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.catalog.queries import Query
+from repro.core.pareto import PlanObjective
 from repro.core.raqo import PlannerKind, RaqoPlanner
 from repro.planner.plan import PlanNode
 
@@ -100,7 +101,7 @@ def price_performance_curve(
             cost_model=planner.cost_model,
             planner_kind=PlannerKind.FAST_RANDOMIZED,
             price_model=planner.price_model,
-            money_weight=weight,
+            objective=PlanObjective.weighted(weight),
             randomized_iterations=iterations,
             seed=weight_index,
         )

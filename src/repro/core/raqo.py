@@ -20,9 +20,11 @@ query/resource plan by consulting the optimizer").
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 import math
 import threading
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, List, Optional, Tuple, Union
 
@@ -40,6 +42,11 @@ from repro.core.cost_model import (
     FeatureMap,
     JoinCostEstimator,
     SimulatorCostModel,
+)
+from repro.core.pareto import (
+    ParetoPlanningResult,
+    PlanObjective,
+    compute_frontier,
 )
 from repro.core.plan_cache import LookupMode, ResourcePlanCache
 from repro.core.resource_planner import (
@@ -62,7 +69,7 @@ from repro.planner.cost_interface import (
 )
 from repro.planner.plan import CandidateBatch
 from repro.planner.randomized import FastRandomizedPlanner
-from repro.planner.selinger import SelingerPlanner
+from repro.planner.selinger import SelingerPlanner, _counters_delta
 
 #: The fixed configuration the two-step baseline costs plans against
 #: (a typical static Hive deployment default: 10 x 4 GB containers).
@@ -142,9 +149,11 @@ class QueryOptimizerCoster:
 class RaqoCoster:
     """The RAQO coster: ``getPlanCost`` extended with resource planning.
 
-    ``money_weight`` folds monetary cost into the resource-planning
-    objective (multi-objective resource planning); the default optimizes
-    execution time as in the paper's main experiments.
+    ``money_weight``/``time_weight`` scalarise the resource-planning
+    objective (``time_weight * time + money_weight * money``); the
+    default optimizes execution time as in the paper's main
+    experiments, and :class:`PlanObjective` derives both weights for
+    the planner facade (``cheapest`` plans with ``time_weight=0``).
 
     Two fast-path layers sit in front of the resource planner:
 
@@ -167,6 +176,7 @@ class RaqoCoster:
     cache: Optional[ResourcePlanCache] = None
     price_model: PriceModel = field(default_factory=PriceModel)
     money_weight: float = 0.0
+    time_weight: float = 1.0
     memoize: bool = True
     vectorized: bool = True
 
@@ -186,6 +196,7 @@ class RaqoCoster:
                 small_gb,
                 large_gb,
                 self.money_weight,
+                self.time_weight,
             )
             memoized = context.resource_plan_memo.get(memo_key)
             if memoized is not None:
@@ -288,6 +299,7 @@ class RaqoCoster:
                     small_gb,
                     large_gb,
                     self.money_weight,
+                    self.time_weight,
                 )
                 memoized = context.resource_plan_memo.get(memo_key)
                 if memoized is not None:
@@ -431,7 +443,16 @@ class RaqoCoster:
                     / 3600.0
                     * self.price_model.dollars_per_gb_hour
                 )
-                objective = times + self.money_weight * money
+                if self.time_weight == 1.0:
+                    objective = times + self.money_weight * money
+                else:
+                    # 0 * inf is NaN, so the wash below matters when
+                    # time_weight vanishes (the cheapest objective).
+                    with np.errstate(invalid="ignore"):
+                        objective = (
+                            self.time_weight * times
+                            + self.money_weight * money
+                        )
                 objective = np.where(
                     np.isnan(objective), math.inf, objective
                 )
@@ -660,7 +681,13 @@ class RaqoCoster:
                 money = self.price_model.cost_of_gb_seconds(
                     config.gb_seconds(time_s)
                 )
-                return time_s + self.money_weight * money
+                if self.time_weight == 1.0:
+                    return time_s + self.money_weight * money
+                # time_s is finite here, so no 0 * inf hazard.
+                return (
+                    self.time_weight * time_s
+                    + self.money_weight * money
+                )
             return time_s
 
         def grid_objective(grid) -> np.ndarray:
@@ -680,7 +707,15 @@ class RaqoCoster:
                     / 3600.0
                     * self.price_model.dollars_per_gb_hour
                 )
-                return times + self.money_weight * money
+                if self.time_weight == 1.0:
+                    return times + self.money_weight * money
+                # 0 * inf is NaN; wash so infeasible stays infeasible.
+                with np.errstate(invalid="ignore"):
+                    weighted = (
+                        self.time_weight * times
+                        + self.money_weight * money
+                    )
+                return np.where(np.isnan(weighted), math.inf, weighted)
             return times
 
         start: Optional[ResourceConfiguration] = None
@@ -774,7 +809,8 @@ class RaqoPlanner:
         resource_aware: bool = True,
         default_resources: ResourceConfiguration = DEFAULT_QO_RESOURCES,
         price_model: Optional[PriceModel] = None,
-        money_weight: float = 0.0,
+        objective: Optional[PlanObjective] = None,
+        money_weight: Optional[float] = None,
         randomized_iterations: int = 10,
         seed: int = 0,
         memoize_within_run: bool = True,
@@ -782,7 +818,25 @@ class RaqoPlanner:
         batched_costing: bool = True,
         tracer: Optional[Tracer] = None,
     ) -> None:
+        if money_weight is not None:
+            if objective is not None:
+                raise TypeError(
+                    "pass objective=..., not both objective= and the "
+                    "deprecated money_weight="
+                )
+            warnings.warn(
+                "money_weight= is deprecated; pass "
+                "objective=PlanObjective.weighted(w) instead "
+                "(PlanObjective.fastest() replaces money_weight=0)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            objective = PlanObjective.weighted(money_weight)
+        if objective is None:
+            objective = PlanObjective.fastest()
         # Everything needed to build an equivalent planner (clone()).
+        # The resolved objective is stored (never money_weight), so
+        # clones and worker processes rebuild without re-warning.
         self._init_kwargs = dict(
             cluster=cluster,
             cost_model=cost_model,
@@ -794,7 +848,7 @@ class RaqoPlanner:
             resource_aware=resource_aware,
             default_resources=default_resources,
             price_model=price_model,
-            money_weight=money_weight,
+            objective=objective,
             randomized_iterations=randomized_iterations,
             seed=seed,
             memoize_within_run=memoize_within_run,
@@ -802,6 +856,7 @@ class RaqoPlanner:
             batched_costing=batched_costing,
             tracer=tracer,
         )
+        self.objective = objective
         self.catalog = catalog
         self.cluster = cluster
         #: Shared (thread-safe) observability sink; clones reuse it so a
@@ -826,7 +881,8 @@ class RaqoPlanner:
                     method=resource_method,
                     cache=self.cache,
                     price_model=self.price_model,
-                    money_weight=money_weight,
+                    money_weight=objective.money_weight,
+                    time_weight=objective.time_weight,
                     memoize=memoize_within_run,
                     vectorized=vectorized_resource_planning,
                 )
@@ -841,14 +897,16 @@ class RaqoPlanner:
         if planner_kind is PlannerKind.SELINGER:
             self.query_planner = SelingerPlanner(
                 self.coster,
-                money_weight=money_weight,
+                time_weight=objective.time_weight,
+                money_weight=objective.money_weight,
                 batched=batched_costing,
             )
         else:
             self.query_planner = FastRandomizedPlanner(
                 self.coster,
                 iterations=randomized_iterations,
-                money_weight=money_weight,
+                time_weight=objective.time_weight,
+                money_weight=objective.money_weight,
                 seed=seed,
                 batched=batched_costing,
             )
@@ -879,6 +937,19 @@ class RaqoPlanner:
         kwargs = dict(self._init_kwargs)
         kwargs["cost_model"] = self.cost_model  # skip any re-fitting
         kwargs["cluster"] = self.cluster  # reflect replan() updates
+        return type(self)(self.catalog, **kwargs)
+
+    def with_objective(self, objective: PlanObjective) -> "RaqoPlanner":
+        """A clone of this planner planning for a different objective.
+
+        The already-fitted cost model is shared (see :meth:`clone`);
+        the serving layer and per-call ``objective=`` overrides on
+        :class:`~repro.api.RaqoSession` build planners through here.
+        """
+        kwargs = dict(self._init_kwargs)
+        kwargs["cost_model"] = self.cost_model
+        kwargs["cluster"] = self.cluster
+        kwargs["objective"] = objective
         return type(self)(self.catalog, **kwargs)
 
     def picklable_init_kwargs(self) -> Dict[str, Any]:
@@ -967,7 +1038,8 @@ class RaqoPlanner:
             self.cache.clear()
         if context is None:
             context = self.make_context(query=query)
-        return self._traced_plan(query, context)
+        result = self._traced_plan(query, context)
+        return self._finalize(result, context)
 
     def replan(
         self, query: Query, cluster: ClusterConditions
@@ -985,4 +1057,77 @@ class RaqoPlanner:
         if self.cache is not None and self.clear_cache_between_queries:
             self.cache.clear()
         context = self.make_context(cluster, query=query)
-        return self._traced_plan(query, context)
+        result = self._traced_plan(query, context)
+        return self._finalize(result, context)
+
+    def _finalize(
+        self, result: PlanningResult, context: PlanningContext
+    ) -> PlanningResult:
+        """Frontier selection for objectives that need it.
+
+        ``fastest`` and ``weighted`` objectives return the search
+        result untouched (bit-identical to the historic path);
+        ``cheapest``/``latency_bounded``/``pareto`` compute the
+        per-stage resource frontier of the chosen plan
+        (:func:`~repro.core.pareto.compute_frontier`), pick the
+        objective's point, and re-annotate the plan's joins with the
+        point's per-stage allocations. The search's own cost survives
+        as ``search_cost`` and the frontier pass's counters merge into
+        the result's.
+        """
+        objective = self.objective
+        if (
+            not objective.needs_frontier
+            or not self.resource_aware
+            or not result.cost.is_finite
+        ):
+            return result
+        before = dataclasses.replace(context.counters)
+        if self.tracer.active:
+            with self.tracer.span(
+                "pareto-frontier", kind="planner"
+            ) as span:
+                resource_frontier = compute_frontier(
+                    result.plan, context, self.cost_model,
+                    self.price_model,
+                )
+                span.set_attributes(
+                    {
+                        "objective": str(objective),
+                        "frontier_points": len(resource_frontier),
+                        "dominated_pruned": (
+                            resource_frontier.dominated_pruned
+                        ),
+                    }
+                )
+        else:
+            resource_frontier = compute_frontier(
+                result.plan, context, self.cost_model, self.price_model
+            )
+        counters = dataclasses.replace(result.counters)
+        counters.merge(_counters_delta(before, context.counters))
+        selected = objective.select(resource_frontier)
+        if selected is None or not resource_frontier.stages:
+            # No feasible frontier (or a join-free plan): keep the
+            # search's plan and cost; the empty frontier still rides
+            # along for observability.
+            plan, cost = result.plan, result.cost
+        else:
+            stage_configs = iter(selected.configs)
+            plan = result.plan.map_joins(
+                lambda join: join.with_resources(next(stage_configs))
+            )
+            cost = selected.cost
+        return ParetoPlanningResult(
+            query=result.query,
+            plan=plan,
+            cost=cost,
+            wall_time_s=result.wall_time_s,
+            counters=counters,
+            planner_name=result.planner_name,
+            batch_sizes=result.batch_sizes,
+            frontier=resource_frontier,
+            objective=objective,
+            selected=selected,
+            search_cost=result.cost,
+        )

@@ -21,6 +21,7 @@ from typing import Optional, Tuple
 from repro.catalog.queries import Query
 from repro.cluster.cluster import ClusterConditions
 from repro.cluster.containers import ResourceConfiguration
+from repro.core.pareto import PlanObjective
 from repro.core.raqo import (
     PlannerKind,
     QueryOptimizerCoster,
@@ -130,7 +131,7 @@ def plan_for_price(
         cost_model=catalog_planner.cost_model,
         planner_kind=PlannerKind.FAST_RANDOMIZED,
         price_model=catalog_planner.price_model,
-        money_weight=1.0 / max_dollars,
+        objective=PlanObjective.weighted(1.0 / max_dollars),
     )
     result = planner.optimize(query)
     frontier = getattr(result, "frontier", ())

@@ -27,7 +27,9 @@ from typing import (
     List,
     Optional,
     Protocol,
+    Sequence,
     Tuple,
+    TypeVar,
 )
 
 import numpy as np
@@ -39,6 +41,10 @@ from repro.cluster.cluster import ClusterConditions
 from repro.engine.joins import JoinAlgorithm
 from repro.obs.tracing import NULL_TRACER, Tracer
 from repro.planner.plan import CandidateBatch, JoinNode, PlanNode
+
+#: The payload carried alongside a :class:`Cost` in frontier entries
+#: (a plan, a configuration tuple -- :func:`frontier` never inspects it).
+T = TypeVar("T")
 
 
 @dataclass(frozen=True)
@@ -60,7 +66,18 @@ class Cost:
         return time_weight * self.time_s + money_weight * self.money
 
     def dominates(self, other: "Cost") -> bool:
-        """Pareto dominance: no worse in both objectives, better in one."""
+        """Strict Pareto dominance: no worse in both, strictly better in one.
+
+        The boundary case matters: a cost that is *equal* to ``other``
+        in both objectives does **not** dominate it -- dominance is
+        irreflexive (``c.dominates(c)`` is always ``False``).  Weak
+        dominance (``<=`` in both without the strict clause) would let
+        two equal costs eliminate each other, leaving Pareto frontiers
+        dependent on comparison order; every frontier in this codebase
+        (:func:`frontier`, the skyline pass in :mod:`repro.core.pareto`,
+        and the randomized planner's approximate frontier) builds on the
+        strict form.
+        """
         return (
             self.time_s <= other.time_s
             and self.money <= other.money
@@ -71,6 +88,42 @@ class Cost:
     def is_finite(self) -> bool:
         """False when the plan is infeasible under the given resources."""
         return math.isfinite(self.time_s) and math.isfinite(self.money)
+
+
+def frontier(
+    entries: Sequence[Tuple[T, Cost]],
+) -> List[Tuple[T, Cost]]:
+    """The exact Pareto frontier of ``(item, cost)`` pairs.
+
+    Returns the pairs no other entry :meth:`Cost.dominates`, sorted by
+    ascending ``time_s`` (and therefore strictly descending ``money``).
+    Infeasible costs are dropped.  When several entries carry exactly
+    equal ``(time_s, money)`` vectors -- none dominates the others --
+    only the first in input order survives, so the result is
+    deterministic and duplicate-free regardless of how candidates were
+    enumerated.
+
+    This is the single reference implementation both Pareto consumers
+    defer to: the randomized planner's
+    :meth:`~repro.planner.randomized.ParetoFrontier.entries` and the
+    scalar tail of the vectorized skyline pass in
+    :mod:`repro.core.pareto`, so the two cannot drift.
+    """
+    ordered = sorted(
+        (cost.time_s, cost.money, index)
+        for index, (_, cost) in enumerate(entries)
+        if cost.is_finite
+    )
+    kept: List[int] = []
+    best_money = math.inf
+    for _, money, index in ordered:
+        # Sorted by (time, money, input order): a strict money
+        # improvement is exactly non-domination by everything earlier;
+        # ties in both objectives fall to the first-seen entry.
+        if money < best_money:
+            kept.append(index)
+            best_money = money
+    return [entries[index] for index in kept]
 
 
 #: The cost of an infeasible sub-plan (e.g. BHJ past its OOM wall).
@@ -101,6 +154,12 @@ class PlanningCounters:
     #: Memo hits served during batch-aware partitioning, before the
     #: stacked kernel ran (a subset of ``memo_hits``).
     batch_memo_hits: int = 0
+    #: Candidate (stage x configuration) points discarded by the
+    #: Pareto skyline passes of :mod:`repro.core.pareto` because some
+    #: other candidate dominated them (or duplicated them exactly).
+    dominated_pruned: int = 0
+    #: Points on the Pareto frontiers computed during this run.
+    frontier_points: int = 0
 
     def merge(self, other: "PlanningCounters") -> None:
         """Accumulate another counter set into this one."""

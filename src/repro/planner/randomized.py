@@ -32,6 +32,7 @@ from repro.planner.cost_interface import (
     PlanningContext,
     PlanningResult,
     Stopwatch,
+    frontier,
     get_plan_cost,
     get_plan_cost_batched,
 )
@@ -86,8 +87,16 @@ class ParetoFrontier:
         return True
 
     def entries(self) -> Tuple[Tuple[PlanNode, Cost], ...]:
-        """The frontier, sorted by execution time."""
-        return tuple(sorted(self._entries, key=lambda e: e[1].time_s))
+        """The frontier, exactly pruned and sorted by execution time.
+
+        ``offer`` already rejects approximately-dominated candidates
+        and evicts exactly-dominated entries, so routing the result
+        through the shared :func:`~repro.planner.cost_interface.frontier`
+        reference only re-sorts -- but it pins this planner's frontier
+        semantics to the same single implementation the vectorized
+        skyline pass (:mod:`repro.core.pareto`) verifies against.
+        """
+        return tuple(frontier(self._entries))
 
     def __len__(self) -> int:
         return len(self._entries)

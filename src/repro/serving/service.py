@@ -47,6 +47,7 @@ from queue import Empty, Full, Queue
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.catalog.queries import Query
+from repro.core.pareto import PlanObjective
 from repro.core.raqo import RaqoPlanner
 from repro.obs.tracing import SpanHandle, Tracer
 from repro.planner.cost_interface import PlanningResult
@@ -97,6 +98,11 @@ class ServiceConfig:
     cache_shards: int = 8
     cache_shard_capacity: int = 64
     label: str = "serving"
+    #: Plan for this :class:`~repro.core.pareto.PlanObjective` instead
+    #: of the session's.  The objective is part of the cache-key
+    #: fingerprint, so services (tenants) with different objectives
+    #: never share a cached plan.
+    objective: Optional[PlanObjective] = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -226,6 +232,14 @@ class OptimizerService:
         self._started = False
         self._stopped = False
         self._root_span: Optional[SpanHandle] = None
+        #: Workers plan on clones of this template -- the session
+        #: planner, re-targeted when the service declares its own
+        #: objective.
+        self._planner_template: RaqoPlanner = (
+            session.planner
+            if self.config.objective is None
+            else session.planner.with_objective(self.config.objective)
+        )
         self._config_fingerprint = self._fingerprint()
 
     # -- lifecycle ---------------------------------------------------------
@@ -413,12 +427,13 @@ class OptimizerService:
         return hashlib.blake2s(payload, digest_size=8).hexdigest()
 
     def _fingerprint(self) -> str:
-        planner = self.session.planner
+        planner = self._planner_template
         cluster = planner.cluster
         return (
             f"{planner.query_planner.__class__.__name__}"
             f"|{planner.resource_aware:d}"
             f"|{cluster.max_containers}x{cluster.max_container_gb}"
+            f"|{planner.objective.fingerprint()}"
         )
 
     @property
@@ -428,7 +443,7 @@ class OptimizerService:
     # -- the worker pool ---------------------------------------------------
 
     def _worker_loop(self) -> None:
-        planner = self.session.planner.clone()
+        planner = self._planner_template.clone()
         while True:
             head = self._queue.get()
             if head is _SENTINEL:

@@ -7,6 +7,7 @@ from repro.catalog.queries import Query
 from repro.cluster.cluster import ClusterConditions
 from repro.cluster.containers import ResourceConfiguration
 from repro.core.cost_model import SimulatorCostModel
+from repro.core.pareto import PlanObjective
 from repro.core.raqo import RaqoPlanner
 from repro.engine.executor import execute_plan
 from repro.engine.profiles import HIVE_PROFILE
@@ -102,7 +103,7 @@ class TestMoneyObjective:
     def test_money_weight_reduces_dollars(self, catalog):
         time_first = RaqoPlanner(catalog).optimize(tpch.QUERY_Q3)
         money_first = RaqoPlanner(
-            catalog, money_weight=100.0
+            catalog, objective=PlanObjective.weighted(100.0)
         ).optimize(tpch.QUERY_Q3)
         assert money_first.cost.money <= time_first.cost.money * 1.001
         assert money_first.cost.time_s >= time_first.cost.time_s * 0.999

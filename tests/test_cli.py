@@ -97,7 +97,7 @@ class TestFigureCommand:
         expected = {
             "fig01", "fig02", "fig03", "fig04", "fig05", "fig06",
             "fig07", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13",
-            "fig14", "fig15", "fig16",
+            "fig14", "fig15", "fig16", "fig17",
         }
         assert set(FIGURE_MODULES) == expected
 
@@ -215,6 +215,65 @@ class TestFaultOptions:
 
     def test_fig16_is_registered(self):
         assert "fig16" in FIGURE_MODULES
+
+
+class TestObjectiveOption:
+    @pytest.mark.parametrize(
+        "spec",
+        ["fastest", "cheapest", "weighted:2.5", "latency-bound:60", "pareto"],
+    )
+    def test_plan_accepts_every_objective(self, spec, capsys):
+        assert main(["plan", "--query", "Q12", "--objective", spec]) == 0
+        assert "predicted time" in capsys.readouterr().out
+
+    def test_pareto_plan_prints_frontier_summary(self, capsys):
+        assert (
+            main(
+                [
+                    "plan",
+                    "--query",
+                    "Q3",
+                    "--objective",
+                    "pareto",
+                    "--resource-method",
+                    "brute_force",
+                    "--containers",
+                    "10",
+                    "--container-gb",
+                    "4",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "frontier" in out
+        assert "fastest" in out and "cheapest" in out
+
+    def test_run_and_workload_accept_objective(self, capsys):
+        assert (
+            main(["run", "--query", "Q3", "--objective", "cheapest"]) == 0
+        )
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "workload",
+                    "--num-queries",
+                    "2",
+                    "--objective",
+                    "weighted:1.5",
+                ]
+            )
+            == 0
+        )
+
+    @pytest.mark.parametrize(
+        "spec", ["bogus", "weighted:x", "weighted:-1", "latency-bound:0"]
+    )
+    def test_malformed_objective_is_usage_error(self, spec, capsys):
+        assert main(["plan", "--query", "Q12", "--objective", spec]) == 2
+        err = capsys.readouterr().err
+        assert "invalid objective" in err
 
 
 class TestWorkloadSharding:
