@@ -9,8 +9,11 @@ steady Poisson load and duty-cycled bursts -- and records, per trace:
 - cache traffic (hits/misses/inserts/evictions/entries/hit rate) and
   admission-control outcomes (rejections).
 
-Writes ``BENCH_serving.json`` at the repository root.  Standalone (not a
-pytest-benchmark case) so CI can smoke it directly::
+Writes ``BENCH_serving.json`` at the repository root, plus a Prometheus
+stats file (``BENCH_serving_stats.prom``) snapshotting the telemetry
+plane of the final trace's session so CI can archive the raw series
+alongside the headline numbers.  Standalone (not a pytest-benchmark
+case) so CI can smoke it directly::
 
     PYTHONPATH=src python benchmarks/bench_serving.py --quick
     PYTHONPATH=src python benchmarks/bench_serving.py --check BENCH_serving.json
@@ -113,9 +116,17 @@ def run_benchmark(
     quick: bool = False,
     workers: int = 4,
     seed: int = 0,
+    stats_path: Optional[Path] = None,
 ) -> Dict[str, object]:
-    """Replay every trace shape; returns the BENCH_serving payload."""
+    """Replay every trace shape; returns the BENCH_serving payload.
+
+    When ``stats_path`` is given, the telemetry plane of the *final*
+    trace's session is exported there as Prometheus text exposition
+    (per-tenant serving series, windowed rates, cache counters) so CI
+    can upload the raw series as a build artifact.
+    """
     traces: Dict[str, object] = {}
+    session: Optional[RaqoSession] = None
     for label, arrival, full, small in TRACES:
         session = RaqoSession(scale_factor=100, seed=seed)
         service = session.serve(
@@ -145,6 +156,9 @@ def run_benchmark(
             f"cache hit rate "
             f"{float(report.cache.get('hit_rate', 0.0)):.2f}"
         )
+    if stats_path is not None and session is not None:
+        session.write_stats_file(stats_path)
+        print(f"stats file written: {stats_path}")
     return {
         "benchmark": "serving_replay",
         "schema_version": 1,
@@ -184,6 +198,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="report destination (default: repo-root BENCH_serving.json)",
     )
     parser.add_argument(
+        "--stats-file",
+        type=Path,
+        default=REPO_ROOT / "BENCH_serving_stats.prom",
+        help="Prometheus stats-file destination (default: repo-root "
+        "BENCH_serving_stats.prom)",
+    )
+    parser.add_argument(
         "--check",
         type=Path,
         metavar="FILE",
@@ -203,7 +224,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     report = run_benchmark(
-        quick=args.quick, workers=args.workers, seed=args.seed
+        quick=args.quick,
+        workers=args.workers,
+        seed=args.seed,
+        stats_path=args.stats_file,
     )
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"\nreport written: {args.output}")

@@ -65,6 +65,8 @@ from repro.obs.export import (
     write_trace_dir,
 )
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.prometheus import prometheus_exposition, write_stats_file
+from repro.obs.telemetry import TelemetryPlane
 from repro.obs.tracing import NULL_TRACER, Tracer
 from repro.planner.cost_interface import PlanningResult
 from repro.workloads.runner import WorkloadReport, WorkloadRunner
@@ -166,6 +168,13 @@ class RaqoSession:
             tracer if tracer is not None else NULL_TRACER
         )
         self.metrics = MetricsRegistry()
+        #: The v2 telemetry plane: windowed series, the structured
+        #: event log, per-tenant SLO trackers, and the cost-model
+        #: drift monitor, all shared by everything the session runs.
+        self.telemetry = TelemetryPlane(metrics=self.metrics)
+        #: Cumulative simulated seconds across this session's runs --
+        #: the sim-clock timeline drift observations are stamped on.
+        self._sim_elapsed_s = 0.0
         self.default_resources = default_resources
         planner_kwargs = dict(
             planner_kind=planner,
@@ -277,6 +286,8 @@ class RaqoSession:
             faults=fault_plan,
             recovery=recovery,
             tracer=self.tracer,
+            telemetry=self.telemetry,
+            sim_epoch_s=self._sim_elapsed_s,
         )
         self._record_execution(execution)
         return RunResult(planning=planning, execution=execution)
@@ -312,6 +323,7 @@ class RaqoSession:
             default_resources=self.default_resources,
             faults=fault_plan,
             recovery=recovery,
+            telemetry=self.telemetry,
         )
         report = runner.run(
             resolved,
@@ -410,11 +422,21 @@ class RaqoSession:
             self.metrics.histogram("execution.time_s").observe(
                 execution.time_s
             )
+            self._sim_elapsed_s += execution.time_s
         self._record_cost_errors(execution)
 
     def _record_cost_errors(self, execution: ExecutionResult) -> None:
-        """Per-operator predicted-vs-simulated relative time error."""
+        """Per-operator predicted-vs-simulated relative time error.
+
+        Each error also feeds the telemetry plane: the windowed
+        ``execution.cost_error_rel`` series (sim clock) and the
+        cost-model :class:`~repro.obs.drift.DriftMonitor`, which emits
+        ``cost_model_drift`` events when calibration decays online.
+        """
         histogram = self.metrics.histogram("execution.cost_error_rel")
+        windowed = self.telemetry.windowed_histogram(
+            "execution.cost_error_rel", clock="sim"
+        )
         model = self.planner.cost_model
         estimator = self.planner.estimator
         for report in execution.joins:
@@ -428,8 +450,11 @@ class RaqoSession:
             )
             if not math.isfinite(predicted):
                 continue
-            histogram.observe(
-                abs(predicted - report.time_s) / report.time_s
+            error = abs(predicted - report.time_s) / report.time_s
+            histogram.observe(error)
+            windowed.observe(error, ts_s=self._sim_elapsed_s)
+            self.telemetry.drift.record(
+                error, ts_s=self._sim_elapsed_s
             )
 
     def _record_workload(self, report: WorkloadReport) -> None:
@@ -462,6 +487,36 @@ class RaqoSession:
     def metrics_snapshot(self) -> Dict[str, object]:
         """The registry's deterministic, JSON-ready snapshot."""
         return self.metrics.snapshot()
+
+    def telemetry_snapshot(
+        self, clock: Optional[str] = None
+    ) -> Dict[str, object]:
+        """The telemetry plane's deterministic snapshot.
+
+        ``clock="sim"`` restricts to the simulated-clock series, whose
+        snapshots are byte-identical for same-seed runs regardless of
+        parallelism.
+        """
+        return self.telemetry.snapshot(clock=clock)
+
+    def exposition(self) -> str:
+        """The Prometheus text-format exposition of all metrics."""
+        return prometheus_exposition(self.metrics, self.telemetry)
+
+    def write_stats_file(self, path: Union[str, Path]) -> Path:
+        """Write the Prometheus exposition to ``path``."""
+        write_stats_file(path, self.metrics, self.telemetry)
+        return Path(path)
+
+    def write_events(self, path: Union[str, Path]) -> int:
+        """Write the unified event log as JSONL; returns event count.
+
+        Span events recorded by the engine (faults, retries,
+        degradations, speculation) are harvested into the stream first,
+        so the file carries the whole story, span-ID-correlated.
+        """
+        self.telemetry.events.harvest_tracer(self.tracer)
+        return self.telemetry.events.write_jsonl(path)
 
     # -- trace export ------------------------------------------------------
 

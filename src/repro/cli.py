@@ -24,7 +24,16 @@ Subcommands:
   it, printing per-request serving lines and the cache summary.
 - ``replay``  -- replay a deterministic Poisson or bursty traffic trace
   through the optimizer service and report QPS plus p50/p95/p99
-  planning latency (optionally writing the JSON report).
+  planning latency, overall and per tenant (optionally writing the
+  JSON report).  ``serve`` and ``replay`` both take telemetry flags:
+  ``--stats-file`` (Prometheus text exposition), ``--events``
+  (structured JSONL event log), ``--slo-target-ms``/``--slo-objective``
+  (per-tenant latency SLO with burn-rate alerts), and ``serve
+  --metrics-addr HOST:PORT`` exposes a live ``/metrics`` scrape
+  endpoint.
+- ``top``     -- render the text dashboard over the artifacts the
+  telemetry flags wrote (``--events``/``--stats``, optionally
+  ``--follow``).
 
 Examples::
 
@@ -39,7 +48,11 @@ Examples::
     python -m repro workload --num-queries 20 --parallel 4 --trace-dir t/
     python -m repro lint src --plans
     python -m repro serve --requests 12 --workers 4
+    python -m repro serve --requests 50 --metrics-addr 127.0.0.1:0
     python -m repro replay --arrival bursty --num-requests 200 --workers 4
+    python -m repro replay --num-requests 100 --slo-target-ms 5 \\
+        --stats-file stats.prom --events events.jsonl
+    python -m repro top --events events.jsonl --stats stats.prom
 """
 
 from __future__ import annotations
@@ -202,6 +215,13 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the session's metrics summary after serving",
     )
+    serve.add_argument(
+        "--metrics-addr",
+        metavar="HOST:PORT",
+        default=None,
+        help="expose a Prometheus /metrics scrape endpoint here "
+        "while the service runs (port 0 picks a free port)",
+    )
 
     rep = sub.add_parser(
         "replay",
@@ -245,6 +265,42 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         default=None,
         help="write the replay report as JSON here",
+    )
+
+    top = sub.add_parser(
+        "top",
+        help="render a live text dashboard from telemetry artifacts",
+    )
+    top.add_argument(
+        "--events",
+        metavar="FILE",
+        default=None,
+        help="JSONL event log to render (from serve/replay --events)",
+    )
+    top.add_argument(
+        "--stats",
+        metavar="FILE",
+        default=None,
+        help="Prometheus stats file to render (from --stats-file)",
+    )
+    top.add_argument(
+        "--follow",
+        action="store_true",
+        help="re-render on an interval instead of printing once",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="refresh interval for --follow (default 2.0)",
+    )
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=0,
+        metavar="N",
+        help="with --follow, stop after N renders (0 = until ^C)",
     )
 
     lint = sub.add_parser(
@@ -343,13 +399,50 @@ def _add_serving_options(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="disable the cross-tenant plan cache",
     )
+    parser.add_argument(
+        "--stats-file",
+        metavar="FILE",
+        default=None,
+        help="write the Prometheus text-format exposition here "
+        "after the run",
+    )
+    parser.add_argument(
+        "--events",
+        metavar="FILE",
+        default=None,
+        help="write the unified telemetry event log (JSONL) here "
+        "after the run",
+    )
+    parser.add_argument(
+        "--slo-target-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="track a per-tenant latency SLO against this target "
+        "(burn-rate alerts land in the event log)",
+    )
+    parser.add_argument(
+        "--slo-objective",
+        type=float,
+        default=0.95,
+        metavar="FRACTION",
+        help="fraction of requests that must meet --slo-target-ms "
+        "(default 0.95)",
+    )
 
 
 def _make_service(
     session: RaqoSession, args: argparse.Namespace
 ) -> "object":
+    from repro.obs.slo import SloPolicy
     from repro.serving import ServiceConfig
 
+    slo = None
+    if args.slo_target_ms is not None:
+        slo = SloPolicy(
+            latency_target_ms=args.slo_target_ms,
+            objective=args.slo_objective,
+        )
     return session.serve(
         ServiceConfig(
             workers=args.workers,
@@ -358,8 +451,21 @@ def _make_service(
             cache_enabled=not args.no_cache,
             cache_shards=args.cache_shards,
             cache_shard_capacity=args.cache_capacity,
+            slo=slo,
         )
     )
+
+
+def _export_telemetry(
+    session: RaqoSession, args: argparse.Namespace
+) -> None:
+    """Honour the --stats-file/--events telemetry export flags."""
+    if getattr(args, "stats_file", None):
+        session.write_stats_file(args.stats_file)
+        print(f"stats file written: {args.stats_file}")
+    if getattr(args, "events", None):
+        count = session.write_events(args.events)
+        print(f"events written: {args.events} ({count} events)")
 
 
 def _add_fault_options(parser: argparse.ArgumentParser) -> None:
@@ -679,6 +785,9 @@ def _cmd_workload(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import contextlib
+
+    from repro.obs.prometheus import MetricsServer, parse_metrics_addr
     from repro.serving import PlanRequest
 
     if args.requests < 1:
@@ -689,8 +798,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 2
     session = _make_session(args)
     service = _make_service(session, args)
+    scrape: contextlib.AbstractContextManager[object]
+    if args.metrics_addr:
+        try:
+            host, port = parse_metrics_addr(args.metrics_addr)
+        except ValueError as error:
+            print(error, file=sys.stderr)
+            return 2
+        server = MetricsServer(host, port, session.exposition)
+        bound_host, bound_port = server.address
+        print(
+            f"metrics endpoint: "
+            f"http://{bound_host}:{bound_port}/metrics"
+        )
+        scrape = server
+    else:
+        scrape = contextlib.nullcontext()
     names = sorted(_QUERIES)
-    with service:
+    with scrape, service:
         futures = [
             service.submit(
                 PlanRequest(
@@ -730,6 +855,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.metrics:
         print()
         print(session.metrics.render_text("session metrics"))
+    _export_telemetry(session, args)
     return 0
 
 
@@ -778,12 +904,63 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             f"hit rate {float(report.cache['hit_rate']):.2f} | "
             f"{report.cache['entries']} entries"
         )
+    for row in report.tenants:
+        quantiles = row["latency_ms"]
+        assert isinstance(quantiles, dict)
+        print(
+            f"tenant {str(row['tenant']):>10}: "
+            f"{row['completed']:>4} completed | "
+            f"{row['rejected']:>3} rejected | "
+            f"{row['cache_hits']:>4} hits | "
+            f"p50 {float(quantiles['p50']):8.2f} ms | "
+            f"p95 {float(quantiles['p95']):8.2f} ms | "
+            f"p99 {float(quantiles['p99']):8.2f} ms"
+        )
     if args.output:
         payload = report.to_json_dict()
         with open(args.output, "w") as handle:
             json.dump(payload, handle, indent=2)
             handle.write("\n")
         print(f"report written: {args.output}")
+    _export_telemetry(session, args)
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.obs.dashboard import render_dashboard_from_files
+
+    if args.events is None and args.stats is None:
+        print(
+            "top needs --events FILE and/or --stats FILE",
+            file=sys.stderr,
+        )
+        return 2
+    if args.interval <= 0:
+        print("--interval must be > 0", file=sys.stderr)
+        return 2
+
+    def render_once() -> None:
+        print(
+            render_dashboard_from_files(
+                events_path=args.events, stats_path=args.stats
+            )
+        )
+
+    if not args.follow:
+        render_once()
+        return 0
+    rendered = 0
+    try:
+        while True:
+            render_once()
+            rendered += 1
+            if args.iterations and rendered >= args.iterations:
+                break
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -874,6 +1051,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "workload": _cmd_workload,
         "serve": _cmd_serve,
         "replay": _cmd_replay,
+        "top": _cmd_top,
         "lint": _cmd_lint,
     }
     return handlers[args.command](args)

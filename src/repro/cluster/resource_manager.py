@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.cluster.containers import ContainerRequest, ResourceError
 from repro.faults.model import FaultKind, FaultPlan
+from repro.obs.telemetry import TelemetryPlane
 from repro.obs.tracing import NULL_TRACER, Tracer
 
 
@@ -105,6 +106,7 @@ class ResourceManager:
         faults: Optional[FaultPlan] = None,
         max_restarts: int = 3,
         tracer: Tracer = NULL_TRACER,
+        telemetry: Optional[TelemetryPlane] = None,
     ) -> List[JobRecord]:
         """Simulate all submissions; returns one record per job.
 
@@ -116,6 +118,12 @@ class ResourceManager:
         An active ``tracer`` records one ``rm-job`` cluster span per job
         (simulated window = arrival to finish, with a queue-time event),
         keyed by job ID so traces are independent of event ordering.
+
+        ``telemetry`` records the cluster's memory occupancy as a
+        simulated-clock windowed gauge (``cluster.memory_in_use_gb``,
+        sampled at every allocation and release) plus windowed
+        preemption/completion counters -- the occupancy timeline behind
+        the paper's Fig 1 queueing story.
         """
         if max_restarts < 0:
             raise ResourceError(
@@ -141,6 +149,14 @@ class ResourceManager:
         next_arrival = 0
         records: List[JobRecord] = []
 
+        occupancy = (
+            telemetry.windowed_gauge(
+                "cluster.memory_in_use_gb", clock="sim"
+            )
+            if telemetry is not None
+            else None
+        )
+
         def start_eligible() -> None:
             nonlocal used_gb
             while queue:
@@ -150,6 +166,8 @@ class ResourceManager:
                     return
                 queue.pop(0)
                 used_gb += needed
+                if occupancy is not None:
+                    occupancy.record(used_gb, ts_s=now)
                 if head.first_start_s is None:
                     head.first_start_s = now
                 duration = head.submission.request.duration_s
@@ -197,10 +215,16 @@ class ResourceManager:
                 _, _, job = heapq.heappop(running)
                 used_gb -= job.memory_gb
                 queued = job.queued
+                if occupancy is not None:
+                    occupancy.record(used_gb, ts_s=now)
                 if job.preempted:
                     queued.restarts += 1
                     queued.wasted_s += job.segment_s
                     queue.append(queued)
+                    if telemetry is not None:
+                        telemetry.windowed_counter(
+                            "cluster.preemptions", clock="sim"
+                        ).inc(ts_s=now)
                 else:
                     assert queued.first_start_s is not None
                     records.append(
@@ -219,6 +243,10 @@ class ResourceManager:
                             wasted_s=queued.wasted_s,
                         )
                     )
+                    if telemetry is not None:
+                        telemetry.windowed_counter(
+                            "cluster.completions", clock="sim"
+                        ).inc(ts_s=now)
             start_eligible()
 
         records.sort(key=lambda r: r.job_id)

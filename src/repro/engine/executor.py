@@ -39,6 +39,7 @@ from repro.faults.model import (
     stage_key_for_join,
 )
 from repro.faults.recovery import DEFAULT_RECOVERY, RecoveryPolicy
+from repro.obs.telemetry import TelemetryPlane
 from repro.obs.tracing import NULL_SPAN, NULL_TRACER, SpanHandle, Tracer
 from repro.planner.plan import JoinNode, PlanNode
 
@@ -170,6 +171,8 @@ def execute_plan(
     faults: Optional[FaultPlan] = None,
     recovery: Optional[RecoveryPolicy] = None,
     tracer: Tracer = NULL_TRACER,
+    telemetry: Optional[TelemetryPlane] = None,
+    sim_epoch_s: float = 0.0,
 ) -> ExecutionResult:
     """Simulate ``plan`` and account its time, resources, and cost.
 
@@ -190,6 +193,15 @@ def execute_plan(
     with one ``stage`` span per join operator -- simulated-time windows
     on the plan's cumulative clock -- and, on the fault path, per
     ``attempt`` child spans with fault/retry events.
+
+    ``telemetry`` additionally lands each stage on the plane's
+    simulated-clock windowed series (stage counts, stage-time
+    distributions, container occupancy) stamped at ``sim_epoch_s`` plus
+    the plan's cumulative clock, and emits ``stage_degraded`` /
+    ``stage_infeasible`` events into the unified event log.  Because
+    every record carries an explicit simulated timestamp, the windowed
+    snapshots of a seeded run are byte-identical however the run was
+    scheduled.
     """
     price_model = price_model or PriceModel()
     if faults is not None and recovery is None:
@@ -250,6 +262,13 @@ def execute_plan(
             feasible = feasible and report.feasible
             total_time += report.time_s
             total_gb_seconds += report.gb_seconds
+            if telemetry is not None:
+                stage_end_s = sim_epoch_s + (
+                    total_time if math.isfinite(total_time) else 0.0
+                )
+                _record_stage_telemetry(
+                    telemetry, stage_id, report, stage_end_s
+                )
         if run_span.active:
             run_span.set_attributes(
                 {
@@ -283,6 +302,48 @@ def execute_plan(
         degraded_stages=sum(1 for r in reports if r.degraded),
         speculative_stages=sum(1 for r in reports if r.speculative),
     )
+
+
+def _record_stage_telemetry(
+    telemetry: TelemetryPlane,
+    stage_id: int,
+    report: JoinRunReport,
+    stage_end_s: float,
+) -> None:
+    """Land one finished stage on the sim-clock windowed series."""
+    telemetry.windowed_counter(
+        "execution.stages", clock="sim"
+    ).inc(ts_s=stage_end_s)
+    telemetry.windowed_gauge(
+        "execution.stage_containers", clock="sim"
+    ).record(float(report.resources.num_containers), ts_s=stage_end_s)
+    if report.feasible and math.isfinite(report.time_s):
+        telemetry.windowed_histogram(
+            "execution.stage_time_s", clock="sim"
+        ).observe(report.time_s, ts_s=stage_end_s)
+    if report.degraded:
+        telemetry.events.emit(
+            "stage_degraded",
+            stage_end_s,
+            clock="sim",
+            attributes={
+                "stage_id": stage_id,
+                "algorithm": report.algorithm.value,
+                "tables": ",".join(sorted(report.tables)),
+            },
+        )
+    if not report.feasible:
+        telemetry.events.emit(
+            "stage_infeasible",
+            stage_end_s,
+            clock="sim",
+            attributes={
+                "stage_id": stage_id,
+                "algorithm": report.algorithm.value,
+                "tables": ",".join(sorted(report.tables)),
+                "container_gb": report.resources.container_gb,
+            },
+        )
 
 
 def _annotate_stage_span(

@@ -1,0 +1,220 @@
+"""``repro top``: a terminal dashboard over the telemetry artifacts.
+
+Renders a compact live view from the two files every telemetry-enabled
+run can produce -- the JSONL event log and the Prometheus stats file --
+without importing anything beyond the standard library.  The dashboard
+is a *reader*: it never touches a live session, so it can follow a run
+in another process (``repro serve --events ... --stats-file ...`` in
+one terminal, ``repro top --follow`` in another) or post-mortem a
+finished one.
+
+Rendering is deterministic for fixed inputs (sections and rows sort by
+name), which is how the CLI tests pin it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.obs.prometheus import ParsedSample, parse_exposition
+
+__all__ = [
+    "load_events_jsonl",
+    "render_dashboard",
+    "render_dashboard_from_files",
+]
+
+#: Event names surfaced in the alert pane, most serious first.
+ALERT_EVENTS = (
+    "slo_burn",
+    "cost_model_drift",
+    "rejection",
+    "fault",
+)
+
+
+def load_events_jsonl(
+    path: Union[str, Path],
+) -> List[Dict[str, object]]:
+    """Parse an event-log JSONL file into dicts (bad lines rejected)."""
+    events: List[Dict[str, object]] = []
+    text = Path(path).read_text(encoding="utf-8")
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"{path}: line {lineno} is not valid JSON"
+            ) from exc
+        if not isinstance(record, dict) or "name" not in record:
+            raise ValueError(
+                f"{path}: line {lineno} is not a telemetry event"
+            )
+        events.append(record)
+    return events
+
+
+def _event_counts(
+    events: List[Dict[str, object]],
+) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for event in events:
+        name = str(event.get("name", ""))
+        counts[name] = counts.get(name, 0) + 1
+    return counts
+
+
+def _tenant_rows(
+    events: List[Dict[str, object]],
+) -> List[Tuple[str, int, int, int]]:
+    """(tenant, events, slo_burns, rejections) rows, sorted by tenant."""
+    per_tenant: Dict[str, Dict[str, int]] = {}
+    for event in events:
+        tenant = str(event.get("tenant", "") or "")
+        if not tenant:
+            continue
+        stats = per_tenant.setdefault(
+            tenant, {"events": 0, "slo_burn": 0, "rejection": 0}
+        )
+        stats["events"] += 1
+        name = str(event.get("name", ""))
+        if name in stats:
+            stats[name] += 1
+    return [
+        (
+            tenant,
+            per_tenant[tenant]["events"],
+            per_tenant[tenant]["slo_burn"],
+            per_tenant[tenant]["rejection"],
+        )
+        for tenant in sorted(per_tenant)
+    ]
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e12:
+        return str(int(value))
+    return f"{value:.3f}"
+
+
+def _metric_rows(
+    samples: List[ParsedSample], limit: int
+) -> List[str]:
+    rows = []
+    for sample in samples:
+        label_text = ""
+        if sample.labels:
+            inner = ",".join(f"{k}={v}" for k, v in sample.labels)
+            label_text = f"{{{inner}}}"
+        rows.append(f"  {sample.name}{label_text} = {_fmt(sample.value)}")
+    rows.sort()
+    return rows[:limit]
+
+
+def render_dashboard(
+    events: Optional[List[Dict[str, object]]] = None,
+    stats_text: Optional[str] = None,
+    *,
+    title: str = "repro top",
+    tail: int = 8,
+    metric_limit: int = 20,
+) -> str:
+    """The dashboard screen as plain text.
+
+    ``events`` is a parsed event log (see :func:`load_events_jsonl`);
+    ``stats_text`` is a Prometheus exposition.  Either may be absent --
+    the corresponding panes simply note the missing input.
+    """
+    lines: List[str] = [title, "=" * len(title)]
+
+    lines.append("")
+    lines.append("events")
+    lines.append("------")
+    if events is None:
+        lines.append("  (no event log)")
+    elif not events:
+        lines.append("  (event log empty)")
+    else:
+        counts = _event_counts(events)
+        for name in sorted(counts):
+            lines.append(f"  {name:<28s} {counts[name]}")
+        alerts = [
+            event
+            for event in events
+            if str(event.get("name", "")) in ALERT_EVENTS
+        ]
+        lines.append("")
+        lines.append("alerts (most recent last)")
+        lines.append("-------------------------")
+        if not alerts:
+            lines.append("  (none)")
+        for event in alerts[-tail:]:
+            tenant = str(event.get("tenant", "") or "-")
+            ts = event.get("ts_s", 0.0)
+            ts_text = (
+                _fmt(float(ts))
+                if isinstance(ts, (int, float))
+                else str(ts)
+            )
+            clock = str(event.get("clock", "?"))
+            lines.append(
+                f"  [{clock} {ts_text:>10s}s] "
+                f"{event.get('name', '?')} tenant={tenant}"
+            )
+        tenants = _tenant_rows(events)
+        if tenants:
+            lines.append("")
+            lines.append("tenants")
+            lines.append("-------")
+            lines.append(
+                f"  {'tenant':<16s} {'events':>7s} "
+                f"{'slo_burn':>9s} {'rejected':>9s}"
+            )
+            for tenant, total, burns, rejections in tenants:
+                lines.append(
+                    f"  {tenant:<16s} {total:>7d} "
+                    f"{burns:>9d} {rejections:>9d}"
+                )
+
+    lines.append("")
+    lines.append("metrics")
+    lines.append("-------")
+    if stats_text is None:
+        lines.append("  (no stats file)")
+    else:
+        parsed = parse_exposition(stats_text)
+        interesting = [
+            sample
+            for sample in parsed.samples
+            if not sample.name.endswith(("_sum", "_count"))
+            and "quantile" not in sample.labels_dict
+        ]
+        if not interesting:
+            lines.append("  (stats file empty)")
+        else:
+            lines.extend(_metric_rows(interesting, metric_limit))
+            hidden = len(interesting) - metric_limit
+            if hidden > 0:
+                lines.append(f"  ... ({hidden} more series)")
+
+    return "\n".join(lines) + "\n"
+
+
+def render_dashboard_from_files(
+    events_path: Optional[Union[str, Path]] = None,
+    stats_path: Optional[Union[str, Path]] = None,
+    *,
+    title: str = "repro top",
+) -> str:
+    """Load whichever files exist and render one dashboard frame."""
+    events = None
+    if events_path is not None and Path(events_path).exists():
+        events = load_events_jsonl(events_path)
+    stats_text = None
+    if stats_path is not None and Path(stats_path).exists():
+        stats_text = Path(stats_path).read_text(encoding="utf-8")
+    return render_dashboard(events, stats_text, title=title)

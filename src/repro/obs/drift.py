@@ -1,0 +1,196 @@
+"""Cost-model drift monitoring: the learned-cost-model feedback hook.
+
+The session already records the predicted-vs-simulated relative cost
+error per operator (``execution.cost_error_rel``).  That histogram says
+how well calibrated the model was *over the whole session*; this
+monitor watches how calibration **evolves**: the first
+``baseline_window`` observations freeze a calibration baseline, and a
+rolling window of the most recent observations is continuously compared
+against it.  When the rolling mean error exceeds the baseline by the
+configured relative margin, the monitor emits a ``cost_model_drift``
+event -- the online "your model needs refitting" signal ROADMAP item 2
+(learned, self-correcting cost models) trains against -- and a matching
+``cost_model_recalibrated`` event when the window recovers.
+
+Determinism: decisions are a pure function of the observation sequence
+(means use :func:`math.fsum`), so same-seed runs emit identical drift
+events at identical observation indices.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional
+
+from repro.obs.events import EventLog, TelemetryEvent
+
+__all__ = [
+    "DriftConfig",
+    "DriftMonitor",
+    "DriftStatus",
+]
+
+
+@dataclass(frozen=True)
+class DriftConfig:
+    """Knobs for one :class:`DriftMonitor`."""
+
+    #: Observations frozen into the calibration baseline.
+    baseline_window: int = 32
+    #: Rolling window compared against the baseline.
+    window: int = 32
+    #: Alert when rolling mean exceeds baseline mean by this fraction.
+    threshold: float = 0.5
+    #: Minimum rolling observations before alerts may fire.
+    min_samples: int = 8
+
+    def __post_init__(self) -> None:
+        if self.baseline_window < 1:
+            raise ValueError(
+                f"baseline_window must be >= 1, "
+                f"got {self.baseline_window}"
+            )
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window}")
+        if self.threshold <= 0:
+            raise ValueError(
+                f"threshold must be > 0, got {self.threshold}"
+            )
+        if self.min_samples < 1:
+            raise ValueError(
+                f"min_samples must be >= 1, got {self.min_samples}"
+            )
+
+
+@dataclass(frozen=True)
+class DriftStatus:
+    """The monitor's current calibration picture."""
+
+    observations: int
+    baseline_mean: float
+    rolling_mean: float
+    #: rolling / baseline (NaN until both windows have data).
+    ratio: float
+    drifting: bool
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form (NaNs become nulls)."""
+        return {
+            "observations": self.observations,
+            "baseline_mean": (
+                self.baseline_mean
+                if math.isfinite(self.baseline_mean)
+                else None
+            ),
+            "rolling_mean": (
+                self.rolling_mean
+                if math.isfinite(self.rolling_mean)
+                else None
+            ),
+            "ratio": self.ratio if math.isfinite(self.ratio) else None,
+            "drifting": self.drifting,
+        }
+
+
+class DriftMonitor:
+    """Watches a rolling error window against a frozen baseline."""
+
+    def __init__(
+        self,
+        config: Optional[DriftConfig] = None,
+        events: Optional[EventLog] = None,
+    ) -> None:
+        self.config = config if config is not None else DriftConfig()
+        self.events = events
+        self._lock = threading.Lock()
+        self._baseline: List[float] = []
+        self._baseline_mean = math.nan
+        self._rolling: Deque[float] = deque(maxlen=self.config.window)
+        self._observations = 0
+        self._drifting = False
+
+    def record(
+        self,
+        error_rel: float,
+        *,
+        ts_s: float,
+        clock: str = "sim",
+    ) -> Optional[TelemetryEvent]:
+        """Feed one relative cost error; returns the alert edge, if any.
+
+        Non-finite errors (infeasible runs) are ignored -- they carry
+        no calibration signal.
+        """
+        if not math.isfinite(error_rel):
+            return None
+        with self._lock:
+            self._observations += 1
+            if len(self._baseline) < self.config.baseline_window:
+                self._baseline.append(float(error_rel))
+                self._baseline_mean = math.fsum(self._baseline) / len(
+                    self._baseline
+                )
+                return None
+            self._rolling.append(float(error_rel))
+            ratio = self._ratio()
+            eligible = len(self._rolling) >= self.config.min_samples
+            drifting = (
+                eligible and ratio >= 1.0 + self.config.threshold
+            )
+            edge: Optional[str] = None
+            if drifting and not self._drifting:
+                self._drifting = True
+                edge = "cost_model_drift"
+            elif self._drifting and not drifting:
+                self._drifting = False
+                edge = "cost_model_recalibrated"
+            if edge is None:
+                return None
+            attributes = {
+                "baseline_mean": self._baseline_mean,
+                "rolling_mean": self._rolling_mean(),
+                "ratio": ratio,
+                "threshold": self.config.threshold,
+                "window": len(self._rolling),
+            }
+        if self.events is not None:
+            return self.events.emit(
+                edge, ts_s, clock=clock, attributes=attributes
+            )
+        return TelemetryEvent(
+            name=edge, ts_s=ts_s, clock=clock, attributes=attributes
+        )
+
+    def _rolling_mean(self) -> float:
+        if not self._rolling:
+            return math.nan
+        return math.fsum(self._rolling) / len(self._rolling)
+
+    def _ratio(self) -> float:
+        rolling = self._rolling_mean()
+        if not math.isfinite(rolling) or not math.isfinite(
+            self._baseline_mean
+        ):
+            return math.nan
+        # A perfectly calibrated baseline (mean error 0) makes any
+        # nonzero rolling error infinite drift; the floor keeps the
+        # ratio finite and the threshold meaningful.
+        return rolling / max(self._baseline_mean, 1e-9)
+
+    def status(self) -> DriftStatus:
+        """The current calibration picture."""
+        with self._lock:
+            return DriftStatus(
+                observations=self._observations,
+                baseline_mean=self._baseline_mean,
+                rolling_mean=self._rolling_mean(),
+                ratio=self._ratio(),
+                drifting=self._drifting,
+            )
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready status."""
+        return self.status().to_dict()

@@ -117,24 +117,35 @@ class Histogram:
             if not self._values:
                 return math.nan
             ordered = sorted(self._values)
+        return self._rank_value(ordered, q)
+
+    @staticmethod
+    def _rank_value(ordered: List[float], q: float) -> float:
         rank = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
         return ordered[rank]
 
     def summary(self) -> Dict[str, float]:
-        """count/sum/min/max/mean/p50/p95 of the distribution."""
+        """count/sum/min/max/mean/p50/p95 of the distribution.
+
+        The whole summary is computed from one copy of the values taken
+        under a single lock acquisition, so count/sum and the quantiles
+        always describe the same set of observations even while other
+        threads keep observing.
+        """
         with self._lock:
             values = list(self._values)
         if not values:
             return {"count": 0.0}
-        total = sum(values)
+        ordered = sorted(values)
+        total = math.fsum(ordered)
         return {
-            "count": float(len(values)),
+            "count": float(len(ordered)),
             "sum": total,
-            "min": min(values),
-            "max": max(values),
-            "mean": total / len(values),
-            "p50": self.quantile(0.5),
-            "p95": self.quantile(0.95),
+            "min": ordered[0],
+            "max": ordered[-1],
+            "mean": total / len(ordered),
+            "p50": self._rank_value(ordered, 0.5),
+            "p95": self._rank_value(ordered, 0.95),
         }
 
 

@@ -1,0 +1,232 @@
+"""Per-tenant latency SLOs: objectives, error budgets, burn-rate alerts.
+
+A serving tenant's contract is "``objective`` of requests answer within
+``latency_target_ms``".  The complement of the objective is the
+tenant's **error budget**: with a 95% objective, 5% of requests may
+miss the target before the contract is broken.  The tracker watches a
+rolling window of recent requests per tenant and reports the **burn
+rate** -- the windowed violation fraction divided by the budget.  Burn
+rate 1.0 means the tenant is spending budget exactly as fast as the
+contract allows; 2.0 means the budget will be gone in half the
+contracted horizon; sustained burn >= the alert threshold raises an
+``slo_burn`` event (and a matching ``slo_recovered`` when the window
+drains back under it).
+
+Alerts are **edge-triggered and deterministic**: given the same
+sequence of (tenant, latency) observations, the same events fire at the
+same observation indices, independent of thread scheduling -- callers
+serialize on the tracker's lock, and the rolling window advances one
+observation at a time.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.obs.events import EventLog, TelemetryEvent
+
+__all__ = [
+    "SloPolicy",
+    "SloStatus",
+    "SloTracker",
+]
+
+
+@dataclass(frozen=True)
+class SloPolicy:
+    """One latency objective with its error budget and alerting knobs."""
+
+    #: Requests slower than this miss the objective.
+    latency_target_ms: float
+    #: Fraction of requests that must meet the target (e.g. 0.95).
+    objective: float = 0.95
+    #: Rolling window length, in requests.
+    window: int = 50
+    #: Alert when windowed burn rate reaches this multiple of budget.
+    burn_alert_rate: float = 1.0
+    #: Minimum windowed observations before alerts may fire.
+    min_samples: int = 10
+
+    def __post_init__(self) -> None:
+        if self.latency_target_ms < 0:
+            raise ValueError(
+                f"latency_target_ms must be >= 0, "
+                f"got {self.latency_target_ms}"
+            )
+        if not 0.0 < self.objective <= 1.0:
+            raise ValueError(
+                f"objective must be in (0, 1], got {self.objective}"
+            )
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window}")
+        if self.burn_alert_rate <= 0:
+            raise ValueError(
+                f"burn_alert_rate must be > 0, "
+                f"got {self.burn_alert_rate}"
+            )
+        if self.min_samples < 1:
+            raise ValueError(
+                f"min_samples must be >= 1, got {self.min_samples}"
+            )
+
+    @property
+    def error_budget(self) -> float:
+        """The allowed violation fraction (floored away from zero so a
+        100% objective yields finite burn rates)."""
+        return max(1.0 - self.objective, 1e-9)
+
+
+@dataclass(frozen=True)
+class SloStatus:
+    """One tenant's current SLO accounting."""
+
+    tenant: str
+    requests: int
+    violations: int
+    window_requests: int
+    window_violations: int
+    burn_rate: float
+    alerting: bool
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form."""
+        return {
+            "tenant": self.tenant,
+            "requests": self.requests,
+            "violations": self.violations,
+            "window_requests": self.window_requests,
+            "window_violations": self.window_violations,
+            "burn_rate": self.burn_rate,
+            "alerting": self.alerting,
+        }
+
+
+class _TenantState:
+    """Rolling window plus lifetime totals for one tenant."""
+
+    __slots__ = (
+        "window",
+        "window_violations",
+        "requests",
+        "violations",
+        "alerting",
+    )
+
+    def __init__(self, capacity: int) -> None:
+        self.window: Deque[bool] = deque(maxlen=capacity)
+        self.window_violations = 0
+        self.requests = 0
+        self.violations = 0
+        self.alerting = False
+
+
+class SloTracker:
+    """Tracks every tenant's latency objective against one policy."""
+
+    def __init__(
+        self,
+        policy: SloPolicy,
+        events: Optional[EventLog] = None,
+    ) -> None:
+        self.policy = policy
+        self.events = events
+        self._lock = threading.Lock()
+        self._tenants: Dict[str, _TenantState] = {}
+
+    def record(
+        self,
+        tenant: str,
+        latency_ms: float,
+        *,
+        ts_s: float,
+    ) -> Optional[TelemetryEvent]:
+        """Account one served request; returns the alert edge, if any.
+
+        Emits ``slo_burn`` when the tenant's windowed burn rate crosses
+        the alert threshold from below, and ``slo_recovered`` when it
+        crosses back; in between, sustained burn stays silent (the alert
+        is a state transition, not a per-request siren).
+        """
+        violated = latency_ms > self.policy.latency_target_ms
+        with self._lock:
+            state = self._tenants.get(tenant)
+            if state is None:
+                state = _TenantState(self.policy.window)
+                self._tenants[tenant] = state
+            if (
+                len(state.window) == self.policy.window
+                and state.window[0]
+            ):
+                state.window_violations -= 1
+            state.window.append(violated)
+            if violated:
+                state.window_violations += 1
+                state.violations += 1
+            state.requests += 1
+            burn = self._burn_rate(state)
+            eligible = len(state.window) >= self.policy.min_samples
+            should_alert = (
+                eligible and burn >= self.policy.burn_alert_rate
+            )
+            edge: Optional[str] = None
+            if should_alert and not state.alerting:
+                state.alerting = True
+                edge = "slo_burn"
+            elif state.alerting and not should_alert:
+                state.alerting = False
+                edge = "slo_recovered"
+            if edge is None:
+                return None
+            attributes = {
+                "burn_rate": burn,
+                "window_requests": len(state.window),
+                "window_violations": state.window_violations,
+                "latency_target_ms": self.policy.latency_target_ms,
+                "objective": self.policy.objective,
+            }
+        if self.events is not None:
+            return self.events.emit(
+                edge, ts_s, tenant=tenant, attributes=attributes
+            )
+        return TelemetryEvent(
+            name=edge,
+            ts_s=ts_s,
+            clock="wall",
+            tenant=tenant,
+            attributes=attributes,
+        )
+
+    def _burn_rate(self, state: _TenantState) -> float:
+        if not state.window:
+            return 0.0
+        fraction = state.window_violations / len(state.window)
+        return fraction / self.policy.error_budget
+
+    def status(self, tenant: str) -> SloStatus:
+        """One tenant's current accounting (zeros when unseen)."""
+        with self._lock:
+            state = self._tenants.get(tenant)
+            if state is None:
+                return SloStatus(tenant, 0, 0, 0, 0, 0.0, False)
+            return SloStatus(
+                tenant=tenant,
+                requests=state.requests,
+                violations=state.violations,
+                window_requests=len(state.window),
+                window_violations=state.window_violations,
+                burn_rate=self._burn_rate(state),
+                alerting=state.alerting,
+            )
+
+    def statuses(self) -> Tuple[SloStatus, ...]:
+        """Every tracked tenant's status, sorted by tenant name."""
+        with self._lock:
+            tenants = sorted(self._tenants)
+        return tuple(self.status(tenant) for tenant in tenants)
+
+    def snapshot(self) -> List[Dict[str, object]]:
+        """JSON-ready per-tenant statuses (sorted by tenant)."""
+        return [status.to_dict() for status in self.statuses()]

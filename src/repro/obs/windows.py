@@ -1,0 +1,320 @@
+"""Deterministic rolling-window aggregations for the telemetry plane.
+
+The session-scoped :class:`~repro.obs.metrics.MetricsRegistry` answers
+"how much, in total?"; these instruments answer "how much, *when*?" --
+request rates, windowed latency quantiles, and occupancy levels as they
+evolve over a run.  Each observation carries an explicit timestamp in
+one of the simulator's two clock domains:
+
+- ``clock="sim"`` -- the simulated cluster clock (engine and cluster
+  metrics), where window contents are a pure function of the seeded
+  run;
+- ``clock="wall"`` -- real wall time (planner and serving metrics),
+  where window *shapes* are stable but values depend on machine speed.
+
+Observations land in fixed-width buckets (``floor(ts / window_s)``).
+Every per-bucket aggregate is **order-independent**: counts and min/max
+commute trivially, sums are computed with :func:`math.fsum` (exact, so
+addition order cannot perturb the float), and quantiles are taken over
+the sorted bucket contents.  A workload recorded serially and the same
+workload recorded from many threads therefore produce byte-identical
+snapshots -- the contract the property suite pins, and the windowed
+analog of the tracer's canonical-span-tree guarantee.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "CLOCKS",
+    "LabelSet",
+    "WindowedCounter",
+    "WindowedGauge",
+    "WindowedHistogram",
+    "exact_quantile",
+    "labels_key",
+    "normalize_labels",
+]
+
+#: The two clock domains windowed instruments record against.
+CLOCKS = ("wall", "sim")
+
+#: Label sets are canonicalized to a sorted tuple of (key, value) pairs.
+LabelSet = Tuple[Tuple[str, str], ...]
+
+
+def labels_key(labels: LabelSet) -> str:
+    """The canonical ``{k="v",...}`` rendering of a label set.
+
+    Used both as the instrument-registry key suffix and (identically)
+    in the Prometheus exposition, so a series has exactly one spelling
+    everywhere.
+    """
+    if not labels:
+        return ""
+    inner = ",".join(f'{key}="{value}"' for key, value in labels)
+    return "{" + inner + "}"
+
+
+def normalize_labels(
+    labels: Optional[Sequence[Tuple[str, str]]],
+) -> LabelSet:
+    """Sorted, deduplicated, stringified label pairs."""
+    if not labels:
+        return ()
+    return tuple(
+        sorted({str(key): str(value) for key, value in labels}.items())
+    )
+
+
+def exact_quantile(ordered: Sequence[float], q: float) -> float:
+    """Nearest-rank quantile of an already-sorted sequence."""
+    if not ordered:
+        return math.nan
+    rank = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+    return ordered[rank]
+
+
+class _WindowedInstrument:
+    """Shared bucketing machinery: name, labels, clock, width, lock."""
+
+    __slots__ = ("name", "labels", "clock", "window_s", "_lock")
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelSet,
+        clock: str,
+        window_s: float,
+    ) -> None:
+        if clock not in CLOCKS:
+            raise ValueError(
+                f"clock must be one of {CLOCKS}, got {clock!r}"
+            )
+        if window_s <= 0:
+            raise ValueError(f"window_s must be > 0, got {window_s}")
+        self.name = name
+        self.labels = labels
+        self.clock = clock
+        self.window_s = window_s
+        self._lock = threading.Lock()
+
+    @property
+    def series(self) -> str:
+        """The fully qualified series name (name plus rendered labels)."""
+        return self.name + labels_key(self.labels)
+
+    def bucket_of(self, ts_s: float) -> int:
+        """The window index ``ts_s`` falls into."""
+        return math.floor(ts_s / self.window_s)
+
+    def _meta(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "labels": {key: value for key, value in self.labels},
+            "clock": self.clock,
+            "window_s": self.window_s,
+        }
+
+
+class WindowedCounter(_WindowedInstrument):
+    """A monotonically increasing count, bucketed by timestamp."""
+
+    __slots__ = ("_buckets", "_total")
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelSet = (),
+        clock: str = "wall",
+        window_s: float = 1.0,
+    ) -> None:
+        super().__init__(name, labels, clock, window_s)
+        self._buckets: Dict[int, int] = {}
+        self._total = 0
+
+    def inc(self, amount: int = 1, *, ts_s: float) -> None:
+        """Add ``amount`` (>= 0) at timestamp ``ts_s``."""
+        if amount < 0:
+            raise ValueError(
+                f"windowed counter {self.name!r} cannot decrease "
+                f"(got {amount})"
+            )
+        bucket = self.bucket_of(ts_s)
+        with self._lock:
+            self._buckets[bucket] = self._buckets.get(bucket, 0) + amount
+            self._total += amount
+
+    @property
+    def total(self) -> int:
+        """The all-time count across every window."""
+        with self._lock:
+            return self._total
+
+    def snapshot(self, last: Optional[int] = None) -> Dict[str, object]:
+        """JSON-ready bucket-by-bucket dump (most recent ``last``)."""
+        with self._lock:
+            buckets = dict(self._buckets)
+            total = self._total
+        indices = sorted(buckets)
+        if last is not None:
+            indices = indices[-last:]
+        return {
+            **self._meta(),
+            "kind": "counter",
+            "total": total,
+            "windows": [
+                {
+                    "window": index,
+                    "start_s": index * self.window_s,
+                    "count": buckets[index],
+                    "rate_per_s": buckets[index] / self.window_s,
+                }
+                for index in indices
+            ],
+        }
+
+
+class WindowedGauge(_WindowedInstrument):
+    """A sampled level (occupancy, queue depth), bucketed by timestamp.
+
+    Each bucket keeps every sample so min/max/mean are exact and
+    order-independent; "last write wins" is deliberately *not* offered
+    -- under concurrent recording it would depend on thread scheduling.
+    """
+
+    __slots__ = ("_buckets",)
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelSet = (),
+        clock: str = "wall",
+        window_s: float = 1.0,
+    ) -> None:
+        super().__init__(name, labels, clock, window_s)
+        self._buckets: Dict[int, List[float]] = {}
+
+    def record(self, value: float, *, ts_s: float) -> None:
+        """Sample the level at timestamp ``ts_s``."""
+        bucket = self.bucket_of(ts_s)
+        with self._lock:
+            self._buckets.setdefault(bucket, []).append(float(value))
+
+    def snapshot(self, last: Optional[int] = None) -> Dict[str, object]:
+        """JSON-ready per-bucket min/max/mean levels."""
+        with self._lock:
+            buckets = {
+                index: list(values)
+                for index, values in self._buckets.items()
+            }
+        indices = sorted(buckets)
+        if last is not None:
+            indices = indices[-last:]
+        windows = []
+        for index in indices:
+            values = buckets[index]
+            windows.append(
+                {
+                    "window": index,
+                    "start_s": index * self.window_s,
+                    "samples": len(values),
+                    "min": min(values),
+                    "max": max(values),
+                    "mean": math.fsum(values) / len(values),
+                }
+            )
+        return {**self._meta(), "kind": "gauge", "windows": windows}
+
+    def latest(self) -> float:
+        """Mean level of the most recent bucket (NaN when empty)."""
+        with self._lock:
+            if not self._buckets:
+                return math.nan
+            values = self._buckets[max(self._buckets)]
+            return math.fsum(values) / len(values)
+
+
+class WindowedHistogram(_WindowedInstrument):
+    """A distribution per window: exact quantiles, order-independent."""
+
+    __slots__ = ("_buckets",)
+
+    #: Quantiles reported per window and for the cumulative summary.
+    QUANTILES: Tuple[Tuple[str, float], ...] = (
+        ("p50", 0.50),
+        ("p95", 0.95),
+        ("p99", 0.99),
+    )
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelSet = (),
+        clock: str = "wall",
+        window_s: float = 1.0,
+    ) -> None:
+        super().__init__(name, labels, clock, window_s)
+        self._buckets: Dict[int, List[float]] = {}
+
+    def observe(self, value: float, *, ts_s: float) -> None:
+        """Record one observation at timestamp ``ts_s``."""
+        bucket = self.bucket_of(ts_s)
+        with self._lock:
+            self._buckets.setdefault(bucket, []).append(float(value))
+
+    def _copy(self) -> Dict[int, List[float]]:
+        with self._lock:
+            return {
+                index: list(values)
+                for index, values in self._buckets.items()
+            }
+
+    @staticmethod
+    def _summarize(values: List[float]) -> Dict[str, float]:
+        ordered = sorted(values)
+        summary = {
+            "count": float(len(ordered)),
+            "sum": math.fsum(ordered),
+            "min": ordered[0],
+            "max": ordered[-1],
+        }
+        for label, q in WindowedHistogram.QUANTILES:
+            summary[label] = exact_quantile(ordered, q)
+        return summary
+
+    def summary(self) -> Dict[str, float]:
+        """count/sum/min/max/quantiles over *all* windows combined."""
+        buckets = self._copy()
+        values = [v for index in sorted(buckets) for v in buckets[index]]
+        if not values:
+            return {"count": 0.0}
+        return self._summarize(values)
+
+    def snapshot(self, last: Optional[int] = None) -> Dict[str, object]:
+        """JSON-ready per-window distributions plus the cumulative one."""
+        buckets = self._copy()
+        indices = sorted(buckets)
+        all_values = [v for index in indices for v in buckets[index]]
+        if last is not None:
+            indices = indices[-last:]
+        return {
+            **self._meta(),
+            "kind": "histogram",
+            "summary": (
+                self._summarize(all_values)
+                if all_values
+                else {"count": 0.0}
+            ),
+            "windows": [
+                {
+                    "window": index,
+                    "start_s": index * self.window_s,
+                    **self._summarize(buckets[index]),
+                }
+                for index in indices
+            ],
+        }

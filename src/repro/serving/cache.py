@@ -28,10 +28,13 @@ from __future__ import annotations
 
 import hashlib
 import threading
+import time
 from collections import OrderedDict
-from typing import Dict, List, Optional, TypeVar
+from typing import Callable, Dict, List, Optional, TypeVar
 
+from repro.obs.events import EventLog
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import AttrValue
 
 __all__ = [
     "ShardedPlanCache",
@@ -67,6 +70,8 @@ class ShardedPlanCache:
         shard_capacity: int = 64,
         metrics: Optional[MetricsRegistry] = None,
         prefix: str = "serving.cache",
+        events: Optional[EventLog] = None,
+        now: Optional[Callable[[], float]] = None,
     ) -> None:
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
@@ -76,6 +81,11 @@ class ShardedPlanCache:
             )
         self.shard_capacity = shard_capacity
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Evictions additionally land as ``cache_evict`` events here
+        #: (timestamped by ``now``, the plane's wall clock when the
+        #: service wires it).
+        self.events = events
+        self._now = now if now is not None else time.perf_counter
         self._shards: List[_Shard] = [_Shard() for _ in range(shards)]
         self._hits = self.metrics.counter(f"{prefix}.hits")
         self._misses = self.metrics.counter(f"{prefix}.misses")
@@ -157,6 +167,7 @@ class ShardedPlanCache:
             self._entries.add(1.0 - evicted)
             if evicted:
                 self._evictions.inc(evicted)
+                self._emit_evict(evicted, "capacity", key)
         return fresh
 
     def clear(self) -> None:
@@ -169,6 +180,20 @@ class ShardedPlanCache:
         if dropped:
             self._evictions.inc(dropped)
             self._entries.add(-float(dropped))
+            self._emit_evict(dropped, "clear", "")
+
+    def _emit_evict(self, count: int, reason: str, key: str) -> None:
+        if self.events is None:
+            return
+        attributes: Dict[str, AttrValue] = {
+            "count": count,
+            "reason": reason,
+        }
+        if key:
+            # The key whose insert forced the eviction, not the victim:
+            # enough to find the hot shard without dumping plan keys.
+            attributes["inserted_key"] = key
+        self.events.emit("cache_evict", self._now(), attributes=attributes)
 
     # -- introspection -----------------------------------------------------
 

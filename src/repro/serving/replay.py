@@ -192,6 +192,10 @@ class ReplayReport:
     #: The service cache's counter snapshot (empty when cache is off).
     cache: Dict[str, object]
     responses: Tuple[PlanResponse, ...]
+    #: Per-tenant accounting, one dict per tenant, sorted by tenant
+    #: name: completed/rejected/cache_hits/coalesced counts plus
+    #: latency quantiles over that tenant's completed requests.
+    tenants: Tuple[Dict[str, object], ...] = ()
 
     def to_json_dict(self) -> Dict[str, object]:
         """The JSON payload ``BENCH_serving.json`` embeds per trace."""
@@ -207,7 +211,42 @@ class ReplayReport:
             "latency_ms": dict(self.latency_ms),
             "queue_ms": dict(self.queue_ms),
             "cache": dict(self.cache),
+            "tenants": [dict(row) for row in self.tenants],
         }
+
+
+def _tenant_rows(
+    responses: Sequence[PlanResponse],
+    rejected_by_tenant: Dict[str, int],
+) -> Tuple[Dict[str, object], ...]:
+    """Per-tenant replay accounting, sorted by tenant name.
+
+    A tenant appears if it completed *or* was rejected -- a tenant
+    whose every request bounced off admission control still shows up,
+    with zero completions and its rejection count.
+    """
+    by_tenant: Dict[str, List[PlanResponse]] = {}
+    for response in responses:
+        by_tenant.setdefault(response.request.tenant, []).append(
+            response
+        )
+    tenants = sorted(set(by_tenant) | set(rejected_by_tenant))
+    rows: List[Dict[str, object]] = []
+    for tenant in tenants:
+        served = by_tenant.get(tenant, [])
+        rows.append(
+            {
+                "tenant": tenant,
+                "completed": len(served),
+                "rejected": rejected_by_tenant.get(tenant, 0),
+                "cache_hits": sum(1 for r in served if r.cache_hit),
+                "coalesced": sum(1 for r in served if r.coalesced),
+                "latency_ms": _quantiles_ms(
+                    [r.latency_ms for r in served]
+                ),
+            }
+        )
+    return tuple(rows)
 
 
 def replay(
@@ -230,6 +269,7 @@ def replay(
         raise ValueError(f"time_scale must be >= 0, got {time_scale}")
     futures = []
     rejected = 0
+    rejected_by_tenant: Dict[str, int] = {}
     started = time.perf_counter()
     for request in requests:
         if time_scale > 0:
@@ -241,6 +281,9 @@ def replay(
             futures.append(service.submit(request))
         except Overloaded:
             rejected += 1
+            rejected_by_tenant[request.tenant] = (
+                rejected_by_tenant.get(request.tenant, 0) + 1
+            )
     responses = tuple(future.result() for future in futures)
     elapsed = time.perf_counter() - started
     latencies = [response.latency_ms for response in responses]
@@ -262,4 +305,5 @@ def replay(
             else {}
         ),
         responses=responses,
+        tenants=_tenant_rows(responses, rejected_by_tenant),
     )

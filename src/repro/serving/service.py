@@ -49,6 +49,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 from repro.catalog.queries import Query
 from repro.core.pareto import PlanObjective
 from repro.core.raqo import RaqoPlanner
+from repro.obs.slo import SloPolicy, SloTracker
 from repro.obs.tracing import SpanHandle, Tracer
 from repro.planner.cost_interface import PlanningResult
 from repro.serving.cache import ShardedPlanCache
@@ -103,6 +104,9 @@ class ServiceConfig:
     #: fingerprint, so services (tenants) with different objectives
     #: never share a cached plan.
     objective: Optional[PlanObjective] = None
+    #: Per-tenant latency SLO to track (burn-rate alerts land in the
+    #: session's event log); ``None`` disables SLO accounting.
+    slo: Optional[SloPolicy] = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -207,11 +211,22 @@ class OptimizerService:
         self.session = session
         self.config = config if config is not None else ServiceConfig()
         self.metrics = session.metrics
+        #: The session's telemetry plane: the service lands per-tenant
+        #: windowed series, admission/rejection/coalesce events, and
+        #: SLO burn alerts on it.
+        self.telemetry = session.telemetry
+        self.slo: Optional[SloTracker] = (
+            self.telemetry.slo_tracker(self.config.slo)
+            if self.config.slo is not None
+            else None
+        )
         self.cache: Optional[ShardedPlanCache] = (
             ShardedPlanCache(
                 shards=self.config.cache_shards,
                 shard_capacity=self.config.cache_shard_capacity,
                 metrics=session.metrics,
+                events=self.telemetry.events,
+                now=self.telemetry.wall_now,
             )
             if self.config.cache_enabled
             else None
@@ -364,11 +379,35 @@ class OptimizerService:
                 self._queue.put_nowait(ticket)
             except Full:
                 self.metrics.counter("serving.rejected").inc()
+                now = self.telemetry.wall_now()
+                self.telemetry.windowed_counter(
+                    "serving.tenant.rejected",
+                    [("tenant", request.tenant)],
+                ).inc(ts_s=now)
+                self.telemetry.events.emit(
+                    "rejection",
+                    now,
+                    tenant=request.tenant,
+                    attributes={
+                        "request_id": request.request_id,
+                        "queue_depth": self._queue.qsize(),
+                        "max_queue": self.config.max_queue,
+                    },
+                )
                 raise Overloaded(
                     queue_depth=self._queue.qsize(),
                     max_queue=self.config.max_queue,
                 ) from None
         self.metrics.counter("serving.admitted").inc()
+        self.telemetry.windowed_counter(
+            "serving.tenant.admitted", [("tenant", request.tenant)]
+        ).inc(ts_s=self.telemetry.wall_now())
+        self.telemetry.events.emit(
+            "admission",
+            self.telemetry.wall_now(),
+            tenant=request.tenant,
+            attributes={"request_id": request.request_id},
+        )
         return ticket.future
 
     def plan(
@@ -393,6 +432,15 @@ class OptimizerService:
         """Peak concurrent optimizer runs observed so far."""
         with self._lock:
             return self._planning_high_water
+
+    def exposition(self) -> str:
+        """The session's current Prometheus text exposition.
+
+        What a scrape of ``repro serve --metrics-addr`` returns:
+        lifetime registry instruments plus the telemetry plane's
+        windowed series, per-tenant SLO burn rates, and drift state.
+        """
+        return self.session.exposition()
 
     def cache_key(self, query: Query) -> str:
         """The cross-tenant cache key: query structure + planner config.
@@ -487,7 +535,23 @@ class OptimizerService:
                 self.metrics.counter("serving.coalesced").inc(
                     len(extras)
                 )
+                self._emit_coalesce(key, extras, kind="batch")
             self._serve_group(planner, key, tickets)
+
+    def _emit_coalesce(
+        self, key: str, tickets: Sequence[_Ticket], kind: str
+    ) -> None:
+        """One ``coalesce`` event per piggybacked group of requests."""
+        self.telemetry.events.emit(
+            "coalesce",
+            self.telemetry.wall_now(),
+            tenant=tickets[0].request.tenant,
+            attributes={
+                "cache_key": key,
+                "kind": kind,
+                "count": len(tickets),
+            },
+        )
 
     def _serve_group(
         self, planner: RaqoPlanner, key: str, tickets: List[_Ticket]
@@ -506,16 +570,17 @@ class OptimizerService:
                 # Count only tickets not already counted as within-batch
                 # duplicates, so ``serving.coalesced`` equals exactly
                 # the number of responses with ``coalesced=True``.
-                newly = sum(
-                    1 for ticket in tickets if not ticket.coalesced
-                )
+                newly = [
+                    ticket for ticket in tickets if not ticket.coalesced
+                ]
                 for ticket in tickets:
                     ticket.coalesced = True
                 entry.waiters.extend(tickets)
                 if newly:
                     self.metrics.counter("serving.coalesced").inc(
-                        newly
+                        len(newly)
                     )
+                    self._emit_coalesce(key, newly, kind="inflight")
                 return
             # Double-check under the lock: the owner that just finished
             # inserts into the cache *before* deregistering, so a miss
@@ -599,6 +664,7 @@ class OptimizerService:
         cache_hit: bool,
     ) -> None:
         done = time.perf_counter()
+        now = self.telemetry.wall_now()
         tracer = self._tracer
         for ticket in tickets:
             latency_ms = (done - ticket.enqueued_at) * 1000.0
@@ -616,6 +682,20 @@ class OptimizerService:
             )
             self.metrics.histogram("serving.queue_ms").observe(queue_ms)
             self.metrics.counter("serving.completed").inc()
+            tenant = ticket.request.tenant
+            tenant_labels = [("tenant", tenant)]
+            self.telemetry.windowed_histogram(
+                "serving.tenant.latency_ms", tenant_labels
+            ).observe(latency_ms, ts_s=now)
+            self.telemetry.windowed_counter(
+                "serving.tenant.completed", tenant_labels
+            ).inc(ts_s=now)
+            if cache_hit:
+                self.telemetry.windowed_counter(
+                    "serving.tenant.cache_hits", tenant_labels
+                ).inc(ts_s=now)
+            if self.slo is not None:
+                self.slo.record(tenant, latency_ms, ts_s=now)
             ticket.future.set_result(
                 PlanResponse(
                     request=ticket.request,

@@ -39,6 +39,7 @@ from repro.engine.executor import execute_plan
 from repro.engine.profiles import EngineProfile, HIVE_PROFILE
 from repro.faults.model import FaultPlan
 from repro.faults.recovery import RecoveryPolicy
+from repro.obs.telemetry import TelemetryPlane
 from repro.obs.tracing import SpanHandle, Tracer
 
 
@@ -197,6 +198,7 @@ class WorkloadRunner:
         default_resources: ResourceConfiguration = DEFAULT_QO_RESOURCES,
         faults: Optional[FaultPlan] = None,
         recovery: Optional[RecoveryPolicy] = None,
+        telemetry: Optional[TelemetryPlane] = None,
     ) -> None:
         self.planner = planner
         self.profile = profile
@@ -206,6 +208,14 @@ class WorkloadRunner:
         #: serial ones.
         self.faults = faults
         self.recovery = recovery
+        #: Shared across thread workers too: every windowed record
+        #: carries an explicit sim timestamp (each query's plan clock
+        #: starts at 0), and window aggregates are order-independent,
+        #: so serial and thread-parallel runs produce byte-identical
+        #: sim-domain snapshots.  Process pools skip live telemetry --
+        #: the plane is not picklable -- and rely on span harvesting
+        #: (:meth:`repro.obs.events.EventLog.harvest_tracer`) instead.
+        self.telemetry = telemetry
 
     def _run_one(
         self, planner: RaqoPlanner, query: Query
@@ -228,6 +238,7 @@ class WorkloadRunner:
             faults=faults,
             recovery=self.recovery,
             tracer=planner.tracer,
+            telemetry=self.telemetry,
         )
         return QueryOutcome(
             query=query,

@@ -1,0 +1,163 @@
+"""Acceptance: the telemetry plane end to end, as the issue specifies.
+
+One session plans, executes (with faults), serves a replay under an
+SLO, and exports everything -- the stats file must be valid Prometheus
+exposition, the event log must contain per-tenant SLO burn events and
+harvested engine fault events, and the drift monitor must see the
+session's cost-error stream.
+"""
+
+import json
+
+import pytest
+
+from repro.api import RaqoSession
+from repro.obs.prometheus import parse_exposition
+from repro.obs.slo import SloPolicy
+from repro.obs.tracing import Tracer
+from repro.serving import ReplayConfig, ServiceConfig, build_requests, replay
+
+
+@pytest.fixture(scope="module")
+def exported(tmp_path_factory):
+    tmp_path = tmp_path_factory.mktemp("telemetry")
+    session = RaqoSession(scale_factor=10, tracer=Tracer())
+    # Simulated executions (with faults, so span harvesting has fault
+    # events to lift) feed the sim-clock series and the drift monitor.
+    session.run("Q3", faults="seed=7,oom=0.9,preempt=0.5")
+    session.run("Q12", faults="seed=4,oom=0.9,straggle=0.5")
+    # A served replay under an unmeetable SLO feeds the wall-clock
+    # series and burns every tenant's error budget.
+    service = session.serve(
+        ServiceConfig(
+            workers=2,
+            slo=SloPolicy(
+                latency_target_ms=0.0, window=10, min_samples=2
+            ),
+        )
+    )
+    config = ReplayConfig(num_requests=24, num_tenants=3, seed=0)
+    requests = build_requests(config, catalog=session.catalog)
+    with service:
+        report = replay(service, requests)
+    stats_path = tmp_path / "stats.prom"
+    events_path = tmp_path / "events.jsonl"
+    session.write_stats_file(stats_path)
+    count = session.write_events(events_path)
+    return session, report, stats_path, events_path, count
+
+
+class TestStatsFile:
+    def test_is_valid_prometheus_exposition(self, exported):
+        _, report, stats_path, _, _ = exported
+        parsed = parse_exposition(
+            stats_path.read_text(encoding="utf-8")
+        )
+        assert (
+            parsed.value("raqo_serving_completed_total")
+            == report.completed
+        )
+
+    def test_covers_both_clock_domains(self, exported):
+        _, _, stats_path, _, _ = exported
+        parsed = parse_exposition(
+            stats_path.read_text(encoding="utf-8")
+        )
+        names = {sample.name for sample in parsed.samples}
+        # Sim-clock execution series and wall-clock serving series.
+        assert "raqo_execution_stages_total" in names
+        assert "raqo_serving_tenant_latency_ms_count" in names
+        # SLO state rode along.
+        assert "raqo_slo_burn_rate" in names
+
+    def test_per_tenant_label_sets(self, exported):
+        _, _, stats_path, _, _ = exported
+        parsed = parse_exposition(
+            stats_path.read_text(encoding="utf-8")
+        )
+        tenants = {
+            sample.labels_dict["tenant"]
+            for sample in parsed.series(
+                "raqo_serving_tenant_completed_total"
+            )
+        }
+        assert tenants == {"tenant-0", "tenant-1", "tenant-2"}
+
+
+class TestEventLog:
+    @staticmethod
+    def _events(events_path):
+        return [
+            json.loads(line)
+            for line in events_path.read_text().splitlines()
+        ]
+
+    def test_written_count_matches_lines(self, exported):
+        _, _, _, events_path, count = exported
+        assert len(self._events(events_path)) == count > 0
+
+    def test_slo_burn_events_per_tenant(self, exported):
+        _, _, _, events_path, _ = exported
+        burns = [
+            event
+            for event in self._events(events_path)
+            if event["name"] == "slo_burn"
+        ]
+        # Target 0 ms: every tenant burns its budget exactly once.
+        assert sorted(event["tenant"] for event in burns) == [
+            "tenant-0",
+            "tenant-1",
+            "tenant-2",
+        ]
+
+    def test_engine_fault_events_are_harvested(self, exported):
+        _, _, _, events_path, _ = exported
+        events = self._events(events_path)
+        harvested = [
+            event
+            for event in events
+            if event["clock"] == "sim" and event["span_id"]
+        ]
+        assert harvested, "no span-harvested events in the log"
+        names = {event["name"] for event in events}
+        # The fault plans above inject OOMs deterministically.
+        assert "fault" in names
+
+    def test_admissions_recorded(self, exported):
+        _, report, _, events_path, _ = exported
+        admissions = [
+            event
+            for event in self._events(events_path)
+            if event["name"] == "admission"
+        ]
+        assert len(admissions) == report.completed
+
+
+class TestDriftMonitor:
+    def test_saw_the_cost_error_stream(self, exported):
+        session = exported[0]
+        status = session.telemetry.drift.status()
+        assert status.observations > 0
+
+    def test_windowed_cost_errors_recorded(self, exported):
+        session = exported[0]
+        histograms = session.telemetry_snapshot(clock="sim")[
+            "histograms"
+        ]
+        assert (
+            histograms["execution.cost_error_rel"]["summary"]["count"]
+            > 0
+        )
+
+
+class TestWriteEventsIdempotence:
+    def test_second_export_does_not_duplicate_harvest(
+        self, exported, tmp_path
+    ):
+        session, _, _, events_path, count = exported
+        again = tmp_path / "events2.jsonl"
+        assert session.write_events(again) == count
+        assert (
+            again.read_text().splitlines()
+            == events_path.read_text().splitlines()
+        )

@@ -1,0 +1,104 @@
+"""Cost-model drift monitoring: baselines, ratios, edge alerts."""
+
+import math
+
+import pytest
+
+from repro.obs.drift import DriftConfig, DriftMonitor
+from repro.obs.events import EventLog
+
+
+def _monitor(**config):
+    log = EventLog()
+    defaults = dict(
+        baseline_window=4, window=4, threshold=0.5, min_samples=2
+    )
+    defaults.update(config)
+    return DriftMonitor(DriftConfig(**defaults), events=log), log
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="baseline_window"):
+            DriftConfig(baseline_window=0)
+        with pytest.raises(ValueError, match="threshold"):
+            DriftConfig(threshold=0.0)
+
+
+class TestBaseline:
+    def test_first_observations_freeze_the_baseline(self):
+        monitor, _ = _monitor()
+        for error in (0.1, 0.2, 0.3, 0.4):
+            assert monitor.record(error, ts_s=0.0) is None
+        status = monitor.status()
+        assert status.baseline_mean == pytest.approx(0.25)
+        assert math.isnan(status.rolling_mean)
+        assert status.drifting is False
+
+    def test_non_finite_errors_are_ignored(self):
+        monitor, _ = _monitor()
+        assert monitor.record(math.inf, ts_s=0.0) is None
+        assert monitor.record(math.nan, ts_s=0.0) is None
+        assert monitor.status().observations == 0
+
+
+class TestDriftAlerts:
+    def test_drift_fires_on_the_edge_only(self):
+        monitor, log = _monitor()
+        for _ in range(4):
+            monitor.record(0.1, ts_s=0.0)
+        # Rolling mean 0.4 vs baseline 0.1 => ratio 4.0 >= 1.5.
+        assert monitor.record(0.4, ts_s=10.0) is None  # min_samples
+        edge = monitor.record(0.4, ts_s=11.0)
+        assert edge is not None and edge.name == "cost_model_drift"
+        assert monitor.record(0.4, ts_s=12.0) is None
+        assert log.counts() == {"cost_model_drift": 1}
+        assert log.events()[0].clock == "sim"
+        assert log.events()[0].attributes["ratio"] == pytest.approx(4.0)
+
+    def test_recalibration_event_on_recovery(self):
+        monitor, log = _monitor()
+        for _ in range(4):
+            monitor.record(0.1, ts_s=0.0)
+        for ts in (1.0, 2.0):
+            monitor.record(0.4, ts_s=ts)
+        # Four calibrated observations flush the rolling window.
+        edges = [
+            monitor.record(0.1, ts_s=3.0 + i) for i in range(4)
+        ]
+        names = [e.name for e in edges if e is not None]
+        assert names == ["cost_model_recalibrated"]
+        assert log.counts() == {
+            "cost_model_drift": 1,
+            "cost_model_recalibrated": 1,
+        }
+
+    def test_zero_baseline_stays_finite(self):
+        monitor, _ = _monitor()
+        for _ in range(4):
+            monitor.record(0.0, ts_s=0.0)
+        monitor.record(0.5, ts_s=1.0)
+        monitor.record(0.5, ts_s=2.0)
+        status = monitor.status()
+        assert math.isfinite(status.ratio)
+        assert status.drifting is True
+
+
+class TestStatus:
+    def test_snapshot_nans_become_nulls(self):
+        monitor = DriftMonitor()
+        snap = monitor.snapshot()
+        assert snap["baseline_mean"] is None
+        assert snap["rolling_mean"] is None
+        assert snap["ratio"] is None
+        assert snap["drifting"] is False
+
+    def test_determinism(self):
+        def run():
+            monitor, log = _monitor()
+            errors = [0.1] * 4 + [0.3, 0.35, 0.1, 0.1, 0.1, 0.1, 0.4]
+            for index, error in enumerate(errors):
+                monitor.record(error, ts_s=float(index))
+            return [(e.name, e.seq) for e in log.events()]
+
+        assert run() == run()

@@ -1,0 +1,104 @@
+"""The unified event log: ordering, JSONL export, span harvesting."""
+
+import json
+
+import pytest
+
+from repro.obs.events import EventLog, TelemetryEvent
+from repro.obs.tracing import Tracer
+
+
+class TestEmit:
+    def test_rejects_unknown_clock(self):
+        log = EventLog()
+        with pytest.raises(ValueError, match="clock"):
+            log.emit("x", 0.0, clock="cpu")
+
+    def test_sequences_events(self):
+        log = EventLog()
+        first = log.emit("a", 1.0)
+        second = log.emit("b", 0.5)
+        assert (first.seq, second.seq) == (0, 1)
+        assert len(log) == 2
+
+    def test_export_order_is_deterministic(self):
+        log = EventLog()
+        log.emit("late", 2.0, clock="wall")
+        log.emit("sim-event", 100.0, clock="sim")
+        log.emit("early", 1.0, clock="wall")
+        names = [event.name for event in log.events()]
+        # sim sorts before wall (clock domain first), then timestamp.
+        assert names == ["sim-event", "early", "late"]
+
+    def test_counts_by_name(self):
+        log = EventLog()
+        log.emit("a", 0.0)
+        log.emit("a", 1.0)
+        log.emit("b", 2.0)
+        assert log.counts() == {"a": 2, "b": 1}
+
+
+class TestJsonl:
+    def test_round_trips_through_json(self, tmp_path):
+        log = EventLog()
+        log.emit(
+            "rejection",
+            1.5,
+            tenant="acme",
+            attributes={"queue_depth": 4, "request_id": 7},
+        )
+        path = tmp_path / "events.jsonl"
+        assert log.write_jsonl(path) == 1
+        (line,) = path.read_text().splitlines()
+        record = json.loads(line)
+        assert record["name"] == "rejection"
+        assert record["tenant"] == "acme"
+        assert record["attributes"] == {
+            "queue_depth": 4,
+            "request_id": 7,
+        }
+
+    def test_attributes_serialize_sorted(self):
+        event = TelemetryEvent(
+            name="x",
+            ts_s=0.0,
+            clock="wall",
+            attributes={"b": 1, "a": 2},
+        )
+        assert list(event.to_dict()["attributes"]) == ["a", "b"]
+
+
+class TestHarvest:
+    @staticmethod
+    def _traced():
+        tracer = Tracer()
+        with tracer.span("stage", kind="engine") as span:
+            span.set_sim_window(0.0, 10.0)
+            span.event("fault", sim_time_s=4.0, attributes={"kind": "oom"})
+            span.event("retry", sim_time_s=5.0)
+        return tracer
+
+    def test_lifts_span_events_with_span_ids(self):
+        log = EventLog()
+        assert log.harvest_tracer(self._traced()) == 2
+        events = log.events()
+        assert [event.name for event in events] == ["fault", "retry"]
+        assert all(event.clock == "sim" for event in events)
+        assert all(event.span_id for event in events)
+        assert events[0].ts_s == 4.0
+        assert events[0].attributes["kind"] == "oom"
+
+    def test_harvest_is_idempotent(self):
+        log = EventLog()
+        tracer = self._traced()
+        assert log.harvest_tracer(tracer) == 2
+        assert log.harvest_tracer(tracer) == 0
+        assert len(log) == 2
+
+    def test_clear_resets_harvest_bookkeeping(self):
+        log = EventLog()
+        tracer = self._traced()
+        log.harvest_tracer(tracer)
+        log.clear()
+        assert len(log) == 0
+        assert log.harvest_tracer(tracer) == 2

@@ -1,0 +1,142 @@
+"""Meta-test: every emitted metric name is documented, and vice versa.
+
+AST-scans ``src/`` for instrument registrations and compares the
+emitted names against ``docs/metrics_catalog.md``.  Two failure modes:
+
+- **undocumented** -- a name emitted in the source is missing from the
+  catalog (you added a metric; document it);
+- **stale** -- a catalog entry no longer corresponds to anything the
+  source emits (you removed or renamed a metric; prune the doc).
+
+Names built with f-strings (the plan cache's ``f"{prefix}.hits"``)
+are matched structurally: the constant fragments become a pattern that
+catalog entries may satisfy.
+"""
+
+import ast
+import re
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+SRC = REPO / "src"
+CATALOG = REPO / "docs" / "metrics_catalog.md"
+
+#: Instrument-registration methods whose first argument is the name.
+INSTRUMENT_METHODS = {
+    "counter",
+    "gauge",
+    "histogram",
+    "windowed_counter",
+    "windowed_gauge",
+    "windowed_histogram",
+}
+
+#: Exposition-only gauges register through prometheus_name(...) calls.
+NAME_FUNCTIONS = {"prometheus_name"}
+
+
+def _fstring_pattern(node: ast.JoinedStr) -> str:
+    """A regex matching every possible rendering of the f-string."""
+    parts = []
+    for piece in node.values:
+        if isinstance(piece, ast.Constant):
+            parts.append(re.escape(str(piece.value)))
+        else:
+            parts.append(r"[^\s]+")
+    return "^" + "".join(parts) + "$"
+
+
+def scan_emitted():
+    """(literal names, f-string patterns) registered under ``src/``."""
+    literals = set()
+    patterns = set()
+    for path in sorted(SRC.rglob("*.py")):
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            func = node.func
+            method = (
+                func.attr
+                if isinstance(func, ast.Attribute)
+                else func.id
+                if isinstance(func, ast.Name)
+                else None
+            )
+            if method is None:
+                continue
+            first = node.args[0]
+            if method in INSTRUMENT_METHODS | NAME_FUNCTIONS:
+                if isinstance(first, ast.Constant) and isinstance(
+                    first.value, str
+                ):
+                    literals.add(first.value)
+                elif isinstance(first, ast.JoinedStr):
+                    patterns.add(_fstring_pattern(first))
+            elif method == "increment_many" and isinstance(
+                first, ast.Dict
+            ):
+                for key in first.keys:
+                    if isinstance(key, ast.Constant) and isinstance(
+                        key.value, str
+                    ):
+                        literals.add(key.value)
+    # prometheus_name() is also applied to already-collected dotted
+    # names inside the encoder; only dotted literals are metric names.
+    literals = {name for name in literals if "." in name}
+    return literals, patterns
+
+
+def documented_names():
+    """Backticked dotted names from the catalog's tables."""
+    text = CATALOG.read_text(encoding="utf-8")
+    names = set()
+    for line in text.splitlines():
+        if not line.startswith("|"):
+            continue
+        match = re.match(r"\|\s*`([a-z0-9_.]+)`\s*\|", line)
+        if match and "." in match.group(1):
+            names.add(match.group(1))
+    return names
+
+
+def test_catalog_exists_and_is_nonempty():
+    assert CATALOG.exists(), f"missing {CATALOG}"
+    assert len(documented_names()) >= 30
+
+
+def test_every_emitted_metric_is_documented():
+    literals, _ = scan_emitted()
+    documented = documented_names()
+    undocumented = sorted(literals - documented)
+    assert not undocumented, (
+        "metrics emitted in src/ but missing from "
+        f"docs/metrics_catalog.md: {undocumented}; document them "
+        "(kind, clock, one-line description)"
+    )
+
+
+def test_no_stale_catalog_entries():
+    literals, patterns = scan_emitted()
+    compiled = [re.compile(pattern) for pattern in patterns]
+    stale = sorted(
+        name
+        for name in documented_names()
+        if name not in literals
+        and not any(regex.match(name) for regex in compiled)
+    )
+    assert not stale, (
+        "docs/metrics_catalog.md lists metrics no longer emitted in "
+        f"src/: {stale}; prune or rename the entries"
+    )
+
+
+def test_fstring_registrations_are_covered():
+    """The dynamic cache prefix resolves to documented names."""
+    _, patterns = scan_emitted()
+    documented = documented_names()
+    for pattern in patterns:
+        regex = re.compile(pattern)
+        assert any(regex.match(name) for name in documented), (
+            f"no catalog entry matches dynamic metric {pattern!r}"
+        )

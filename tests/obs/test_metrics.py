@@ -130,3 +130,46 @@ class TestRegistrySnapshots:
         for thread in threads:
             thread.join()
         assert counter.value == 4000
+
+
+class TestHistogramSummaryConsistency:
+    """Regression: summary() reads everything under one lock snapshot.
+
+    The old implementation computed count/sum from one copy of the
+    values, then re-acquired the lock per quantile against the *live*
+    list -- so a concurrent observer could make ``p50`` describe more
+    observations than ``count``.  Now the whole summary derives from a
+    single copied snapshot.
+    """
+
+    def test_summary_is_internally_consistent_under_writes(self):
+        histogram = MetricsRegistry().histogram("h")
+
+        def writer():
+            # Every observation is 7.0, so any *consistent* summary
+            # must satisfy sum == 7 * count and p50 == p95 == 7.
+            for _ in range(5000):
+                histogram.observe(7.0)
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        while any(thread.is_alive() for thread in threads):
+            summary = histogram.summary()
+            if summary == {"count": 0.0}:
+                continue
+            assert summary["sum"] == 7.0 * summary["count"]
+            assert summary["mean"] == 7.0
+            assert summary["p50"] == 7.0
+            assert summary["p95"] == 7.0
+        for thread in threads:
+            thread.join()
+        assert histogram.summary()["count"] == 20000.0
+
+    def test_summary_quantiles_match_quantile_method(self):
+        histogram = MetricsRegistry().histogram("h")
+        for value in (5.0, 1.0, 9.0, 3.0, 7.0):
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert summary["p50"] == histogram.quantile(0.5)
+        assert summary["p95"] == histogram.quantile(0.95)

@@ -1,0 +1,116 @@
+"""Per-tenant SLO tracking: budgets, burn rates, edge-triggered alerts."""
+
+import pytest
+
+from repro.obs.events import EventLog
+from repro.obs.slo import SloPolicy, SloTracker
+
+
+class TestPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="latency_target_ms"):
+            SloPolicy(latency_target_ms=-1.0)
+        with pytest.raises(ValueError, match="objective"):
+            SloPolicy(latency_target_ms=1.0, objective=0.0)
+        with pytest.raises(ValueError, match="window"):
+            SloPolicy(latency_target_ms=1.0, window=0)
+
+    def test_error_budget_is_complement_of_objective(self):
+        assert SloPolicy(10.0, objective=0.95).error_budget == pytest.approx(
+            0.05
+        )
+
+    def test_perfect_objective_budget_is_floored(self):
+        assert SloPolicy(10.0, objective=1.0).error_budget == 1e-9
+
+
+class TestBurnAlerts:
+    @staticmethod
+    def _tracker(**overrides):
+        policy = SloPolicy(
+            latency_target_ms=10.0,
+            objective=0.5,
+            window=4,
+            min_samples=2,
+            **overrides,
+        )
+        log = EventLog()
+        return SloTracker(policy, events=log), log
+
+    def test_burn_fires_once_on_the_edge(self):
+        tracker, log = self._tracker()
+        # budget 0.5; two violations in a window of two => burn 2.0.
+        assert tracker.record("acme", 50.0, ts_s=0.0) is None
+        edge = tracker.record("acme", 50.0, ts_s=1.0)
+        assert edge is not None and edge.name == "slo_burn"
+        # Sustained burn stays silent: no new event per request.
+        assert tracker.record("acme", 50.0, ts_s=2.0) is None
+        assert log.counts() == {"slo_burn": 1}
+
+    def test_recovery_fires_when_window_drains(self):
+        tracker, log = self._tracker()
+        for ts in (0.0, 1.0):
+            tracker.record("acme", 50.0, ts_s=ts)
+        # Window 4: fast requests push the violations out.
+        edges = [
+            tracker.record("acme", 1.0, ts_s=2.0 + i) for i in range(4)
+        ]
+        recovered = [e for e in edges if e is not None]
+        assert [e.name for e in recovered] == ["slo_recovered"]
+        assert log.counts() == {"slo_burn": 1, "slo_recovered": 1}
+
+    def test_min_samples_gates_alerting(self):
+        policy = SloPolicy(
+            latency_target_ms=10.0,
+            objective=0.5,
+            window=10,
+            min_samples=5,
+        )
+        tracker = SloTracker(policy, events=EventLog())
+        for index in range(4):
+            assert tracker.record("t", 99.0, ts_s=float(index)) is None
+        edge = tracker.record("t", 99.0, ts_s=4.0)
+        assert edge is not None and edge.name == "slo_burn"
+
+    def test_tenants_are_independent(self):
+        tracker, log = self._tracker()
+        tracker.record("fast", 1.0, ts_s=0.0)
+        tracker.record("slow", 50.0, ts_s=0.0)
+        tracker.record("slow", 50.0, ts_s=1.0)
+        assert tracker.status("fast").alerting is False
+        assert tracker.status("slow").alerting is True
+        (event,) = log.events()
+        assert event.tenant == "slow"
+
+
+class TestStatus:
+    def test_unseen_tenant_is_zeroed(self):
+        tracker = SloTracker(SloPolicy(10.0))
+        status = tracker.status("ghost")
+        assert status.requests == 0
+        assert status.burn_rate == 0.0
+        assert status.alerting is False
+
+    def test_statuses_sorted_and_snapshot_json_ready(self):
+        tracker = SloTracker(SloPolicy(10.0))
+        tracker.record("b", 1.0, ts_s=0.0)
+        tracker.record("a", 1.0, ts_s=0.0)
+        assert [s.tenant for s in tracker.statuses()] == ["a", "b"]
+        assert tracker.snapshot()[0]["tenant"] == "a"
+
+    def test_deterministic_event_indices(self):
+        """Same observation sequence => same alert edges, always."""
+
+        def run():
+            tracker = SloTracker(
+                SloPolicy(10.0, objective=0.5, window=4, min_samples=2),
+                events=EventLog(),
+            )
+            edges = []
+            latencies = [50.0, 50.0, 1.0, 1.0, 1.0, 1.0, 50.0, 50.0]
+            for index, latency in enumerate(latencies):
+                event = tracker.record("t", latency, ts_s=float(index))
+                edges.append(None if event is None else event.name)
+            return edges
+
+        assert run() == run()

@@ -1,0 +1,208 @@
+"""Windowed instruments: bucketing, aggregates, order-independence.
+
+The windowed layer's contract is that every per-bucket aggregate is a
+pure function of the *set* of observations, never their order -- the
+substrate of the serial==parallel snapshot byte-identity property.
+"""
+
+import json
+import math
+import random
+import threading
+
+import pytest
+
+from repro.obs.windows import (
+    WindowedCounter,
+    WindowedGauge,
+    WindowedHistogram,
+    exact_quantile,
+    labels_key,
+    normalize_labels,
+)
+
+
+class TestLabels:
+    def test_normalize_sorts_and_stringifies(self):
+        labels = normalize_labels([("b", 2), ("a", "x")])
+        assert labels == (("a", "x"), ("b", "2"))
+
+    def test_normalize_dedups_last_wins(self):
+        labels = normalize_labels([("a", "1"), ("a", "2")])
+        assert labels == (("a", "2"),)
+
+    def test_none_and_empty_are_empty(self):
+        assert normalize_labels(None) == ()
+        assert normalize_labels([]) == ()
+
+    def test_labels_key_rendering(self):
+        assert labels_key(()) == ""
+        assert labels_key((("a", "1"), ("b", "x"))) == '{a="1",b="x"}'
+
+
+class TestExactQuantile:
+    def test_empty_is_nan(self):
+        assert math.isnan(exact_quantile([], 0.5))
+
+    def test_nearest_rank(self):
+        ordered = [1.0, 2.0, 3.0, 4.0]
+        assert exact_quantile(ordered, 0.50) == 2.0
+        assert exact_quantile(ordered, 0.95) == 4.0
+        assert exact_quantile(ordered, 0.0) == 1.0
+        assert exact_quantile(ordered, 1.0) == 4.0
+
+
+class TestWindowedCounter:
+    def test_rejects_bad_clock_and_window(self):
+        with pytest.raises(ValueError, match="clock"):
+            WindowedCounter("c", clock="cpu")
+        with pytest.raises(ValueError, match="window_s"):
+            WindowedCounter("c", window_s=0.0)
+
+    def test_rejects_negative_amounts(self):
+        counter = WindowedCounter("c")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            counter.inc(-1, ts_s=0.0)
+
+    def test_buckets_by_timestamp(self):
+        counter = WindowedCounter("c", window_s=10.0)
+        counter.inc(ts_s=0.0)
+        counter.inc(ts_s=9.999)
+        counter.inc(2, ts_s=10.0)
+        snap = counter.snapshot()
+        assert counter.total == 4
+        assert snap["total"] == 4
+        assert snap["windows"] == [
+            {"window": 0, "start_s": 0.0, "count": 2, "rate_per_s": 0.2},
+            {"window": 1, "start_s": 10.0, "count": 2, "rate_per_s": 0.2},
+        ]
+
+    def test_snapshot_last_caps_trailing_windows(self):
+        counter = WindowedCounter("c", window_s=1.0)
+        for ts in (0.5, 1.5, 2.5):
+            counter.inc(ts_s=ts)
+        windows = counter.snapshot(last=2)["windows"]
+        assert [w["window"] for w in windows] == [1, 2]
+
+    def test_series_includes_labels(self):
+        counter = WindowedCounter(
+            "c", labels=normalize_labels([("tenant", "acme")])
+        )
+        assert counter.series == 'c{tenant="acme"}'
+
+
+class TestWindowedGauge:
+    def test_min_max_mean_per_bucket(self):
+        gauge = WindowedGauge("g", window_s=10.0)
+        for value in (1.0, 3.0, 2.0):
+            gauge.record(value, ts_s=5.0)
+        (window,) = gauge.snapshot()["windows"]
+        assert window["samples"] == 3
+        assert window["min"] == 1.0
+        assert window["max"] == 3.0
+        assert window["mean"] == 2.0
+
+    def test_latest_is_mean_of_most_recent_bucket(self):
+        gauge = WindowedGauge("g", window_s=1.0)
+        assert math.isnan(gauge.latest())
+        gauge.record(10.0, ts_s=0.0)
+        gauge.record(2.0, ts_s=5.0)
+        gauge.record(4.0, ts_s=5.2)
+        assert gauge.latest() == 3.0
+
+
+class TestWindowedHistogram:
+    def test_summary_over_all_windows(self):
+        histogram = WindowedHistogram("h", window_s=1.0)
+        for index in range(1, 101):
+            histogram.observe(float(index), ts_s=index / 50.0)
+        summary = histogram.summary()
+        assert summary["count"] == 100.0
+        assert summary["sum"] == 5050.0
+        assert summary["min"] == 1.0
+        assert summary["max"] == 100.0
+        assert summary["p50"] == 50.0
+        assert summary["p95"] == 95.0
+        assert summary["p99"] == 99.0
+
+    def test_empty_summary(self):
+        assert WindowedHistogram("h").summary() == {"count": 0.0}
+
+    def test_snapshot_has_per_window_distributions(self):
+        histogram = WindowedHistogram("h", window_s=10.0)
+        histogram.observe(1.0, ts_s=0.0)
+        histogram.observe(5.0, ts_s=15.0)
+        snap = histogram.snapshot()
+        assert [w["window"] for w in snap["windows"]] == [0, 1]
+        assert snap["windows"][1]["p50"] == 5.0
+        assert snap["summary"]["count"] == 2.0
+
+
+class TestOrderIndependence:
+    """Shuffled or threaded recording yields byte-identical snapshots."""
+
+    @staticmethod
+    def _observations(count=400, seed=7):
+        rng = random.Random(seed)
+        return [
+            (rng.uniform(0.0, 50.0), rng.uniform(0.1, 100.0))
+            for _ in range(count)
+        ]
+
+    def test_shuffled_observations_snapshot_identically(self):
+        observations = self._observations()
+        shuffled = list(observations)
+        random.Random(11).shuffle(shuffled)
+        snapshots = []
+        for sequence in (observations, shuffled):
+            histogram = WindowedHistogram("h", clock="sim", window_s=5.0)
+            for ts, value in sequence:
+                histogram.observe(value, ts_s=ts)
+            snapshots.append(
+                json.dumps(histogram.snapshot(), sort_keys=True)
+            )
+        assert snapshots[0] == snapshots[1]
+
+    def test_threaded_recording_snapshots_identically(self):
+        observations = self._observations()
+        serial = WindowedHistogram("h", clock="sim", window_s=5.0)
+        for ts, value in observations:
+            serial.observe(value, ts_s=ts)
+
+        threaded = WindowedHistogram("h", clock="sim", window_s=5.0)
+        chunk = len(observations) // 4
+
+        def worker(part):
+            for ts, value in part:
+                threaded.observe(value, ts_s=ts)
+
+        threads = [
+            threading.Thread(
+                target=worker,
+                args=(observations[i * chunk : (i + 1) * chunk],),
+            )
+            for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert json.dumps(serial.snapshot(), sort_keys=True) == json.dumps(
+            threaded.snapshot(), sort_keys=True
+        )
+
+    def test_counter_threaded_totals_reconcile(self):
+        counter = WindowedCounter("c", window_s=1.0)
+
+        def worker():
+            for index in range(500):
+                counter.inc(ts_s=index / 100.0)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        snap = counter.snapshot()
+        assert counter.total == 2000
+        assert sum(w["count"] for w in snap["windows"]) == 2000

@@ -1,0 +1,223 @@
+"""Serving-side telemetry: per-tenant series, events, SLOs, replay rows.
+
+The service must narrate its own behaviour into the telemetry plane --
+admissions, rejections, coalesces, per-tenant latency -- and the replay
+harness must fold the same story into per-tenant report rows.
+"""
+
+import pytest
+
+from repro.api import RaqoSession
+from repro.obs.slo import SloPolicy
+from repro.serving import (
+    Overloaded,
+    PlanRequest,
+    ReplayConfig,
+    ServiceConfig,
+    build_requests,
+    replay,
+)
+from repro.serving.replay import _tenant_rows
+
+
+@pytest.fixture()
+def session(tpch_catalog_sf100):
+    return RaqoSession(tpch_catalog_sf100)
+
+
+def _drive(service, count=8, tenants=2):
+    names = ("Q3", "Q12", "Q2")
+    with service:
+        futures = [
+            service.submit(
+                PlanRequest(
+                    request_id=index,
+                    query=names[index % len(names)],
+                    tenant=f"tenant-{index % tenants}",
+                )
+            )
+            for index in range(count)
+        ]
+        return [future.result() for future in futures]
+
+
+class TestPerTenantSeries:
+    def test_admission_and_completion_series(self, session):
+        service = session.serve(workers=2)
+        _drive(service, count=8, tenants=2)
+        snap = session.telemetry_snapshot()
+        counters = snap["counters"]
+        admitted = sum(
+            series["total"]
+            for name, series in counters.items()
+            if name.startswith("serving.tenant.admitted")
+        )
+        completed = sum(
+            series["total"]
+            for name, series in counters.items()
+            if name.startswith("serving.tenant.completed")
+        )
+        assert admitted == 8
+        assert completed == 8
+        assert 'serving.tenant.admitted{tenant="tenant-0"}' in counters
+
+    def test_latency_histogram_per_tenant(self, session):
+        service = session.serve(workers=1)
+        _drive(service, count=4, tenants=2)
+        histograms = session.telemetry_snapshot()["histograms"]
+        series = histograms[
+            'serving.tenant.latency_ms{tenant="tenant-1"}'
+        ]
+        assert series["summary"]["count"] == 2.0
+        assert series["summary"]["p50"] > 0.0
+
+    def test_admission_events_carry_tenants(self, session):
+        service = session.serve(workers=1)
+        _drive(service, count=4, tenants=2)
+        events = session.telemetry.events.events()
+        admissions = [e for e in events if e.name == "admission"]
+        assert len(admissions) == 4
+        assert {e.tenant for e in admissions} == {
+            "tenant-0",
+            "tenant-1",
+        }
+
+
+class TestSloWiring:
+    def test_service_tracks_slo_and_emits_burn(self, session):
+        config = ServiceConfig(
+            workers=1,
+            slo=SloPolicy(
+                latency_target_ms=0.0, window=8, min_samples=2
+            ),
+        )
+        service = session.serve(config)
+        _drive(service, count=6, tenants=2)
+        counts = session.telemetry.events.counts()
+        # Target 0 ms: every request violates, both tenants burn.
+        assert counts["slo_burn"] == 2
+        statuses = service.slo.statuses()
+        assert [s.tenant for s in statuses] == ["tenant-0", "tenant-1"]
+        assert all(s.alerting for s in statuses)
+
+    def test_no_slo_by_default(self, session):
+        service = session.serve(workers=1)
+        assert service.slo is None
+        _drive(service, count=2)
+        assert "slo_burn" not in session.telemetry.events.counts()
+
+
+class TestExposition:
+    def test_service_exposition_parses_and_reports_tenants(
+        self, session
+    ):
+        from repro.obs.prometheus import parse_exposition
+
+        service = session.serve(
+            ServiceConfig(
+                workers=2,
+                slo=SloPolicy(
+                    latency_target_ms=0.0, window=8, min_samples=2
+                ),
+            )
+        )
+        _drive(service, count=8, tenants=2)
+        parsed = parse_exposition(service.exposition())
+        assert (
+            parsed.value(
+                "raqo_serving_tenant_completed_total",
+                tenant="tenant-0",
+            )
+            == 4.0
+        )
+        assert (
+            parsed.value("raqo_slo_alerting", tenant="tenant-1") == 1.0
+        )
+
+
+class TestReplayTenantRows:
+    def test_rows_reconcile_with_totals(self, session):
+        service = session.serve(workers=2)
+        config = ReplayConfig(num_requests=30, num_tenants=3, seed=1)
+        requests = build_requests(config, catalog=session.catalog)
+        with service:
+            report = replay(service, requests)
+        assert report.completed == 30
+        assert [row["tenant"] for row in report.tenants] == sorted(
+            row["tenant"] for row in report.tenants
+        )
+        assert (
+            sum(row["completed"] for row in report.tenants)
+            == report.completed
+        )
+        assert (
+            sum(row["rejected"] for row in report.tenants)
+            == report.rejected
+        )
+        assert (
+            sum(row["cache_hits"] for row in report.tenants)
+            == report.cache_hits
+        )
+        for row in report.tenants:
+            quantiles = row["latency_ms"]
+            assert quantiles["p50"] <= quantiles["p95"] <= quantiles["max"]
+
+    def test_rows_survive_json_round_trip(self, session):
+        import json
+
+        service = session.serve(workers=1)
+        config = ReplayConfig(num_requests=10, num_tenants=2)
+        requests = build_requests(config, catalog=session.catalog)
+        with service:
+            report = replay(service, requests)
+        payload = json.loads(json.dumps(report.to_json_dict()))
+        assert len(payload["tenants"]) == len(report.tenants)
+        assert payload["tenants"][0]["tenant"] == "tenant-0"
+
+    def test_rejected_only_tenant_still_gets_a_row(self):
+        rows = _tenant_rows([], {"ghost": 3})
+        assert rows == (
+            {
+                "tenant": "ghost",
+                "completed": 0,
+                "rejected": 3,
+                "cache_hits": 0,
+                "coalesced": 0,
+                "latency_ms": {
+                    "p50": 0.0,
+                    "p95": 0.0,
+                    "p99": 0.0,
+                    "mean": 0.0,
+                    "max": 0.0,
+                },
+            },
+        )
+
+    def test_rejections_emit_events_and_counters(self, session):
+        service = session.serve(
+            ServiceConfig(workers=1, max_queue=1, max_inflight=1)
+        )
+        rejected = 0
+        with service:
+            futures = []
+            for index in range(12):
+                try:
+                    futures.append(
+                        service.submit(
+                            PlanRequest(
+                                request_id=index,
+                                query="Q3",
+                                tenant="burst",
+                            )
+                        )
+                    )
+                except Overloaded:
+                    rejected += 1
+            for future in futures:
+                future.result()
+        counts = session.telemetry.events.counts()
+        assert counts.get("rejection", 0) == rejected
+        if rejected:
+            counters = session.telemetry_snapshot()["counters"]
+            series = counters['serving.tenant.rejected{tenant="burst"}']
+            assert series["total"] == rejected
